@@ -1,0 +1,41 @@
+//! E1/E10 bench: cardinality-annotation throughput on the Fig. 10 plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use seco_plan::{annotate, AnnotationConfig, Completion, Invocation, JoinSpec, PlanNode, QueryPlan, ServiceNode};
+use seco_query::builder::running_example;
+use seco_services::domains::entertainment;
+
+fn fig10_plan(reg: &seco_services::ServiceRegistry) -> QueryPlan {
+    let query = running_example();
+    let joins = query.expanded_joins(reg).expect("joins expand");
+    let shows: Vec<_> = joins.iter().filter(|j| j.connects("M", "T")).cloned().collect();
+    let mut p = QueryPlan::new(query);
+    let m = p.add(PlanNode::Service(ServiceNode::new("M", "Movie1").with_fetches(5)));
+    let t = p.add(PlanNode::Service(ServiceNode::new("T", "Theatre1").with_fetches(5)));
+    let j = p.add(PlanNode::ParallelJoin(JoinSpec {
+        invocation: Invocation::merge_scan_even(),
+        completion: Completion::Triangular,
+        predicates: shows,
+        selectivity: entertainment::SHOWS_SELECTIVITY,
+    }));
+    let r = p.add(PlanNode::Service(ServiceNode::new("R", "Restaurant1").with_keep_first()));
+    p.connect(p.input(), m).unwrap();
+    p.connect(p.input(), t).unwrap();
+    p.connect(m, j).unwrap();
+    p.connect(t, j).unwrap();
+    p.connect(j, r).unwrap();
+    p.connect(r, p.output()).unwrap();
+    p
+}
+
+fn bench_annotate(c: &mut Criterion) {
+    let reg = entertainment::build_registry(1).expect("registry builds");
+    let plan = fig10_plan(&reg);
+    c.bench_function("annotate_fig10", |b| {
+        b.iter(|| annotate(&plan, &reg, &AnnotationConfig::default()).expect("annotates"))
+    });
+}
+
+criterion_group!(benches, bench_annotate);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E8 bench: optimizer runtime — branch-and-bound vs exhaustive — as
+//! the query grows (chain scenarios of 2..5 services).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use seco_bench::chain_scenario;
+use seco_optimizer::exhaustive::optimize_exhaustive;
+use seco_optimizer::{optimize, CostMetric};
+
+fn bench_bnb_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_scaling");
+    group.sample_size(10);
+    for n in [2usize, 3, 4, 5] {
+        let (reg, query) = chain_scenario(n, 7);
+        group.bench_with_input(BenchmarkId::new("bnb", n), &n, |b, _| {
+            b.iter(|| optimize(&query, &reg, CostMetric::RequestCount).expect("optimizes"))
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
+            b.iter(|| optimize_exhaustive(&query, &reg, CostMetric::RequestCount).expect("optimizes"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bnb_scaling);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E3/E4/E5 bench: tile-space exploration throughput per strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use seco_join::completion::explore;
+use seco_plan::{Completion, Invocation};
+
+fn bench_completion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_exploration_32x32");
+    for (label, inv, comp) in [
+        ("nl_rect", Invocation::NestedLoop, Completion::Rectangular),
+        ("ms_rect", Invocation::merge_scan_even(), Completion::Rectangular),
+        ("ms_tri", Invocation::merge_scan_even(), Completion::Triangular),
+        ("ms32_tri", Invocation::MergeScan { r1: 3, r2: 2 }, Completion::Triangular),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(inv, comp), |b, &(inv, comp)| {
+            b.iter(|| explore(inv, comp, 3, 32, 32).expect("explores"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_completion);
+criterion_main!(benches);

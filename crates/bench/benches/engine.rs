@@ -1,0 +1,27 @@
+//! E16 bench: deterministic vs pipelined executor on the optimized
+//! running-example plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use seco_engine::{execute_parallel, execute_plan, ExecOptions};
+use seco_optimizer::{optimize, CostMetric};
+use seco_query::builder::running_example;
+use seco_services::domains::entertainment;
+
+fn bench_engine(c: &mut Criterion) {
+    let registry = entertainment::build_registry(1).expect("registry builds");
+    let query = running_example();
+    let best = optimize(&query, &registry, CostMetric::RequestCount).expect("optimizes");
+    let mut group = c.benchmark_group("engine_running_example");
+    group.sample_size(20);
+    group.bench_function("sequential", |b| {
+        b.iter(|| execute_plan(&best.plan, &registry, ExecOptions::default()).expect("executes"))
+    });
+    group.bench_function("pipelined_threads", |b| {
+        b.iter(|| execute_parallel(&best.plan, &registry, ExecOptions::default()).expect("executes"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E11/E12/E13 bench: heuristic combinations on the running example.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use seco_optimizer::{
+    CostMetric, HeuristicSet, Optimizer, Phase2Heuristic, Phase3Heuristic,
+};
+use seco_query::builder::running_example;
+use seco_services::domains::entertainment;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let registry = entertainment::build_registry(3).expect("registry builds");
+    let query = running_example();
+    let mut group = c.benchmark_group("heuristics");
+    group.sample_size(10);
+    for (label, p2, p3) in [
+        ("parallel_greedy", Phase2Heuristic::ParallelIsBetter, Phase3Heuristic::Greedy),
+        ("parallel_square", Phase2Heuristic::ParallelIsBetter, Phase3Heuristic::SquareIsBetter),
+        ("selective_greedy", Phase2Heuristic::SelectiveFirst, Phase3Heuristic::Greedy),
+        ("selective_square", Phase2Heuristic::SelectiveFirst, Phase3Heuristic::SquareIsBetter),
+    ] {
+        group.bench_with_input(BenchmarkId::new("combo", label), &(p2, p3), |b, &(p2, p3)| {
+            let mut opt = Optimizer::new(&registry, CostMetric::RequestCount);
+            opt.heuristics = HeuristicSet { phase2: p2, phase3: p3, ..HeuristicSet::default() };
+            b.iter(|| opt.optimize(&query).expect("optimizes"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

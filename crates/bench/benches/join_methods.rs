@@ -1,0 +1,62 @@
+//! E6 bench: join methods (invocation × completion) under step vs
+//! progressive scoring — wall-clock of producing k = 10 joined results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use seco_bench::join_pair;
+use seco_join::executor::{ParallelJoinExecutor, ServiceStream};
+use seco_model::{AttributePath, Comparator, ScoreDecay, Value};
+use seco_plan::{Completion, Invocation};
+use seco_query::predicate::{ResolvedPredicate, SchemaMap};
+use seco_query::{JoinPredicate, QualifiedPath};
+use seco_services::invocation::Request;
+use seco_services::Service;
+
+fn bench_join_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_methods_k10");
+    group.sample_size(20);
+    for (scoring, dx) in [
+        ("step", ScoreDecay::Step { h: 2, high: 0.95, low: 0.05 }),
+        ("linear", ScoreDecay::Linear),
+    ] {
+        for (method, inv, comp) in [
+            ("nl_rect", Invocation::NestedLoop, Completion::Rectangular),
+            ("ms_rect", Invocation::merge_scan_even(), Completion::Rectangular),
+            ("ms_tri", Invocation::merge_scan_even(), Completion::Triangular),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(method, scoring),
+                &(dx, inv, comp),
+                |b, &(dx, inv, comp)| {
+                    let (sx, sy) = join_pair(dx, ScoreDecay::Linear, 60, 5, 3);
+                    let predicates = vec![ResolvedPredicate::Join(JoinPredicate {
+                        left: QualifiedPath::new("X", AttributePath::atomic("Link")),
+                        op: Comparator::Eq,
+                        right: QualifiedPath::new("Y", AttributePath::atomic("Link")),
+                    })];
+                    let mut schemas = SchemaMap::new();
+                    schemas.insert("X".into(), &sx.interface().schema);
+                    schemas.insert("Y".into(), &sy.interface().schema);
+                    let req = Request::unbound().bind(AttributePath::atomic("Key"), Value::text("q"));
+                    b.iter(|| {
+                        let mut x = ServiceStream::new("X", sx.as_ref(), req.clone());
+                        let mut y = ServiceStream::new("Y", sy.as_ref(), req.clone());
+                        let exec = ParallelJoinExecutor {
+                            predicates: &predicates,
+                            schemas: &schemas,
+                            invocation: inv,
+                            completion: comp,
+                            h: dx.step_chunks().unwrap_or(1),
+                            k: 10,
+                        };
+                        exec.run(&mut x, &mut y).expect("join runs")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_methods);
+criterion_main!(benches);

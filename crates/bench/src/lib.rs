@@ -1,0 +1,182 @@
+//! Shared workload generators for the benchmark and experiment harness.
+//!
+//! Experiments need service topologies beyond the two chapter domains:
+//! parameterized *chains* (S1 → S2 → … → Sn, each piping into the
+//! next) and *stars* (one hub, n − 1 independently reachable services
+//! joined in parallel). Both are built from the same synthetic service
+//! substrate so every experiment remains deterministic.
+
+use std::sync::Arc;
+
+use seco_model::{
+    Adornment, AttributeDef, AttributePath, Comparator, ConnectionPattern, DataType, JoinPair,
+    ScoreDecay, ServiceInterface, ServiceKind, ServiceSchema, ServiceStats, Value,
+};
+use seco_query::{Query, QueryBuilder};
+use seco_services::synthetic::{DomainMap, SyntheticService, ValueDomain};
+use seco_services::ServiceRegistry;
+
+/// Builds one search-service interface `name` with a `Key` input, a
+/// `Link` output (shared `link` domain for joins), and a ranked score.
+pub fn link_service(
+    name: &str,
+    avg: f64,
+    chunk: usize,
+    response_ms: f64,
+    decay: ScoreDecay,
+) -> ServiceInterface {
+    let schema = ServiceSchema::new(
+        name,
+        vec![
+            AttributeDef::atomic("Key", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("Link", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Payload", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+        ],
+    )
+    .expect("static schema is valid");
+    ServiceInterface::new(
+        name,
+        name.trim_end_matches(|c: char| c.is_ascii_digit()),
+        schema,
+        ServiceKind::Search,
+        ServiceStats::new(avg, chunk, response_ms, 1.0).expect("static stats are valid"),
+        decay,
+    )
+    .expect("static interface is valid")
+    .with_hint(AttributePath::atomic("Link"), 16)
+}
+
+/// A chain scenario: `Chain1 → Chain2 → … → Chainn`, where each
+/// service's `Link` output pipes into the next one's `Key` input.
+///
+/// Returns the registry and a feasible query over all `n` services with
+/// `ChainLinki` connection patterns.
+pub fn chain_scenario(n: usize, seed: u64) -> (ServiceRegistry, Query) {
+    assert!(n >= 1);
+    let mut reg = ServiceRegistry::new();
+    let link = ValueDomain::new("link", 16);
+    for i in 1..=n {
+        let iface = link_service(
+            &format!("Chain{i}"),
+            20.0,
+            5,
+            50.0 + 20.0 * i as f64,
+            if i % 2 == 0 { ScoreDecay::Step { h: 2, high: 0.9, low: 0.1 } } else { ScoreDecay::Linear },
+        );
+        let service = SyntheticService::new(
+            iface,
+            DomainMap::new().with(AttributePath::atomic("Link"), link.clone()),
+            seed ^ ((i as u64) << 8),
+        );
+        reg.register_service(Arc::new(service)).expect("unique names");
+    }
+    for i in 1..n {
+        reg.register_pattern(
+            ConnectionPattern::new(
+                format!("ChainLink{i}"),
+                format!("Chain{i}"),
+                format!("Chain{}", i + 1),
+                vec![JoinPair::eq(AttributePath::atomic("Link"), AttributePath::atomic("Key"))],
+                0.5,
+            )
+            .expect("static pattern is valid"),
+        )
+        .expect("unique names");
+    }
+    let mut qb = QueryBuilder::new()
+        .atom("A1", "Chain1")
+        .select_const("A1", "Key", Comparator::Eq, Value::text("start"));
+    for i in 2..=n {
+        qb = qb
+            .atom(&format!("A{i}"), &format!("Chain{i}"))
+            .pattern(&format!("ChainLink{}", i - 1), &format!("A{}", i - 1), &format!("A{i}"));
+    }
+    let query = qb.k(5).build().expect("chain query is valid");
+    (reg, query)
+}
+
+/// A star scenario: `n` independently reachable search services whose
+/// `Link` outputs all join pairwise through a shared domain; the query
+/// joins service 1 with each of the others.
+pub fn star_scenario(n: usize, seed: u64) -> (ServiceRegistry, Query) {
+    assert!(n >= 1);
+    let mut reg = ServiceRegistry::new();
+    let link = ValueDomain::new("hub", 8);
+    for i in 1..=n {
+        let iface = link_service(&format!("Star{i}"), 16.0, 4, 40.0 + 10.0 * i as f64, ScoreDecay::Linear);
+        let service = SyntheticService::new(
+            iface,
+            DomainMap::new().with(AttributePath::atomic("Link"), link.clone()),
+            seed ^ ((i as u64) << 4),
+        );
+        reg.register_service(Arc::new(service)).expect("unique names");
+    }
+    let mut qb = QueryBuilder::new();
+    for i in 1..=n {
+        qb = qb
+            .atom(&format!("A{i}"), &format!("Star{i}"))
+            .select_const(&format!("A{i}"), "Key", Comparator::Eq, Value::Text(format!("k{i}")));
+    }
+    for i in 2..=n {
+        qb = qb.join("A1", "Link", Comparator::Eq, &format!("A{i}"), "Link");
+    }
+    let query = qb.k(5).build().expect("star query is valid");
+    (reg, query)
+}
+
+/// Builds a pair of standalone search services for join-method
+/// experiments, with configurable decays.
+pub fn join_pair(
+    decay_x: ScoreDecay,
+    decay_y: ScoreDecay,
+    total: usize,
+    chunk: usize,
+    seed: u64,
+) -> (Arc<SyntheticService>, Arc<SyntheticService>) {
+    let link = ValueDomain::new("pairlink", 10);
+    let make = |name: &str, decay: ScoreDecay, s: u64| {
+        Arc::new(SyntheticService::new(
+            link_service(name, total as f64, chunk, 50.0, decay),
+            DomainMap::new().with(AttributePath::atomic("Link"), link.clone()),
+            s,
+        ))
+    };
+    (make("PairX1", decay_x, seed ^ 0xA), make("PairY1", decay_y, seed ^ 0xB))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_optimizer::{optimize, CostMetric};
+
+    #[test]
+    fn chain_scenarios_are_feasible_and_optimizable() {
+        for n in 1..=4 {
+            let (reg, query) = chain_scenario(n, 7);
+            let best = optimize(&query, &reg, CostMetric::RequestCount)
+                .unwrap_or_else(|e| panic!("chain n={n}: {e}"));
+            assert!(best.cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn star_scenarios_are_feasible_and_optimizable() {
+        for n in 1..=3 {
+            let (reg, query) = star_scenario(n, 7);
+            let best = optimize(&query, &reg, CostMetric::ExecutionTime)
+                .unwrap_or_else(|e| panic!("star n={n}: {e}"));
+            assert!(best.cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn join_pair_services_answer() {
+        use seco_services::invocation::Request;
+        use seco_services::Service;
+        let (x, y) = join_pair(ScoreDecay::Linear, ScoreDecay::Quadratic, 20, 5, 3);
+        let req = Request::unbound().bind(AttributePath::atomic("Key"), Value::text("q"));
+        assert_eq!(x.fetch(&req).unwrap().len(), 5);
+        assert_eq!(y.fetch(&req).unwrap().len(), 5);
+    }
+}

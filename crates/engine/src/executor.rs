@@ -1,0 +1,369 @@
+//! The deterministic (virtual-time) plan executor.
+//!
+//! Executes a fully instantiated plan node by node in topological
+//! order, materializing each node's output composites:
+//!
+//! * **service nodes** run as pipe-join stages ([`seco_join::pipe`]),
+//!   fetching `F` chunks per input composite (the node's fetch factor)
+//!   and filtering incrementally under the repeating-group semantics;
+//! * **selection nodes** filter with their own predicates;
+//! * **parallel joins** run the tile-space executor of
+//!   [`seco_join::executor`] over the two branch materializations,
+//!   preserving the strategy's emission order;
+//! * the **output node** collects the final combinations.
+//!
+//! Time is accounted on the virtual clock: each node's busy time is its
+//! calls × the service's response time; the plan's critical-path time
+//! is computed over the DAG exactly like the execution-time cost
+//! metric, so measured and estimated times are directly comparable
+//! (E8/E14).
+
+use std::collections::BTreeMap;
+
+use seco_model::CompositeTuple;
+use seco_plan::{NodeId, PlanNode, QueryPlan};
+use seco_query::feasibility::analyze;
+use seco_query::predicate::{resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap};
+use seco_services::ServiceRegistry;
+
+use crate::error::EngineError;
+use crate::trace::{ExecutionTrace, TraceEvent};
+
+/// Execution options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Stop parallel joins after this many emitted results (0 = no
+    /// limit). Corresponds to the optimizer's `k` when the join node is
+    /// the last producer.
+    pub join_k: usize,
+}
+
+/// The outcome of executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionResult {
+    /// Final combinations, in emission order.
+    pub results: Vec<CompositeTuple>,
+    /// Per-node trace.
+    pub trace: ExecutionTrace,
+    /// Critical-path elapsed time over the DAG, in virtual ms.
+    pub critical_ms: f64,
+    /// Total request-responses issued.
+    pub total_calls: usize,
+}
+
+/// Executes a plan against the registry.
+pub fn execute_plan(
+    plan: &QueryPlan,
+    registry: &ServiceRegistry,
+    options: ExecOptions,
+) -> Result<ExecutionResult, EngineError> {
+    plan.validate()?;
+    let report = analyze(&plan.query, registry)?;
+    let joins = plan.query.expanded_joins(registry)?;
+    let predicates = resolve_predicates(&plan.query, &joins)?;
+    let mut schemas: SchemaMap<'_> = BTreeMap::new();
+    for atom in &plan.query.atoms {
+        schemas.insert(atom.alias.clone(), &registry.interface(&atom.service)?.schema);
+    }
+
+    let order = plan.topo_order()?;
+    let mut outputs: Vec<Vec<CompositeTuple>> = vec![Vec::new(); plan.len()];
+    let mut busy: Vec<f64> = vec![0.0; plan.len()];
+    let mut trace = ExecutionTrace::default();
+    let mut total_calls = 0usize;
+
+    for id in order.iter().copied() {
+        let preds_nodes = plan.predecessors(id);
+        let (tuples_in, out, calls, busy_ms): (usize, Vec<CompositeTuple>, usize, f64) =
+            match plan.node(id)? {
+                PlanNode::Input => {
+                    // The user's single input tuple (§3.2).
+                    (0, vec![CompositeTuple { atoms: Vec::new(), components: Vec::new() }], 0, 0.0)
+                }
+                PlanNode::Output => {
+                    let input = outputs[preds_nodes[0].0].clone();
+                    (input.len(), input, 0, 0.0)
+                }
+                PlanNode::Selection(sel) => {
+                    let input = outputs[preds_nodes[0].0].clone();
+                    let n_in = input.len();
+                    let node_preds = resolve_selection_node(sel, &plan.query)?;
+                    let mut kept = Vec::new();
+                    for c in input {
+                        if satisfies_available(&node_preds, &c, &schemas)? {
+                            kept.push(c);
+                        }
+                    }
+                    (n_in, kept, 0, 0.0)
+                }
+                PlanNode::Service(node) => {
+                    let input = outputs[preds_nodes[0].0].clone();
+                    let n_in = input.len();
+                    let service = registry.service(&node.service)?;
+                    let iface = registry.interface(&node.service)?;
+                    let bindings = report.bindings_of(&node.atom);
+                    let outcome = seco_join::pipe::pipe_join(
+                        &input,
+                        &node.atom,
+                        service.as_ref(),
+                        &bindings,
+                        &plan.query.inputs,
+                        &predicates,
+                        &schemas,
+                        node.fetches as usize,
+                        node.keep_first,
+                    )?;
+                    let busy_ms = outcome.calls as f64 * iface.stats.response_time_ms;
+                    (n_in, outcome.results, outcome.calls, busy_ms)
+                }
+                PlanNode::ParallelJoin(spec) => {
+                    let left = outputs[preds_nodes[0].0].clone();
+                    let right = outputs[preds_nodes[1].0].clone();
+                    let n_in = left.len() + right.len();
+                    // Chunk the branch materializations at the chunk
+                    // size of their source service when identifiable.
+                    let cl = branch_chunk_size(plan, registry, preds_nodes[0]);
+                    let cr = branch_chunk_size(plan, registry, preds_nodes[1]);
+                    let h = branch_step_chunks(plan, registry, preds_nodes[0]);
+                    let join_predicates: Vec<ResolvedPredicate> = spec
+                        .predicates
+                        .iter()
+                        .cloned()
+                        .map(ResolvedPredicate::Join)
+                        .collect();
+                    let exec = seco_join::ParallelJoinExecutor {
+                        predicates: &join_predicates,
+                        schemas: &schemas,
+                        invocation: spec.invocation,
+                        completion: spec.completion,
+                        h,
+                        k: options.join_k,
+                    };
+                    let mut sl = seco_join::executor::MemoryStream::new(left, cl);
+                    let mut sr = seco_join::executor::MemoryStream::new(right, cr);
+                    let outcome = exec.run(&mut sl, &mut sr)?;
+                    (n_in, outcome.results, 0, 0.0)
+                }
+            };
+        total_calls += calls;
+        busy[id.0] = busy_ms;
+        trace.record(TraceEvent {
+            node: id,
+            label: plan.node(id)?.label(),
+            tuples_in,
+            tuples_out: out.len(),
+            calls,
+            busy_ms,
+        });
+        outputs[id.0] = out;
+    }
+
+    // Critical path over the DAG with the measured busy times.
+    let mut finish = vec![0.0f64; plan.len()];
+    for id in order {
+        let start =
+            plan.predecessors(id).iter().map(|p| finish[p.0]).fold(0.0f64, f64::max);
+        finish[id.0] = start + busy[id.0];
+    }
+
+    Ok(ExecutionResult {
+        results: outputs[plan.output().0].clone(),
+        trace,
+        critical_ms: finish[plan.output().0],
+        total_calls,
+    })
+}
+
+/// Resolves a selection node's predicates against the query inputs.
+pub(crate) fn resolve_selection_node(
+    sel: &seco_plan::SelectionNode,
+    query: &seco_query::Query,
+) -> Result<Vec<ResolvedPredicate>, EngineError> {
+    let mut out = Vec::with_capacity(sel.predicates.len() + sel.join_predicates.len());
+    for p in &sel.predicates {
+        out.push(ResolvedPredicate::Selection {
+            left: p.left.clone(),
+            op: p.op,
+            value: p.right.resolve(&query.inputs).map_err(EngineError::Query)?,
+        });
+    }
+    for j in &sel.join_predicates {
+        out.push(ResolvedPredicate::Join(j.clone()));
+    }
+    Ok(out)
+}
+
+/// Chunk size for re-chunking a branch: the chunk size of the nearest
+/// service node upstream, defaulting to 10.
+fn branch_chunk_size(plan: &QueryPlan, registry: &ServiceRegistry, from: NodeId) -> usize {
+    let mut cursor = Some(from);
+    while let Some(id) = cursor {
+        if let Ok(PlanNode::Service(node)) = plan.node(id) {
+            if let Ok(iface) = registry.interface(&node.service) {
+                return iface.stats.chunk_size;
+            }
+        }
+        cursor = plan.predecessors(id).first().copied();
+    }
+    10
+}
+
+/// Step parameter (chunks) of the nearest upstream service of a branch,
+/// for nested-loop joins; 1 when the branch is not step-scored.
+fn branch_step_chunks(plan: &QueryPlan, registry: &ServiceRegistry, from: NodeId) -> usize {
+    let mut cursor = Some(from);
+    while let Some(id) = cursor {
+        if let Ok(PlanNode::Service(node)) = plan.node(id) {
+            if let Ok(iface) = registry.interface(&node.service) {
+                return iface.decay.step_chunks().unwrap_or(1);
+            }
+        }
+        cursor = plan.predecessors(id).first().copied();
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_optimizer::{optimize, CostMetric};
+    use seco_query::builder::running_example;
+    use seco_query::evaluate_oracle;
+    use seco_services::domains::entertainment;
+
+    #[test]
+    fn executes_the_optimized_running_example() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let best = optimize(&q, &reg, CostMetric::RequestCount).unwrap();
+        reg.reset_stats();
+        let result = execute_plan(&best.plan, &reg, ExecOptions::default()).unwrap();
+        assert!(result.total_calls > 0);
+        assert!(result.critical_ms > 0.0);
+        // Every emitted combination carries all three atoms.
+        for c in &result.results {
+            assert_eq!(c.arity(), 3);
+        }
+        // Trace covers every node.
+        assert_eq!(result.trace.events.len(), best.plan.len());
+        // The registry recorders agree with the engine's count.
+        assert_eq!(reg.total_stats().calls as usize, result.total_calls);
+    }
+
+    #[test]
+    fn engine_results_are_a_subset_of_the_oracle() {
+        // E16: soundness — everything the engine emits is a genuine
+        // query answer.
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let oracle = evaluate_oracle(&q, &reg).unwrap();
+        let best = optimize(&q, &reg, CostMetric::RequestCount).unwrap();
+        let result = execute_plan(&best.plan, &reg, ExecOptions::default()).unwrap();
+        for c in &result.results {
+            let found = oracle.iter().any(|o| {
+                q.atoms.iter().all(|a| o.component(&a.alias) == c.component(&a.alias))
+            });
+            assert!(found, "engine emitted a combination the oracle does not contain: {c}");
+        }
+    }
+
+    #[test]
+    fn selection_nodes_filter() {
+        use seco_query::QueryBuilder;
+        use seco_model::{Comparator, Value};
+        use seco_plan::{PlanNode, QueryPlan, SelectionNode, ServiceNode};
+        let reg = seco_services::domains::travel::build_registry(5).unwrap();
+        let q = QueryBuilder::new()
+            .atom("C", "Conference1")
+            .atom("W", "Weather1")
+            .pattern("Forecast", "C", "W")
+            .select_const("C", "Topic", Comparator::Eq, Value::text("databases"))
+            .select_const("W", "AvgTemp", Comparator::Gt, Value::Int(26))
+            .build()
+            .unwrap();
+        let mut p = QueryPlan::new(q.clone());
+        let c = p.add(PlanNode::Service(ServiceNode::new("C", "Conference1")));
+        let w = p.add(PlanNode::Service(ServiceNode::new("W", "Weather1")));
+        let s = p.add(PlanNode::Selection(
+            SelectionNode::new(vec![q.selections[1].clone()]).with_selectivity(0.25),
+        ));
+        p.connect(p.input(), c).unwrap();
+        p.connect(c, w).unwrap();
+        p.connect(w, s).unwrap();
+        p.connect(s, p.output()).unwrap();
+        let result = execute_plan(&p, &reg, ExecOptions::default()).unwrap();
+        // The Weather pipe stage filters eagerly ("immediately after
+        // the service call that makes the predicate evaluable", §3.2),
+        // so the explicit selection node sees pre-filtered tuples and
+        // is an idempotent re-check.
+        let w_event = result.trace.event(w).unwrap();
+        assert_eq!(w_event.tuples_in, 20, "20 conferences pipe into Weather");
+        assert!(w_event.tuples_out < 20, "the temperature predicate discards many");
+        let sel_event = result.trace.event(s).unwrap();
+        assert_eq!(sel_event.tuples_in, w_event.tuples_out);
+        assert_eq!(sel_event.tuples_out, sel_event.tuples_in);
+        assert_eq!(result.results.len(), sel_event.tuples_out);
+        // All survivors really are warm.
+        for c in &result.results {
+            let w = c.component("W").unwrap();
+            match w.atomic_at(2) {
+                seco_model::Value::Int(t) => assert!(*t > 26),
+                other => panic!("unexpected temperature {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_plans_merge_shared_ancestry() {
+        use seco_query::QueryBuilder;
+        use seco_model::{Comparator, Value};
+        use seco_plan::{Completion, Invocation, JoinSpec, PlanNode, QueryPlan, ServiceNode};
+        let reg = seco_services::domains::travel::build_registry(5).unwrap();
+        let q = QueryBuilder::new()
+            .atom("C", "Conference1")
+            .atom("F", "Flight1")
+            .atom("H", "Hotel1")
+            .pattern("ReachedBy", "C", "F")
+            .pattern("StayAt", "C", "H")
+            .pattern("SameTrip", "F", "H")
+            .select_const("C", "Topic", Comparator::Eq, Value::text("ai"))
+            .k(5)
+            .build()
+            .unwrap();
+        let joins = q.expanded_joins(&reg).unwrap();
+        let same_trip: Vec<_> = joins.iter().filter(|j| j.connects("F", "H")).cloned().collect();
+        let mut p = QueryPlan::new(q);
+        let c = p.add(PlanNode::Service(ServiceNode::new("C", "Conference1")));
+        let f = p.add(PlanNode::Service(ServiceNode::new("F", "Flight1")));
+        let h = p.add(PlanNode::Service(ServiceNode::new("H", "Hotel1")));
+        let j = p.add(PlanNode::ParallelJoin(JoinSpec {
+            invocation: Invocation::merge_scan_even(),
+            completion: Completion::Triangular,
+            predicates: same_trip,
+            selectivity: 1.0,
+        }));
+        p.connect(p.input(), c).unwrap();
+        p.connect(c, f).unwrap();
+        p.connect(c, h).unwrap();
+        p.connect(f, j).unwrap();
+        p.connect(h, j).unwrap();
+        p.connect(j, p.output()).unwrap();
+        let result = execute_plan(&p, &reg, ExecOptions { join_k: 50 }).unwrap();
+        assert!(!result.results.is_empty());
+        for combo in &result.results {
+            // C appears once, not twice.
+            assert_eq!(combo.arity(), 3);
+            assert_eq!(combo.atoms.iter().filter(|a| *a == "C").count(), 1);
+            // The flight and hotel really belong to the same conference
+            // city (the SameTrip predicate held).
+            let fl = combo.component("F").unwrap();
+            let ht = combo.component("H").unwrap();
+            let fs = &reg.interface("Flight1").unwrap().schema;
+            let hs = &reg.interface("Hotel1").unwrap().schema;
+            assert_eq!(
+                fl.first_value_at(fs, &seco_model::AttributePath::atomic("To")).unwrap(),
+                ht.first_value_at(hs, &seco_model::AttributePath::atomic("City")).unwrap()
+            );
+        }
+    }
+}

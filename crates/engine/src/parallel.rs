@@ -1,0 +1,255 @@
+//! The pipelined multi-threaded executor.
+//!
+//! §2.2: "data are shipped in pipelines from one service to another, so
+//! as to maximize parallelism". Every plan node runs in its own OS
+//! thread; composites flow through bounded crossbeam channels along the
+//! plan's arcs, so independent branches (e.g. Movie and Theatre in the
+//! Fig. 10 plan) issue their service calls concurrently and downstream
+//! stages start as soon as the first tuples arrive. Parallel-join
+//! stages are rendezvous points: they drain both inputs, then run the
+//! tile-space join and stream its emission order onward.
+//!
+//! Results are identical (as a set) to [`crate::executor::execute_plan`];
+//! the experiments use the deterministic executor and this one exists
+//! to exercise true pipelined execution (including failure propagation
+//! out of worker threads).
+
+use std::collections::BTreeMap;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use seco_model::CompositeTuple;
+use seco_plan::{PlanNode, QueryPlan};
+use seco_query::feasibility::analyze;
+use seco_query::predicate::{resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap};
+use seco_services::ServiceRegistry;
+
+use crate::error::EngineError;
+use crate::executor::ExecOptions;
+
+/// Channel capacity per plan arc; small enough to exercise
+/// backpressure, large enough to avoid senseless stalls.
+const ARC_CAPACITY: usize = 256;
+
+/// Executes a plan with one thread per node, returning the output
+/// combinations (in the output stage's arrival order).
+pub fn execute_parallel(
+    plan: &QueryPlan,
+    registry: &ServiceRegistry,
+    options: ExecOptions,
+) -> Result<Vec<CompositeTuple>, EngineError> {
+    plan.validate()?;
+    let report = analyze(&plan.query, registry)?;
+    let joins = plan.query.expanded_joins(registry)?;
+    let predicates = resolve_predicates(&plan.query, &joins)?;
+    let mut schemas: SchemaMap<'_> = BTreeMap::new();
+    for atom in &plan.query.atoms {
+        schemas.insert(atom.alias.clone(), &registry.interface(&atom.service)?.schema);
+    }
+
+    // One channel per arc.
+    let mut senders: Vec<Vec<Sender<CompositeTuple>>> = vec![Vec::new(); plan.len()];
+    let mut receivers: Vec<Vec<Receiver<CompositeTuple>>> = vec![Vec::new(); plan.len()];
+    for (from, to) in plan.edges() {
+        let (tx, rx) = bounded(ARC_CAPACITY);
+        senders[from.0].push(tx);
+        receivers[to.0].push(rx);
+    }
+
+    let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
+    let output: Mutex<Vec<CompositeTuple>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for id in plan.node_ids() {
+            let node = match plan.node(id) {
+                Ok(n) => n.clone(),
+                Err(e) => {
+                    *first_error.lock() = Some(EngineError::Plan(e));
+                    continue;
+                }
+            };
+            let my_senders = std::mem::take(&mut senders[id.0]);
+            let my_receivers = std::mem::take(&mut receivers[id.0]);
+            let report = &report;
+            let predicates = &predicates;
+            let schemas = &schemas;
+            let first_error = &first_error;
+            let output = &output;
+            let query = &plan.query;
+            scope.spawn(move || {
+                let fail = |e: EngineError| {
+                    let mut slot = first_error.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                };
+                let send_all = |c: CompositeTuple| -> bool {
+                    for s in &my_senders {
+                        if s.send(c.clone()).is_err() {
+                            return false; // downstream hung up
+                        }
+                    }
+                    true
+                };
+                match node {
+                    PlanNode::Input => {
+                        send_all(CompositeTuple { atoms: Vec::new(), components: Vec::new() });
+                    }
+                    PlanNode::Output => {
+                        let mut collected = Vec::new();
+                        for c in my_receivers[0].iter() {
+                            collected.push(c);
+                        }
+                        *output.lock() = collected;
+                    }
+                    PlanNode::Selection(sel) => {
+                        let node_preds =
+                            match crate::executor::resolve_selection_node(&sel, query) {
+                                Ok(p) => p,
+                                Err(e) => return fail(e),
+                            };
+                        for c in my_receivers[0].iter() {
+                            match satisfies_available(&node_preds, &c, schemas) {
+                                Ok(true) => {
+                                    if !send_all(c) {
+                                        return;
+                                    }
+                                }
+                                Ok(false) => {}
+                                Err(e) => return fail(EngineError::Query(e)),
+                            }
+                        }
+                    }
+                    PlanNode::Service(svc) => {
+                        let service = match registry.service(&svc.service) {
+                            Ok(s) => s,
+                            Err(e) => return fail(EngineError::Service(e)),
+                        };
+                        let bindings = report.bindings_of(&svc.atom);
+                        for input in my_receivers[0].iter() {
+                            let outcome = seco_join::pipe::pipe_join(
+                                std::slice::from_ref(&input),
+                                &svc.atom,
+                                service.as_ref(),
+                                &bindings,
+                                &query.inputs,
+                                predicates,
+                                schemas,
+                                svc.fetches as usize,
+                                svc.keep_first,
+                            );
+                            match outcome {
+                                Ok(out) => {
+                                    for c in out.results {
+                                        if !send_all(c) {
+                                            return;
+                                        }
+                                    }
+                                }
+                                Err(e) => return fail(EngineError::Join(e)),
+                            }
+                        }
+                    }
+                    PlanNode::ParallelJoin(spec) => {
+                        // Rendezvous: drain both inputs.
+                        let left: Vec<CompositeTuple> = my_receivers[0].iter().collect();
+                        let right: Vec<CompositeTuple> = my_receivers[1].iter().collect();
+                        let join_predicates: Vec<ResolvedPredicate> = spec
+                            .predicates
+                            .iter()
+                            .cloned()
+                            .map(ResolvedPredicate::Join)
+                            .collect();
+                        let exec = seco_join::ParallelJoinExecutor {
+                            predicates: &join_predicates,
+                            schemas,
+                            invocation: spec.invocation,
+                            completion: spec.completion,
+                            h: 1,
+                            k: options.join_k,
+                        };
+                        let mut sl = seco_join::executor::MemoryStream::new(left, 10);
+                        let mut sr = seco_join::executor::MemoryStream::new(right, 10);
+                        match exec.run(&mut sl, &mut sr) {
+                            Ok(outcome) => {
+                                for c in outcome.results {
+                                    if !send_all(c) {
+                                        return;
+                                    }
+                                }
+                            }
+                            Err(e) => fail(EngineError::Join(e)),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = first_error.lock().take() {
+        return Err(e);
+    }
+    Ok(output.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_optimizer::{optimize, CostMetric};
+    use seco_query::builder::running_example;
+    use seco_services::domains::entertainment;
+
+    #[test]
+    fn parallel_matches_sequential_results_as_a_set() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let best = optimize(&q, &reg, CostMetric::RequestCount).unwrap();
+        let sequential =
+            crate::executor::execute_plan(&best.plan, &reg, ExecOptions::default()).unwrap();
+        let parallel = execute_parallel(&best.plan, &reg, ExecOptions::default()).unwrap();
+        assert_eq!(parallel.len(), sequential.results.len());
+        for c in &parallel {
+            assert!(
+                sequential.results.iter().any(|s| {
+                    q.atoms.iter().all(|a| s.component(&a.alias) == c.component(&a.alias))
+                }),
+                "parallel emitted {c} which the sequential run lacks"
+            );
+        }
+    }
+
+    #[test]
+    fn failures_in_workers_surface_as_errors() {
+        use seco_services::synthetic::{DomainMap, SyntheticService};
+        use std::sync::Arc;
+        // A registry whose Movie service always fails.
+        let mut reg = seco_services::ServiceRegistry::new();
+        reg.register_service(Arc::new(
+            SyntheticService::new(entertainment::movie_interface(), DomainMap::new(), 1)
+                .with_failure_every(1),
+        ))
+        .unwrap();
+        reg.register_service(Arc::new(SyntheticService::new(
+            entertainment::theatre_interface(),
+            DomainMap::new(),
+            2,
+        )))
+        .unwrap();
+        reg.register_service(Arc::new(SyntheticService::new(
+            entertainment::restaurant_interface(),
+            DomainMap::new(),
+            3,
+        )))
+        .unwrap();
+        reg.register_pattern(entertainment::shows_pattern()).unwrap();
+        reg.register_pattern(entertainment::dinner_place_pattern()).unwrap();
+
+        let q = running_example();
+        // Reuse a plan optimized against a healthy registry.
+        let healthy = entertainment::build_registry(1).unwrap();
+        let best = optimize(&q, &healthy, CostMetric::RequestCount).unwrap();
+        let err = execute_parallel(&best.plan, &reg, ExecOptions::default()).unwrap_err();
+        assert!(matches!(err, EngineError::Join(_) | EngineError::Service(_)), "{err}");
+    }
+}

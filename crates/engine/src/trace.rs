@@ -1,0 +1,100 @@
+//! Execution traces: what each plan node did.
+
+use std::fmt;
+
+use seco_plan::NodeId;
+
+/// One record per executed plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The node.
+    pub node: NodeId,
+    /// Node label at execution time.
+    pub label: String,
+    /// Composites flowing in.
+    pub tuples_in: usize,
+    /// Composites flowing out.
+    pub tuples_out: usize,
+    /// Request-responses issued by this node.
+    pub calls: usize,
+    /// Simulated service time spent in this node (ms).
+    pub busy_ms: f64,
+}
+
+/// The ordered trace of one plan execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionTrace {
+    /// Events in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl ExecutionTrace {
+    /// Appends an event.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Total request-responses across all nodes.
+    pub fn total_calls(&self) -> usize {
+        self.events.iter().map(|e| e.calls).sum()
+    }
+
+    /// Total simulated service time (sequential accounting), in ms.
+    pub fn total_busy_ms(&self) -> f64 {
+        self.events.iter().map(|e| e.busy_ms).sum()
+    }
+
+    /// The event for a node, if it executed.
+    pub fn event(&self, node: NodeId) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.node == node)
+    }
+}
+
+impl fmt::Display for ExecutionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(
+                f,
+                "{}: {} in={} out={} calls={} busy={:.1}ms",
+                e.node, e.label, e.tuples_in, e.tuples_out, e.calls, e.busy_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(node: usize, calls: usize, busy: f64) -> TraceEvent {
+        TraceEvent {
+            node: NodeId(node),
+            label: format!("n{node}"),
+            tuples_in: 1,
+            tuples_out: 2,
+            calls,
+            busy_ms: busy,
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut t = ExecutionTrace::default();
+        t.record(event(1, 3, 30.0));
+        t.record(event(2, 2, 20.0));
+        assert_eq!(t.total_calls(), 5);
+        assert!((t.total_busy_ms() - 50.0).abs() < 1e-12);
+        assert!(t.event(NodeId(1)).is_some());
+        assert!(t.event(NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn display_lists_events() {
+        let mut t = ExecutionTrace::default();
+        t.record(event(1, 3, 30.0));
+        let s = t.to_string();
+        assert!(s.contains("n1"));
+        assert!(s.contains("calls=3"));
+    }
+}

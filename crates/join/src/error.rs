@@ -1,0 +1,79 @@
+//! Error type of the join layer.
+
+use std::fmt;
+
+use seco_model::ModelError;
+use seco_query::QueryError;
+use seco_services::ServiceError;
+
+/// Errors raised while executing join methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinError {
+    /// Underlying model error.
+    Model(ModelError),
+    /// Underlying query error (predicate evaluation).
+    Query(QueryError),
+    /// Underlying service error (request-responses).
+    Service(ServiceError),
+    /// The method/parameter combination is ill-formed.
+    BadMethod {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Model(e) => write!(f, "model error: {e}"),
+            JoinError::Query(e) => write!(f, "query error: {e}"),
+            JoinError::Service(e) => write!(f, "service error: {e}"),
+            JoinError::BadMethod { detail } => write!(f, "bad join method: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JoinError::Model(e) => Some(e),
+            JoinError::Query(e) => Some(e),
+            JoinError::Service(e) => Some(e),
+            JoinError::BadMethod { .. } => None,
+        }
+    }
+}
+
+impl From<ModelError> for JoinError {
+    fn from(e: ModelError) -> Self {
+        JoinError::Model(e)
+    }
+}
+impl From<QueryError> for JoinError {
+    fn from(e: QueryError) -> Self {
+        JoinError::Query(e)
+    }
+}
+impl From<ServiceError> for JoinError {
+    fn from(e: ServiceError) -> Self {
+        JoinError::Service(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = JoinError::BadMethod { detail: "zero ratio".into() };
+        assert!(e.to_string().contains("zero ratio"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e: JoinError = ServiceError::UnknownService("s".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: JoinError = QueryError::UnknownAtom("a".into()).into();
+        assert!(e.to_string().contains("query error"));
+        let e: JoinError = ModelError::UnknownName("m".into()).into();
+        assert!(e.to_string().contains("model error"));
+    }
+}

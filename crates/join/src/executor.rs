@@ -1,0 +1,439 @@
+//! The parallel-join executor: real chunk fetching over the tile space.
+//!
+//! Joins two *chunked streams* (usually two service invocations, but the
+//! engine also joins intermediate composite streams) according to an
+//! invocation strategy, a completion strategy, and a result target `k`.
+//! The executor fetches chunks lazily, processes tiles in strategy
+//! order, evaluates the join predicates on every candidate pair of a
+//! tile (under the repeating-group mapping semantics), and emits joined
+//! composites in tile order — the non-blocking dataflow of §4.1.
+
+use seco_model::CompositeTuple;
+use seco_plan::{Completion, Invocation};
+use seco_query::predicate::{satisfies_available, ResolvedPredicate, SchemaMap};
+use seco_services::invocation::Request;
+use seco_services::Service;
+
+use crate::error::JoinError;
+use crate::strategy::{CallScheduler, CallTarget};
+use crate::tile::Tile;
+
+/// A lazily fetched, chunked stream of composite tuples.
+pub trait ChunkStream {
+    /// Fetches chunk `idx` (0-based). Returns the composites of that
+    /// chunk and whether more chunks exist.
+    fn fetch_chunk(&mut self, idx: usize) -> Result<(Vec<CompositeTuple>, bool), JoinError>;
+}
+
+/// Adapter: one service invocation (fixed bindings) as a stream of
+/// single-atom composites.
+pub struct ServiceStream<'a> {
+    atom: String,
+    service: &'a dyn Service,
+    request: Request,
+}
+
+impl<'a> ServiceStream<'a> {
+    /// Creates a stream for `atom` answered by `service` under
+    /// `request`'s bindings.
+    pub fn new(atom: impl Into<String>, service: &'a dyn Service, request: Request) -> Self {
+        ServiceStream { atom: atom.into(), service, request }
+    }
+}
+
+impl ChunkStream for ServiceStream<'_> {
+    fn fetch_chunk(&mut self, idx: usize) -> Result<(Vec<CompositeTuple>, bool), JoinError> {
+        let resp = self.service.fetch(&self.request.at_chunk(idx))?;
+        let composites = resp
+            .tuples
+            .into_iter()
+            .map(|t| CompositeTuple::single(self.atom.clone(), t))
+            .collect();
+        Ok((composites, resp.has_more))
+    }
+}
+
+/// In-memory stream over pre-chunked composites (tests and re-joining
+/// buffered intermediate results).
+pub struct MemoryStream {
+    chunks: Vec<Vec<CompositeTuple>>,
+}
+
+impl MemoryStream {
+    /// Chunks an already-materialized list.
+    pub fn new(tuples: Vec<CompositeTuple>, chunk_size: usize) -> Self {
+        let chunk_size = chunk_size.max(1);
+        let chunks = tuples.chunks(chunk_size).map(<[CompositeTuple]>::to_vec).collect();
+        MemoryStream { chunks }
+    }
+}
+
+impl ChunkStream for MemoryStream {
+    fn fetch_chunk(&mut self, idx: usize) -> Result<(Vec<CompositeTuple>, bool), JoinError> {
+        let chunk = self.chunks.get(idx).cloned().unwrap_or_default();
+        Ok((chunk, idx + 1 < self.chunks.len()))
+    }
+}
+
+/// Outcome of a parallel join run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinOutcome {
+    /// Joined composites, in emission (tile) order.
+    pub results: Vec<CompositeTuple>,
+    /// Request-responses issued to the first stream.
+    pub calls_x: usize,
+    /// Request-responses issued to the second stream.
+    pub calls_y: usize,
+    /// Tiles processed, in order.
+    pub tiles: Vec<Tile>,
+    /// True when the whole tile space was explored (no more results
+    /// exist); false when the run stopped at the `k` target.
+    pub exhausted: bool,
+}
+
+/// The parallel-join executor (§4.2.2).
+pub struct ParallelJoinExecutor<'p> {
+    /// Join predicates between the two streams' atoms (already
+    /// resolved).
+    pub predicates: &'p [ResolvedPredicate],
+    /// Schemas of all atoms appearing in the streams.
+    pub schemas: &'p SchemaMap<'p>,
+    /// Invocation strategy.
+    pub invocation: Invocation,
+    /// Completion strategy.
+    pub completion: Completion,
+    /// Step parameter `h` (chunks) of the first stream, for nested-loop.
+    pub h: usize,
+    /// Stop after emitting this many results (0 = explore everything).
+    pub k: usize,
+}
+
+impl ParallelJoinExecutor<'_> {
+    /// Runs the join to completion or to the `k` target, pacing calls
+    /// with the configured invocation strategy.
+    pub fn run(
+        &self,
+        x: &mut dyn ChunkStream,
+        y: &mut dyn ChunkStream,
+    ) -> Result<JoinOutcome, JoinError> {
+        let mut scheduler = CallScheduler::new(self.invocation, self.h.max(1))?;
+        self.run_paced(x, y, &mut scheduler)
+    }
+
+    /// Runs the join with an external pacer deciding which stream each
+    /// request-response goes to (e.g. a clock unit regulating calls by
+    /// the inter-service ratio, §4.3.2). The completion strategy and
+    /// `k` target behave exactly as in [`ParallelJoinExecutor::run`].
+    pub fn run_paced(
+        &self,
+        x: &mut dyn ChunkStream,
+        y: &mut dyn ChunkStream,
+        pacer: &mut dyn crate::strategy::Pacing,
+    ) -> Result<JoinOutcome, JoinError> {
+        let (r1, r2) = match self.invocation {
+            Invocation::MergeScan { r1, r2 } => (r1 as usize, r2 as usize),
+            Invocation::NestedLoop => (1, 1),
+        };
+        let target_k = if self.k == 0 { usize::MAX } else { self.k };
+
+        let mut chunks_x: Vec<Vec<CompositeTuple>> = Vec::new();
+        let mut chunks_y: Vec<Vec<CompositeTuple>> = Vec::new();
+        let (mut more_x, mut more_y) = (true, true);
+        let (mut calls_x, mut calls_y) = (0usize, 0usize);
+        let mut processed: Vec<Tile> = Vec::new();
+        let mut done = std::collections::BTreeSet::new();
+        let mut results: Vec<CompositeTuple> = Vec::new();
+        let mut c = r1 * r2;
+
+        'outer: loop {
+            if results.len() >= target_k {
+                break;
+            }
+            // Choose and perform the next call.
+            let mut target = pacer.next_target(calls_x, calls_y);
+            if target == CallTarget::X && !more_x {
+                target = CallTarget::Y;
+            }
+            if target == CallTarget::Y && !more_y {
+                target = CallTarget::X;
+            }
+            match target {
+                CallTarget::X if more_x => {
+                    let (chunk, has_more) = x.fetch_chunk(calls_x)?;
+                    calls_x += 1;
+                    more_x = has_more;
+                    chunks_x.push(chunk);
+                }
+                CallTarget::Y if more_y => {
+                    let (chunk, has_more) = y.fetch_chunk(calls_y)?;
+                    calls_y += 1;
+                    more_y = has_more;
+                    chunks_y.push(chunk);
+                }
+                _ => {} // both axes exhausted; fall through to the wave
+            }
+
+            // Process admissible tiles in waves.
+            loop {
+                let mut wave: Vec<Tile> = Vec::new();
+                for xi in 0..chunks_x.len() {
+                    for yi in 0..chunks_y.len() {
+                        let t = Tile::new(xi, yi);
+                        if done.contains(&t) {
+                            continue;
+                        }
+                        let admitted = match self.completion {
+                            Completion::Rectangular => true,
+                            Completion::Triangular => xi * r2 + yi * r1 < c,
+                        };
+                        if admitted {
+                            wave.push(t);
+                        }
+                    }
+                }
+                if wave.is_empty() {
+                    let waiting = (0..chunks_x.len())
+                        .any(|xi| (0..chunks_y.len()).any(|yi| !done.contains(&Tile::new(xi, yi))));
+                    if self.completion == Completion::Triangular && waiting {
+                        c += 1;
+                        continue;
+                    }
+                    break;
+                }
+                wave.sort_by_key(|t| (t.index_sum(), t.x));
+                for t in wave {
+                    done.insert(t);
+                    processed.push(t);
+                    self.join_tile(&chunks_x[t.x], &chunks_y[t.y], &mut results)?;
+                    if results.len() >= target_k {
+                        break 'outer;
+                    }
+                }
+                if self.completion == Completion::Rectangular {
+                    break;
+                }
+            }
+
+            if !more_x && !more_y {
+                // Everything fetched; any remaining tiles were processed
+                // by the final wave above.
+                break;
+            }
+        }
+
+        let exhausted = !more_x
+            && !more_y
+            && done.len() == chunks_x.len() * chunks_y.len()
+            && results.len() < target_k;
+        Ok(JoinOutcome { results, calls_x, calls_y, tiles: processed, exhausted })
+    }
+
+    /// Joins one tile: every pair of the two chunks, in (i, j) order.
+    ///
+    /// Pairs are *merged*, not concatenated: branches with common
+    /// ancestry (the Fig. 2 diamond) share atoms, and a pair whose
+    /// shared components differ is not a candidate at all.
+    fn join_tile(
+        &self,
+        cx: &[CompositeTuple],
+        cy: &[CompositeTuple],
+        out: &mut Vec<CompositeTuple>,
+    ) -> Result<(), JoinError> {
+        for a in cx {
+            for b in cy {
+                let Some(candidate) = a.merge(b) else { continue };
+                if satisfies_available(self.predicates, &candidate, self.schemas)? {
+                    out.push(candidate);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_model::{
+        Adornment, AttributeDef, AttributePath, Comparator, DataType, ScoreDecay, ServiceSchema,
+        Tuple, Value,
+    };
+    use seco_query::{JoinPredicate, QualifiedPath};
+
+    fn schema(name: &str) -> ServiceSchema {
+        ServiceSchema::new(
+            name,
+            vec![
+                AttributeDef::atomic("City", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Builds a ranked composite list over a small city domain.
+    fn stream_data(atom: &str, schema: &ServiceSchema, n: usize, decay: ScoreDecay) -> Vec<CompositeTuple> {
+        let f = seco_model::ScoringFunction::new(decay, n, 2).unwrap();
+        (0..n)
+            .map(|i| {
+                let t = Tuple::builder(schema)
+                    .set("City", Value::Text(format!("city-{}", i % 3)))
+                    .set("Score", Value::float(f.score_at(i)))
+                    .score(f.score_at(i))
+                    .source_rank(i)
+                    .build()
+                    .unwrap();
+                CompositeTuple::single(atom, t)
+            })
+            .collect()
+    }
+
+    fn setup<'a>(
+        sa: &'a ServiceSchema,
+        sb: &'a ServiceSchema,
+    ) -> (Vec<ResolvedPredicate>, SchemaMap<'a>) {
+        let preds = vec![ResolvedPredicate::Join(JoinPredicate {
+            left: QualifiedPath::new("A", AttributePath::atomic("City")),
+            op: Comparator::Eq,
+            right: QualifiedPath::new("B", AttributePath::atomic("City")),
+        })];
+        let mut schemas = SchemaMap::new();
+        schemas.insert("A".into(), sa);
+        schemas.insert("B".into(), sb);
+        (preds, schemas)
+    }
+
+    #[test]
+    fn join_finds_all_matches_when_exhaustive() {
+        let sa = schema("A1");
+        let sb = schema("B1");
+        let (preds, schemas) = setup(&sa, &sb);
+        let a = stream_data("A", &sa, 6, ScoreDecay::Linear);
+        let b = stream_data("B", &sb, 6, ScoreDecay::Linear);
+        let expected = a
+            .iter()
+            .flat_map(|x| b.iter().map(move |y| (x, y)))
+            .filter(|(x, y)| x.components[0].atomic_at(0) == y.components[0].atomic_at(0))
+            .count();
+        let exec = ParallelJoinExecutor {
+            predicates: &preds,
+            schemas: &schemas,
+            invocation: Invocation::merge_scan_even(),
+            completion: Completion::Rectangular,
+            h: 1,
+            k: 0,
+        };
+        let mut ms_a = MemoryStream::new(a, 2);
+        let mut ms_b = MemoryStream::new(b, 2);
+        let out = exec.run(&mut ms_a, &mut ms_b).unwrap();
+        assert_eq!(out.results.len(), expected);
+        assert!(out.exhausted);
+        assert_eq!((out.calls_x, out.calls_y), (3, 3));
+        assert_eq!(out.tiles.len(), 9);
+        // Every result satisfies the predicate and has both atoms.
+        for r in &out.results {
+            assert_eq!(r.arity(), 2);
+        }
+    }
+
+    #[test]
+    fn join_stops_at_k() {
+        let sa = schema("A1");
+        let sb = schema("B1");
+        let (preds, schemas) = setup(&sa, &sb);
+        let a = stream_data("A", &sa, 20, ScoreDecay::Linear);
+        let b = stream_data("B", &sb, 20, ScoreDecay::Linear);
+        let exec = ParallelJoinExecutor {
+            predicates: &preds,
+            schemas: &schemas,
+            invocation: Invocation::merge_scan_even(),
+            completion: Completion::Triangular,
+            h: 1,
+            k: 3,
+        };
+        let mut ms_a = MemoryStream::new(a, 2);
+        let mut ms_b = MemoryStream::new(b, 2);
+        let out = exec.run(&mut ms_a, &mut ms_b).unwrap();
+        assert_eq!(out.results.len(), 3);
+        assert!(!out.exhausted);
+        // Early termination saves calls: far fewer than the full 10+10.
+        assert!(out.calls_x + out.calls_y < 20, "stopped early with {} + {} calls", out.calls_x, out.calls_y);
+    }
+
+    #[test]
+    fn nested_loop_prefers_the_first_stream() {
+        let sa = schema("A1");
+        let sb = schema("B1");
+        let (preds, schemas) = setup(&sa, &sb);
+        let a = stream_data("A", &sa, 8, ScoreDecay::Step { h: 2, high: 0.95, low: 0.05 });
+        let b = stream_data("B", &sb, 8, ScoreDecay::Linear);
+        let exec = ParallelJoinExecutor {
+            predicates: &preds,
+            schemas: &schemas,
+            invocation: Invocation::NestedLoop,
+            completion: Completion::Rectangular,
+            h: 2,
+            k: 0,
+        };
+        let mut ms_a = MemoryStream::new(a, 2);
+        let mut ms_b = MemoryStream::new(b, 2);
+        let out = exec.run(&mut ms_a, &mut ms_b).unwrap();
+        // NL drains h=2 chunks of A right after the opening pair.
+        assert_eq!(out.tiles[0], Tile::new(0, 0));
+        assert!(out.exhausted);
+        assert_eq!((out.calls_x, out.calls_y), (4, 4));
+    }
+
+    #[test]
+    fn empty_stream_joins_to_nothing() {
+        let sa = schema("A1");
+        let sb = schema("B1");
+        let (preds, schemas) = setup(&sa, &sb);
+        let exec = ParallelJoinExecutor {
+            predicates: &preds,
+            schemas: &schemas,
+            invocation: Invocation::merge_scan_even(),
+            completion: Completion::Rectangular,
+            h: 1,
+            k: 0,
+        };
+        let mut ms_a = MemoryStream::new(Vec::new(), 2);
+        let mut ms_b = MemoryStream::new(stream_data("B", &sb, 4, ScoreDecay::Linear), 2);
+        let out = exec.run(&mut ms_a, &mut ms_b).unwrap();
+        assert!(out.results.is_empty());
+        assert!(out.exhausted);
+    }
+
+    #[test]
+    fn service_stream_adapts_requests() {
+        use seco_services::synthetic::{DomainMap, SyntheticService};
+        use seco_model::{ServiceInterface, ServiceKind, ServiceStats};
+        let iface = ServiceInterface::new(
+            "S1",
+            "S",
+            ServiceSchema::new(
+                "S1",
+                vec![
+                    AttributeDef::atomic("K", DataType::Text, Adornment::Input),
+                    AttributeDef::atomic("V", DataType::Text, Adornment::Output),
+                    AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+                ],
+            )
+            .unwrap(),
+            ServiceKind::Search,
+            ServiceStats::new(5.0, 2, 1.0, 1.0).unwrap(),
+            ScoreDecay::Linear,
+        )
+        .unwrap();
+        let svc = SyntheticService::new(iface, DomainMap::new(), 3);
+        let req = Request::unbound().bind(AttributePath::atomic("K"), Value::text("x"));
+        let mut stream = ServiceStream::new("A", &svc, req);
+        let (chunk, more) = stream.fetch_chunk(0).unwrap();
+        assert_eq!(chunk.len(), 2);
+        assert!(more);
+        assert_eq!(chunk[0].atoms, vec!["A".to_owned()]);
+        let (last, more) = stream.fetch_chunk(2).unwrap();
+        assert_eq!(last.len(), 1);
+        assert!(!more);
+    }
+}

@@ -1,0 +1,144 @@
+//! The join-method grid (§4.5): topology × invocation × completion.
+//!
+//! "This classification — topology, invocation and completion strategy —
+//! gives rise to eight possible methods for the join of two services.
+//! Note that not all combinations that would be theoretically possible
+//! also make sense in practice."
+
+use std::fmt;
+
+use seco_plan::{Completion, Invocation};
+
+/// Topology of a join (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Sequential: one service's output feeds the other's input.
+    Pipe,
+    /// Parallel: the services are invoked independently.
+    Parallel,
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Pipe => write!(f, "pipe"),
+            Topology::Parallel => write!(f, "parallel"),
+        }
+    }
+}
+
+/// One of the eight join methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinMethod {
+    /// Pipe or parallel invocation of the two services.
+    pub topology: Topology,
+    /// Order/frequency of service calls.
+    pub invocation: Invocation,
+    /// Order of tile processing.
+    pub completion: Completion,
+}
+
+impl JoinMethod {
+    /// The eight canonical methods (merge-scan instantiated at r=1/1).
+    pub fn all() -> Vec<JoinMethod> {
+        let mut out = Vec::with_capacity(8);
+        for topology in [Topology::Pipe, Topology::Parallel] {
+            for invocation in [Invocation::NestedLoop, Invocation::merge_scan_even()] {
+                for completion in [Completion::Rectangular, Completion::Triangular] {
+                    out.push(JoinMethod { topology, invocation, completion });
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the chapter considers the combination practically
+    /// sensible (§4.5):
+    ///
+    /// * merge-scan with rectangular completion "typically makes sense
+    ///   for parallel joins";
+    /// * "pipe joins are better performed via nested loops with
+    ///   rectangular completion";
+    /// * combining the diagonal (triangular) completion with nested
+    ///   loop contradicts the nested-loop premise of draining the step
+    ///   service first — the chapter's example of a method that "makes
+    ///   little sense in practice". (The chapter's sentence literally
+    ///   names "rectangular completion applied to nested loop", which
+    ///   contradicts its own §4.4.1 endorsement of NL+rectangular for
+    ///   pipe joins two paragraphs earlier; we read it as the obvious
+    ///   slip for *triangular*.)
+    pub fn makes_sense(&self) -> bool {
+        !(self.invocation == Invocation::NestedLoop && self.completion == Completion::Triangular)
+    }
+
+    /// The recommended method for pipe joins: nested loop with
+    /// rectangular completion ("retrieving the same number of fetches
+    /// from the second service for each tuple in output from the first
+    /// service", §4.5).
+    pub fn pipe_default() -> JoinMethod {
+        JoinMethod {
+            topology: Topology::Pipe,
+            invocation: Invocation::NestedLoop,
+            completion: Completion::Rectangular,
+        }
+    }
+
+    /// The recommended method for parallel joins of progressively
+    /// scored services: even merge-scan with triangular completion
+    /// (approximates an extraction-optimal strategy, §4.4.2).
+    pub fn parallel_default() -> JoinMethod {
+        JoinMethod {
+            topology: Topology::Parallel,
+            invocation: Invocation::merge_scan_even(),
+            completion: Completion::Triangular,
+        }
+    }
+}
+
+impl fmt::Display for JoinMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.topology, self.invocation, self.completion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_eight_methods() {
+        let all = JoinMethod::all();
+        assert_eq!(all.len(), 8);
+        // Unique combinations.
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn sensibility_excludes_nl_triangular() {
+        let sensible = JoinMethod::all().into_iter().filter(JoinMethod::makes_sense).count();
+        assert_eq!(sensible, 6, "NL+triangular is excluded for both topologies");
+        assert!(JoinMethod::pipe_default().makes_sense());
+        assert!(JoinMethod::parallel_default().makes_sense());
+    }
+
+    #[test]
+    fn defaults_match_the_chapter_recommendations() {
+        let p = JoinMethod::pipe_default();
+        assert_eq!(p.topology, Topology::Pipe);
+        assert_eq!(p.invocation, Invocation::NestedLoop);
+        assert_eq!(p.completion, Completion::Rectangular);
+        let q = JoinMethod::parallel_default();
+        assert_eq!(q.topology, Topology::Parallel);
+        assert_eq!(q.completion, Completion::Triangular);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(JoinMethod::pipe_default().to_string(), "pipe/NL/rect");
+        assert_eq!(JoinMethod::parallel_default().to_string(), "parallel/MS(r=1/1)/tri");
+    }
+}

@@ -1,0 +1,213 @@
+//! Extraction-optimality (§4.1): the chapter's quality notion for
+//! non-top-k join methods.
+//!
+//! "If we assume that services return results in decreasing ranking
+//! order, we say that a join strategy is *extraction-optimal* if it
+//! produces elements rk in decreasing order of the product of the two
+//! rankings ρX · ρY and with the minimum cost. Such notion extends from
+//! tuples to tiles by using the ranking of the first tuple of the tile
+//! as representative for the entire tile. […] The notion of extraction
+//! optimality can be further refined to be interpreted in *global*
+//! sense, i.e. relative to all the tiles in the search space, or in
+//! *local* sense, i.e. relative to the tiles already loaded in the
+//! search space and available to the join operation."
+
+use seco_model::CompositeTuple;
+
+use crate::strategy::CallTarget;
+use crate::tile::{Tile, TileSpace};
+
+/// Number of *rank inversions* in an emission order: pairs `(i, j)`,
+/// `i < j`, where the earlier result has a strictly smaller score
+/// product than the later one. An extraction-optimal emission has zero
+/// inversions.
+pub fn score_product_inversions(results: &[CompositeTuple]) -> usize {
+    let scores: Vec<f64> = results.iter().map(CompositeTuple::score_product).collect();
+    let mut inversions = 0;
+    for i in 0..scores.len() {
+        for j in i + 1..scores.len() {
+            if scores[i] < scores[j] - 1e-12 {
+                inversions += 1;
+            }
+        }
+    }
+    inversions
+}
+
+/// Normalised inversion rate in `[0, 1]`: inversions divided by the
+/// number of pairs (0 when fewer than two results).
+pub fn inversion_rate(results: &[CompositeTuple]) -> f64 {
+    let n = results.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let pairs = n * (n - 1) / 2;
+    score_product_inversions(results) as f64 / pairs as f64
+}
+
+/// True when a tile order is **globally extraction-optimal**: tiles
+/// appear in non-increasing representative order relative to *all*
+/// tiles of the space (the order must also be a permutation of the
+/// whole space).
+pub fn is_globally_extraction_optimal(order: &[Tile], space: &TileSpace) -> bool {
+    if order.len() != space.tile_count() {
+        return false;
+    }
+    order.windows(2).all(|w| space.representative(w[0]) >= space.representative(w[1]) - 1e-12)
+}
+
+/// True when a tile order is **locally extraction-optimal**: every
+/// processed tile has the maximum representative among the tiles
+/// *available* (loaded but not yet processed) at that moment. The call
+/// sequence determines availability; `calls` and `order` must come from
+/// the same exploration.
+pub fn is_locally_extraction_optimal(
+    calls: &[CallTarget],
+    order: &[Tile],
+    space: &TileSpace,
+) -> bool {
+    // Replay the calls, tracking availability, and check each processed
+    // tile against the available alternatives at its processing time.
+    let mut cx = 0usize;
+    let mut cy = 0usize;
+    let mut call_iter = calls.iter();
+    let mut processed: std::collections::BTreeSet<Tile> = std::collections::BTreeSet::new();
+
+    for tile in order {
+        // Advance calls until the tile's chunks are loaded.
+        while tile.x >= cx || tile.y >= cy {
+            match call_iter.next() {
+                Some(CallTarget::X) => cx += 1,
+                Some(CallTarget::Y) => cy += 1,
+                None => return false, // order references unloaded chunks
+            }
+        }
+        // All loaded, unprocessed tiles are the alternatives.
+        let best_available = (0..cx)
+            .flat_map(|x| (0..cy).map(move |y| Tile::new(x, y)))
+            .filter(|t| !processed.contains(t) && space.contains(*t))
+            .map(|t| space.representative(t))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if space.representative(*tile) < best_available - 1e-12 {
+            return false;
+        }
+        processed.insert(*tile);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::completion::explore;
+    use seco_model::{ScoreDecay, ScoringFunction};
+    use seco_plan::{Completion, Invocation};
+
+    fn space(dx: ScoreDecay, dy: ScoreDecay, total: usize, chunk: usize) -> TileSpace {
+        TileSpace::new(
+            ScoringFunction::new(dx, total, chunk).unwrap(),
+            ScoringFunction::new(dy, total, chunk).unwrap(),
+        )
+    }
+
+    #[test]
+    fn optimal_order_is_globally_optimal() {
+        let s = space(ScoreDecay::Linear, ScoreDecay::Quadratic, 40, 10);
+        let order = s.optimal_order();
+        assert!(is_globally_extraction_optimal(&order, &s));
+        // A reversed order is not.
+        let mut rev = order.clone();
+        rev.reverse();
+        assert!(!is_globally_extraction_optimal(&rev, &s));
+        // A partial order is not (must cover the space).
+        assert!(!is_globally_extraction_optimal(&order[..3], &s));
+    }
+
+    #[test]
+    fn rectangular_merge_scan_is_locally_optimal_on_symmetric_spaces() {
+        // §4.4.1: "The rectangular strategy is locally extraction-
+        // optimal."
+        let s = space(ScoreDecay::Linear, ScoreDecay::Linear, 40, 10);
+        let e = explore(Invocation::merge_scan_even(), Completion::Rectangular, 1, s.nx, s.ny)
+            .unwrap();
+        assert!(is_locally_extraction_optimal(&e.calls, &e.order, &s));
+    }
+
+    #[test]
+    fn triangular_merge_scan_is_locally_optimal() {
+        // §4.4.2: "The triangular extraction strategy is locally
+        // extraction-optimal."
+        let s = space(ScoreDecay::Linear, ScoreDecay::Linear, 40, 10);
+        let e = explore(Invocation::merge_scan_even(), Completion::Triangular, 1, s.nx, s.ny)
+            .unwrap();
+        assert!(is_locally_extraction_optimal(&e.calls, &e.order, &s));
+    }
+
+    #[test]
+    fn nested_loop_is_globally_optimal_iff_the_step_drops_to_zero_at_h() {
+        // §4.4.1: "With the nested loop method, if the step scoring
+        // function of the first service drops from 1 to 0 exactly in
+        // correspondence to the h-th chunk, then the method is globally
+        // extraction-optimal."
+        let ideal = TileSpace::new(
+            ScoringFunction::new(ScoreDecay::Step { h: 2, high: 1.0, low: 0.0 }, 40, 10).unwrap(),
+            ScoringFunction::new(ScoreDecay::Linear, 40, 10).unwrap(),
+        );
+        let e = explore(Invocation::NestedLoop, Completion::Rectangular, 2, ideal.nx, ideal.ny)
+            .unwrap();
+        // With a hard 1→0 step the NL order is monotone in the
+        // representative (all post-step tiles have representative 0).
+        assert!(
+            is_globally_extraction_optimal(&e.order, &ideal),
+            "ideal step must make NL+rect globally optimal"
+        );
+
+        // With a progressive first service NL is NOT globally optimal.
+        let progressive = space(ScoreDecay::Linear, ScoreDecay::Linear, 40, 10);
+        let e2 = explore(
+            Invocation::NestedLoop,
+            Completion::Rectangular,
+            2,
+            progressive.nx,
+            progressive.ny,
+        )
+        .unwrap();
+        assert!(!is_globally_extraction_optimal(&e2.order, &progressive));
+    }
+
+    #[test]
+    fn inversion_counting() {
+        use seco_model::{Adornment, AttributeDef, DataType, ServiceSchema, Tuple};
+        let schema = ServiceSchema::new(
+            "S",
+            vec![AttributeDef::atomic("A", DataType::Int, Adornment::Output)],
+        )
+        .unwrap();
+        let mk = |s: f64| {
+            CompositeTuple::single("X", Tuple::builder(&schema).score(s).build().unwrap())
+        };
+        let sorted = vec![mk(0.9), mk(0.5), mk(0.1)];
+        assert_eq!(score_product_inversions(&sorted), 0);
+        assert_eq!(inversion_rate(&sorted), 0.0);
+        let reversed = vec![mk(0.1), mk(0.5), mk(0.9)];
+        assert_eq!(score_product_inversions(&reversed), 3);
+        assert_eq!(inversion_rate(&reversed), 1.0);
+        let mixed = vec![mk(0.5), mk(0.9), mk(0.1)];
+        assert_eq!(score_product_inversions(&mixed), 1);
+        assert_eq!(inversion_rate(&[]), 0.0);
+        assert_eq!(inversion_rate(&[mk(1.0)]), 0.0);
+    }
+
+    #[test]
+    fn local_optimality_rejects_greedy_violations() {
+        // Processing the far corner before the origin is locally
+        // suboptimal under any decreasing scoring.
+        let s = space(ScoreDecay::Linear, ScoreDecay::Linear, 20, 10);
+        let calls = vec![CallTarget::X, CallTarget::Y, CallTarget::X, CallTarget::Y];
+        let bad_order = vec![Tile::new(1, 1), Tile::new(0, 0), Tile::new(1, 0), Tile::new(0, 1)];
+        assert!(!is_locally_extraction_optimal(&calls, &bad_order, &s));
+        // Order referencing never-loaded chunks is rejected.
+        let impossible = vec![Tile::new(3, 3)];
+        assert!(!is_locally_extraction_optimal(&calls[..2], &impossible, &s));
+    }
+}

@@ -1,0 +1,260 @@
+//! Pipe joins (§4.2.1): sequential composition of service invocations.
+//!
+//! "Pipe joins use the fact that the access patterns of certain search
+//! services accept input parameters. […] A subset of the attributes of
+//! these tuples is the set of join attributes of a pipe join, whose
+//! values are passed, or 'piped', to another service that appears later
+//! in the sequence."
+//!
+//! The recommended execution is nested-loop with rectangular completion:
+//! the same number of fetches `F` is retrieved from the downstream
+//! service for each tuple flowing out of the upstream one (§4.5).
+
+use std::collections::BTreeMap;
+
+use seco_model::{Comparator, CompositeTuple, Value};
+use seco_query::feasibility::{BindingSource, IoDependency};
+use seco_query::predicate::{satisfies_available, ResolvedPredicate, SchemaMap};
+use seco_services::invocation::Request;
+use seco_services::Service;
+
+use crate::error::JoinError;
+
+/// Outcome of a pipe-join stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipeOutcome {
+    /// Extended composites, in input order (then service rank order).
+    pub results: Vec<CompositeTuple>,
+    /// Request-responses issued to the downstream service.
+    pub calls: usize,
+}
+
+/// Executes one pipe-join stage: extends each input composite with the
+/// matching tuples of `service` (the query atom `atom`).
+///
+/// * `bindings` — the atom's input bindings from the feasibility
+///   analysis (constants and pipes);
+/// * `query_inputs` — values of the `INPUT` variables;
+/// * `fetches` — chunks fetched per input composite (the fetch factor
+///   `F` of §5.5);
+/// * `keep_first` — keep only the first (best-ranked) surviving result
+///   per input composite (the §5.6 `Restaurant` choice).
+#[allow(clippy::too_many_arguments)]
+pub fn pipe_join(
+    inputs: &[CompositeTuple],
+    atom: &str,
+    service: &dyn Service,
+    bindings: &[&IoDependency],
+    query_inputs: &BTreeMap<String, Value>,
+    predicates: &[ResolvedPredicate],
+    schemas: &SchemaMap<'_>,
+    fetches: usize,
+    keep_first: bool,
+) -> Result<PipeOutcome, JoinError> {
+    let fetches = fetches.max(1);
+    let mut results = Vec::new();
+    let mut calls = 0usize;
+
+    for input in inputs {
+        // Assemble the request for this input composite.
+        let mut request = Request::unbound();
+        for dep in bindings {
+            match &dep.source {
+                BindingSource::Constant { operand, op } => {
+                    let value = operand.resolve(query_inputs).map_err(JoinError::Query)?;
+                    if *op == Comparator::Eq {
+                        request = request.bind(dep.input.clone(), value);
+                    } else {
+                        request = request.constrain(dep.input.clone(), *op, value);
+                    }
+                }
+                BindingSource::Piped { from_atom, from_path } => {
+                    let schema = schemas
+                        .get(from_atom)
+                        .ok_or_else(|| JoinError::Query(seco_query::QueryError::UnknownAtom(from_atom.clone())))?;
+                    let tuple = input.component(from_atom).ok_or_else(|| {
+                        JoinError::Query(seco_query::QueryError::UnknownAtom(from_atom.clone()))
+                    })?;
+                    let value = tuple.first_value_at(schema, from_path).map_err(JoinError::Model)?;
+                    request = request.bind(dep.input.clone(), value);
+                }
+            }
+        }
+
+        // Fetch F chunks (rectangular completion per input tuple).
+        let mut kept_for_input = 0usize;
+        'chunks: for c in 0..fetches {
+            let resp = service.fetch(&request.at_chunk(c))?;
+            calls += 1;
+            let has_more = resp.has_more;
+            for tuple in resp.tuples {
+                let candidate = input.extend_with(atom.to_owned(), tuple);
+                if satisfies_available(predicates, &candidate, schemas)? {
+                    results.push(candidate);
+                    kept_for_input += 1;
+                    if keep_first {
+                        break 'chunks;
+                    }
+                }
+            }
+            if !has_more {
+                break;
+            }
+        }
+        let _ = kept_for_input;
+    }
+
+    Ok(PipeOutcome { results, calls })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_query::builder::running_example;
+    use seco_query::feasibility::analyze;
+    use seco_query::predicate::resolve_predicates;
+    use seco_services::domains::entertainment;
+    use seco_services::invocation::Request;
+    use seco_model::AttributePath;
+
+    /// Fetches the first theatre chunk and pipes it into Restaurant.
+    fn setup_theatre_inputs(
+        reg: &seco_services::ServiceRegistry,
+    ) -> Vec<CompositeTuple> {
+        let theatre = reg.service("Theatre1").unwrap();
+        let req = Request::unbound()
+            .bind(AttributePath::atomic("UAddress"), Value::text("via Golgi 42"))
+            .bind(AttributePath::atomic("UCity"), Value::text("Milano"))
+            .bind(AttributePath::atomic("UCountry"), Value::text("country-0"));
+        use seco_services::Service as _;
+        theatre
+            .fetch(&req)
+            .unwrap()
+            .tuples
+            .into_iter()
+            .map(|t| CompositeTuple::single("T", t))
+            .collect()
+    }
+
+    #[test]
+    fn pipes_theatre_addresses_into_restaurant() {
+        let reg = entertainment::build_registry(3).unwrap();
+        let query = running_example();
+        let report = analyze(&query, &reg).unwrap();
+        let joins = query.expanded_joins(&reg).unwrap();
+        let predicates = resolve_predicates(&query, &joins).unwrap();
+        let mut schemas = SchemaMap::new();
+        for a in &query.atoms {
+            schemas.insert(a.alias.clone(), &reg.interface(&a.service).unwrap().schema);
+        }
+        let inputs = setup_theatre_inputs(&reg);
+        assert_eq!(inputs.len(), 5);
+
+        let restaurant = reg.service("Restaurant1").unwrap();
+        let bindings = report.bindings_of("R");
+        // Join predicates referencing M are skipped (M not present);
+        // address equalities hold by construction of the pipe.
+        let out = pipe_join(
+            &inputs,
+            "R",
+            restaurant.as_ref(),
+            &bindings,
+            &query.inputs,
+            &predicates,
+            &schemas,
+            1,
+            true,
+        )
+        .unwrap();
+        // One call per theatre.
+        assert_eq!(out.calls, 5);
+        // keep_first: at most one restaurant per theatre; DinnerPlace
+        // selectivity keeps roughly 40% of them.
+        assert!(out.results.len() <= 5);
+        for r in &out.results {
+            assert_eq!(r.arity(), 2);
+            let t = r.component("T").unwrap();
+            let rr = r.component("R").unwrap();
+            let tschema = &reg.interface("Theatre1").unwrap().schema;
+            let rschema = &reg.interface("Restaurant1").unwrap().schema;
+            // The pipe carried the theatre address into the restaurant
+            // lookup (echoed by the service).
+            assert_eq!(
+                t.first_value_at(tschema, &AttributePath::atomic("TAddress")).unwrap(),
+                rr.first_value_at(rschema, &AttributePath::atomic("UAddress")).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn keep_first_caps_results_per_input() {
+        let reg = entertainment::build_registry(3).unwrap();
+        let query = running_example();
+        let report = analyze(&query, &reg).unwrap();
+        let predicates = Vec::new(); // no filtering: count raw results
+        let mut schemas = SchemaMap::new();
+        for a in &query.atoms {
+            schemas.insert(a.alias.clone(), &reg.interface(&a.service).unwrap().schema);
+        }
+        let inputs = setup_theatre_inputs(&reg);
+        let restaurant = reg.service("Restaurant1").unwrap();
+        let bindings = report.bindings_of("R");
+
+        let all = pipe_join(
+            &inputs, "R", restaurant.as_ref(), &bindings, &query.inputs,
+            &predicates, &schemas, 1, false,
+        )
+        .unwrap();
+        let first_only = pipe_join(
+            &inputs, "R", restaurant.as_ref(), &bindings, &query.inputs,
+            &predicates, &schemas, 1, true,
+        )
+        .unwrap();
+        assert!(first_only.results.len() <= inputs.len());
+        assert!(all.results.len() >= first_only.results.len());
+        // Non-empty restaurants return a whole chunk (5) vs 1.
+        if !first_only.results.is_empty() {
+            assert!(all.results.len() > first_only.results.len());
+        }
+    }
+
+    #[test]
+    fn fetch_factor_multiplies_calls() {
+        let reg = entertainment::build_registry(3).unwrap();
+        let query = running_example();
+        let report = analyze(&query, &reg).unwrap();
+        let mut schemas = SchemaMap::new();
+        for a in &query.atoms {
+            schemas.insert(a.alias.clone(), &reg.interface(&a.service).unwrap().schema);
+        }
+        let inputs = setup_theatre_inputs(&reg);
+        let restaurant = reg.service("Restaurant1").unwrap();
+        let bindings = report.bindings_of("R");
+        let out = pipe_join(
+            &inputs, "R", restaurant.as_ref(), &bindings, &query.inputs,
+            &[], &schemas, 3, false,
+        )
+        .unwrap();
+        // Restaurants hold 5 = one chunk, so has_more=false stops the
+        // fetch loop after one call per input; empty answers also stop
+        // after one call. Calls stay at one per input here.
+        assert_eq!(out.calls, 5);
+    }
+
+    #[test]
+    fn empty_inputs_produce_no_calls() {
+        let reg = entertainment::build_registry(3).unwrap();
+        let query = running_example();
+        let report = analyze(&query, &reg).unwrap();
+        let schemas = SchemaMap::new();
+        let restaurant = reg.service("Restaurant1").unwrap();
+        let bindings = report.bindings_of("R");
+        let out = pipe_join(
+            &[], "R", restaurant.as_ref(), &bindings, &query.inputs,
+            &[], &schemas, 1, false,
+        )
+        .unwrap();
+        assert_eq!(out.calls, 0);
+        assert!(out.results.is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! The tile space of a binary join (Fig. 4).
+//!
+//! "We can represent the chunks extracted from two services SX and SY
+//! over the axes of a Cartesian plan […]. The Cartesian plan is thus
+//! divided into rectangles with nX·nY points […]. We call *tile* t(i,j)
+//! the rectangular region that contains the points relative to chunks
+//! cXi and cYj. Two tiles are said to be *adjacent* if they have one
+//! edge in common."
+
+use std::fmt;
+
+use seco_model::ScoringFunction;
+
+/// One tile: the pairs of chunk `x` of the first service with chunk `y`
+/// of the second. Indices are 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tile {
+    /// Chunk index on the first service's axis.
+    pub x: usize,
+    /// Chunk index on the second service's axis.
+    pub y: usize,
+}
+
+impl Tile {
+    /// Creates a tile.
+    pub fn new(x: usize, y: usize) -> Self {
+        Tile { x, y }
+    }
+
+    /// Sum of the chunk indices — the diagonal the tile lies on.
+    /// Extraction-optimal methods extract adjacent tiles in
+    /// non-decreasing index-sum order (§4.1).
+    pub fn index_sum(&self) -> usize {
+        self.x + self.y
+    }
+
+    /// True when the tiles share an edge.
+    pub fn is_adjacent(&self, other: &Tile) -> bool {
+        let dx = self.x.abs_diff(other.x);
+        let dy = self.y.abs_diff(other.y);
+        dx + dy == 1
+    }
+}
+
+impl fmt::Display for Tile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t({},{})", self.x, self.y)
+    }
+}
+
+/// The (bounded) tile space of a join: `nx × ny` chunks with the two
+/// services' scoring functions, providing tile representatives and
+/// optimality references.
+#[derive(Debug, Clone)]
+pub struct TileSpace {
+    /// Number of chunks on the first axis.
+    pub nx: usize,
+    /// Number of chunks on the second axis.
+    pub ny: usize,
+    /// Scoring function of the first service.
+    pub fx: ScoringFunction,
+    /// Scoring function of the second service.
+    pub fy: ScoringFunction,
+}
+
+impl TileSpace {
+    /// Creates a tile space covering the two services' full result
+    /// lists.
+    pub fn new(fx: ScoringFunction, fy: ScoringFunction) -> Self {
+        TileSpace { nx: fx.chunk_count(), ny: fy.chunk_count(), fx, fy }
+    }
+
+    /// Total number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// True when the tile lies within the space.
+    pub fn contains(&self, t: Tile) -> bool {
+        t.x < self.nx && t.y < self.ny
+    }
+
+    /// The tile's ranking representative: the product of the two
+    /// services' scores at the *first tuple* of each chunk ("using the
+    /// ranking of the first tuple of the tile as representative for the
+    /// entire tile", §4.1).
+    pub fn representative(&self, t: Tile) -> f64 {
+        self.fx.chunk_head_score(t.x) * self.fy.chunk_head_score(t.y)
+    }
+
+    /// All tiles in decreasing representative order (ties broken by
+    /// index sum, then x) — the reference order for *global*
+    /// extraction-optimality.
+    pub fn optimal_order(&self) -> Vec<Tile> {
+        let mut tiles: Vec<Tile> = (0..self.nx)
+            .flat_map(|x| (0..self.ny).map(move |y| Tile::new(x, y)))
+            .collect();
+        tiles.sort_by(|a, b| {
+            self.representative(*b)
+                .partial_cmp(&self.representative(*a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index_sum().cmp(&b.index_sum()))
+                .then(a.x.cmp(&b.x))
+        });
+        tiles
+    }
+
+    /// The tiles available after `m` calls to the first and `n` calls
+    /// to the second service: the `m × n` rectangle ("each rectangular
+    /// region of size m·n represents the part of the search space that
+    /// can be inspected after performing m request-responses to SX and
+    /// n request-responses to SY").
+    pub fn available(&self, m: usize, n: usize) -> Vec<Tile> {
+        let m = m.min(self.nx);
+        let n = n.min(self.ny);
+        (0..m).flat_map(|x| (0..n).map(move |y| Tile::new(x, y))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_model::ScoreDecay;
+
+    fn space() -> TileSpace {
+        let fx = ScoringFunction::new(ScoreDecay::Linear, 40, 10).unwrap();
+        let fy = ScoringFunction::new(ScoreDecay::Quadratic, 30, 10).unwrap();
+        TileSpace::new(fx, fy)
+    }
+
+    #[test]
+    fn dimensions_follow_chunk_counts() {
+        let s = space();
+        assert_eq!((s.nx, s.ny), (4, 3));
+        assert_eq!(s.tile_count(), 12);
+        assert!(s.contains(Tile::new(3, 2)));
+        assert!(!s.contains(Tile::new(4, 0)));
+    }
+
+    #[test]
+    fn adjacency_is_edge_sharing() {
+        let t = Tile::new(1, 1);
+        assert!(t.is_adjacent(&Tile::new(0, 1)));
+        assert!(t.is_adjacent(&Tile::new(1, 2)));
+        assert!(!t.is_adjacent(&Tile::new(0, 0)), "diagonal tiles share no edge");
+        assert!(!t.is_adjacent(&t));
+        assert_eq!(t.index_sum(), 2);
+        assert_eq!(t.to_string(), "t(1,1)");
+    }
+
+    #[test]
+    fn representative_decreases_along_both_axes() {
+        let s = space();
+        assert!(s.representative(Tile::new(0, 0)) >= s.representative(Tile::new(1, 0)));
+        assert!(s.representative(Tile::new(0, 0)) >= s.representative(Tile::new(0, 1)));
+        assert!(s.representative(Tile::new(1, 1)) >= s.representative(Tile::new(2, 2)));
+    }
+
+    #[test]
+    fn optimal_order_starts_at_origin_and_is_monotone() {
+        let s = space();
+        let order = s.optimal_order();
+        assert_eq!(order.len(), 12);
+        assert_eq!(order[0], Tile::new(0, 0));
+        for w in order.windows(2) {
+            assert!(
+                s.representative(w[0]) >= s.representative(w[1]) - 1e-12,
+                "optimal order must be non-increasing"
+            );
+        }
+    }
+
+    #[test]
+    fn adjacent_tiles_extract_in_index_sum_order() {
+        // §4.1: "If two tiles are adjacent, then the one with smaller
+        // index sum is extracted first by extraction-optimal methods."
+        let s = space();
+        let order = s.optimal_order();
+        let pos = |t: Tile| order.iter().position(|x| *x == t).unwrap();
+        for x in 0..s.nx {
+            for y in 0..s.ny {
+                let t = Tile::new(x, y);
+                for adj in [(x + 1, y), (x, y + 1)] {
+                    let a = Tile::new(adj.0, adj.1);
+                    if s.contains(a) {
+                        assert!(pos(t) < pos(a), "{t} must precede its larger neighbour {a}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn available_is_the_m_by_n_rectangle() {
+        let s = space();
+        let avail = s.available(2, 2);
+        assert_eq!(avail.len(), 4);
+        assert!(avail.contains(&Tile::new(1, 1)));
+        // Clamped by the space bounds.
+        assert_eq!(s.available(10, 10).len(), 12);
+        assert!(s.available(0, 5).is_empty());
+    }
+}

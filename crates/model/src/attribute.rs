@@ -1,0 +1,281 @@
+//! Attributes, repeating groups, adornments, and attribute paths.
+//!
+//! §3.1: "an attribute of a service can be either an atomic attribute or
+//! a repeating group. A repeating group consists of a non-empty set of
+//! atomic sub-attributes that collectively define one property of an
+//! object." Access limitations (§2.3) are modelled by *adornments* on
+//! attributes: `I` (input — must be bound to invoke the service), `O`
+//! (output), and `R` (ranked output — the attribute the service's scoring
+//! function is computed from). The §5.6 listing of the running example's
+//! adorned interfaces is reproduced verbatim in `seco-services`.
+
+use std::fmt;
+
+/// Primitive type of an atomic attribute or sub-attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean flag.
+    Bool,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Calendar date.
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Text => "text",
+            DataType::Date => "date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Access-pattern adornment of an attribute (the binding pattern of §2.3).
+///
+/// * `Input` attributes must be bound (by a constant, an `INPUT` variable,
+///   or a join with a reachable service) before the service can be called.
+/// * `Output` attributes are produced by the service.
+/// * `Ranked` attributes are outputs that additionally carry the service's
+///   relevance order (only search services have them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Adornment {
+    /// `I` — must be bound before invocation.
+    Input,
+    /// `O` — produced by the service.
+    Output,
+    /// `R` — produced by the service and determining its ranking order.
+    Ranked,
+}
+
+impl Adornment {
+    /// True for `Output` and `Ranked`: the service produces this value.
+    pub fn is_output(&self) -> bool {
+        !matches!(self, Adornment::Input)
+    }
+
+    /// True for `Input`.
+    pub fn is_input(&self) -> bool {
+        matches!(self, Adornment::Input)
+    }
+
+    /// One-letter rendering used in adorned schema listings (`Name^O`).
+    pub fn letter(&self) -> char {
+        match self {
+            Adornment::Input => 'I',
+            Adornment::Output => 'O',
+            Adornment::Ranked => 'R',
+        }
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// A sub-attribute of a repeating group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubAttributeDef {
+    /// Sub-attribute name, unique within its group.
+    pub name: String,
+    /// Primitive type.
+    pub ty: DataType,
+    /// Access adornment.
+    pub adornment: Adornment,
+    /// Abstract semantic domain (§2.3: off-query services "provide
+    /// useful bindings for the input fields of the services in the
+    /// query with the same abstract domain"). `None` means untagged.
+    pub domain: Option<String>,
+}
+
+impl SubAttributeDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: DataType, adornment: Adornment) -> Self {
+        SubAttributeDef { name: name.into(), ty, adornment, domain: None }
+    }
+
+    /// Tags the sub-attribute with an abstract domain, builder-style.
+    pub fn with_domain(mut self, domain: impl Into<String>) -> Self {
+        self.domain = Some(domain.into());
+        self
+    }
+}
+
+/// Shape of an attribute: atomic (single value) or a repeating group
+/// (multi-valued set of sub-attribute tuples).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttributeKind {
+    /// Single-valued attribute of the given type.
+    Atomic(DataType),
+    /// Multi-valued repeating group over the given sub-attributes.
+    Group(Vec<SubAttributeDef>),
+}
+
+/// A top-level attribute of a service schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeDef {
+    /// Attribute (or group) name, unique within the schema.
+    pub name: String,
+    /// Atomic type or repeating-group shape.
+    pub kind: AttributeKind,
+    /// Adornment. For a group this is the adornment applied to the whole
+    /// group when none of its sub-attributes override it; the chapter's
+    /// schemas adorn sub-attributes individually, which
+    /// [`SubAttributeDef::adornment`] captures.
+    pub adornment: Adornment,
+    /// Abstract semantic domain of an atomic attribute (see
+    /// [`SubAttributeDef::domain`]).
+    pub domain: Option<String>,
+}
+
+impl AttributeDef {
+    /// Builds an atomic attribute.
+    pub fn atomic(name: impl Into<String>, ty: DataType, adornment: Adornment) -> Self {
+        AttributeDef { name: name.into(), kind: AttributeKind::Atomic(ty), adornment, domain: None }
+    }
+
+    /// Builds a repeating group. The group-level adornment is set to
+    /// `Output`; callers adorn sub-attributes individually.
+    pub fn group(name: impl Into<String>, subs: Vec<SubAttributeDef>) -> Self {
+        debug_assert!(!subs.is_empty(), "repeating groups are non-empty by definition");
+        AttributeDef {
+            name: name.into(),
+            kind: AttributeKind::Group(subs),
+            adornment: Adornment::Output,
+            domain: None,
+        }
+    }
+
+    /// Tags an atomic attribute with an abstract domain, builder-style.
+    pub fn with_domain(mut self, domain: impl Into<String>) -> Self {
+        self.domain = Some(domain.into());
+        self
+    }
+
+    /// True if this attribute is a repeating group.
+    pub fn is_group(&self) -> bool {
+        matches!(self.kind, AttributeKind::Group(_))
+    }
+
+    /// Sub-attributes, if this is a group.
+    pub fn sub_attributes(&self) -> Option<&[SubAttributeDef]> {
+        match &self.kind {
+            AttributeKind::Group(subs) => Some(subs),
+            AttributeKind::Atomic(_) => None,
+        }
+    }
+}
+
+/// A (possibly sub-)attribute reference: `A` or `R.A` in the notation of
+/// §3.1 (service prefixes are handled one level up, in the query AST).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttributePath {
+    /// The top-level attribute (or repeating-group) name.
+    pub attr: String,
+    /// For repeating groups, the addressed sub-attribute.
+    pub sub: Option<String>,
+}
+
+impl AttributePath {
+    /// Path to an atomic attribute `A`.
+    pub fn atomic(attr: impl Into<String>) -> Self {
+        AttributePath { attr: attr.into(), sub: None }
+    }
+
+    /// Path to a sub-attribute `R.A` of a repeating group.
+    pub fn sub(group: impl Into<String>, sub: impl Into<String>) -> Self {
+        AttributePath { attr: group.into(), sub: Some(sub.into()) }
+    }
+
+    /// Parses `"A"` or `"R.A"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.split('.');
+        let attr = parts.next()?.trim();
+        if attr.is_empty() {
+            return None;
+        }
+        match (parts.next(), parts.next()) {
+            (None, _) => Some(AttributePath::atomic(attr)),
+            (Some(sub), None) if !sub.trim().is_empty() => Some(AttributePath::sub(attr, sub.trim())),
+            _ => None,
+        }
+    }
+
+    /// True when the path addresses a sub-attribute of a repeating group.
+    pub fn is_sub(&self) -> bool {
+        self.sub.is_some()
+    }
+}
+
+impl fmt::Display for AttributePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.sub {
+            Some(sub) => write!(f, "{}.{}", self.attr, sub),
+            None => f.write_str(&self.attr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adornment_classification() {
+        assert!(Adornment::Input.is_input());
+        assert!(!Adornment::Input.is_output());
+        assert!(Adornment::Output.is_output());
+        assert!(Adornment::Ranked.is_output());
+        assert_eq!(Adornment::Ranked.letter(), 'R');
+    }
+
+    #[test]
+    fn attribute_constructors() {
+        let a = AttributeDef::atomic("Title", DataType::Text, Adornment::Output);
+        assert!(!a.is_group());
+        assert!(a.sub_attributes().is_none());
+
+        let g = AttributeDef::group(
+            "Openings",
+            vec![
+                SubAttributeDef::new("Country", DataType::Text, Adornment::Input),
+                SubAttributeDef::new("Date", DataType::Date, Adornment::Input),
+            ],
+        );
+        assert!(g.is_group());
+        assert_eq!(g.sub_attributes().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn path_parse_and_display() {
+        let p = AttributePath::parse("Title").unwrap();
+        assert_eq!(p, AttributePath::atomic("Title"));
+        assert_eq!(p.to_string(), "Title");
+        assert!(!p.is_sub());
+
+        let p = AttributePath::parse("Genres.Genre").unwrap();
+        assert_eq!(p, AttributePath::sub("Genres", "Genre"));
+        assert_eq!(p.to_string(), "Genres.Genre");
+        assert!(p.is_sub());
+
+        assert!(AttributePath::parse("").is_none());
+        assert!(AttributePath::parse("a.b.c").is_none());
+        assert!(AttributePath::parse("a.").is_none());
+    }
+
+    #[test]
+    fn datatype_display() {
+        assert_eq!(DataType::Text.to_string(), "text");
+        assert_eq!(DataType::Date.to_string(), "date");
+    }
+}

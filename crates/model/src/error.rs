@@ -1,0 +1,105 @@
+//! Error type shared by the model layer.
+
+use std::fmt;
+
+/// Errors raised while building or interrogating model objects.
+///
+/// The model layer is the bottom of the workspace dependency graph, so
+/// this type is intentionally small; higher layers wrap it into their own
+/// error enums (`QueryError`, `PlanError`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An attribute (or sub-attribute) name was not found in a schema.
+    UnknownAttribute {
+        /// Service or schema name the lookup ran against.
+        service: String,
+        /// Dotted attribute path that failed to resolve.
+        attribute: String,
+    },
+    /// A path such as `R.A` addressed an atomic attribute as a group, or
+    /// vice versa.
+    KindMismatch {
+        /// Dotted attribute path that was addressed with the wrong shape.
+        attribute: String,
+        /// Human-readable description of the expected shape.
+        expected: &'static str,
+    },
+    /// A tuple did not conform to the schema it was validated against.
+    SchemaViolation {
+        /// Schema (service) name.
+        service: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Two values of incomparable types were compared.
+    IncomparableValues {
+        /// Rendering of the left operand.
+        left: String,
+        /// Rendering of the right operand.
+        right: String,
+    },
+    /// An identifier (mart, interface, connection pattern) was registered twice.
+    DuplicateName(String),
+    /// An identifier was looked up but never registered.
+    UnknownName(String),
+    /// A numeric parameter was outside its admissible range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownAttribute { service, attribute } => {
+                write!(f, "unknown attribute `{attribute}` on service `{service}`")
+            }
+            ModelError::KindMismatch { attribute, expected } => {
+                write!(f, "attribute `{attribute}` has the wrong kind: expected {expected}")
+            }
+            ModelError::SchemaViolation { service, detail } => {
+                write!(f, "tuple violates schema of `{service}`: {detail}")
+            }
+            ModelError::IncomparableValues { left, right } => {
+                write!(f, "cannot compare values {left} and {right}")
+            }
+            ModelError::DuplicateName(name) => write!(f, "duplicate name `{name}`"),
+            ModelError::UnknownName(name) => write!(f, "unknown name `{name}`"),
+            ModelError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter `{name}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = ModelError::UnknownAttribute {
+            service: "Movie".into(),
+            attribute: "Genres.Genre".into(),
+        };
+        assert!(e.to_string().contains("Genres.Genre"));
+        assert!(e.to_string().contains("Movie"));
+
+        let e = ModelError::KindMismatch { attribute: "Title".into(), expected: "repeating group" };
+        assert!(e.to_string().contains("repeating group"));
+
+        let e = ModelError::IncomparableValues { left: "1".into(), right: "\"x\"".into() };
+        assert!(e.to_string().contains("cannot compare"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ModelError>();
+    }
+}

@@ -1,0 +1,395 @@
+//! Service marts, service interfaces, and connection patterns.
+//!
+//! A **service mart** is the conceptual description of an information
+//! source (Chapter 9 of the book); each mart is implemented by one or
+//! more **service interfaces**, concrete access patterns with adorned
+//! schemas, statistics, and a scoring class. **Connection patterns** are
+//! named, pre-declared join predicates between marts (e.g. `Shows(M,T)`,
+//! `DinnerPlace(T,R)` in the running example), which queries may mention
+//! instead of spelling out their join conditions.
+
+use std::fmt;
+
+use crate::attribute::AttributePath;
+use crate::error::ModelError;
+use crate::schema::ServiceSchema;
+use crate::scoring::ScoreDecay;
+use crate::stats::ServiceStats;
+use crate::value::Comparator;
+
+/// Whether a service behaves relationally or as a ranked search source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceKind {
+    /// "Relational" behaviour: a single answer or a set of unranked
+    /// answers. May or may not be chunked.
+    Exact {
+        /// Whether result delivery is chunked.
+        chunked: bool,
+    },
+    /// Ranked answers in relevance order; always proliferative and
+    /// chunked (§3.2).
+    Search,
+}
+
+impl ServiceKind {
+    /// True for search services.
+    pub fn is_search(&self) -> bool {
+        matches!(self, ServiceKind::Search)
+    }
+
+    /// True when result delivery is chunked (all search services, and
+    /// exact services declared chunked).
+    pub fn is_chunked(&self) -> bool {
+        match self {
+            ServiceKind::Exact { chunked } => *chunked,
+            ServiceKind::Search => true,
+        }
+    }
+}
+
+/// Per-attribute statistics: the number of distinct values an attribute
+/// draws from, used to estimate equality-predicate selectivity
+/// (`1 / distinct`). §3.2: annotation numbers "can be computed from
+/// service interface statistics, under suitable independence and value
+/// distribution assumptions".
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttributeHints(Vec<(AttributePath, u64)>);
+
+impl AttributeHints {
+    /// No hints.
+    pub fn none() -> Self {
+        AttributeHints(Vec::new())
+    }
+
+    /// Adds a distinct-count hint, builder-style.
+    pub fn with(mut self, path: AttributePath, distinct: u64) -> Self {
+        self.0.push((path, distinct.max(1)));
+        self
+    }
+
+    /// Estimated selectivity of an equality predicate on `path`, if
+    /// known.
+    pub fn eq_selectivity(&self, path: &AttributePath) -> Option<f64> {
+        self.0.iter().find(|(p, _)| p == path).map(|(_, d)| 1.0 / *d as f64)
+    }
+}
+
+/// A concrete, invocable access pattern of a service mart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceInterface {
+    /// Unique interface name, e.g. `Movie1` (marts may expose several
+    /// interfaces: `Movie1`, `Movie2`, …).
+    pub name: String,
+    /// Name of the mart this interface implements.
+    pub mart: String,
+    /// Adorned schema (access pattern).
+    pub schema: ServiceSchema,
+    /// Exact vs. search behaviour.
+    pub kind: ServiceKind,
+    /// Cost-model statistics.
+    pub stats: ServiceStats,
+    /// Scoring-function class. Exact services use
+    /// [`ScoreDecay::Constant`]; search services use step or progressive
+    /// decays (§4.1).
+    pub decay: ScoreDecay,
+    /// Per-attribute distinct-count hints for selectivity estimation.
+    pub hints: AttributeHints,
+}
+
+impl ServiceInterface {
+    /// Builds an interface, enforcing the chapter's invariants:
+    /// search services must have a `Ranked` attribute and a non-constant
+    /// decay; exact services must not declare a step/progressive decay.
+    pub fn new(
+        name: impl Into<String>,
+        mart: impl Into<String>,
+        schema: ServiceSchema,
+        kind: ServiceKind,
+        stats: ServiceStats,
+        decay: ScoreDecay,
+    ) -> Result<Self, ModelError> {
+        decay.validate()?;
+        let name = name.into();
+        match kind {
+            ServiceKind::Search => {
+                if schema.ranked_path().is_none() {
+                    return Err(ModelError::SchemaViolation {
+                        service: name,
+                        detail: "search services must expose a Ranked attribute".into(),
+                    });
+                }
+                if matches!(decay, ScoreDecay::Constant(_)) {
+                    return Err(ModelError::InvalidParameter {
+                        name: "decay",
+                        detail: "search services need a non-constant scoring function".into(),
+                    });
+                }
+            }
+            ServiceKind::Exact { .. } => {
+                if !matches!(decay, ScoreDecay::Constant(_)) {
+                    return Err(ModelError::InvalidParameter {
+                        name: "decay",
+                        detail: "exact services are unranked; use ScoreDecay::Constant".into(),
+                    });
+                }
+            }
+        }
+        Ok(ServiceInterface { name, mart: mart.into(), schema, kind, stats, decay, hints: AttributeHints::none() })
+    }
+
+    /// Adds a distinct-count hint for an attribute, builder-style.
+    pub fn with_hint(mut self, path: AttributePath, distinct: u64) -> Self {
+        self.hints = std::mem::take(&mut self.hints).with(path, distinct);
+        self
+    }
+
+    /// Number of input attributes of the access pattern — the quantity
+    /// the Phase-1 heuristics *bound-is-better* / *unbound-is-easier*
+    /// rank interfaces by (§5.3).
+    pub fn input_arity(&self) -> usize {
+        self.schema.input_paths().len()
+    }
+
+    /// True if the service is proliferative (expected to produce at
+    /// least one output tuple per input tuple). Search services are
+    /// always proliferative (§3.2).
+    pub fn is_proliferative(&self) -> bool {
+        self.kind.is_search() || !self.stats.is_selective()
+    }
+}
+
+impl fmt::Display for ServiceInterface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            ServiceKind::Exact { chunked: true } => "exact/chunked",
+            ServiceKind::Exact { chunked: false } => "exact",
+            ServiceKind::Search => "search",
+        };
+        write!(f, "{} [{kind}, {}] {}", self.name, self.decay, self.schema)
+    }
+}
+
+/// A service mart: the conceptual source plus the names of its
+/// registered interfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMart {
+    /// Mart name, e.g. `Movie`.
+    pub name: String,
+    /// Names of registered [`ServiceInterface`]s implementing this mart.
+    pub interfaces: Vec<String>,
+}
+
+impl ServiceMart {
+    /// Creates an empty mart.
+    pub fn new(name: impl Into<String>) -> Self {
+        ServiceMart { name: name.into(), interfaces: Vec::new() }
+    }
+}
+
+/// One attribute pair of a connection pattern, joined with a comparator
+/// (almost always equality in the chapter's examples).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPair {
+    /// Attribute path on the *from* mart.
+    pub from: AttributePath,
+    /// Attribute path on the *to* mart.
+    pub to: AttributePath,
+    /// Comparator relating them.
+    pub op: Comparator,
+}
+
+impl JoinPair {
+    /// Equality pair, the common case.
+    pub fn eq(from: AttributePath, to: AttributePath) -> Self {
+        JoinPair { from, to, op: Comparator::Eq }
+    }
+}
+
+/// A named, pre-declared join between two marts, e.g.
+/// `Shows(Movie, Theatre): M.Title = T.Title`.
+///
+/// `selectivity` is the estimated probability that a random pair of
+/// tuples from the two marts satisfies the pattern — §5.6 estimates
+/// `Shows` at 2% and `DinnerPlace` at 40%.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionPattern {
+    /// Pattern name, e.g. `Shows`.
+    pub name: String,
+    /// Mart on the first position.
+    pub from_mart: String,
+    /// Mart on the second position.
+    pub to_mart: String,
+    /// The join pairs the pattern stands for.
+    pub pairs: Vec<JoinPair>,
+    /// Estimated join selectivity in `[0, 1]`.
+    pub selectivity: f64,
+}
+
+impl ConnectionPattern {
+    /// Builds and validates a connection pattern.
+    pub fn new(
+        name: impl Into<String>,
+        from_mart: impl Into<String>,
+        to_mart: impl Into<String>,
+        pairs: Vec<JoinPair>,
+        selectivity: f64,
+    ) -> Result<Self, ModelError> {
+        if pairs.is_empty() {
+            return Err(ModelError::InvalidParameter {
+                name: "pairs",
+                detail: "a connection pattern needs at least one join pair".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&selectivity) {
+            return Err(ModelError::InvalidParameter {
+                name: "selectivity",
+                detail: format!("must be in [0,1], got {selectivity}"),
+            });
+        }
+        Ok(ConnectionPattern {
+            name: name.into(),
+            from_mart: from_mart.into(),
+            to_mart: to_mart.into(),
+            pairs,
+            selectivity,
+        })
+    }
+}
+
+impl fmt::Display for ConnectionPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}, {}): ", self.name, self.from_mart, self.to_mart)?;
+        for (i, p) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " and ")?;
+            }
+            write!(f, "{} {} {}", p.from, p.op, p.to)?;
+        }
+        write!(f, " [sel={:.3}]", self.selectivity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{Adornment, AttributeDef, DataType};
+
+    fn ranked_schema() -> ServiceSchema {
+        ServiceSchema::new(
+            "S1",
+            vec![
+                AttributeDef::atomic("K", DataType::Text, Adornment::Input),
+                AttributeDef::atomic("V", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("Rank", DataType::Float, Adornment::Ranked),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn unranked_schema() -> ServiceSchema {
+        ServiceSchema::new(
+            "S1",
+            vec![
+                AttributeDef::atomic("K", DataType::Text, Adornment::Input),
+                AttributeDef::atomic("V", DataType::Text, Adornment::Output),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn search_service_requires_ranked_attribute() {
+        let err = ServiceInterface::new(
+            "S1",
+            "S",
+            unranked_schema(),
+            ServiceKind::Search,
+            ServiceStats::default(),
+            ScoreDecay::Linear,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::SchemaViolation { .. }));
+    }
+
+    #[test]
+    fn search_service_rejects_constant_decay() {
+        let err = ServiceInterface::new(
+            "S1",
+            "S",
+            ranked_schema(),
+            ServiceKind::Search,
+            ServiceStats::default(),
+            ScoreDecay::Constant(1.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn exact_service_rejects_decaying_score() {
+        let err = ServiceInterface::new(
+            "S1",
+            "S",
+            unranked_schema(),
+            ServiceKind::Exact { chunked: false },
+            ServiceStats::default(),
+            ScoreDecay::Linear,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(ServiceKind::Search.is_search());
+        assert!(ServiceKind::Search.is_chunked());
+        assert!(!ServiceKind::Exact { chunked: false }.is_search());
+        assert!(ServiceKind::Exact { chunked: true }.is_chunked());
+        assert!(!ServiceKind::Exact { chunked: false }.is_chunked());
+    }
+
+    #[test]
+    fn proliferative_classification() {
+        let search = ServiceInterface::new(
+            "S1",
+            "S",
+            ranked_schema(),
+            ServiceKind::Search,
+            ServiceStats::new(0.5, 10, 1.0, 1.0).unwrap(),
+            ScoreDecay::Linear,
+        )
+        .unwrap();
+        // Search services are proliferative regardless of cardinality.
+        assert!(search.is_proliferative());
+
+        let selective = ServiceInterface::new(
+            "E1",
+            "E",
+            unranked_schema(),
+            ServiceKind::Exact { chunked: false },
+            ServiceStats::new(0.5, 10, 1.0, 1.0).unwrap(),
+            ScoreDecay::Constant(0.0),
+        )
+        .unwrap();
+        assert!(!selective.is_proliferative());
+        assert_eq!(selective.input_arity(), 1);
+    }
+
+    #[test]
+    fn connection_pattern_validation_and_display() {
+        assert!(ConnectionPattern::new("P", "A", "B", vec![], 0.5).is_err());
+        let p = ConnectionPattern::new(
+            "Shows",
+            "Movie",
+            "Theatre",
+            vec![JoinPair::eq(AttributePath::atomic("Title"), AttributePath::sub("Movie", "Title"))],
+            0.02,
+        )
+        .unwrap();
+        let txt = p.to_string();
+        assert!(txt.contains("Shows(Movie, Theatre)"));
+        assert!(txt.contains("Title = Movie.Title"));
+        assert!(ConnectionPattern::new("P", "A", "B",
+            vec![JoinPair::eq(AttributePath::atomic("X"), AttributePath::atomic("Y"))], 1.5).is_err());
+    }
+}

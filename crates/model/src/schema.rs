@@ -1,0 +1,419 @@
+//! Service schemas: ordered attribute lists with adornments.
+
+use std::fmt;
+
+use crate::attribute::{Adornment, AttributeDef, AttributeKind, AttributePath, DataType};
+use crate::error::ModelError;
+use crate::tuple::Tuple;
+
+/// The schema of a service interface: an ordered list of attributes
+/// (atomic and repeating groups), each adorned with its access pattern.
+///
+/// Attribute order matters: tuples ([`Tuple`]) store their values
+/// positionally, aligned with this schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSchema {
+    /// Service (interface) name this schema belongs to.
+    pub name: String,
+    /// Ordered attribute definitions.
+    pub attributes: Vec<AttributeDef>,
+}
+
+impl ServiceSchema {
+    /// Creates a schema; attribute names (and sub-attribute names within
+    /// each group) must be unique.
+    pub fn new(name: impl Into<String>, attributes: Vec<AttributeDef>) -> Result<Self, ModelError> {
+        let name = name.into();
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(ModelError::DuplicateName(format!("{name}.{}", a.name)));
+            }
+            if let AttributeKind::Group(subs) = &a.kind {
+                for (j, s) in subs.iter().enumerate() {
+                    if subs[..j].iter().any(|t| t.name == s.name) {
+                        return Err(ModelError::DuplicateName(format!("{name}.{}.{}", a.name, s.name)));
+                    }
+                }
+            }
+        }
+        Ok(ServiceSchema { name, attributes })
+    }
+
+    /// Index of a top-level attribute by name.
+    pub fn attr_index(&self, attr: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == attr)
+    }
+
+    /// Looks up a top-level attribute definition by name.
+    pub fn attribute(&self, attr: &str) -> Option<&AttributeDef> {
+        self.attributes.iter().find(|a| a.name == attr)
+    }
+
+    /// Resolves a path to `(attribute index, optional sub index)`,
+    /// checking shape: a `sub` path must address a group, a bare path must
+    /// address an atomic attribute.
+    pub fn resolve(&self, path: &AttributePath) -> Result<(usize, Option<usize>), ModelError> {
+        let idx = self.attr_index(&path.attr).ok_or_else(|| ModelError::UnknownAttribute {
+            service: self.name.clone(),
+            attribute: path.to_string(),
+        })?;
+        let def = &self.attributes[idx];
+        match (&def.kind, &path.sub) {
+            (AttributeKind::Atomic(_), None) => Ok((idx, None)),
+            (AttributeKind::Group(subs), Some(sub)) => {
+                let sidx = subs.iter().position(|s| &s.name == sub).ok_or_else(|| {
+                    ModelError::UnknownAttribute {
+                        service: self.name.clone(),
+                        attribute: path.to_string(),
+                    }
+                })?;
+                Ok((idx, Some(sidx)))
+            }
+            (AttributeKind::Atomic(_), Some(_)) => Err(ModelError::KindMismatch {
+                attribute: path.to_string(),
+                expected: "repeating group (path has a sub-attribute)",
+            }),
+            (AttributeKind::Group(_), None) => Err(ModelError::KindMismatch {
+                attribute: path.to_string(),
+                expected: "atomic attribute (path has no sub-attribute)",
+            }),
+        }
+    }
+
+    /// The primitive type a path resolves to.
+    pub fn type_of(&self, path: &AttributePath) -> Result<DataType, ModelError> {
+        let (idx, sidx) = self.resolve(path)?;
+        Ok(match (&self.attributes[idx].kind, sidx) {
+            (AttributeKind::Atomic(ty), None) => *ty,
+            (AttributeKind::Group(subs), Some(s)) => subs[s].ty,
+            _ => unreachable!("resolve() validated the shape"),
+        })
+    }
+
+    /// The abstract semantic domain a path is tagged with, if any.
+    pub fn domain_of(&self, path: &AttributePath) -> Result<Option<&str>, ModelError> {
+        let (idx, sidx) = self.resolve(path)?;
+        Ok(match (&self.attributes[idx].kind, sidx) {
+            (AttributeKind::Atomic(_), None) => self.attributes[idx].domain.as_deref(),
+            (AttributeKind::Group(subs), Some(s)) => subs[s].domain.as_deref(),
+            _ => unreachable!("resolve() validated the shape"),
+        })
+    }
+
+    /// The adornment a path resolves to (sub-attribute adornment for
+    /// group paths).
+    pub fn adornment_of(&self, path: &AttributePath) -> Result<Adornment, ModelError> {
+        let (idx, sidx) = self.resolve(path)?;
+        Ok(match (&self.attributes[idx].kind, sidx) {
+            (AttributeKind::Atomic(_), None) => self.attributes[idx].adornment,
+            (AttributeKind::Group(subs), Some(s)) => subs[s].adornment,
+            _ => unreachable!("resolve() validated the shape"),
+        })
+    }
+
+    /// All paths adorned as `Input` — the fields that must be bound to
+    /// make the service reachable (§3.1's feasibility definition).
+    pub fn input_paths(&self) -> Vec<AttributePath> {
+        let mut out = Vec::new();
+        for a in &self.attributes {
+            match &a.kind {
+                AttributeKind::Atomic(_) => {
+                    if a.adornment.is_input() {
+                        out.push(AttributePath::atomic(a.name.clone()));
+                    }
+                }
+                AttributeKind::Group(subs) => {
+                    for s in subs {
+                        if s.adornment.is_input() {
+                            out.push(AttributePath::sub(a.name.clone(), s.name.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All paths adorned as `Output` or `Ranked`.
+    pub fn output_paths(&self) -> Vec<AttributePath> {
+        let mut out = Vec::new();
+        for a in &self.attributes {
+            match &a.kind {
+                AttributeKind::Atomic(_) => {
+                    if a.adornment.is_output() {
+                        out.push(AttributePath::atomic(a.name.clone()));
+                    }
+                }
+                AttributeKind::Group(subs) => {
+                    for s in subs {
+                        if s.adornment.is_output() {
+                            out.push(AttributePath::sub(a.name.clone(), s.name.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `Ranked` attribute path, if any (search services have one).
+    pub fn ranked_path(&self) -> Option<AttributePath> {
+        for a in &self.attributes {
+            match &a.kind {
+                AttributeKind::Atomic(_) if a.adornment == Adornment::Ranked => {
+                    return Some(AttributePath::atomic(a.name.clone()));
+                }
+                AttributeKind::Group(subs) => {
+                    if let Some(s) = subs.iter().find(|s| s.adornment == Adornment::Ranked) {
+                        return Some(AttributePath::sub(a.name.clone(), s.name.clone()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Validates that a tuple structurally conforms to this schema:
+    /// correct arity for atomic fields and groups, group rows with the
+    /// right width, and values of the declared types (or `Null`).
+    pub fn validate(&self, tuple: &Tuple) -> Result<(), ModelError> {
+        let violation = |detail: String| ModelError::SchemaViolation {
+            service: self.name.clone(),
+            detail,
+        };
+        if tuple.fields.len() != self.attributes.len() {
+            return Err(violation(format!(
+                "expected {} attribute slots, found {}",
+                self.attributes.len(),
+                tuple.fields.len()
+            )));
+        }
+        for (def, slot) in self.attributes.iter().zip(&tuple.fields) {
+            match (&def.kind, slot) {
+                (AttributeKind::Atomic(ty), crate::tuple::FieldSlot::Atomic(v)) => {
+                    if !v.is_null() && !type_matches(*ty, v) {
+                        return Err(violation(format!(
+                            "attribute `{}` expects {ty}, found {}",
+                            def.name,
+                            v.type_name()
+                        )));
+                    }
+                }
+                (AttributeKind::Group(subs), crate::tuple::FieldSlot::Group(rows)) => {
+                    for row in rows {
+                        if row.values.len() != subs.len() {
+                            return Err(violation(format!(
+                                "group `{}` rows must have {} values, found {}",
+                                def.name,
+                                subs.len(),
+                                row.values.len()
+                            )));
+                        }
+                        for (sdef, v) in subs.iter().zip(&row.values) {
+                            if !v.is_null() && !type_matches(sdef.ty, v) {
+                                return Err(violation(format!(
+                                    "sub-attribute `{}.{}` expects {}, found {}",
+                                    def.name,
+                                    sdef.name,
+                                    sdef.ty,
+                                    v.type_name()
+                                )));
+                            }
+                        }
+                    }
+                }
+                (AttributeKind::Atomic(_), crate::tuple::FieldSlot::Group(_)) => {
+                    return Err(violation(format!("attribute `{}` is atomic but slot holds a group", def.name)));
+                }
+                (AttributeKind::Group(_), crate::tuple::FieldSlot::Atomic(_)) => {
+                    return Err(violation(format!("attribute `{}` is a group but slot holds an atomic value", def.name)));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn type_matches(ty: DataType, v: &crate::value::Value) -> bool {
+    use crate::value::Value;
+    matches!(
+        (ty, v),
+        (DataType::Bool, Value::Bool(_))
+            | (DataType::Int, Value::Int(_))
+            | (DataType::Float, Value::Float(_))
+            | (DataType::Float, Value::Int(_))
+            | (DataType::Text, Value::Text(_))
+            | (DataType::Date, Value::Date(_))
+    )
+}
+
+impl fmt::Display for ServiceSchema {
+    /// Renders the adorned listing format of §5.6, e.g.
+    /// `Movie1(Title^O, ..., Genres.Genre^I, ...)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        let mut first = true;
+        for a in &self.attributes {
+            match &a.kind {
+                AttributeKind::Atomic(_) => {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    first = false;
+                    write!(f, "{}^{}", a.name, a.adornment)?;
+                }
+                AttributeKind::Group(subs) => {
+                    for s in subs {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        first = false;
+                        write!(f, "{}.{}^{}", a.name, s.name, s.adornment)?;
+                    }
+                }
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::SubAttributeDef;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+
+    fn movie_schema() -> ServiceSchema {
+        ServiceSchema::new(
+            "Movie1",
+            vec![
+                AttributeDef::atomic("Title", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+                AttributeDef::group(
+                    "Genres",
+                    vec![SubAttributeDef::new("Genre", DataType::Text, Adornment::Input)],
+                ),
+                AttributeDef::group(
+                    "Openings",
+                    vec![
+                        SubAttributeDef::new("Country", DataType::Text, Adornment::Input),
+                        SubAttributeDef::new("Date", DataType::Date, Adornment::Input),
+                    ],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = ServiceSchema::new(
+            "S",
+            vec![
+                AttributeDef::atomic("A", DataType::Int, Adornment::Output),
+                AttributeDef::atomic("A", DataType::Int, Adornment::Output),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn duplicate_sub_attribute_rejected() {
+        let err = ServiceSchema::new(
+            "S",
+            vec![AttributeDef::group(
+                "G",
+                vec![
+                    SubAttributeDef::new("X", DataType::Int, Adornment::Output),
+                    SubAttributeDef::new("X", DataType::Int, Adornment::Output),
+                ],
+            )],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn resolve_paths() {
+        let s = movie_schema();
+        assert_eq!(s.resolve(&AttributePath::atomic("Title")).unwrap(), (0, None));
+        assert_eq!(s.resolve(&AttributePath::sub("Genres", "Genre")).unwrap(), (2, Some(0)));
+        assert_eq!(s.resolve(&AttributePath::sub("Openings", "Date")).unwrap(), (3, Some(1)));
+        assert!(s.resolve(&AttributePath::atomic("Nope")).is_err());
+        assert!(s.resolve(&AttributePath::sub("Title", "X")).is_err());
+        assert!(s.resolve(&AttributePath::atomic("Genres")).is_err());
+        assert!(s.resolve(&AttributePath::sub("Genres", "Nope")).is_err());
+    }
+
+    #[test]
+    fn input_output_and_ranked_paths() {
+        let s = movie_schema();
+        let inputs = s.input_paths();
+        assert_eq!(
+            inputs,
+            vec![
+                AttributePath::sub("Genres", "Genre"),
+                AttributePath::sub("Openings", "Country"),
+                AttributePath::sub("Openings", "Date"),
+            ]
+        );
+        let outputs = s.output_paths();
+        assert!(outputs.contains(&AttributePath::atomic("Title")));
+        assert!(outputs.contains(&AttributePath::atomic("Score")));
+        assert_eq!(s.ranked_path(), Some(AttributePath::atomic("Score")));
+    }
+
+    #[test]
+    fn type_of_and_adornment_of() {
+        let s = movie_schema();
+        assert_eq!(s.type_of(&AttributePath::sub("Openings", "Date")).unwrap(), DataType::Date);
+        assert_eq!(s.adornment_of(&AttributePath::atomic("Score")).unwrap(), Adornment::Ranked);
+        assert_eq!(
+            s.adornment_of(&AttributePath::sub("Genres", "Genre")).unwrap(),
+            Adornment::Input
+        );
+    }
+
+    #[test]
+    fn validate_accepts_conforming_tuple() {
+        let s = movie_schema();
+        let t = Tuple::builder(&s)
+            .set("Title", Value::text("Up"))
+            .set("Score", Value::float(0.9))
+            .push_group_row("Genres", vec![Value::text("Animation")])
+            .push_group_row("Openings", vec![Value::text("Italy"), Value::Date(crate::value::Date::new(2009, 10, 15))])
+            .build()
+            .unwrap();
+        assert!(s.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_group_width() {
+        let s = movie_schema();
+        let t = Tuple::builder(&s)
+            .set("Title", Value::text("Up"))
+            .push_group_row("Openings", vec![Value::text("Italy")])
+            .build();
+        assert!(t.is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_type() {
+        let s = movie_schema();
+        let t = Tuple::builder(&s).set("Title", Value::Int(3)).build();
+        assert!(t.is_err());
+    }
+
+    #[test]
+    fn display_renders_adorned_listing() {
+        let s = movie_schema();
+        let txt = s.to_string();
+        assert!(txt.starts_with("Movie1(Title^O"));
+        assert!(txt.contains("Score^R"));
+        assert!(txt.contains("Genres.Genre^I"));
+        assert!(txt.contains("Openings.Date^I"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Scoring functions: step vs. progressive decay (§4.1).
+//!
+//! The chapter classifies search services by the way their ranking
+//! decreases from values close to 1 down to values close to 0:
+//!
+//! 1. **Step scoring** — "by performing a limited number `h` of
+//!    request-responses, most of the relevant entries will be retrieved,
+//!    because the entry scores decrease with a deep step after `h`
+//!    request-responses"; `h` is a parameter of the service.
+//! 2. **Progressive scoring** — "the scoring function decreases
+//!    progressively, with no step", e.g. linear or square distributions.
+//!
+//! The optimizer only needs the *class* and its parameters; the service
+//! substrate uses the same object to generate concrete scores so the
+//! optimizer's assumptions and the simulated reality agree by
+//! construction (the experiments then perturb them to measure
+//! robustness).
+
+use std::fmt;
+
+use crate::error::ModelError;
+
+/// Decay shape of a search service's scoring function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoreDecay {
+    /// Scores stay near `high` for the first `h` *chunks* worth of
+    /// results, then drop to `low`. `h` is expressed in chunks, matching
+    /// §4.3.1 ("extracting all the `h` chunks corresponding to the high
+    /// ranking values").
+    Step {
+        /// Number of chunks before the drop.
+        h: usize,
+        /// Score plateau before the drop (close to 1).
+        high: f64,
+        /// Score plateau after the drop (close to 0).
+        low: f64,
+    },
+    /// Linear decay from 1 at rank 0 to ~0 at the last result.
+    Linear,
+    /// Quadratic ("square value distribution"): decays as `(1 - x)^2`,
+    /// i.e. fast at the top and flat near the tail.
+    Quadratic,
+    /// Exponential decay `exp(-lambda * x)` over normalised rank `x`.
+    Exponential {
+        /// Decay rate; larger = steeper.
+        lambda: f64,
+    },
+    /// Constant score — the convention for unranked (exact) services,
+    /// whose scoring function "is a fixed constant" (§3.1).
+    Constant(f64),
+}
+
+impl ScoreDecay {
+    /// Validates parameters (plateaus in `[0,1]`, `high > low`,
+    /// `lambda > 0`).
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match *self {
+            ScoreDecay::Step { h, high, low } => {
+                if !(0.0..=1.0).contains(&high) || !(0.0..=1.0).contains(&low) || high <= low {
+                    return Err(ModelError::InvalidParameter {
+                        name: "step plateaus",
+                        detail: format!("need 0 <= low < high <= 1, got low={low}, high={high}"),
+                    });
+                }
+                if h == 0 {
+                    return Err(ModelError::InvalidParameter {
+                        name: "h",
+                        detail: "step position must be at least one chunk".into(),
+                    });
+                }
+                Ok(())
+            }
+            ScoreDecay::Exponential { lambda } => {
+                if lambda <= 0.0 {
+                    return Err(ModelError::InvalidParameter {
+                        name: "lambda",
+                        detail: format!("must be positive, got {lambda}"),
+                    });
+                }
+                Ok(())
+            }
+            ScoreDecay::Constant(c) => {
+                if !(0.0..=1.0).contains(&c) {
+                    return Err(ModelError::InvalidParameter {
+                        name: "constant score",
+                        detail: format!("must be in [0,1], got {c}"),
+                    });
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// True for the step class (drives the nested-loop heuristic, §4.3.1).
+    pub fn is_step(&self) -> bool {
+        matches!(self, ScoreDecay::Step { .. })
+    }
+
+    /// The step parameter `h` in chunks, if this is a step function.
+    pub fn step_chunks(&self) -> Option<usize> {
+        match self {
+            ScoreDecay::Step { h, .. } => Some(*h),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ScoreDecay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoreDecay::Step { h, high, low } => write!(f, "step(h={h}, {high}→{low})"),
+            ScoreDecay::Linear => write!(f, "linear"),
+            ScoreDecay::Quadratic => write!(f, "quadratic"),
+            ScoreDecay::Exponential { lambda } => write!(f, "exp(λ={lambda})"),
+            ScoreDecay::Constant(c) => write!(f, "const({c})"),
+        }
+    }
+}
+
+/// A concrete scoring function: a decay shape instantiated over a result
+/// list of known length and chunk size.
+///
+/// Produces the score of the `i`-th result (0-based) of a service whose
+/// full result list has `total` entries grouped into chunks of
+/// `chunk_size`. Scores are non-increasing in `i` — search services
+/// "return results in decreasing ranking order" (§4.1) — and live in
+/// `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoringFunction {
+    /// Decay shape.
+    pub decay: ScoreDecay,
+    /// Total length of the service's ranked result list.
+    pub total: usize,
+    /// Chunk size of the service (needed to place the step).
+    pub chunk_size: usize,
+}
+
+impl ScoringFunction {
+    /// Builds and validates a scoring function.
+    pub fn new(decay: ScoreDecay, total: usize, chunk_size: usize) -> Result<Self, ModelError> {
+        decay.validate()?;
+        if chunk_size == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "chunk_size",
+                detail: "must be positive".into(),
+            });
+        }
+        Ok(ScoringFunction { decay, total, chunk_size })
+    }
+
+    /// Score of the `i`-th ranked result.
+    pub fn score_at(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let i = i.min(self.total.saturating_sub(1));
+        // Normalised rank in [0, 1): 0 is the top result.
+        let x = i as f64 / self.total as f64;
+        match self.decay {
+            ScoreDecay::Step { h, high, low } => {
+                let step_at = h * self.chunk_size;
+                if i < step_at {
+                    // Slight within-plateau decay keeps scores strictly
+                    // informative (distinct ranks ⇒ non-identical scores)
+                    // while preserving the "deep step" shape.
+                    high - (high - low) * 0.05 * (i as f64 / step_at.max(1) as f64)
+                } else {
+                    low * (1.0 - x).max(0.0)
+                }
+            }
+            ScoreDecay::Linear => 1.0 - x,
+            ScoreDecay::Quadratic => (1.0 - x) * (1.0 - x),
+            ScoreDecay::Exponential { lambda } => (-lambda * x).exp(),
+            ScoreDecay::Constant(c) => c,
+        }
+        .clamp(0.0, 1.0)
+    }
+
+    /// Score of the first tuple of chunk `c` (0-based) — the tile
+    /// representative used by extraction-optimal orders ("using the
+    /// ranking of the first tuple of the tile as representative for the
+    /// entire tile", §4.1).
+    pub fn chunk_head_score(&self, c: usize) -> f64 {
+        self.score_at(c * self.chunk_size)
+    }
+
+    /// Number of chunks in the full result list.
+    pub fn chunk_count(&self) -> usize {
+        self.total.div_ceil(self.chunk_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_non_increasing(f: &ScoringFunction) {
+        let mut prev = f64::INFINITY;
+        for i in 0..f.total {
+            let s = f.score_at(i);
+            assert!((0.0..=1.0).contains(&s), "score {s} out of range at {i}");
+            assert!(s <= prev + 1e-12, "score increased at rank {i}: {prev} -> {s}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn all_decays_are_non_increasing_and_bounded() {
+        for decay in [
+            ScoreDecay::Step { h: 3, high: 0.95, low: 0.1 },
+            ScoreDecay::Linear,
+            ScoreDecay::Quadratic,
+            ScoreDecay::Exponential { lambda: 3.0 },
+            ScoreDecay::Constant(0.5),
+        ] {
+            let f = ScoringFunction::new(decay, 100, 10).unwrap();
+            assert_non_increasing(&f);
+        }
+    }
+
+    #[test]
+    fn step_drops_after_h_chunks() {
+        let f = ScoringFunction::new(ScoreDecay::Step { h: 2, high: 1.0, low: 0.05 }, 100, 10).unwrap();
+        let before = f.score_at(19);
+        let after = f.score_at(20);
+        assert!(before > 0.9, "plateau score was {before}");
+        assert!(after < 0.1, "post-step score was {after}");
+    }
+
+    #[test]
+    fn chunk_head_score_matches_first_of_chunk() {
+        let f = ScoringFunction::new(ScoreDecay::Linear, 50, 7).unwrap();
+        assert_eq!(f.chunk_head_score(3), f.score_at(21));
+        assert_eq!(f.chunk_count(), 8);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ScoreDecay::Step { h: 0, high: 1.0, low: 0.0 }.validate().is_err());
+        assert!(ScoreDecay::Step { h: 1, high: 0.2, low: 0.5 }.validate().is_err());
+        assert!(ScoreDecay::Exponential { lambda: 0.0 }.validate().is_err());
+        assert!(ScoreDecay::Constant(1.5).validate().is_err());
+        assert!(ScoringFunction::new(ScoreDecay::Linear, 10, 0).is_err());
+    }
+
+    #[test]
+    fn step_classification_helpers() {
+        let s = ScoreDecay::Step { h: 4, high: 1.0, low: 0.0 };
+        assert!(s.is_step());
+        assert_eq!(s.step_chunks(), Some(4));
+        assert!(!ScoreDecay::Linear.is_step());
+        assert_eq!(ScoreDecay::Linear.step_chunks(), None);
+    }
+
+    #[test]
+    fn empty_list_scores_zero() {
+        let f = ScoringFunction::new(ScoreDecay::Linear, 0, 10).unwrap();
+        assert_eq!(f.score_at(0), 0.0);
+        assert_eq!(f.chunk_count(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ScoreDecay::Linear.to_string(), "linear");
+        assert!(ScoreDecay::Step { h: 3, high: 0.9, low: 0.1 }.to_string().contains("h=3"));
+    }
+}

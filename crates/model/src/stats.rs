@@ -1,0 +1,117 @@
+//! Per-service statistics used by the cost model (§3.2, §5.1).
+//!
+//! "Cost models use estimates of the average result size of exact
+//! services and of chunk sizes"; the execution-time and sum-cost metrics
+//! additionally need a per-request-response time and a monetary/abstract
+//! per-call cost. All estimates assume value independence and uniform
+//! distributions, as the chapter does.
+
+use crate::error::ModelError;
+
+/// Statistics describing one service interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceStats {
+    /// Expected number of result tuples per invocation for an exact
+    /// service ("average cardinality"); for a search service this is the
+    /// expected total length of the ranked result list.
+    pub avg_cardinality: f64,
+    /// Tuples per chunk. Exact services may be unchunked, in which case
+    /// this equals the full expected result size; search services "are
+    /// always proliferative and chunked" (§3.2).
+    pub chunk_size: usize,
+    /// Expected wall-clock time of one request-response, in milliseconds.
+    pub response_time_ms: f64,
+    /// Abstract cost charged per service invocation (used by the sum
+    /// cost metric; set to 1 to make that metric count calls).
+    pub cost_per_call: f64,
+}
+
+impl ServiceStats {
+    /// Builds and validates statistics.
+    pub fn new(
+        avg_cardinality: f64,
+        chunk_size: usize,
+        response_time_ms: f64,
+        cost_per_call: f64,
+    ) -> Result<Self, ModelError> {
+        if avg_cardinality < 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "avg_cardinality",
+                detail: format!("must be non-negative, got {avg_cardinality}"),
+            });
+        }
+        if chunk_size == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "chunk_size",
+                detail: "must be positive".into(),
+            });
+        }
+        if response_time_ms < 0.0 || cost_per_call < 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "response_time_ms/cost_per_call",
+                detail: "must be non-negative".into(),
+            });
+        }
+        Ok(ServiceStats { avg_cardinality, chunk_size, response_time_ms, cost_per_call })
+    }
+
+    /// Uniform defaults for quickly-sketched services: 10 tuples per
+    /// call, chunks of 10, 100 ms per request-response, unit cost.
+    pub fn uniform_default() -> Self {
+        ServiceStats { avg_cardinality: 10.0, chunk_size: 10, response_time_ms: 100.0, cost_per_call: 1.0 }
+    }
+
+    /// True if, on average, the service produces fewer output tuples
+    /// than input tuples ("an exact service is selective if it produces
+    /// in average less than one tuple per invocation", §3.2).
+    pub fn is_selective(&self) -> bool {
+        self.avg_cardinality < 1.0
+    }
+
+    /// Expected number of chunks in a full result list.
+    pub fn expected_chunks(&self) -> usize {
+        (self.avg_cardinality / self.chunk_size as f64).ceil().max(0.0) as usize
+    }
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        Self::uniform_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(ServiceStats::new(-1.0, 10, 1.0, 1.0).is_err());
+        assert!(ServiceStats::new(1.0, 0, 1.0, 1.0).is_err());
+        assert!(ServiceStats::new(1.0, 1, -1.0, 1.0).is_err());
+        assert!(ServiceStats::new(1.0, 1, 1.0, -1.0).is_err());
+        assert!(ServiceStats::new(0.0, 1, 0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn selectivity_threshold_is_one_tuple_per_call() {
+        assert!(ServiceStats::new(0.25, 1, 1.0, 1.0).unwrap().is_selective());
+        assert!(!ServiceStats::new(1.0, 1, 1.0, 1.0).unwrap().is_selective());
+        assert!(!ServiceStats::new(20.0, 10, 1.0, 1.0).unwrap().is_selective());
+    }
+
+    #[test]
+    fn expected_chunks_rounds_up() {
+        let s = ServiceStats::new(95.0, 10, 1.0, 1.0).unwrap();
+        assert_eq!(s.expected_chunks(), 10);
+        let s = ServiceStats::new(90.0, 10, 1.0, 1.0).unwrap();
+        assert_eq!(s.expected_chunks(), 9);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let s = ServiceStats::default();
+        assert_eq!(s.chunk_size, 10);
+        assert!(!s.is_selective());
+    }
+}

@@ -1,0 +1,436 @@
+//! Tuples, repeating-group rows, and composite result tuples.
+//!
+//! §3.1: "A tuple of a service is a mapping that sends each attribute
+//! `s.A` into a value of the domain of `A`. […] if `s.R` is a repeating
+//! group, the value `t.R` is a set of tuples over the sub-attributes of
+//! `s.R`." Query answers are *composite tuples* `t1 · … · tn` combining
+//! one tuple from each service, ranked by the weighted sum of the
+//! services' scores.
+
+use std::fmt;
+
+use crate::attribute::{AttributeKind, AttributePath};
+use crate::error::ModelError;
+use crate::schema::ServiceSchema;
+use crate::value::Value;
+
+/// One row of a repeating group: values aligned with the group's
+/// sub-attribute definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupTuple {
+    /// Values, positionally aligned with [`crate::attribute::SubAttributeDef`]s.
+    pub values: Vec<Value>,
+}
+
+impl GroupTuple {
+    /// Builds a group row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        GroupTuple { values }
+    }
+}
+
+/// Storage slot for one top-level attribute of a tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldSlot {
+    /// Single value of an atomic attribute.
+    Atomic(Value),
+    /// Set of rows of a repeating group.
+    Group(Vec<GroupTuple>),
+}
+
+/// A tuple produced by one service call, positionally aligned with a
+/// [`ServiceSchema`].
+///
+/// `score` is the value of the service's scoring function in `[0, 1]`
+/// (constant for unranked/exact services, §3.1); `source_rank` is the
+/// 0-based position of the tuple in the service's ranked output, which
+/// also supports the chapter's footnote on *opaque* rankings (position is
+/// translated into a score).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// One slot per schema attribute, in schema order.
+    pub fields: Vec<FieldSlot>,
+    /// Score in `[0, 1]` assigned by the producing service.
+    pub score: f64,
+    /// 0-based position in the producing service's result list.
+    pub source_rank: usize,
+}
+
+impl Tuple {
+    /// Starts building a tuple for `schema`; unset atomic attributes
+    /// default to `Null` and unset groups to empty row sets.
+    pub fn builder(schema: &ServiceSchema) -> TupleBuilder<'_> {
+        let fields = schema
+            .attributes
+            .iter()
+            .map(|a| match a.kind {
+                AttributeKind::Atomic(_) => FieldSlot::Atomic(Value::Null),
+                AttributeKind::Group(_) => FieldSlot::Group(Vec::new()),
+            })
+            .collect();
+        TupleBuilder { schema, tuple: Tuple { fields, score: 1.0, source_rank: 0 }, error: None }
+    }
+
+    /// The value of an atomic attribute by index (panics on group slots
+    /// only in debug builds; returns `Null` in release).
+    pub fn atomic_at(&self, idx: usize) -> &Value {
+        match self.fields.get(idx) {
+            Some(FieldSlot::Atomic(v)) => v,
+            _ => {
+                debug_assert!(false, "atomic_at({idx}) addressed a non-atomic slot");
+                &Value::Null
+            }
+        }
+    }
+
+    /// The rows of a repeating group by index.
+    pub fn group_at(&self, idx: usize) -> &[GroupTuple] {
+        match self.fields.get(idx) {
+            Some(FieldSlot::Group(rows)) => rows,
+            _ => {
+                debug_assert!(false, "group_at({idx}) addressed a non-group slot");
+                &[]
+            }
+        }
+    }
+
+    /// Resolves a path against a schema and returns the set of values it
+    /// denotes: a singleton for atomic attributes, one value per group
+    /// row for sub-attribute paths.
+    ///
+    /// The multi-valued case is what gives the query language its
+    /// existential repeating-group semantics: a predicate over `R.A`
+    /// holds if *some* row of `R` satisfies it (together with the other
+    /// predicates over `R`, handled by the semantics module in
+    /// `seco-query`).
+    pub fn values_at(&self, schema: &ServiceSchema, path: &AttributePath) -> Result<Vec<Value>, ModelError> {
+        let (idx, sidx) = schema.resolve(path)?;
+        Ok(match sidx {
+            None => vec![self.atomic_at(idx).clone()],
+            Some(s) => self
+                .group_at(idx)
+                .iter()
+                .map(|row| row.values.get(s).cloned().unwrap_or(Value::Null))
+                .collect(),
+        })
+    }
+
+    /// Single-valued view of a path: the atomic value, or the value from
+    /// the first group row (used when piping join-attribute values whose
+    /// group has exactly one row).
+    pub fn first_value_at(
+        &self,
+        schema: &ServiceSchema,
+        path: &AttributePath,
+    ) -> Result<Value, ModelError> {
+        Ok(self.values_at(schema, path)?.into_iter().next().unwrap_or(Value::Null))
+    }
+}
+
+/// Builder returned by [`Tuple::builder`]; validates against the schema
+/// at [`TupleBuilder::build`] so call sites get one error path.
+pub struct TupleBuilder<'a> {
+    schema: &'a ServiceSchema,
+    tuple: Tuple,
+    error: Option<ModelError>,
+}
+
+impl<'a> TupleBuilder<'a> {
+    /// Sets an atomic attribute by name.
+    pub fn set(mut self, attr: &str, value: Value) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.schema.attr_index(attr) {
+            Some(idx) if !self.schema.attributes[idx].is_group() => {
+                self.tuple.fields[idx] = FieldSlot::Atomic(value);
+            }
+            Some(_) => {
+                self.error = Some(ModelError::KindMismatch {
+                    attribute: attr.to_owned(),
+                    expected: "atomic attribute",
+                })
+            }
+            None => {
+                self.error = Some(ModelError::UnknownAttribute {
+                    service: self.schema.name.clone(),
+                    attribute: attr.to_owned(),
+                })
+            }
+        }
+        self
+    }
+
+    /// Appends a row to a repeating group by name.
+    pub fn push_group_row(mut self, group: &str, values: Vec<Value>) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.schema.attr_index(group) {
+            Some(idx) if self.schema.attributes[idx].is_group() => {
+                if let FieldSlot::Group(rows) = &mut self.tuple.fields[idx] {
+                    rows.push(GroupTuple::new(values));
+                }
+            }
+            Some(_) => {
+                self.error = Some(ModelError::KindMismatch {
+                    attribute: group.to_owned(),
+                    expected: "repeating group",
+                })
+            }
+            None => {
+                self.error = Some(ModelError::UnknownAttribute {
+                    service: self.schema.name.clone(),
+                    attribute: group.to_owned(),
+                })
+            }
+        }
+        self
+    }
+
+    /// Sets the service score (clamped into `[0, 1]`).
+    pub fn score(mut self, score: f64) -> Self {
+        self.tuple.score = score.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the source rank (position in the service's result list).
+    pub fn source_rank(mut self, rank: usize) -> Self {
+        self.tuple.source_rank = rank;
+        self
+    }
+
+    /// Validates against the schema and returns the tuple.
+    pub fn build(self) -> Result<Tuple, ModelError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.schema.validate(&self.tuple)?;
+        Ok(self.tuple)
+    }
+}
+
+/// A composite tuple `t1 · … · tn`: one component tuple per query atom,
+/// with the component scores retained so the global ranking function
+/// (weighted sum, §3.1) can be applied and re-weighted dynamically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositeTuple {
+    /// Names of the contributing query atoms (service aliases), aligned
+    /// with `components`.
+    pub atoms: Vec<String>,
+    /// The component tuples, in atom order.
+    pub components: Vec<Tuple>,
+}
+
+impl CompositeTuple {
+    /// A composite with a single component.
+    pub fn single(atom: impl Into<String>, tuple: Tuple) -> Self {
+        CompositeTuple { atoms: vec![atom.into()], components: vec![tuple] }
+    }
+
+    /// Concatenates two composites: `self · other`.
+    pub fn join(&self, other: &CompositeTuple) -> Self {
+        let mut atoms = self.atoms.clone();
+        atoms.extend(other.atoms.iter().cloned());
+        let mut components = self.components.clone();
+        components.extend(other.components.iter().cloned());
+        CompositeTuple { atoms, components }
+    }
+
+    /// Merges two composites that may share atoms (branches with common
+    /// ancestry, e.g. the Fig. 2 diamond where both the Flight and the
+    /// Hotel branch carry the Conference and Weather components).
+    ///
+    /// Returns `None` when a shared atom's components differ — such a
+    /// pair stems from two different upstream tuples and must not join.
+    /// Otherwise the result carries each atom once.
+    pub fn merge(&self, other: &CompositeTuple) -> Option<Self> {
+        for (atom, tuple) in other.atoms.iter().zip(&other.components) {
+            if let Some(mine) = self.component(atom) {
+                if mine != tuple {
+                    return None;
+                }
+            }
+        }
+        let mut out = self.clone();
+        for (atom, tuple) in other.atoms.iter().zip(&other.components) {
+            if out.component(atom).is_none() {
+                out.atoms.push(atom.clone());
+                out.components.push(tuple.clone());
+            }
+        }
+        Some(out)
+    }
+
+    /// Extends the composite with one more component.
+    pub fn extend_with(&self, atom: impl Into<String>, tuple: Tuple) -> Self {
+        let mut out = self.clone();
+        out.atoms.push(atom.into());
+        out.components.push(tuple);
+        out
+    }
+
+    /// Component tuple for a given atom alias.
+    pub fn component(&self, atom: &str) -> Option<&Tuple> {
+        self.atoms.iter().position(|a| a == atom).map(|i| &self.components[i])
+    }
+
+    /// Global score under a weight vector aligned with `atoms`
+    /// (`w1·S1 + … + wn·Sn`, §3.1). Missing weights default to 0, which
+    /// is also the chapter's convention for unranked services.
+    pub fn global_score(&self, weights: &[f64]) -> f64 {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, t)| weights.get(i).copied().unwrap_or(0.0) * t.score)
+            .sum()
+    }
+
+    /// Product of component scores — the objective of *extraction
+    /// optimality* (§4.1: results in decreasing order of `ρX · ρY`).
+    pub fn score_product(&self) -> f64 {
+        self.components.iter().map(|t| t.score).product()
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.components.len()
+    }
+}
+
+impl fmt::Display for CompositeTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, (a, t)) in self.atoms.iter().zip(&self.components).enumerate() {
+            if i > 0 {
+                write!(f, " · ")?;
+            }
+            write!(f, "{a}#{}(s={:.3})", t.source_rank, t.score)?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{Adornment, AttributeDef, DataType, SubAttributeDef};
+
+    fn schema() -> ServiceSchema {
+        ServiceSchema::new(
+            "S",
+            vec![
+                AttributeDef::atomic("A", DataType::Int, Adornment::Output),
+                AttributeDef::group(
+                    "R",
+                    vec![
+                        SubAttributeDef::new("X", DataType::Int, Adornment::Output),
+                        SubAttributeDef::new("Y", DataType::Text, Adornment::Output),
+                    ],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn sample() -> Tuple {
+        Tuple::builder(&schema())
+            .set("A", Value::Int(7))
+            .push_group_row("R", vec![Value::Int(1), Value::text("x")])
+            .push_group_row("R", vec![Value::Int(2), Value::text("y")])
+            .score(0.5)
+            .source_rank(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_sets_fields_and_metadata() {
+        let t = sample();
+        assert_eq!(t.atomic_at(0), &Value::Int(7));
+        assert_eq!(t.group_at(1).len(), 2);
+        assert_eq!(t.score, 0.5);
+        assert_eq!(t.source_rank, 3);
+    }
+
+    #[test]
+    fn builder_rejects_unknown_and_mismatched_names() {
+        assert!(Tuple::builder(&schema()).set("Nope", Value::Int(1)).build().is_err());
+        assert!(Tuple::builder(&schema()).set("R", Value::Int(1)).build().is_err());
+        assert!(Tuple::builder(&schema())
+            .push_group_row("A", vec![Value::Int(1)])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn score_is_clamped() {
+        let t = Tuple::builder(&schema()).score(7.0).build().unwrap();
+        assert_eq!(t.score, 1.0);
+        let t = Tuple::builder(&schema()).score(-1.0).build().unwrap();
+        assert_eq!(t.score, 0.0);
+    }
+
+    #[test]
+    fn values_at_atomic_and_group_paths() {
+        let t = sample();
+        let s = schema();
+        assert_eq!(t.values_at(&s, &AttributePath::atomic("A")).unwrap(), vec![Value::Int(7)]);
+        assert_eq!(
+            t.values_at(&s, &AttributePath::sub("R", "X")).unwrap(),
+            vec![Value::Int(1), Value::Int(2)]
+        );
+        assert_eq!(t.first_value_at(&s, &AttributePath::sub("R", "Y")).unwrap(), Value::text("x"));
+    }
+
+    #[test]
+    fn composite_join_and_scores() {
+        let t1 = Tuple::builder(&schema()).score(0.8).build().unwrap();
+        let t2 = Tuple::builder(&schema()).score(0.5).build().unwrap();
+        let c1 = CompositeTuple::single("M", t1);
+        let c2 = CompositeTuple::single("T", t2);
+        let j = c1.join(&c2);
+        assert_eq!(j.arity(), 2);
+        assert_eq!(j.atoms, vec!["M".to_owned(), "T".to_owned()]);
+        assert!((j.global_score(&[0.5, 0.5]) - 0.65).abs() < 1e-12);
+        assert!((j.score_product() - 0.4).abs() < 1e-12);
+        assert!(j.component("T").is_some());
+        assert!(j.component("Z").is_none());
+    }
+
+    #[test]
+    fn composite_merge_respects_shared_atoms() {
+        let t1 = Tuple::builder(&schema()).set("A", Value::Int(1)).score(0.9).build().unwrap();
+        let t2 = Tuple::builder(&schema()).set("A", Value::Int(2)).score(0.8).build().unwrap();
+        let t3 = Tuple::builder(&schema()).set("A", Value::Int(3)).score(0.7).build().unwrap();
+        // Branch 1: C · F, branch 2: C · H with the SAME C.
+        let b1 = CompositeTuple::single("C", t1.clone()).extend_with("F", t2.clone());
+        let b2 = CompositeTuple::single("C", t1.clone()).extend_with("H", t3.clone());
+        let merged = b1.merge(&b2).expect("same shared component merges");
+        assert_eq!(merged.arity(), 3);
+        assert_eq!(merged.atoms, vec!["C".to_owned(), "F".to_owned(), "H".to_owned()]);
+        // Different C components must refuse to merge.
+        let b3 = CompositeTuple::single("C", t2).extend_with("H", t3);
+        assert!(b1.merge(&b3).is_none());
+        // Disjoint composites merge like join.
+        let d1 = CompositeTuple::single("X", t1.clone());
+        let d2 = CompositeTuple::single("Y", t1);
+        assert_eq!(d1.merge(&d2).unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn composite_extend_with() {
+        let t = Tuple::builder(&schema()).score(1.0).build().unwrap();
+        let c = CompositeTuple::single("A", t.clone()).extend_with("B", t);
+        assert_eq!(c.arity(), 2);
+        // Missing weights default to zero.
+        assert_eq!(c.global_score(&[1.0]), 1.0);
+    }
+
+    #[test]
+    fn composite_display_is_compact() {
+        let t = Tuple::builder(&schema()).score(0.25).source_rank(2).build().unwrap();
+        let c = CompositeTuple::single("M", t);
+        assert_eq!(c.to_string(), "⟨M#2(s=0.250)⟩");
+    }
+}

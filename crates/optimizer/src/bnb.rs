@@ -1,0 +1,281 @@
+//! The branch-and-bound driver (§5.2, Fig. 8).
+//!
+//! The three phases branch; the bounding step uses the monotonicity of
+//! every supported cost metric: a topology instantiated at the minimal
+//! fetch vector ⟨1, …, 1⟩ costs no more than any of its completions, so
+//! its cost is a valid lower bound for the whole phase-3 subtree. When
+//! that bound is not below the incumbent's cost, the subtree is pruned
+//! without running phase 3. "The search for the optimal plan can be
+//! stopped at any time, and it will nevertheless return a valid
+//! solution" — [`Optimizer::budget`] implements that anytime behaviour.
+
+use seco_plan::{annotate, AnnotatedPlan, AnnotationConfig, QueryPlan};
+use seco_query::Query;
+use seco_services::ServiceRegistry;
+
+use crate::cost::CostMetric;
+use crate::error::OptError;
+use crate::heuristics::HeuristicSet;
+use crate::phase1::enumerate_assignments;
+use crate::phase2::{enumerate_topologies, DEFAULT_MAX_TOPOLOGIES};
+use crate::phase3::assign_fetches;
+
+/// Exploration statistics of one optimization run (the Fig. 8
+/// experiment data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Feasible phase-1 assignments considered.
+    pub assignments: usize,
+    /// Phase-2 topologies enumerated.
+    pub topologies: usize,
+    /// Topologies fully instantiated (phase 3 ran).
+    pub instantiated: usize,
+    /// Topologies pruned by the lower bound.
+    pub pruned: usize,
+}
+
+/// The optimization result: the chosen fully instantiated plan, its
+/// annotation, its cost, and the search statistics.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The winning plan (fetch factors set).
+    pub plan: QueryPlan,
+    /// Its cardinality annotation.
+    pub annotated: AnnotatedPlan,
+    /// Its cost under the optimizer's metric.
+    pub cost: f64,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// Configured optimizer.
+pub struct Optimizer<'a> {
+    /// Service registry resolving interfaces and statistics.
+    pub registry: &'a ServiceRegistry,
+    /// Metric to minimize.
+    pub metric: CostMetric,
+    /// Branch-ordering heuristics.
+    pub heuristics: HeuristicSet,
+    /// Anytime budget: stop after fully instantiating this many plans
+    /// (`None` = run to exhaustion of the search space).
+    pub budget: Option<usize>,
+    /// Cap on enumerated topologies per assignment.
+    pub max_topologies: usize,
+}
+
+impl<'a> Optimizer<'a> {
+    /// An optimizer with default heuristics, no budget, and the given
+    /// metric.
+    pub fn new(registry: &'a ServiceRegistry, metric: CostMetric) -> Self {
+        Optimizer {
+            registry,
+            metric,
+            heuristics: HeuristicSet::default(),
+            budget: None,
+            max_topologies: DEFAULT_MAX_TOPOLOGIES,
+        }
+    }
+
+    /// Runs the three-phase branch-and-bound and returns the best plan
+    /// found.
+    pub fn optimize(&self, query: &Query) -> Result<Optimized, OptError> {
+        let config = AnnotationConfig::default();
+        let mut stats = SearchStats::default();
+        let mut incumbent: Option<Optimized> = None;
+        let mut last_unreachable: Option<OptError> = None;
+
+        let assignments = enumerate_assignments(query, self.registry, self.heuristics.phase1)?;
+        stats.assignments = assignments.len();
+
+        'search: for assignment in &assignments {
+            let topologies = enumerate_topologies(
+                &assignment.query,
+                self.registry,
+                &assignment.report,
+                self.heuristics.phase2,
+                self.max_topologies,
+            )?;
+            stats.topologies += topologies.len();
+
+            for topology in topologies {
+                // Bounding: the minimal instantiation lower-bounds every
+                // phase-3 completion (metric monotone in F).
+                let lb_ann = annotate(&topology, self.registry, &config)?;
+                let lower_bound = self.metric.evaluate(&topology, &lb_ann, self.registry)?;
+                if let Some(best) = &incumbent {
+                    if lower_bound >= best.cost {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                }
+                // Phase 3: full instantiation.
+                let mut plan = topology;
+                match assign_fetches(
+                    &mut plan,
+                    self.registry,
+                    query.k,
+                    self.heuristics.phase3,
+                    self.metric,
+                ) {
+                    Ok(annotated) => {
+                        stats.instantiated += 1;
+                        let cost = self.metric.evaluate(&plan, &annotated, self.registry)?;
+                        let better = incumbent.as_ref().map(|b| cost < b.cost).unwrap_or(true);
+                        if better {
+                            incumbent = Some(Optimized {
+                                plan,
+                                annotated,
+                                cost,
+                                stats: SearchStats::default(),
+                            });
+                        }
+                    }
+                    Err(e @ OptError::Unreachable { .. }) => {
+                        stats.instantiated += 1;
+                        last_unreachable = Some(e);
+                    }
+                    Err(e) => return Err(e),
+                }
+                if let Some(budget) = self.budget {
+                    if stats.instantiated >= budget {
+                        break 'search;
+                    }
+                }
+            }
+        }
+
+        match incumbent {
+            Some(mut best) => {
+                best.stats = stats;
+                Ok(best)
+            }
+            None => Err(last_unreachable.unwrap_or(OptError::Unreachable {
+                best_estimate: 0.0,
+                k: query.k,
+            })),
+        }
+    }
+}
+
+/// Convenience wrapper: optimize `query` under `metric` with default
+/// heuristics.
+pub fn optimize(
+    query: &Query,
+    registry: &ServiceRegistry,
+    metric: CostMetric,
+) -> Result<Optimized, OptError> {
+    Optimizer::new(registry, metric).optimize(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::{Phase2Heuristic, Phase3Heuristic};
+    use seco_plan::PlanNode;
+    use seco_query::builder::running_example;
+    use seco_services::domains::entertainment;
+
+    #[test]
+    fn optimizes_the_running_example() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let best = optimize(&q, &reg, CostMetric::RequestCount).unwrap();
+        assert!(best.cost > 0.0);
+        assert!(best.annotated.output_tuples >= q.k as f64);
+        assert!(best.stats.topologies >= 4);
+        assert!(best.stats.instantiated + best.stats.pruned <= best.stats.topologies);
+        best.plan.validate().unwrap();
+    }
+
+    #[test]
+    fn pruning_does_not_change_the_optimum() {
+        // B&B must find the same cost as the exhaustive enumeration.
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        for metric in CostMetric::all() {
+            let bnb = optimize(&q, &reg, metric).unwrap();
+            let exhaustive = crate::exhaustive::optimize_exhaustive(&q, &reg, metric).unwrap();
+            assert!(
+                (bnb.cost - exhaustive.cost).abs() < 1e-9,
+                "{metric}: bnb={} exhaustive={}",
+                bnb.cost,
+                exhaustive.cost
+            );
+        }
+    }
+
+    #[test]
+    fn bnb_prunes_some_topologies() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let best = optimize(&q, &reg, CostMetric::RequestCount).unwrap();
+        assert!(
+            best.stats.pruned > 0,
+            "the request-count metric separates chains from parallel plans enough to prune"
+        );
+    }
+
+    #[test]
+    fn budget_caps_the_search_and_still_returns_a_plan() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let mut opt = Optimizer::new(&reg, CostMetric::RequestCount);
+        opt.budget = Some(1);
+        let anytime = opt.optimize(&q).unwrap();
+        assert_eq!(anytime.stats.instantiated, 1);
+        anytime.plan.validate().unwrap();
+        // The anytime result can be worse, never better, than the full
+        // search.
+        let full = optimize(&q, &reg, CostMetric::RequestCount).unwrap();
+        assert!(anytime.cost >= full.cost - 1e-9);
+    }
+
+    #[test]
+    fn request_count_prefers_the_parallel_plan() {
+        // §5.4: "sequencing selective services plays in favor of
+        // metrics that minimize the overall number of invocations" —
+        // but with Movie1 feeding 100 tuples through a chained Theatre,
+        // the parallel join wins by orders of magnitude here, matching
+        // the chapter's choice of topology (d).
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let best = optimize(&q, &reg, CostMetric::RequestCount).unwrap();
+        let has_parallel = best
+            .plan
+            .node_ids()
+            .any(|id| matches!(best.plan.node(id), Ok(PlanNode::ParallelJoin(_))));
+        assert!(has_parallel, "plan:\n{}", seco_plan::display::ascii(&best.plan, None).unwrap());
+    }
+
+    #[test]
+    fn heuristics_do_not_change_the_optimum() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let mut costs = Vec::new();
+        for p2 in [Phase2Heuristic::ParallelIsBetter, Phase2Heuristic::SelectiveFirst] {
+            for p3 in [Phase3Heuristic::Greedy, Phase3Heuristic::SquareIsBetter] {
+                let mut opt = Optimizer::new(&reg, CostMetric::RequestCount);
+                opt.heuristics.phase2 = p2;
+                opt.heuristics.phase3 = p3;
+                // Phase-3 heuristics can land on different instantiations,
+                // but the search still returns a valid plan meeting k.
+                let best = opt.optimize(&q).unwrap();
+                assert!(best.annotated.output_tuples >= q.k as f64);
+                costs.push(best.cost);
+            }
+        }
+        // All runs agree on cost up to phase-3 heuristic differences.
+        let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = costs.iter().cloned().fold(0.0, f64::max);
+        assert!(max <= min * 2.0 + 1e-9, "heuristic spread too large: {costs:?}");
+    }
+
+    #[test]
+    fn impossible_k_reports_unreachable() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let mut q = running_example();
+        q.k = 10_000_000;
+        let err = optimize(&q, &reg, CostMetric::RequestCount).unwrap_err();
+        assert!(matches!(err, OptError::Unreachable { .. }));
+    }
+}

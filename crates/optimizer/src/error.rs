@@ -1,0 +1,85 @@
+//! Error type of the optimizer.
+
+use std::fmt;
+
+use seco_plan::PlanError;
+use seco_query::QueryError;
+use seco_services::ServiceError;
+
+/// Errors raised during optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// Underlying query error (notably infeasibility).
+    Query(QueryError),
+    /// Underlying plan error.
+    Plan(PlanError),
+    /// Underlying service/registry error.
+    Service(ServiceError),
+    /// No plan reaches the requested `k` answers even at maximum fetch
+    /// factors; carries the best achievable estimate.
+    Unreachable {
+        /// Expected answers of the best instantiation found.
+        best_estimate: f64,
+        /// The requested `k`.
+        k: usize,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Query(e) => write!(f, "query error: {e}"),
+            OptError::Plan(e) => write!(f, "plan error: {e}"),
+            OptError::Service(e) => write!(f, "service error: {e}"),
+            OptError::Unreachable { best_estimate, k } => write!(
+                f,
+                "no instantiation reaches k={k} answers (best estimate {best_estimate:.1})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptError::Query(e) => Some(e),
+            OptError::Plan(e) => Some(e),
+            OptError::Service(e) => Some(e),
+            OptError::Unreachable { .. } => None,
+        }
+    }
+}
+
+impl From<QueryError> for OptError {
+    fn from(e: QueryError) -> Self {
+        OptError::Query(e)
+    }
+}
+impl From<PlanError> for OptError {
+    fn from(e: PlanError) -> Self {
+        OptError::Plan(e)
+    }
+}
+impl From<ServiceError> for OptError {
+    fn from(e: ServiceError) -> Self {
+        OptError::Service(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = OptError::Unreachable { best_estimate: 3.5, k: 10 };
+        assert!(e.to_string().contains("k=10"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e: OptError = QueryError::UnknownAtom("a".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: OptError = PlanError::Cyclic.into();
+        assert!(e.to_string().contains("plan error"));
+        let e: OptError = ServiceError::UnknownService("s".into()).into();
+        assert!(e.to_string().contains("service error"));
+    }
+}

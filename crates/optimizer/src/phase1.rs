@@ -1,0 +1,209 @@
+//! Phase 1: access-pattern (service-interface) selection (§5.3).
+//!
+//! Each query atom names either a concrete service interface or a
+//! service mart. Phase 1 assigns a concrete interface to every atom —
+//! enumerating the candidates of mart-level atoms in heuristic order —
+//! and keeps only the assignments under which the query is *feasible*
+//! (every atom reachable). "If no feasible plan can be generated for a
+//! given query, the translation fails."
+
+use seco_query::feasibility::{analyze, FeasibilityReport};
+use seco_query::Query;
+use seco_services::ServiceRegistry;
+
+use crate::error::OptError;
+use crate::heuristics::Phase1Heuristic;
+
+/// A feasible interface assignment: the query rewritten onto concrete
+/// interfaces, plus its feasibility report.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// The query with every atom bound to a concrete interface.
+    pub query: Query,
+    /// Reachability order and I/O dependencies under this assignment.
+    pub report: FeasibilityReport,
+}
+
+/// Candidate interface names for one atom: the atom's service if it is
+/// a registered interface, otherwise all interfaces of the mart with
+/// that name, ordered by the heuristic.
+fn candidates_for(
+    service_or_mart: &str,
+    registry: &ServiceRegistry,
+    heuristic: Phase1Heuristic,
+) -> Result<Vec<String>, OptError> {
+    if registry.interface(service_or_mart).is_ok() {
+        return Ok(vec![service_or_mart.to_owned()]);
+    }
+    let mut ifaces = registry.interfaces_of_mart(service_or_mart);
+    if ifaces.is_empty() {
+        return Err(OptError::Service(seco_services::ServiceError::UnknownService(
+            service_or_mart.to_owned(),
+        )));
+    }
+    ifaces.sort_by_key(|i| (heuristic.key(i.input_arity()), i.name.clone()));
+    Ok(ifaces.into_iter().map(|i| i.name.clone()).collect())
+}
+
+/// Enumerates all feasible assignments, in heuristic order.
+///
+/// The heuristic orders the per-atom candidate lists; the cartesian
+/// product is walked in lexicographic order of those lists, so
+/// *bound-is-better* yields assignments with many bound inputs first
+/// and *unbound-is-easier* the opposite.
+pub fn enumerate_assignments(
+    query: &Query,
+    registry: &ServiceRegistry,
+    heuristic: Phase1Heuristic,
+) -> Result<Vec<Assignment>, OptError> {
+    let per_atom: Vec<Vec<String>> = query
+        .atoms
+        .iter()
+        .map(|a| candidates_for(&a.service, registry, heuristic))
+        .collect::<Result<_, _>>()?;
+
+    let mut out = Vec::new();
+    let mut last_infeasible: Option<OptError> = None;
+    let mut index = vec![0usize; per_atom.len()];
+    loop {
+        // Materialize the current assignment (per_atom is positionally
+        // aligned with the query's atoms).
+        let mut q = query.clone();
+        for (i, atom) in q.atoms.iter_mut().enumerate() {
+            atom.service = per_atom[i][index[i]].clone();
+        }
+        match analyze(&q, registry) {
+            Ok(report) => out.push(Assignment { query: q, report }),
+            Err(e @ seco_query::QueryError::Infeasible { .. }) => {
+                last_infeasible = Some(OptError::Query(e));
+            }
+            Err(e) => return Err(OptError::Query(e)),
+        }
+        // Advance the odometer.
+        let mut i = per_atom.len();
+        loop {
+            if i == 0 {
+                if out.is_empty() {
+                    return Err(last_infeasible.unwrap_or_else(|| {
+                        OptError::Query(seco_query::QueryError::Infeasible {
+                            unreachable: vec![],
+                            unbound_inputs: vec![],
+                        })
+                    }));
+                }
+                return Ok(out);
+            }
+            i -= 1;
+            index[i] += 1;
+            if index[i] < per_atom[i].len() {
+                break;
+            }
+            index[i] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_query::builder::running_example;
+    use seco_query::QueryBuilder;
+    use seco_services::domains::entertainment;
+    use seco_services::synthetic::{DomainMap, SyntheticService};
+    use std::sync::Arc;
+
+    #[test]
+    fn interface_level_query_has_one_assignment() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let out =
+            enumerate_assignments(&running_example(), &reg, Phase1Heuristic::BoundIsBetter).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].query.atom("M").unwrap().service, "Movie1");
+    }
+
+    /// Registers a second Movie interface with fewer inputs (title
+    /// lookup) so the Movie mart has two access patterns.
+    fn registry_with_two_movie_interfaces() -> seco_services::ServiceRegistry {
+        use seco_model::{
+            Adornment, AttributeDef, DataType, ScoreDecay, ServiceInterface, ServiceKind,
+            ServiceSchema, ServiceStats,
+        };
+        let mut reg = entertainment::build_registry(1).unwrap();
+        let schema = ServiceSchema::new(
+            "Movie2",
+            vec![
+                AttributeDef::atomic("Title", DataType::Text, Adornment::Input),
+                AttributeDef::atomic("Director", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+            ],
+        )
+        .unwrap();
+        let iface = ServiceInterface::new(
+            "Movie2",
+            "Movie",
+            schema,
+            ServiceKind::Search,
+            ServiceStats::new(30.0, 10, 100.0, 1.0).unwrap(),
+            ScoreDecay::Linear,
+        )
+        .unwrap();
+        reg.register_service(Arc::new(SyntheticService::new(iface, DomainMap::new(), 77)))
+            .unwrap();
+        reg
+    }
+
+    #[test]
+    fn mart_level_query_enumerates_interfaces_in_heuristic_order() {
+        let reg = registry_with_two_movie_interfaces();
+        // Query over the *mart* name "Movie"; bind enough inputs for
+        // both interfaces to be feasible.
+        let q = QueryBuilder::new()
+            .atom("M", "Movie")
+            .select_input("M", "Genres.Genre", seco_model::Comparator::Eq, "I1")
+            .select_input("M", "Language", seco_model::Comparator::Eq, "I2")
+            .select_input("M", "Openings.Country", seco_model::Comparator::Eq, "I3")
+            .select_input("M", "Openings.Date", seco_model::Comparator::Gt, "I4")
+            .select_input("M", "Title", seco_model::Comparator::Eq, "I5")
+            .build()
+            .unwrap();
+        // Movie1 has 4 inputs, Movie2 has 1.
+        let bound = enumerate_assignments(&q, &reg, Phase1Heuristic::BoundIsBetter).unwrap();
+        assert_eq!(bound.len(), 2);
+        assert_eq!(bound[0].query.atom("M").unwrap().service, "Movie1");
+        let unbound = enumerate_assignments(&q, &reg, Phase1Heuristic::UnboundIsEasier).unwrap();
+        assert_eq!(unbound[0].query.atom("M").unwrap().service, "Movie2");
+    }
+
+    #[test]
+    fn infeasible_assignments_are_filtered() {
+        let reg = registry_with_two_movie_interfaces();
+        // Only the Title input is bound: Movie1 (4 inputs) infeasible,
+        // Movie2 feasible.
+        let q = QueryBuilder::new()
+            .atom("M", "Movie")
+            .select_input("M", "Title", seco_model::Comparator::Eq, "I5")
+            .build()
+            .unwrap();
+        let out = enumerate_assignments(&q, &reg, Phase1Heuristic::BoundIsBetter).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].query.atom("M").unwrap().service, "Movie2");
+    }
+
+    #[test]
+    fn fully_infeasible_query_errors() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = QueryBuilder::new().atom("T", "Theatre1").build().unwrap();
+        let err = enumerate_assignments(&q, &reg, Phase1Heuristic::BoundIsBetter).unwrap_err();
+        assert!(matches!(err, OptError::Query(seco_query::QueryError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn unknown_service_errors() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = QueryBuilder::new().atom("X", "Nothing").build().unwrap();
+        assert!(matches!(
+            enumerate_assignments(&q, &reg, Phase1Heuristic::BoundIsBetter),
+            Err(OptError::Service(_))
+        ));
+    }
+}

@@ -1,0 +1,151 @@
+//! Plan rendering: indented ASCII (for terminals and EXPERIMENTS.md)
+//! and Graphviz DOT (for figures).
+
+use std::fmt::Write as _;
+
+use crate::annotate::AnnotatedPlan;
+use crate::dag::{NodeId, QueryPlan};
+use crate::error::PlanError;
+
+/// Renders the plan as an indented text tree rooted at the input node,
+/// one line per node, with annotations when provided. Nodes with
+/// multiple successors (fan-out) repeat the successor subtree reference
+/// by id instead of duplicating it.
+pub fn ascii(plan: &QueryPlan, annotations: Option<&AnnotatedPlan>) -> Result<String, PlanError> {
+    let order = plan.topo_order()?;
+    let mut out = String::new();
+    writeln!(out, "plan for: {}", plan.query).expect("writing to String cannot fail");
+    for id in order {
+        let node = plan.node(id)?;
+        let preds = plan.predecessors(id);
+        let pred_list = preds
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let arrow = if preds.is_empty() { String::new() } else { format!(" <- [{pred_list}]") };
+        let ann = annotations
+            .map(|a| {
+                let an = a.annotation(id);
+                format!("  (tin={:.1}, tout={:.1}, calls={:.1})", an.tin, an.tout, an.calls)
+            })
+            .unwrap_or_default();
+        writeln!(out, "  {id}: {}{arrow}{ann}", node.label()).expect("writing to String cannot fail");
+    }
+    Ok(out)
+}
+
+/// Renders the plan in Graphviz DOT syntax.
+pub fn to_dot(plan: &QueryPlan) -> Result<String, PlanError> {
+    plan.topo_order()?; // reject cyclic graphs early
+    let mut out = String::from("digraph plan {\n  rankdir=LR;\n");
+    for id in plan.node_ids() {
+        let node = plan.node(id)?;
+        let shape = match node {
+            crate::node::PlanNode::Input | crate::node::PlanNode::Output => "circle",
+            crate::node::PlanNode::Service(_) => "box",
+            crate::node::PlanNode::ParallelJoin(_) => "diamond",
+            crate::node::PlanNode::Selection(_) => "trapezium",
+        };
+        writeln!(out, "  {id} [label=\"{}\", shape={shape}];", node.label().replace('"', "'"))
+            .expect("writing to String cannot fail");
+    }
+    for (f, t) in plan.edges() {
+        writeln!(out, "  {f} -> {t};").expect("writing to String cannot fail");
+    }
+    out.push_str("}\n");
+    Ok(out)
+}
+
+/// Renders one line per service node: `atom(service) F=n`, in
+/// topological order — the compact form used by experiment tables.
+pub fn summary_line(plan: &QueryPlan) -> Result<String, PlanError> {
+    let order = plan.topo_order()?;
+    let mut parts = Vec::new();
+    for id in order {
+        match plan.node(id)? {
+            crate::node::PlanNode::Service(s) => {
+                parts.push(format!("{}(F={})", s.atom, s.fetches));
+            }
+            crate::node::PlanNode::ParallelJoin(j) => {
+                parts.push(format!("⋈{}/{}", j.invocation, j.completion));
+            }
+            _ => {}
+        }
+    }
+    Ok(parts.join(" → "))
+}
+
+/// Ids of the service nodes in topological order (used by experiments
+/// to print per-service columns deterministically).
+pub fn service_order(plan: &QueryPlan) -> Result<Vec<NodeId>, PlanError> {
+    Ok(plan
+        .topo_order()?
+        .into_iter()
+        .filter(|id| matches!(plan.node(*id), Ok(crate::node::PlanNode::Service(_))))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::{annotate, AnnotationConfig};
+    use crate::node::{PlanNode, ServiceNode};
+    use seco_query::QueryBuilder;
+    use seco_services::domains::entertainment;
+
+    fn simple_plan() -> QueryPlan {
+        let q = QueryBuilder::new()
+            .atom("M", "Movie1")
+            .select_input("M", "Genres.Genre", seco_model::Comparator::Eq, "I1")
+            .select_input("M", "Language", seco_model::Comparator::Eq, "I2")
+            .select_input("M", "Openings.Country", seco_model::Comparator::Eq, "I3")
+            .select_input("M", "Openings.Date", seco_model::Comparator::Gt, "I4")
+            .input("I1", seco_model::Value::text("comedy"))
+            .input("I2", seco_model::Value::text("en"))
+            .input("I3", seco_model::Value::text("country-0"))
+            .input("I4", seco_model::Value::Date(seco_model::Date::new(2009, 1, 1)))
+            .build()
+            .unwrap();
+        let mut p = QueryPlan::new(q);
+        let m = p.add(PlanNode::Service(ServiceNode::new("M", "Movie1").with_fetches(3)));
+        p.connect(p.input(), m).unwrap();
+        p.connect(m, p.output()).unwrap();
+        p
+    }
+
+    #[test]
+    fn ascii_renders_every_node() {
+        let p = simple_plan();
+        let txt = ascii(&p, None).unwrap();
+        assert!(txt.contains("INPUT"));
+        assert!(txt.contains("OUTPUT"));
+        assert!(txt.contains("M:Movie1 F=3"));
+    }
+
+    #[test]
+    fn ascii_includes_annotations_when_given() {
+        let p = simple_plan();
+        let reg = entertainment::build_registry(1).unwrap();
+        let ann = annotate(&p, &reg, &AnnotationConfig::default()).unwrap();
+        let txt = ascii(&p, Some(&ann)).unwrap();
+        assert!(txt.contains("tout=60.0"), "3 fetches × 20 = 60: {txt}");
+    }
+
+    #[test]
+    fn dot_has_nodes_and_edges() {
+        let p = simple_plan();
+        let dot = to_dot(&p).unwrap();
+        assert!(dot.starts_with("digraph plan {"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("n0 -> n2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn summary_line_lists_services_in_order() {
+        let p = simple_plan();
+        assert_eq!(summary_line(&p).unwrap(), "M(F=3)");
+        assert_eq!(service_order(&p).unwrap().len(), 1);
+    }
+}

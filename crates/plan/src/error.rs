@@ -1,0 +1,74 @@
+//! Error type of the plan layer.
+
+use std::fmt;
+
+use seco_model::ModelError;
+use seco_query::QueryError;
+
+/// Errors raised while building, validating, or annotating plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Underlying model error.
+    Model(ModelError),
+    /// Underlying query error.
+    Query(QueryError),
+    /// A node id was out of range.
+    UnknownNode(usize),
+    /// The plan failed structural validation.
+    Invalid {
+        /// What is wrong with the structure.
+        detail: String,
+    },
+    /// The plan contains a cycle (and is therefore not a DAG).
+    Cyclic,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Model(e) => write!(f, "model error: {e}"),
+            PlanError::Query(e) => write!(f, "query error: {e}"),
+            PlanError::UnknownNode(id) => write!(f, "unknown plan node #{id}"),
+            PlanError::Invalid { detail } => write!(f, "invalid plan: {detail}"),
+            PlanError::Cyclic => write!(f, "plan graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Model(e) => Some(e),
+            PlanError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for PlanError {
+    fn from(e: ModelError) -> Self {
+        PlanError::Model(e)
+    }
+}
+
+impl From<QueryError> for PlanError {
+    fn from(e: QueryError) -> Self {
+        PlanError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(PlanError::Cyclic.to_string().contains("cycle"));
+        assert!(PlanError::UnknownNode(3).to_string().contains("#3"));
+        let e: PlanError = ModelError::UnknownName("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: PlanError = QueryError::UnknownAtom("a".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&PlanError::Cyclic).is_none());
+    }
+}

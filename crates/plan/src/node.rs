@@ -1,0 +1,294 @@
+//! Plan node kinds and join strategy specifications (Fig. 1).
+//!
+//! The graphical syntax of Fig. 1 distinguishes: the query input and
+//! output nodes; exact services (selective or proliferative, possibly
+//! chunked); search services (always proliferative and chunked);
+//! parallel-join nodes "marked with an indication of the join strategy
+//! to be employed"; and selection nodes for predicates that no service
+//! call or connection pattern can absorb.
+
+use std::fmt;
+
+use seco_query::{JoinPredicate, SelectionPredicate};
+
+/// Invocation strategy of a join (§4.3): the order and frequency in
+/// which the two services are called.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invocation {
+    /// Drain the `h` high-score chunks of the step-scored service first,
+    /// then walk the other service (§4.3.1).
+    NestedLoop,
+    /// Alternate calls "diagonally", with an inter-service ratio
+    /// `r = r1/r2` between calls to the first and second service
+    /// (§4.3.2). `MergeScan { r1: 1, r2: 1 }` alternates evenly.
+    MergeScan {
+        /// Calls to the first service per round.
+        r1: u32,
+        /// Calls to the second service per round.
+        r2: u32,
+    },
+}
+
+impl Invocation {
+    /// Even merge-scan (ratio 1:1).
+    pub fn merge_scan_even() -> Self {
+        Invocation::MergeScan { r1: 1, r2: 1 }
+    }
+
+    /// The inter-service ratio as a float (`r1/r2`), 1.0 for
+    /// nested-loop (which has no meaningful ratio).
+    pub fn ratio(&self) -> f64 {
+        match self {
+            Invocation::NestedLoop => 1.0,
+            Invocation::MergeScan { r1, r2 } => *r1 as f64 / (*r2).max(1) as f64,
+        }
+    }
+}
+
+impl fmt::Display for Invocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Invocation::NestedLoop => write!(f, "NL"),
+            Invocation::MergeScan { r1, r2 } => write!(f, "MS(r={r1}/{r2})"),
+        }
+    }
+}
+
+/// Completion strategy of a join (§4.4): the order in which tiles of
+/// the search space are processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// Process every tile as soon as its tuples are available (§4.4.1).
+    Rectangular,
+    /// Process tiles diagonally under `x·r2 + y·r1 < c` with growing `c`
+    /// (§4.4.2); considers only the "most promising" half of the
+    /// rectangle.
+    Triangular,
+}
+
+impl Completion {
+    /// The fraction of the loaded rectangle's tiles the strategy
+    /// actually processes — 1 for rectangular, ½ for triangular ("only
+    /// the half of the most promising combinations are considered",
+    /// §5.6). Used by the annotation arithmetic.
+    pub fn coverage_factor(&self) -> f64 {
+        match self {
+            Completion::Rectangular => 1.0,
+            Completion::Triangular => 0.5,
+        }
+    }
+}
+
+impl fmt::Display for Completion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Completion::Rectangular => write!(f, "rect"),
+            Completion::Triangular => write!(f, "tri"),
+        }
+    }
+}
+
+/// Strategy annotation of a parallel-join node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSpec {
+    /// Invocation strategy.
+    pub invocation: Invocation,
+    /// Completion strategy.
+    pub completion: Completion,
+    /// The join predicates this node evaluates (already oriented; the
+    /// atoms on each side must be available in the joined branches).
+    pub predicates: Vec<JoinPredicate>,
+    /// Estimated selectivity of the predicates over a random candidate
+    /// pair (e.g. 0.02 for `Shows`).
+    pub selectivity: f64,
+}
+
+/// A service-invocation node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceNode {
+    /// The query atom this node answers (alias).
+    pub atom: String,
+    /// The service interface invoked.
+    pub service: String,
+    /// Fetch factor `F`: chunks fetched per input tuple (≥ 1). For
+    /// unchunked exact services this must be 1 (§5.5 initialises all
+    /// fetching factors to 1, "the lowest admissible value").
+    pub fetches: u32,
+    /// When this node is the target of a pipe join: keep only the first
+    /// (best) result per invocation, as the §5.6 instantiation does for
+    /// `Restaurant` ("we choose to only keep and include in the result
+    /// the first (and presumably best!) restaurant found for each
+    /// location").
+    pub keep_first: bool,
+}
+
+impl ServiceNode {
+    /// A service node with fetch factor 1.
+    pub fn new(atom: impl Into<String>, service: impl Into<String>) -> Self {
+        ServiceNode { atom: atom.into(), service: service.into(), fetches: 1, keep_first: false }
+    }
+
+    /// Sets the fetch factor, builder-style.
+    pub fn with_fetches(mut self, fetches: u32) -> Self {
+        self.fetches = fetches.max(1);
+        self
+    }
+
+    /// Keeps only the best result per invocation, builder-style.
+    pub fn with_keep_first(mut self) -> Self {
+        self.keep_first = true;
+        self
+    }
+}
+
+/// A selection node: predicates evaluated on the flowing tuples
+/// "immediately after the service call that makes \[them\] evaluable"
+/// (§3.2). Per the chapter's footnote, both `Si.atti op const` and
+/// `Si.atti op Sj.attj` forms are allowed — the join form is how chain
+/// topologies filter on connection predicates that no pipe absorbed
+/// (e.g. `Shows` in the all-sequential Fig. 9(a) topology).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionNode {
+    /// The constant-comparison predicates applied by this node.
+    pub predicates: Vec<SelectionPredicate>,
+    /// The join predicates applied by this node (all referenced atoms
+    /// must be available in the incoming dataflow).
+    pub join_predicates: Vec<JoinPredicate>,
+    /// Estimated fraction of tuples passing (overrides the default
+    /// per-comparator estimates when the workload knows better, e.g.
+    /// 0.25 for the Fig. 2 weather condition).
+    pub selectivity: f64,
+}
+
+impl SelectionNode {
+    /// A selection node with the default selectivity estimate derived
+    /// from the comparators.
+    pub fn new(predicates: Vec<SelectionPredicate>) -> Self {
+        let selectivity = seco_query::predicate::estimate_selection_selectivity(
+            &predicates.iter().collect::<Vec<_>>(),
+        );
+        SelectionNode { predicates, join_predicates: Vec::new(), selectivity }
+    }
+
+    /// A selection node applying join predicates as filters, with an
+    /// explicit selectivity (typically the connection pattern's).
+    pub fn join_filter(join_predicates: Vec<JoinPredicate>, selectivity: f64) -> Self {
+        SelectionNode {
+            predicates: Vec::new(),
+            join_predicates,
+            selectivity: selectivity.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Overrides the selectivity estimate.
+    pub fn with_selectivity(mut self, selectivity: f64) -> Self {
+        self.selectivity = selectivity.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// A node of the plan DAG (Fig. 1's element set).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// The query input: reads `INPUT` variables and starts execution
+    /// with one tuple.
+    Input,
+    /// The query output: returns combinations to the query interface.
+    Output,
+    /// A service invocation (exact or search; pipe joins are chains of
+    /// these).
+    Service(ServiceNode),
+    /// An explicit parallel-join node.
+    ParallelJoin(JoinSpec),
+    /// A selection node.
+    Selection(SelectionNode),
+}
+
+impl PlanNode {
+    /// Short label for rendering.
+    pub fn label(&self) -> String {
+        match self {
+            PlanNode::Input => "INPUT".to_owned(),
+            PlanNode::Output => "OUTPUT".to_owned(),
+            PlanNode::Service(s) => {
+                let mut l = format!("{}:{}", s.atom, s.service);
+                if s.fetches > 1 {
+                    l.push_str(&format!(" F={}", s.fetches));
+                }
+                if s.keep_first {
+                    l.push_str(" keep-first");
+                }
+                l
+            }
+            PlanNode::ParallelJoin(j) => format!("⋈ {}/{}", j.invocation, j.completion),
+            PlanNode::Selection(s) => {
+                format!("σ[{} predicates]", s.predicates.len() + s.join_predicates.len())
+            }
+        }
+    }
+
+    /// The atom this node produces, if it is a service node.
+    pub fn atom(&self) -> Option<&str> {
+        match self {
+            PlanNode::Service(s) => Some(&s.atom),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_model::{AttributePath, Comparator, Value};
+    use seco_query::{Operand, QualifiedPath};
+
+    #[test]
+    fn invocation_ratio_and_display() {
+        assert_eq!(Invocation::merge_scan_even().ratio(), 1.0);
+        assert_eq!(Invocation::MergeScan { r1: 3, r2: 5 }.ratio(), 0.6);
+        assert_eq!(Invocation::NestedLoop.ratio(), 1.0);
+        assert_eq!(Invocation::NestedLoop.to_string(), "NL");
+        assert_eq!(Invocation::MergeScan { r1: 3, r2: 5 }.to_string(), "MS(r=3/5)");
+        // Zero denominator is tolerated.
+        assert_eq!(Invocation::MergeScan { r1: 2, r2: 0 }.ratio(), 2.0);
+    }
+
+    #[test]
+    fn completion_coverage_factors() {
+        assert_eq!(Completion::Rectangular.coverage_factor(), 1.0);
+        assert_eq!(Completion::Triangular.coverage_factor(), 0.5);
+        assert_eq!(Completion::Triangular.to_string(), "tri");
+    }
+
+    #[test]
+    fn service_node_builders() {
+        let n = ServiceNode::new("M", "Movie1").with_fetches(5);
+        assert_eq!(n.fetches, 5);
+        assert!(!n.keep_first);
+        let n = ServiceNode::new("R", "Restaurant1").with_fetches(0).with_keep_first();
+        assert_eq!(n.fetches, 1, "fetch factor is clamped to >= 1");
+        assert!(n.keep_first);
+    }
+
+    #[test]
+    fn selection_node_selectivity_defaults_and_overrides() {
+        let p = SelectionPredicate {
+            left: QualifiedPath::new("W", AttributePath::atomic("AvgTemp")),
+            op: Comparator::Gt,
+            right: Operand::Const(Value::Int(26)),
+        };
+        let n = SelectionNode::new(vec![p.clone()]);
+        assert_eq!(n.selectivity, 0.5, "Gt defaults to 0.5");
+        let n = SelectionNode::new(vec![p]).with_selectivity(0.25);
+        assert_eq!(n.selectivity, 0.25);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(PlanNode::Input.label(), "INPUT");
+        let svc = PlanNode::Service(ServiceNode::new("M", "Movie1").with_fetches(5));
+        assert_eq!(svc.label(), "M:Movie1 F=5");
+        assert_eq!(svc.atom(), Some("M"));
+        assert_eq!(PlanNode::Output.atom(), None);
+    }
+}

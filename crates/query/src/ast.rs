@@ -1,0 +1,446 @@
+//! Query abstract syntax (§3.1).
+//!
+//! A query consists of a set of *atoms* (service-interface uses with
+//! aliases — "the same service can occur several times with a different
+//! renaming"), selection predicates `A op const`, join predicates
+//! `A op B`, and references to connection patterns which expand into
+//! join predicates. Constants may be `INPUT` variables whose values are
+//! supplied at execution time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use seco_model::{AttributePath, Comparator, Value};
+use seco_services::ServiceRegistry;
+
+use crate::error::QueryError;
+use crate::ranking::RankingFunction;
+
+/// One use of a service interface in a query, under an alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryAtom {
+    /// Alias, unique in the query (e.g. `M`).
+    pub alias: String,
+    /// The service-interface name (e.g. `Movie1`).
+    pub service: String,
+}
+
+impl QueryAtom {
+    /// Creates an atom.
+    pub fn new(alias: impl Into<String>, service: impl Into<String>) -> Self {
+        QueryAtom { alias: alias.into(), service: service.into() }
+    }
+}
+
+/// An attribute path qualified by the atom it belongs to: `M.Genres.Genre`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QualifiedPath {
+    /// Atom alias.
+    pub atom: String,
+    /// Path within the atom's service schema.
+    pub path: AttributePath,
+}
+
+impl QualifiedPath {
+    /// Creates a qualified path.
+    pub fn new(atom: impl Into<String>, path: AttributePath) -> Self {
+        QualifiedPath { atom: atom.into(), path }
+    }
+}
+
+impl fmt::Display for QualifiedPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.atom, self.path)
+    }
+}
+
+/// Right-hand side of a selection predicate: a literal constant or an
+/// `INPUT` variable resolved at execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// Literal constant.
+    Const(Value),
+    /// Named input variable (`INPUT1`, `INPUT2`, …).
+    Input(String),
+}
+
+impl Operand {
+    /// Resolves the operand against the input assignment.
+    pub fn resolve(&self, inputs: &BTreeMap<String, Value>) -> Result<Value, QueryError> {
+        match self {
+            Operand::Const(v) => Ok(v.clone()),
+            Operand::Input(name) => {
+                inputs.get(name).cloned().ok_or_else(|| QueryError::UnboundInput(name.clone()))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(v) => write!(f, "{v}"),
+            Operand::Input(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// Selection predicate `A op const` (§3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionPredicate {
+    /// The attribute being constrained.
+    pub left: QualifiedPath,
+    /// Comparator.
+    pub op: Comparator,
+    /// Constant or `INPUT` variable.
+    pub right: Operand,
+}
+
+impl fmt::Display for SelectionPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// Join predicate `A op B` (§3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPredicate {
+    /// Left attribute.
+    pub left: QualifiedPath,
+    /// Comparator.
+    pub op: Comparator,
+    /// Right attribute.
+    pub right: QualifiedPath,
+}
+
+impl JoinPredicate {
+    /// The predicate with its sides swapped (comparator mirrored), so
+    /// `left` belongs to the requested atom when possible.
+    pub fn oriented_from(&self, atom: &str) -> JoinPredicate {
+        if self.left.atom == atom {
+            self.clone()
+        } else {
+            let op = match self.op {
+                Comparator::Lt => Comparator::Gt,
+                Comparator::Le => Comparator::Ge,
+                Comparator::Gt => Comparator::Lt,
+                Comparator::Ge => Comparator::Le,
+                other => other,
+            };
+            JoinPredicate { left: self.right.clone(), op, right: self.left.clone() }
+        }
+    }
+
+    /// True when the predicate connects the two given atoms (in either
+    /// orientation).
+    pub fn connects(&self, a: &str, b: &str) -> bool {
+        (self.left.atom == a && self.right.atom == b) || (self.left.atom == b && self.right.atom == a)
+    }
+}
+
+impl fmt::Display for JoinPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// Reference to a connection pattern: `Shows(M, T)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternRef {
+    /// Pattern name.
+    pub pattern: String,
+    /// Atom playing the pattern's first (from) role.
+    pub from_atom: String,
+    /// Atom playing the pattern's second (to) role.
+    pub to_atom: String,
+}
+
+impl fmt::Display for PatternRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}, {})", self.pattern, self.from_atom, self.to_atom)
+    }
+}
+
+/// A conjunctive query over service interfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The service atoms, in declaration order.
+    pub atoms: Vec<QueryAtom>,
+    /// Selection predicates.
+    pub selections: Vec<SelectionPredicate>,
+    /// Explicit join predicates.
+    pub joins: Vec<JoinPredicate>,
+    /// Connection-pattern references (compact join syntax).
+    pub patterns: Vec<PatternRef>,
+    /// Values of the `INPUT` variables (supplied at execution time).
+    pub inputs: BTreeMap<String, Value>,
+    /// Global ranking function (weights per atom, §3.1).
+    pub ranking: RankingFunction,
+    /// Number of answer combinations requested (the optimization
+    /// parameter `k`, §3.2).
+    pub k: usize,
+}
+
+impl Query {
+    /// Looks up an atom by alias.
+    pub fn atom(&self, alias: &str) -> Result<&QueryAtom, QueryError> {
+        self.atoms
+            .iter()
+            .find(|a| a.alias == alias)
+            .ok_or_else(|| QueryError::UnknownAtom(alias.to_owned()))
+    }
+
+    /// Index of an atom by alias.
+    pub fn atom_index(&self, alias: &str) -> Result<usize, QueryError> {
+        self.atoms
+            .iter()
+            .position(|a| a.alias == alias)
+            .ok_or_else(|| QueryError::UnknownAtom(alias.to_owned()))
+    }
+
+    /// Validates alias uniqueness and that predicates/pattern refs only
+    /// mention declared atoms.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        for (i, a) in self.atoms.iter().enumerate() {
+            if self.atoms[..i].iter().any(|b| b.alias == a.alias) {
+                return Err(QueryError::DuplicateAtom(a.alias.clone()));
+            }
+        }
+        for s in &self.selections {
+            self.atom(&s.left.atom)?;
+        }
+        for j in &self.joins {
+            self.atom(&j.left.atom)?;
+            self.atom(&j.right.atom)?;
+        }
+        for p in &self.patterns {
+            self.atom(&p.from_atom)?;
+            self.atom(&p.to_atom)?;
+        }
+        Ok(())
+    }
+
+    /// Expands connection-pattern references into explicit join
+    /// predicates, returning the *full* join list (explicit joins first,
+    /// then expanded pattern joins, §3.1's "more compact" formulation).
+    pub fn expanded_joins(&self, registry: &ServiceRegistry) -> Result<Vec<JoinPredicate>, QueryError> {
+        let mut joins = self.joins.clone();
+        for pref in &self.patterns {
+            let pattern = registry.pattern(&pref.pattern)?;
+            for pair in &pattern.pairs {
+                joins.push(JoinPredicate {
+                    left: QualifiedPath::new(pref.from_atom.clone(), pair.from.clone()),
+                    op: pair.op,
+                    right: QualifiedPath::new(pref.to_atom.clone(), pair.to.clone()),
+                });
+            }
+        }
+        Ok(joins)
+    }
+
+    /// Estimated selectivity of the join between two atoms: the product
+    /// of the connection-pattern selectivities linking them, with
+    /// default comparator selectivities for explicit join predicates.
+    pub fn join_selectivity(
+        &self,
+        registry: &ServiceRegistry,
+        a: &str,
+        b: &str,
+    ) -> Result<f64, QueryError> {
+        let mut sel = 1.0;
+        let mut any = false;
+        for pref in &self.patterns {
+            if (pref.from_atom == a && pref.to_atom == b) || (pref.from_atom == b && pref.to_atom == a) {
+                sel *= registry.pattern(&pref.pattern)?.selectivity;
+                any = true;
+            }
+        }
+        for j in &self.joins {
+            if j.connects(a, b) {
+                sel *= j.op.default_selectivity();
+                any = true;
+            }
+        }
+        Ok(if any { sel } else { 1.0 })
+    }
+
+    /// All `INPUT` variable names mentioned by the query.
+    pub fn input_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .selections
+            .iter()
+            .filter_map(|s| match &s.right {
+                Operand::Input(n) => Some(n.as_str()),
+                Operand::Const(_) => None,
+            })
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Select ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} As {}", a.service, a.alias)?;
+        }
+        write!(f, " where ")?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                Ok(())
+            } else {
+                write!(f, " and ")
+            }
+        };
+        for p in &self.patterns {
+            sep(f)?;
+            write!(f, "{p}")?;
+        }
+        for j in &self.joins {
+            sep(f)?;
+            write!(f, "{j}")?;
+        }
+        for s in &self.selections {
+            sep(f)?;
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_services::domains::entertainment;
+
+    fn sample() -> Query {
+        Query {
+            atoms: vec![QueryAtom::new("M", "Movie1"), QueryAtom::new("T", "Theatre1")],
+            selections: vec![SelectionPredicate {
+                left: QualifiedPath::new("M", AttributePath::sub("Genres", "Genre")),
+                op: Comparator::Eq,
+                right: Operand::Input("INPUT1".into()),
+            }],
+            joins: vec![JoinPredicate {
+                left: QualifiedPath::new("M", AttributePath::atomic("Title")),
+                op: Comparator::Eq,
+                right: QualifiedPath::new("T", AttributePath::sub("Movie", "Title")),
+            }],
+            patterns: vec![],
+            inputs: BTreeMap::new(),
+            ranking: RankingFunction::uniform(2),
+            k: 10,
+        }
+    }
+
+    #[test]
+    fn atom_lookup_and_validation() {
+        let q = sample();
+        assert!(q.validate().is_ok());
+        assert_eq!(q.atom("M").unwrap().service, "Movie1");
+        assert!(q.atom("X").is_err());
+        assert_eq!(q.atom_index("T").unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let mut q = sample();
+        q.atoms.push(QueryAtom::new("M", "Movie1"));
+        assert!(matches!(q.validate(), Err(QueryError::DuplicateAtom(_))));
+    }
+
+    #[test]
+    fn predicates_must_reference_declared_atoms() {
+        let mut q = sample();
+        q.joins.push(JoinPredicate {
+            left: QualifiedPath::new("Z", AttributePath::atomic("A")),
+            op: Comparator::Eq,
+            right: QualifiedPath::new("M", AttributePath::atomic("Title")),
+        });
+        assert!(matches!(q.validate(), Err(QueryError::UnknownAtom(_))));
+    }
+
+    #[test]
+    fn pattern_expansion_adds_joins() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let mut q = sample();
+        q.joins.clear();
+        q.patterns.push(PatternRef {
+            pattern: "Shows".into(),
+            from_atom: "M".into(),
+            to_atom: "T".into(),
+        });
+        let joins = q.expanded_joins(&reg).unwrap();
+        assert_eq!(joins.len(), 1);
+        assert_eq!(joins[0].left, QualifiedPath::new("M", AttributePath::atomic("Title")));
+        assert_eq!(joins[0].right, QualifiedPath::new("T", AttributePath::sub("Movie", "Title")));
+    }
+
+    #[test]
+    fn join_selectivity_uses_pattern_estimates() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let mut q = sample();
+        q.joins.clear();
+        q.patterns.push(PatternRef {
+            pattern: "Shows".into(),
+            from_atom: "M".into(),
+            to_atom: "T".into(),
+        });
+        let sel = q.join_selectivity(&reg, "M", "T").unwrap();
+        assert!((sel - 0.02).abs() < 1e-12);
+        // Unconnected atoms get the neutral selectivity 1.
+        assert_eq!(q.join_selectivity(&reg, "M", "Z").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn operand_resolution() {
+        let mut inputs = BTreeMap::new();
+        inputs.insert("INPUT1".to_owned(), Value::text("comedy"));
+        assert_eq!(
+            Operand::Input("INPUT1".into()).resolve(&inputs).unwrap(),
+            Value::text("comedy")
+        );
+        assert!(matches!(
+            Operand::Input("INPUT9".into()).resolve(&inputs),
+            Err(QueryError::UnboundInput(_))
+        ));
+        assert_eq!(Operand::Const(Value::Int(3)).resolve(&inputs).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn join_orientation_mirrors_comparators() {
+        let j = JoinPredicate {
+            left: QualifiedPath::new("A", AttributePath::atomic("X")),
+            op: Comparator::Lt,
+            right: QualifiedPath::new("B", AttributePath::atomic("Y")),
+        };
+        let o = j.oriented_from("B");
+        assert_eq!(o.left.atom, "B");
+        assert_eq!(o.op, Comparator::Gt);
+        assert_eq!(j.oriented_from("A"), j);
+        assert!(j.connects("A", "B") && j.connects("B", "A") && !j.connects("A", "C"));
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let q = sample();
+        let txt = q.to_string();
+        assert!(txt.contains("Select Movie1 As M, Theatre1 As T"));
+        assert!(txt.contains("M.Title = T.Movie.Title"));
+        assert!(txt.contains("M.Genres.Genre = INPUT1"));
+    }
+
+    #[test]
+    fn input_names_are_sorted_and_deduped() {
+        let mut q = sample();
+        q.selections.push(q.selections[0].clone());
+        assert_eq!(q.input_names(), vec!["INPUT1"]);
+    }
+}

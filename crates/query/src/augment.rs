@@ -1,0 +1,335 @@
+//! Query augmentation (§2.3): answering infeasible queries with
+//! off-query services.
+//!
+//! "For some queries, it may happen that no permissible choice of
+//! access patterns exists. Although, in this case, the original user
+//! query cannot be answered, it may still be possible to obtain a
+//! subset of the answers to the original user query by invoking
+//! services that are not necessarily mentioned in the query, but that
+//! are available in the schema. In particular, such 'off-query' services
+//! may be invoked so that their output fields provide useful bindings
+//! for the input fields of the services in the query with the same
+//! abstract domain."
+//!
+//! This module implements the *non-recursive* core of that idea: for
+//! each unbound input, search the registry for a service with an output
+//! attribute of the same abstract domain whose own inputs are already
+//! coverable (no inputs, or inputs whose domains match constants the
+//! query binds elsewhere). The chapter notes that the general case
+//! "requires the evaluation of a recursive query plan even if the
+//! initial query was non-recursive"; we iterate the one-step rule up to
+//! a configurable bound, which covers chains of off-query services but
+//! not genuinely recursive plans, and — as the chapter warns — yields
+//! an *approximation* (a subset of the original query's answers).
+
+use seco_model::{AttributePath, Comparator};
+use seco_services::ServiceRegistry;
+
+use crate::ast::{JoinPredicate, QualifiedPath, Query, QueryAtom, SelectionPredicate};
+use crate::error::QueryError;
+use crate::feasibility::analyze;
+
+/// Options of the augmentation search.
+#[derive(Debug, Clone, Copy)]
+pub struct AugmentOptions {
+    /// Maximum number of off-query atoms to add.
+    pub max_added: usize,
+}
+
+impl Default for AugmentOptions {
+    fn default() -> Self {
+        AugmentOptions { max_added: 3 }
+    }
+}
+
+/// Result of a successful augmentation.
+#[derive(Debug, Clone)]
+pub struct Augmented {
+    /// The feasible, augmented query (an approximation of the original).
+    pub query: Query,
+    /// Aliases of the added off-query atoms, in addition order.
+    pub added: Vec<String>,
+}
+
+/// Parses `"alias.path"` back into structured form (the
+/// [`QueryError::Infeasible`] payload is stringly for display purposes).
+fn parse_unbound(s: &str) -> Option<(String, AttributePath)> {
+    let (alias, rest) = s.split_once('.')?;
+    Some((alias.to_owned(), AttributePath::parse(rest)?))
+}
+
+/// Tries to make an infeasible query feasible by adding off-query
+/// service atoms. Returns the query unchanged (zero additions) when it
+/// is already feasible.
+pub fn augment_query(
+    query: &Query,
+    registry: &ServiceRegistry,
+    options: AugmentOptions,
+) -> Result<Augmented, QueryError> {
+    let mut current = query.clone();
+    let mut added = Vec::new();
+
+    for round in 0..=options.max_added {
+        let unbound = match analyze(&current, registry) {
+            Ok(_) => return Ok(Augmented { query: current, added }),
+            Err(QueryError::Infeasible { unbound_inputs, .. }) => unbound_inputs,
+            Err(e) => return Err(e),
+        };
+        if round == options.max_added {
+            break;
+        }
+        // Pick the first unbound input we can cover.
+        let mut progressed = false;
+        'inputs: for raw in &unbound {
+            let Some((alias, input_path)) = parse_unbound(raw) else { continue };
+            let atom = current.atom(&alias)?.clone();
+            let schema = &registry.interface(&atom.service)?.schema;
+            let Some(needed_domain) = schema.domain_of(&input_path)?.map(str::to_owned) else {
+                continue; // untagged inputs cannot be matched
+            };
+            // Candidate off-query interfaces, fewest inputs first.
+            let mut candidates: Vec<&str> = registry.service_names();
+            candidates.sort_by_key(|n| {
+                registry.interface(n).map(|i| i.input_arity()).unwrap_or(usize::MAX)
+            });
+            for candidate_name in candidates {
+                let candidate = registry.interface(candidate_name)?;
+                // An output attribute of the needed domain?
+                let Some(out_path) = candidate
+                    .schema
+                    .output_paths()
+                    .into_iter()
+                    .find(|p| candidate.schema.domain_of(p).ok().flatten() == Some(needed_domain.as_str()))
+                else {
+                    continue;
+                };
+                // Every candidate input must be coverable by a constant
+                // the query already binds on the same domain.
+                let mut selections = Vec::new();
+                let mut coverable = true;
+                for cin in candidate.schema.input_paths() {
+                    let cin_domain = candidate.schema.domain_of(&cin)?.map(str::to_owned);
+                    let reuse = cin_domain.as_deref().and_then(|d| {
+                        current.selections.iter().find(|s| {
+                            let satom = current.atom(&s.left.atom).ok();
+                            let sschema = satom
+                                .and_then(|a| registry.interface(&a.service).ok())
+                                .map(|i| &i.schema);
+                            sschema
+                                .and_then(|sc| sc.domain_of(&s.left.path).ok().flatten())
+                                == Some(d)
+                        })
+                    });
+                    match reuse {
+                        Some(s) => selections.push(SelectionPredicate {
+                            left: QualifiedPath::new(format!("AUG{}", added.len() + 1), cin),
+                            op: s.op,
+                            right: s.right.clone(),
+                        }),
+                        None => {
+                            coverable = false;
+                            break;
+                        }
+                    }
+                }
+                if !coverable {
+                    continue;
+                }
+                // Add the off-query atom, its reused selections, and the
+                // binding join.
+                let aug_alias = format!("AUG{}", added.len() + 1);
+                current.atoms.push(QueryAtom::new(aug_alias.clone(), candidate_name));
+                current.selections.extend(selections);
+                current.joins.push(JoinPredicate {
+                    left: QualifiedPath::new(aug_alias.clone(), out_path),
+                    op: Comparator::Eq,
+                    right: QualifiedPath::new(alias.clone(), input_path.clone()),
+                });
+                // Keep the ranking arity in sync (weight 0: off-query
+                // services do not contribute to the global ranking).
+                let mut weights = current.ranking.weights().to_vec();
+                weights.push(0.0);
+                current.ranking = crate::ranking::RankingFunction::new(weights)?;
+                added.push(aug_alias);
+                progressed = true;
+                break 'inputs;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Could not be repaired: surface the original infeasibility.
+    match analyze(query, registry) {
+        Err(e) => Err(e),
+        Ok(_) => Ok(Augmented { query: current, added }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use seco_model::{
+        Adornment, AttributeDef, DataType, Date, ScoreDecay, ServiceInterface, ServiceKind,
+        ServiceSchema, ServiceStats, Value,
+    };
+    use seco_services::synthetic::{DomainMap, SyntheticService, ValueDomain};
+    use std::sync::Arc;
+
+    /// A registry with a Flight service whose `To` input is tagged with
+    /// the `city` domain, and a zero-input CityDirectory producing
+    /// `city`-tagged outputs.
+    fn registry() -> ServiceRegistry {
+        let mut reg = ServiceRegistry::new();
+        let flight_schema = ServiceSchema::new(
+            "Flight1",
+            vec![
+                AttributeDef::atomic("To", DataType::Text, Adornment::Input).with_domain("city"),
+                AttributeDef::atomic("Date", DataType::Date, Adornment::Input).with_domain("date"),
+                AttributeDef::atomic("Price", DataType::Float, Adornment::Output),
+                AttributeDef::atomic("Convenience", DataType::Float, Adornment::Ranked),
+            ],
+        )
+        .unwrap();
+        let flight = ServiceInterface::new(
+            "Flight1",
+            "Flight",
+            flight_schema,
+            ServiceKind::Search,
+            ServiceStats::new(30.0, 10, 100.0, 1.0).unwrap(),
+            ScoreDecay::Linear,
+        )
+        .unwrap();
+        let dir_schema = ServiceSchema::new(
+            "CityDirectory1",
+            vec![
+                AttributeDef::atomic("City", DataType::Text, Adornment::Output).with_domain("city"),
+                AttributeDef::atomic("Population", DataType::Int, Adornment::Output),
+            ],
+        )
+        .unwrap();
+        let dir = ServiceInterface::new(
+            "CityDirectory1",
+            "CityDirectory",
+            dir_schema,
+            ServiceKind::Exact { chunked: false },
+            ServiceStats::new(12.0, 12, 30.0, 1.0).unwrap(),
+            ScoreDecay::Constant(1.0),
+        )
+        .unwrap();
+        let city = ValueDomain::new("city", 12);
+        reg.register_service(Arc::new(SyntheticService::new(
+            flight,
+            DomainMap::new().with(AttributePath::atomic("To"), city.clone()),
+            1,
+        )))
+        .unwrap();
+        reg.register_service(Arc::new(SyntheticService::new(
+            dir,
+            DomainMap::new().with(AttributePath::atomic("City"), city),
+            2,
+        )))
+        .unwrap();
+        reg
+    }
+
+    fn infeasible_flight_query() -> Query {
+        // Only the date is bound; the destination city is not.
+        QueryBuilder::new()
+            .atom("F", "Flight1")
+            .select_const("F", "Date", Comparator::Eq, Value::Date(Date::new(2009, 7, 1)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn augmentation_repairs_the_unbound_city_input() {
+        let reg = registry();
+        let q = infeasible_flight_query();
+        assert!(matches!(analyze(&q, &reg), Err(QueryError::Infeasible { .. })));
+
+        let augmented = augment_query(&q, &reg, AugmentOptions::default()).unwrap();
+        assert_eq!(augmented.added, vec!["AUG1"]);
+        assert_eq!(augmented.query.atoms.len(), 2);
+        assert_eq!(augmented.query.atom("AUG1").unwrap().service, "CityDirectory1");
+        // The augmented query is feasible and the directory feeds the
+        // flight's destination.
+        let report = analyze(&augmented.query, &reg).unwrap();
+        assert_eq!(report.pipe_edges, vec![("AUG1".to_owned(), "F".to_owned())]);
+        // The off-query service carries ranking weight 0.
+        assert_eq!(augmented.query.ranking.weights().last(), Some(&0.0));
+    }
+
+    #[test]
+    fn augmented_query_actually_executes() {
+        let reg = registry();
+        let q = infeasible_flight_query();
+        let augmented = augment_query(&q, &reg, AugmentOptions::default()).unwrap();
+        let answers = crate::semantics::evaluate_oracle(&augmented.query, &reg).unwrap();
+        assert!(!answers.is_empty(), "the approximation should produce flights");
+        // Every answer's flight destination equals the directory city
+        // that bound it.
+        for a in &answers {
+            let f = a.component("F").unwrap();
+            let d = a.component("AUG1").unwrap();
+            let fschema = &reg.interface("Flight1").unwrap().schema;
+            let dschema = &reg.interface("CityDirectory1").unwrap().schema;
+            assert_eq!(
+                f.first_value_at(fschema, &AttributePath::atomic("To")).unwrap(),
+                d.first_value_at(dschema, &AttributePath::atomic("City")).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn feasible_queries_pass_through_unchanged() {
+        let reg = registry();
+        let q = QueryBuilder::new()
+            .atom("F", "Flight1")
+            .select_const("F", "Date", Comparator::Eq, Value::Date(Date::new(2009, 7, 1)))
+            .select_const("F", "To", Comparator::Eq, Value::text("city-3"))
+            .build()
+            .unwrap();
+        let augmented = augment_query(&q, &reg, AugmentOptions::default()).unwrap();
+        assert!(augmented.added.is_empty());
+        assert_eq!(augmented.query, q);
+    }
+
+    #[test]
+    fn unrepairable_queries_keep_their_infeasibility_error() {
+        let mut reg = registry();
+        // Add a service whose unbound input's domain nothing provides.
+        let schema = ServiceSchema::new(
+            "Isbn1",
+            vec![
+                AttributeDef::atomic("Isbn", DataType::Text, Adornment::Input).with_domain("isbn"),
+                AttributeDef::atomic("Title", DataType::Text, Adornment::Output),
+            ],
+        )
+        .unwrap();
+        let iface = ServiceInterface::new(
+            "Isbn1",
+            "Isbn",
+            schema,
+            ServiceKind::Exact { chunked: false },
+            ServiceStats::new(1.0, 1, 10.0, 1.0).unwrap(),
+            ScoreDecay::Constant(1.0),
+        )
+        .unwrap();
+        reg.register_service(Arc::new(SyntheticService::new(iface, DomainMap::new(), 3)))
+            .unwrap();
+        let q = QueryBuilder::new().atom("B", "Isbn1").build().unwrap();
+        let err = augment_query(&q, &reg, AugmentOptions::default()).unwrap_err();
+        assert!(matches!(err, QueryError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn max_added_bounds_the_search() {
+        let reg = registry();
+        let q = infeasible_flight_query();
+        let err = augment_query(&q, &reg, AugmentOptions { max_added: 0 }).unwrap_err();
+        assert!(matches!(err, QueryError::Infeasible { .. }));
+    }
+}

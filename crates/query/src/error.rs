@@ -1,0 +1,104 @@
+//! Error type of the query layer.
+
+use std::fmt;
+
+use seco_model::ModelError;
+use seco_services::ServiceError;
+
+/// Errors raised while parsing, analysing, or evaluating queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Underlying model error.
+    Model(ModelError),
+    /// Underlying service error.
+    Service(ServiceError),
+    /// Syntax error from the parser.
+    Parse {
+        /// Byte offset in the input where the error was detected.
+        offset: usize,
+        /// What the parser expected or found.
+        detail: String,
+    },
+    /// An atom alias was referenced but never declared in `Select`.
+    UnknownAtom(String),
+    /// An atom alias was declared twice.
+    DuplicateAtom(String),
+    /// An `INPUT` variable used by the query has no value assigned.
+    UnboundInput(String),
+    /// The query is infeasible: some services can never become
+    /// reachable under the available access patterns (§3.1).
+    Infeasible {
+        /// Atoms that could not be reached.
+        unreachable: Vec<String>,
+        /// The input paths that remained unbound, as `atom.path` strings.
+        unbound_inputs: Vec<String>,
+    },
+    /// A ranking weight vector mismatches the query's atoms.
+    BadRanking(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Model(e) => write!(f, "model error: {e}"),
+            QueryError::Service(e) => write!(f, "service error: {e}"),
+            QueryError::Parse { offset, detail } => {
+                write!(f, "parse error at byte {offset}: {detail}")
+            }
+            QueryError::UnknownAtom(a) => write!(f, "unknown query atom `{a}`"),
+            QueryError::DuplicateAtom(a) => write!(f, "duplicate query atom `{a}`"),
+            QueryError::UnboundInput(v) => write!(f, "INPUT variable `{v}` has no value"),
+            QueryError::Infeasible { unreachable, unbound_inputs } => write!(
+                f,
+                "query is infeasible: atoms {unreachable:?} unreachable, unbound inputs {unbound_inputs:?}"
+            ),
+            QueryError::BadRanking(d) => write!(f, "bad ranking function: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Model(e) => Some(e),
+            QueryError::Service(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for QueryError {
+    fn from(e: ModelError) -> Self {
+        QueryError::Model(e)
+    }
+}
+
+impl From<ServiceError> for QueryError {
+    fn from(e: ServiceError) -> Self {
+        QueryError::Service(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QueryError::Infeasible {
+            unreachable: vec!["R".into()],
+            unbound_inputs: vec!["R.UCity".into()],
+        };
+        assert!(e.to_string().contains("R.UCity"));
+        let e = QueryError::Parse { offset: 10, detail: "expected identifier".into() };
+        assert!(e.to_string().contains("byte 10"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let e: QueryError = ModelError::UnknownName("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: QueryError = ServiceError::UnknownService("s".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

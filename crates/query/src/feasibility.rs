@@ -1,0 +1,304 @@
+//! Reachability and feasibility analysis (§3.1).
+//!
+//! "A service s from a query is *reachable* if, for every input
+//! (sub-)attribute A of s, the query contains a selection predicate of
+//! the form A = const, or a join predicate of the form A = B where B is
+//! a (sub-)attribute of a reachable service. A query is *feasible* if
+//! all its services are reachable."
+//!
+//! Two deliberate, documented liberalizations match the chapter's own
+//! usage:
+//!
+//! * The running example counts `M.Openings.Date > INPUT3` as covering
+//!   the `Openings.Date` input, so *any* comparator against a constant
+//!   or `INPUT` variable binds an input path (the value is shipped to
+//!   the service; non-equality semantics are re-checked downstream as a
+//!   selection, which is what makes services "selective in the context
+//!   of a query").
+//! * For join-based binding, the bound side of a reachable service may
+//!   be any of its attributes: inputs were necessarily bound to reach
+//!   it, outputs are produced by it.
+//!
+//! The analysis also returns the induced **I/O dependencies** — which
+//! atom pipes which value into which input — the raw material of
+//! Phase 2 topology construction (§5.4).
+
+use std::collections::BTreeSet;
+
+use seco_model::{AttributePath, Comparator};
+use seco_services::ServiceRegistry;
+
+use crate::ast::{Operand, Query};
+use crate::error::QueryError;
+
+/// Where a bound input value comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BindingSource {
+    /// A selection predicate supplies the value (constant or `INPUT`).
+    Constant {
+        /// The operand of the covering selection predicate.
+        operand: Operand,
+        /// The comparator of that predicate (`Eq` means the service can
+        /// answer exactly; anything else ships the value and re-checks).
+        op: Comparator,
+    },
+    /// An equality join pipes the value from another atom's attribute.
+    Piped {
+        /// Producing atom.
+        from_atom: String,
+        /// Producing attribute path.
+        from_path: AttributePath,
+    },
+}
+
+/// One resolved input binding: `to_atom.input` gets its value from
+/// `source`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoDependency {
+    /// Consuming atom alias.
+    pub to_atom: String,
+    /// The input path being bound.
+    pub input: AttributePath,
+    /// Where the value comes from.
+    pub source: BindingSource,
+}
+
+impl IoDependency {
+    /// True when the binding pipes a value from another atom.
+    pub fn is_pipe(&self) -> bool {
+        matches!(self.source, BindingSource::Piped { .. })
+    }
+}
+
+/// Result of the feasibility analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibilityReport {
+    /// Atoms in one admissible invocation order (the order they became
+    /// reachable under a greedy fixpoint).
+    pub order: Vec<String>,
+    /// Every input binding, constant and piped.
+    pub dependencies: Vec<IoDependency>,
+    /// The atom-level pipe edges `(from, to)` induced by piped bindings,
+    /// deduplicated. These are precedence constraints every topology
+    /// must respect.
+    pub pipe_edges: Vec<(String, String)>,
+}
+
+impl FeasibilityReport {
+    /// Dependencies binding the inputs of one atom.
+    pub fn bindings_of(&self, atom: &str) -> Vec<&IoDependency> {
+        self.dependencies.iter().filter(|d| d.to_atom == atom).collect()
+    }
+
+    /// The atoms that must precede `atom` (pipe sources).
+    pub fn predecessors_of(&self, atom: &str) -> Vec<&str> {
+        self.pipe_edges.iter().filter(|(_, t)| t == atom).map(|(f, _)| f.as_str()).collect()
+    }
+
+    /// True when `atom` has no pipe predecessors (it can start a chain).
+    pub fn is_source(&self, atom: &str) -> bool {
+        self.predecessors_of(atom).is_empty()
+    }
+}
+
+/// Runs the reachability fixpoint. Returns the report, or
+/// [`QueryError::Infeasible`] naming the unreachable atoms and their
+/// unbound inputs.
+pub fn analyze(query: &Query, registry: &ServiceRegistry) -> Result<FeasibilityReport, QueryError> {
+    query.validate()?;
+    let joins = query.expanded_joins(registry)?;
+
+    let mut reachable: BTreeSet<String> = BTreeSet::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut dependencies: Vec<IoDependency> = Vec::new();
+
+    loop {
+        let mut progressed = false;
+        for atom in &query.atoms {
+            if reachable.contains(&atom.alias) {
+                continue;
+            }
+            let iface = registry.interface(&atom.service)?;
+            let mut atom_deps = Vec::new();
+            let mut all_bound = true;
+            for input in iface.schema.input_paths() {
+                // 1. A selection predicate covering this input.
+                let by_selection = query.selections.iter().find(|s| {
+                    s.left.atom == atom.alias && s.left.path == input
+                });
+                if let Some(s) = by_selection {
+                    atom_deps.push(IoDependency {
+                        to_atom: atom.alias.clone(),
+                        input: input.clone(),
+                        source: BindingSource::Constant {
+                            operand: s.right.clone(),
+                            op: s.op,
+                        },
+                    });
+                    continue;
+                }
+                // 2. An equality join with a reachable atom.
+                let by_join = joins.iter().find_map(|j| {
+                    if j.op != Comparator::Eq {
+                        return None;
+                    }
+                    let o = j.oriented_from(&atom.alias);
+                    if o.left.atom == atom.alias
+                        && o.left.path == input
+                        && o.right.atom != atom.alias
+                        && reachable.contains(&o.right.atom)
+                    {
+                        Some((o.right.atom.clone(), o.right.path.clone()))
+                    } else {
+                        None
+                    }
+                });
+                if let Some((from_atom, from_path)) = by_join {
+                    atom_deps.push(IoDependency {
+                        to_atom: atom.alias.clone(),
+                        input: input.clone(),
+                        source: BindingSource::Piped { from_atom, from_path },
+                    });
+                    continue;
+                }
+                all_bound = false;
+                break;
+            }
+            if all_bound {
+                reachable.insert(atom.alias.clone());
+                order.push(atom.alias.clone());
+                dependencies.extend(atom_deps);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    if reachable.len() != query.atoms.len() {
+        let mut unreachable = Vec::new();
+        let mut unbound_inputs = Vec::new();
+        for atom in &query.atoms {
+            if reachable.contains(&atom.alias) {
+                continue;
+            }
+            unreachable.push(atom.alias.clone());
+            let iface = registry.interface(&atom.service)?;
+            for input in iface.schema.input_paths() {
+                let covered_by_selection = query
+                    .selections
+                    .iter()
+                    .any(|s| s.left.atom == atom.alias && s.left.path == input);
+                if !covered_by_selection {
+                    unbound_inputs.push(format!("{}.{}", atom.alias, input));
+                }
+            }
+        }
+        return Err(QueryError::Infeasible { unreachable, unbound_inputs });
+    }
+
+    let mut pipe_edges: Vec<(String, String)> = Vec::new();
+    for d in &dependencies {
+        if let BindingSource::Piped { from_atom, .. } = &d.source {
+            let edge = (from_atom.clone(), d.to_atom.clone());
+            if !pipe_edges.contains(&edge) {
+                pipe_edges.push(edge);
+            }
+        }
+    }
+
+    Ok(FeasibilityReport { order, dependencies, pipe_edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{running_example, QueryBuilder};
+    use seco_model::Value;
+    use seco_services::domains::entertainment;
+
+    #[test]
+    fn running_example_is_feasible_with_theatre_feeding_restaurant() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let report = analyze(&running_example(), &reg).unwrap();
+        assert_eq!(report.order.len(), 3);
+        // M and T are reachable from INPUTs; R only via T.
+        assert!(report.is_source("M"));
+        assert!(report.is_source("T"));
+        assert!(!report.is_source("R"));
+        assert_eq!(report.predecessors_of("R"), vec!["T"]);
+        assert_eq!(report.pipe_edges, vec![("T".to_owned(), "R".to_owned())]);
+        // R's three address inputs are piped, the category is constant.
+        let r_bindings = report.bindings_of("R");
+        let piped = r_bindings.iter().filter(|d| d.is_pipe()).count();
+        assert_eq!(piped, 3);
+        assert_eq!(r_bindings.len(), 4);
+    }
+
+    #[test]
+    fn missing_input_makes_query_infeasible() {
+        let reg = entertainment::build_registry(1).unwrap();
+        // Theatre without its address inputs bound.
+        let q = QueryBuilder::new()
+            .atom("T", "Theatre1")
+            .select_const("T", "UCity", seco_model::Comparator::Eq, Value::text("Milano"))
+            .build()
+            .unwrap();
+        let err = analyze(&q, &reg).unwrap_err();
+        match err {
+            QueryError::Infeasible { unreachable, unbound_inputs } => {
+                assert_eq!(unreachable, vec!["T"]);
+                assert!(unbound_inputs.contains(&"T.UAddress".to_owned()));
+                assert!(unbound_inputs.contains(&"T.UCountry".to_owned()));
+            }
+            other => panic!("expected Infeasible, got {other}"),
+        }
+    }
+
+    #[test]
+    fn non_equality_selection_binds_an_input() {
+        // The chapter's own example: Openings.Date > INPUT3 counts.
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = QueryBuilder::new()
+            .atom("M", "Movie1")
+            .select_input("M", "Genres.Genre", seco_model::Comparator::Eq, "I1")
+            .select_input("M", "Language", seco_model::Comparator::Eq, "I2")
+            .select_input("M", "Openings.Country", seco_model::Comparator::Eq, "I3")
+            .select_input("M", "Openings.Date", seco_model::Comparator::Gt, "I4")
+            .build()
+            .unwrap();
+        let report = analyze(&q, &reg).unwrap();
+        assert_eq!(report.order, vec!["M"]);
+        // The Date binding records its non-equality comparator.
+        let date = report
+            .bindings_of("M")
+            .into_iter()
+            .find(|d| d.input == AttributePath::sub("Openings", "Date"))
+            .unwrap();
+        match &date.source {
+            BindingSource::Constant { op, .. } => assert_eq!(*op, Comparator::Gt),
+            other => panic!("expected constant binding, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chains_of_pipes_are_resolved_transitively() {
+        // M -> T (via join on outputs feeding T's inputs is not the real
+        // schema; instead verify R is only reachable after T).
+        let reg = entertainment::build_registry(1).unwrap();
+        let mut q = running_example();
+        // Remove the DinnerPlace pattern: R loses its piped inputs.
+        q.patterns.retain(|p| p.pattern != "DinnerPlace");
+        let err = analyze(&q, &reg).unwrap_err();
+        assert!(matches!(err, QueryError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn order_respects_dependencies() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let report = analyze(&running_example(), &reg).unwrap();
+        let pos = |a: &str| report.order.iter().position(|x| x == a).unwrap();
+        assert!(pos("T") < pos("R"), "T must become reachable before R");
+    }
+}

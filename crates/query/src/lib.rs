@@ -1,0 +1,47 @@
+//! # seco-query — the conjunctive query language over service interfaces
+//!
+//! Implements §3.1 of the chapter: select-join queries over service
+//! interfaces with selection predicates (`A op const`), join predicates
+//! (`A op B`), connection-pattern references (`Shows(M,T)`), `INPUT`
+//! variables, and a global ranking function given as a weight vector
+//! over the services' scores.
+//!
+//! The crate provides:
+//!
+//! * [`ast`] — the query abstract syntax, with pattern expansion against
+//!   a service registry;
+//! * [`parser`] — a hand-rolled parser for the chapter's concrete syntax
+//!   (the running example parses verbatim);
+//! * [`predicate`] — predicate evaluation under the chapter's
+//!   *repeating-group mapping semantics*: all predicates referencing the
+//!   same repeating group of the same atom must be satisfied by a single
+//!   row of that group;
+//! * [`feasibility`] — reachability analysis over access patterns
+//!   (binding patterns, §2.3), producing the I/O dependencies that
+//!   drive plan construction;
+//! * [`semantics`] — a naive full-materialization reference evaluator,
+//!   the oracle the engine and join methods are tested against;
+//! * [`ranking`] — the weighted-sum global ranking function;
+//! * [`builder`] — a fluent programmatic query builder.
+
+pub mod ast;
+pub mod augment;
+pub mod builder;
+pub mod error;
+pub mod feasibility;
+pub mod parser;
+pub mod predicate;
+pub mod ranking;
+pub mod semantics;
+
+pub use ast::{JoinPredicate, Operand, PatternRef, QualifiedPath, Query, QueryAtom, SelectionPredicate};
+pub use augment::{augment_query, AugmentOptions, Augmented};
+pub use builder::QueryBuilder;
+pub use error::QueryError;
+pub use feasibility::{FeasibilityReport, IoDependency};
+pub use parser::parse_query;
+pub use ranking::RankingFunction;
+pub use semantics::evaluate_oracle;
+
+/// Result alias for query-layer operations.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,570 @@
+//! Parser for the chapter's concrete query syntax.
+//!
+//! The grammar covers the running example verbatim:
+//!
+//! ```text
+//! Select Movie1 As M, Theatre1 as T, Restaurant1 as R
+//! where Shows(M,T) and DinnerPlace(T,R) and
+//! M.Genres.Genre=INPUT1 and M.Openings.Country=INPUT2 and
+//! M.Openings.Date>INPUT3 and T.UAddress=INPUT4 and T.UCity=INPUT5
+//! and T.TCountry=INPUT2 and T.Category.Name=INPUT6
+//! ```
+//!
+//! plus two small extensions the chapter describes but gives no syntax
+//! for: an optional `ranking (w1, …, wn)` clause (the weight sequence of
+//! §3.1) and an optional `top K` clause (the optimization parameter `k`
+//! of §3.2). Identifiers starting with `INPUT` are input variables.
+//! Literals: `"strings"`, integers, floats, `YYYY-MM-DD` dates, `true` /
+//! `false`.
+
+use seco_model::{AttributePath, Comparator, Date, Value};
+
+use crate::ast::{JoinPredicate, Operand, PatternRef, QualifiedPath, Query, QueryAtom, SelectionPredicate};
+use crate::error::QueryError;
+use crate::ranking::RankingFunction;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Date(Date),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Op(Comparator),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, detail: impl Into<String>) -> QueryError {
+        QueryError::Parse { offset: self.pos, detail: detail.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<(usize, Token)>, QueryError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.pos >= self.bytes.len() {
+                return Ok(out);
+            }
+            let start = self.pos;
+            let b = self.bytes[self.pos];
+            let token = match b {
+                b',' => {
+                    self.pos += 1;
+                    Token::Comma
+                }
+                b'.' => {
+                    self.pos += 1;
+                    Token::Dot
+                }
+                b'(' => {
+                    self.pos += 1;
+                    Token::LParen
+                }
+                b')' => {
+                    self.pos += 1;
+                    Token::RParen
+                }
+                b'=' => {
+                    self.pos += 1;
+                    Token::Op(Comparator::Eq)
+                }
+                b'<' => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'=') {
+                        self.pos += 1;
+                        Token::Op(Comparator::Le)
+                    } else {
+                        Token::Op(Comparator::Lt)
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'=') {
+                        self.pos += 1;
+                        Token::Op(Comparator::Ge)
+                    } else {
+                        Token::Op(Comparator::Gt)
+                    }
+                }
+                b'"' | b'\'' => {
+                    let quote = b;
+                    self.pos += 1;
+                    let s = self.pos;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.bytes.len() {
+                        return Err(self.error("unterminated string literal"));
+                    }
+                    let text = self.src[s..self.pos].to_owned();
+                    self.pos += 1;
+                    Token::Str(text)
+                }
+                b'0'..=b'9' | b'-' => self.lex_number()?,
+                _ if b.is_ascii_alphabetic() || b == b'_' => {
+                    let s = self.pos;
+                    while self.pos < self.bytes.len()
+                        && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    let word = &self.src[s..self.pos];
+                    if word.eq_ignore_ascii_case("like") {
+                        Token::Op(Comparator::Like)
+                    } else {
+                        Token::Ident(word.to_owned())
+                    }
+                }
+                other => return Err(self.error(format!("unexpected character `{}`", other as char))),
+            };
+            out.push((start, token));
+        }
+    }
+
+    /// Lexes an integer, float, or `YYYY-MM-DD` date.
+    fn lex_number(&mut self) -> Result<Token, QueryError> {
+        let s = self.pos;
+        if self.bytes[self.pos] == b'-' {
+            self.pos += 1;
+        }
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        // Date: exactly 4 digits then '-'.
+        if self.pos - s == 4 && self.bytes.get(self.pos) == Some(&b'-') {
+            let year: i32 = self.src[s..self.pos]
+                .parse()
+                .map_err(|_| self.error("bad year in date literal"))?;
+            self.pos += 1;
+            let ms = self.pos;
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let month: u8 = self.src[ms..self.pos]
+                .parse()
+                .map_err(|_| self.error("bad month in date literal"))?;
+            if self.bytes.get(self.pos) != Some(&b'-') {
+                return Err(self.error("expected `-` in date literal"));
+            }
+            self.pos += 1;
+            let ds = self.pos;
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let day: u8 = self.src[ds..self.pos]
+                .parse()
+                .map_err(|_| self.error("bad day in date literal"))?;
+            return Ok(Token::Date(Date::new(year, month, day)));
+        }
+        // Float: digits '.' digits.
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && self.bytes.get(self.pos + 1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.pos += 1;
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+            let v: f64 =
+                self.src[s..self.pos].parse().map_err(|_| self.error("bad float literal"))?;
+            return Ok(Token::Float(v));
+        }
+        let v: i64 = self.src[s..self.pos].parse().map_err(|_| self.error("bad int literal"))?;
+        Ok(Token::Int(v))
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, detail: impl Into<String>) -> QueryError {
+        let offset = self.tokens.get(self.pos).map(|(o, _)| *o).unwrap_or(usize::MAX);
+        QueryError::Parse { offset, detail: detail.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        match self.next() {
+            Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error(format!("expected keyword `{kw}`")))
+            }
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_ident(&mut self) -> Result<String, QueryError> {
+        match self.next() {
+            Some(Token::Ident(w)) => Ok(w),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected identifier"))
+            }
+        }
+    }
+
+    fn expect(&mut self, tok: Token, what: &str) -> Result<(), QueryError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error(format!("expected {what}")))
+            }
+        }
+    }
+
+    /// `Select a1 As x1, a2 as x2, ...`
+    fn parse_atoms(&mut self) -> Result<Vec<QueryAtom>, QueryError> {
+        self.expect_keyword("select")?;
+        let mut atoms = Vec::new();
+        loop {
+            let service = self.expect_ident()?;
+            let alias = if self.at_keyword("as") {
+                self.next();
+                self.expect_ident()?
+            } else {
+                service.clone()
+            };
+            atoms.push(QueryAtom::new(alias, service));
+            if self.peek() == Some(&Token::Comma) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(atoms)
+    }
+
+    /// Parses a dotted path whose head is an atom alias:
+    /// `M.Title` or `M.Genres.Genre`.
+    fn parse_qualified_path(&mut self, atoms: &[QueryAtom]) -> Result<QualifiedPath, QueryError> {
+        let head = self.expect_ident()?;
+        if !atoms.iter().any(|a| a.alias == head) {
+            return Err(self.error(format!("`{head}` is not a declared query atom")));
+        }
+        self.expect(Token::Dot, "`.` after atom alias")?;
+        let first = self.expect_ident()?;
+        if self.peek() == Some(&Token::Dot) {
+            self.next();
+            let second = self.expect_ident()?;
+            Ok(QualifiedPath::new(head, AttributePath::sub(first, second)))
+        } else {
+            Ok(QualifiedPath::new(head, AttributePath::atomic(first)))
+        }
+    }
+
+    /// One condition: pattern ref, selection, or join.
+    fn parse_condition(
+        &mut self,
+        atoms: &[QueryAtom],
+        selections: &mut Vec<SelectionPredicate>,
+        joins: &mut Vec<JoinPredicate>,
+        patterns: &mut Vec<PatternRef>,
+    ) -> Result<(), QueryError> {
+        // Pattern reference: Ident '(' ident ',' ident ')'.
+        if let (Some(Token::Ident(_)), Some((_, Token::LParen))) =
+            (self.peek(), self.tokens.get(self.pos + 1))
+        {
+            let pattern = self.expect_ident()?;
+            self.expect(Token::LParen, "`(`")?;
+            let from = self.expect_ident()?;
+            self.expect(Token::Comma, "`,`")?;
+            let to = self.expect_ident()?;
+            self.expect(Token::RParen, "`)`")?;
+            patterns.push(PatternRef { pattern, from_atom: from, to_atom: to });
+            return Ok(());
+        }
+        // Predicate: qualified-path op (qualified-path | literal | INPUT).
+        let left = self.parse_qualified_path(atoms)?;
+        let op = match self.next() {
+            Some(Token::Op(op)) => op,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error("expected comparator"));
+            }
+        };
+        match self.peek().cloned() {
+            Some(Token::Ident(w)) => {
+                if w.starts_with("INPUT") {
+                    self.next();
+                    selections.push(SelectionPredicate {
+                        left,
+                        op,
+                        right: Operand::Input(w),
+                    });
+                } else if w.eq_ignore_ascii_case("true") || w.eq_ignore_ascii_case("false") {
+                    self.next();
+                    selections.push(SelectionPredicate {
+                        left,
+                        op,
+                        right: Operand::Const(Value::Bool(w.eq_ignore_ascii_case("true"))),
+                    });
+                } else {
+                    let right = self.parse_qualified_path(atoms)?;
+                    joins.push(JoinPredicate { left, op, right });
+                }
+            }
+            Some(Token::Str(s)) => {
+                self.next();
+                selections.push(SelectionPredicate { left, op, right: Operand::Const(Value::Text(s)) });
+            }
+            Some(Token::Int(v)) => {
+                self.next();
+                selections.push(SelectionPredicate { left, op, right: Operand::Const(Value::Int(v)) });
+            }
+            Some(Token::Float(v)) => {
+                self.next();
+                selections.push(SelectionPredicate { left, op, right: Operand::Const(Value::float(v)) });
+            }
+            Some(Token::Date(d)) => {
+                self.next();
+                selections.push(SelectionPredicate { left, op, right: Operand::Const(Value::Date(d)) });
+            }
+            _ => return Err(self.error("expected literal, INPUT variable, or attribute path")),
+        }
+        Ok(())
+    }
+
+    fn parse_query(&mut self) -> Result<Query, QueryError> {
+        let atoms = self.parse_atoms()?;
+        let mut selections = Vec::new();
+        let mut joins = Vec::new();
+        let mut patterns = Vec::new();
+        if self.at_keyword("where") {
+            self.next();
+            loop {
+                self.parse_condition(&atoms, &mut selections, &mut joins, &mut patterns)?;
+                if self.at_keyword("and") {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Optional extensions: `ranking (w1, ..., wn)` and `top K`.
+        let mut ranking = RankingFunction::uniform(atoms.len());
+        let mut k = 10usize;
+        loop {
+            if self.at_keyword("ranking") {
+                self.next();
+                self.expect(Token::LParen, "`(` after ranking")?;
+                let mut weights = Vec::new();
+                loop {
+                    match self.next() {
+                        Some(Token::Float(v)) => weights.push(v),
+                        Some(Token::Int(v)) => weights.push(v as f64),
+                        _ => {
+                            self.pos = self.pos.saturating_sub(1);
+                            return Err(self.error("expected numeric weight"));
+                        }
+                    }
+                    if self.peek() == Some(&Token::Comma) {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Token::RParen, "`)` after weights")?;
+                if weights.len() != atoms.len() {
+                    return Err(QueryError::BadRanking(format!(
+                        "{} weights for {} atoms",
+                        weights.len(),
+                        atoms.len()
+                    )));
+                }
+                ranking = RankingFunction::new(weights)?;
+            } else if self.at_keyword("top") {
+                self.next();
+                match self.next() {
+                    Some(Token::Int(v)) if v > 0 => k = v as usize,
+                    _ => {
+                        self.pos = self.pos.saturating_sub(1);
+                        return Err(self.error("expected positive integer after `top`"));
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        if self.pos != self.tokens.len() {
+            return Err(self.error("unexpected trailing input"));
+        }
+        let query = Query {
+            atoms,
+            selections,
+            joins,
+            patterns,
+            inputs: Default::default(),
+            ranking,
+            k,
+        };
+        query.validate()?;
+        Ok(query)
+    }
+}
+
+/// Parses a query in the chapter's syntax.
+pub fn parse_query(src: &str) -> Result<Query, QueryError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser { tokens, pos: 0 }.parse_query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example, exactly as printed in §3.1 (compact form).
+    const RUNNING_EXAMPLE: &str = r#"
+        Select Movie1 As M, Theatre1 as T, Restaurant1 as R
+        where Shows(M,T) and DinnerPlace(T,R) and
+        M.Genres.Genre=INPUT1 and M.Openings.Country=INPUT2 and
+        M.Openings.Date>INPUT3 and T.UAddress=INPUT4 and T.UCity=INPUT5
+        and T.TCountry=INPUT2 and R.Category.Name=INPUT6
+    "#;
+
+    #[test]
+    fn parses_the_running_example() {
+        let q = parse_query(RUNNING_EXAMPLE).unwrap();
+        assert_eq!(q.atoms.len(), 3);
+        assert_eq!(q.atoms[0], QueryAtom::new("M", "Movie1"));
+        assert_eq!(q.atoms[2], QueryAtom::new("R", "Restaurant1"));
+        assert_eq!(q.patterns.len(), 2);
+        assert_eq!(q.patterns[0].to_string(), "Shows(M, T)");
+        assert_eq!(q.selections.len(), 7);
+        assert_eq!(q.joins.len(), 0);
+        // The date predicate keeps its > comparator.
+        let date = q
+            .selections
+            .iter()
+            .find(|s| s.left.path == AttributePath::sub("Openings", "Date"))
+            .unwrap();
+        assert_eq!(date.op, Comparator::Gt);
+        assert_eq!(date.right, Operand::Input("INPUT3".into()));
+    }
+
+    #[test]
+    fn parses_the_explicit_join_form() {
+        // The long form of §3.1 with explicit join conditions.
+        let q = parse_query(
+            r#"Select Movie1 As M, Theatre1 as T
+               where M.Title=T.Movie.Title and M.Genres.Genre=INPUT1"#,
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].left.to_string(), "M.Title");
+        assert_eq!(q.joins[0].right.to_string(), "T.Movie.Title");
+        assert_eq!(q.selections.len(), 1);
+    }
+
+    #[test]
+    fn parses_literals_of_every_type() {
+        let q = parse_query(
+            r#"Select S As A where A.T="text" and A.I=5 and A.F<=2.5
+               and A.D>2009-03-29 and A.B=true and A.L like "pat%""#,
+        )
+        .unwrap();
+        assert_eq!(q.selections.len(), 6);
+        let vals: Vec<&Operand> = q.selections.iter().map(|s| &s.right).collect();
+        assert_eq!(vals[0], &Operand::Const(Value::text("text")));
+        assert_eq!(vals[1], &Operand::Const(Value::Int(5)));
+        assert_eq!(vals[2], &Operand::Const(Value::float(2.5)));
+        assert_eq!(vals[3], &Operand::Const(Value::Date(Date::new(2009, 3, 29))));
+        assert_eq!(vals[4], &Operand::Const(Value::Bool(true)));
+        assert_eq!(q.selections[5].op, Comparator::Like);
+    }
+
+    #[test]
+    fn parses_ranking_and_top_extensions() {
+        let q = parse_query(
+            "Select A as X, B as Y where X.P=Y.Q ranking (0.3, 0.7) top 25",
+        )
+        .unwrap();
+        assert_eq!(q.ranking.weights(), &[0.3, 0.7]);
+        assert_eq!(q.k, 25);
+    }
+
+    #[test]
+    fn alias_defaults_to_service_name() {
+        let q = parse_query("Select Movie1 where Movie1.Title=INPUT1").unwrap();
+        assert_eq!(q.atoms[0].alias, "Movie1");
+    }
+
+    #[test]
+    fn rejects_unknown_alias_in_predicate() {
+        let err = parse_query("Select A as X where Z.P=1").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        let err = parse_query(r#"Select A as X where X.P="oops"#).unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse_query("Select A as X where X.P=1 banana").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_weight_count() {
+        let err = parse_query("Select A as X ranking (0.5, 0.5)").unwrap_err();
+        assert!(matches!(err, QueryError::BadRanking(_)));
+    }
+
+    #[test]
+    fn negative_and_date_lexing_disambiguates() {
+        let q = parse_query("Select A as X where X.P = -7").unwrap();
+        assert_eq!(q.selections[0].right, Operand::Const(Value::Int(-7)));
+    }
+
+    #[test]
+    fn like_keyword_is_case_insensitive() {
+        let q = parse_query(r#"Select A as X where X.P LIKE "a%""#).unwrap();
+        assert_eq!(q.selections[0].op, Comparator::Like);
+    }
+
+    #[test]
+    fn three_part_paths_are_group_subattributes() {
+        let q = parse_query("Select A as X where X.G.S=1").unwrap();
+        assert_eq!(q.selections[0].left.path, AttributePath::sub("G", "S"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Client-side response caching.
+//!
+//! Service calls are idempotent for a fixed request (the substrate
+//! guarantees it), so an execution engine may memoize request-responses
+//! instead of re-issuing them. This matters for chain topologies: in
+//! `Movie → Theatre`, the theatre's inputs are the same constants for
+//! every movie tuple, so all but the first request-response per chunk
+//! are cache hits — which is also the quantitative content of the §5.3
+//! *bound-is-better* intuition ("the service is faster in producing
+//! results, and less memory is required to cache the data": fewer bound
+//! inputs ⇒ more distinct binding sets ⇒ a bigger cache).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use seco_model::ServiceInterface;
+
+use crate::error::ServiceError;
+use crate::invocation::{ChunkResponse, Request, Service};
+
+/// Cache key: the canonical rendering of a request.
+fn key_of(request: &Request) -> String {
+    use std::fmt::Write as _;
+    let mut k = String::with_capacity(64);
+    let _ = write!(k, "c{}|", request.chunk);
+    for (p, v) in &request.bindings {
+        let _ = write!(k, "{p}={v};");
+    }
+    for (p, (op, v)) in &request.ranges {
+        let _ = write!(k, "{p}{op}{v};");
+    }
+    k
+}
+
+/// A memoizing decorator over any service.
+pub struct CachingService {
+    inner: std::sync::Arc<dyn Service>,
+    cache: Mutex<HashMap<String, ChunkResponse>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl CachingService {
+    /// Wraps a service with a cache of at most `capacity` responses
+    /// (0 disables caching; insertion stops at capacity — the workloads
+    /// here are short-lived, so no eviction policy is needed).
+    pub fn new(inner: std::sync::Arc<dyn Service>, capacity: usize) -> Self {
+        CachingService {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (actual inner calls) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.lock().is_empty()
+    }
+}
+
+impl Service for CachingService {
+    fn interface(&self) -> &ServiceInterface {
+        self.inner.interface()
+    }
+
+    fn fetch(&self, request: &Request) -> Result<ChunkResponse, ServiceError> {
+        let key = key_of(request);
+        if let Some(cached) = self.cache.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            // A cache hit costs no service time.
+            let mut resp = cached.clone();
+            resp.elapsed_ms = 0.0;
+            return Ok(resp);
+        }
+        let resp = self.inner.fetch(request)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.cache.lock();
+        if cache.len() < self.capacity {
+            cache.insert(key, resp.clone());
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{DomainMap, SyntheticService};
+    use seco_model::{
+        Adornment, AttributeDef, AttributePath, DataType, ScoreDecay, ServiceKind, ServiceSchema,
+        ServiceStats, Value,
+    };
+    use std::sync::Arc;
+
+    fn service() -> Arc<SyntheticService> {
+        let schema = ServiceSchema::new(
+            "S1",
+            vec![
+                AttributeDef::atomic("K", DataType::Text, Adornment::Input),
+                AttributeDef::atomic("V", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+            ],
+        )
+        .unwrap();
+        let iface = ServiceInterface::new(
+            "S1",
+            "S",
+            schema,
+            ServiceKind::Search,
+            ServiceStats::new(20.0, 10, 40.0, 1.0).unwrap(),
+            ScoreDecay::Linear,
+        )
+        .unwrap();
+        Arc::new(SyntheticService::new(iface, DomainMap::new(), 3))
+    }
+
+    fn req(k: &str) -> Request {
+        Request::unbound().bind(AttributePath::atomic("K"), Value::text(k))
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let inner = service();
+        let cached = CachingService::new(inner.clone(), 64);
+        let a = cached.fetch(&req("x")).unwrap();
+        let b = cached.fetch(&req("x")).unwrap();
+        assert_eq!(a.tuples, b.tuples);
+        assert_eq!((cached.hits(), cached.misses()), (1, 1));
+        assert_eq!(inner.calls_served(), 1, "the inner service was called once");
+        // Hits are free.
+        assert_eq!(b.elapsed_ms, 0.0);
+        assert!(a.elapsed_ms > 0.0);
+    }
+
+    #[test]
+    fn different_bindings_and_chunks_are_distinct_entries() {
+        let cached = CachingService::new(service(), 64);
+        cached.fetch(&req("x")).unwrap();
+        cached.fetch(&req("y")).unwrap();
+        cached.fetch(&req("x").at_chunk(1)).unwrap();
+        assert_eq!(cached.misses(), 3);
+        assert_eq!(cached.len(), 3);
+        assert!(!cached.is_empty());
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let inner = service();
+        let cached = CachingService::new(inner.clone(), 0);
+        cached.fetch(&req("x")).unwrap();
+        cached.fetch(&req("x")).unwrap();
+        assert_eq!(cached.hits(), 0);
+        assert_eq!(inner.calls_served(), 2);
+    }
+
+    #[test]
+    fn chained_constant_bindings_collapse_to_one_call() {
+        // The chain-topology scenario: the same constant-bound request
+        // repeated once per upstream tuple.
+        let inner = service();
+        let cached = CachingService::new(inner.clone(), 16);
+        for _ in 0..100 {
+            cached.fetch(&req("fixed")).unwrap();
+        }
+        assert_eq!(inner.calls_served(), 1);
+        assert_eq!(cached.hits(), 99);
+    }
+
+    #[test]
+    fn range_constraints_participate_in_the_key() {
+        use seco_model::Comparator;
+        let cached = CachingService::new(service(), 16);
+        let base = req("x");
+        let constrained =
+            req("x").constrain(AttributePath::atomic("K"), Comparator::Gt, Value::Int(3));
+        cached.fetch(&base).unwrap();
+        cached.fetch(&constrained).unwrap();
+        assert_eq!(cached.misses(), 2, "different constraints must not collide");
+    }
+}

@@ -1,0 +1,354 @@
+//! The running example: Movie / Theatre / Restaurant (§3.1, §5.6).
+//!
+//! Adornments follow the §5.6 listing verbatim:
+//!
+//! ```text
+//! Theatre1(Name^O, UAddress^I, UCity^I, UCountry^I, TAddress^O, TCity^O,
+//!          TCountry^O, TPhone^O, Distance^R, Movie.Title^O,
+//!          Movie.StartTimes^O, Movie.Duration^O)
+//! Movie1(Title^O, Director^O, Score^R, Year^O, Genres.Genre^I,
+//!        Language^I, Openings.Country^I, Openings.Date^I, Actor.Name^O)
+//! Restaurant1(Name^O, UAddress^I, UCity^I, UCountry^I, RAddress^O,
+//!             RCity^O, RCountry^O, Phone^O, Url^O, MapUrl^O, Distance^R,
+//!             Rating^R, Category.Name^I)
+//! ```
+//!
+//! (The chapter's `RAddess` is read as the obvious `RAddress` typo.)
+//!
+//! Statistics are the ones §5.6 uses to instantiate Fig. 10: `Movie1`
+//! returns chunks of 20 (5 fetches reach the first 100 movies),
+//! `Theatre1` chunks of 5 (5 fetches reach the first 25 theatres),
+//! `Shows` has selectivity 2% and `DinnerPlace` 40%. Movie/Theatre
+//! titles share a 50-value domain so the generated data exhibits the 2%
+//! equality-match rate; `Restaurant1` answers 40% of piped addresses.
+
+use std::sync::Arc;
+
+use seco_model::{
+    Adornment, AttributeDef, AttributePath, ConnectionPattern, DataType, JoinPair, ScoreDecay,
+    ServiceInterface, ServiceKind, ServiceSchema, ServiceStats, SubAttributeDef,
+};
+
+use crate::error::ServiceError;
+use crate::registry::ServiceRegistry;
+use crate::synthetic::{DomainMap, SyntheticService, ValueDomain};
+
+/// Number of distinct titles: `Shows` matches one movie/theatre pair in
+/// 50 ⇒ the 2% selectivity of §5.6.
+pub const TITLE_DOMAIN: u64 = 50;
+/// `Shows` selectivity from §5.6.
+pub const SHOWS_SELECTIVITY: f64 = 0.02;
+/// `DinnerPlace` selectivity from §5.6.
+pub const DINNER_SELECTIVITY: f64 = 0.40;
+
+/// Builds the `Movie1` interface (search, chunks of 20, linear decay).
+pub fn movie_interface() -> ServiceInterface {
+    let schema = ServiceSchema::new(
+        "Movie1",
+        vec![
+            AttributeDef::atomic("Title", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Director", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+            AttributeDef::atomic("Year", DataType::Int, Adornment::Output),
+            AttributeDef::group(
+                "Genres",
+                vec![SubAttributeDef::new("Genre", DataType::Text, Adornment::Input)],
+            ),
+            AttributeDef::atomic("Language", DataType::Text, Adornment::Input),
+            AttributeDef::group(
+                "Openings",
+                vec![
+                    SubAttributeDef::new("Country", DataType::Text, Adornment::Input),
+                    SubAttributeDef::new("Date", DataType::Date, Adornment::Input),
+                ],
+            ),
+            AttributeDef::group(
+                "Actor",
+                vec![SubAttributeDef::new("Name", DataType::Text, Adornment::Output)],
+            ),
+        ],
+    )
+    .expect("static schema is valid");
+    ServiceInterface::new(
+        "Movie1",
+        "Movie",
+        schema,
+        ServiceKind::Search,
+        // 100 relevant movies in chunks of 20, 120 ms per call.
+        ServiceStats::new(100.0, 20, 120.0, 1.0).expect("static stats are valid"),
+        ScoreDecay::Linear,
+    )
+    .expect("static interface is valid")
+    .with_hint(AttributePath::atomic("Title"), TITLE_DOMAIN)
+}
+
+/// Builds the `Theatre1` interface (search, chunks of 5, ranked by
+/// distance, linear decay).
+pub fn theatre_interface() -> ServiceInterface {
+    let schema = ServiceSchema::new(
+        "Theatre1",
+        vec![
+            AttributeDef::atomic("Name", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("UAddress", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("UCity", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("UCountry", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("TAddress", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("TCity", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("TCountry", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("TPhone", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Distance", DataType::Float, Adornment::Ranked),
+            AttributeDef::group(
+                "Movie",
+                vec![
+                    SubAttributeDef::new("Title", DataType::Text, Adornment::Output),
+                    SubAttributeDef::new("StartTimes", DataType::Text, Adornment::Output),
+                    SubAttributeDef::new("Duration", DataType::Int, Adornment::Output),
+                ],
+            ),
+        ],
+    )
+    .expect("static schema is valid");
+    ServiceInterface::new(
+        "Theatre1",
+        "Theatre",
+        schema,
+        ServiceKind::Search,
+        // 25 nearby theatres in chunks of 5, 80 ms per call.
+        ServiceStats::new(25.0, 5, 80.0, 1.0).expect("static stats are valid"),
+        ScoreDecay::Linear,
+    )
+    .expect("static interface is valid")
+    .with_hint(AttributePath::sub("Movie", "Title"), TITLE_DOMAIN)
+    // Local search: results mirror the requested city and country, so
+    // an equality filter on them is a no-op (distinct count 1).
+    .with_hint(AttributePath::atomic("TCity"), 1)
+    .with_hint(AttributePath::atomic("TCountry"), 1)
+}
+
+/// Builds the `Restaurant1` interface (search, chunks of 5, ranked by
+/// distance then rating, quadratic decay).
+pub fn restaurant_interface() -> ServiceInterface {
+    let schema = ServiceSchema::new(
+        "Restaurant1",
+        vec![
+            AttributeDef::atomic("Name", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("UAddress", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("UCity", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("UCountry", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("RAddress", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("RCity", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("RCountry", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Phone", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Url", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("MapUrl", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Distance", DataType::Float, Adornment::Ranked),
+            AttributeDef::atomic("Rating", DataType::Float, Adornment::Ranked),
+            AttributeDef::group(
+                "Category",
+                vec![SubAttributeDef::new("Name", DataType::Text, Adornment::Input)],
+            ),
+        ],
+    )
+    .expect("static schema is valid");
+    ServiceInterface::new(
+        "Restaurant1",
+        "Restaurant",
+        schema,
+        ServiceKind::Search,
+        // 5 candidate restaurants per address in chunks of 5, 60 ms.
+        ServiceStats::new(5.0, 5, 60.0, 1.0).expect("static stats are valid"),
+        ScoreDecay::Quadratic,
+    )
+    .expect("static interface is valid")
+    .with_hint(AttributePath::atomic("RCity"), 1)
+    .with_hint(AttributePath::atomic("RCountry"), 1)
+}
+
+/// The `Shows(Movie, Theatre)` connection pattern:
+/// `M.Title = T.Movie.Title`, selectivity 2%.
+pub fn shows_pattern() -> ConnectionPattern {
+    ConnectionPattern::new(
+        "Shows",
+        "Movie",
+        "Theatre",
+        vec![JoinPair::eq(AttributePath::atomic("Title"), AttributePath::sub("Movie", "Title"))],
+        SHOWS_SELECTIVITY,
+    )
+    .expect("static pattern is valid")
+}
+
+/// The `DinnerPlace(Theatre, Restaurant)` connection pattern: pipes the
+/// theatre's address into the restaurant lookup
+/// (`T.TAddress→R.UAddress`, `T.TCity→R.UCity`, `T.TCountry→R.UCountry`),
+/// selectivity 40%.
+pub fn dinner_place_pattern() -> ConnectionPattern {
+    ConnectionPattern::new(
+        "DinnerPlace",
+        "Theatre",
+        "Restaurant",
+        vec![
+            JoinPair::eq(AttributePath::atomic("TAddress"), AttributePath::atomic("UAddress")),
+            JoinPair::eq(AttributePath::atomic("TCity"), AttributePath::atomic("UCity")),
+            JoinPair::eq(AttributePath::atomic("TCountry"), AttributePath::atomic("UCountry")),
+        ],
+        DINNER_SELECTIVITY,
+    )
+    .expect("static pattern is valid")
+}
+
+/// Registers the three services (seeded synthetically) and the two
+/// connection patterns into a fresh registry.
+///
+/// The value domains are wired so the declared selectivities emerge in
+/// the data: movie titles and theatre-programme titles share the
+/// [`TITLE_DOMAIN`]-sized domain (one theatre programme row per tuple ⇒
+/// 2% pairwise match rate), and `Restaurant1` returns an empty list for
+/// 60% of piped addresses.
+pub fn build_registry(seed: u64) -> Result<ServiceRegistry, ServiceError> {
+    let mut reg = ServiceRegistry::new();
+    let title = ValueDomain::new("title", TITLE_DOMAIN);
+
+    let movie_domains =
+        DomainMap::new().with(AttributePath::atomic("Title"), title.clone());
+    let movie = SyntheticService::new(movie_interface(), movie_domains, seed ^ 0x01)
+        .with_rows_per_group(2);
+    reg.register_service(Arc::new(movie))?;
+
+    let theatre_domains = DomainMap::new()
+        .with(AttributePath::sub("Movie", "Title"), title)
+        .with(AttributePath::atomic("TCity"), ValueDomain::new("city", 8))
+        .with(AttributePath::atomic("TCountry"), ValueDomain::new("country", 3));
+    // One programme row per theatre tuple keeps Shows at ≈ 1/50 = 2%.
+    // Locality: a search around the user's address returns theatres in
+    // the user's own city and country.
+    let theatre = SyntheticService::new(theatre_interface(), theatre_domains, seed ^ 0x02)
+        .with_rows_per_group(1)
+        .with_mirror(AttributePath::atomic("TCity"), AttributePath::atomic("UCity"))
+        .with_mirror(AttributePath::atomic("TCountry"), AttributePath::atomic("UCountry"));
+    reg.register_service(Arc::new(theatre))?;
+
+    let restaurant_domains = DomainMap::new()
+        .with(AttributePath::atomic("RCity"), ValueDomain::new("city", 8))
+        .with(AttributePath::atomic("RCountry"), ValueDomain::new("country", 3));
+    let restaurant = SyntheticService::new(restaurant_interface(), restaurant_domains, seed ^ 0x03)
+        .with_empty_rate(1.0 - DINNER_SELECTIVITY)
+        .with_mirror(AttributePath::atomic("RCity"), AttributePath::atomic("UCity"))
+        .with_mirror(AttributePath::atomic("RCountry"), AttributePath::atomic("UCountry"));
+    reg.register_service(Arc::new(restaurant))?;
+
+    reg.register_pattern(shows_pattern())?;
+    reg.register_pattern(dinner_place_pattern())?;
+    Ok(reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::{Request, Service};
+    use seco_model::Value;
+
+    #[test]
+    fn adornments_match_the_chapter_listing() {
+        let m = movie_interface();
+        assert_eq!(
+            m.schema.to_string(),
+            "Movie1(Title^O, Director^O, Score^R, Year^O, Genres.Genre^I, Language^I, \
+             Openings.Country^I, Openings.Date^I, Actor.Name^O)"
+        );
+        let t = theatre_interface();
+        assert!(t.schema.to_string().starts_with(
+            "Theatre1(Name^O, UAddress^I, UCity^I, UCountry^I, TAddress^O, TCity^O, TCountry^O"
+        ));
+        assert!(t.schema.to_string().contains("Distance^R"));
+        let r = restaurant_interface();
+        assert!(r.schema.to_string().contains("Category.Name^I"));
+        assert!(r.schema.to_string().contains("Rating^R"));
+    }
+
+    #[test]
+    fn statistics_support_the_fig10_arithmetic() {
+        // 5 fetches × chunk 20 = first 100 movies.
+        let m = movie_interface();
+        assert_eq!(m.stats.chunk_size, 20);
+        assert_eq!(m.stats.expected_chunks(), 5);
+        // 5 fetches × chunk 5 = first 25 theatres.
+        let t = theatre_interface();
+        assert_eq!(t.stats.chunk_size, 5);
+        assert_eq!(t.stats.expected_chunks(), 5);
+    }
+
+    #[test]
+    fn registry_builds_and_services_answer() {
+        let reg = build_registry(42).unwrap();
+        assert_eq!(reg.service_names(), vec!["Movie1", "Restaurant1", "Theatre1"]);
+        assert_eq!(reg.pattern_names(), vec!["DinnerPlace", "Shows"]);
+
+        let movie = reg.service("Movie1").unwrap();
+        let req = Request::unbound()
+            .bind(AttributePath::sub("Genres", "Genre"), Value::text("comedy"))
+            .bind(AttributePath::atomic("Language"), Value::text("en"))
+            .bind(AttributePath::sub("Openings", "Country"), Value::text("Italy"))
+            .bind(AttributePath::sub("Openings", "Date"), Value::Date(seco_model::Date::new(2009, 6, 1)));
+        let resp = movie.fetch(&req).unwrap();
+        assert_eq!(resp.len(), 20);
+        assert!(resp.has_more);
+    }
+
+    #[test]
+    fn shows_match_rate_is_about_two_percent() {
+        let reg = build_registry(7).unwrap();
+        let movie = reg.service("Movie1").unwrap();
+        let theatre = reg.service("Theatre1").unwrap();
+        let mreq = Request::unbound()
+            .bind(AttributePath::sub("Genres", "Genre"), Value::text("drama"))
+            .bind(AttributePath::atomic("Language"), Value::text("en"))
+            .bind(AttributePath::sub("Openings", "Country"), Value::text("Italy"))
+            .bind(AttributePath::sub("Openings", "Date"), Value::Date(seco_model::Date::new(2009, 6, 1)));
+        let treq = Request::unbound()
+            .bind(AttributePath::atomic("UAddress"), Value::text("via Golgi 42"))
+            .bind(AttributePath::atomic("UCity"), Value::text("Milano"))
+            .bind(AttributePath::atomic("UCountry"), Value::text("Italy"));
+        let mut movies = Vec::new();
+        for c in 0..5 {
+            movies.extend(movie.fetch(&mreq.at_chunk(c)).unwrap().tuples);
+        }
+        let mut theatres = Vec::new();
+        for c in 0..5 {
+            theatres.extend(theatre.fetch(&treq.at_chunk(c)).unwrap().tuples);
+        }
+        assert_eq!((movies.len(), theatres.len()), (100, 25));
+        let mschema = &movie.interface().schema;
+        let tschema = &theatre.interface().schema;
+        let mut matches = 0usize;
+        for m in &movies {
+            let title = m.first_value_at(mschema, &AttributePath::atomic("Title")).unwrap();
+            for t in &theatres {
+                let programme =
+                    t.values_at(tschema, &AttributePath::sub("Movie", "Title")).unwrap();
+                if programme.contains(&title) {
+                    matches += 1;
+                }
+            }
+        }
+        let rate = matches as f64 / 2500.0;
+        assert!((0.005..0.05).contains(&rate), "Shows match rate {rate} not ≈ 2%");
+    }
+
+    #[test]
+    fn restaurant_empty_rate_is_about_sixty_percent() {
+        let reg = build_registry(11).unwrap();
+        let rest = reg.service("Restaurant1").unwrap();
+        let mut empty = 0;
+        for i in 0..100 {
+            let req = Request::unbound()
+                .bind(AttributePath::atomic("UAddress"), Value::Text(format!("addr-{i}")))
+                .bind(AttributePath::atomic("UCity"), Value::text("Milano"))
+                .bind(AttributePath::atomic("UCountry"), Value::text("Italy"))
+                .bind(AttributePath::sub("Category", "Name"), Value::text("pizza"));
+            if rest.fetch(&req).unwrap().is_empty() {
+                empty += 1;
+            }
+        }
+        assert!((45..=75).contains(&empty), "empty count {empty} not ≈ 60");
+    }
+}

@@ -1,0 +1,11 @@
+//! Ready-made service scenarios from the chapter.
+//!
+//! * [`entertainment`] — the running example: `Movie1`, `Theatre1`,
+//!   `Restaurant1` with the §5.6 adornments and the `Shows` /
+//!   `DinnerPlace` connection patterns (selectivities 2% and 40%).
+//! * [`travel`] — the Fig. 2 plan's services: `Conference1` (exact,
+//!   proliferative, 20 answers on average), `Weather1` (exact, selective
+//!   in the context of the query), `Flight1` and `Hotel1` (search).
+
+pub mod entertainment;
+pub mod travel;

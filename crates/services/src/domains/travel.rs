@@ -1,0 +1,283 @@
+//! The Fig. 2 scenario: Conference / Weather / Flight / Hotel.
+//!
+//! "The plan consists first in accessing two exact services named
+//! Conference and Weather. Conference is proliferative and produces 20
+//! conferences on average, while Weather is selective in the context of
+//! the query, because extracted tuples are checked against the condition
+//! that the average temperature at the time of the conference must be
+//! above 26°C […]. Then, services describing flights to the conference
+//! city and hotels within that city are called, and their results are
+//! joined according to a given strategy, called merge-scan."
+
+use std::sync::Arc;
+
+use seco_model::{
+    Adornment, AttributeDef, AttributePath, ConnectionPattern, DataType, JoinPair, ScoreDecay,
+    ServiceInterface, ServiceKind, ServiceSchema, ServiceStats,
+};
+
+use crate::error::ServiceError;
+use crate::registry::ServiceRegistry;
+use crate::synthetic::{DomainMap, SyntheticService, ValueDomain};
+
+/// Cities domain shared by all four services (joins on City always
+/// match when piped, and the Flight/Hotel parallel join matches on the
+/// common city).
+pub const CITY_DOMAIN: u64 = 12;
+
+/// `Conference1(Topic^I, Name^O, City^O, Date^O)` — exact,
+/// proliferative, 20 answers on average (Fig. 3's annotation).
+pub fn conference_interface() -> ServiceInterface {
+    let schema = ServiceSchema::new(
+        "Conference1",
+        vec![
+            AttributeDef::atomic("Topic", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("Name", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("City", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Date", DataType::Date, Adornment::Output),
+        ],
+    )
+    .expect("static schema is valid");
+    ServiceInterface::new(
+        "Conference1",
+        "Conference",
+        schema,
+        ServiceKind::Exact { chunked: false },
+        ServiceStats::new(20.0, 20, 150.0, 1.0).expect("static stats are valid"),
+        ScoreDecay::Constant(1.0),
+    )
+    .expect("static interface is valid")
+    .with_hint(AttributePath::atomic("City"), CITY_DOMAIN)
+}
+
+/// `Weather1(City^I, Date^I, AvgTemp^O)` — exact, one forecast per
+/// (city, date); becomes *selective in the context of the query* once
+/// the `AvgTemp > 26` selection is applied downstream.
+pub fn weather_interface() -> ServiceInterface {
+    let schema = ServiceSchema::new(
+        "Weather1",
+        vec![
+            AttributeDef::atomic("City", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("Date", DataType::Date, Adornment::Input),
+            AttributeDef::atomic("AvgTemp", DataType::Int, Adornment::Output),
+        ],
+    )
+    .expect("static schema is valid");
+    ServiceInterface::new(
+        "Weather1",
+        "Weather",
+        schema,
+        ServiceKind::Exact { chunked: false },
+        ServiceStats::new(1.0, 1, 90.0, 1.0).expect("static stats are valid"),
+        ScoreDecay::Constant(1.0),
+    )
+    .expect("static interface is valid")
+    .with_hint(AttributePath::atomic("AvgTemp"), 41)
+}
+
+/// `Flight1(To^I, Date^I, Airline^O, Price^O, Convenience^R)` — search,
+/// chunks of 10, step decay (the first couple of pages of flight deals
+/// hold nearly all the value).
+pub fn flight_interface() -> ServiceInterface {
+    let schema = ServiceSchema::new(
+        "Flight1",
+        vec![
+            AttributeDef::atomic("To", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("Date", DataType::Date, Adornment::Input),
+            AttributeDef::atomic("Airline", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Price", DataType::Float, Adornment::Output),
+            AttributeDef::atomic("Convenience", DataType::Float, Adornment::Ranked),
+        ],
+    )
+    .expect("static schema is valid");
+    ServiceInterface::new(
+        "Flight1",
+        "Flight",
+        schema,
+        ServiceKind::Search,
+        ServiceStats::new(60.0, 10, 200.0, 1.0).expect("static stats are valid"),
+        ScoreDecay::Step { h: 2, high: 0.95, low: 0.1 },
+    )
+    .expect("static interface is valid")
+}
+
+/// `Hotel1(City^I, Name^O, Price^O, Rating^R)` — search, chunks of 10,
+/// progressive (linear) decay.
+pub fn hotel_interface() -> ServiceInterface {
+    let schema = ServiceSchema::new(
+        "Hotel1",
+        vec![
+            AttributeDef::atomic("City", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("Name", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Price", DataType::Float, Adornment::Output),
+            AttributeDef::atomic("Rating", DataType::Float, Adornment::Ranked),
+        ],
+    )
+    .expect("static schema is valid");
+    ServiceInterface::new(
+        "Hotel1",
+        "Hotel",
+        schema,
+        ServiceKind::Search,
+        ServiceStats::new(80.0, 10, 110.0, 1.0).expect("static stats are valid"),
+        ScoreDecay::Linear,
+    )
+    .expect("static interface is valid")
+}
+
+/// `Forecast(Conference, Weather)`: pipes `City` and `Date` into the
+/// weather lookup.
+pub fn forecast_pattern() -> ConnectionPattern {
+    ConnectionPattern::new(
+        "Forecast",
+        "Conference",
+        "Weather",
+        vec![
+            JoinPair::eq(AttributePath::atomic("City"), AttributePath::atomic("City")),
+            JoinPair::eq(AttributePath::atomic("Date"), AttributePath::atomic("Date")),
+        ],
+        1.0,
+    )
+    .expect("static pattern is valid")
+}
+
+/// `ReachedBy(Conference, Flight)`: pipes the conference city/date into
+/// the flight search.
+pub fn reached_by_pattern() -> ConnectionPattern {
+    ConnectionPattern::new(
+        "ReachedBy",
+        "Conference",
+        "Flight",
+        vec![
+            JoinPair::eq(AttributePath::atomic("City"), AttributePath::atomic("To")),
+            JoinPair::eq(AttributePath::atomic("Date"), AttributePath::atomic("Date")),
+        ],
+        1.0,
+    )
+    .expect("static pattern is valid")
+}
+
+/// `StayAt(Conference, Hotel)`: pipes the conference city into the
+/// hotel search.
+pub fn stay_at_pattern() -> ConnectionPattern {
+    ConnectionPattern::new(
+        "StayAt",
+        "Conference",
+        "Hotel",
+        vec![JoinPair::eq(AttributePath::atomic("City"), AttributePath::atomic("City"))],
+        1.0,
+    )
+    .expect("static pattern is valid")
+}
+
+/// `SameTrip(Flight, Hotel)`: the parallel-join condition of Fig. 2 —
+/// flight destination equals hotel city.
+pub fn same_trip_pattern() -> ConnectionPattern {
+    ConnectionPattern::new(
+        "SameTrip",
+        "Flight",
+        "Hotel",
+        vec![JoinPair::eq(AttributePath::atomic("To"), AttributePath::atomic("City"))],
+        1.0,
+    )
+    .expect("static pattern is valid")
+}
+
+/// Registers the four services and the patterns into a fresh registry.
+pub fn build_registry(seed: u64) -> Result<ServiceRegistry, ServiceError> {
+    let mut reg = ServiceRegistry::new();
+    let city = ValueDomain::new("city", CITY_DOMAIN);
+
+    let conf_domains = DomainMap::new().with(AttributePath::atomic("City"), city.clone());
+    reg.register_service(Arc::new(SyntheticService::new(
+        conference_interface(),
+        conf_domains,
+        seed ^ 0x11,
+    )))?;
+
+    // Weather temperature: uniform over 0..40 °C via a 41-value domain;
+    // AvgTemp > 26 then keeps ≈ 1/3 of the tuples — "many of them can be
+    // discarded" (Fig. 2 commentary).
+    let weather_domains =
+        DomainMap::new().with(AttributePath::atomic("AvgTemp"), ValueDomain::new("temp", 41));
+    reg.register_service(Arc::new(SyntheticService::new(
+        weather_interface(),
+        weather_domains,
+        seed ^ 0x12,
+    )))?;
+
+    reg.register_service(Arc::new(SyntheticService::new(
+        flight_interface(),
+        DomainMap::new(),
+        seed ^ 0x13,
+    )))?;
+    reg.register_service(Arc::new(SyntheticService::new(
+        hotel_interface(),
+        DomainMap::new(),
+        seed ^ 0x14,
+    )))?;
+
+    reg.register_pattern(forecast_pattern())?;
+    reg.register_pattern(reached_by_pattern())?;
+    reg.register_pattern(stay_at_pattern())?;
+    reg.register_pattern(same_trip_pattern())?;
+    Ok(reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::{Request, Service};
+    use seco_model::{Date, Value};
+
+    #[test]
+    fn conference_produces_twenty_answers() {
+        let reg = build_registry(5).unwrap();
+        let conf = reg.service("Conference1").unwrap();
+        let req = Request::unbound().bind(AttributePath::atomic("Topic"), Value::text("databases"));
+        let resp = conf.fetch(&req).unwrap();
+        assert_eq!(resp.len(), 20, "Conference is proliferative with 20 answers on average");
+        assert!(!resp.has_more);
+    }
+
+    #[test]
+    fn weather_is_selective_under_the_temperature_predicate() {
+        let reg = build_registry(5).unwrap();
+        let weather = reg.service("Weather1").unwrap();
+        let mut kept = 0;
+        for i in 0..60 {
+            let req = Request::unbound()
+                .bind(AttributePath::atomic("City"), Value::Text(format!("city-{}", i % 12)))
+                .bind(AttributePath::atomic("Date"), Value::Date(Date::new(2009, 6, (i % 28 + 1) as u8)));
+            let resp = weather.fetch(&req).unwrap();
+            assert_eq!(resp.len(), 1);
+            if let Value::Int(t) = resp.tuples[0].atomic_at(2) {
+                if *t > 26 {
+                    kept += 1;
+                }
+            }
+        }
+        // ≈ 14/41 of the uniform temperature domain exceeds 26 °C.
+        assert!((8..=30).contains(&kept), "kept {kept}/60, expected roughly a third");
+    }
+
+    #[test]
+    fn flight_scores_exhibit_the_declared_step() {
+        let reg = build_registry(5).unwrap();
+        let flight = reg.service("Flight1").unwrap();
+        let req = Request::unbound()
+            .bind(AttributePath::atomic("To"), Value::text("city-3"))
+            .bind(AttributePath::atomic("Date"), Value::Date(Date::new(2009, 7, 10)));
+        let c1 = flight.fetch(&req.at_chunk(1)).unwrap();
+        let c2 = flight.fetch(&req.at_chunk(2)).unwrap();
+        assert!(c1.tuples.last().unwrap().score > 0.8, "inside the h=2 plateau");
+        assert!(c2.tuples[0].score < 0.2, "after the step");
+    }
+
+    #[test]
+    fn registry_has_all_patterns() {
+        let reg = build_registry(5).unwrap();
+        assert_eq!(reg.pattern_names(), vec!["Forecast", "ReachedBy", "SameTrip", "StayAt"]);
+        assert_eq!(reg.pattern("SameTrip").unwrap().from_mart, "Flight");
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type of the service substrate.
+
+use std::fmt;
+
+use seco_model::ModelError;
+
+/// Errors raised while registering or invoking services.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Underlying model error (schema lookups, validation, …).
+    Model(ModelError),
+    /// A required input attribute of the access pattern was not bound in
+    /// the request — the access-limitation violation of §2.3.
+    MissingBinding {
+        /// Service name.
+        service: String,
+        /// Dotted path of the unbound input attribute.
+        attribute: String,
+    },
+    /// A chunk index past the end of the (non-chunked) result was
+    /// requested from a service that does not support chunking.
+    NotChunked {
+        /// Service name.
+        service: String,
+    },
+    /// A service name was not found in the registry.
+    UnknownService(String),
+    /// A connection pattern name was not found in the registry.
+    UnknownPattern(String),
+    /// A name was registered twice.
+    Duplicate(String),
+    /// Simulated transport failure (used by failure-injection tests).
+    Transport {
+        /// Service name.
+        service: String,
+        /// Failure description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Model(e) => write!(f, "model error: {e}"),
+            ServiceError::MissingBinding { service, attribute } => {
+                write!(f, "service `{service}` requires input `{attribute}` to be bound")
+            }
+            ServiceError::NotChunked { service } => {
+                write!(f, "service `{service}` is not chunked; only chunk 0 exists")
+            }
+            ServiceError::UnknownService(name) => write!(f, "unknown service `{name}`"),
+            ServiceError::UnknownPattern(name) => write!(f, "unknown connection pattern `{name}`"),
+            ServiceError::Duplicate(name) => write!(f, "duplicate registration of `{name}`"),
+            ServiceError::Transport { service, detail } => {
+                write!(f, "transport failure calling `{service}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ServiceError {
+    fn from(e: ModelError) -> Self {
+        ServiceError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServiceError::MissingBinding { service: "Movie1".into(), attribute: "Genres.Genre".into() };
+        assert!(e.to_string().contains("Movie1"));
+        let e: ServiceError = ModelError::UnknownName("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ServiceError::UnknownService("s".into())).is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! The request-response invocation interface of services.
+//!
+//! A *request-response* (the chapter's unit of interaction and of cost)
+//! binds every input attribute of the access pattern and asks for one
+//! chunk of the result. Search services answer the `c`-th chunk of their
+//! ranked list; chunked exact services answer the `c`-th chunk of their
+//! unranked result; non-chunked exact services only answer chunk 0 with
+//! the whole result.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use seco_model::{AttributePath, ServiceInterface, Tuple, Value};
+
+use crate::error::ServiceError;
+
+/// Input bindings of a service call: a value for each `I`-adorned path.
+///
+/// Uses a `BTreeMap` so the binding set has a canonical order — the
+/// synthetic generator hashes it to derive the deterministic per-call
+/// seed, and the recorder uses it as a cache key.
+pub type Bindings = BTreeMap<AttributePath, Value>;
+
+/// Non-equality constraints shipped with a request: `path op value`.
+///
+/// §3.1's running example binds `Movie1.Openings.Date` with a `>`
+/// predicate; the access pattern still demands a value for that input,
+/// but the service interprets it as a range ("openings after this
+/// date"), not an exact key. Constraints participate in the request's
+/// identity (determinism, caching) and in [`Service::check_bindings`].
+pub type Ranges = BTreeMap<AttributePath, (seco_model::Comparator, Value)>;
+
+/// One request-response to a service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Equality values for the service's input attributes.
+    pub bindings: Bindings,
+    /// Non-equality constraints on input attributes.
+    pub ranges: Ranges,
+    /// 0-based chunk index (the "fetch"); must be 0 for non-chunked
+    /// services.
+    pub chunk: usize,
+}
+
+impl Request {
+    /// Request for the first chunk under the given bindings.
+    pub fn first(bindings: Bindings) -> Self {
+        Request { bindings, ranges: Ranges::new(), chunk: 0 }
+    }
+
+    /// Request with no bindings (for services whose access pattern has
+    /// no input attributes).
+    pub fn unbound() -> Self {
+        Request { bindings: Bindings::new(), ranges: Ranges::new(), chunk: 0 }
+    }
+
+    /// Returns a copy of this request addressing chunk `chunk`.
+    pub fn at_chunk(&self, chunk: usize) -> Self {
+        Request { bindings: self.bindings.clone(), ranges: self.ranges.clone(), chunk }
+    }
+
+    /// Convenience: inserts one equality binding, builder-style.
+    pub fn bind(mut self, path: AttributePath, value: Value) -> Self {
+        self.bindings.insert(path, value);
+        self
+    }
+
+    /// Convenience: inserts one range constraint, builder-style.
+    pub fn constrain(mut self, path: AttributePath, op: seco_model::Comparator, value: Value) -> Self {
+        self.ranges.insert(path, (op, value));
+        self
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk {} with {{", self.chunk)?;
+        for (i, (k, v)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// One chunk of results returned by a service call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkResponse {
+    /// The tuples of this chunk, in ranking order for search services.
+    pub tuples: Vec<Tuple>,
+    /// Whether further chunks exist under the same bindings.
+    pub has_more: bool,
+    /// Simulated elapsed time of this request-response, in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+impl ChunkResponse {
+    /// An empty terminal chunk.
+    pub fn empty(elapsed_ms: f64) -> Self {
+        ChunkResponse { tuples: Vec::new(), has_more: false, elapsed_ms }
+    }
+
+    /// Number of tuples in the chunk.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the chunk carries no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// An invocable service implementation.
+///
+/// Implementations must be deterministic for a fixed `(bindings, chunk)`
+/// pair: repeating a request returns the same chunk. This mirrors the
+/// idempotence of HTTP GET-style service calls the chapter assumes, and
+/// makes join strategies free to re-fetch instead of caching.
+pub trait Service: Send + Sync {
+    /// The adorned interface this service implements.
+    fn interface(&self) -> &ServiceInterface;
+
+    /// Executes one request-response.
+    fn fetch(&self, request: &Request) -> Result<ChunkResponse, ServiceError>;
+
+    /// Validates that every input path of the access pattern is covered,
+    /// either by an equality binding or by a range constraint.
+    ///
+    /// Provided method; implementations call it at the top of `fetch`.
+    fn check_bindings(&self, request: &Request) -> Result<(), ServiceError> {
+        let iface = self.interface();
+        for path in iface.schema.input_paths() {
+            if !request.bindings.contains_key(&path) && !request.ranges.contains_key(&path) {
+                return Err(ServiceError::MissingBinding {
+                    service: iface.name.clone(),
+                    attribute: path.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shared handle to a service.
+pub type ServiceHandle = Arc<dyn Service>;
+
+/// Fetches chunks `0..n` under the same bindings, concatenating tuples,
+/// stopping early when the service reports no more chunks. Returns the
+/// tuples and the number of request-responses actually performed.
+pub fn fetch_n_chunks(
+    service: &dyn Service,
+    bindings: &Bindings,
+    n: usize,
+) -> Result<(Vec<Tuple>, usize), ServiceError> {
+    let mut tuples = Vec::new();
+    let mut calls = 0;
+    for c in 0..n {
+        let resp = service.fetch(&Request::first(bindings.clone()).at_chunk(c))?;
+        calls += 1;
+        let more = resp.has_more;
+        tuples.extend(resp.tuples);
+        if !more {
+            break;
+        }
+    }
+    Ok((tuples, calls))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_model::{Adornment, AttributeDef, DataType, ScoreDecay, ServiceKind, ServiceSchema, ServiceStats};
+
+    struct Fixed {
+        iface: ServiceInterface,
+    }
+
+    impl Service for Fixed {
+        fn interface(&self) -> &ServiceInterface {
+            &self.iface
+        }
+        fn fetch(&self, request: &Request) -> Result<ChunkResponse, ServiceError> {
+            self.check_bindings(request)?;
+            Ok(ChunkResponse::empty(1.0))
+        }
+    }
+
+    fn fixed() -> Fixed {
+        let schema = ServiceSchema::new(
+            "F1",
+            vec![
+                AttributeDef::atomic("K", DataType::Text, Adornment::Input),
+                AttributeDef::atomic("V", DataType::Int, Adornment::Output),
+            ],
+        )
+        .unwrap();
+        Fixed {
+            iface: ServiceInterface::new(
+                "F1",
+                "F",
+                schema,
+                ServiceKind::Exact { chunked: false },
+                ServiceStats::default(),
+                ScoreDecay::Constant(0.0),
+            )
+            .unwrap(),
+        }
+    }
+
+    #[test]
+    fn missing_binding_is_rejected() {
+        let s = fixed();
+        let err = s.fetch(&Request::unbound()).unwrap_err();
+        assert!(matches!(err, ServiceError::MissingBinding { .. }));
+        let ok = s.fetch(&Request::unbound().bind(AttributePath::atomic("K"), Value::text("x")));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn request_builders() {
+        let r = Request::unbound().bind(AttributePath::atomic("K"), Value::Int(1));
+        assert_eq!(r.chunk, 0);
+        let r2 = r.at_chunk(3);
+        assert_eq!(r2.chunk, 3);
+        assert_eq!(r2.bindings, r.bindings);
+        assert!(r2.to_string().contains("chunk 3"));
+    }
+
+    #[test]
+    fn chunk_response_helpers() {
+        let c = ChunkResponse::empty(2.0);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.elapsed_ms, 2.0);
+        assert!(!c.has_more);
+    }
+
+    #[test]
+    fn fetch_n_chunks_stops_at_terminal_chunk() {
+        let s = fixed();
+        let bindings: Bindings =
+            [(AttributePath::atomic("K"), Value::text("x"))].into_iter().collect();
+        let (tuples, calls) = fetch_n_chunks(&s, &bindings, 5).unwrap();
+        assert!(tuples.is_empty());
+        assert_eq!(calls, 1, "has_more=false after first chunk must stop fetching");
+    }
+}

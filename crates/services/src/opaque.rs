@@ -1,0 +1,169 @@
+//! Opaque rankings (§3.1, footnote 3).
+//!
+//! "The case of opaque rankings can be dealt with by associating the
+//! position of tuples in the result with a new attribute and then
+//! translating the position into a score in the [0..1] interval."
+//!
+//! Two decorators implement the footnote:
+//!
+//! * [`OpaqueRanking`] simulates a search engine that returns results
+//!   in relevance order but *publishes no scores* — tuples come back
+//!   with a constant score (their order is the only ranking signal);
+//! * [`PositionScored`] recovers usable scores from positions:
+//!   `score(i) = 1 − i / assumed_total`, so downstream join strategies
+//!   and the global ranking function work unchanged.
+
+use std::sync::Arc;
+
+use seco_model::ServiceInterface;
+
+use crate::error::ServiceError;
+use crate::invocation::{ChunkResponse, Request, Service};
+
+/// Hides the inner service's scores (the ranking stays implicit in the
+/// result order).
+pub struct OpaqueRanking {
+    inner: Arc<dyn Service>,
+}
+
+impl OpaqueRanking {
+    /// Wraps a service.
+    pub fn new(inner: Arc<dyn Service>) -> Self {
+        OpaqueRanking { inner }
+    }
+}
+
+impl Service for OpaqueRanking {
+    fn interface(&self) -> &ServiceInterface {
+        self.inner.interface()
+    }
+
+    fn fetch(&self, request: &Request) -> Result<ChunkResponse, ServiceError> {
+        let mut resp = self.inner.fetch(request)?;
+        for t in &mut resp.tuples {
+            // All scores collapse to 1: order is preserved, magnitude
+            // is gone.
+            t.score = 1.0;
+        }
+        Ok(resp)
+    }
+}
+
+/// Re-derives scores from result positions.
+pub struct PositionScored {
+    inner: Arc<dyn Service>,
+    /// Assumed total length of the ranked list; positions are
+    /// normalised against it. Defaults to the interface's expected
+    /// cardinality.
+    assumed_total: usize,
+}
+
+impl PositionScored {
+    /// Wraps a service, assuming its expected cardinality as the list
+    /// length.
+    pub fn new(inner: Arc<dyn Service>) -> Self {
+        let assumed_total = inner.interface().stats.avg_cardinality.round().max(1.0) as usize;
+        PositionScored { inner, assumed_total }
+    }
+
+    /// Overrides the assumed total list length.
+    pub fn with_assumed_total(mut self, total: usize) -> Self {
+        self.assumed_total = total.max(1);
+        self
+    }
+
+    /// The position-to-score translation of the footnote.
+    fn score_of_position(&self, position: usize) -> f64 {
+        (1.0 - position as f64 / self.assumed_total as f64).clamp(0.0, 1.0)
+    }
+}
+
+impl Service for PositionScored {
+    fn interface(&self) -> &ServiceInterface {
+        self.inner.interface()
+    }
+
+    fn fetch(&self, request: &Request) -> Result<ChunkResponse, ServiceError> {
+        let chunk_size = self.inner.interface().stats.chunk_size;
+        let mut resp = self.inner.fetch(request)?;
+        for (offset, t) in resp.tuples.iter_mut().enumerate() {
+            let position = request.chunk * chunk_size + offset;
+            t.source_rank = position;
+            t.score = self.score_of_position(position);
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{DomainMap, SyntheticService};
+    use seco_model::{
+        Adornment, AttributeDef, AttributePath, DataType, ScoreDecay, ServiceKind, ServiceSchema,
+        ServiceStats, Value,
+    };
+
+    fn search_service() -> Arc<SyntheticService> {
+        let schema = ServiceSchema::new(
+            "S1",
+            vec![
+                AttributeDef::atomic("K", DataType::Text, Adornment::Input),
+                AttributeDef::atomic("V", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+            ],
+        )
+        .unwrap();
+        let iface = ServiceInterface::new(
+            "S1",
+            "S",
+            schema,
+            ServiceKind::Search,
+            ServiceStats::new(25.0, 10, 10.0, 1.0).unwrap(),
+            ScoreDecay::Quadratic,
+        )
+        .unwrap();
+        Arc::new(SyntheticService::new(iface, DomainMap::new(), 5))
+    }
+
+    fn req() -> Request {
+        Request::unbound().bind(AttributePath::atomic("K"), Value::text("q"))
+    }
+
+    #[test]
+    fn opaque_ranking_flattens_scores_but_keeps_order() {
+        let inner = search_service();
+        let plain = inner.fetch(&req()).unwrap();
+        let opaque = OpaqueRanking::new(inner).fetch(&req()).unwrap();
+        assert_eq!(plain.len(), opaque.len());
+        assert!(opaque.tuples.iter().all(|t| t.score == 1.0));
+        // Payload unchanged.
+        assert_eq!(plain.tuples[3].atomic_at(1), opaque.tuples[3].atomic_at(1));
+    }
+
+    #[test]
+    fn position_scored_restores_monotone_scores() {
+        let opaque: Arc<dyn Service> = Arc::new(OpaqueRanking::new(search_service()));
+        let scored = PositionScored::new(opaque);
+        let c0 = scored.fetch(&req()).unwrap();
+        let c1 = scored.fetch(&req().at_chunk(1)).unwrap();
+        let mut prev = f64::INFINITY;
+        for t in c0.tuples.iter().chain(&c1.tuples) {
+            assert!(t.score <= prev);
+            assert!((0.0..=1.0).contains(&t.score));
+            prev = t.score;
+        }
+        // Positions carry across chunks.
+        assert_eq!(c1.tuples[0].source_rank, 10);
+        // First chunk's head has the best score.
+        assert_eq!(c0.tuples[0].score, 1.0);
+    }
+
+    #[test]
+    fn assumed_total_controls_decay_speed() {
+        let opaque: Arc<dyn Service> = Arc::new(OpaqueRanking::new(search_service()));
+        let fast = PositionScored::new(opaque).with_assumed_total(10);
+        let last_of_first_chunk = fast.fetch(&req()).unwrap().tuples[9].score;
+        assert!(last_of_first_chunk <= 0.1 + 1e-12, "position 9 of 10 scores near 0");
+    }
+}

@@ -1,0 +1,206 @@
+//! Call recording: the observables behind every cost metric.
+//!
+//! §5.1's metrics are all functions of what happened at the service
+//! boundary: how many request-responses were issued per service, how
+//! long each took, what they cost, and how many bytes came back. The
+//! [`CallRecorder`] decorator wraps any [`Service`] and accumulates
+//! exactly those quantities, so executors and experiments never need
+//! service-specific instrumentation.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use seco_model::ServiceInterface;
+
+use crate::error::ServiceError;
+use crate::invocation::{ChunkResponse, Request, Service};
+use crate::wire::chunk_wire_size;
+
+/// Accumulated statistics of one (wrapped) service.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize)]
+pub struct CallStats {
+    /// Request-responses issued (including failed ones).
+    pub calls: u64,
+    /// Request-responses that returned an error.
+    pub failures: u64,
+    /// Tuples returned across all calls.
+    pub tuples: u64,
+    /// Sum of simulated per-call latencies, in milliseconds. Under
+    /// sequential execution this is the service's contribution to
+    /// elapsed time; under parallel execution the executor tracks
+    /// critical-path time separately.
+    pub busy_ms: f64,
+    /// Maximum single-call latency, in milliseconds (bottleneck metric).
+    pub max_call_ms: f64,
+    /// Total response payload, in wire bytes.
+    pub bytes: u64,
+    /// Monetary/abstract cost charged (`cost_per_call × calls`).
+    pub charged: f64,
+}
+
+impl CallStats {
+    /// Mean latency per call, or 0 when no calls were made.
+    pub fn mean_call_ms(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.busy_ms / self.calls as f64
+        }
+    }
+
+    /// Folds another stats record into this one (for aggregating over
+    /// services).
+    pub fn merge(&mut self, other: &CallStats) {
+        self.calls += other.calls;
+        self.failures += other.failures;
+        self.tuples += other.tuples;
+        self.busy_ms += other.busy_ms;
+        self.max_call_ms = self.max_call_ms.max(other.max_call_ms);
+        self.bytes += other.bytes;
+        self.charged += other.charged;
+    }
+}
+
+/// Decorator recording the call statistics of an inner service.
+pub struct CallRecorder {
+    inner: Arc<dyn Service>,
+    stats: Mutex<CallStats>,
+}
+
+impl CallRecorder {
+    /// Wraps a service.
+    pub fn new(inner: Arc<dyn Service>) -> Arc<Self> {
+        Arc::new(CallRecorder { inner, stats: Mutex::new(CallStats::default()) })
+    }
+
+    /// Snapshot of the statistics so far.
+    pub fn stats(&self) -> CallStats {
+        *self.stats.lock()
+    }
+
+    /// Resets the counters (between experiment repetitions).
+    pub fn reset(&self) {
+        *self.stats.lock() = CallStats::default();
+    }
+}
+
+impl Service for CallRecorder {
+    fn interface(&self) -> &ServiceInterface {
+        self.inner.interface()
+    }
+
+    fn fetch(&self, request: &Request) -> Result<ChunkResponse, ServiceError> {
+        let result = self.inner.fetch(request);
+        let mut stats = self.stats.lock();
+        stats.calls += 1;
+        stats.charged += self.inner.interface().stats.cost_per_call;
+        match &result {
+            Ok(resp) => {
+                stats.tuples += resp.tuples.len() as u64;
+                stats.busy_ms += resp.elapsed_ms;
+                stats.max_call_ms = stats.max_call_ms.max(resp.elapsed_ms);
+                stats.bytes += chunk_wire_size(&resp.tuples) as u64;
+            }
+            Err(_) => stats.failures += 1,
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{DomainMap, SyntheticService};
+    use seco_model::{
+        Adornment, AttributeDef, AttributePath, DataType, ScoreDecay, ServiceKind, ServiceSchema,
+        ServiceStats, Value,
+    };
+
+    fn service() -> Arc<SyntheticService> {
+        let schema = ServiceSchema::new(
+            "S1",
+            vec![
+                AttributeDef::atomic("K", DataType::Text, Adornment::Input),
+                AttributeDef::atomic("V", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+            ],
+        )
+        .unwrap();
+        let iface = ServiceInterface::new(
+            "S1",
+            "S",
+            schema,
+            ServiceKind::Search,
+            ServiceStats::new(25.0, 10, 40.0, 2.5).unwrap(),
+            ScoreDecay::Linear,
+        )
+        .unwrap();
+        Arc::new(SyntheticService::new(iface, DomainMap::new(), 3))
+    }
+
+    fn req() -> Request {
+        Request::unbound().bind(AttributePath::atomic("K"), Value::text("k"))
+    }
+
+    #[test]
+    fn records_calls_tuples_time_cost_and_bytes() {
+        let rec = CallRecorder::new(service());
+        rec.fetch(&req()).unwrap();
+        rec.fetch(&req().at_chunk(1)).unwrap();
+        let s = rec.stats();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.failures, 0);
+        assert_eq!(s.tuples, 20);
+        assert!((s.busy_ms - 80.0).abs() < 1e-9);
+        assert!((s.max_call_ms - 40.0).abs() < 1e-9);
+        assert!((s.charged - 5.0).abs() < 1e-9);
+        assert!(s.bytes > 64, "wire bytes should be substantial, got {}", s.bytes);
+        assert!((s.mean_call_ms() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn records_failures() {
+        let schema = service().interface().schema.clone();
+        let iface = ServiceInterface::new(
+            "S1",
+            "S",
+            schema,
+            ServiceKind::Search,
+            ServiceStats::new(25.0, 10, 40.0, 1.0).unwrap(),
+            ScoreDecay::Linear,
+        )
+        .unwrap();
+        let failing =
+            Arc::new(SyntheticService::new(iface, DomainMap::new(), 3).with_failure_every(1));
+        let rec = CallRecorder::new(failing);
+        assert!(rec.fetch(&req()).is_err());
+        let s = rec.stats();
+        assert_eq!((s.calls, s.failures, s.tuples), (1, 1, 0));
+        // Failed calls still get charged (the provider billed us).
+        assert!((s.charged - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let rec = CallRecorder::new(service());
+        rec.fetch(&req()).unwrap();
+        rec.reset();
+        assert_eq!(rec.stats(), CallStats::default());
+    }
+
+    #[test]
+    fn merge_aggregates() {
+        let mut a = CallStats { calls: 1, failures: 0, tuples: 10, busy_ms: 5.0, max_call_ms: 5.0, bytes: 100, charged: 1.0 };
+        let b = CallStats { calls: 2, failures: 1, tuples: 4, busy_ms: 9.0, max_call_ms: 8.0, bytes: 50, charged: 2.0 };
+        a.merge(&b);
+        assert_eq!(a.calls, 3);
+        assert_eq!(a.failures, 1);
+        assert_eq!(a.tuples, 14);
+        assert!((a.busy_ms - 14.0).abs() < 1e-12);
+        assert!((a.max_call_ms - 8.0).abs() < 1e-12);
+        assert_eq!(a.bytes, 150);
+        assert!((a.charged - 3.0).abs() < 1e-12);
+        assert_eq!(CallStats::default().mean_call_ms(), 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! The service registry: marts, interfaces, connection patterns, and
+//! invocable service instances.
+//!
+//! Queries are written against names (`Movie1`, `Shows`, …); the
+//! registry resolves them. Every registered service is automatically
+//! wrapped in a [`CallRecorder`] so cost observables are available for
+//! any execution without further plumbing.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use seco_model::{ConnectionPattern, ServiceInterface, ServiceMart};
+
+use crate::error::ServiceError;
+use crate::invocation::Service;
+use crate::recorder::{CallRecorder, CallStats};
+
+/// Registry of everything invocable and joinable.
+#[derive(Default)]
+pub struct ServiceRegistry {
+    marts: BTreeMap<String, ServiceMart>,
+    services: BTreeMap<String, Arc<CallRecorder>>,
+    patterns: BTreeMap<String, ConnectionPattern>,
+}
+
+impl ServiceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a service implementation under its interface name,
+    /// creating (or extending) its mart entry.
+    pub fn register_service(&mut self, service: Arc<dyn Service>) -> Result<(), ServiceError> {
+        let iface = service.interface().clone();
+        if self.services.contains_key(&iface.name) {
+            return Err(ServiceError::Duplicate(iface.name.clone()));
+        }
+        let mart = self
+            .marts
+            .entry(iface.mart.clone())
+            .or_insert_with(|| ServiceMart::new(iface.mart.clone()));
+        mart.interfaces.push(iface.name.clone());
+        self.services.insert(iface.name.clone(), CallRecorder::new(service));
+        Ok(())
+    }
+
+    /// Registers a connection pattern.
+    pub fn register_pattern(&mut self, pattern: ConnectionPattern) -> Result<(), ServiceError> {
+        if self.patterns.contains_key(&pattern.name) {
+            return Err(ServiceError::Duplicate(pattern.name.clone()));
+        }
+        self.patterns.insert(pattern.name.clone(), pattern);
+        Ok(())
+    }
+
+    /// Looks up an invocable service (wrapped in its recorder).
+    pub fn service(&self, name: &str) -> Result<Arc<CallRecorder>, ServiceError> {
+        self.services.get(name).cloned().ok_or_else(|| ServiceError::UnknownService(name.into()))
+    }
+
+    /// Looks up a service interface (the adorned schema and statistics).
+    pub fn interface(&self, name: &str) -> Result<&ServiceInterface, ServiceError> {
+        self.services
+            .get(name)
+            .map(|s| s.interface())
+            .ok_or_else(|| ServiceError::UnknownService(name.into()))
+    }
+
+    /// Looks up a connection pattern.
+    pub fn pattern(&self, name: &str) -> Result<&ConnectionPattern, ServiceError> {
+        self.patterns.get(name).ok_or_else(|| ServiceError::UnknownPattern(name.into()))
+    }
+
+    /// Looks up a mart.
+    pub fn mart(&self, name: &str) -> Result<&ServiceMart, ServiceError> {
+        self.marts.get(name).ok_or_else(|| ServiceError::UnknownService(name.into()))
+    }
+
+    /// All interfaces implementing a mart (Phase-1 candidates).
+    pub fn interfaces_of_mart(&self, mart: &str) -> Vec<&ServiceInterface> {
+        self.marts
+            .get(mart)
+            .map(|m| m.interfaces.iter().filter_map(|n| self.services.get(n).map(|s| s.interface())).collect())
+            .unwrap_or_default()
+    }
+
+    /// Names of all registered services.
+    pub fn service_names(&self) -> Vec<&str> {
+        self.services.keys().map(String::as_str).collect()
+    }
+
+    /// Names of all registered connection patterns.
+    pub fn pattern_names(&self) -> Vec<&str> {
+        self.patterns.keys().map(String::as_str).collect()
+    }
+
+    /// Per-service call statistics, keyed by interface name.
+    pub fn all_stats(&self) -> BTreeMap<String, CallStats> {
+        self.services.iter().map(|(k, v)| (k.clone(), v.stats())).collect()
+    }
+
+    /// Sum of all services' statistics.
+    pub fn total_stats(&self) -> CallStats {
+        let mut total = CallStats::default();
+        for s in self.services.values() {
+            total.merge(&s.stats());
+        }
+        total
+    }
+
+    /// Resets every recorder (between experiment repetitions).
+    pub fn reset_stats(&self) {
+        for s in self.services.values() {
+            s.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{DomainMap, SyntheticService};
+    use crate::invocation::Request;
+    use seco_model::{
+        Adornment, AttributeDef, AttributePath, DataType, JoinPair, ScoreDecay, ServiceKind,
+        ServiceSchema, ServiceStats, Value,
+    };
+
+    fn iface(name: &str, mart: &str) -> ServiceInterface {
+        let schema = ServiceSchema::new(
+            name,
+            vec![
+                AttributeDef::atomic("K", DataType::Text, Adornment::Input),
+                AttributeDef::atomic("V", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+            ],
+        )
+        .unwrap();
+        ServiceInterface::new(
+            name,
+            mart,
+            schema,
+            ServiceKind::Search,
+            ServiceStats::default(),
+            ScoreDecay::Linear,
+        )
+        .unwrap()
+    }
+
+    fn registry() -> ServiceRegistry {
+        let mut reg = ServiceRegistry::new();
+        for (n, m) in [("Movie1", "Movie"), ("Movie2", "Movie"), ("Theatre1", "Theatre")] {
+            reg.register_service(Arc::new(SyntheticService::new(iface(n, m), DomainMap::new(), 1)))
+                .unwrap();
+        }
+        reg.register_pattern(
+            ConnectionPattern::new(
+                "Shows",
+                "Movie",
+                "Theatre",
+                vec![JoinPair::eq(AttributePath::atomic("V"), AttributePath::atomic("V"))],
+                0.02,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let reg = registry();
+        assert!(reg.service("Movie1").is_ok());
+        assert!(reg.service("Nope").is_err());
+        assert_eq!(reg.interface("Theatre1").unwrap().mart, "Theatre");
+        assert!(reg.pattern("Shows").is_ok());
+        assert!(reg.pattern("Nope").is_err());
+        assert_eq!(reg.service_names().len(), 3);
+        assert_eq!(reg.pattern_names(), vec!["Shows"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut reg = registry();
+        let err = reg
+            .register_service(Arc::new(SyntheticService::new(iface("Movie1", "Movie"), DomainMap::new(), 9)))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Duplicate(_)));
+        let err = reg
+            .register_pattern(
+                ConnectionPattern::new(
+                    "Shows",
+                    "A",
+                    "B",
+                    vec![JoinPair::eq(AttributePath::atomic("X"), AttributePath::atomic("Y"))],
+                    0.5,
+                )
+                .unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Duplicate(_)));
+    }
+
+    #[test]
+    fn marts_collect_their_interfaces() {
+        let reg = registry();
+        let movies = reg.interfaces_of_mart("Movie");
+        assert_eq!(movies.len(), 2);
+        assert!(reg.interfaces_of_mart("Nothing").is_empty());
+        assert_eq!(reg.mart("Movie").unwrap().interfaces.len(), 2);
+        assert!(reg.mart("Nothing").is_err());
+    }
+
+    #[test]
+    fn stats_flow_through_recorders() {
+        let reg = registry();
+        let svc = reg.service("Movie1").unwrap();
+        let req = Request::unbound().bind(AttributePath::atomic("K"), Value::text("k"));
+        svc.fetch(&req).unwrap();
+        assert_eq!(reg.all_stats()["Movie1"].calls, 1);
+        assert_eq!(reg.total_stats().calls, 1);
+        reg.reset_stats();
+        assert_eq!(reg.total_stats().calls, 0);
+    }
+}

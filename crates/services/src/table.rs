@@ -1,0 +1,264 @@
+//! Static in-memory services, used as oracles and in unit tests.
+//!
+//! A [`TableService`] serves an explicit list of tuples. For search
+//! services the list is interpreted as already being in ranking order;
+//! for exact services with input attributes, the table is filtered by
+//! equality on the bound inputs (an access-limited relational source, as
+//! in §2.3). This is the implementation behind the chapter's literal
+//! examples (the Q1/Q2 repeating-group data) and behind the reference
+//! query evaluator in `seco-query::semantics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use seco_model::{ServiceInterface, Tuple, Value};
+
+use crate::error::ServiceError;
+use crate::invocation::{ChunkResponse, Request, Service};
+use crate::latency::LatencyModel;
+
+/// A service backed by an explicit tuple list.
+pub struct TableService {
+    iface: ServiceInterface,
+    rows: Vec<Tuple>,
+    latency: LatencyModel,
+    calls: AtomicU64,
+}
+
+impl TableService {
+    /// Creates a table service. For search interfaces the rows must be
+    /// provided in decreasing score order; this is validated eagerly so
+    /// a mis-ordered oracle fails at construction, not mid-experiment.
+    pub fn new(iface: ServiceInterface, rows: Vec<Tuple>) -> Result<Self, ServiceError> {
+        if iface.kind.is_search() {
+            for w in rows.windows(2) {
+                if w[0].score < w[1].score - 1e-12 {
+                    return Err(ServiceError::Model(seco_model::ModelError::InvalidParameter {
+                        name: "rows",
+                        detail: format!(
+                            "search service `{}` rows must be in decreasing score order",
+                            iface.name
+                        ),
+                    }));
+                }
+            }
+        }
+        let latency = LatencyModel::Fixed { ms: iface.stats.response_time_ms };
+        Ok(TableService { iface, rows, latency, calls: AtomicU64::new(0) })
+    }
+
+    /// Overrides the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// All rows, unfiltered (oracle access).
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Number of request-responses served so far.
+    pub fn calls_served(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Rows matching the request's input bindings (equality on every
+    /// bound input path; group paths match if *some* row of the group
+    /// equals the bound value) and range constraints (applied with
+    /// their actual comparator — the table has the real data).
+    fn matching_rows(&self, request: &Request) -> Vec<Tuple> {
+        let schema = &self.iface.schema;
+        self.rows
+            .iter()
+            .filter(|t| {
+                let eq_ok = request.bindings.iter().all(|(path, bound)| {
+                    match t.values_at(schema, path) {
+                        Ok(values) => values.iter().any(|v| v == bound),
+                        // A binding for a path the schema doesn't have is
+                        // ignored (the planner binds only schema inputs).
+                        Err(_) => true,
+                    }
+                });
+                let range_ok = request.ranges.iter().all(|(path, (op, bound))| {
+                    match t.values_at(schema, path) {
+                        Ok(values) => values.iter().any(|v| op.eval(v, bound).unwrap_or(false)),
+                        Err(_) => true,
+                    }
+                });
+                eq_ok && range_ok
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+impl Service for TableService {
+    fn interface(&self) -> &ServiceInterface {
+        &self.iface
+    }
+
+    fn fetch(&self, request: &Request) -> Result<ChunkResponse, ServiceError> {
+        self.check_bindings(request)?;
+        let call_idx = self.calls.fetch_add(1, Ordering::Relaxed);
+        if !self.iface.kind.is_chunked() && request.chunk > 0 {
+            return Err(ServiceError::NotChunked { service: self.iface.name.clone() });
+        }
+        let matching = self.matching_rows(request);
+        let chunk_size = if self.iface.kind.is_chunked() {
+            self.iface.stats.chunk_size
+        } else {
+            matching.len().max(1)
+        };
+        let start = request.chunk * chunk_size;
+        let end = (start + chunk_size).min(matching.len());
+        let tuples = if start < matching.len() { matching[start..end].to_vec() } else { Vec::new() };
+        Ok(ChunkResponse {
+            has_more: end < matching.len(),
+            elapsed_ms: self.latency.latency_ms(call_idx, request.chunk),
+            tuples,
+        })
+    }
+}
+
+/// Builds the two-service dataset of the chapter's semantics example
+/// (§3.1): `S1` provides `t1=({<1,x>,<2,x>})`, `t2=({<2,x>,<1,y>})` and
+/// `S2` provides `t3=({<1,x>,<2,y>})`, `t4=({<2,x>})`, each over a
+/// repeating group `R` with sub-attributes `A` (int) and `B` (text).
+pub fn chapter_semantics_example() -> (TableService, TableService) {
+    use seco_model::{Adornment, AttributeDef, DataType, ScoreDecay, ServiceKind, ServiceSchema, ServiceStats, SubAttributeDef};
+
+    let schema = |name: &str| {
+        ServiceSchema::new(
+            name,
+            vec![AttributeDef::group(
+                "R",
+                vec![
+                    SubAttributeDef::new("A", DataType::Int, Adornment::Output),
+                    SubAttributeDef::new("B", DataType::Text, Adornment::Output),
+                ],
+            )],
+        )
+        .expect("static schema is valid")
+    };
+    let iface = |name: &str| {
+        ServiceInterface::new(
+            name,
+            name.trim_end_matches(|c: char| c.is_ascii_digit()),
+            schema(name),
+            ServiceKind::Exact { chunked: false },
+            ServiceStats::new(2.0, 10, 1.0, 1.0).expect("static stats are valid"),
+            ScoreDecay::Constant(1.0),
+        )
+        .expect("static interface is valid")
+    };
+    let row = |schema: &ServiceSchema, rows: &[(i64, &str)]| {
+        let mut b = Tuple::builder(schema);
+        for (a, s) in rows {
+            b = b.push_group_row("R", vec![Value::Int(*a), Value::text(*s)]);
+        }
+        b.build().expect("static tuple is valid")
+    };
+
+    let s1 = iface("S1");
+    let t1 = row(&s1.schema, &[(1, "x"), (2, "x")]);
+    let t2 = row(&s1.schema, &[(2, "x"), (1, "y")]);
+    let s2 = iface("S2");
+    let t3 = row(&s2.schema, &[(1, "x"), (2, "y")]);
+    let t4 = row(&s2.schema, &[(2, "x")]);
+
+    (
+        TableService::new(s1, vec![t1, t2]).expect("S1 table is valid"),
+        TableService::new(s2, vec![t3, t4]).expect("S2 table is valid"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_model::{Adornment, AttributeDef, AttributePath, DataType, ScoreDecay, ServiceKind, ServiceSchema, ServiceStats};
+
+    fn ranked_iface(chunk: usize) -> ServiceInterface {
+        let schema = ServiceSchema::new(
+            "R1",
+            vec![
+                AttributeDef::atomic("City", DataType::Text, Adornment::Input),
+                AttributeDef::atomic("Name", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("Rating", DataType::Float, Adornment::Ranked),
+            ],
+        )
+        .unwrap();
+        ServiceInterface::new(
+            "R1",
+            "R",
+            schema,
+            ServiceKind::Search,
+            ServiceStats::new(4.0, chunk, 1.0, 1.0).unwrap(),
+            ScoreDecay::Linear,
+        )
+        .unwrap()
+    }
+
+    fn mk_row(iface: &ServiceInterface, city: &str, name: &str, score: f64) -> Tuple {
+        Tuple::builder(&iface.schema)
+            .set("City", Value::text(city))
+            .set("Name", Value::text(name))
+            .set("Rating", Value::float(score))
+            .score(score)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn filters_by_input_bindings() {
+        let iface = ranked_iface(2);
+        let rows = vec![
+            mk_row(&iface, "rome", "a", 0.9),
+            mk_row(&iface, "milan", "b", 0.8),
+            mk_row(&iface, "rome", "c", 0.7),
+        ];
+        let s = TableService::new(iface, rows).unwrap();
+        let req = Request::unbound().bind(AttributePath::atomic("City"), Value::text("rome"));
+        let resp = s.fetch(&req).unwrap();
+        assert_eq!(resp.len(), 2);
+        assert!(resp.tuples.iter().all(|t| t.atomic_at(0) == &Value::text("rome")));
+    }
+
+    #[test]
+    fn rejects_misordered_search_rows() {
+        let iface = ranked_iface(2);
+        let rows = vec![mk_row(&iface, "rome", "a", 0.1), mk_row(&iface, "rome", "b", 0.9)];
+        assert!(TableService::new(iface, rows).is_err());
+    }
+
+    #[test]
+    fn chunked_pagination() {
+        let iface = ranked_iface(2);
+        let rows = vec![
+            mk_row(&iface, "rome", "a", 0.9),
+            mk_row(&iface, "rome", "b", 0.8),
+            mk_row(&iface, "rome", "c", 0.7),
+        ];
+        let s = TableService::new(iface, rows).unwrap();
+        let req = Request::unbound().bind(AttributePath::atomic("City"), Value::text("rome"));
+        let c0 = s.fetch(&req).unwrap();
+        let c1 = s.fetch(&req.at_chunk(1)).unwrap();
+        assert_eq!((c0.len(), c1.len()), (2, 1));
+        assert!(c0.has_more && !c1.has_more);
+        assert_eq!(s.calls_served(), 2);
+    }
+
+    #[test]
+    fn chapter_example_data_matches_the_text() {
+        let (s1, s2) = chapter_semantics_example();
+        assert_eq!(s1.rows().len(), 2);
+        assert_eq!(s2.rows().len(), 2);
+        // t1's repeating group has rows <1,x> and <2,x>.
+        let t1 = &s1.rows()[0];
+        assert_eq!(t1.group_at(0)[0].values, vec![Value::Int(1), Value::text("x")]);
+        assert_eq!(t1.group_at(0)[1].values, vec![Value::Int(2), Value::text("x")]);
+        // t4 has a single row <2,x>.
+        let t4 = &s2.rows()[1];
+        assert_eq!(t4.group_at(0).len(), 1);
+        assert_eq!(t4.group_at(0)[0].values, vec![Value::Int(2), Value::text("x")]);
+    }
+}

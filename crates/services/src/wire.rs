@@ -1,0 +1,155 @@
+//! Compact binary encoding of tuples, for transfer-size accounting.
+//!
+//! §5.1 singles out the request-response cost metric as "particularly
+//! relevant when the transfer of data over the network is the dominating
+//! cost factor". To let experiments weigh calls by payload size rather
+//! than just counting them, every chunk can be framed into a compact
+//! binary representation; the [`crate::recorder::CallRecorder`] tracks
+//! cumulative bytes per service. The format is a simple self-describing
+//! tag-length-value layout — it is an accounting device, not an
+//! interchange format.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use seco_model::tuple::FieldSlot;
+use seco_model::{Tuple, Value};
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_TEXT: u8 = 4;
+const TAG_DATE: u8 = 5;
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64(*f);
+        }
+        Value::Text(s) => {
+            buf.put_u8(TAG_TEXT);
+            buf.put_u32(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Date(d) => {
+            buf.put_u8(TAG_DATE);
+            buf.put_i32(d.year);
+            buf.put_u8(d.month);
+            buf.put_u8(d.day);
+        }
+    }
+}
+
+/// Encodes a tuple into the wire format.
+pub fn encode_tuple(t: &Tuple) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_f64(t.score);
+    buf.put_u32(t.source_rank as u32);
+    buf.put_u16(t.fields.len() as u16);
+    for slot in &t.fields {
+        match slot {
+            FieldSlot::Atomic(v) => {
+                buf.put_u8(0); // slot kind: atomic
+                put_value(&mut buf, v);
+            }
+            FieldSlot::Group(rows) => {
+                buf.put_u8(1); // slot kind: group
+                buf.put_u16(rows.len() as u16);
+                for row in rows {
+                    buf.put_u16(row.values.len() as u16);
+                    for v in &row.values {
+                        put_value(&mut buf, v);
+                    }
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Total encoded size in bytes of a slice of tuples — the payload a
+/// chunk would occupy on the wire.
+pub fn chunk_wire_size(tuples: &[Tuple]) -> usize {
+    // Per-chunk envelope (status line, framing) modelled as a flat 32 bytes.
+    32 + tuples.iter().map(|t| encode_tuple(t).len()).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_model::{Adornment, AttributeDef, DataType, Date, ServiceSchema, SubAttributeDef};
+
+    fn schema() -> ServiceSchema {
+        ServiceSchema::new(
+            "S",
+            vec![
+                AttributeDef::atomic("A", DataType::Int, Adornment::Output),
+                AttributeDef::atomic("B", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("C", DataType::Date, Adornment::Output),
+                AttributeDef::group(
+                    "G",
+                    vec![SubAttributeDef::new("X", DataType::Float, Adornment::Output)],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encoding_accounts_for_every_field() {
+        let s = schema();
+        let small = Tuple::builder(&s).build().unwrap();
+        let large = Tuple::builder(&s)
+            .set("A", Value::Int(12))
+            .set("B", Value::text("a considerably longer text value"))
+            .set("C", Value::Date(Date::new(2009, 6, 1)))
+            .push_group_row("G", vec![Value::float(1.0)])
+            .push_group_row("G", vec![Value::float(2.0)])
+            .build()
+            .unwrap();
+        let se = encode_tuple(&small);
+        let le = encode_tuple(&large);
+        assert!(le.len() > se.len(), "populated tuple must encode larger");
+        // Text payload dominates.
+        assert!(le.len() >= "a considerably longer text value".len());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let s = schema();
+        let t = Tuple::builder(&s).set("A", Value::Int(5)).build().unwrap();
+        assert_eq!(encode_tuple(&t), encode_tuple(&t));
+    }
+
+    #[test]
+    fn chunk_size_includes_envelope() {
+        assert_eq!(chunk_wire_size(&[]), 32);
+        let s = schema();
+        let t = Tuple::builder(&s).build().unwrap();
+        let one = chunk_wire_size(std::slice::from_ref(&t));
+        let two = chunk_wire_size(&[t.clone(), t]);
+        assert_eq!(two - one, one - 32, "two tuples add exactly twice one tuple's bytes");
+    }
+
+    #[test]
+    fn bool_and_null_encode() {
+        let s = ServiceSchema::new(
+            "B",
+            vec![AttributeDef::atomic("F", DataType::Bool, Adornment::Output)],
+        )
+        .unwrap();
+        let t = Tuple::builder(&s).set("F", Value::Bool(true)).build().unwrap();
+        let n = Tuple::builder(&s).build().unwrap();
+        assert!(encode_tuple(&t).len() > encode_tuple(&n).len());
+    }
+}

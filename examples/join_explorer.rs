@@ -1,0 +1,76 @@
+//! Visualizes the §4 join strategies on the tile space of Fig. 4:
+//! nested-loop vs merge-scan (Fig. 5), rectangular completions
+//! including the degenerate thin rectangle (Fig. 6), and the square
+//! growth of even merge-scan (Fig. 7).
+//!
+//! Run with: `cargo run --example join_explorer`
+
+use search_computing::join::completion::explore;
+use search_computing::join::optimality::{
+    is_globally_extraction_optimal, is_locally_extraction_optimal,
+};
+use search_computing::join::tile::TileSpace;
+use search_computing::model::{ScoreDecay, ScoringFunction};
+use search_computing::prelude::*;
+
+/// Renders the processing order of an `nx × ny` exploration as a grid
+/// of per-tile ranks (0 = first processed).
+fn grid(order: &[search_computing::join::Tile], nx: usize, ny: usize) -> String {
+    let mut cells = vec![vec![usize::MAX; ny]; nx];
+    for (rank, t) in order.iter().enumerate() {
+        cells[t.x][t.y] = rank;
+    }
+    let mut out = String::new();
+    for y in 0..ny {
+        for column in cells.iter().take(nx) {
+            out.push_str(&format!("{:>4}", column[y]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Fig. 5a: nested-loop (h = 3) on a 6×6 space ==");
+    let nl = explore(Invocation::NestedLoop, Completion::Rectangular, 3, 6, 6)?;
+    println!("{}", grid(&nl.order, 6, 6));
+
+    println!("== Fig. 5b: merge-scan with triangular completion ==");
+    let ms = explore(Invocation::merge_scan_even(), Completion::Triangular, 1, 6, 6)?;
+    println!("{}", grid(&ms.order, 6, 6));
+
+    println!("== Fig. 7: merge-scan (r = 1/1), rectangular — squares of growing size ==");
+    let sq = explore(Invocation::merge_scan_even(), Completion::Rectangular, 1, 4, 4)?;
+    println!("{}", grid(&sq.order, 4, 4));
+
+    println!("== Fig. 6: the degenerate thin rectangle (every call adds one tile) ==");
+    let thin = explore(Invocation::NestedLoop, Completion::Rectangular, 8, 8, 1)?;
+    println!("tiles gained per call: {:?}\n", thin.tiles_per_call);
+
+    println!("== §4.4: extraction-optimality of each strategy ==");
+    let header = format!(
+        "{:<34} {:>7} {:>7}  {}",
+        "scoring (X axis)", "local", "global", "strategy"
+    );
+    println!("{header}");
+    for (label, decay) in [
+        ("step(h=2, 1→0) — the ideal step", ScoreDecay::Step { h: 2, high: 1.0, low: 0.0 }),
+        ("step(h=2, 0.95→0.1)", ScoreDecay::Step { h: 2, high: 0.95, low: 0.1 }),
+        ("linear (progressive)", ScoreDecay::Linear),
+    ] {
+        let fx = ScoringFunction::new(decay, 60, 10)?;
+        let fy = ScoringFunction::new(ScoreDecay::Linear, 60, 10)?;
+        let space = TileSpace::new(fx, fy);
+        for (name, inv, comp, h) in [
+            ("NL/rect", Invocation::NestedLoop, Completion::Rectangular, 2),
+            ("MS/rect", Invocation::merge_scan_even(), Completion::Rectangular, 1),
+            ("MS/tri", Invocation::merge_scan_even(), Completion::Triangular, 1),
+        ] {
+            let e = explore(inv, comp, h, space.nx, space.ny)?;
+            let local = is_locally_extraction_optimal(&e.calls, &e.order, &space);
+            let global = is_globally_extraction_optimal(&e.order, &space);
+            println!("{label:<34} {local:>7} {global:>7}  {name}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! The running example in full: Fig. 9 topologies, Fig. 10 annotations,
+//! optimization under every metric, execution against the oracle.
+//!
+//! Run with: `cargo run --example night_out`
+
+use search_computing::optimizer::exhaustive::optimize_exhaustive_with_costs;
+use search_computing::plan::display;
+use search_computing::prelude::*;
+use search_computing::query::builder::running_example;
+use search_computing::query::feasibility::analyze;
+use search_computing::services::domains::entertainment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = entertainment::build_registry(7)?;
+    let query = running_example();
+    println!("== The §3.1 running example ==\n{query}\n");
+
+    // Feasibility: which atom feeds which (§5.6's "I/O dependency from
+    // Theatre to Restaurant").
+    let report = analyze(&query, &registry)?;
+    println!("invocation order: {:?}", report.order);
+    println!("pipe edges: {:?}\n", report.pipe_edges);
+
+    // Fig. 9: the admissible topologies.
+    let topologies = search_computing::optimizer::phase2::enumerate_topologies(
+        &query,
+        &registry,
+        &report,
+        search_computing::optimizer::Phase2Heuristic::ParallelIsBetter,
+        64,
+    )?;
+    println!("== Fig. 9: {} admissible topologies ==", topologies.len());
+    for (i, t) in topologies.iter().enumerate() {
+        println!("  ({}) {}", (b'a' + i as u8) as char, display::summary_line(t)?);
+    }
+    println!();
+
+    // Optimize under each of the five §5.1 metrics.
+    println!("== §5.1: the best plan under each cost metric ==");
+    for metric in CostMetric::all() {
+        let best = optimize(&query, &registry, metric)?;
+        println!(
+            "  {metric:<15} cost={:<10.1} plan: {}",
+            best.cost,
+            display::summary_line(&best.plan)?
+        );
+    }
+    println!();
+
+    // The request-count winner, fully instantiated (Fig. 10's role).
+    let best = optimize(&query, &registry, CostMetric::RequestCount)?;
+    println!("== Fully instantiated best plan (request-count) ==");
+    println!("{}", display::ascii(&best.plan, Some(&best.annotated))?);
+
+    // How much did branch-and-bound save against exhaustive search?
+    let (_, all_costs) = optimize_exhaustive_with_costs(&query, &registry, CostMetric::RequestCount)?;
+    println!(
+        "branch-and-bound instantiated {} of {} plans (pruned {}), exhaustive costed {}",
+        best.stats.instantiated,
+        best.stats.topologies,
+        best.stats.pruned,
+        all_costs.len()
+    );
+
+    // Execute and compare with the oracle.
+    let outcome = execute_plan(&best.plan, &registry, ExecOptions::default())?;
+    let oracle = evaluate_oracle(&query, &registry)?;
+    println!(
+        "\nexecution: {} combinations ({} in the oracle), {} calls, {:.0} virtual ms",
+        outcome.results.len(),
+        oracle.len(),
+        outcome.total_calls,
+        outcome.critical_ms
+    );
+    let results = ResultSet::new(outcome.results, query.ranking.clone());
+    println!("emission inversion rate: {:.3}", results.ranking_inversion_rate());
+    for combo in results.top_k(5) {
+        println!("  score={:.3}  {combo}", query.ranking.score(&combo));
+    }
+    Ok(())
+}

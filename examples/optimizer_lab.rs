@@ -1,0 +1,67 @@
+//! Explores the optimizer's behaviour: the branch-and-bound statistics
+//! of Fig. 8, the heuristic ablations of §5.3–§5.5, and the anytime
+//! property ("the search can be stopped at any time and will
+//! nevertheless return a valid solution").
+//!
+//! Run with: `cargo run --example optimizer_lab`
+
+use search_computing::optimizer::exhaustive::optimize_exhaustive_with_costs;
+use search_computing::optimizer::{
+    HeuristicSet, Phase2Heuristic, Phase3Heuristic,
+};
+use search_computing::plan::display;
+use search_computing::prelude::*;
+use search_computing::query::builder::running_example;
+use search_computing::services::domains::entertainment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = entertainment::build_registry(3)?;
+    let query = running_example();
+
+    println!("== Branch-and-bound vs exhaustive (Fig. 8 / E8) ==");
+    for metric in CostMetric::all() {
+        let bnb = optimize(&query, &registry, metric)?;
+        let (ex, costs) = optimize_exhaustive_with_costs(&query, &registry, metric)?;
+        println!(
+            "  {metric:<15} optimum={:<10.1} bnb: instantiated {} / pruned {}  exhaustive: {} plans (same optimum: {})",
+            bnb.cost,
+            bnb.stats.instantiated,
+            bnb.stats.pruned,
+            costs.len(),
+            (bnb.cost - ex.cost).abs() < 1e-9,
+        );
+    }
+
+    println!("\n== Heuristic ablation (§5.4/§5.5, E12/E13) ==");
+    for p2 in [Phase2Heuristic::ParallelIsBetter, Phase2Heuristic::SelectiveFirst] {
+        for p3 in [Phase3Heuristic::Greedy, Phase3Heuristic::SquareIsBetter] {
+            for metric in [CostMetric::RequestCount, CostMetric::ExecutionTime] {
+                let mut opt = Optimizer::new(&registry, metric);
+                opt.heuristics = HeuristicSet { phase2: p2, phase3: p3, ..HeuristicSet::default() };
+                // Anytime: only the first fully instantiated plan.
+                opt.budget = Some(1);
+                let first = opt.optimize(&query)?;
+                opt.budget = None;
+                let full = opt.optimize(&query)?;
+                println!(
+                    "  {p2:<18}/{p3:<16} {metric:<15} first-plan={:<9.1} optimum={:<9.1} gap={:.1}%",
+                    first.cost,
+                    full.cost,
+                    (first.cost / full.cost - 1.0) * 100.0
+                );
+            }
+        }
+    }
+
+    println!("\n== The winning plan under the execution-time metric ==");
+    let best = optimize(&query, &registry, CostMetric::ExecutionTime)?;
+    println!("{}", display::ascii(&best.plan, Some(&best.annotated))?);
+    println!("estimated execution time: {:.0} ms", best.cost);
+
+    let outcome = execute_plan(&best.plan, &registry, ExecOptions::default())?;
+    println!(
+        "measured (virtual) critical path: {:.0} ms with {} calls",
+        outcome.critical_ms, outcome.total_calls
+    );
+    Ok(())
+}

@@ -1,0 +1,187 @@
+//! `seco` — command-line front end to the Search Computing engine.
+//!
+//! ```text
+//! seco services  [--domain entertainment|travel] [--seed N]
+//! seco explain   [--domain D] [--metric M] [--seed N] <query…>
+//! seco run       [--domain D] [--metric M] [--seed N] [--parallel] <query…>
+//! seco oracle    [--domain D] [--seed N] <query…>
+//! ```
+//!
+//! The query is given in the chapter's syntax, e.g.:
+//!
+//! ```text
+//! seco run --domain entertainment 'Select Movie1 As M, Theatre1 as T, Restaurant1 as R
+//!   where Shows(M,T) and DinnerPlace(T,R) and M.Genres.Genre="comedy" and
+//!   M.Openings.Country="country-0" and M.Openings.Date>2009-03-01 and
+//!   M.Language="en" and T.UAddress="via Golgi 42" and T.UCity="Milano" and
+//!   T.UCountry="country-0" and T.TCountry="country-0" and
+//!   R.Category.Name="pizzeria" ranking (0.3, 0.5, 0.2) top 10'
+//! ```
+
+use std::process::ExitCode;
+
+use search_computing::plan::display;
+use search_computing::prelude::*;
+use search_computing::query::feasibility::analyze;
+use search_computing::services::domains::{entertainment, travel};
+
+struct Args {
+    command: String,
+    domain: String,
+    metric: CostMetric,
+    seed: u64,
+    parallel: bool,
+    query: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut domain = "entertainment".to_owned();
+    let mut metric = CostMetric::RequestCount;
+    let mut seed = 42u64;
+    let mut parallel = false;
+    let mut query_parts: Vec<String> = Vec::new();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--domain" => domain = argv.next().ok_or("--domain needs a value")?,
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--parallel" => parallel = true,
+            "--metric" => {
+                let m = argv.next().ok_or("--metric needs a value")?;
+                metric = match m.as_str() {
+                    "execution-time" | "time" => CostMetric::ExecutionTime,
+                    "sum" => CostMetric::Sum,
+                    "request-count" | "calls" => CostMetric::RequestCount,
+                    "bottleneck" => CostMetric::Bottleneck,
+                    "time-to-screen" | "tts" => CostMetric::TimeToScreen,
+                    other => return Err(format!("unknown metric `{other}`")),
+                };
+            }
+            other => query_parts.push(other.to_owned()),
+        }
+    }
+    Ok(Args { command, domain, metric, seed, parallel, query: query_parts.join(" ") })
+}
+
+fn usage() -> String {
+    "usage: seco <services|explain|run|oracle> [--domain entertainment|travel] \
+     [--metric execution-time|sum|request-count|bottleneck|time-to-screen] \
+     [--seed N] [--parallel] <query>"
+        .to_owned()
+}
+
+fn build_registry(domain: &str, seed: u64) -> Result<ServiceRegistry, String> {
+    match domain {
+        "entertainment" => entertainment::build_registry(seed).map_err(|e| e.to_string()),
+        "travel" => travel::build_registry(seed).map_err(|e| e.to_string()),
+        other => Err(format!("unknown domain `{other}` (use entertainment or travel)")),
+    }
+}
+
+fn cmd_services(registry: &ServiceRegistry) {
+    println!("service interfaces:");
+    for name in registry.service_names() {
+        if let Ok(iface) = registry.interface(name) {
+            println!("  {iface}");
+        }
+    }
+    println!("\nconnection patterns:");
+    for name in registry.pattern_names() {
+        if let Ok(p) = registry.pattern(name) {
+            println!("  {p}");
+        }
+    }
+}
+
+fn cmd_explain(registry: &ServiceRegistry, metric: CostMetric, query_src: &str) -> Result<(), String> {
+    let query = parse_query(query_src).map_err(|e| e.to_string())?;
+    println!("query: {query}\n");
+    let report = analyze(&query, registry).map_err(|e| e.to_string())?;
+    println!("feasible; invocation order {:?}, pipe edges {:?}\n", report.order, report.pipe_edges);
+    let best = optimize(&query, registry, metric).map_err(|e| e.to_string())?;
+    println!(
+        "optimized under {metric}: cost {:.1}; explored {} topologies ({} pruned)\n",
+        best.cost, best.stats.topologies, best.stats.pruned
+    );
+    println!("{}", display::ascii(&best.plan, Some(&best.annotated)).map_err(|e| e.to_string())?);
+    println!("DOT:\n{}", display::to_dot(&best.plan).map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn cmd_run(
+    registry: &ServiceRegistry,
+    metric: CostMetric,
+    parallel: bool,
+    query_src: &str,
+) -> Result<(), String> {
+    let query = parse_query(query_src).map_err(|e| e.to_string())?;
+    let best = optimize(&query, registry, metric).map_err(|e| e.to_string())?;
+    let results = if parallel {
+        execute_parallel(&best.plan, registry, ExecOptions::default()).map_err(|e| e.to_string())?
+    } else {
+        let out = execute_plan(&best.plan, registry, ExecOptions::default())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{} request-responses, {:.0} virtual ms critical path",
+            out.total_calls, out.critical_ms
+        );
+        out.results
+    };
+    let set = ResultSet::new(results, query.ranking.clone());
+    println!("{} combinations; top {}:", set.len(), query.k);
+    for (i, combo) in set.top_k(query.k).iter().enumerate() {
+        println!("  #{:<3} score={:.3}  {combo}", i + 1, query.ranking.score(combo));
+    }
+    Ok(())
+}
+
+fn cmd_oracle(registry: &ServiceRegistry, query_src: &str) -> Result<(), String> {
+    let query = parse_query(query_src).map_err(|e| e.to_string())?;
+    let answers = evaluate_oracle(&query, registry).map_err(|e| e.to_string())?;
+    println!("{} answers (exhaustive declarative semantics); first {}:", answers.len(), query.k);
+    for combo in answers.iter().take(query.k) {
+        println!("  score={:.3}  {combo}", query.ranking.score(combo));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = match build_registry(&args.domain, args.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match args.command.as_str() {
+        "services" => {
+            cmd_services(&registry);
+            Ok(())
+        }
+        "explain" => cmd_explain(&registry, args.metric, &args.query),
+        "run" => cmd_run(&registry, args.metric, args.parallel, &args.query),
+        "oracle" => cmd_oracle(&registry, &args.query),
+        _ => Err(usage()),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! E10: the §5.6 instantiation arithmetic of Fig. 10, end to end.
+//!
+//! Paper: "We then set K = 10 […] K = 10 implies tRestaurant_out = 10.
+//! […] tRestaurant_in = 25, by virtue of the selectivity of the pipe
+//! join. This in turn implies tMS_out = 25, and therefore that the
+//! parallel join has to process 1250 candidate combinations overall.
+//! […] restricting to the first 100 movies, corresponding to 5 fetches
+//! of chunks of 20 movies, and to the first 25 theatres […] 5 chunks of
+//! size 5 […] multiplying tMovie_out = 100 by tTheatre_out = 25 we
+//! obtain 2500, but choosing a triangular completion strategy assures
+//! that only the half of the most promising combinations are
+//! considered, thus obtaining [1250 candidates]."
+
+use search_computing::plan::{
+    annotate, AnnotationConfig, Completion, Invocation, JoinSpec, PlanNode, QueryPlan, ServiceNode,
+};
+use search_computing::prelude::*;
+use search_computing::query::builder::running_example;
+use search_computing::services::domains::entertainment;
+
+/// Builds the Fig. 10 plan exactly as the chapter instantiates it.
+fn fig10_plan(registry: &ServiceRegistry) -> QueryPlan {
+    let query = running_example();
+    let joins = query.expanded_joins(registry).unwrap();
+    let shows: Vec<_> = joins.iter().filter(|j| j.connects("M", "T")).cloned().collect();
+    let mut p = QueryPlan::new(query);
+    let m = p.add(PlanNode::Service(ServiceNode::new("M", "Movie1").with_fetches(5)));
+    let t = p.add(PlanNode::Service(ServiceNode::new("T", "Theatre1").with_fetches(5)));
+    let j = p.add(PlanNode::ParallelJoin(JoinSpec {
+        invocation: Invocation::merge_scan_even(),
+        completion: Completion::Triangular,
+        predicates: shows,
+        selectivity: entertainment::SHOWS_SELECTIVITY,
+    }));
+    let r = p.add(PlanNode::Service(ServiceNode::new("R", "Restaurant1").with_keep_first()));
+    p.connect(p.input(), m).unwrap();
+    p.connect(p.input(), t).unwrap();
+    p.connect(m, j).unwrap();
+    p.connect(t, j).unwrap();
+    p.connect(j, r).unwrap();
+    p.connect(r, p.output()).unwrap();
+    p
+}
+
+#[test]
+fn fig10_annotation_reproduces_every_number_in_the_chapter() {
+    let registry = entertainment::build_registry(1).unwrap();
+    let plan = fig10_plan(&registry);
+    let ann = annotate(&plan, &registry, &AnnotationConfig::default()).unwrap();
+
+    let m = plan.service_node_of("M").unwrap();
+    let t = plan.service_node_of("T").unwrap();
+    let r = plan.service_node_of("R").unwrap();
+    let j = plan
+        .node_ids()
+        .find(|id| matches!(plan.node(*id).unwrap(), PlanNode::ParallelJoin(_)))
+        .unwrap();
+
+    // "restricting to the first 100 movies, corresponding to 5 fetches
+    // of chunks of 20 movies"
+    assert_eq!(ann.annotation(m).tout, 100.0);
+    assert_eq!(ann.annotation(m).calls, 5.0);
+    // "the first 25 theatres in order of distance […] 5 chunks of size 5"
+    assert_eq!(ann.annotation(t).tout, 25.0);
+    assert_eq!(ann.annotation(t).calls, 5.0);
+    // "multiplying 100 by 25 we obtain 2500, but […] triangular […]
+    // only the half […] 1250 candidate combinations"
+    assert_eq!(ann.annotation(j).tin, 1250.0);
+    // "tMS_out = 25" (2% Shows selectivity on 1250 candidates)
+    assert_eq!(ann.annotation(j).tout, 25.0);
+    // "tRestaurant_in = 25" and "tRestaurant_out = 10 = K" (DinnerPlace
+    // at 40%, keeping the first restaurant per location)
+    assert_eq!(ann.annotation(r).tin, 25.0);
+    assert_eq!(ann.annotation(r).tout, 10.0);
+    assert_eq!(ann.output_tuples, 10.0);
+}
+
+#[test]
+fn fig10_plan_executes_and_produces_complete_combinations() {
+    let registry = entertainment::build_registry(1).unwrap();
+    let plan = fig10_plan(&registry);
+    let outcome = execute_plan(&plan, &registry, ExecOptions::default()).unwrap();
+    // The synthetic substrate realises the declared selectivities only
+    // approximately, so we check shape, not the exact count: some
+    // combinations exist and each carries all three atoms.
+    assert!(!outcome.results.is_empty(), "the night-out query should have answers");
+    for combo in &outcome.results {
+        assert_eq!(combo.arity(), 3);
+    }
+    // Movie and Theatre were each fetched 5 times; Restaurant once per
+    // surviving MS combination.
+    let m_calls = outcome.trace.event(plan.service_node_of("M").unwrap()).unwrap().calls;
+    let t_calls = outcome.trace.event(plan.service_node_of("T").unwrap()).unwrap().calls;
+    assert_eq!(m_calls, 5);
+    assert_eq!(t_calls, 5);
+}
+
+#[test]
+fn optimizer_reaches_k_10_like_the_chapter() {
+    let registry = entertainment::build_registry(1).unwrap();
+    let query = running_example();
+    assert_eq!(query.k, 10, "the chapter sets K = 10");
+    let best = optimize(&query, &registry, CostMetric::RequestCount).unwrap();
+    assert!(best.annotated.output_tuples >= 10.0);
+    // The optimizer's plan, like the chapter's, pipes Theatre into
+    // Restaurant (never the other way round).
+    let order = best.plan.topo_order().unwrap();
+    let pos = |atom: &str| {
+        order
+            .iter()
+            .position(|id| best.plan.node(*id).unwrap().atom() == Some(atom))
+            .unwrap()
+    };
+    assert!(pos("T") < pos("R"));
+}

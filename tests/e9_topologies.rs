@@ -1,0 +1,100 @@
+//! E9: the Fig. 9 topology enumeration for the running example.
+//!
+//! The chapter draws four alternative topologies (a)–(d), all with
+//! Theatre preceding Restaurant, and continues with (d) — the plan with
+//! a parallel join between Movie and Theatre. Our enumerator finds five
+//! admissible structures: the figure's four plus the `M ∥ (T→R)`
+//! variant the chapter does not draw (it satisfies exactly the same
+//! precedence constraints).
+
+use search_computing::optimizer::phase2::enumerate_topologies;
+use search_computing::optimizer::Phase2Heuristic;
+use search_computing::plan::{PlanNode, QueryPlan};
+use search_computing::query::builder::running_example;
+use search_computing::query::feasibility::analyze;
+use search_computing::services::domains::entertainment;
+
+fn atom_positions(plan: &QueryPlan) -> Vec<(String, usize)> {
+    let order = plan.topo_order().unwrap();
+    let mut out = Vec::new();
+    for (pos, id) in order.iter().enumerate() {
+        if let Some(atom) = plan.node(*id).unwrap().atom() {
+            out.push((atom.to_owned(), pos));
+        }
+    }
+    out
+}
+
+fn has_join(plan: &QueryPlan) -> bool {
+    plan.node_ids().any(|id| matches!(plan.node(id), Ok(PlanNode::ParallelJoin(_))))
+}
+
+#[test]
+fn enumerates_the_fig9_topologies() {
+    let registry = entertainment::build_registry(1).unwrap();
+    let query = running_example();
+    let report = analyze(&query, &registry).unwrap();
+    let plans =
+        enumerate_topologies(&query, &registry, &report, Phase2Heuristic::ParallelIsBetter, 64)
+            .unwrap();
+
+    // The enumeration yields exactly five structures.
+    assert_eq!(plans.len(), 5, "expected the 4 drawn topologies + the undrawn M∥(T→R)");
+
+    // Classify them.
+    let chains: Vec<&QueryPlan> = plans.iter().filter(|p| !has_join(p)).collect();
+    let parallel: Vec<&QueryPlan> = plans.iter().filter(|p| has_join(p)).collect();
+    assert_eq!(chains.len(), 3, "the three all-sequential orders: M·T·R, T·M·R, T·R·M");
+    assert_eq!(parallel.len(), 2, "(M ∥ T)→R and M ∥ (T→R)");
+
+    // All three admissible chain orders are present.
+    let mut chain_orders: Vec<Vec<String>> = chains
+        .iter()
+        .map(|p| {
+            let mut atoms = atom_positions(p);
+            atoms.sort_by_key(|(_, pos)| *pos);
+            atoms.into_iter().map(|(a, _)| a).collect()
+        })
+        .collect();
+    chain_orders.sort();
+    assert_eq!(
+        chain_orders,
+        vec![
+            vec!["M".to_owned(), "T".to_owned(), "R".to_owned()],
+            vec!["T".to_owned(), "M".to_owned(), "R".to_owned()],
+            vec!["T".to_owned(), "R".to_owned(), "M".to_owned()],
+        ]
+    );
+
+    // Every topology honours the I/O dependency: T before R.
+    for p in &plans {
+        let atoms = atom_positions(p);
+        let pos = |a: &str| atoms.iter().find(|(x, _)| x == a).unwrap().1;
+        assert!(pos("T") < pos("R"), "T must precede R");
+        p.validate().unwrap();
+    }
+
+    // The chapter's chosen topology (d): Movie and Theatre joined in
+    // parallel, Restaurant piped after the join.
+    let fig9d = parallel.iter().any(|p| {
+        let join_id = p
+            .node_ids()
+            .find(|id| matches!(p.node(*id), Ok(PlanNode::ParallelJoin(_))))
+            .unwrap();
+        let upstream = p.atoms_at(join_id);
+        upstream.contains("M") && upstream.contains("T") && !upstream.contains("R")
+    });
+    assert!(fig9d, "the (M ∥ T)→R topology of Fig. 9(d) must be enumerated");
+}
+
+#[test]
+fn both_heuristics_enumerate_the_same_set() {
+    let registry = entertainment::build_registry(1).unwrap();
+    let query = running_example();
+    let report = analyze(&query, &registry).unwrap();
+    let a = enumerate_topologies(&query, &registry, &report, Phase2Heuristic::ParallelIsBetter, 64)
+        .unwrap();
+    let b = enumerate_topologies(&query, &registry, &report, Phase2Heuristic::SelectiveFirst, 64)
+        .unwrap();
+    assert_eq!(a.len(), b.len(), "heuristics order the space, they do not shrink it");
+}

@@ -1,0 +1,225 @@
+//! Property-based tests over the core invariants of the system.
+
+use proptest::prelude::*;
+
+use search_computing::join::completion::explore;
+use search_computing::join::optimality::{is_locally_extraction_optimal, score_product_inversions};
+use search_computing::join::tile::TileSpace;
+use search_computing::model::value::like_match;
+use search_computing::model::{Comparator, ScoreDecay, ScoringFunction, Value};
+use search_computing::plan::{Completion, Invocation};
+
+/// A slow but obviously-correct LIKE matcher used as the oracle.
+fn like_oracle(s: &[char], p: &[char]) -> bool {
+    match (s.split_first(), p.split_first()) {
+        (_, None) => s.is_empty(),
+        (_, Some(('%', rest))) => {
+            like_oracle(s, rest) || (!s.is_empty() && like_oracle(&s[1..], p))
+        }
+        (None, Some(_)) => false,
+        (Some((c, s_rest)), Some((pc, p_rest))) => {
+            (*pc == '_' || pc == c) && like_oracle(s_rest, p_rest)
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn like_match_agrees_with_the_oracle(
+        s in "[abc]{0,8}",
+        p in "[abc%_]{0,6}",
+    ) {
+        let sc: Vec<char> = s.chars().collect();
+        let pc: Vec<char> = p.chars().collect();
+        prop_assert_eq!(like_match(&s, &p), like_oracle(&sc, &pc));
+    }
+
+    #[test]
+    fn scoring_functions_are_monotone_and_bounded(
+        total in 1usize..200,
+        chunk in 1usize..50,
+        decay_idx in 0usize..4,
+        h in 1usize..10,
+        lambda in 0.1f64..10.0,
+    ) {
+        let decay = match decay_idx {
+            0 => ScoreDecay::Step { h, high: 0.95, low: 0.05 },
+            1 => ScoreDecay::Linear,
+            2 => ScoreDecay::Quadratic,
+            _ => ScoreDecay::Exponential { lambda },
+        };
+        let f = ScoringFunction::new(decay, total, chunk).unwrap();
+        let mut prev = f64::INFINITY;
+        for i in 0..total {
+            let s = f.score_at(i);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!(s <= prev + 1e-12, "rank {} scored {} after {}", i, s, prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn every_strategy_covers_the_tile_space_exactly_once(
+        nx in 1usize..8,
+        ny in 1usize..8,
+        h in 1usize..6,
+        r1 in 1u32..4,
+        r2 in 1u32..4,
+        inv_idx in 0usize..2,
+        comp_idx in 0usize..2,
+    ) {
+        let invocation = if inv_idx == 0 {
+            Invocation::NestedLoop
+        } else {
+            Invocation::MergeScan { r1, r2 }
+        };
+        let completion =
+            if comp_idx == 0 { Completion::Rectangular } else { Completion::Triangular };
+        let e = explore(invocation, completion, h, nx, ny).unwrap();
+        prop_assert_eq!(e.order.len(), nx * ny);
+        let distinct: std::collections::BTreeSet<_> = e.order.iter().collect();
+        prop_assert_eq!(distinct.len(), nx * ny, "every tile exactly once");
+        // Exactly one call per chunk on each axis.
+        let (cx, cy) = e.call_counts();
+        prop_assert_eq!(cx, nx);
+        prop_assert_eq!(cy, ny);
+        // Tiles-per-call sums to the space size.
+        prop_assert_eq!(e.tiles_per_call.iter().sum::<usize>(), nx * ny);
+    }
+
+    #[test]
+    fn merge_scan_triangular_is_locally_extraction_optimal(
+        total in 10usize..80,
+        chunk in 2usize..10,
+    ) {
+        let fx = ScoringFunction::new(ScoreDecay::Linear, total, chunk).unwrap();
+        let fy = ScoringFunction::new(ScoreDecay::Linear, total, chunk).unwrap();
+        let space = TileSpace::new(fx, fy);
+        let e = explore(
+            Invocation::merge_scan_even(),
+            Completion::Triangular,
+            1,
+            space.nx,
+            space.ny,
+        )
+        .unwrap();
+        prop_assert!(is_locally_extraction_optimal(&e.calls, &e.order, &space));
+    }
+
+    #[test]
+    fn comparator_eval_is_consistent_with_compare(
+        a in -50i64..50,
+        b in -50i64..50,
+    ) {
+        let va = Value::Int(a);
+        let vb = Value::Int(b);
+        prop_assert_eq!(Comparator::Eq.eval(&va, &vb).unwrap(), a == b);
+        prop_assert_eq!(Comparator::Lt.eval(&va, &vb).unwrap(), a < b);
+        prop_assert_eq!(Comparator::Le.eval(&va, &vb).unwrap(), a <= b);
+        prop_assert_eq!(Comparator::Gt.eval(&va, &vb).unwrap(), a > b);
+        prop_assert_eq!(Comparator::Ge.eval(&va, &vb).unwrap(), a >= b);
+    }
+
+    #[test]
+    fn the_optimal_tile_order_has_zero_inversions(
+        total in 10usize..60,
+        chunk in 2usize..10,
+        decay_idx in 0usize..3,
+    ) {
+        use search_computing::model::{Adornment, AttributeDef, DataType, ServiceSchema, Tuple};
+        use search_computing::model::CompositeTuple;
+        let decay = match decay_idx {
+            0 => ScoreDecay::Linear,
+            1 => ScoreDecay::Quadratic,
+            _ => ScoreDecay::Step { h: 2, high: 0.9, low: 0.1 },
+        };
+        let fx = ScoringFunction::new(decay, total, chunk).unwrap();
+        let fy = ScoringFunction::new(ScoreDecay::Linear, total, chunk).unwrap();
+        let space = TileSpace::new(fx, fy);
+        // Emit one representative composite per tile, in optimal order:
+        // the sequence must have no score-product inversions.
+        let schema = ServiceSchema::new(
+            "S",
+            vec![AttributeDef::atomic("A", DataType::Int, Adornment::Output)],
+        )
+        .unwrap();
+        let results: Vec<CompositeTuple> = space
+            .optimal_order()
+            .into_iter()
+            .map(|t| {
+                let x = Tuple::builder(&schema).score(fx.chunk_head_score(t.x)).build().unwrap();
+                let y = Tuple::builder(&schema).score(fy.chunk_head_score(t.y)).build().unwrap();
+                CompositeTuple::single("X", x).extend_with("Y", y)
+            })
+            .collect();
+        prop_assert_eq!(score_product_inversions(&results), 0);
+    }
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in ".{0,120}") {
+        // Errors are fine; panics are not.
+        let _ = search_computing::query::parse_query(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        src in r#"(Select|where|and|as|ranking|top|[A-Za-z]{1,4}|[0-9]{1,4}|"[a-z]{0,3}"|[.,()<>=%]| ){0,40}"#
+    ) {
+        let _ = search_computing::query::parse_query(&src);
+    }
+
+    #[test]
+    fn date_ordinal_round_trips(year in 1900i32..2100, month in 1u8..=12, day in 1u8..=31) {
+        use search_computing::model::Date;
+        let d = Date::new(year, month, day);
+        prop_assert_eq!(Date::from_ordinal(d.ordinal()), d);
+    }
+
+    #[test]
+    fn composite_merge_is_commutative_on_agreement(
+        sa in 0.0f64..1.0,
+        sb in 0.0f64..1.0,
+    ) {
+        use search_computing::model::{Adornment, AttributeDef, DataType, ServiceSchema, Tuple};
+        use search_computing::model::CompositeTuple;
+        let schema = ServiceSchema::new(
+            "S",
+            vec![AttributeDef::atomic("A", DataType::Int, Adornment::Output)],
+        ).unwrap();
+        let shared = Tuple::builder(&schema).score(0.5).build().unwrap();
+        let ta = Tuple::builder(&schema).score(sa).build().unwrap();
+        let tb = Tuple::builder(&schema).score(sb).build().unwrap();
+        let left = CompositeTuple::single("C", shared.clone()).extend_with("A", ta);
+        let right = CompositeTuple::single("C", shared).extend_with("B", tb);
+        let lr = left.merge(&right).unwrap();
+        let rl = right.merge(&left).unwrap();
+        // Same atoms and components either way (order differs).
+        for atom in ["C", "A", "B"] {
+            prop_assert_eq!(lr.component(atom), rl.component(atom));
+        }
+        prop_assert!((lr.score_product() - rl.score_product()).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn parser_accepts_what_display_prints() {
+    // Display → parse round-trip on a query with every construct.
+    use search_computing::prelude::*;
+    let q = QueryBuilder::new()
+        .atom("A", "SvcA")
+        .atom("B", "SvcB")
+        .pattern("Links", "A", "B")
+        .select_const("A", "X", Comparator::Eq, Value::text("v"))
+        .select_const("A", "G.S", Comparator::Gt, Value::Int(3))
+        .join("A", "Y", Comparator::Eq, "B", "Z")
+        .build()
+        .unwrap();
+    let printed = q.to_string();
+    let reparsed = parse_query(&printed).unwrap();
+    assert_eq!(reparsed.atoms, q.atoms);
+    assert_eq!(reparsed.patterns, q.patterns);
+    assert_eq!(reparsed.selections.len(), q.selections.len());
+    assert_eq!(reparsed.joins.len(), q.joins.len());
+}

@@ -1,0 +1,128 @@
+//! Coverage for the service-kind variants of Fig. 1 that the two main
+//! scenarios do not exercise: *chunked exact* services and `like`
+//! predicates that make a service selective in context.
+
+use std::sync::Arc;
+
+use search_computing::model::{
+    Adornment, AttributeDef, AttributePath, Comparator, DataType, ScoreDecay, ServiceInterface,
+    ServiceKind, ServiceSchema, ServiceStats, Value,
+};
+use search_computing::plan::{annotate, AnnotationConfig, PlanNode, QueryPlan, ServiceNode};
+use search_computing::prelude::*;
+use search_computing::services::invocation::Request;
+use search_computing::services::synthetic::{DomainMap, SyntheticService, ValueDomain};
+
+/// An exact *chunked* catalogue: unranked, relational behaviour, but
+/// results are delivered in pages (Fig. 1: "exact services […] may be
+/// chunked").
+fn chunked_catalogue() -> ServiceInterface {
+    let schema = ServiceSchema::new(
+        "Catalogue1",
+        vec![
+            AttributeDef::atomic("Category", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("Product", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Price", DataType::Float, Adornment::Output),
+        ],
+    )
+    .unwrap();
+    ServiceInterface::new(
+        "Catalogue1",
+        "Catalogue",
+        schema,
+        ServiceKind::Exact { chunked: true },
+        ServiceStats::new(23.0, 10, 20.0, 1.0).unwrap(),
+        ScoreDecay::Constant(1.0),
+    )
+    .unwrap()
+}
+
+fn registry() -> ServiceRegistry {
+    let mut reg = ServiceRegistry::new();
+    reg.register_service(Arc::new(SyntheticService::new(
+        chunked_catalogue(),
+        DomainMap::new().with(AttributePath::atomic("Product"), ValueDomain::new("prod", 40)),
+        5,
+    )))
+    .unwrap();
+    reg
+}
+
+#[test]
+fn chunked_exact_services_page_without_ranking() {
+    let reg = registry();
+    let svc = reg.service("Catalogue1").unwrap();
+    let req = Request::unbound().bind(AttributePath::atomic("Category"), Value::text("books"));
+    let c0 = svc.fetch(&req).unwrap();
+    let c1 = svc.fetch(&req.at_chunk(1)).unwrap();
+    let c2 = svc.fetch(&req.at_chunk(2)).unwrap();
+    assert_eq!((c0.len(), c1.len(), c2.len()), (10, 10, 3));
+    assert!(c0.has_more && c1.has_more && !c2.has_more);
+    // Exact ⇒ constant scores everywhere (no relevance order claimed).
+    for t in c0.tuples.iter().chain(&c1.tuples).chain(&c2.tuples) {
+        assert_eq!(t.score, 1.0);
+    }
+}
+
+#[test]
+fn annotation_handles_chunked_exact_fetch_factors() {
+    let reg = registry();
+    let query = QueryBuilder::new()
+        .atom("C", "Catalogue1")
+        .select_const("C", "Category", Comparator::Eq, Value::text("books"))
+        .k(15)
+        .build()
+        .unwrap();
+    let mut plan = QueryPlan::new(query);
+    let c = plan.add(PlanNode::Service(ServiceNode::new("C", "Catalogue1").with_fetches(2)));
+    plan.connect(plan.input(), c).unwrap();
+    plan.connect(c, plan.output()).unwrap();
+    let ann = annotate(&plan, &reg, &AnnotationConfig::default()).unwrap();
+    // Two fetches of chunk 10, capped by the expected 23 → 20.
+    assert_eq!(ann.annotation(c).tout, 20.0);
+    assert_eq!(ann.annotation(c).calls, 2.0);
+    // Execution agrees with the page arithmetic.
+    let outcome = execute_plan(&plan, &reg, ExecOptions::default()).unwrap();
+    assert_eq!(outcome.results.len(), 20);
+    assert_eq!(outcome.total_calls, 2);
+}
+
+#[test]
+fn optimizer_grows_fetches_on_chunked_exact_services() {
+    let reg = registry();
+    let mut query = QueryBuilder::new()
+        .atom("C", "Catalogue1")
+        .select_const("C", "Category", Comparator::Eq, Value::text("books"))
+        .build()
+        .unwrap();
+    query.k = 15;
+    let best = optimize(&query, &reg, CostMetric::RequestCount).unwrap();
+    assert!(best.annotated.output_tuples >= 15.0);
+    let c = best.plan.service_node_of("C").unwrap();
+    if let Ok(PlanNode::Service(s)) = best.plan.node(c) {
+        assert!(s.fetches >= 2, "k=15 needs at least two pages of 10");
+    }
+}
+
+#[test]
+fn like_predicates_make_services_selective_in_context() {
+    // `Product like "prod-1%"` matches prod-1 and prod-10..19 — 11 of
+    // the 40 domain values. The service cannot absorb `like`, so it is
+    // filtered downstream and the service becomes selective in context.
+    let reg = registry();
+    let query = QueryBuilder::new()
+        .atom("C", "Catalogue1")
+        .select_const("C", "Category", Comparator::Eq, Value::text("books"))
+        .select_const("C", "Product", Comparator::Like, Value::text("prod-1%"))
+        .build()
+        .unwrap();
+    let answers = evaluate_oracle(&query, &reg).unwrap();
+    assert!(!answers.is_empty());
+    assert!(answers.len() < 23, "the like filter must discard products");
+    for a in &answers {
+        match a.components[0].atomic_at(1) {
+            Value::Text(p) => assert!(p.starts_with("prod-1"), "{p} escaped the filter"),
+            other => panic!("unexpected product {other:?}"),
+        }
+    }
+}
