@@ -2,24 +2,36 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use seco_plan::{annotate, AnnotationConfig, Completion, Invocation, JoinSpec, PlanNode, QueryPlan, ServiceNode};
+use seco_plan::{
+    annotate, AnnotationConfig, Completion, Invocation, JoinSpec, PlanNode, QueryPlan, ServiceNode,
+};
 use seco_query::builder::running_example;
 use seco_services::domains::entertainment;
 
 fn fig10_plan(reg: &seco_services::ServiceRegistry) -> QueryPlan {
     let query = running_example();
     let joins = query.expanded_joins(reg).expect("joins expand");
-    let shows: Vec<_> = joins.iter().filter(|j| j.connects("M", "T")).cloned().collect();
+    let shows: Vec<_> = joins
+        .iter()
+        .filter(|j| j.connects("M", "T"))
+        .cloned()
+        .collect();
     let mut p = QueryPlan::new(query);
-    let m = p.add(PlanNode::Service(ServiceNode::new("M", "Movie1").with_fetches(5)));
-    let t = p.add(PlanNode::Service(ServiceNode::new("T", "Theatre1").with_fetches(5)));
+    let m = p.add(PlanNode::Service(
+        ServiceNode::new("M", "Movie1").with_fetches(5),
+    ));
+    let t = p.add(PlanNode::Service(
+        ServiceNode::new("T", "Theatre1").with_fetches(5),
+    ));
     let j = p.add(PlanNode::ParallelJoin(JoinSpec {
         invocation: Invocation::merge_scan_even(),
         completion: Completion::Triangular,
         predicates: shows,
         selectivity: entertainment::SHOWS_SELECTIVITY,
     }));
-    let r = p.add(PlanNode::Service(ServiceNode::new("R", "Restaurant1").with_keep_first()));
+    let r = p.add(PlanNode::Service(
+        ServiceNode::new("R", "Restaurant1").with_keep_first(),
+    ));
     p.connect(p.input(), m).unwrap();
     p.connect(p.input(), t).unwrap();
     p.connect(m, j).unwrap();

@@ -16,7 +16,9 @@ fn bench_bnb_scaling(c: &mut Criterion) {
             b.iter(|| optimize(&query, &reg, CostMetric::RequestCount).expect("optimizes"))
         });
         group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
-            b.iter(|| optimize_exhaustive(&query, &reg, CostMetric::RequestCount).expect("optimizes"))
+            b.iter(|| {
+                optimize_exhaustive(&query, &reg, CostMetric::RequestCount).expect("optimizes")
+            })
         });
     }
     group.finish();

@@ -9,13 +9,27 @@ fn bench_completion(c: &mut Criterion) {
     let mut group = c.benchmark_group("tile_exploration_32x32");
     for (label, inv, comp) in [
         ("nl_rect", Invocation::NestedLoop, Completion::Rectangular),
-        ("ms_rect", Invocation::merge_scan_even(), Completion::Rectangular),
-        ("ms_tri", Invocation::merge_scan_even(), Completion::Triangular),
-        ("ms32_tri", Invocation::MergeScan { r1: 3, r2: 2 }, Completion::Triangular),
+        (
+            "ms_rect",
+            Invocation::merge_scan_even(),
+            Completion::Rectangular,
+        ),
+        (
+            "ms_tri",
+            Invocation::merge_scan_even(),
+            Completion::Triangular,
+        ),
+        (
+            "ms32_tri",
+            Invocation::MergeScan { r1: 3, r2: 2 },
+            Completion::Triangular,
+        ),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &(inv, comp), |b, &(inv, comp)| {
-            b.iter(|| explore(inv, comp, 3, 32, 32).expect("explores"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(inv, comp),
+            |b, &(inv, comp)| b.iter(|| explore(inv, comp, 3, 32, 32).expect("explores")),
+        );
     }
     group.finish();
 }

@@ -18,7 +18,9 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| execute_plan(&best.plan, &registry, ExecOptions::default()).expect("executes"))
     });
     group.bench_function("pipelined_threads", |b| {
-        b.iter(|| execute_parallel(&best.plan, &registry, ExecOptions::default()).expect("executes"))
+        b.iter(|| {
+            execute_parallel(&best.plan, &registry, ExecOptions::default()).expect("executes")
+        })
     });
     group.finish();
 }

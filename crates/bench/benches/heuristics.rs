@@ -2,9 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use seco_optimizer::{
-    CostMetric, HeuristicSet, Optimizer, Phase2Heuristic, Phase3Heuristic,
-};
+use seco_optimizer::{CostMetric, HeuristicSet, Optimizer, Phase2Heuristic, Phase3Heuristic};
 use seco_query::builder::running_example;
 use seco_services::domains::entertainment;
 
@@ -14,16 +12,40 @@ fn bench_heuristics(c: &mut Criterion) {
     let mut group = c.benchmark_group("heuristics");
     group.sample_size(10);
     for (label, p2, p3) in [
-        ("parallel_greedy", Phase2Heuristic::ParallelIsBetter, Phase3Heuristic::Greedy),
-        ("parallel_square", Phase2Heuristic::ParallelIsBetter, Phase3Heuristic::SquareIsBetter),
-        ("selective_greedy", Phase2Heuristic::SelectiveFirst, Phase3Heuristic::Greedy),
-        ("selective_square", Phase2Heuristic::SelectiveFirst, Phase3Heuristic::SquareIsBetter),
+        (
+            "parallel_greedy",
+            Phase2Heuristic::ParallelIsBetter,
+            Phase3Heuristic::Greedy,
+        ),
+        (
+            "parallel_square",
+            Phase2Heuristic::ParallelIsBetter,
+            Phase3Heuristic::SquareIsBetter,
+        ),
+        (
+            "selective_greedy",
+            Phase2Heuristic::SelectiveFirst,
+            Phase3Heuristic::Greedy,
+        ),
+        (
+            "selective_square",
+            Phase2Heuristic::SelectiveFirst,
+            Phase3Heuristic::SquareIsBetter,
+        ),
     ] {
-        group.bench_with_input(BenchmarkId::new("combo", label), &(p2, p3), |b, &(p2, p3)| {
-            let mut opt = Optimizer::new(&registry, CostMetric::RequestCount);
-            opt.heuristics = HeuristicSet { phase2: p2, phase3: p3, ..HeuristicSet::default() };
-            b.iter(|| opt.optimize(&query).expect("optimizes"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("combo", label),
+            &(p2, p3),
+            |b, &(p2, p3)| {
+                let mut opt = Optimizer::new(&registry, CostMetric::RequestCount);
+                opt.heuristics = HeuristicSet {
+                    phase2: p2,
+                    phase3: p3,
+                    ..HeuristicSet::default()
+                };
+                b.iter(|| opt.optimize(&query).expect("optimizes"))
+            },
+        );
     }
     group.finish();
 }

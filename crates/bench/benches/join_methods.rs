@@ -16,13 +16,28 @@ fn bench_join_methods(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_methods_k10");
     group.sample_size(20);
     for (scoring, dx) in [
-        ("step", ScoreDecay::Step { h: 2, high: 0.95, low: 0.05 }),
+        (
+            "step",
+            ScoreDecay::Step {
+                h: 2,
+                high: 0.95,
+                low: 0.05,
+            },
+        ),
         ("linear", ScoreDecay::Linear),
     ] {
         for (method, inv, comp) in [
             ("nl_rect", Invocation::NestedLoop, Completion::Rectangular),
-            ("ms_rect", Invocation::merge_scan_even(), Completion::Rectangular),
-            ("ms_tri", Invocation::merge_scan_even(), Completion::Triangular),
+            (
+                "ms_rect",
+                Invocation::merge_scan_even(),
+                Completion::Rectangular,
+            ),
+            (
+                "ms_tri",
+                Invocation::merge_scan_even(),
+                Completion::Triangular,
+            ),
         ] {
             group.bench_with_input(
                 BenchmarkId::new(method, scoring),
@@ -37,7 +52,8 @@ fn bench_join_methods(c: &mut Criterion) {
                     let mut schemas = SchemaMap::new();
                     schemas.insert("X".into(), &sx.interface().schema);
                     schemas.insert("Y".into(), &sy.interface().schema);
-                    let req = Request::unbound().bind(AttributePath::atomic("Key"), Value::text("q"));
+                    let req =
+                        Request::unbound().bind(AttributePath::atomic("Key"), Value::text("q"));
                     b.iter(|| {
                         let mut x = ServiceStream::new("X", sx.as_ref(), req.clone());
                         let mut y = ServiceStream::new("Y", sy.as_ref(), req.clone());

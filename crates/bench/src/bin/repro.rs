@@ -19,9 +19,7 @@ use seco_join::optimality::{
 };
 use seco_join::tile::TileSpace;
 use seco_join::JoinMethod;
-use seco_model::{
-    AttributePath, Comparator, ScoreDecay, ScoringFunction, Value,
-};
+use seco_model::{AttributePath, Comparator, ScoreDecay, ScoringFunction, Value};
 use seco_optimizer::exhaustive::optimize_exhaustive_with_costs;
 use seco_optimizer::phase1::enumerate_assignments;
 use seco_optimizer::phase2::enumerate_topologies;
@@ -43,7 +41,10 @@ type DynError = Box<dyn std::error::Error>;
 
 fn save_json(id: &str, value: serde_json::Value) -> Result<(), DynError> {
     std::fs::create_dir_all("results")?;
-    std::fs::write(format!("results/{id}.json"), serde_json::to_string_pretty(&value)?)?;
+    std::fs::write(
+        format!("results/{id}.json"),
+        serde_json::to_string_pretty(&value)?,
+    )?;
     Ok(())
 }
 
@@ -55,7 +56,10 @@ fn banner(id: &str, title: &str) {
 
 /// E1 — Fig. 2/3: the travel plan, annotated.
 fn e1() -> Result<(), DynError> {
-    banner("E1", "Fig. 2/3 — annotated Conference/Weather/Flight/Hotel plan");
+    banner(
+        "E1",
+        "Fig. 2/3 — annotated Conference/Weather/Flight/Hotel plan",
+    );
     let registry = travel::build_registry(5)?;
     let query = QueryBuilder::new()
         .atom("C", "Conference1")
@@ -70,15 +74,28 @@ fn e1() -> Result<(), DynError> {
         .select_const("W", "AvgTemp", Comparator::Gt, Value::Int(26))
         .build()?;
     let joins = query.expanded_joins(&registry)?;
-    let same_trip: Vec<_> = joins.iter().filter(|j| j.connects("F", "H")).cloned().collect();
+    let same_trip: Vec<_> = joins
+        .iter()
+        .filter(|j| j.connects("F", "H"))
+        .cloned()
+        .collect();
     let mut plan = seco_plan::QueryPlan::new(query.clone());
-    let c = plan.add(PlanNode::Service(seco_plan::ServiceNode::new("C", "Conference1")));
-    let w = plan.add(PlanNode::Service(seco_plan::ServiceNode::new("W", "Weather1")));
+    let c = plan.add(PlanNode::Service(seco_plan::ServiceNode::new(
+        "C",
+        "Conference1",
+    )));
+    let w = plan.add(PlanNode::Service(seco_plan::ServiceNode::new(
+        "W", "Weather1",
+    )));
     let sel = plan.add(PlanNode::Selection(
         seco_plan::SelectionNode::new(vec![query.selections[1].clone()]).with_selectivity(0.25),
     ));
-    let f = plan.add(PlanNode::Service(seco_plan::ServiceNode::new("F", "Flight1").with_fetches(2)));
-    let h = plan.add(PlanNode::Service(seco_plan::ServiceNode::new("H", "Hotel1").with_fetches(2)));
+    let f = plan.add(PlanNode::Service(
+        seco_plan::ServiceNode::new("F", "Flight1").with_fetches(2),
+    ));
+    let h = plan.add(PlanNode::Service(
+        seco_plan::ServiceNode::new("H", "Hotel1").with_fetches(2),
+    ));
     let j = plan.add(PlanNode::ParallelJoin(seco_plan::JoinSpec {
         invocation: Invocation::merge_scan_even(),
         completion: Completion::Rectangular,
@@ -95,8 +112,19 @@ fn e1() -> Result<(), DynError> {
     plan.connect(j, plan.output())?;
     let ann = annotate(&plan, &registry, &AnnotationConfig::default())?;
     println!("{}", display::ascii(&plan, Some(&ann))?);
-    let outcome = execute_plan(&plan, &registry, ExecOptions { join_k: 10 })?;
-    println!("measured: {} calls, {} combinations", outcome.total_calls, outcome.results.len());
+    let outcome = execute_plan(
+        &plan,
+        &registry,
+        ExecOptions {
+            join_k: 10,
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "measured: {} calls, {} combinations",
+        outcome.total_calls,
+        outcome.results.len()
+    );
     save_json(
         "e1",
         serde_json::json!({
@@ -125,13 +153,20 @@ fn e2() -> Result<(), DynError> {
     let mut grid = String::new();
     for y in 0..space.ny {
         for x in 0..space.nx {
-            write!(grid, "{:>7.3}", space.representative(seco_join::Tile::new(x, y)))?;
+            write!(
+                grid,
+                "{:>7.3}",
+                space.representative(seco_join::Tile::new(x, y))
+            )?;
         }
         grid.push('\n');
     }
     println!("{grid}");
     let order = space.optimal_order();
-    println!("globally extraction-optimal order starts: {:?}", &order[..6.min(order.len())]);
+    println!(
+        "globally extraction-optimal order starts: {:?}",
+        &order[..6.min(order.len())]
+    );
     save_json(
         "e2",
         serde_json::json!({
@@ -158,11 +193,26 @@ fn order_grid(order: &[seco_join::Tile], nx: usize, ny: usize) -> String {
 
 /// E3 — Fig. 5: nested-loop vs merge-scan exploration orders.
 fn e3() -> Result<(), DynError> {
-    banner("E3", "Fig. 5 — nested-loop (a) vs merge-scan (b) exploration orders");
+    banner(
+        "E3",
+        "Fig. 5 — nested-loop (a) vs merge-scan (b) exploration orders",
+    );
     let nl = explore(Invocation::NestedLoop, Completion::Rectangular, 3, 6, 6)?;
-    println!("(a) nested-loop, h = 3 (tile processing ranks):\n{}", order_grid(&nl.order, 6, 6));
-    let ms = explore(Invocation::merge_scan_even(), Completion::Triangular, 1, 6, 6)?;
-    println!("(b) merge-scan, triangular:\n{}", order_grid(&ms.order, 6, 6));
+    println!(
+        "(a) nested-loop, h = 3 (tile processing ranks):\n{}",
+        order_grid(&nl.order, 6, 6)
+    );
+    let ms = explore(
+        Invocation::merge_scan_even(),
+        Completion::Triangular,
+        1,
+        6,
+        6,
+    )?;
+    println!(
+        "(b) merge-scan, triangular:\n{}",
+        order_grid(&ms.order, 6, 6)
+    );
     save_json(
         "e3",
         serde_json::json!({
@@ -174,7 +224,10 @@ fn e3() -> Result<(), DynError> {
 
 /// E4 — Fig. 6: rectangular completions and the degenerate thin case.
 fn e4() -> Result<(), DynError> {
-    banner("E4", "Fig. 6 — rectangular completion; degenerate thin rectangles");
+    banner(
+        "E4",
+        "Fig. 6 — rectangular completion; degenerate thin rectangles",
+    );
     let mut rows = Vec::new();
     for (label, h, nx, ny) in [
         ("balanced 6×6, h=3", 3usize, 6usize, 6usize),
@@ -197,8 +250,17 @@ fn e4() -> Result<(), DynError> {
 
 /// E5 — Fig. 7: merge-scan rectangular r=1 grows squares.
 fn e5() -> Result<(), DynError> {
-    banner("E5", "Fig. 7 — merge-scan (r = 1/1) with rectangular completion");
-    let e = explore(Invocation::merge_scan_even(), Completion::Rectangular, 1, 4, 4)?;
+    banner(
+        "E5",
+        "Fig. 7 — merge-scan (r = 1/1) with rectangular completion",
+    );
+    let e = explore(
+        Invocation::merge_scan_even(),
+        Completion::Rectangular,
+        1,
+        4,
+        4,
+    )?;
     println!("{}", order_grid(&e.order, 4, 4));
     // After 2m calls the explored region is the m×m square.
     let mut squares_ok = true;
@@ -209,9 +271,15 @@ fn e5() -> Result<(), DynError> {
             (0..m).flat_map(|x| (0..m).map(move |y| (x, y))).collect();
         let ok = upto == expected;
         squares_ok &= ok;
-        println!("after {:>2} tiles: explored region is the {m}×{m} square: {ok}", m * m);
+        println!(
+            "after {:>2} tiles: explored region is the {m}×{m} square: {ok}",
+            m * m
+        );
     }
-    save_json("e5", serde_json::json!({ "squares_of_increasing_size": squares_ok }))
+    save_json(
+        "e5",
+        serde_json::json!({ "squares_of_increasing_size": squares_ok }),
+    )
 }
 
 /// Runs one parallel join of two synthetic services to `k` results
@@ -256,7 +324,10 @@ fn pair_id(c: &seco_model::CompositeTuple) -> (usize, usize) {
 
 /// E6 — §4 claim: NL suits step scoring, MS suits progressive scoring.
 fn e6() -> Result<(), DynError> {
-    banner("E6", "§4.3 — reaching k=30 joined results: NL vs MS, step vs progressive");
+    banner(
+        "E6",
+        "§4.3 — reaching k=30 joined results: NL vs MS, step vs progressive",
+    );
     println!(
         "{:<26} {:<10} {:>7} {:>12} {:>12}",
         "scoring of X", "method", "calls", "top-k recall", "inversions"
@@ -264,13 +335,28 @@ fn e6() -> Result<(), DynError> {
     let k = 30usize;
     let mut rows = Vec::new();
     for (slabel, dx) in [
-        ("step(h=2)", ScoreDecay::Step { h: 2, high: 0.95, low: 0.05 }),
+        (
+            "step(h=2)",
+            ScoreDecay::Step {
+                h: 2,
+                high: 0.95,
+                low: 0.05,
+            },
+        ),
         ("linear", ScoreDecay::Linear),
     ] {
         for (mlabel, inv, comp) in [
             ("NL/rect", Invocation::NestedLoop, Completion::Rectangular),
-            ("MS/rect", Invocation::merge_scan_even(), Completion::Rectangular),
-            ("MS/tri", Invocation::merge_scan_even(), Completion::Triangular),
+            (
+                "MS/rect",
+                Invocation::merge_scan_even(),
+                Completion::Rectangular,
+            ),
+            (
+                "MS/tri",
+                Invocation::merge_scan_even(),
+                Completion::Triangular,
+            ),
         ] {
             // Average over a few seeds to smooth data luck.
             let (mut calls, mut recall, mut invr) = (0.0, 0.0, 0.0);
@@ -287,7 +373,10 @@ fn e6() -> Result<(), DynError> {
                 let truth: std::collections::BTreeSet<(usize, usize)> =
                     all.iter().take(k).map(pair_id).collect();
                 let (c, emitted) = run_join(dx, ScoreDecay::Linear, inv, comp, k, s)?;
-                let hits = emitted.iter().filter(|e| truth.contains(&pair_id(e))).count();
+                let hits = emitted
+                    .iter()
+                    .filter(|e| truth.contains(&pair_id(e)))
+                    .count();
                 calls += c as f64;
                 recall += hits as f64 / k.min(truth.len().max(1)) as f64;
                 invr += inversion_rate(&emitted);
@@ -311,15 +400,32 @@ fn e6() -> Result<(), DynError> {
 
 /// E7 — §4.4: extraction-optimality of the strategy grid.
 fn e7() -> Result<(), DynError> {
-    banner("E7", "§4.4 — local/global extraction-optimality of the method grid");
+    banner(
+        "E7",
+        "§4.4 — local/global extraction-optimality of the method grid",
+    );
     println!(
         "{:<30} {:<10} {:>7} {:>8}",
         "scoring of X (Y linear)", "strategy", "local", "global"
     );
     let mut rows = Vec::new();
     for (slabel, dx) in [
-        ("step(h=2, 1→0) ideal", ScoreDecay::Step { h: 2, high: 1.0, low: 0.0 }),
-        ("step(h=2, 0.95→0.1)", ScoreDecay::Step { h: 2, high: 0.95, low: 0.1 }),
+        (
+            "step(h=2, 1→0) ideal",
+            ScoreDecay::Step {
+                h: 2,
+                high: 1.0,
+                low: 0.0,
+            },
+        ),
+        (
+            "step(h=2, 0.95→0.1)",
+            ScoreDecay::Step {
+                h: 2,
+                high: 0.95,
+                low: 0.1,
+            },
+        ),
         ("linear", ScoreDecay::Linear),
         ("quadratic", ScoreDecay::Quadratic),
     ] {
@@ -327,9 +433,24 @@ fn e7() -> Result<(), DynError> {
         let fy = ScoringFunction::new(ScoreDecay::Linear, 60, 10)?;
         let space = TileSpace::new(fx, fy);
         for (mlabel, inv, comp, hh) in [
-            ("NL/rect", Invocation::NestedLoop, Completion::Rectangular, dx.step_chunks().unwrap_or(2)),
-            ("MS/rect", Invocation::merge_scan_even(), Completion::Rectangular, 1),
-            ("MS/tri", Invocation::merge_scan_even(), Completion::Triangular, 1),
+            (
+                "NL/rect",
+                Invocation::NestedLoop,
+                Completion::Rectangular,
+                dx.step_chunks().unwrap_or(2),
+            ),
+            (
+                "MS/rect",
+                Invocation::merge_scan_even(),
+                Completion::Rectangular,
+                1,
+            ),
+            (
+                "MS/tri",
+                Invocation::merge_scan_even(),
+                Completion::Triangular,
+                1,
+            ),
         ] {
             let e = explore(inv, comp, hh, space.nx, space.ny)?;
             let local = is_locally_extraction_optimal(&e.calls, &e.order, &space);
@@ -340,15 +461,20 @@ fn e7() -> Result<(), DynError> {
             }));
         }
     }
-    println!("\njoin-method grid (§4.5): {} methods, {} practically sensible",
+    println!(
+        "\njoin-method grid (§4.5): {} methods, {} practically sensible",
         JoinMethod::all().len(),
-        JoinMethod::all().iter().filter(|m| m.makes_sense()).count());
+        JoinMethod::all().iter().filter(|m| m.makes_sense()).count()
+    );
     save_json("e7", serde_json::json!(rows))
 }
 
 /// E8 — Fig. 8: branch-and-bound pruning and scaling.
 fn e8() -> Result<(), DynError> {
-    banner("E8", "Fig. 8 — branch-and-bound vs exhaustive; scaling with query size");
+    banner(
+        "E8",
+        "Fig. 8 — branch-and-bound vs exhaustive; scaling with query size",
+    );
     let registry = entertainment::build_registry(1)?;
     let query = running_example();
     println!("running example (3 services):");
@@ -378,7 +504,10 @@ fn e8() -> Result<(), DynError> {
     }
     println!("\nscaling over chain queries (request-count metric):");
     println!("(§5.4: \"if the access patterns determine a total order, then there is only one possible DAG\")");
-    println!("{:>3} {:>12} {:>13} {:>8} {:>10}", "n", "topologies", "instantiated", "pruned", "optimum");
+    println!(
+        "{:>3} {:>12} {:>13} {:>8} {:>10}",
+        "n", "topologies", "instantiated", "pruned", "optimum"
+    );
     let mut scaling = Vec::new();
     for n in 2..=6 {
         let (reg, q) = chain_scenario(n, 7);
@@ -393,8 +522,13 @@ fn e8() -> Result<(), DynError> {
             "optimum": best.cost,
         }));
     }
-    println!("\nscaling over star queries (all atoms independently reachable — the space explodes):");
-    println!("{:>3} {:>12} {:>13} {:>8} {:>13}", "n", "topologies", "instantiated", "pruned", "pruned %");
+    println!(
+        "\nscaling over star queries (all atoms independently reachable — the space explodes):"
+    );
+    println!(
+        "{:>3} {:>12} {:>13} {:>8} {:>13}",
+        "n", "topologies", "instantiated", "pruned", "pruned %"
+    );
     let mut star_scaling = Vec::new();
     for n in 2..=5 {
         let (reg, q) = star_scenario(n, 7);
@@ -421,12 +555,20 @@ fn e8() -> Result<(), DynError> {
 
 /// E9 — Fig. 9: the running example's topologies.
 fn e9() -> Result<(), DynError> {
-    banner("E9", "Fig. 9 — admissible topologies of the running example");
+    banner(
+        "E9",
+        "Fig. 9 — admissible topologies of the running example",
+    );
     let registry = entertainment::build_registry(1)?;
     let query = running_example();
     let report = analyze(&query, &registry)?;
-    let plans =
-        enumerate_topologies(&query, &registry, &report, Phase2Heuristic::ParallelIsBetter, 64)?;
+    let plans = enumerate_topologies(
+        &query,
+        &registry,
+        &report,
+        Phase2Heuristic::ParallelIsBetter,
+        64,
+    )?;
     let mut listed = Vec::new();
     for (i, p) in plans.iter().enumerate() {
         let line = display::summary_line(p)?;
@@ -438,26 +580,42 @@ fn e9() -> Result<(), DynError> {
          continues with the parallel one; ours adds the undrawn M∥(T→R) variant.",
         plans.len()
     );
-    save_json("e9", serde_json::json!({ "count": plans.len(), "topologies": listed }))
+    save_json(
+        "e9",
+        serde_json::json!({ "count": plans.len(), "topologies": listed }),
+    )
 }
 
 /// E10 — Fig. 10 / §5.6: the instantiation arithmetic.
 fn e10() -> Result<(), DynError> {
-    banner("E10", "Fig. 10 / §5.6 — fully instantiated running example (K = 10)");
+    banner(
+        "E10",
+        "Fig. 10 / §5.6 — fully instantiated running example (K = 10)",
+    );
     let registry = entertainment::build_registry(1)?;
     let query = running_example();
     let joins = query.expanded_joins(&registry)?;
-    let shows: Vec<_> = joins.iter().filter(|j| j.connects("M", "T")).cloned().collect();
+    let shows: Vec<_> = joins
+        .iter()
+        .filter(|j| j.connects("M", "T"))
+        .cloned()
+        .collect();
     let mut plan = seco_plan::QueryPlan::new(query);
-    let m = plan.add(PlanNode::Service(seco_plan::ServiceNode::new("M", "Movie1").with_fetches(5)));
-    let t = plan.add(PlanNode::Service(seco_plan::ServiceNode::new("T", "Theatre1").with_fetches(5)));
+    let m = plan.add(PlanNode::Service(
+        seco_plan::ServiceNode::new("M", "Movie1").with_fetches(5),
+    ));
+    let t = plan.add(PlanNode::Service(
+        seco_plan::ServiceNode::new("T", "Theatre1").with_fetches(5),
+    ));
     let j = plan.add(PlanNode::ParallelJoin(seco_plan::JoinSpec {
         invocation: Invocation::merge_scan_even(),
         completion: Completion::Triangular,
         predicates: shows,
         selectivity: entertainment::SHOWS_SELECTIVITY,
     }));
-    let r = plan.add(PlanNode::Service(seco_plan::ServiceNode::new("R", "Restaurant1").with_keep_first()));
+    let r = plan.add(PlanNode::Service(
+        seco_plan::ServiceNode::new("R", "Restaurant1").with_keep_first(),
+    ));
     plan.connect(plan.input(), m)?;
     plan.connect(plan.input(), t)?;
     plan.connect(m, j)?;
@@ -469,10 +627,18 @@ fn e10() -> Result<(), DynError> {
     let pairs = [
         ("tMovie_out (paper: 100)", ann.annotation(m).tout, 100.0),
         ("tTheatre_out (paper: 25)", ann.annotation(t).tout, 25.0),
-        ("join candidates (paper: 1250)", ann.annotation(j).tin, 1250.0),
+        (
+            "join candidates (paper: 1250)",
+            ann.annotation(j).tin,
+            1250.0,
+        ),
         ("tMS_out (paper: 25)", ann.annotation(j).tout, 25.0),
         ("tRestaurant_in (paper: 25)", ann.annotation(r).tin, 25.0),
-        ("tRestaurant_out = K (paper: 10)", ann.annotation(r).tout, 10.0),
+        (
+            "tRestaurant_out = K (paper: 10)",
+            ann.annotation(r).tout,
+            10.0,
+        ),
     ];
     let mut ok = true;
     for (label, ours, paper) in pairs {
@@ -485,10 +651,16 @@ fn e10() -> Result<(), DynError> {
 
 /// E11 — §5.3: phase-1 heuristics.
 fn e11() -> Result<(), DynError> {
-    banner("E11", "§5.3 — access-pattern heuristics: bound-is-better vs unbound-is-easier");
+    banner(
+        "E11",
+        "§5.3 — access-pattern heuristics: bound-is-better vs unbound-is-easier",
+    );
     // Build a registry where the Movie mart has two interfaces: the
     // chapter's four-input Movie1 and a one-input title lookup Movie9.
-    use seco_model::{Adornment, AttributeDef, DataType, ServiceInterface, ServiceKind, ServiceSchema, ServiceStats};
+    use seco_model::{
+        Adornment, AttributeDef, DataType, ServiceInterface, ServiceKind, ServiceSchema,
+        ServiceStats,
+    };
     use seco_services::synthetic::{DomainMap, SyntheticService};
     use std::sync::Arc;
     let mut registry = entertainment::build_registry(1)?;
@@ -514,15 +686,30 @@ fn e11() -> Result<(), DynError> {
         .atom("M", "Movie") // mart-level: both interfaces are candidates
         .select_const("M", "Genres.Genre", Comparator::Eq, Value::text("comedy"))
         .select_const("M", "Language", Comparator::Eq, Value::text("en"))
-        .select_const("M", "Openings.Country", Comparator::Eq, Value::text("country-0"))
-        .select_const("M", "Openings.Date", Comparator::Gt, Value::Date(seco_model::Date::new(2009, 3, 1)))
+        .select_const(
+            "M",
+            "Openings.Country",
+            Comparator::Eq,
+            Value::text("country-0"),
+        )
+        .select_const(
+            "M",
+            "Openings.Date",
+            Comparator::Gt,
+            Value::Date(seco_model::Date::new(2009, 3, 1)),
+        )
         .select_const("M", "Title", Comparator::Eq, Value::text("title-7"))
         .build()?;
     let mut rows = Vec::new();
-    for h in [Phase1Heuristic::BoundIsBetter, Phase1Heuristic::UnboundIsEasier] {
+    for h in [
+        Phase1Heuristic::BoundIsBetter,
+        Phase1Heuristic::UnboundIsEasier,
+    ] {
         let assignments = enumerate_assignments(&query, &registry, h)?;
-        let order: Vec<&str> =
-            assignments.iter().map(|a| a.query.atom("M").unwrap().service.as_str()).collect();
+        let order: Vec<&str> = assignments
+            .iter()
+            .map(|a| a.query.atom("M").unwrap().service.as_str())
+            .collect();
         // The answer-set-size intuition: estimate the first choice's
         // expected result size (smaller = better bound).
         let first = registry.interface(order[0])?;
@@ -540,7 +727,10 @@ fn e11() -> Result<(), DynError> {
 
 /// E12 — §5.4: phase-2 heuristics under time vs call-count metrics.
 fn e12() -> Result<(), DynError> {
-    banner("E12", "§5.4 — selective-first vs parallel-is-better (first-plan quality)");
+    banner(
+        "E12",
+        "§5.4 — selective-first vs parallel-is-better (first-plan quality)",
+    );
     println!(
         "{:<20} {:<16} {:>12} {:>10} {:>8}",
         "phase-2 heuristic", "metric", "first plan", "optimum", "gap %"
@@ -548,10 +738,20 @@ fn e12() -> Result<(), DynError> {
     let registry = entertainment::build_registry(3)?;
     let query = running_example();
     let mut rows = Vec::new();
-    for h in [Phase2Heuristic::ParallelIsBetter, Phase2Heuristic::SelectiveFirst] {
-        for metric in [CostMetric::ExecutionTime, CostMetric::RequestCount, CostMetric::Sum] {
+    for h in [
+        Phase2Heuristic::ParallelIsBetter,
+        Phase2Heuristic::SelectiveFirst,
+    ] {
+        for metric in [
+            CostMetric::ExecutionTime,
+            CostMetric::RequestCount,
+            CostMetric::Sum,
+        ] {
             let mut opt = Optimizer::new(&registry, metric);
-            opt.heuristics = HeuristicSet { phase2: h, ..HeuristicSet::default() };
+            opt.heuristics = HeuristicSet {
+                phase2: h,
+                ..HeuristicSet::default()
+            };
             opt.budget = Some(1);
             let first = opt.optimize(&query)?;
             opt.budget = None;
@@ -580,13 +780,24 @@ fn e13() -> Result<(), DynError> {
     let registry = entertainment::build_registry(1)?;
     let query = running_example();
     let report = analyze(&query, &registry)?;
-    let topologies =
-        enumerate_topologies(&query, &registry, &report, Phase2Heuristic::ParallelIsBetter, 64)?;
+    let topologies = enumerate_topologies(
+        &query,
+        &registry,
+        &report,
+        Phase2Heuristic::ParallelIsBetter,
+        64,
+    )?;
     let parallel = topologies
         .into_iter()
-        .find(|p| p.node_ids().any(|id| matches!(p.node(id), Ok(PlanNode::ParallelJoin(_)))))
+        .find(|p| {
+            p.node_ids()
+                .any(|id| matches!(p.node(id), Ok(PlanNode::ParallelJoin(_))))
+        })
         .expect("a parallel topology exists");
-    println!("{:>4} {:<18} {:>12} {:>22}", "k", "heuristic", "calls", "fetch vector (M,T,R)");
+    println!(
+        "{:>4} {:<18} {:>12} {:>22}",
+        "k", "heuristic", "calls", "fetch vector (M,T,R)"
+    );
     let mut rows = Vec::new();
     for k in [1usize, 10, 25, 50] {
         for h in [Phase3Heuristic::Greedy, Phase3Heuristic::SquareIsBetter] {
@@ -651,7 +862,10 @@ fn e15() -> Result<(), DynError> {
         .select_const("S1", "R.B", Comparator::Eq, Value::text("x"))
         .build()?;
     let r1 = evaluate_oracle(&q1, &registry)?;
-    println!("Q1 (select S1 where S1.R.A=1 and S1.R.B=x): {} result (paper: {{t1}})", r1.len());
+    println!(
+        "Q1 (select S1 where S1.R.A=1 and S1.R.B=x): {} result (paper: {{t1}})",
+        r1.len()
+    );
     let q2 = QueryBuilder::new()
         .atom("S1", "S1")
         .atom("S2", "S2")
@@ -659,13 +873,22 @@ fn e15() -> Result<(), DynError> {
         .join("S1", "R.B", Comparator::Eq, "S2", "R.B")
         .build()?;
     let r2 = evaluate_oracle(&q2, &registry)?;
-    println!("Q2 (join on R.A, R.B): {} results (paper: {{t1·t3, t1·t4, t2·t4}})", r2.len());
-    save_json("e15", serde_json::json!({ "q1_results": r1.len(), "q2_results": r2.len() }))
+    println!(
+        "Q2 (join on R.A, R.B): {} results (paper: {{t1·t3, t1·t4, t2·t4}})",
+        r2.len()
+    );
+    save_json(
+        "e15",
+        serde_json::json!({ "q1_results": r1.len(), "q2_results": r2.len() }),
+    )
 }
 
 /// E16 — end-to-end: optimized execution vs the oracle.
 fn e16() -> Result<(), DynError> {
-    banner("E16", "end-to-end — optimized plans vs the declarative oracle");
+    banner(
+        "E16",
+        "end-to-end — optimized plans vs the declarative oracle",
+    );
     let registry = entertainment::build_registry(9)?;
     let query = running_example();
     let oracle = evaluate_oracle(&query, &registry)?;
@@ -676,7 +899,10 @@ fn e16() -> Result<(), DynError> {
         let outcome = execute_plan(&best.plan, &registry, ExecOptions::default())?;
         let sound = outcome.results.iter().all(|c| {
             oracle.iter().any(|o| {
-                query.atoms.iter().all(|a| o.component(&a.alias) == c.component(&a.alias))
+                query
+                    .atoms
+                    .iter()
+                    .all(|a| o.component(&a.alias) == c.component(&a.alias))
             })
         });
         let rs = ResultSet::new(outcome.results.clone(), query.ranking.clone());
@@ -706,13 +932,22 @@ fn e16() -> Result<(), DynError> {
 /// produce k joined results — the quantity the cost-based ratio is
 /// designed to minimize.
 fn e17() -> Result<(), DynError> {
-    banner("E17", "ablation — fixed r=1/1 vs cost-based inter-service ratio (§4.3.2)");
+    banner(
+        "E17",
+        "ablation — fixed r=1/1 vs cost-based inter-service ratio (§4.3.2)",
+    );
     use seco_bench::link_service;
     use seco_join::cost_based_ratio;
     use seco_services::synthetic::{DomainMap, SyntheticService, ValueDomain};
     use std::sync::Arc;
 
-    let run = |cx: usize, tx: f64, cy: usize, ty: f64, inv: Invocation, k: usize, seed: u64|
+    let run = |cx: usize,
+               tx: f64,
+               cy: usize,
+               ty: f64,
+               inv: Invocation,
+               k: usize,
+               seed: u64|
      -> Result<(usize, usize, f64), DynError> {
         let total = 60usize;
         let linkdom = ValueDomain::new("pairlink", 10);
@@ -762,8 +997,10 @@ fn e17() -> Result<(), DynError> {
         ("10@50 vs 5@150 (X cheap+rich)", 10, 50.0, 5, 150.0),
     ] {
         let derived = cost_based_ratio(cx, tx, cy, ty);
-        for (rlabel, inv) in [("fixed 1/1", Invocation::merge_scan_even()), ("cost-based", derived)]
-        {
+        for (rlabel, inv) in [
+            ("fixed 1/1", Invocation::merge_scan_even()),
+            ("cost-based", derived),
+        ] {
             let (mut axc, mut ayc, mut ams) = (0.0, 0.0, 0.0);
             let seeds = [3u64, 11, 17, 29];
             for &s in &seeds {
@@ -791,22 +1028,36 @@ fn e17() -> Result<(), DynError> {
 
 /// E18 — calibration: the annotation's estimates vs measured execution.
 fn e18() -> Result<(), DynError> {
-    banner("E18", "calibration — estimated (annotation) vs measured (execution)");
-    println!("{:>5} {:<22} {:>12} {:>12} {:>9}", "seed", "quantity", "estimated", "measured", "ratio");
+    banner(
+        "E18",
+        "calibration — estimated (annotation) vs measured (execution)",
+    );
+    println!(
+        "{:>5} {:<22} {:>12} {:>12} {:>9}",
+        "seed", "quantity", "estimated", "measured", "ratio"
+    );
     let query = running_example();
     let mut rows = Vec::new();
     for seed in [1u64, 9, 21, 33] {
         let registry = entertainment::build_registry(seed)?;
         let best = optimize(&query, &registry, CostMetric::RequestCount)?;
         let est_calls = best.annotated.total_calls();
-        let est_time = CostMetric::ExecutionTime.evaluate(&best.plan, &best.annotated, &registry)?;
+        let est_time =
+            CostMetric::ExecutionTime.evaluate(&best.plan, &best.annotated, &registry)?;
         let outcome = execute_plan(&best.plan, &registry, ExecOptions::default())?;
         for (q, e, m) in [
             ("request-responses", est_calls, outcome.total_calls as f64),
             ("critical path (ms)", est_time, outcome.critical_ms),
-            ("answers", best.annotated.output_tuples, outcome.results.len() as f64),
+            (
+                "answers",
+                best.annotated.output_tuples,
+                outcome.results.len() as f64,
+            ),
         ] {
-            println!("{seed:>5} {q:<22} {e:>12.1} {m:>12.1} {:>9.2}", m / e.max(1e-9));
+            println!(
+                "{seed:>5} {q:<22} {e:>12.1} {m:>12.1} {:>9.2}",
+                m / e.max(1e-9)
+            );
             rows.push(serde_json::json!({
                 "seed": seed, "quantity": q, "estimated": e, "measured": m,
             }));
@@ -817,8 +1068,14 @@ fn e18() -> Result<(), DynError> {
 
 /// E19 — §2.3: query augmentation with off-query services.
 fn e19() -> Result<(), DynError> {
-    banner("E19", "§2.3 — query augmentation (off-query services bind missing inputs)");
-    use seco_model::{Adornment, AttributeDef, DataType, ServiceInterface, ServiceKind, ServiceSchema, ServiceStats};
+    banner(
+        "E19",
+        "§2.3 — query augmentation (off-query services bind missing inputs)",
+    );
+    use seco_model::{
+        Adornment, AttributeDef, DataType, ServiceInterface, ServiceKind, ServiceSchema,
+        ServiceStats,
+    };
     use seco_query::augment::{augment_query, AugmentOptions};
     use seco_services::synthetic::{DomainMap, SyntheticService, ValueDomain};
     use std::sync::Arc;
@@ -833,35 +1090,58 @@ fn e19() -> Result<(), DynError> {
         ],
     )?;
     let flight = ServiceInterface::new(
-        "Flight1", "Flight", flight_schema, ServiceKind::Search,
-        ServiceStats::new(30.0, 10, 100.0, 1.0)?, ScoreDecay::Linear,
+        "Flight1",
+        "Flight",
+        flight_schema,
+        ServiceKind::Search,
+        ServiceStats::new(30.0, 10, 100.0, 1.0)?,
+        ScoreDecay::Linear,
     )?;
     let dir_schema = ServiceSchema::new(
         "CityDirectory1",
         vec![AttributeDef::atomic("City", DataType::Text, Adornment::Output).with_domain("city")],
     )?;
     let dir = ServiceInterface::new(
-        "CityDirectory1", "CityDirectory", dir_schema, ServiceKind::Exact { chunked: false },
-        ServiceStats::new(12.0, 12, 30.0, 1.0)?, ScoreDecay::Constant(1.0),
+        "CityDirectory1",
+        "CityDirectory",
+        dir_schema,
+        ServiceKind::Exact { chunked: false },
+        ServiceStats::new(12.0, 12, 30.0, 1.0)?,
+        ScoreDecay::Constant(1.0),
     )?;
     let city = ValueDomain::new("city", 12);
     registry.register_service(Arc::new(SyntheticService::new(
-        flight, DomainMap::new().with(AttributePath::atomic("To"), city.clone()), 1,
+        flight,
+        DomainMap::new().with(AttributePath::atomic("To"), city.clone()),
+        1,
     )))?;
     registry.register_service(Arc::new(SyntheticService::new(
-        dir, DomainMap::new().with(AttributePath::atomic("City"), city), 2,
+        dir,
+        DomainMap::new().with(AttributePath::atomic("City"), city),
+        2,
     )))?;
 
     let query = QueryBuilder::new()
         .atom("F", "Flight1")
-        .select_const("F", "Date", Comparator::Eq, Value::Date(seco_model::Date::new(2009, 7, 1)))
+        .select_const(
+            "F",
+            "Date",
+            Comparator::Eq,
+            Value::Date(seco_model::Date::new(2009, 7, 1)),
+        )
         .build()?;
     println!("original query: {query}");
     println!("feasible: {}", analyze(&query, &registry).is_ok());
     let augmented = augment_query(&query, &registry, AugmentOptions::default())?;
-    println!("augmented with off-query atoms {:?}: {}", augmented.added, augmented.query);
+    println!(
+        "augmented with off-query atoms {:?}: {}",
+        augmented.added, augmented.query
+    );
     let answers = evaluate_oracle(&augmented.query, &registry)?;
-    println!("approximation yields {} answers (every flight to a directory city)", answers.len());
+    println!(
+        "approximation yields {} answers (every flight to a directory city)",
+        answers.len()
+    );
     save_json(
         "e19",
         serde_json::json!({
@@ -873,7 +1153,10 @@ fn e19() -> Result<(), DynError> {
 
 /// E20 — client-side caching makes chain topologies competitive.
 fn e20() -> Result<(), DynError> {
-    banner("E20", "ablation — response caching on the chain topology (§5.3 intuition)");
+    banner(
+        "E20",
+        "ablation — response caching on the chain topology (§5.3 intuition)",
+    );
     use seco_services::cache::CachingService;
     use seco_services::synthetic::{DomainMap, SyntheticService, ValueDomain};
     use seco_services::ServiceRegistry;
@@ -903,8 +1186,14 @@ fn e20() -> Result<(), DynError> {
             2,
         )
         .with_rows_per_group(1)
-        .with_mirror(AttributePath::atomic("TCity"), AttributePath::atomic("UCity"))
-        .with_mirror(AttributePath::atomic("TCountry"), AttributePath::atomic("UCountry"));
+        .with_mirror(
+            AttributePath::atomic("TCity"),
+            AttributePath::atomic("UCity"),
+        )
+        .with_mirror(
+            AttributePath::atomic("TCountry"),
+            AttributePath::atomic("UCountry"),
+        );
         reg.register_service(Arc::new(theatre))?;
         reg.register_pattern(entertainment::shows_pattern())?;
         Ok(reg)
@@ -916,7 +1205,12 @@ fn e20() -> Result<(), DynError> {
         .pattern("Shows", "M", "T")
         .select_const("M", "Genres.Genre", Comparator::Eq, Value::text("comedy"))
         .select_const("M", "Language", Comparator::Eq, Value::text("en"))
-        .select_const("M", "Openings.Country", Comparator::Eq, Value::text("country-0"))
+        .select_const(
+            "M",
+            "Openings.Country",
+            Comparator::Eq,
+            Value::text("country-0"),
+        )
         .select_const(
             "M",
             "Openings.Date",
@@ -934,10 +1228,14 @@ fn e20() -> Result<(), DynError> {
     for cached in [false, true] {
         let reg = build(cached)?;
         let report = analyze(&query, &reg)?;
-        let chains = enumerate_topologies(&query, &reg, &report, Phase2Heuristic::SelectiveFirst, 64)?;
+        let chains =
+            enumerate_topologies(&query, &reg, &report, Phase2Heuristic::SelectiveFirst, 64)?;
         let chain = chains
             .into_iter()
-            .find(|p| p.node_ids().all(|id| !matches!(p.node(id), Ok(PlanNode::ParallelJoin(_)))))
+            .find(|p| {
+                p.node_ids()
+                    .all(|id| !matches!(p.node(id), Ok(PlanNode::ParallelJoin(_))))
+            })
             .expect("a chain topology exists");
         let mut plan = chain;
         // Movie fetches 2 chunks so the chain re-invokes Theatre 40×.
@@ -973,8 +1271,135 @@ fn e20() -> Result<(), DynError> {
     save_json("e20", serde_json::json!(rows))
 }
 
+/// E21 — resilience: deterministic faults, retries, degradation.
+fn e21() -> Result<(), DynError> {
+    banner(
+        "E21",
+        "resilience — fault injection, retry/backoff, graceful degradation",
+    );
+    use seco_engine::FailureMode;
+    use seco_services::{ClientConfig, FaultProfile};
+
+    let query = running_example();
+    let clean = entertainment::build_registry(1)?;
+    let best = optimize(&query, &clean, CostMetric::RequestCount)?;
+    let baseline = execute_plan(&best.plan, &clean, ExecOptions::default())?;
+    println!(
+        "clean baseline: {} combinations, {} calls",
+        baseline.results.len(),
+        baseline.total_calls
+    );
+
+    let opts = ExecOptions {
+        failure_mode: FailureMode::Degrade,
+        client: Some(ClientConfig {
+            deadline_ms: Some(200.0),
+            retries: 3,
+            seed: 42,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    println!(
+        "{:<8} {:>6} {:>7} {:>8} {:>6} {:>8} {:>6} {:>13} {:>13}",
+        "profile",
+        "combos",
+        "calls",
+        "retries",
+        "t/outs",
+        "trips",
+        "s/circ",
+        "deterministic",
+        "rank-subset"
+    );
+    let mut rows = Vec::new();
+    for profile in ["flaky", "outage"] {
+        let faults = FaultProfile::by_name(profile).expect("known profile");
+        type FaultRun = (
+            Vec<seco_model::CompositeTuple>,
+            Vec<String>,
+            f64,
+            usize,
+            seco_services::CallStats,
+        );
+        let run = || -> Result<FaultRun, DynError> {
+            let reg = entertainment::build_registry_with_faults(1, faults)?;
+            let out = execute_plan(&best.plan, &reg, opts)?;
+            let stats = reg.total_stats();
+            Ok((
+                out.results,
+                out.degraded,
+                out.critical_ms,
+                out.total_calls,
+                stats,
+            ))
+        };
+        // Two runs with the same seeds must be byte-identical, and the
+        // degraded answer must be a rank-ordered subset of the clean one.
+        let (results_a, degraded_a, crit_a, calls_a, stats_a) = run()?;
+        let (results_b, degraded_b, crit_b, calls_b, stats_b) = run()?;
+        let deterministic = results_a == results_b
+            && degraded_a == degraded_b
+            && crit_a == crit_b
+            && calls_a == calls_b
+            && (
+                stats_a.retries,
+                stats_a.timeouts,
+                stats_a.breaker_trips,
+                stats_a.short_circuits,
+            ) == (
+                stats_b.retries,
+                stats_b.timeouts,
+                stats_b.breaker_trips,
+                stats_b.short_circuits,
+            );
+        let rank_subset = {
+            let mut clean_iter = baseline.results.iter();
+            results_a.iter().all(|c| clean_iter.any(|b| b == c))
+        };
+        println!(
+            "{profile:<8} {:>6} {:>7} {:>8} {:>6} {:>8} {:>6} {:>13} {:>13}",
+            results_a.len(),
+            calls_a,
+            stats_a.retries,
+            stats_a.timeouts,
+            stats_a.breaker_trips,
+            stats_a.short_circuits,
+            deterministic,
+            rank_subset
+        );
+        rows.push(serde_json::json!({
+            "profile": profile,
+            "run": {
+                "combinations": results_a.len(),
+                "degraded": degraded_a,
+                "critical_ms": crit_a,
+                "calls": calls_a,
+                "retries": stats_a.retries,
+                "timeouts": stats_a.timeouts,
+                "breaker_trips": stats_a.breaker_trips,
+                "short_circuits": stats_a.short_circuits,
+            },
+            "deterministic": deterministic,
+            "rank_ordered_subset_of_clean": rank_subset,
+        }));
+    }
+    save_json(
+        "e21",
+        serde_json::json!({
+            "baseline_combinations": baseline.results.len(),
+            "deadline_ms": 200.0,
+            "profiles": rows,
+        }),
+    )
+}
+
 fn main() -> Result<(), DynError> {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .map(|a| a.to_lowercase())
+        .map(|a| if a == "faults" { "e21".to_owned() } else { a })
+        .collect();
     let all = args.is_empty() || args.iter().any(|a| a == "--all" || a == "all");
     let want = |id: &str| all || args.iter().any(|a| a == id);
 
@@ -1000,6 +1425,7 @@ fn main() -> Result<(), DynError> {
         ("e18", e18),
         ("e19", e19),
         ("e20", e20),
+        ("e21", e21),
     ];
     let mut ran = 0;
     for (id, f) in experiments {
@@ -1013,7 +1439,10 @@ fn main() -> Result<(), DynError> {
     if all {
         let (reg, q) = star_scenario(3, 5);
         let best = optimize(&q, &reg, CostMetric::ExecutionTime)?;
-        println!("\nstar(3) sanity: optimum {:.1} ms over {} topologies", best.cost, best.stats.topologies);
+        println!(
+            "\nstar(3) sanity: optimum {:.1} ms over {} topologies",
+            best.cost, best.stats.topologies
+        );
     }
     println!("\n{ran} experiments regenerated; JSON written to results/");
     Ok(())

@@ -62,14 +62,23 @@ pub fn chain_scenario(n: usize, seed: u64) -> (ServiceRegistry, Query) {
             20.0,
             5,
             50.0 + 20.0 * i as f64,
-            if i % 2 == 0 { ScoreDecay::Step { h: 2, high: 0.9, low: 0.1 } } else { ScoreDecay::Linear },
+            if i % 2 == 0 {
+                ScoreDecay::Step {
+                    h: 2,
+                    high: 0.9,
+                    low: 0.1,
+                }
+            } else {
+                ScoreDecay::Linear
+            },
         );
         let service = SyntheticService::new(
             iface,
             DomainMap::new().with(AttributePath::atomic("Link"), link.clone()),
             seed ^ ((i as u64) << 8),
         );
-        reg.register_service(Arc::new(service)).expect("unique names");
+        reg.register_service(Arc::new(service))
+            .expect("unique names");
     }
     for i in 1..n {
         reg.register_pattern(
@@ -77,20 +86,28 @@ pub fn chain_scenario(n: usize, seed: u64) -> (ServiceRegistry, Query) {
                 format!("ChainLink{i}"),
                 format!("Chain{i}"),
                 format!("Chain{}", i + 1),
-                vec![JoinPair::eq(AttributePath::atomic("Link"), AttributePath::atomic("Key"))],
+                vec![JoinPair::eq(
+                    AttributePath::atomic("Link"),
+                    AttributePath::atomic("Key"),
+                )],
                 0.5,
             )
             .expect("static pattern is valid"),
         )
         .expect("unique names");
     }
-    let mut qb = QueryBuilder::new()
-        .atom("A1", "Chain1")
-        .select_const("A1", "Key", Comparator::Eq, Value::text("start"));
+    let mut qb = QueryBuilder::new().atom("A1", "Chain1").select_const(
+        "A1",
+        "Key",
+        Comparator::Eq,
+        Value::text("start"),
+    );
     for i in 2..=n {
-        qb = qb
-            .atom(&format!("A{i}"), &format!("Chain{i}"))
-            .pattern(&format!("ChainLink{}", i - 1), &format!("A{}", i - 1), &format!("A{i}"));
+        qb = qb.atom(&format!("A{i}"), &format!("Chain{i}")).pattern(
+            &format!("ChainLink{}", i - 1),
+            &format!("A{}", i - 1),
+            &format!("A{i}"),
+        );
     }
     let query = qb.k(5).build().expect("chain query is valid");
     (reg, query)
@@ -104,19 +121,29 @@ pub fn star_scenario(n: usize, seed: u64) -> (ServiceRegistry, Query) {
     let mut reg = ServiceRegistry::new();
     let link = ValueDomain::new("hub", 8);
     for i in 1..=n {
-        let iface = link_service(&format!("Star{i}"), 16.0, 4, 40.0 + 10.0 * i as f64, ScoreDecay::Linear);
+        let iface = link_service(
+            &format!("Star{i}"),
+            16.0,
+            4,
+            40.0 + 10.0 * i as f64,
+            ScoreDecay::Linear,
+        );
         let service = SyntheticService::new(
             iface,
             DomainMap::new().with(AttributePath::atomic("Link"), link.clone()),
             seed ^ ((i as u64) << 4),
         );
-        reg.register_service(Arc::new(service)).expect("unique names");
+        reg.register_service(Arc::new(service))
+            .expect("unique names");
     }
     let mut qb = QueryBuilder::new();
     for i in 1..=n {
-        qb = qb
-            .atom(&format!("A{i}"), &format!("Star{i}"))
-            .select_const(&format!("A{i}"), "Key", Comparator::Eq, Value::Text(format!("k{i}")));
+        qb = qb.atom(&format!("A{i}"), &format!("Star{i}")).select_const(
+            &format!("A{i}"),
+            "Key",
+            Comparator::Eq,
+            Value::Text(format!("k{i}")),
+        );
     }
     for i in 2..=n {
         qb = qb.join("A1", "Link", Comparator::Eq, &format!("A{i}"), "Link");
@@ -142,7 +169,10 @@ pub fn join_pair(
             s,
         ))
     };
-    (make("PairX1", decay_x, seed ^ 0xA), make("PairY1", decay_y, seed ^ 0xB))
+    (
+        make("PairX1", decay_x, seed ^ 0xA),
+        make("PairY1", decay_y, seed ^ 0xB),
+    )
 }
 
 #[cfg(test)]

@@ -41,7 +41,11 @@ impl Clock {
     /// A clock with the given burst factor (≥ 1): how many ticks of
     /// credit a service may accumulate.
     pub fn new(burst: u32) -> Self {
-        Clock { paces: BTreeMap::new(), burst: burst.max(1), ticks: 0 }
+        Clock {
+            paces: BTreeMap::new(),
+            burst: burst.max(1),
+            ticks: 0,
+        }
     }
 
     /// Registers a service with its share of the inter-service ratio
@@ -70,7 +74,10 @@ impl Clock {
 
     /// True when the service may issue a call right now.
     pub fn may_call(&self, service: &str) -> bool {
-        self.paces.get(service).map(|p| p.available > 0).unwrap_or(false)
+        self.paces
+            .get(service)
+            .map(|p| p.available > 0)
+            .unwrap_or(false)
     }
 
     /// Consumes one credit for a call; returns false (and consumes
@@ -162,7 +169,11 @@ impl seco_join::Pacing for ClockPacing {
                         "y"
                     };
                     self.clock.acquire(side);
-                    return if side == "x" { CallTarget::X } else { CallTarget::Y };
+                    return if side == "x" {
+                        CallTarget::X
+                    } else {
+                        CallTarget::Y
+                    };
                 }
                 (true, false) => {
                     self.clock.acquire("x");
@@ -190,7 +201,11 @@ pub fn drive_pair(clock: &mut Clock, a: &str, b: &str, total: usize) -> Vec<Stri
     while out.len() < total && guard < total * 16 {
         guard += 1;
         let avail = |c: &Clock, s: &str| c.paces.get(s).map(|p| p.available).unwrap_or(0);
-        let (first, second) = if avail(clock, a) >= avail(clock, b) { (a, b) } else { (b, a) };
+        let (first, second) = if avail(clock, a) >= avail(clock, b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         if clock.acquire(first) {
             out.push(first.to_owned());
         } else if clock.acquire(second) {
@@ -259,7 +274,10 @@ mod tests {
         assert_eq!(xs, 5);
         // Never more than one consecutive call to the same service.
         for w in seq.windows(3) {
-            assert!(!(w[0] == w[1] && w[1] == w[2]), "burst 1 forbids long runs: {seq:?}");
+            assert!(
+                !(w[0] == w[1] && w[1] == w[2]),
+                "burst 1 forbids long runs: {seq:?}"
+            );
         }
     }
 
@@ -336,7 +354,11 @@ mod tests {
         // Both explore everything and find the same matches.
         assert!(paced.exhausted && scheduled.exhausted);
         assert_eq!(paced.results.len(), scheduled.results.len());
-        assert_eq!((paced.calls_x, paced.calls_y), (16, 16), "full exploration calls per chunk");
+        assert_eq!(
+            (paced.calls_x, paced.calls_y),
+            (16, 16),
+            "full exploration calls per chunk"
+        );
         // Mid-flight the pacer really skews toward Y: inspect the clock.
         assert!(pacer.clock().performed("y") >= pacer.clock().performed("x"));
     }

@@ -84,7 +84,10 @@ mod tests {
         let e: EngineError = PlanError::Cyclic.into();
         assert!(e.to_string().contains("plan error"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = EngineError::WorkerFailed { stage: "join".into(), detail: "poisoned".into() };
+        let e = EngineError::WorkerFailed {
+            stage: "join".into(),
+            detail: "poisoned".into(),
+        };
         assert!(e.to_string().contains("join"));
         assert!(std::error::Error::source(&e).is_none());
         let e: EngineError = QueryError::UnknownAtom("x".into()).into();

@@ -18,16 +18,32 @@
 //! metric, so measured and estimated times are directly comparable
 //! (E8/E14).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
+use seco_join::PipeJoin;
 use seco_model::CompositeTuple;
 use seco_plan::{NodeId, PlanNode, QueryPlan};
 use seco_query::feasibility::analyze;
-use seco_query::predicate::{resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap};
-use seco_services::ServiceRegistry;
+use seco_query::predicate::{
+    resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap,
+};
+use seco_services::{ClientConfig, ServiceClient, ServiceRegistry, VirtualClock};
 
 use crate::error::EngineError;
 use crate::trace::{ExecutionTrace, TraceEvent};
+
+/// What to do when a service fails past the resilience middleware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailureMode {
+    /// Abort the execution with the error (historical behaviour).
+    #[default]
+    Abort,
+    /// Degrade gracefully: the failing branch contributes whatever it
+    /// produced before failing, the failed services are listed on the
+    /// result, and execution continues.
+    Degrade,
+}
 
 /// Execution options.
 #[derive(Debug, Clone, Copy, Default)]
@@ -36,6 +52,12 @@ pub struct ExecOptions {
     /// limit). Corresponds to the optimizer's `k` when the join node is
     /// the last producer.
     pub join_k: usize,
+    /// Abort on service failure (default) or degrade gracefully.
+    pub failure_mode: FailureMode,
+    /// When set, every service call goes through a [`ServiceClient`]
+    /// with this resilience configuration (deadline, retry/backoff,
+    /// circuit breaker). One client — hence one breaker — per service.
+    pub client: Option<ClientConfig>,
 }
 
 /// The outcome of executing a plan.
@@ -49,6 +71,17 @@ pub struct ExecutionResult {
     pub critical_ms: f64,
     /// Total request-responses issued.
     pub total_calls: usize,
+    /// Services whose failures degraded the answer (sorted, deduplicated;
+    /// empty on a clean run). Only populated under
+    /// [`FailureMode::Degrade`].
+    pub degraded: Vec<String>,
+}
+
+impl ExecutionResult {
+    /// True when some branch failed and the results are partial.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
 }
 
 /// Executes a plan against the registry.
@@ -63,7 +96,10 @@ pub fn execute_plan(
     let predicates = resolve_predicates(&plan.query, &joins)?;
     let mut schemas: SchemaMap<'_> = BTreeMap::new();
     for atom in &plan.query.atoms {
-        schemas.insert(atom.alias.clone(), &registry.interface(&atom.service)?.schema);
+        schemas.insert(
+            atom.alias.clone(),
+            &registry.interface(&atom.service)?.schema,
+        );
     }
 
     let order = plan.topo_order()?;
@@ -72,17 +108,39 @@ pub fn execute_plan(
     let mut trace = ExecutionTrace::default();
     let mut total_calls = 0usize;
 
+    let degrade = options.failure_mode == FailureMode::Degrade;
+    // One resilient client per service, shared across plan nodes so the
+    // circuit breaker accumulates failures over the whole execution. The
+    // clock is shared too: backoff pauses and abandoned-call deadlines
+    // count toward the same virtual timeline as the calls themselves.
+    let clock = VirtualClock::new();
+    let mut clients: BTreeMap<String, Arc<ServiceClient>> = BTreeMap::new();
+    let mut degraded: BTreeSet<String> = BTreeSet::new();
+    // Whether each node's output is already partial (some upstream
+    // branch lost tuples to a failure).
+    let mut node_degraded: Vec<bool> = vec![false; plan.len()];
+
     for id in order.iter().copied() {
         let preds_nodes = plan.predecessors(id);
-        let (tuples_in, out, calls, busy_ms): (usize, Vec<CompositeTuple>, usize, f64) =
+        let (tuples_in, out, calls, busy_ms, deg): (usize, Vec<CompositeTuple>, usize, f64, bool) =
             match plan.node(id)? {
                 PlanNode::Input => {
                     // The user's single input tuple (§3.2).
-                    (0, vec![CompositeTuple { atoms: Vec::new(), components: Vec::new() }], 0, 0.0)
+                    (
+                        0,
+                        vec![CompositeTuple {
+                            atoms: Vec::new(),
+                            components: Vec::new(),
+                        }],
+                        0,
+                        0.0,
+                        false,
+                    )
                 }
                 PlanNode::Output => {
                     let input = outputs[preds_nodes[0].0].clone();
-                    (input.len(), input, 0, 0.0)
+                    let deg = node_degraded[preds_nodes[0].0];
+                    (input.len(), input, 0, 0.0, deg)
                 }
                 PlanNode::Selection(sel) => {
                     let input = outputs[preds_nodes[0].0].clone();
@@ -94,31 +152,61 @@ pub fn execute_plan(
                             kept.push(c);
                         }
                     }
-                    (n_in, kept, 0, 0.0)
+                    (n_in, kept, 0, 0.0, node_degraded[preds_nodes[0].0])
                 }
                 PlanNode::Service(node) => {
                     let input = outputs[preds_nodes[0].0].clone();
                     let n_in = input.len();
-                    let service = registry.service(&node.service)?;
                     let iface = registry.interface(&node.service)?;
                     let bindings = report.bindings_of(&node.atom);
-                    let outcome = seco_join::pipe::pipe_join(
-                        &input,
-                        &node.atom,
-                        service.as_ref(),
-                        &bindings,
-                        &plan.query.inputs,
-                        &predicates,
-                        &schemas,
-                        node.fetches as usize,
-                        node.keep_first,
-                    )?;
-                    let busy_ms = outcome.calls as f64 * iface.stats.response_time_ms;
-                    (n_in, outcome.results, outcome.calls, busy_ms)
+                    let stage = PipeJoin {
+                        atom: &node.atom,
+                        bindings: &bindings,
+                        query_inputs: &plan.query.inputs,
+                        predicates: &predicates,
+                        schemas: &schemas,
+                        fetches: node.fetches as usize,
+                        keep_first: node.keep_first,
+                        tolerate_failures: degrade,
+                    };
+                    let (outcome, busy_ms) = if let Some(cfg) = options.client {
+                        let client = match clients.get(&node.service) {
+                            Some(c) => c.clone(),
+                            None => {
+                                let c = Arc::new(
+                                    ServiceClient::for_recorded(registry.service(&node.service)?)
+                                        .config(cfg)
+                                        .virtual_clock(clock.clone())
+                                        .build(),
+                                );
+                                clients.insert(node.service.clone(), c.clone());
+                                c
+                            }
+                        };
+                        let before = clock.now_ms();
+                        let outcome = stage.run(&input, client.as_ref())?;
+                        // Busy time is the clock delta: calls plus
+                        // retries, backoff pauses, and abandoned calls
+                        // clipped at the deadline.
+                        (outcome, clock.now_ms() - before)
+                    } else {
+                        let service = registry.service(&node.service)?;
+                        let outcome = stage.run(&input, service.as_ref())?;
+                        let busy_ms = outcome.calls as f64 * iface.stats.response_time_ms;
+                        (outcome, busy_ms)
+                    };
+                    let mut deg = node_degraded[preds_nodes[0].0];
+                    if outcome.degraded {
+                        degraded.insert(node.service.clone());
+                        deg = true;
+                    }
+                    (n_in, outcome.results, outcome.calls, busy_ms, deg)
                 }
                 PlanNode::ParallelJoin(spec) => {
                     let left = outputs[preds_nodes[0].0].clone();
                     let right = outputs[preds_nodes[1].0].clone();
+                    let left_deg = node_degraded[preds_nodes[0].0];
+                    let right_deg = node_degraded[preds_nodes[1].0];
                     let n_in = left.len() + right.len();
                     // Chunk the branch materializations at the chunk
                     // size of their source service when identifiable.
@@ -141,12 +229,17 @@ pub fn execute_plan(
                     };
                     let mut sl = seco_join::executor::MemoryStream::new(left, cl);
                     let mut sr = seco_join::executor::MemoryStream::new(right, cr);
-                    let outcome = exec.run(&mut sl, &mut sr)?;
-                    (n_in, outcome.results, 0, 0.0)
+                    let outcome = if degrade {
+                        exec.run_with_degradation(&mut sl, &mut sr, left_deg, right_deg)?
+                    } else {
+                        exec.run(&mut sl, &mut sr)?
+                    };
+                    (n_in, outcome.results, 0, 0.0, left_deg || right_deg)
                 }
             };
         total_calls += calls;
         busy[id.0] = busy_ms;
+        node_degraded[id.0] = deg;
         trace.record(TraceEvent {
             node: id,
             label: plan.node(id)?.label(),
@@ -161,8 +254,11 @@ pub fn execute_plan(
     // Critical path over the DAG with the measured busy times.
     let mut finish = vec![0.0f64; plan.len()];
     for id in order {
-        let start =
-            plan.predecessors(id).iter().map(|p| finish[p.0]).fold(0.0f64, f64::max);
+        let start = plan
+            .predecessors(id)
+            .iter()
+            .map(|p| finish[p.0])
+            .fold(0.0f64, f64::max);
         finish[id.0] = start + busy[id.0];
     }
 
@@ -171,6 +267,7 @@ pub fn execute_plan(
         trace,
         critical_ms: finish[plan.output().0],
         total_calls,
+        degraded: degraded.into_iter().collect(),
     })
 }
 
@@ -261,17 +358,22 @@ mod tests {
         let result = execute_plan(&best.plan, &reg, ExecOptions::default()).unwrap();
         for c in &result.results {
             let found = oracle.iter().any(|o| {
-                q.atoms.iter().all(|a| o.component(&a.alias) == c.component(&a.alias))
+                q.atoms
+                    .iter()
+                    .all(|a| o.component(&a.alias) == c.component(&a.alias))
             });
-            assert!(found, "engine emitted a combination the oracle does not contain: {c}");
+            assert!(
+                found,
+                "engine emitted a combination the oracle does not contain: {c}"
+            );
         }
     }
 
     #[test]
     fn selection_nodes_filter() {
-        use seco_query::QueryBuilder;
         use seco_model::{Comparator, Value};
         use seco_plan::{PlanNode, QueryPlan, SelectionNode, ServiceNode};
+        use seco_query::QueryBuilder;
         let reg = seco_services::domains::travel::build_registry(5).unwrap();
         let q = QueryBuilder::new()
             .atom("C", "Conference1")
@@ -298,7 +400,10 @@ mod tests {
         // is an idempotent re-check.
         let w_event = result.trace.event(w).unwrap();
         assert_eq!(w_event.tuples_in, 20, "20 conferences pipe into Weather");
-        assert!(w_event.tuples_out < 20, "the temperature predicate discards many");
+        assert!(
+            w_event.tuples_out < 20,
+            "the temperature predicate discards many"
+        );
         let sel_event = result.trace.event(s).unwrap();
         assert_eq!(sel_event.tuples_in, w_event.tuples_out);
         assert_eq!(sel_event.tuples_out, sel_event.tuples_in);
@@ -314,10 +419,109 @@ mod tests {
     }
 
     #[test]
+    fn degrade_mode_survives_a_downed_service() {
+        use seco_services::synthetic::{DomainMap, SyntheticService};
+        use std::sync::Arc;
+        // Movie is hard down; Theatre and Restaurant are healthy.
+        let mut reg = seco_services::ServiceRegistry::new();
+        reg.register_service(Arc::new(
+            SyntheticService::new(entertainment::movie_interface(), DomainMap::new(), 1)
+                .with_failure_every(1),
+        ))
+        .unwrap();
+        reg.register_service(Arc::new(SyntheticService::new(
+            entertainment::theatre_interface(),
+            DomainMap::new(),
+            2,
+        )))
+        .unwrap();
+        reg.register_service(Arc::new(SyntheticService::new(
+            entertainment::restaurant_interface(),
+            DomainMap::new(),
+            3,
+        )))
+        .unwrap();
+        reg.register_pattern(entertainment::shows_pattern())
+            .unwrap();
+        reg.register_pattern(entertainment::dinner_place_pattern())
+            .unwrap();
+
+        let q = running_example();
+        let healthy = entertainment::build_registry(1).unwrap();
+        let best = optimize(&q, &healthy, CostMetric::RequestCount).unwrap();
+
+        // Abort (the default) still surfaces the failure as an error.
+        assert!(execute_plan(&best.plan, &reg, ExecOptions::default()).is_err());
+
+        // Degrade completes, reporting the failed service.
+        let opts = ExecOptions {
+            failure_mode: FailureMode::Degrade,
+            ..Default::default()
+        };
+        let result = execute_plan(&best.plan, &reg, opts).unwrap();
+        assert!(result.is_degraded());
+        assert_eq!(result.degraded, vec!["Movie1".to_string()]);
+    }
+
+    #[test]
+    fn resilient_client_recovers_transient_faults_and_stays_deterministic() {
+        use seco_services::FaultProfile;
+        // Transient-only faults: with enough retries the run must
+        // produce exactly the clean run's answers.
+        let faults = FaultProfile {
+            seed: 77,
+            transient_rate: 0.3,
+            spike_rate: 0.0,
+            spike_ms: 0.0,
+            empty_rate: 0.0,
+            outage: None,
+        };
+        let flaky = entertainment::build_registry_with_faults(1, faults).unwrap();
+        let clean = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let best = optimize(&q, &clean, CostMetric::RequestCount).unwrap();
+        let baseline = execute_plan(&best.plan, &clean, ExecOptions::default()).unwrap();
+
+        let cfg = ClientConfig {
+            retries: 6,
+            seed: 9,
+            ..Default::default()
+        };
+        let opts = ExecOptions {
+            failure_mode: FailureMode::Degrade,
+            client: Some(cfg),
+            ..Default::default()
+        };
+        flaky.reset_stats();
+        let run_a = execute_plan(&best.plan, &flaky, opts).unwrap();
+        let stats_a = flaky.total_stats();
+        assert_eq!(
+            run_a.results, baseline.results,
+            "retries must hide transient faults"
+        );
+        assert!(run_a.degraded.is_empty());
+        assert!(
+            stats_a.retries > 0,
+            "the flaky profile must have triggered retries"
+        );
+        // Retries consume virtual time, so the resilient run is slower.
+        assert!(run_a.critical_ms > baseline.critical_ms);
+
+        // Identical seeds ⇒ identical runs, counters included.
+        let flaky2 = entertainment::build_registry_with_faults(1, faults).unwrap();
+        let run_b = execute_plan(&best.plan, &flaky2, opts).unwrap();
+        let stats_b = flaky2.total_stats();
+        assert_eq!(run_a.results, run_b.results);
+        assert_eq!(run_a.critical_ms, run_b.critical_ms);
+        assert_eq!(stats_a.retries, stats_b.retries);
+        assert_eq!(stats_a.timeouts, stats_b.timeouts);
+    }
+
+    #[test]
     fn diamond_plans_merge_shared_ancestry() {
-        use seco_query::QueryBuilder;
         use seco_model::{Comparator, Value};
         use seco_plan::{Completion, Invocation, JoinSpec, PlanNode, QueryPlan, ServiceNode};
+        use seco_query::QueryBuilder;
         let reg = seco_services::domains::travel::build_registry(5).unwrap();
         let q = QueryBuilder::new()
             .atom("C", "Conference1")
@@ -331,7 +535,11 @@ mod tests {
             .build()
             .unwrap();
         let joins = q.expanded_joins(&reg).unwrap();
-        let same_trip: Vec<_> = joins.iter().filter(|j| j.connects("F", "H")).cloned().collect();
+        let same_trip: Vec<_> = joins
+            .iter()
+            .filter(|j| j.connects("F", "H"))
+            .cloned()
+            .collect();
         let mut p = QueryPlan::new(q);
         let c = p.add(PlanNode::Service(ServiceNode::new("C", "Conference1")));
         let f = p.add(PlanNode::Service(ServiceNode::new("F", "Flight1")));
@@ -348,7 +556,15 @@ mod tests {
         p.connect(f, j).unwrap();
         p.connect(h, j).unwrap();
         p.connect(j, p.output()).unwrap();
-        let result = execute_plan(&p, &reg, ExecOptions { join_k: 50 }).unwrap();
+        let result = execute_plan(
+            &p,
+            &reg,
+            ExecOptions {
+                join_k: 50,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(!result.results.is_empty());
         for combo in &result.results {
             // C appears once, not twice.
@@ -361,8 +577,10 @@ mod tests {
             let fs = &reg.interface("Flight1").unwrap().schema;
             let hs = &reg.interface("Hotel1").unwrap().schema;
             assert_eq!(
-                fl.first_value_at(fs, &seco_model::AttributePath::atomic("To")).unwrap(),
-                ht.first_value_at(hs, &seco_model::AttributePath::atomic("City")).unwrap()
+                fl.first_value_at(fs, &seco_model::AttributePath::atomic("To"))
+                    .unwrap(),
+                ht.first_value_at(hs, &seco_model::AttributePath::atomic("City"))
+                    .unwrap()
             );
         }
     }

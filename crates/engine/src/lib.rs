@@ -31,9 +31,9 @@ pub mod trace;
 
 pub use clock::{drive_pair, Clock, ClockPacing};
 pub use error::EngineError;
-pub use executor::{execute_plan, ExecOptions, ExecutionResult};
+pub use executor::{execute_plan, ExecOptions, ExecutionResult, FailureMode};
 pub use output::ResultSet;
-pub use parallel::execute_parallel;
+pub use parallel::{execute_parallel, execute_parallel_with, ParallelOutcome};
 pub use trace::{ExecutionTrace, TraceEvent};
 
 /// Result alias for engine operations.

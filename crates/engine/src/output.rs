@@ -17,12 +17,32 @@ pub struct ResultSet {
     pub tuples: Vec<CompositeTuple>,
     /// The query's global ranking function.
     pub ranking: RankingFunction,
+    /// Services whose failures degraded the answer (sorted; empty on a
+    /// clean run). A non-empty list flags the tuples as a *partial*
+    /// answer: correct combinations, but possibly missing some that the
+    /// failed services would have contributed.
+    pub degraded: Vec<String>,
 }
 
 impl ResultSet {
     /// Wraps an emission-ordered result list.
     pub fn new(tuples: Vec<CompositeTuple>, ranking: RankingFunction) -> Self {
-        ResultSet { tuples, ranking }
+        ResultSet {
+            tuples,
+            ranking,
+            degraded: Vec::new(),
+        }
+    }
+
+    /// Tags the result set with the services that degraded it.
+    pub fn with_degraded(mut self, degraded: Vec<String>) -> Self {
+        self.degraded = degraded;
+        self
+    }
+
+    /// True when some branch failed and the results are partial.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
     }
 
     /// Number of combinations.
@@ -102,12 +122,20 @@ mod tests {
         .unwrap();
         CompositeTuple::single(
             "X",
-            Tuple::builder(&schema).score(score).source_rank(rank).build().unwrap(),
+            Tuple::builder(&schema)
+                .score(score)
+                .source_rank(rank)
+                .build()
+                .unwrap(),
         )
     }
 
     fn set(scores: &[f64]) -> ResultSet {
-        let tuples = scores.iter().enumerate().map(|(i, s)| composite(*s, i)).collect();
+        let tuples = scores
+            .iter()
+            .enumerate()
+            .map(|(i, s)| composite(*s, i))
+            .collect();
         ResultSet::new(tuples, RankingFunction::uniform(1))
     }
 

@@ -14,23 +14,37 @@
 //! to exercise true pipelined execution (including failure propagation
 //! out of worker threads).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
+use seco_join::PipeJoin;
 use seco_model::CompositeTuple;
 use seco_plan::{PlanNode, QueryPlan};
 use seco_query::feasibility::analyze;
-use seco_query::predicate::{resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap};
-use seco_services::ServiceRegistry;
+use seco_query::predicate::{
+    resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap,
+};
+use seco_services::{Service, ServiceClient, ServiceRegistry};
 
 use crate::error::EngineError;
-use crate::executor::ExecOptions;
+use crate::executor::{ExecOptions, FailureMode};
 
 /// Channel capacity per plan arc; small enough to exercise
 /// backpressure, large enough to avoid senseless stalls.
 const ARC_CAPACITY: usize = 256;
+
+/// The outcome of a pipelined execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelOutcome {
+    /// Output combinations, in the output stage's arrival order.
+    pub results: Vec<CompositeTuple>,
+    /// Services whose failures degraded the answer (sorted,
+    /// deduplicated; empty on a clean run).
+    pub degraded: Vec<String>,
+}
 
 /// Executes a plan with one thread per node, returning the output
 /// combinations (in the output stage's arrival order).
@@ -39,13 +53,47 @@ pub fn execute_parallel(
     registry: &ServiceRegistry,
     options: ExecOptions,
 ) -> Result<Vec<CompositeTuple>, EngineError> {
+    execute_parallel_with(plan, registry, options).map(|o| o.results)
+}
+
+/// Like [`execute_parallel`], additionally reporting which services
+/// degraded the answer under [`FailureMode::Degrade`]. Resilience
+/// middleware ([`ExecOptions::client`]) runs in wall-clock mode here:
+/// backoff really sleeps and breaker cooldowns are real milliseconds.
+pub fn execute_parallel_with(
+    plan: &QueryPlan,
+    registry: &ServiceRegistry,
+    options: ExecOptions,
+) -> Result<ParallelOutcome, EngineError> {
     plan.validate()?;
     let report = analyze(&plan.query, registry)?;
     let joins = plan.query.expanded_joins(registry)?;
     let predicates = resolve_predicates(&plan.query, &joins)?;
     let mut schemas: SchemaMap<'_> = BTreeMap::new();
     for atom in &plan.query.atoms {
-        schemas.insert(atom.alias.clone(), &registry.interface(&atom.service)?.schema);
+        schemas.insert(
+            atom.alias.clone(),
+            &registry.interface(&atom.service)?.schema,
+        );
+    }
+
+    let degrade = options.failure_mode == FailureMode::Degrade;
+
+    // Which services feed each node, so a rendezvous join can attribute
+    // a recorded failure to its left or right branch. Workers record a
+    // degradation before dropping their senders, and a join only reads
+    // the set after both its channels closed, so the attribution is
+    // race-free.
+    let mut ancestors: Vec<BTreeSet<String>> = vec![BTreeSet::new(); plan.len()];
+    for id in plan.topo_order()? {
+        let mut set = BTreeSet::new();
+        for p in plan.predecessors(id) {
+            set.extend(ancestors[p.0].iter().cloned());
+        }
+        if let Ok(PlanNode::Service(node)) = plan.node(id) {
+            set.insert(node.service.clone());
+        }
+        ancestors[id.0] = set;
     }
 
     // One channel per arc.
@@ -59,6 +107,7 @@ pub fn execute_parallel(
 
     let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
     let output: Mutex<Vec<CompositeTuple>> = Mutex::new(Vec::new());
+    let degraded: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
 
     std::thread::scope(|scope| {
         for id in plan.node_ids() {
@@ -71,11 +120,14 @@ pub fn execute_parallel(
             };
             let my_senders = std::mem::take(&mut senders[id.0]);
             let my_receivers = std::mem::take(&mut receivers[id.0]);
+            let my_preds = plan.predecessors(id);
             let report = &report;
             let predicates = &predicates;
             let schemas = &schemas;
             let first_error = &first_error;
             let output = &output;
+            let degraded = &degraded;
+            let ancestors = &ancestors;
             let query = &plan.query;
             scope.spawn(move || {
                 let fail = |e: EngineError| {
@@ -94,7 +146,10 @@ pub fn execute_parallel(
                 };
                 match node {
                     PlanNode::Input => {
-                        send_all(CompositeTuple { atoms: Vec::new(), components: Vec::new() });
+                        send_all(CompositeTuple {
+                            atoms: Vec::new(),
+                            components: Vec::new(),
+                        });
                     }
                     PlanNode::Output => {
                         let mut collected = Vec::new();
@@ -104,11 +159,11 @@ pub fn execute_parallel(
                         *output.lock() = collected;
                     }
                     PlanNode::Selection(sel) => {
-                        let node_preds =
-                            match crate::executor::resolve_selection_node(&sel, query) {
-                                Ok(p) => p,
-                                Err(e) => return fail(e),
-                            };
+                        let node_preds = match crate::executor::resolve_selection_node(&sel, query)
+                        {
+                            Ok(p) => p,
+                            Err(e) => return fail(e),
+                        };
                         for c in my_receivers[0].iter() {
                             match satisfies_available(&node_preds, &c, schemas) {
                                 Ok(true) => {
@@ -122,25 +177,39 @@ pub fn execute_parallel(
                         }
                     }
                     PlanNode::Service(svc) => {
-                        let service = match registry.service(&svc.service) {
+                        let recorded = match registry.service(&svc.service) {
                             Ok(s) => s,
                             Err(e) => return fail(EngineError::Service(e)),
                         };
+                        // Wall-clock resilience: this executor runs real
+                        // threads, so backoff sleeps and breaker
+                        // cooldowns use real time.
+                        let handle: Arc<dyn Service> = match options.client {
+                            Some(cfg) => Arc::new(
+                                ServiceClient::for_recorded(recorded)
+                                    .config(cfg)
+                                    .wall_clock()
+                                    .build(),
+                            ),
+                            None => recorded,
+                        };
                         let bindings = report.bindings_of(&svc.atom);
+                        let stage = PipeJoin {
+                            atom: &svc.atom,
+                            bindings: &bindings,
+                            query_inputs: &query.inputs,
+                            predicates,
+                            schemas,
+                            fetches: svc.fetches as usize,
+                            keep_first: svc.keep_first,
+                            tolerate_failures: degrade,
+                        };
                         for input in my_receivers[0].iter() {
-                            let outcome = seco_join::pipe::pipe_join(
-                                std::slice::from_ref(&input),
-                                &svc.atom,
-                                service.as_ref(),
-                                &bindings,
-                                &query.inputs,
-                                predicates,
-                                schemas,
-                                svc.fetches as usize,
-                                svc.keep_first,
-                            );
-                            match outcome {
+                            match stage.run(std::slice::from_ref(&input), handle.as_ref()) {
                                 Ok(out) => {
+                                    if out.degraded {
+                                        degraded.lock().insert(svc.service.clone());
+                                    }
                                     for c in out.results {
                                         if !send_all(c) {
                                             return;
@@ -171,7 +240,20 @@ pub fn execute_parallel(
                         };
                         let mut sl = seco_join::executor::MemoryStream::new(left, 10);
                         let mut sr = seco_join::executor::MemoryStream::new(right, 10);
-                        match exec.run(&mut sl, &mut sr) {
+                        // Both channels are closed by now, so every
+                        // upstream degradation is already recorded.
+                        let joined = if degrade {
+                            let deg = degraded.lock();
+                            let left_failed =
+                                ancestors[my_preds[0].0].iter().any(|s| deg.contains(s));
+                            let right_failed =
+                                ancestors[my_preds[1].0].iter().any(|s| deg.contains(s));
+                            drop(deg);
+                            exec.run_with_degradation(&mut sl, &mut sr, left_failed, right_failed)
+                        } else {
+                            exec.run(&mut sl, &mut sr)
+                        };
+                        match joined {
                             Ok(outcome) => {
                                 for c in outcome.results {
                                     if !send_all(c) {
@@ -190,7 +272,10 @@ pub fn execute_parallel(
     if let Some(e) = first_error.lock().take() {
         return Err(e);
     }
-    Ok(output.into_inner())
+    Ok(ParallelOutcome {
+        results: output.into_inner(),
+        degraded: degraded.into_inner().into_iter().collect(),
+    })
 }
 
 #[cfg(test)]
@@ -212,7 +297,9 @@ mod tests {
         for c in &parallel {
             assert!(
                 sequential.results.iter().any(|s| {
-                    q.atoms.iter().all(|a| s.component(&a.alias) == c.component(&a.alias))
+                    q.atoms
+                        .iter()
+                        .all(|a| s.component(&a.alias) == c.component(&a.alias))
                 }),
                 "parallel emitted {c} which the sequential run lacks"
             );
@@ -242,14 +329,121 @@ mod tests {
             3,
         )))
         .unwrap();
-        reg.register_pattern(entertainment::shows_pattern()).unwrap();
-        reg.register_pattern(entertainment::dinner_place_pattern()).unwrap();
+        reg.register_pattern(entertainment::shows_pattern())
+            .unwrap();
+        reg.register_pattern(entertainment::dinner_place_pattern())
+            .unwrap();
 
         let q = running_example();
         // Reuse a plan optimized against a healthy registry.
         let healthy = entertainment::build_registry(1).unwrap();
         let best = optimize(&q, &healthy, CostMetric::RequestCount).unwrap();
         let err = execute_parallel(&best.plan, &reg, ExecOptions::default()).unwrap_err();
-        assert!(matches!(err, EngineError::Join(_) | EngineError::Service(_)), "{err}");
+        assert!(
+            matches!(err, EngineError::Join(_) | EngineError::Service(_)),
+            "{err}"
+        );
+
+        // The same downed registry under Degrade mode completes and
+        // names the culprit instead of erroring.
+        let opts = ExecOptions {
+            failure_mode: crate::executor::FailureMode::Degrade,
+            ..Default::default()
+        };
+        let outcome = execute_parallel_with(&best.plan, &reg, opts).unwrap();
+        assert_eq!(outcome.degraded, vec!["Movie1".to_string()]);
+    }
+
+    #[test]
+    fn degraded_parallel_join_passes_the_surviving_branch_through() {
+        use seco_model::{Comparator, Value};
+        use seco_plan::{Completion, Invocation, JoinSpec, PlanNode, QueryPlan, ServiceNode};
+        use seco_query::QueryBuilder;
+        use seco_services::domains::travel;
+        use seco_services::synthetic::{DomainMap, FaultProfile, SyntheticService};
+        use std::sync::Arc;
+        // Flight is hard down; the parallel join should pass the Hotel
+        // branch through instead of returning nothing. The healthy
+        // services mirror travel::build_registry(5).
+        let mut reg = seco_services::ServiceRegistry::new();
+        let city = seco_services::ValueDomain::new("city", 12);
+        let conf_domains = DomainMap::new().with(seco_model::AttributePath::atomic("City"), city);
+        reg.register_service(Arc::new(SyntheticService::new(
+            travel::conference_interface(),
+            conf_domains,
+            5 ^ 0x11,
+        )))
+        .unwrap();
+        reg.register_service(Arc::new(
+            SyntheticService::new(travel::flight_interface(), DomainMap::new(), 5 ^ 0x13)
+                .with_fault_profile(FaultProfile {
+                    outage: Some((0, u64::MAX)),
+                    ..FaultProfile::none()
+                }),
+        ))
+        .unwrap();
+        reg.register_service(Arc::new(SyntheticService::new(
+            travel::hotel_interface(),
+            DomainMap::new(),
+            5 ^ 0x14,
+        )))
+        .unwrap();
+        reg.register_pattern(travel::reached_by_pattern()).unwrap();
+        reg.register_pattern(travel::stay_at_pattern()).unwrap();
+        reg.register_pattern(travel::same_trip_pattern()).unwrap();
+
+        let q = QueryBuilder::new()
+            .atom("C", "Conference1")
+            .atom("F", "Flight1")
+            .atom("H", "Hotel1")
+            .pattern("ReachedBy", "C", "F")
+            .pattern("StayAt", "C", "H")
+            .pattern("SameTrip", "F", "H")
+            .select_const("C", "Topic", Comparator::Eq, Value::text("ai"))
+            .k(5)
+            .build()
+            .unwrap();
+        let joins = q.expanded_joins(&reg).unwrap();
+        let same_trip: Vec<_> = joins
+            .iter()
+            .filter(|j| j.connects("F", "H"))
+            .cloned()
+            .collect();
+        let mut p = QueryPlan::new(q);
+        let c = p.add(PlanNode::Service(ServiceNode::new("C", "Conference1")));
+        let f = p.add(PlanNode::Service(ServiceNode::new("F", "Flight1")));
+        let h = p.add(PlanNode::Service(ServiceNode::new("H", "Hotel1")));
+        let j = p.add(PlanNode::ParallelJoin(JoinSpec {
+            invocation: Invocation::merge_scan_even(),
+            completion: Completion::Triangular,
+            predicates: same_trip,
+            selectivity: 1.0,
+        }));
+        p.connect(p.input(), c).unwrap();
+        p.connect(c, f).unwrap();
+        p.connect(c, h).unwrap();
+        p.connect(f, j).unwrap();
+        p.connect(h, j).unwrap();
+        p.connect(j, p.output()).unwrap();
+
+        let opts = ExecOptions {
+            join_k: 5,
+            failure_mode: crate::executor::FailureMode::Degrade,
+            ..Default::default()
+        };
+        let outcome = execute_parallel_with(&p, &reg, opts).unwrap();
+        assert_eq!(outcome.degraded, vec!["Flight1".to_string()]);
+        assert!(!outcome.results.is_empty(), "the hotel branch must survive");
+        for combo in &outcome.results {
+            assert!(combo.component("H").is_some());
+            assert!(
+                combo.component("F").is_none(),
+                "the downed branch contributes nothing"
+            );
+        }
+        // The deterministic executor agrees on the degradation.
+        let seq = crate::executor::execute_plan(&p, &reg, opts).unwrap();
+        assert_eq!(seq.degraded, vec!["Flight1".to_string()]);
+        assert!(!seq.results.is_empty());
     }
 }

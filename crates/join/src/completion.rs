@@ -53,7 +53,9 @@ pub fn explore(
     ny: usize,
 ) -> Result<Exploration, JoinError> {
     if nx == 0 || ny == 0 {
-        return Err(JoinError::BadMethod { detail: "tile space must be non-empty".into() });
+        return Err(JoinError::BadMethod {
+            detail: "tile space must be non-empty".into(),
+        });
     }
     let scheduler = CallScheduler::new(invocation, h)?;
     let (r1, r2) = match invocation {
@@ -125,7 +127,11 @@ pub fn explore(
         tiles_per_call.push(order.len() - enabled_before);
     }
 
-    Ok(Exploration { calls, order, tiles_per_call })
+    Ok(Exploration {
+        calls,
+        order,
+        tiles_per_call,
+    })
 }
 
 #[cfg(test)]
@@ -137,7 +143,14 @@ mod tests {
     fn merge_scan_rectangular_grows_squares() {
         // Fig. 7: with r = 1/1 and rectangular completion the explored
         // region is a square of increasing size (1, 2, 3, 4 …).
-        let e = explore(Invocation::merge_scan_even(), Completion::Rectangular, 1, 4, 4).unwrap();
+        let e = explore(
+            Invocation::merge_scan_even(),
+            Completion::Rectangular,
+            1,
+            4,
+            4,
+        )
+        .unwrap();
         assert_eq!(&e.calls[..4], &[X, Y, X, Y]);
         assert_eq!(e.order.len(), 16);
         // After 2 calls: the 1×1 square; after 4: the 2×2 square, etc.
@@ -145,9 +158,14 @@ mod tests {
         let after4: std::collections::BTreeSet<Tile> = e.order[..4].iter().copied().collect();
         assert_eq!(
             after4,
-            [Tile::new(0, 0), Tile::new(1, 0), Tile::new(0, 1), Tile::new(1, 1)]
-                .into_iter()
-                .collect()
+            [
+                Tile::new(0, 0),
+                Tile::new(1, 0),
+                Tile::new(0, 1),
+                Tile::new(1, 1)
+            ]
+            .into_iter()
+            .collect()
         );
         let after9: std::collections::BTreeSet<Tile> = e.order[..9].iter().copied().collect();
         assert!(after9.contains(&Tile::new(2, 2)));
@@ -183,7 +201,14 @@ mod tests {
     fn triangular_processes_diagonally() {
         // Fig. 5b: the triangular wavefront admits tiles in
         // non-decreasing x+y order when r=1/1.
-        let e = explore(Invocation::merge_scan_even(), Completion::Triangular, 1, 3, 3).unwrap();
+        let e = explore(
+            Invocation::merge_scan_even(),
+            Completion::Triangular,
+            1,
+            3,
+            3,
+        )
+        .unwrap();
         assert_eq!(e.order.len(), 9);
         assert_eq!(e.order[0], Tile::new(0, 0));
         // The second and third processed tiles lie on the first
@@ -207,8 +232,22 @@ mod tests {
         // In a rectangular sweep t(1,1) of a 2×2 space is processed as
         // soon as loaded; triangular waits until the wavefront reaches
         // index sum 2 even though the tile is available earlier.
-        let rect = explore(Invocation::merge_scan_even(), Completion::Rectangular, 1, 2, 2).unwrap();
-        let tri = explore(Invocation::merge_scan_even(), Completion::Triangular, 1, 2, 2).unwrap();
+        let rect = explore(
+            Invocation::merge_scan_even(),
+            Completion::Rectangular,
+            1,
+            2,
+            2,
+        )
+        .unwrap();
+        let tri = explore(
+            Invocation::merge_scan_even(),
+            Completion::Triangular,
+            1,
+            2,
+            2,
+        )
+        .unwrap();
         let pos = |e: &Exploration, t: Tile| e.order.iter().position(|x| *x == t).unwrap();
         assert!(pos(&tri, Tile::new(1, 1)) >= pos(&rect, Tile::new(1, 1)));
         // Both cover the full space exactly once.
@@ -218,7 +257,10 @@ mod tests {
 
     #[test]
     fn exploration_covers_every_tile_exactly_once() {
-        for inv in [Invocation::NestedLoop, Invocation::MergeScan { r1: 2, r2: 3 }] {
+        for inv in [
+            Invocation::NestedLoop,
+            Invocation::MergeScan { r1: 2, r2: 3 },
+        ] {
             for comp in [Completion::Rectangular, Completion::Triangular] {
                 let e = explore(inv, comp, 2, 5, 4).unwrap();
                 let uniq: std::collections::BTreeSet<Tile> = e.order.iter().copied().collect();

@@ -66,7 +66,9 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = JoinError::BadMethod { detail: "zero ratio".into() };
+        let e = JoinError::BadMethod {
+            detail: "zero ratio".into(),
+        };
         assert!(e.to_string().contains("zero ratio"));
         assert!(std::error::Error::source(&e).is_none());
         let e: JoinError = ServiceError::UnknownService("s".into()).into();

@@ -37,7 +37,11 @@ impl<'a> ServiceStream<'a> {
     /// Creates a stream for `atom` answered by `service` under
     /// `request`'s bindings.
     pub fn new(atom: impl Into<String>, service: &'a dyn Service, request: Request) -> Self {
-        ServiceStream { atom: atom.into(), service, request }
+        ServiceStream {
+            atom: atom.into(),
+            service,
+            request,
+        }
     }
 }
 
@@ -63,7 +67,10 @@ impl MemoryStream {
     /// Chunks an already-materialized list.
     pub fn new(tuples: Vec<CompositeTuple>, chunk_size: usize) -> Self {
         let chunk_size = chunk_size.max(1);
-        let chunks = tuples.chunks(chunk_size).map(<[CompositeTuple]>::to_vec).collect();
+        let chunks = tuples
+            .chunks(chunk_size)
+            .map(<[CompositeTuple]>::to_vec)
+            .collect();
         MemoryStream { chunks }
     }
 }
@@ -89,6 +96,10 @@ pub struct JoinOutcome {
     /// True when the whole tile space was explored (no more results
     /// exist); false when the run stopped at the `k` target.
     pub exhausted: bool,
+    /// True when a branch failure degraded the outcome: `results` is
+    /// then a partial answer (possibly the surviving branch passed
+    /// through unjoined).
+    pub degraded: bool,
 }
 
 /// The parallel-join executor (§4.2.2).
@@ -225,7 +236,59 @@ impl ParallelJoinExecutor<'_> {
             && !more_y
             && done.len() == chunks_x.len() * chunks_y.len()
             && results.len() < target_k;
-        Ok(JoinOutcome { results, calls_x, calls_y, tiles: processed, exhausted })
+        Ok(JoinOutcome {
+            results,
+            calls_x,
+            calls_y,
+            tiles: processed,
+            exhausted,
+            degraded: false,
+        })
+    }
+
+    /// Runs the join with graceful degradation over branches that
+    /// (partially) failed upstream.
+    ///
+    /// `x_failed` / `y_failed` declare that a branch lost tuples to a
+    /// service failure. The join itself runs normally over whatever
+    /// survived — partial pairs are still correct pairs. But when the
+    /// failed branch contributed *nothing* and the join is therefore
+    /// empty, the executor passes the surviving branch's composites
+    /// through unjoined, in their own rank order, truncated at the `k`
+    /// target — a partial answer beats no answer, and the caller sees
+    /// `degraded = true` on the outcome (and the missing atoms on each
+    /// composite) to tell the two cases apart.
+    pub fn run_with_degradation(
+        &self,
+        x: &mut dyn ChunkStream,
+        y: &mut dyn ChunkStream,
+        x_failed: bool,
+        y_failed: bool,
+    ) -> Result<JoinOutcome, JoinError> {
+        let mut outcome = self.run(x, y)?;
+        outcome.degraded = x_failed || y_failed;
+        if outcome.results.is_empty() && (x_failed != y_failed) {
+            let survivor: &mut dyn ChunkStream = if x_failed { y } else { x };
+            let target_k = if self.k == 0 { usize::MAX } else { self.k };
+            let mut passed = Vec::new();
+            let mut idx = 0usize;
+            loop {
+                let (chunk, more) = survivor.fetch_chunk(idx)?;
+                idx += 1;
+                for composite in chunk {
+                    passed.push(composite);
+                    if passed.len() >= target_k {
+                        break;
+                    }
+                }
+                if passed.len() >= target_k || !more {
+                    break;
+                }
+            }
+            outcome.results = passed;
+            outcome.exhausted = false;
+        }
+        Ok(outcome)
     }
 
     /// Joins one tile: every pair of the two chunks, in (i, j) order.
@@ -241,7 +304,9 @@ impl ParallelJoinExecutor<'_> {
     ) -> Result<(), JoinError> {
         for a in cx {
             for b in cy {
-                let Some(candidate) = a.merge(b) else { continue };
+                let Some(candidate) = a.merge(b) else {
+                    continue;
+                };
                 if satisfies_available(self.predicates, &candidate, self.schemas)? {
                     out.push(candidate);
                 }
@@ -272,7 +337,12 @@ mod tests {
     }
 
     /// Builds a ranked composite list over a small city domain.
-    fn stream_data(atom: &str, schema: &ServiceSchema, n: usize, decay: ScoreDecay) -> Vec<CompositeTuple> {
+    fn stream_data(
+        atom: &str,
+        schema: &ServiceSchema,
+        n: usize,
+        decay: ScoreDecay,
+    ) -> Vec<CompositeTuple> {
         let f = seco_model::ScoringFunction::new(decay, n, 2).unwrap();
         (0..n)
             .map(|i| {
@@ -357,7 +427,12 @@ mod tests {
         assert_eq!(out.results.len(), 3);
         assert!(!out.exhausted);
         // Early termination saves calls: far fewer than the full 10+10.
-        assert!(out.calls_x + out.calls_y < 20, "stopped early with {} + {} calls", out.calls_x, out.calls_y);
+        assert!(
+            out.calls_x + out.calls_y < 20,
+            "stopped early with {} + {} calls",
+            out.calls_x,
+            out.calls_y
+        );
     }
 
     #[test]
@@ -365,7 +440,16 @@ mod tests {
         let sa = schema("A1");
         let sb = schema("B1");
         let (preds, schemas) = setup(&sa, &sb);
-        let a = stream_data("A", &sa, 8, ScoreDecay::Step { h: 2, high: 0.95, low: 0.05 });
+        let a = stream_data(
+            "A",
+            &sa,
+            8,
+            ScoreDecay::Step {
+                h: 2,
+                high: 0.95,
+                low: 0.05,
+            },
+        );
         let b = stream_data("B", &sb, 8, ScoreDecay::Linear);
         let exec = ParallelJoinExecutor {
             predicates: &preds,
@@ -405,9 +489,64 @@ mod tests {
     }
 
     #[test]
+    fn degraded_join_passes_the_surviving_branch_through_in_rank_order() {
+        let sa = schema("A1");
+        let sb = schema("B1");
+        let (preds, schemas) = setup(&sa, &sb);
+        let survivors = stream_data("A", &sa, 8, ScoreDecay::Linear);
+        let exec = ParallelJoinExecutor {
+            predicates: &preds,
+            schemas: &schemas,
+            invocation: Invocation::merge_scan_even(),
+            completion: Completion::Rectangular,
+            h: 1,
+            k: 3,
+        };
+        // B's branch lost everything to an outage upstream.
+        let mut ms_a = MemoryStream::new(survivors.clone(), 2);
+        let mut ms_b = MemoryStream::new(Vec::new(), 2);
+        let out = exec
+            .run_with_degradation(&mut ms_a, &mut ms_b, false, true)
+            .unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.results.len(), 3, "k-answer termination still applies");
+        // Pass-through preserves the survivor's rank order.
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(r, &survivors[i]);
+            assert_eq!(
+                r.arity(),
+                1,
+                "the failed atom is missing from the composite"
+            );
+        }
+        // A branch that degraded but still joined keeps real pairs.
+        let mut ms_a = MemoryStream::new(survivors.clone(), 2);
+        let mut ms_b = MemoryStream::new(stream_data("B", &sb, 4, ScoreDecay::Linear), 2);
+        let joined = exec
+            .run_with_degradation(&mut ms_a, &mut ms_b, false, true)
+            .unwrap();
+        assert!(joined.degraded);
+        assert!(joined.results.iter().all(|r| r.arity() == 2));
+        // Both branches down: nothing to pass through.
+        let mut ms_a = MemoryStream::new(Vec::new(), 2);
+        let mut ms_b = MemoryStream::new(Vec::new(), 2);
+        let none = exec
+            .run_with_degradation(&mut ms_a, &mut ms_b, true, true)
+            .unwrap();
+        assert!(none.degraded && none.results.is_empty());
+        // No failures: identical to a plain run.
+        let mut ms_a = MemoryStream::new(survivors, 2);
+        let mut ms_b = MemoryStream::new(stream_data("B", &sb, 4, ScoreDecay::Linear), 2);
+        let clean = exec
+            .run_with_degradation(&mut ms_a, &mut ms_b, false, false)
+            .unwrap();
+        assert!(!clean.degraded);
+    }
+
+    #[test]
     fn service_stream_adapts_requests() {
-        use seco_services::synthetic::{DomainMap, SyntheticService};
         use seco_model::{ServiceInterface, ServiceKind, ServiceStats};
+        use seco_services::synthetic::{DomainMap, SyntheticService};
         let iface = ServiceInterface::new(
             "S1",
             "S",

@@ -34,7 +34,7 @@ pub mod tile;
 pub use error::JoinError;
 pub use executor::{JoinOutcome, ParallelJoinExecutor};
 pub use method::{JoinMethod, Topology};
-pub use pipe::{pipe_join, PipeOutcome};
+pub use pipe::{pipe_join, PipeJoin, PipeOutcome};
 pub use strategy::{cost_based_ratio, CallScheduler, CallTarget, Pacing};
 pub use tile::{Tile, TileSpace};
 

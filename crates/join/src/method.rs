@@ -45,7 +45,11 @@ impl JoinMethod {
         for topology in [Topology::Pipe, Topology::Parallel] {
             for invocation in [Invocation::NestedLoop, Invocation::merge_scan_even()] {
                 for completion in [Completion::Rectangular, Completion::Triangular] {
-                    out.push(JoinMethod { topology, invocation, completion });
+                    out.push(JoinMethod {
+                        topology,
+                        invocation,
+                        completion,
+                    });
                 }
             }
         }
@@ -97,7 +101,11 @@ impl JoinMethod {
 
 impl fmt::Display for JoinMethod {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{}/{}", self.topology, self.invocation, self.completion)
+        write!(
+            f,
+            "{}/{}/{}",
+            self.topology, self.invocation, self.completion
+        )
     }
 }
 
@@ -119,7 +127,10 @@ mod tests {
 
     #[test]
     fn sensibility_excludes_nl_triangular() {
-        let sensible = JoinMethod::all().into_iter().filter(JoinMethod::makes_sense).count();
+        let sensible = JoinMethod::all()
+            .into_iter()
+            .filter(JoinMethod::makes_sense)
+            .count();
         assert_eq!(sensible, 6, "NL+triangular is excluded for both topologies");
         assert!(JoinMethod::pipe_default().makes_sense());
         assert!(JoinMethod::parallel_default().makes_sense());
@@ -139,6 +150,9 @@ mod tests {
     #[test]
     fn display_is_compact() {
         assert_eq!(JoinMethod::pipe_default().to_string(), "pipe/NL/rect");
-        assert_eq!(JoinMethod::parallel_default().to_string(), "parallel/MS(r=1/1)/tri");
+        assert_eq!(
+            JoinMethod::parallel_default().to_string(),
+            "parallel/MS(r=1/1)/tri"
+        );
     }
 }

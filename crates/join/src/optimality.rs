@@ -53,7 +53,9 @@ pub fn is_globally_extraction_optimal(order: &[Tile], space: &TileSpace) -> bool
     if order.len() != space.tile_count() {
         return false;
     }
-    order.windows(2).all(|w| space.representative(w[0]) >= space.representative(w[1]) - 1e-12)
+    order
+        .windows(2)
+        .all(|w| space.representative(w[0]) >= space.representative(w[1]) - 1e-12)
 }
 
 /// True when a tile order is **locally extraction-optimal**: every
@@ -128,8 +130,14 @@ mod tests {
         // §4.4.1: "The rectangular strategy is locally extraction-
         // optimal."
         let s = space(ScoreDecay::Linear, ScoreDecay::Linear, 40, 10);
-        let e = explore(Invocation::merge_scan_even(), Completion::Rectangular, 1, s.nx, s.ny)
-            .unwrap();
+        let e = explore(
+            Invocation::merge_scan_even(),
+            Completion::Rectangular,
+            1,
+            s.nx,
+            s.ny,
+        )
+        .unwrap();
         assert!(is_locally_extraction_optimal(&e.calls, &e.order, &s));
     }
 
@@ -138,8 +146,14 @@ mod tests {
         // §4.4.2: "The triangular extraction strategy is locally
         // extraction-optimal."
         let s = space(ScoreDecay::Linear, ScoreDecay::Linear, 40, 10);
-        let e = explore(Invocation::merge_scan_even(), Completion::Triangular, 1, s.nx, s.ny)
-            .unwrap();
+        let e = explore(
+            Invocation::merge_scan_even(),
+            Completion::Triangular,
+            1,
+            s.nx,
+            s.ny,
+        )
+        .unwrap();
         assert!(is_locally_extraction_optimal(&e.calls, &e.order, &s));
     }
 
@@ -150,11 +164,26 @@ mod tests {
         // correspondence to the h-th chunk, then the method is globally
         // extraction-optimal."
         let ideal = TileSpace::new(
-            ScoringFunction::new(ScoreDecay::Step { h: 2, high: 1.0, low: 0.0 }, 40, 10).unwrap(),
+            ScoringFunction::new(
+                ScoreDecay::Step {
+                    h: 2,
+                    high: 1.0,
+                    low: 0.0,
+                },
+                40,
+                10,
+            )
+            .unwrap(),
             ScoringFunction::new(ScoreDecay::Linear, 40, 10).unwrap(),
         );
-        let e = explore(Invocation::NestedLoop, Completion::Rectangular, 2, ideal.nx, ideal.ny)
-            .unwrap();
+        let e = explore(
+            Invocation::NestedLoop,
+            Completion::Rectangular,
+            2,
+            ideal.nx,
+            ideal.ny,
+        )
+        .unwrap();
         // With a hard 1→0 step the NL order is monotone in the
         // representative (all post-step tiles have representative 0).
         assert!(
@@ -183,9 +212,8 @@ mod tests {
             vec![AttributeDef::atomic("A", DataType::Int, Adornment::Output)],
         )
         .unwrap();
-        let mk = |s: f64| {
-            CompositeTuple::single("X", Tuple::builder(&schema).score(s).build().unwrap())
-        };
+        let mk =
+            |s: f64| CompositeTuple::single("X", Tuple::builder(&schema).score(s).build().unwrap());
         let sorted = vec![mk(0.9), mk(0.5), mk(0.1)];
         assert_eq!(score_product_inversions(&sorted), 0);
         assert_eq!(inversion_rate(&sorted), 0.0);
@@ -204,7 +232,12 @@ mod tests {
         // suboptimal under any decreasing scoring.
         let s = space(ScoreDecay::Linear, ScoreDecay::Linear, 20, 10);
         let calls = vec![CallTarget::X, CallTarget::Y, CallTarget::X, CallTarget::Y];
-        let bad_order = vec![Tile::new(1, 1), Tile::new(0, 0), Tile::new(1, 0), Tile::new(0, 1)];
+        let bad_order = vec![
+            Tile::new(1, 1),
+            Tile::new(0, 0),
+            Tile::new(1, 0),
+            Tile::new(0, 1),
+        ];
         assert!(!is_locally_extraction_optimal(&calls, &bad_order, &s));
         // Order referencing never-loaded chunks is rejected.
         let impossible = vec![Tile::new(3, 3)];

@@ -27,10 +27,16 @@ pub struct PipeOutcome {
     pub results: Vec<CompositeTuple>,
     /// Request-responses issued to the downstream service.
     pub calls: usize,
+    /// True when failure tolerance absorbed at least one service error:
+    /// `results` is then a (possibly empty) partial answer.
+    pub degraded: bool,
 }
 
-/// Executes one pipe-join stage: extends each input composite with the
-/// matching tuples of `service` (the query atom `atom`).
+/// A configured pipe-join stage: extends each input composite with the
+/// matching tuples of one downstream service (the query atom `atom`).
+///
+/// Replaces the previous nine-argument free function with a parameter
+/// struct the executors fill in once and run per batch of inputs.
 ///
 /// * `bindings` — the atom's input bindings from the feasibility
 ///   analysis (constants and pipes);
@@ -38,7 +44,119 @@ pub struct PipeOutcome {
 /// * `fetches` — chunks fetched per input composite (the fetch factor
 ///   `F` of §5.5);
 /// * `keep_first` — keep only the first (best-ranked) surviving result
-///   per input composite (the §5.6 `Restaurant` choice).
+///   per input composite (the §5.6 `Restaurant` choice);
+/// * `tolerate_failures` — graceful degradation: a service error stops
+///   the fetch loop for the failing input composite (marking the
+///   outcome degraded) instead of aborting the whole stage. Pairs with
+///   the resilience middleware: once a breaker opens, the remaining
+///   inputs short-circuit instantly and the stage returns whatever was
+///   joined before the outage.
+pub struct PipeJoin<'a> {
+    /// Alias of the query atom being joined in.
+    pub atom: &'a str,
+    /// Input bindings of the atom (constants and pipes).
+    pub bindings: &'a [&'a IoDependency],
+    /// Values of the query's `INPUT` variables.
+    pub query_inputs: &'a BTreeMap<String, Value>,
+    /// Predicates to check on each candidate composite.
+    pub predicates: &'a [ResolvedPredicate],
+    /// Alias → schema map for value extraction.
+    pub schemas: &'a SchemaMap<'a>,
+    /// Fetch factor `F` (chunks per input composite), min 1.
+    pub fetches: usize,
+    /// Keep only the best-ranked surviving result per input.
+    pub keep_first: bool,
+    /// Absorb service failures into a degraded partial outcome.
+    pub tolerate_failures: bool,
+}
+
+impl PipeJoin<'_> {
+    /// Runs the stage over a batch of input composites.
+    pub fn run(
+        &self,
+        inputs: &[CompositeTuple],
+        service: &dyn Service,
+    ) -> Result<PipeOutcome, JoinError> {
+        let fetches = self.fetches.max(1);
+        let mut results = Vec::new();
+        let mut calls = 0usize;
+        let mut degraded = false;
+
+        for input in inputs {
+            // Assemble the request for this input composite.
+            let mut request = Request::unbound();
+            for dep in self.bindings {
+                match &dep.source {
+                    BindingSource::Constant { operand, op } => {
+                        let value = operand
+                            .resolve(self.query_inputs)
+                            .map_err(JoinError::Query)?;
+                        if *op == Comparator::Eq {
+                            request = request.bind(dep.input.clone(), value);
+                        } else {
+                            request = request.constrain(dep.input.clone(), *op, value);
+                        }
+                    }
+                    BindingSource::Piped {
+                        from_atom,
+                        from_path,
+                    } => {
+                        let schema = self.schemas.get(from_atom).ok_or_else(|| {
+                            JoinError::Query(seco_query::QueryError::UnknownAtom(from_atom.clone()))
+                        })?;
+                        let tuple = input.component(from_atom).ok_or_else(|| {
+                            JoinError::Query(seco_query::QueryError::UnknownAtom(from_atom.clone()))
+                        })?;
+                        let value = tuple
+                            .first_value_at(schema, from_path)
+                            .map_err(JoinError::Model)?;
+                        request = request.bind(dep.input.clone(), value);
+                    }
+                }
+            }
+
+            // Fetch F chunks (rectangular completion per input tuple).
+            'chunks: for c in 0..fetches {
+                let resp = match service.fetch(&request.at_chunk(c)) {
+                    Ok(resp) => resp,
+                    Err(error) if self.tolerate_failures => {
+                        // This input composite loses its extension; the
+                        // stage carries on with the remaining inputs.
+                        let _ = error;
+                        degraded = true;
+                        break 'chunks;
+                    }
+                    Err(error) => return Err(JoinError::Service(error)),
+                };
+                calls += 1;
+                let has_more = resp.has_more;
+                for tuple in resp.tuples {
+                    let candidate = input.extend_with(self.atom.to_owned(), tuple);
+                    if satisfies_available(self.predicates, &candidate, self.schemas)? {
+                        results.push(candidate);
+                        if self.keep_first {
+                            break 'chunks;
+                        }
+                    }
+                }
+                if !has_more {
+                    break;
+                }
+            }
+        }
+
+        Ok(PipeOutcome {
+            results,
+            calls,
+            degraded,
+        })
+    }
+}
+
+/// Executes one pipe-join stage (strict mode: any service error aborts).
+///
+/// Convenience wrapper over [`PipeJoin`] kept for call sites that do
+/// not need degradation.
 #[allow(clippy::too_many_arguments)]
 pub fn pipe_join(
     inputs: &[CompositeTuple],
@@ -51,79 +169,37 @@ pub fn pipe_join(
     fetches: usize,
     keep_first: bool,
 ) -> Result<PipeOutcome, JoinError> {
-    let fetches = fetches.max(1);
-    let mut results = Vec::new();
-    let mut calls = 0usize;
-
-    for input in inputs {
-        // Assemble the request for this input composite.
-        let mut request = Request::unbound();
-        for dep in bindings {
-            match &dep.source {
-                BindingSource::Constant { operand, op } => {
-                    let value = operand.resolve(query_inputs).map_err(JoinError::Query)?;
-                    if *op == Comparator::Eq {
-                        request = request.bind(dep.input.clone(), value);
-                    } else {
-                        request = request.constrain(dep.input.clone(), *op, value);
-                    }
-                }
-                BindingSource::Piped { from_atom, from_path } => {
-                    let schema = schemas
-                        .get(from_atom)
-                        .ok_or_else(|| JoinError::Query(seco_query::QueryError::UnknownAtom(from_atom.clone())))?;
-                    let tuple = input.component(from_atom).ok_or_else(|| {
-                        JoinError::Query(seco_query::QueryError::UnknownAtom(from_atom.clone()))
-                    })?;
-                    let value = tuple.first_value_at(schema, from_path).map_err(JoinError::Model)?;
-                    request = request.bind(dep.input.clone(), value);
-                }
-            }
-        }
-
-        // Fetch F chunks (rectangular completion per input tuple).
-        let mut kept_for_input = 0usize;
-        'chunks: for c in 0..fetches {
-            let resp = service.fetch(&request.at_chunk(c))?;
-            calls += 1;
-            let has_more = resp.has_more;
-            for tuple in resp.tuples {
-                let candidate = input.extend_with(atom.to_owned(), tuple);
-                if satisfies_available(predicates, &candidate, schemas)? {
-                    results.push(candidate);
-                    kept_for_input += 1;
-                    if keep_first {
-                        break 'chunks;
-                    }
-                }
-            }
-            if !has_more {
-                break;
-            }
-        }
-        let _ = kept_for_input;
+    PipeJoin {
+        atom,
+        bindings,
+        query_inputs,
+        predicates,
+        schemas,
+        fetches,
+        keep_first,
+        tolerate_failures: false,
     }
-
-    Ok(PipeOutcome { results, calls })
+    .run(inputs, service)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use seco_model::AttributePath;
     use seco_query::builder::running_example;
     use seco_query::feasibility::analyze;
     use seco_query::predicate::resolve_predicates;
     use seco_services::domains::entertainment;
     use seco_services::invocation::Request;
-    use seco_model::AttributePath;
 
     /// Fetches the first theatre chunk and pipes it into Restaurant.
-    fn setup_theatre_inputs(
-        reg: &seco_services::ServiceRegistry,
-    ) -> Vec<CompositeTuple> {
+    fn setup_theatre_inputs(reg: &seco_services::ServiceRegistry) -> Vec<CompositeTuple> {
         let theatre = reg.service("Theatre1").unwrap();
         let req = Request::unbound()
-            .bind(AttributePath::atomic("UAddress"), Value::text("via Golgi 42"))
+            .bind(
+                AttributePath::atomic("UAddress"),
+                Value::text("via Golgi 42"),
+            )
             .bind(AttributePath::atomic("UCity"), Value::text("Milano"))
             .bind(AttributePath::atomic("UCountry"), Value::text("country-0"));
         use seco_services::Service as _;
@@ -180,8 +256,10 @@ mod tests {
             // The pipe carried the theatre address into the restaurant
             // lookup (echoed by the service).
             assert_eq!(
-                t.first_value_at(tschema, &AttributePath::atomic("TAddress")).unwrap(),
-                rr.first_value_at(rschema, &AttributePath::atomic("UAddress")).unwrap()
+                t.first_value_at(tschema, &AttributePath::atomic("TAddress"))
+                    .unwrap(),
+                rr.first_value_at(rschema, &AttributePath::atomic("UAddress"))
+                    .unwrap()
             );
         }
     }
@@ -201,13 +279,27 @@ mod tests {
         let bindings = report.bindings_of("R");
 
         let all = pipe_join(
-            &inputs, "R", restaurant.as_ref(), &bindings, &query.inputs,
-            &predicates, &schemas, 1, false,
+            &inputs,
+            "R",
+            restaurant.as_ref(),
+            &bindings,
+            &query.inputs,
+            &predicates,
+            &schemas,
+            1,
+            false,
         )
         .unwrap();
         let first_only = pipe_join(
-            &inputs, "R", restaurant.as_ref(), &bindings, &query.inputs,
-            &predicates, &schemas, 1, true,
+            &inputs,
+            "R",
+            restaurant.as_ref(),
+            &bindings,
+            &query.inputs,
+            &predicates,
+            &schemas,
+            1,
+            true,
         )
         .unwrap();
         assert!(first_only.results.len() <= inputs.len());
@@ -231,14 +323,68 @@ mod tests {
         let restaurant = reg.service("Restaurant1").unwrap();
         let bindings = report.bindings_of("R");
         let out = pipe_join(
-            &inputs, "R", restaurant.as_ref(), &bindings, &query.inputs,
-            &[], &schemas, 3, false,
+            &inputs,
+            "R",
+            restaurant.as_ref(),
+            &bindings,
+            &query.inputs,
+            &[],
+            &schemas,
+            3,
+            false,
         )
         .unwrap();
         // Restaurants hold 5 = one chunk, so has_more=false stops the
         // fetch loop after one call per input; empty answers also stop
         // after one call. Calls stay at one per input here.
         assert_eq!(out.calls, 5);
+    }
+
+    #[test]
+    fn tolerant_stage_degrades_instead_of_aborting() {
+        use seco_services::FaultProfile;
+        let reg = entertainment::build_registry(3).unwrap();
+        let query = running_example();
+        let report = analyze(&query, &reg).unwrap();
+        let mut schemas = SchemaMap::new();
+        for a in &query.atoms {
+            schemas.insert(a.alias.clone(), &reg.interface(&a.service).unwrap().schema);
+        }
+        let inputs = setup_theatre_inputs(&reg);
+        let bindings = report.bindings_of("R");
+        // A restaurant service that is hard-down from the start.
+        let downed = seco_services::SyntheticService::new(
+            entertainment::restaurant_interface(),
+            seco_services::DomainMap::new(),
+            3,
+        )
+        .with_fault_profile(FaultProfile {
+            outage: Some((0, u64::MAX)),
+            ..FaultProfile::none()
+        });
+        let stage = |tolerate| PipeJoin {
+            atom: "R",
+            bindings: &bindings,
+            query_inputs: &query.inputs,
+            predicates: &[],
+            schemas: &schemas,
+            fetches: 1,
+            keep_first: false,
+            tolerate_failures: tolerate,
+        };
+        let strict = stage(false).run(&inputs, &downed);
+        assert!(matches!(strict, Err(JoinError::Service(_))));
+        let tolerant = stage(true).run(&inputs, &downed).unwrap();
+        assert!(tolerant.degraded);
+        assert!(tolerant.results.is_empty());
+        assert_eq!(
+            tolerant.calls, 0,
+            "failed fetches are not counted as request-responses"
+        );
+        // A healthy service through the same stage is not degraded.
+        let healthy = reg.service("Restaurant1").unwrap();
+        let ok = stage(true).run(&inputs, healthy.as_ref()).unwrap();
+        assert!(!ok.degraded);
     }
 
     #[test]
@@ -250,8 +396,15 @@ mod tests {
         let restaurant = reg.service("Restaurant1").unwrap();
         let bindings = report.bindings_of("R");
         let out = pipe_join(
-            &[], "R", restaurant.as_ref(), &bindings, &query.inputs,
-            &[], &schemas, 1, false,
+            &[],
+            "R",
+            restaurant.as_ref(),
+            &bindings,
+            &query.inputs,
+            &[],
+            &schemas,
+            1,
+            false,
         )
         .unwrap();
         assert_eq!(out.calls, 0);

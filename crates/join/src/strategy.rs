@@ -65,7 +65,10 @@ impl CallScheduler {
             Invocation::MergeScan { r1, r2 } if r1 == 0 || r2 == 0 => Err(JoinError::BadMethod {
                 detail: format!("merge-scan ratio must be positive, got {r1}/{r2}"),
             }),
-            _ => Ok(CallScheduler { invocation, h_first }),
+            _ => Ok(CallScheduler {
+                invocation,
+                h_first,
+            }),
         }
     }
 
@@ -155,7 +158,10 @@ pub fn cost_based_ratio(
             }
         }
     }
-    seco_plan::Invocation::MergeScan { r1: best.0, r2: best.1 }
+    seco_plan::Invocation::MergeScan {
+        r1: best.0,
+        r2: best.1,
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +207,11 @@ mod tests {
         ] {
             let s = CallScheduler::new(inv, 2).unwrap();
             let seq = s.sequence(2);
-            assert_eq!(seq, vec![X, Y], "{inv:?} must open with one call per service");
+            assert_eq!(
+                seq,
+                vec![X, Y],
+                "{inv:?} must open with one call per service"
+            );
         }
     }
 
@@ -221,16 +231,31 @@ mod tests {
     #[test]
     fn cost_based_ratio_favours_the_cheaper_richer_service() {
         // Equal services -> even alternation.
-        assert_eq!(cost_based_ratio(10, 100.0, 10, 100.0), Invocation::MergeScan { r1: 1, r2: 1 });
+        assert_eq!(
+            cost_based_ratio(10, 100.0, 10, 100.0),
+            Invocation::MergeScan { r1: 1, r2: 1 }
+        );
         // X has double the chunk size at the same latency: call it twice
         // as often.
-        assert_eq!(cost_based_ratio(20, 100.0, 10, 100.0), Invocation::MergeScan { r1: 2, r2: 1 });
+        assert_eq!(
+            cost_based_ratio(20, 100.0, 10, 100.0),
+            Invocation::MergeScan { r1: 2, r2: 1 }
+        );
         // X is three times slower at the same chunk size: call it a
         // third as often.
-        assert_eq!(cost_based_ratio(10, 300.0, 10, 100.0), Invocation::MergeScan { r1: 1, r2: 3 });
+        assert_eq!(
+            cost_based_ratio(10, 300.0, 10, 100.0),
+            Invocation::MergeScan { r1: 1, r2: 3 }
+        );
         // The chapter's example ratio 3/5 arises from matching costs.
-        assert_eq!(cost_based_ratio(6, 100.0, 10, 100.0), Invocation::MergeScan { r1: 3, r2: 5 });
+        assert_eq!(
+            cost_based_ratio(6, 100.0, 10, 100.0),
+            Invocation::MergeScan { r1: 3, r2: 5 }
+        );
         // Extreme asymmetry clamps at 6.
-        assert_eq!(cost_based_ratio(100, 1.0, 1, 100.0), Invocation::MergeScan { r1: 6, r2: 1 });
+        assert_eq!(
+            cost_based_ratio(100, 1.0, 1, 100.0),
+            Invocation::MergeScan { r1: 6, r2: 1 }
+        );
     }
 }

@@ -67,7 +67,12 @@ impl TileSpace {
     /// Creates a tile space covering the two services' full result
     /// lists.
     pub fn new(fx: ScoringFunction, fy: ScoringFunction) -> Self {
-        TileSpace { nx: fx.chunk_count(), ny: fy.chunk_count(), fx, fy }
+        TileSpace {
+            nx: fx.chunk_count(),
+            ny: fy.chunk_count(),
+            fx,
+            fy,
+        }
     }
 
     /// Total number of tiles.
@@ -113,7 +118,9 @@ impl TileSpace {
     pub fn available(&self, m: usize, n: usize) -> Vec<Tile> {
         let m = m.min(self.nx);
         let n = n.min(self.ny);
-        (0..m).flat_map(|x| (0..n).map(move |y| Tile::new(x, y))).collect()
+        (0..m)
+            .flat_map(|x| (0..n).map(move |y| Tile::new(x, y)))
+            .collect()
     }
 }
 
@@ -142,7 +149,10 @@ mod tests {
         let t = Tile::new(1, 1);
         assert!(t.is_adjacent(&Tile::new(0, 1)));
         assert!(t.is_adjacent(&Tile::new(1, 2)));
-        assert!(!t.is_adjacent(&Tile::new(0, 0)), "diagonal tiles share no edge");
+        assert!(
+            !t.is_adjacent(&Tile::new(0, 0)),
+            "diagonal tiles share no edge"
+        );
         assert!(!t.is_adjacent(&t));
         assert_eq!(t.index_sum(), 2);
         assert_eq!(t.to_string(), "t(1,1)");

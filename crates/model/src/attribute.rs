@@ -101,7 +101,12 @@ pub struct SubAttributeDef {
 impl SubAttributeDef {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: DataType, adornment: Adornment) -> Self {
-        SubAttributeDef { name: name.into(), ty, adornment, domain: None }
+        SubAttributeDef {
+            name: name.into(),
+            ty,
+            adornment,
+            domain: None,
+        }
     }
 
     /// Tags the sub-attribute with an abstract domain, builder-style.
@@ -141,13 +146,21 @@ pub struct AttributeDef {
 impl AttributeDef {
     /// Builds an atomic attribute.
     pub fn atomic(name: impl Into<String>, ty: DataType, adornment: Adornment) -> Self {
-        AttributeDef { name: name.into(), kind: AttributeKind::Atomic(ty), adornment, domain: None }
+        AttributeDef {
+            name: name.into(),
+            kind: AttributeKind::Atomic(ty),
+            adornment,
+            domain: None,
+        }
     }
 
     /// Builds a repeating group. The group-level adornment is set to
     /// `Output`; callers adorn sub-attributes individually.
     pub fn group(name: impl Into<String>, subs: Vec<SubAttributeDef>) -> Self {
-        debug_assert!(!subs.is_empty(), "repeating groups are non-empty by definition");
+        debug_assert!(
+            !subs.is_empty(),
+            "repeating groups are non-empty by definition"
+        );
         AttributeDef {
             name: name.into(),
             kind: AttributeKind::Group(subs),
@@ -189,12 +202,18 @@ pub struct AttributePath {
 impl AttributePath {
     /// Path to an atomic attribute `A`.
     pub fn atomic(attr: impl Into<String>) -> Self {
-        AttributePath { attr: attr.into(), sub: None }
+        AttributePath {
+            attr: attr.into(),
+            sub: None,
+        }
     }
 
     /// Path to a sub-attribute `R.A` of a repeating group.
     pub fn sub(group: impl Into<String>, sub: impl Into<String>) -> Self {
-        AttributePath { attr: group.into(), sub: Some(sub.into()) }
+        AttributePath {
+            attr: group.into(),
+            sub: Some(sub.into()),
+        }
     }
 
     /// Parses `"A"` or `"R.A"`.
@@ -206,7 +225,9 @@ impl AttributePath {
         }
         match (parts.next(), parts.next()) {
             (None, _) => Some(AttributePath::atomic(attr)),
-            (Some(sub), None) if !sub.trim().is_empty() => Some(AttributePath::sub(attr, sub.trim())),
+            (Some(sub), None) if !sub.trim().is_empty() => {
+                Some(AttributePath::sub(attr, sub.trim()))
+            }
             _ => None,
         }
     }

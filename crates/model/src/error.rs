@@ -57,8 +57,14 @@ impl fmt::Display for ModelError {
             ModelError::UnknownAttribute { service, attribute } => {
                 write!(f, "unknown attribute `{attribute}` on service `{service}`")
             }
-            ModelError::KindMismatch { attribute, expected } => {
-                write!(f, "attribute `{attribute}` has the wrong kind: expected {expected}")
+            ModelError::KindMismatch {
+                attribute,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "attribute `{attribute}` has the wrong kind: expected {expected}"
+                )
             }
             ModelError::SchemaViolation { service, detail } => {
                 write!(f, "tuple violates schema of `{service}`: {detail}")
@@ -90,10 +96,16 @@ mod tests {
         assert!(e.to_string().contains("Genres.Genre"));
         assert!(e.to_string().contains("Movie"));
 
-        let e = ModelError::KindMismatch { attribute: "Title".into(), expected: "repeating group" };
+        let e = ModelError::KindMismatch {
+            attribute: "Title".into(),
+            expected: "repeating group",
+        };
         assert!(e.to_string().contains("repeating group"));
 
-        let e = ModelError::IncomparableValues { left: "1".into(), right: "\"x\"".into() };
+        let e = ModelError::IncomparableValues {
+            left: "1".into(),
+            right: "\"x\"".into(),
+        };
         assert!(e.to_string().contains("cannot compare"));
     }
 

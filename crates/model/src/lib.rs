@@ -33,9 +33,13 @@ pub mod stats;
 pub mod tuple;
 pub mod value;
 
-pub use attribute::{Adornment, AttributeDef, AttributeKind, AttributePath, DataType, SubAttributeDef};
+pub use attribute::{
+    Adornment, AttributeDef, AttributeKind, AttributePath, DataType, SubAttributeDef,
+};
 pub use error::ModelError;
-pub use mart::{AttributeHints, ConnectionPattern, JoinPair, ServiceInterface, ServiceKind, ServiceMart};
+pub use mart::{
+    AttributeHints, ConnectionPattern, JoinPair, ServiceInterface, ServiceKind, ServiceMart,
+};
 pub use schema::ServiceSchema;
 pub use scoring::{ScoreDecay, ScoringFunction};
 pub use stats::ServiceStats;

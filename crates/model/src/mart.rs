@@ -70,7 +70,10 @@ impl AttributeHints {
     /// Estimated selectivity of an equality predicate on `path`, if
     /// known.
     pub fn eq_selectivity(&self, path: &AttributePath) -> Option<f64> {
-        self.0.iter().find(|(p, _)| p == path).map(|(_, d)| 1.0 / *d as f64)
+        self.0
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, d)| 1.0 / *d as f64)
     }
 }
 
@@ -134,7 +137,15 @@ impl ServiceInterface {
                 }
             }
         }
-        Ok(ServiceInterface { name, mart: mart.into(), schema, kind, stats, decay, hints: AttributeHints::none() })
+        Ok(ServiceInterface {
+            name,
+            mart: mart.into(),
+            schema,
+            kind,
+            stats,
+            decay,
+            hints: AttributeHints::none(),
+        })
     }
 
     /// Adds a distinct-count hint for an attribute, builder-style.
@@ -182,7 +193,10 @@ pub struct ServiceMart {
 impl ServiceMart {
     /// Creates an empty mart.
     pub fn new(name: impl Into<String>) -> Self {
-        ServiceMart { name: name.into(), interfaces: Vec::new() }
+        ServiceMart {
+            name: name.into(),
+            interfaces: Vec::new(),
+        }
     }
 }
 
@@ -201,7 +215,11 @@ pub struct JoinPair {
 impl JoinPair {
     /// Equality pair, the common case.
     pub fn eq(from: AttributePath, to: AttributePath) -> Self {
-        JoinPair { from, to, op: Comparator::Eq }
+        JoinPair {
+            from,
+            to,
+            op: Comparator::Eq,
+        }
     }
 }
 
@@ -382,14 +400,26 @@ mod tests {
             "Shows",
             "Movie",
             "Theatre",
-            vec![JoinPair::eq(AttributePath::atomic("Title"), AttributePath::sub("Movie", "Title"))],
+            vec![JoinPair::eq(
+                AttributePath::atomic("Title"),
+                AttributePath::sub("Movie", "Title"),
+            )],
             0.02,
         )
         .unwrap();
         let txt = p.to_string();
         assert!(txt.contains("Shows(Movie, Theatre)"));
         assert!(txt.contains("Title = Movie.Title"));
-        assert!(ConnectionPattern::new("P", "A", "B",
-            vec![JoinPair::eq(AttributePath::atomic("X"), AttributePath::atomic("Y"))], 1.5).is_err());
+        assert!(ConnectionPattern::new(
+            "P",
+            "A",
+            "B",
+            vec![JoinPair::eq(
+                AttributePath::atomic("X"),
+                AttributePath::atomic("Y")
+            )],
+            1.5
+        )
+        .is_err());
     }
 }

@@ -31,7 +31,10 @@ impl ServiceSchema {
             if let AttributeKind::Group(subs) = &a.kind {
                 for (j, s) in subs.iter().enumerate() {
                     if subs[..j].iter().any(|t| t.name == s.name) {
-                        return Err(ModelError::DuplicateName(format!("{name}.{}.{}", a.name, s.name)));
+                        return Err(ModelError::DuplicateName(format!(
+                            "{name}.{}.{}",
+                            a.name, s.name
+                        )));
                     }
                 }
             }
@@ -53,10 +56,12 @@ impl ServiceSchema {
     /// checking shape: a `sub` path must address a group, a bare path must
     /// address an atomic attribute.
     pub fn resolve(&self, path: &AttributePath) -> Result<(usize, Option<usize>), ModelError> {
-        let idx = self.attr_index(&path.attr).ok_or_else(|| ModelError::UnknownAttribute {
-            service: self.name.clone(),
-            attribute: path.to_string(),
-        })?;
+        let idx = self
+            .attr_index(&path.attr)
+            .ok_or_else(|| ModelError::UnknownAttribute {
+                service: self.name.clone(),
+                attribute: path.to_string(),
+            })?;
         let def = &self.attributes[idx];
         match (&def.kind, &path.sub) {
             (AttributeKind::Atomic(_), None) => Ok((idx, None)),
@@ -224,10 +229,16 @@ impl ServiceSchema {
                     }
                 }
                 (AttributeKind::Atomic(_), crate::tuple::FieldSlot::Group(_)) => {
-                    return Err(violation(format!("attribute `{}` is atomic but slot holds a group", def.name)));
+                    return Err(violation(format!(
+                        "attribute `{}` is atomic but slot holds a group",
+                        def.name
+                    )));
                 }
                 (AttributeKind::Group(_), crate::tuple::FieldSlot::Atomic(_)) => {
-                    return Err(violation(format!("attribute `{}` is a group but slot holds an atomic value", def.name)));
+                    return Err(violation(format!(
+                        "attribute `{}` is a group but slot holds an atomic value",
+                        def.name
+                    )));
                 }
             }
         }
@@ -293,7 +304,11 @@ mod tests {
                 AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
                 AttributeDef::group(
                     "Genres",
-                    vec![SubAttributeDef::new("Genre", DataType::Text, Adornment::Input)],
+                    vec![SubAttributeDef::new(
+                        "Genre",
+                        DataType::Text,
+                        Adornment::Input,
+                    )],
                 ),
                 AttributeDef::group(
                     "Openings",
@@ -339,9 +354,18 @@ mod tests {
     #[test]
     fn resolve_paths() {
         let s = movie_schema();
-        assert_eq!(s.resolve(&AttributePath::atomic("Title")).unwrap(), (0, None));
-        assert_eq!(s.resolve(&AttributePath::sub("Genres", "Genre")).unwrap(), (2, Some(0)));
-        assert_eq!(s.resolve(&AttributePath::sub("Openings", "Date")).unwrap(), (3, Some(1)));
+        assert_eq!(
+            s.resolve(&AttributePath::atomic("Title")).unwrap(),
+            (0, None)
+        );
+        assert_eq!(
+            s.resolve(&AttributePath::sub("Genres", "Genre")).unwrap(),
+            (2, Some(0))
+        );
+        assert_eq!(
+            s.resolve(&AttributePath::sub("Openings", "Date")).unwrap(),
+            (3, Some(1))
+        );
         assert!(s.resolve(&AttributePath::atomic("Nope")).is_err());
         assert!(s.resolve(&AttributePath::sub("Title", "X")).is_err());
         assert!(s.resolve(&AttributePath::atomic("Genres")).is_err());
@@ -369,10 +393,17 @@ mod tests {
     #[test]
     fn type_of_and_adornment_of() {
         let s = movie_schema();
-        assert_eq!(s.type_of(&AttributePath::sub("Openings", "Date")).unwrap(), DataType::Date);
-        assert_eq!(s.adornment_of(&AttributePath::atomic("Score")).unwrap(), Adornment::Ranked);
         assert_eq!(
-            s.adornment_of(&AttributePath::sub("Genres", "Genre")).unwrap(),
+            s.type_of(&AttributePath::sub("Openings", "Date")).unwrap(),
+            DataType::Date
+        );
+        assert_eq!(
+            s.adornment_of(&AttributePath::atomic("Score")).unwrap(),
+            Adornment::Ranked
+        );
+        assert_eq!(
+            s.adornment_of(&AttributePath::sub("Genres", "Genre"))
+                .unwrap(),
             Adornment::Input
         );
     }
@@ -384,7 +415,13 @@ mod tests {
             .set("Title", Value::text("Up"))
             .set("Score", Value::float(0.9))
             .push_group_row("Genres", vec![Value::text("Animation")])
-            .push_group_row("Openings", vec![Value::text("Italy"), Value::Date(crate::value::Date::new(2009, 10, 15))])
+            .push_group_row(
+                "Openings",
+                vec![
+                    Value::text("Italy"),
+                    Value::Date(crate::value::Date::new(2009, 10, 15)),
+                ],
+            )
             .build()
             .unwrap();
         assert!(s.validate(&t).is_ok());

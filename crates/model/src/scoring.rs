@@ -146,7 +146,11 @@ impl ScoringFunction {
                 detail: "must be positive".into(),
             });
         }
-        Ok(ScoringFunction { decay, total, chunk_size })
+        Ok(ScoringFunction {
+            decay,
+            total,
+            chunk_size,
+        })
     }
 
     /// Score of the `i`-th ranked result.
@@ -200,7 +204,10 @@ mod tests {
         for i in 0..f.total {
             let s = f.score_at(i);
             assert!((0.0..=1.0).contains(&s), "score {s} out of range at {i}");
-            assert!(s <= prev + 1e-12, "score increased at rank {i}: {prev} -> {s}");
+            assert!(
+                s <= prev + 1e-12,
+                "score increased at rank {i}: {prev} -> {s}"
+            );
             prev = s;
         }
     }
@@ -208,7 +215,11 @@ mod tests {
     #[test]
     fn all_decays_are_non_increasing_and_bounded() {
         for decay in [
-            ScoreDecay::Step { h: 3, high: 0.95, low: 0.1 },
+            ScoreDecay::Step {
+                h: 3,
+                high: 0.95,
+                low: 0.1,
+            },
             ScoreDecay::Linear,
             ScoreDecay::Quadratic,
             ScoreDecay::Exponential { lambda: 3.0 },
@@ -221,7 +232,16 @@ mod tests {
 
     #[test]
     fn step_drops_after_h_chunks() {
-        let f = ScoringFunction::new(ScoreDecay::Step { h: 2, high: 1.0, low: 0.05 }, 100, 10).unwrap();
+        let f = ScoringFunction::new(
+            ScoreDecay::Step {
+                h: 2,
+                high: 1.0,
+                low: 0.05,
+            },
+            100,
+            10,
+        )
+        .unwrap();
         let before = f.score_at(19);
         let after = f.score_at(20);
         assert!(before > 0.9, "plateau score was {before}");
@@ -237,8 +257,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        assert!(ScoreDecay::Step { h: 0, high: 1.0, low: 0.0 }.validate().is_err());
-        assert!(ScoreDecay::Step { h: 1, high: 0.2, low: 0.5 }.validate().is_err());
+        assert!(ScoreDecay::Step {
+            h: 0,
+            high: 1.0,
+            low: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(ScoreDecay::Step {
+            h: 1,
+            high: 0.2,
+            low: 0.5
+        }
+        .validate()
+        .is_err());
         assert!(ScoreDecay::Exponential { lambda: 0.0 }.validate().is_err());
         assert!(ScoreDecay::Constant(1.5).validate().is_err());
         assert!(ScoringFunction::new(ScoreDecay::Linear, 10, 0).is_err());
@@ -246,7 +278,11 @@ mod tests {
 
     #[test]
     fn step_classification_helpers() {
-        let s = ScoreDecay::Step { h: 4, high: 1.0, low: 0.0 };
+        let s = ScoreDecay::Step {
+            h: 4,
+            high: 1.0,
+            low: 0.0,
+        };
         assert!(s.is_step());
         assert_eq!(s.step_chunks(), Some(4));
         assert!(!ScoreDecay::Linear.is_step());
@@ -263,6 +299,12 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(ScoreDecay::Linear.to_string(), "linear");
-        assert!(ScoreDecay::Step { h: 3, high: 0.9, low: 0.1 }.to_string().contains("h=3"));
+        assert!(ScoreDecay::Step {
+            h: 3,
+            high: 0.9,
+            low: 0.1
+        }
+        .to_string()
+        .contains("h=3"));
     }
 }

@@ -52,13 +52,23 @@ impl ServiceStats {
                 detail: "must be non-negative".into(),
             });
         }
-        Ok(ServiceStats { avg_cardinality, chunk_size, response_time_ms, cost_per_call })
+        Ok(ServiceStats {
+            avg_cardinality,
+            chunk_size,
+            response_time_ms,
+            cost_per_call,
+        })
     }
 
     /// Uniform defaults for quickly-sketched services: 10 tuples per
     /// call, chunks of 10, 100 ms per request-response, unit cost.
     pub fn uniform_default() -> Self {
-        ServiceStats { avg_cardinality: 10.0, chunk_size: 10, response_time_ms: 100.0, cost_per_call: 1.0 }
+        ServiceStats {
+            avg_cardinality: 10.0,
+            chunk_size: 10,
+            response_time_ms: 100.0,
+            cost_per_call: 1.0,
+        }
     }
 
     /// True if, on average, the service produces fewer output tuples
@@ -70,7 +80,9 @@ impl ServiceStats {
 
     /// Expected number of chunks in a full result list.
     pub fn expected_chunks(&self) -> usize {
-        (self.avg_cardinality / self.chunk_size as f64).ceil().max(0.0) as usize
+        (self.avg_cardinality / self.chunk_size as f64)
+            .ceil()
+            .max(0.0) as usize
     }
 }
 
@@ -97,7 +109,9 @@ mod tests {
     fn selectivity_threshold_is_one_tuple_per_call() {
         assert!(ServiceStats::new(0.25, 1, 1.0, 1.0).unwrap().is_selective());
         assert!(!ServiceStats::new(1.0, 1, 1.0, 1.0).unwrap().is_selective());
-        assert!(!ServiceStats::new(20.0, 10, 1.0, 1.0).unwrap().is_selective());
+        assert!(!ServiceStats::new(20.0, 10, 1.0, 1.0)
+            .unwrap()
+            .is_selective());
     }
 
     #[test]

@@ -68,7 +68,15 @@ impl Tuple {
                 AttributeKind::Group(_) => FieldSlot::Group(Vec::new()),
             })
             .collect();
-        TupleBuilder { schema, tuple: Tuple { fields, score: 1.0, source_rank: 0 }, error: None }
+        TupleBuilder {
+            schema,
+            tuple: Tuple {
+                fields,
+                score: 1.0,
+                source_rank: 0,
+            },
+            error: None,
+        }
     }
 
     /// The value of an atomic attribute by index (panics on group slots
@@ -103,7 +111,11 @@ impl Tuple {
     /// holds if *some* row of `R` satisfies it (together with the other
     /// predicates over `R`, handled by the semantics module in
     /// `seco-query`).
-    pub fn values_at(&self, schema: &ServiceSchema, path: &AttributePath) -> Result<Vec<Value>, ModelError> {
+    pub fn values_at(
+        &self,
+        schema: &ServiceSchema,
+        path: &AttributePath,
+    ) -> Result<Vec<Value>, ModelError> {
         let (idx, sidx) = schema.resolve(path)?;
         Ok(match sidx {
             None => vec![self.atomic_at(idx).clone()],
@@ -123,7 +135,11 @@ impl Tuple {
         schema: &ServiceSchema,
         path: &AttributePath,
     ) -> Result<Value, ModelError> {
-        Ok(self.values_at(schema, path)?.into_iter().next().unwrap_or(Value::Null))
+        Ok(self
+            .values_at(schema, path)?
+            .into_iter()
+            .next()
+            .unwrap_or(Value::Null))
     }
 }
 
@@ -225,7 +241,10 @@ pub struct CompositeTuple {
 impl CompositeTuple {
     /// A composite with a single component.
     pub fn single(atom: impl Into<String>, tuple: Tuple) -> Self {
-        CompositeTuple { atoms: vec![atom.into()], components: vec![tuple] }
+        CompositeTuple {
+            atoms: vec![atom.into()],
+            components: vec![tuple],
+        }
     }
 
     /// Concatenates two composites: `self · other`.
@@ -272,7 +291,10 @@ impl CompositeTuple {
 
     /// Component tuple for a given atom alias.
     pub fn component(&self, atom: &str) -> Option<&Tuple> {
-        self.atoms.iter().position(|a| a == atom).map(|i| &self.components[i])
+        self.atoms
+            .iter()
+            .position(|a| a == atom)
+            .map(|i| &self.components[i])
     }
 
     /// Global score under a weight vector aligned with `atoms`
@@ -355,8 +377,14 @@ mod tests {
 
     #[test]
     fn builder_rejects_unknown_and_mismatched_names() {
-        assert!(Tuple::builder(&schema()).set("Nope", Value::Int(1)).build().is_err());
-        assert!(Tuple::builder(&schema()).set("R", Value::Int(1)).build().is_err());
+        assert!(Tuple::builder(&schema())
+            .set("Nope", Value::Int(1))
+            .build()
+            .is_err());
+        assert!(Tuple::builder(&schema())
+            .set("R", Value::Int(1))
+            .build()
+            .is_err());
         assert!(Tuple::builder(&schema())
             .push_group_row("A", vec![Value::Int(1)])
             .build()
@@ -375,12 +403,18 @@ mod tests {
     fn values_at_atomic_and_group_paths() {
         let t = sample();
         let s = schema();
-        assert_eq!(t.values_at(&s, &AttributePath::atomic("A")).unwrap(), vec![Value::Int(7)]);
+        assert_eq!(
+            t.values_at(&s, &AttributePath::atomic("A")).unwrap(),
+            vec![Value::Int(7)]
+        );
         assert_eq!(
             t.values_at(&s, &AttributePath::sub("R", "X")).unwrap(),
             vec![Value::Int(1), Value::Int(2)]
         );
-        assert_eq!(t.first_value_at(&s, &AttributePath::sub("R", "Y")).unwrap(), Value::text("x"));
+        assert_eq!(
+            t.first_value_at(&s, &AttributePath::sub("R", "Y")).unwrap(),
+            Value::text("x")
+        );
     }
 
     #[test]
@@ -400,15 +434,30 @@ mod tests {
 
     #[test]
     fn composite_merge_respects_shared_atoms() {
-        let t1 = Tuple::builder(&schema()).set("A", Value::Int(1)).score(0.9).build().unwrap();
-        let t2 = Tuple::builder(&schema()).set("A", Value::Int(2)).score(0.8).build().unwrap();
-        let t3 = Tuple::builder(&schema()).set("A", Value::Int(3)).score(0.7).build().unwrap();
+        let t1 = Tuple::builder(&schema())
+            .set("A", Value::Int(1))
+            .score(0.9)
+            .build()
+            .unwrap();
+        let t2 = Tuple::builder(&schema())
+            .set("A", Value::Int(2))
+            .score(0.8)
+            .build()
+            .unwrap();
+        let t3 = Tuple::builder(&schema())
+            .set("A", Value::Int(3))
+            .score(0.7)
+            .build()
+            .unwrap();
         // Branch 1: C · F, branch 2: C · H with the SAME C.
         let b1 = CompositeTuple::single("C", t1.clone()).extend_with("F", t2.clone());
         let b2 = CompositeTuple::single("C", t1.clone()).extend_with("H", t3.clone());
         let merged = b1.merge(&b2).expect("same shared component merges");
         assert_eq!(merged.arity(), 3);
-        assert_eq!(merged.atoms, vec!["C".to_owned(), "F".to_owned(), "H".to_owned()]);
+        assert_eq!(
+            merged.atoms,
+            vec!["C".to_owned(), "F".to_owned(), "H".to_owned()]
+        );
         // Different C components must refuse to merge.
         let b3 = CompositeTuple::single("C", t2).extend_with("H", t3);
         assert!(b1.merge(&b3).is_none());
@@ -429,7 +478,11 @@ mod tests {
 
     #[test]
     fn composite_display_is_compact() {
-        let t = Tuple::builder(&schema()).score(0.25).source_rank(2).build().unwrap();
+        let t = Tuple::builder(&schema())
+            .score(0.25)
+            .source_rank(2)
+            .build()
+            .unwrap();
         let c = CompositeTuple::single("M", t);
         assert_eq!(c.to_string(), "⟨M#2(s=0.250)⟩");
     }

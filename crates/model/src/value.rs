@@ -33,7 +33,11 @@ impl Date {
     /// keeps the invariant `1 <= month <= 12 && 1 <= day <= 31` without
     /// forcing every generator to handle an error case.
     pub fn new(year: i32, month: u8, day: u8) -> Self {
-        Date { year, month: month.clamp(1, 12), day: day.clamp(1, 31) }
+        Date {
+            year,
+            month: month.clamp(1, 12),
+            day: day.clamp(1, 31),
+        }
     }
 
     /// A total order key useful for arithmetic on synthetic dates.
@@ -47,7 +51,11 @@ impl Date {
         let rem = ord.rem_euclid(372);
         let month = rem / 31 + 1;
         let day = rem % 31 + 1;
-        Date { year: year as i32, month: month as u8, day: day as u8 }
+        Date {
+            year: year as i32,
+            month: month as u8,
+            day: day as u8,
+        }
     }
 }
 
@@ -338,8 +346,14 @@ mod tests {
 
     #[test]
     fn numeric_promotion_compares_int_and_float() {
-        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)).unwrap(), Ordering::Equal);
-        assert_eq!(Value::Float(1.5).compare(&Value::Int(2)).unwrap(), Ordering::Less);
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.0)).unwrap(),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::Float(1.5).compare(&Value::Int(2)).unwrap(),
+            Ordering::Less
+        );
     }
 
     #[test]
@@ -399,8 +413,13 @@ mod tests {
         assert!(Comparator::Like
             .eval(&Value::text("Pizzeria Roma"), &Value::text("Pizzeria%"))
             .unwrap());
-        assert!(Comparator::Like.eval(&Value::Null, &Value::text("x%")).map(|b| !b).unwrap());
-        assert!(Comparator::Like.eval(&Value::Int(3), &Value::text("3")).is_err());
+        assert!(Comparator::Like
+            .eval(&Value::Null, &Value::text("x%"))
+            .map(|b| !b)
+            .unwrap());
+        assert!(Comparator::Like
+            .eval(&Value::Int(3), &Value::text("3"))
+            .is_err());
     }
 
     #[test]

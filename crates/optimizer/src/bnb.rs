@@ -244,7 +244,11 @@ mod tests {
             .plan
             .node_ids()
             .any(|id| matches!(best.plan.node(id), Ok(PlanNode::ParallelJoin(_))));
-        assert!(has_parallel, "plan:\n{}", seco_plan::display::ascii(&best.plan, None).unwrap());
+        assert!(
+            has_parallel,
+            "plan:\n{}",
+            seco_plan::display::ascii(&best.plan, None).unwrap()
+        );
     }
 
     #[test]
@@ -252,7 +256,10 @@ mod tests {
         let reg = entertainment::build_registry(1).unwrap();
         let q = running_example();
         let mut costs = Vec::new();
-        for p2 in [Phase2Heuristic::ParallelIsBetter, Phase2Heuristic::SelectiveFirst] {
+        for p2 in [
+            Phase2Heuristic::ParallelIsBetter,
+            Phase2Heuristic::SelectiveFirst,
+        ] {
             for p3 in [Phase3Heuristic::Greedy, Phase3Heuristic::SquareIsBetter] {
                 let mut opt = Optimizer::new(&reg, CostMetric::RequestCount);
                 opt.heuristics.phase2 = p2;
@@ -267,7 +274,10 @@ mod tests {
         // All runs agree on cost up to phase-3 heuristic differences.
         let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = costs.iter().cloned().fold(0.0, f64::max);
-        assert!(max <= min * 2.0 + 1e-9, "heuristic spread too large: {costs:?}");
+        assert!(
+            max <= min * 2.0 + 1e-9,
+            "heuristic spread too large: {costs:?}"
+        );
     }
 
     #[test]

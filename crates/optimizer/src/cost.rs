@@ -136,7 +136,11 @@ fn node_time(
     Ok(match plan.node(id)? {
         PlanNode::Service(node) => {
             let iface = registry.interface(&node.service)?;
-            let calls = if first_tuple { 1.0 } else { annotated.annotation(id).calls };
+            let calls = if first_tuple {
+                1.0
+            } else {
+                annotated.annotation(id).calls
+            };
             calls * iface.stats.response_time_ms
         }
         // Join, selection, input, and output are main-memory operations;
@@ -160,17 +164,27 @@ mod tests {
         let reg = entertainment::build_registry(1).unwrap();
         let query = running_example();
         let mut p = QueryPlan::new(query.clone());
-        let m = p.add(PlanNode::Service(ServiceNode::new("M", "Movie1").with_fetches(5)));
-        let t = p.add(PlanNode::Service(ServiceNode::new("T", "Theatre1").with_fetches(5)));
+        let m = p.add(PlanNode::Service(
+            ServiceNode::new("M", "Movie1").with_fetches(5),
+        ));
+        let t = p.add(PlanNode::Service(
+            ServiceNode::new("T", "Theatre1").with_fetches(5),
+        ));
         let joins = query.expanded_joins(&reg).unwrap();
-        let shows: Vec<_> = joins.iter().filter(|j| j.connects("M", "T")).cloned().collect();
+        let shows: Vec<_> = joins
+            .iter()
+            .filter(|j| j.connects("M", "T"))
+            .cloned()
+            .collect();
         let j = p.add(PlanNode::ParallelJoin(seco_plan::JoinSpec {
             invocation: seco_plan::Invocation::merge_scan_even(),
             completion: seco_plan::Completion::Triangular,
             predicates: shows,
             selectivity: entertainment::SHOWS_SELECTIVITY,
         }));
-        let r = p.add(PlanNode::Service(ServiceNode::new("R", "Restaurant1").with_keep_first()));
+        let r = p.add(PlanNode::Service(
+            ServiceNode::new("R", "Restaurant1").with_keep_first(),
+        ));
         p.connect(p.input(), m).unwrap();
         p.connect(p.input(), t).unwrap();
         p.connect(m, j).unwrap();
@@ -184,7 +198,9 @@ mod tests {
     fn request_count_counts_calls() {
         let (plan, reg) = fig10();
         let ann = annotate(&plan, &reg, &AnnotationConfig::default()).unwrap();
-        let c = CostMetric::RequestCount.evaluate(&plan, &ann, &reg).unwrap();
+        let c = CostMetric::RequestCount
+            .evaluate(&plan, &ann, &reg)
+            .unwrap();
         // 5 Movie + 5 Theatre + 25 Restaurant.
         assert_eq!(c, 35.0);
     }
@@ -202,7 +218,9 @@ mod tests {
     fn execution_time_takes_the_slowest_path() {
         let (plan, reg) = fig10();
         let ann = annotate(&plan, &reg, &AnnotationConfig::default()).unwrap();
-        let c = CostMetric::ExecutionTime.evaluate(&plan, &ann, &reg).unwrap();
+        let c = CostMetric::ExecutionTime
+            .evaluate(&plan, &ann, &reg)
+            .unwrap();
         // Movie branch: 5 × 120 = 600; Theatre branch: 5 × 80 = 400.
         // Restaurant: 25 × 60 = 1500. Critical path = 600 + 1500.
         assert_eq!(c, 2100.0);
@@ -220,7 +238,9 @@ mod tests {
     fn time_to_screen_uses_one_call_per_service() {
         let (plan, reg) = fig10();
         let ann = annotate(&plan, &reg, &AnnotationConfig::default()).unwrap();
-        let c = CostMetric::TimeToScreen.evaluate(&plan, &ann, &reg).unwrap();
+        let c = CostMetric::TimeToScreen
+            .evaluate(&plan, &ann, &reg)
+            .unwrap();
         // max(120, 80) + 60 = 180.
         assert_eq!(c, 180.0);
     }
@@ -253,18 +273,35 @@ mod tests {
             .input("I1", seco_model::Value::text("x"))
             .input("I2", seco_model::Value::text("x"))
             .input("I3", seco_model::Value::text("x"))
-            .input("I4", seco_model::Value::Date(seco_model::Date::new(2009, 1, 1)))
+            .input(
+                "I4",
+                seco_model::Value::Date(seco_model::Date::new(2009, 1, 1)),
+            )
             .build()
             .unwrap();
         let mut p = QueryPlan::new(q);
-        let m = p.add(PlanNode::Service(ServiceNode::new("M", "Movie1").with_fetches(2)));
+        let m = p.add(PlanNode::Service(
+            ServiceNode::new("M", "Movie1").with_fetches(2),
+        ));
         p.connect(p.input(), m).unwrap();
         p.connect(m, p.output()).unwrap();
         let ann = annotate(&p, &reg, &AnnotationConfig::default()).unwrap();
-        assert_eq!(CostMetric::RequestCount.evaluate(&p, &ann, &reg).unwrap(), 2.0);
-        assert_eq!(CostMetric::ExecutionTime.evaluate(&p, &ann, &reg).unwrap(), 240.0);
-        assert_eq!(CostMetric::TimeToScreen.evaluate(&p, &ann, &reg).unwrap(), 120.0);
-        assert_eq!(CostMetric::Bottleneck.evaluate(&p, &ann, &reg).unwrap(), 240.0);
+        assert_eq!(
+            CostMetric::RequestCount.evaluate(&p, &ann, &reg).unwrap(),
+            2.0
+        );
+        assert_eq!(
+            CostMetric::ExecutionTime.evaluate(&p, &ann, &reg).unwrap(),
+            240.0
+        );
+        assert_eq!(
+            CostMetric::TimeToScreen.evaluate(&p, &ann, &reg).unwrap(),
+            120.0
+        );
+        assert_eq!(
+            CostMetric::Bottleneck.evaluate(&p, &ann, &reg).unwrap(),
+            240.0
+        );
     }
 
     #[test]

@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = OptError::Unreachable { best_estimate: 3.5, k: 10 };
+        let e = OptError::Unreachable {
+            best_estimate: 3.5,
+            k: 10,
+        };
         assert!(e.to_string().contains("k=10"));
         assert!(std::error::Error::source(&e).is_none());
         let e: OptError = QueryError::UnknownAtom("a".into()).into();

@@ -62,8 +62,12 @@ pub fn optimize_exhaustive_with_costs(
                     costs.push(cost);
                     let better = incumbent.as_ref().map(|b| cost < b.cost).unwrap_or(true);
                     if better {
-                        incumbent =
-                            Some(Optimized { plan, annotated, cost, stats: SearchStats::default() });
+                        incumbent = Some(Optimized {
+                            plan,
+                            annotated,
+                            cost,
+                            stats: SearchStats::default(),
+                        });
                     }
                 }
                 Err(e @ OptError::Unreachable { .. }) => {
@@ -79,8 +83,10 @@ pub fn optimize_exhaustive_with_costs(
             best.stats = stats;
             Ok((best, costs))
         }
-        None => Err(last_unreachable
-            .unwrap_or(OptError::Unreachable { best_estimate: 0.0, k: query.k })),
+        None => Err(last_unreachable.unwrap_or(OptError::Unreachable {
+            best_estimate: 0.0,
+            k: query.k,
+        })),
     }
 }
 
@@ -94,8 +100,8 @@ mod tests {
     fn exhaustive_explores_everything() {
         let reg = entertainment::build_registry(1).unwrap();
         let q = running_example();
-        let (best, costs) = optimize_exhaustive_with_costs(&q, &reg, CostMetric::RequestCount)
-            .unwrap();
+        let (best, costs) =
+            optimize_exhaustive_with_costs(&q, &reg, CostMetric::RequestCount).unwrap();
         assert_eq!(best.stats.pruned, 0);
         assert_eq!(best.stats.instantiated, best.stats.topologies);
         assert!(!costs.is_empty());

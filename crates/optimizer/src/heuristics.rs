@@ -128,8 +128,14 @@ mod tests {
     fn phase1_keys_order_opposite_ways() {
         let b = Phase1Heuristic::BoundIsBetter;
         let u = Phase1Heuristic::UnboundIsEasier;
-        assert!(b.key(5) < b.key(1), "bound-is-better tries many-input interfaces first");
-        assert!(u.key(1) < u.key(5), "unbound-is-easier tries few-input interfaces first");
+        assert!(
+            b.key(5) < b.key(1),
+            "bound-is-better tries many-input interfaces first"
+        );
+        assert!(
+            u.key(1) < u.key(5),
+            "unbound-is-easier tries few-input interfaces first"
+        );
     }
 
     #[test]
@@ -140,9 +146,18 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert_eq!(HeuristicSet::default().to_string(), "bound-is-better/parallel-is-better/square-is-better");
+        assert_eq!(
+            HeuristicSet::default().to_string(),
+            "bound-is-better/parallel-is-better/square-is-better"
+        );
         assert_eq!(Phase3Heuristic::Greedy.to_string(), "greedy");
-        assert_eq!(Phase2Heuristic::SelectiveFirst.to_string(), "selective-first");
-        assert_eq!(Phase1Heuristic::UnboundIsEasier.to_string(), "unbound-is-easier");
+        assert_eq!(
+            Phase2Heuristic::SelectiveFirst.to_string(),
+            "selective-first"
+        );
+        assert_eq!(
+            Phase1Heuristic::UnboundIsEasier.to_string(),
+            "unbound-is-easier"
+        );
     }
 }

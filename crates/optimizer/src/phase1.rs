@@ -37,9 +37,9 @@ fn candidates_for(
     }
     let mut ifaces = registry.interfaces_of_mart(service_or_mart);
     if ifaces.is_empty() {
-        return Err(OptError::Service(seco_services::ServiceError::UnknownService(
-            service_or_mart.to_owned(),
-        )));
+        return Err(OptError::Service(
+            seco_services::ServiceError::UnknownService(service_or_mart.to_owned()),
+        ));
     }
     ifaces.sort_by_key(|i| (heuristic.key(i.input_arity()), i.name.clone()));
     Ok(ifaces.into_iter().map(|i| i.name.clone()).collect())
@@ -115,8 +115,8 @@ mod tests {
     #[test]
     fn interface_level_query_has_one_assignment() {
         let reg = entertainment::build_registry(1).unwrap();
-        let out =
-            enumerate_assignments(&running_example(), &reg, Phase1Heuristic::BoundIsBetter).unwrap();
+        let out = enumerate_assignments(&running_example(), &reg, Phase1Heuristic::BoundIsBetter)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].query.atom("M").unwrap().service, "Movie1");
     }
@@ -194,7 +194,10 @@ mod tests {
         let reg = entertainment::build_registry(1).unwrap();
         let q = QueryBuilder::new().atom("T", "Theatre1").build().unwrap();
         let err = enumerate_assignments(&q, &reg, Phase1Heuristic::BoundIsBetter).unwrap_err();
-        assert!(matches!(err, OptError::Query(seco_query::QueryError::Infeasible { .. })));
+        assert!(matches!(
+            err,
+            OptError::Query(seco_query::QueryError::Infeasible { .. })
+        ));
     }
 
     #[test]

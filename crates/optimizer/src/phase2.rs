@@ -29,7 +29,9 @@
 
 use std::collections::BTreeSet;
 
-use seco_plan::{Completion, Invocation, JoinSpec, NodeId, PlanNode, QueryPlan, SelectionNode, ServiceNode};
+use seco_plan::{
+    Completion, Invocation, JoinSpec, NodeId, PlanNode, QueryPlan, SelectionNode, ServiceNode,
+};
 use seco_query::feasibility::{BindingSource, FeasibilityReport};
 use seco_query::{JoinPredicate, Query};
 use seco_services::ServiceRegistry;
@@ -85,7 +87,11 @@ pub fn enumerate_topologies(
             continue;
         }
         for dep in &report.dependencies {
-            if let BindingSource::Piped { from_atom, from_path } = &dep.source {
+            if let BindingSource::Piped {
+                from_atom,
+                from_path,
+            } = &dep.source
+            {
                 let forward = j.left.atom == *from_atom
                     && j.left.path == *from_path
                     && j.right.atom == dep.to_atom
@@ -101,7 +107,15 @@ pub fn enumerate_topologies(
         }
     }
 
-    let ctx = Ctx { query, registry, report, joins, piped_joins, heuristic, max };
+    let ctx = Ctx {
+        query,
+        registry,
+        report,
+        joins,
+        piped_joins,
+        heuristic,
+        max,
+    };
     let state = State {
         plan: QueryPlan::new(query.clone()),
         branches: Vec::new(),
@@ -117,8 +131,12 @@ pub fn enumerate_topologies(
 /// Estimated "output per input" of a service, for the selective-first
 /// ordering (smaller = more selective = earlier).
 fn expansion_estimate(ctx: &Ctx<'_>, atom: &str) -> f64 {
-    let Ok(q_atom) = ctx.query.atom(atom) else { return f64::MAX };
-    let Ok(iface) = ctx.registry.interface(&q_atom.service) else { return f64::MAX };
+    let Ok(q_atom) = ctx.query.atom(atom) else {
+        return f64::MAX;
+    };
+    let Ok(iface) = ctx.registry.interface(&q_atom.service) else {
+        return f64::MAX;
+    };
     if iface.kind.is_chunked() {
         iface.stats.chunk_size as f64
     } else {
@@ -192,9 +210,9 @@ fn flush_filters(ctx: &Ctx<'_>, state: &mut State, branch_idx: usize) -> Result<
         }
     }
     if !sels.is_empty() {
-        let node = state
-            .plan
-            .add(PlanNode::Selection(SelectionNode::new(sels).with_selectivity(sel_estimate)));
+        let node = state.plan.add(PlanNode::Selection(
+            SelectionNode::new(sels).with_selectivity(sel_estimate),
+        ));
         let head = state.branches[branch_idx].head;
         state.plan.connect(head, node).map_err(OptError::Plan)?;
         state.branches[branch_idx].head = node;
@@ -222,7 +240,10 @@ fn flush_filters(ctx: &Ctx<'_>, state: &mut State, branch_idx: usize) -> Result<
     if !chain_joins.is_empty() {
         let node = state
             .plan
-            .add(PlanNode::Selection(SelectionNode::join_filter(chain_joins, chain_sel)));
+            .add(PlanNode::Selection(SelectionNode::join_filter(
+                chain_joins,
+                chain_sel,
+            )));
         let head = state.branches[branch_idx].head;
         state.plan.connect(head, node).map_err(OptError::Plan)?;
         state.branches[branch_idx].head = node;
@@ -231,9 +252,9 @@ fn flush_filters(ctx: &Ctx<'_>, state: &mut State, branch_idx: usize) -> Result<
 }
 
 fn plan_has_selection(plan: &QueryPlan, pred: &seco_query::SelectionPredicate) -> bool {
-    plan.node_ids().any(|id| {
-        matches!(plan.node(id), Ok(PlanNode::Selection(s)) if s.predicates.contains(pred))
-    })
+    plan.node_ids().any(
+        |id| matches!(plan.node(id), Ok(PlanNode::Selection(s)) if s.predicates.contains(pred)),
+    )
 }
 
 fn ordered_pair(a: &str, b: &str) -> (String, String) {
@@ -258,12 +279,15 @@ fn signature(plan: &QueryPlan, node: NodeId) -> String {
         }
         Ok(PlanNode::Selection(s)) => {
             let preds = plan.predecessors(node);
-            format!("F[{}]({})", s.predicates.len() + s.join_predicates.len(), signature(plan, preds[0]))
+            format!(
+                "F[{}]({})",
+                s.predicates.len() + s.join_predicates.len(),
+                signature(plan, preds[0])
+            )
         }
         Ok(PlanNode::ParallelJoin(_)) => {
             let preds = plan.predecessors(node);
-            let mut subs: Vec<String> =
-                preds.iter().map(|p| signature(plan, *p)).collect();
+            let mut subs: Vec<String> = preds.iter().map(|p| signature(plan, *p)).collect();
             subs.sort();
             format!("J({})", subs.join("|"))
         }
@@ -283,7 +307,8 @@ fn recurse(
     // Complete?
     if state.placed.len() == ctx.query.atoms.len() && state.branches.len() == 1 {
         let mut plan = state.plan;
-        plan.connect(state.branches[0].head, plan.output()).map_err(OptError::Plan)?;
+        plan.connect(state.branches[0].head, plan.output())
+            .map_err(OptError::Plan)?;
         let sig = signature(&plan, plan.output());
         if seen.insert(sig) {
             plan.validate().map_err(OptError::Plan)?;
@@ -307,14 +332,20 @@ fn recurse(
             // Constant-bound atom: may extend any branch or start a new
             // parallel branch.
             for (i, _) in state.branches.iter().enumerate() {
-                moves.push(Move::Serial { atom: atom.clone(), branch: i });
+                moves.push(Move::Serial {
+                    atom: atom.clone(),
+                    branch: i,
+                });
             }
             moves.push(Move::NewBranch { atom });
         } else {
             // Piped atom: only branches containing all its sources.
             for (i, b) in state.branches.iter().enumerate() {
                 if sources.iter().all(|s| b.atoms.contains(*s)) {
-                    moves.push(Move::Serial { atom: atom.clone(), branch: i });
+                    moves.push(Move::Serial {
+                        atom: atom.clone(),
+                        branch: i,
+                    });
                 }
             }
         }
@@ -351,9 +382,10 @@ fn recurse(
         match mv {
             Move::Serial { atom, branch } => {
                 let q_atom = ctx.query.atom(&atom)?;
-                let node = next
-                    .plan
-                    .add(PlanNode::Service(ServiceNode::new(atom.clone(), q_atom.service.clone())));
+                let node = next.plan.add(PlanNode::Service(ServiceNode::new(
+                    atom.clone(),
+                    q_atom.service.clone(),
+                )));
                 let head = next.branches[branch].head;
                 next.plan.connect(head, node).map_err(OptError::Plan)?;
                 next.branches[branch].head = node;
@@ -363,9 +395,10 @@ fn recurse(
             }
             Move::NewBranch { atom } => {
                 let q_atom = ctx.query.atom(&atom)?;
-                let node = next
-                    .plan
-                    .add(PlanNode::Service(ServiceNode::new(atom.clone(), q_atom.service.clone())));
+                let node = next.plan.add(PlanNode::Service(ServiceNode::new(
+                    atom.clone(),
+                    q_atom.service.clone(),
+                )));
                 let input = next.plan.input();
                 next.plan.connect(input, node).map_err(OptError::Plan)?;
                 next.branches.push(Branch {
@@ -378,7 +411,10 @@ fn recurse(
             }
             Move::Merge { a, b } => {
                 // Cross-branch join predicates.
-                let (aa, bb) = (next.branches[a].atoms.clone(), next.branches[b].atoms.clone());
+                let (aa, bb) = (
+                    next.branches[a].atoms.clone(),
+                    next.branches[b].atoms.clone(),
+                );
                 let mut preds = Vec::new();
                 let mut sel = 1.0;
                 let mut counted: Vec<(String, String)> = Vec::new();
@@ -418,7 +454,10 @@ fn recurse(
                 let merged_atoms: BTreeSet<String> = aa.union(&bb).cloned().collect();
                 let keep = a.min(b);
                 let drop = a.max(b);
-                next.branches[keep] = Branch { head: node, atoms: merged_atoms };
+                next.branches[keep] = Branch {
+                    head: node,
+                    atoms: merged_atoms,
+                };
                 next.branches.remove(drop);
                 flush_filters(ctx, &mut next, keep)?;
             }
@@ -445,23 +484,24 @@ mod tests {
     #[test]
     fn running_example_topologies_cover_fig9() {
         let (q, reg, report) = setup();
-        let plans = enumerate_topologies(&q, &reg, &report, Phase2Heuristic::ParallelIsBetter, 64)
-            .unwrap();
+        let plans =
+            enumerate_topologies(&q, &reg, &report, Phase2Heuristic::ParallelIsBetter, 64).unwrap();
         // The enumeration covers Fig. 9's four topologies (three chains
         // M→T→R / T→M→R / T→R→M and the (M ∥ T)→R parallel plan) plus
         // the M ∥ (T→R) variant the figure does not draw.
         assert!(plans.len() >= 4, "found only {} topologies", plans.len());
-        let sigs: BTreeSet<String> =
-            plans.iter().map(|p| signature(p, p.output())).collect();
+        let sigs: BTreeSet<String> = plans.iter().map(|p| signature(p, p.output())).collect();
         assert_eq!(sigs.len(), plans.len(), "topologies are deduplicated");
         // At least one parallel plan with a join node exists (Fig. 9d).
         let has_parallel = plans.iter().any(|p| {
-            p.node_ids().any(|id| matches!(p.node(id), Ok(PlanNode::ParallelJoin(_))))
+            p.node_ids()
+                .any(|id| matches!(p.node(id), Ok(PlanNode::ParallelJoin(_))))
         });
         assert!(has_parallel);
         // At least one all-sequential chain exists (Fig. 9a).
         let has_chain = plans.iter().any(|p| {
-            p.node_ids().all(|id| !matches!(p.node(id), Ok(PlanNode::ParallelJoin(_))))
+            p.node_ids()
+                .all(|id| !matches!(p.node(id), Ok(PlanNode::ParallelJoin(_))))
         });
         assert!(has_chain);
         // Every topology validates and respects T before R.
@@ -481,11 +521,14 @@ mod tests {
     #[test]
     fn parallel_plans_annotate_the_shows_join() {
         let (q, reg, report) = setup();
-        let plans = enumerate_topologies(&q, &reg, &report, Phase2Heuristic::ParallelIsBetter, 64)
-            .unwrap();
+        let plans =
+            enumerate_topologies(&q, &reg, &report, Phase2Heuristic::ParallelIsBetter, 64).unwrap();
         let parallel = plans
             .iter()
-            .find(|p| p.node_ids().any(|id| matches!(p.node(id), Ok(PlanNode::ParallelJoin(_)))))
+            .find(|p| {
+                p.node_ids()
+                    .any(|id| matches!(p.node(id), Ok(PlanNode::ParallelJoin(_))))
+            })
             .unwrap();
         let join_id = parallel
             .node_ids()
@@ -504,21 +547,27 @@ mod tests {
             enumerate_topologies(&q, &reg, &report, Phase2Heuristic::SelectiveFirst, 64).unwrap();
         let chain = plans
             .iter()
-            .find(|p| p.node_ids().all(|id| !matches!(p.node(id), Ok(PlanNode::ParallelJoin(_)))))
+            .find(|p| {
+                p.node_ids()
+                    .all(|id| !matches!(p.node(id), Ok(PlanNode::ParallelJoin(_))))
+            })
             .unwrap();
         // Somewhere in the chain a join-filter selection applies Shows.
         let has_join_filter = chain.node_ids().any(|id| {
             matches!(chain.node(id), Ok(PlanNode::Selection(s)) if !s.join_predicates.is_empty())
         });
-        assert!(has_join_filter, "chains must filter the Shows predicate:\n{}",
-            seco_plan::display::ascii(chain, None).unwrap());
+        assert!(
+            has_join_filter,
+            "chains must filter the Shows predicate:\n{}",
+            seco_plan::display::ascii(chain, None).unwrap()
+        );
     }
 
     #[test]
     fn heuristic_changes_the_emission_order() {
         let (q, reg, report) = setup();
-        let par = enumerate_topologies(&q, &reg, &report, Phase2Heuristic::ParallelIsBetter, 64)
-            .unwrap();
+        let par =
+            enumerate_topologies(&q, &reg, &report, Phase2Heuristic::ParallelIsBetter, 64).unwrap();
         let ser =
             enumerate_topologies(&q, &reg, &report, Phase2Heuristic::SelectiveFirst, 64).unwrap();
         assert_eq!(par.len(), ser.len(), "same space, different order");
@@ -528,15 +577,21 @@ mod tests {
         let ser_first_is_parallel = ser[0]
             .node_ids()
             .any(|id| matches!(ser[0].node(id), Ok(PlanNode::ParallelJoin(_))));
-        assert!(par_first_is_parallel, "parallel-is-better must emit a parallel plan first");
-        assert!(!ser_first_is_parallel, "selective-first must emit a chain first");
+        assert!(
+            par_first_is_parallel,
+            "parallel-is-better must emit a parallel plan first"
+        );
+        assert!(
+            !ser_first_is_parallel,
+            "selective-first must emit a chain first"
+        );
     }
 
     #[test]
     fn the_date_range_is_absorbed_but_output_equalities_are_filtered() {
         let (q, reg, report) = setup();
-        let plans = enumerate_topologies(&q, &reg, &report, Phase2Heuristic::ParallelIsBetter, 64)
-            .unwrap();
+        let plans =
+            enumerate_topologies(&q, &reg, &report, Phase2Heuristic::ParallelIsBetter, 64).unwrap();
         for p in &plans {
             // Openings.Date > INPUT3 constrains an *input* path: the
             // service answers it directly ("openings after this date"),
@@ -545,7 +600,10 @@ mod tests {
                 matches!(p.node(id), Ok(PlanNode::Selection(s))
                     if s.predicates.iter().any(|sp| sp.left.path.to_string() == "Openings.Date"))
             });
-            assert!(!has_date_filter, "range inputs are absorbed by the access pattern");
+            assert!(
+                !has_date_filter,
+                "range inputs are absorbed by the access pattern"
+            );
             // T.TCountry = INPUT2 constrains an *output* attribute and
             // must materialize as a selection node.
             let has_country_filter = p.node_ids().any(|id| {

@@ -51,7 +51,10 @@ pub fn assign_fetches(
         }
         let candidates = incrementable(plan, registry)?;
         if candidates.is_empty() {
-            return Err(OptError::Unreachable { best_estimate: annotated.output_tuples, k });
+            return Err(OptError::Unreachable {
+                best_estimate: annotated.output_tuples,
+                k,
+            });
         }
         let chosen = match heuristic {
             Phase3Heuristic::Greedy => {
@@ -62,14 +65,20 @@ pub fn assign_fetches(
         let Some(chosen) = chosen else {
             // No increment improves the estimate: the output is capped
             // by the data, not by fetching.
-            return Err(OptError::Unreachable { best_estimate: annotated.output_tuples, k });
+            return Err(OptError::Unreachable {
+                best_estimate: annotated.output_tuples,
+                k,
+            });
         };
         if let PlanNode::Service(s) = plan.node_mut(chosen)? {
             s.fetches += 1;
         }
         annotated = annotate(plan, registry, &config)?;
     }
-    Err(OptError::Unreachable { best_estimate: annotated.output_tuples, k })
+    Err(OptError::Unreachable {
+        best_estimate: annotated.output_tuples,
+        k,
+    })
 }
 
 /// Chunked service nodes whose factor can still usefully grow (below
@@ -158,7 +167,10 @@ mod tests {
             enumerate_topologies(&q, &reg, &report, Phase2Heuristic::ParallelIsBetter, 64).unwrap();
         let plan = plans
             .into_iter()
-            .find(|p| p.node_ids().any(|id| matches!(p.node(id), Ok(PlanNode::ParallelJoin(_)))))
+            .find(|p| {
+                p.node_ids()
+                    .any(|id| matches!(p.node(id), Ok(PlanNode::ParallelJoin(_))))
+            })
             .unwrap();
         (plan, reg)
     }
@@ -166,13 +178,19 @@ mod tests {
     #[test]
     fn fetches_grow_until_k_is_reached() {
         let (mut plan, reg) = parallel_topology();
-        let ann = assign_fetches(&mut plan, &reg, 5, Phase3Heuristic::SquareIsBetter, CostMetric::RequestCount)
-            .unwrap();
+        let ann = assign_fetches(
+            &mut plan,
+            &reg,
+            5,
+            Phase3Heuristic::SquareIsBetter,
+            CostMetric::RequestCount,
+        )
+        .unwrap();
         assert!(ann.output_tuples >= 5.0);
         // Some factor must have grown beyond the initial 1 to get there.
-        let grew = plan.node_ids().any(|id| {
-            matches!(plan.node(id), Ok(PlanNode::Service(s)) if s.fetches > 1)
-        });
+        let grew = plan
+            .node_ids()
+            .any(|id| matches!(plan.node(id), Ok(PlanNode::Service(s)) if s.fetches > 1));
         assert!(grew);
     }
 
@@ -181,8 +199,13 @@ mod tests {
         let (mut plan, reg) = parallel_topology();
         // k=1 is reachable at F=⟨1,…,1⟩ for this plan? Check the
         // estimate first; if ⟨1⟩ suffices the factors must stay 1.
-        let ann =
-            assign_fetches(&mut plan, &reg, 1, Phase3Heuristic::Greedy, CostMetric::RequestCount);
+        let ann = assign_fetches(
+            &mut plan,
+            &reg,
+            1,
+            Phase3Heuristic::Greedy,
+            CostMetric::RequestCount,
+        );
         if let Ok(ann) = ann {
             if ann.output_tuples >= 1.0 {
                 let at_one = plan
@@ -231,8 +254,14 @@ mod tests {
     #[test]
     fn square_is_better_balances_explored_tuples() {
         let (mut plan, reg) = parallel_topology();
-        assign_fetches(&mut plan, &reg, 10, Phase3Heuristic::SquareIsBetter, CostMetric::RequestCount)
-            .unwrap();
+        assign_fetches(
+            &mut plan,
+            &reg,
+            10,
+            Phase3Heuristic::SquareIsBetter,
+            CostMetric::RequestCount,
+        )
+        .unwrap();
         // Movie chunks are 20-wide, Theatre 5-wide: balancing explored
         // tuples means Theatre gets more fetches than Movie, not fewer.
         let f = |atom: &str| {

@@ -116,23 +116,41 @@ pub fn annotate(
     for id in order {
         let preds = plan.predecessors(id);
         let ann = match plan.node(id)? {
-            PlanNode::Input => Annotation { tin: 1.0, tout: 1.0, calls: 0.0 },
+            PlanNode::Input => Annotation {
+                tin: 1.0,
+                tout: 1.0,
+                calls: 0.0,
+            },
             PlanNode::Output => {
                 let tin = annotations[preds[0].0].tout;
-                Annotation { tin, tout: tin, calls: 0.0 }
+                Annotation {
+                    tin,
+                    tout: tin,
+                    calls: 0.0,
+                }
             }
             PlanNode::Selection(sel) => {
                 let tin = annotations[preds[0].0].tout;
-                Annotation { tin, tout: tin * sel.selectivity, calls: 0.0 }
+                Annotation {
+                    tin,
+                    tout: tin * sel.selectivity,
+                    calls: 0.0,
+                }
             }
             PlanNode::ParallelJoin(spec) => {
                 let tl = annotations[preds[0].0].tout;
                 let tr = annotations[preds[1].0].tout;
                 let candidates = tl * tr * spec.completion.coverage_factor();
-                Annotation { tin: candidates, tout: candidates * spec.selectivity, calls: 0.0 }
+                Annotation {
+                    tin: candidates,
+                    tout: candidates * spec.selectivity,
+                    calls: 0.0,
+                }
             }
             PlanNode::Service(node) => {
-                let iface = registry.interface(&node.service).map_err(|e| PlanError::Query(e.into()))?;
+                let iface = registry
+                    .interface(&node.service)
+                    .map_err(|e| PlanError::Query(e.into()))?;
                 let tin = annotations[preds[0].0].tout;
                 let calls = tin * node.fetches as f64;
                 *calls_by_service.entry(node.service.clone()).or_insert(0.0) += calls;
@@ -149,14 +167,22 @@ pub fn annotate(
                 } else {
                     iface.stats.avg_cardinality
                 };
-                Annotation { tin, tout: tin * psel * per_input, calls }
+                Annotation {
+                    tin,
+                    tout: tin * psel * per_input,
+                    calls,
+                }
             }
         };
         annotations[id.0] = ann;
     }
 
     let output_tuples = annotations[plan.output().0].tout;
-    Ok(AnnotatedPlan { annotations, calls_by_service, output_tuples })
+    Ok(AnnotatedPlan {
+        annotations,
+        calls_by_service,
+        output_tuples,
+    })
 }
 
 /// Back-propagates the output target `K` through the plan (§5.6: "The
@@ -191,7 +217,9 @@ pub fn back_propagate(
     };
     required.insert(plan.output(), k);
     for id in order {
-        let Some(&req_out) = required.get(&id) else { continue };
+        let Some(&req_out) = required.get(&id) else {
+            continue;
+        };
         let preds = plan.predecessors(id);
         match plan.node(id)? {
             PlanNode::Input => {}
@@ -202,8 +230,9 @@ pub fn back_propagate(
                 required.insert(preds[0], req_out / sel.selectivity.max(1e-9));
             }
             PlanNode::Service(node) => {
-                let iface =
-                    registry.interface(&node.service).map_err(|e| PlanError::Query(e.into()))?;
+                let iface = registry
+                    .interface(&node.service)
+                    .map_err(|e| PlanError::Query(e.into()))?;
                 let psel = pipe_selectivity(plan, registry, &report, &node.atom)?;
                 let per_input = if node.keep_first {
                     1.0
@@ -217,8 +246,7 @@ pub fn back_propagate(
             }
             PlanNode::ParallelJoin(spec) => {
                 let candidates = req_out / spec.selectivity.max(1e-9);
-                let per_side =
-                    (candidates / spec.completion.coverage_factor().max(1e-9)).sqrt();
+                let per_side = (candidates / spec.completion.coverage_factor().max(1e-9)).sqrt();
                 required.insert(preds[0], per_side);
                 required.insert(preds[1], per_side);
             }
@@ -242,18 +270,28 @@ mod tests {
     pub fn fig10_plan() -> QueryPlan {
         let query = running_example();
         let mut p = QueryPlan::new(query.clone());
-        let m = p.add(PlanNode::Service(ServiceNode::new("M", "Movie1").with_fetches(5)));
-        let t = p.add(PlanNode::Service(ServiceNode::new("T", "Theatre1").with_fetches(5)));
+        let m = p.add(PlanNode::Service(
+            ServiceNode::new("M", "Movie1").with_fetches(5),
+        ));
+        let t = p.add(PlanNode::Service(
+            ServiceNode::new("T", "Theatre1").with_fetches(5),
+        ));
         let reg = entertainment::build_registry(1).unwrap();
         let joins = query.expanded_joins(&reg).unwrap();
-        let shows: Vec<_> = joins.iter().filter(|j| j.connects("M", "T")).cloned().collect();
+        let shows: Vec<_> = joins
+            .iter()
+            .filter(|j| j.connects("M", "T"))
+            .cloned()
+            .collect();
         let j = p.add(PlanNode::ParallelJoin(JoinSpec {
             invocation: Invocation::merge_scan_even(),
             completion: Completion::Triangular,
             predicates: shows,
             selectivity: entertainment::SHOWS_SELECTIVITY,
         }));
-        let r = p.add(PlanNode::Service(ServiceNode::new("R", "Restaurant1").with_keep_first()));
+        let r = p.add(PlanNode::Service(
+            ServiceNode::new("R", "Restaurant1").with_keep_first(),
+        ));
         p.connect(p.input(), m).unwrap();
         p.connect(p.input(), t).unwrap();
         p.connect(m, j).unwrap();
@@ -290,7 +328,11 @@ mod tests {
         assert_eq!(ann.annotation(r).tin, 25.0, "tRestaurant_in");
         assert_eq!(ann.annotation(r).tout, 10.0, "tRestaurant_out = K = 10");
         assert_eq!(ann.output_tuples, 10.0);
-        assert_eq!(ann.annotation(r).calls, 25.0, "one call per piped theatre location");
+        assert_eq!(
+            ann.annotation(r).calls,
+            25.0,
+            "one call per piped theatre location"
+        );
         assert_eq!(ann.total_calls(), 35.0);
     }
 
@@ -316,16 +358,27 @@ mod tests {
         let w = p.add(PlanNode::Service(ServiceNode::new("W", "Weather1")));
         let sel = p.add(PlanNode::Selection(
             SelectionNode::new(vec![SelectionPredicate {
-                left: seco_query::QualifiedPath::new("W", seco_model::AttributePath::atomic("AvgTemp")),
+                left: seco_query::QualifiedPath::new(
+                    "W",
+                    seco_model::AttributePath::atomic("AvgTemp"),
+                ),
                 op: Comparator::Gt,
                 right: seco_query::Operand::Const(Value::Int(26)),
             }])
             .with_selectivity(0.25),
         ));
-        let f = p.add(PlanNode::Service(ServiceNode::new("F", "Flight1").with_fetches(2)));
-        let h = p.add(PlanNode::Service(ServiceNode::new("H", "Hotel1").with_fetches(2)));
+        let f = p.add(PlanNode::Service(
+            ServiceNode::new("F", "Flight1").with_fetches(2),
+        ));
+        let h = p.add(PlanNode::Service(
+            ServiceNode::new("H", "Hotel1").with_fetches(2),
+        ));
         let joins = query.expanded_joins(&reg).unwrap();
-        let same_trip: Vec<_> = joins.iter().filter(|j| j.connects("F", "H")).cloned().collect();
+        let same_trip: Vec<_> = joins
+            .iter()
+            .filter(|j| j.connects("F", "H"))
+            .cloned()
+            .collect();
         let j = p.add(PlanNode::ParallelJoin(JoinSpec {
             invocation: Invocation::merge_scan_even(),
             completion: Completion::Rectangular,
@@ -382,7 +435,14 @@ mod tests {
         let ann = annotate(&plan, &reg, &AnnotationConfig::default()).unwrap();
         assert_eq!(ann.annotation(t).tout, 25.0);
         // Without the cap the naive arithmetic would say 50.
-        let ann = annotate(&plan, &reg, &AnnotationConfig { cap_by_total: false }).unwrap();
+        let ann = annotate(
+            &plan,
+            &reg,
+            &AnnotationConfig {
+                cap_by_total: false,
+            },
+        )
+        .unwrap();
         assert_eq!(ann.annotation(t).tout, 50.0);
     }
 
@@ -399,7 +459,10 @@ mod tests {
             .find(|id| matches!(plan.node(*id).unwrap(), PlanNode::ParallelJoin(_)))
             .unwrap();
         assert_eq!(required[&plan.output()], 10.0);
-        assert_eq!(required[&r], 10.0, "the restaurant node must output K tuples");
+        assert_eq!(
+            required[&r], 10.0,
+            "the restaurant node must output K tuples"
+        );
         assert_eq!(required[&j], 25.0, "tMS_out = tRestaurant_in = 25");
         // The join's branches split the 1250 required candidates
         // geometrically: sqrt(2500) = 50 per side.

@@ -38,7 +38,11 @@ pub struct QueryPlan {
 impl QueryPlan {
     /// Starts a plan containing only the input and output nodes.
     pub fn new(query: Query) -> Self {
-        QueryPlan { query, nodes: vec![PlanNode::Input, PlanNode::Output], edges: Vec::new() }
+        QueryPlan {
+            query,
+            nodes: vec![PlanNode::Input, PlanNode::Output],
+            edges: Vec::new(),
+        }
     }
 
     /// The designated input node.
@@ -103,19 +107,26 @@ impl QueryPlan {
 
     /// Direct predecessors of a node, in insertion order.
     pub fn predecessors(&self, id: NodeId) -> Vec<NodeId> {
-        self.edges.iter().filter(|(_, t)| *t == id).map(|(f, _)| *f).collect()
+        self.edges
+            .iter()
+            .filter(|(_, t)| *t == id)
+            .map(|(f, _)| *f)
+            .collect()
     }
 
     /// Direct successors of a node, in insertion order.
     pub fn successors(&self, id: NodeId) -> Vec<NodeId> {
-        self.edges.iter().filter(|(f, _)| *f == id).map(|(_, t)| *t).collect()
+        self.edges
+            .iter()
+            .filter(|(f, _)| *f == id)
+            .map(|(_, t)| *t)
+            .collect()
     }
 
     /// The service node producing a given atom, if present.
     pub fn service_node_of(&self, atom: &str) -> Option<NodeId> {
-        self.node_ids().find(|id| {
-            matches!(&self.nodes[id.0], PlanNode::Service(s) if s.atom == atom)
-        })
+        self.node_ids()
+            .find(|id| matches!(&self.nodes[id.0], PlanNode::Service(s) if s.atom == atom))
     }
 
     /// The set of atoms available (already joined into the dataflow) at
@@ -144,8 +155,7 @@ impl QueryPlan {
         for (_, t) in &self.edges {
             indeg[t.0] += 1;
         }
-        let mut queue: Vec<NodeId> =
-            (0..n).filter(|i| indeg[*i] == 0).map(NodeId).collect();
+        let mut queue: Vec<NodeId> = (0..n).filter(|i| indeg[*i] == 0).map(NodeId).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(id) = queue.pop() {
             order.push(id);
@@ -188,7 +198,10 @@ impl QueryPlan {
                 }
                 PlanNode::Service(s) => {
                     if preds != 1 {
-                        return invalid(format!("service node `{}` has {preds} predecessors, wants 1", s.atom));
+                        return invalid(format!(
+                            "service node `{}` has {preds} predecessors, wants 1",
+                            s.atom
+                        ));
                     }
                     if succs == 0 {
                         return invalid(format!("service node `{}` is a dead end", s.atom));
@@ -196,7 +209,9 @@ impl QueryPlan {
                 }
                 PlanNode::ParallelJoin(_) => {
                     if preds != 2 {
-                        return invalid(format!("parallel join {id} has {preds} predecessors, wants 2"));
+                        return invalid(format!(
+                            "parallel join {id} has {preds} predecessors, wants 2"
+                        ));
                     }
                     if succs == 0 {
                         return invalid(format!("parallel join {id} is a dead end"));
@@ -204,7 +219,9 @@ impl QueryPlan {
                 }
                 PlanNode::Selection(_) => {
                     if preds != 1 {
-                        return invalid(format!("selection node {id} has {preds} predecessors, wants 1"));
+                        return invalid(format!(
+                            "selection node {id} has {preds} predecessors, wants 1"
+                        ));
                     }
                     if succs == 0 {
                         return invalid(format!("selection node {id} is a dead end"));
@@ -218,10 +235,15 @@ impl QueryPlan {
         for atom in &self.query.atoms {
             let count = self
                 .node_ids()
-                .filter(|id| matches!(&self.nodes[id.0], PlanNode::Service(s) if s.atom == atom.alias))
+                .filter(
+                    |id| matches!(&self.nodes[id.0], PlanNode::Service(s) if s.atom == atom.alias),
+                )
                 .count();
             if count != 1 {
-                return invalid(format!("atom `{}` appears in {count} service nodes, wants 1", atom.alias));
+                return invalid(format!(
+                    "atom `{}` appears in {count} service nodes, wants 1",
+                    atom.alias
+                ));
             }
         }
         // Parallel-join predicates must span the two input branches.
@@ -256,7 +278,10 @@ impl QueryPlan {
 
     /// The number of search/exact service nodes.
     pub fn service_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, PlanNode::Service(_))).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, PlanNode::Service(_)))
+            .count()
     }
 }
 
@@ -267,7 +292,11 @@ mod tests {
     use seco_query::QueryBuilder;
 
     fn two_atom_query() -> Query {
-        QueryBuilder::new().atom("A", "SvcA").atom("B", "SvcB").build().unwrap()
+        QueryBuilder::new()
+            .atom("A", "SvcA")
+            .atom("B", "SvcB")
+            .build()
+            .unwrap()
     }
 
     /// input -> A -> B -> output (pipe chain).
@@ -312,7 +341,10 @@ mod tests {
     fn parallel_plan_validates() {
         let p = parallel_plan();
         assert!(p.validate().is_ok());
-        let j = p.node_ids().find(|id| matches!(p.node(*id).unwrap(), PlanNode::ParallelJoin(_))).unwrap();
+        let j = p
+            .node_ids()
+            .find(|id| matches!(p.node(*id).unwrap(), PlanNode::ParallelJoin(_)))
+            .unwrap();
         assert_eq!(p.predecessors(j).len(), 2);
         let atoms = p.atoms_at(j);
         assert!(atoms.contains("A") && atoms.contains("B"));

@@ -23,14 +23,22 @@ pub fn ascii(plan: &QueryPlan, annotations: Option<&AnnotatedPlan>) -> Result<St
             .map(|p| p.to_string())
             .collect::<Vec<_>>()
             .join(",");
-        let arrow = if preds.is_empty() { String::new() } else { format!(" <- [{pred_list}]") };
+        let arrow = if preds.is_empty() {
+            String::new()
+        } else {
+            format!(" <- [{pred_list}]")
+        };
         let ann = annotations
             .map(|a| {
                 let an = a.annotation(id);
-                format!("  (tin={:.1}, tout={:.1}, calls={:.1})", an.tin, an.tout, an.calls)
+                format!(
+                    "  (tin={:.1}, tout={:.1}, calls={:.1})",
+                    an.tin, an.tout, an.calls
+                )
             })
             .unwrap_or_default();
-        writeln!(out, "  {id}: {}{arrow}{ann}", node.label()).expect("writing to String cannot fail");
+        writeln!(out, "  {id}: {}{arrow}{ann}", node.label())
+            .expect("writing to String cannot fail");
     }
     Ok(out)
 }
@@ -47,8 +55,12 @@ pub fn to_dot(plan: &QueryPlan) -> Result<String, PlanError> {
             crate::node::PlanNode::ParallelJoin(_) => "diamond",
             crate::node::PlanNode::Selection(_) => "trapezium",
         };
-        writeln!(out, "  {id} [label=\"{}\", shape={shape}];", node.label().replace('"', "'"))
-            .expect("writing to String cannot fail");
+        writeln!(
+            out,
+            "  {id} [label=\"{}\", shape={shape}];",
+            node.label().replace('"', "'")
+        )
+        .expect("writing to String cannot fail");
     }
     for (f, t) in plan.edges() {
         writeln!(out, "  {f} -> {t};").expect("writing to String cannot fail");
@@ -104,11 +116,16 @@ mod tests {
             .input("I1", seco_model::Value::text("comedy"))
             .input("I2", seco_model::Value::text("en"))
             .input("I3", seco_model::Value::text("country-0"))
-            .input("I4", seco_model::Value::Date(seco_model::Date::new(2009, 1, 1)))
+            .input(
+                "I4",
+                seco_model::Value::Date(seco_model::Date::new(2009, 1, 1)),
+            )
             .build()
             .unwrap();
         let mut p = QueryPlan::new(q);
-        let m = p.add(PlanNode::Service(ServiceNode::new("M", "Movie1").with_fetches(3)));
+        let m = p.add(PlanNode::Service(
+            ServiceNode::new("M", "Movie1").with_fetches(3),
+        ));
         p.connect(p.input(), m).unwrap();
         p.connect(m, p.output()).unwrap();
         p

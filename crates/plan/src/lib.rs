@@ -15,10 +15,10 @@
 //! Fig. 10, the object cost metrics are evaluated on.
 
 pub mod annotate;
+pub mod dag;
 pub mod display;
 pub mod error;
 pub mod node;
-pub mod dag;
 
 pub use annotate::{annotate, back_propagate, AnnotatedPlan, Annotation, AnnotationConfig};
 pub use dag::{NodeId, QueryPlan};

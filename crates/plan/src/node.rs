@@ -125,7 +125,12 @@ pub struct ServiceNode {
 impl ServiceNode {
     /// A service node with fetch factor 1.
     pub fn new(atom: impl Into<String>, service: impl Into<String>) -> Self {
-        ServiceNode { atom: atom.into(), service: service.into(), fetches: 1, keep_first: false }
+        ServiceNode {
+            atom: atom.into(),
+            service: service.into(),
+            fetches: 1,
+            keep_first: false,
+        }
     }
 
     /// Sets the fetch factor, builder-style.
@@ -167,7 +172,11 @@ impl SelectionNode {
         let selectivity = seco_query::predicate::estimate_selection_selectivity(
             &predicates.iter().collect::<Vec<_>>(),
         );
-        SelectionNode { predicates, join_predicates: Vec::new(), selectivity }
+        SelectionNode {
+            predicates,
+            join_predicates: Vec::new(),
+            selectivity,
+        }
     }
 
     /// A selection node applying join predicates as filters, with an
@@ -222,7 +231,10 @@ impl PlanNode {
             }
             PlanNode::ParallelJoin(j) => format!("⋈ {}/{}", j.invocation, j.completion),
             PlanNode::Selection(s) => {
-                format!("σ[{} predicates]", s.predicates.len() + s.join_predicates.len())
+                format!(
+                    "σ[{} predicates]",
+                    s.predicates.len() + s.join_predicates.len()
+                )
             }
         }
     }
@@ -248,7 +260,10 @@ mod tests {
         assert_eq!(Invocation::MergeScan { r1: 3, r2: 5 }.ratio(), 0.6);
         assert_eq!(Invocation::NestedLoop.ratio(), 1.0);
         assert_eq!(Invocation::NestedLoop.to_string(), "NL");
-        assert_eq!(Invocation::MergeScan { r1: 3, r2: 5 }.to_string(), "MS(r=3/5)");
+        assert_eq!(
+            Invocation::MergeScan { r1: 3, r2: 5 }.to_string(),
+            "MS(r=3/5)"
+        );
         // Zero denominator is tolerated.
         assert_eq!(Invocation::MergeScan { r1: 2, r2: 0 }.ratio(), 2.0);
     }
@@ -265,7 +280,9 @@ mod tests {
         let n = ServiceNode::new("M", "Movie1").with_fetches(5);
         assert_eq!(n.fetches, 5);
         assert!(!n.keep_first);
-        let n = ServiceNode::new("R", "Restaurant1").with_fetches(0).with_keep_first();
+        let n = ServiceNode::new("R", "Restaurant1")
+            .with_fetches(0)
+            .with_keep_first();
         assert_eq!(n.fetches, 1, "fetch factor is clamped to >= 1");
         assert!(n.keep_first);
     }

@@ -28,7 +28,10 @@ pub struct QueryAtom {
 impl QueryAtom {
     /// Creates an atom.
     pub fn new(alias: impl Into<String>, service: impl Into<String>) -> Self {
-        QueryAtom { alias: alias.into(), service: service.into() }
+        QueryAtom {
+            alias: alias.into(),
+            service: service.into(),
+        }
     }
 }
 
@@ -44,7 +47,10 @@ pub struct QualifiedPath {
 impl QualifiedPath {
     /// Creates a qualified path.
     pub fn new(atom: impl Into<String>, path: AttributePath) -> Self {
-        QualifiedPath { atom: atom.into(), path }
+        QualifiedPath {
+            atom: atom.into(),
+            path,
+        }
     }
 }
 
@@ -69,9 +75,10 @@ impl Operand {
     pub fn resolve(&self, inputs: &BTreeMap<String, Value>) -> Result<Value, QueryError> {
         match self {
             Operand::Const(v) => Ok(v.clone()),
-            Operand::Input(name) => {
-                inputs.get(name).cloned().ok_or_else(|| QueryError::UnboundInput(name.clone()))
-            }
+            Operand::Input(name) => inputs
+                .get(name)
+                .cloned()
+                .ok_or_else(|| QueryError::UnboundInput(name.clone())),
         }
     }
 }
@@ -127,14 +134,19 @@ impl JoinPredicate {
                 Comparator::Ge => Comparator::Le,
                 other => other,
             };
-            JoinPredicate { left: self.right.clone(), op, right: self.left.clone() }
+            JoinPredicate {
+                left: self.right.clone(),
+                op,
+                right: self.left.clone(),
+            }
         }
     }
 
     /// True when the predicate connects the two given atoms (in either
     /// orientation).
     pub fn connects(&self, a: &str, b: &str) -> bool {
-        (self.left.atom == a && self.right.atom == b) || (self.left.atom == b && self.right.atom == a)
+        (self.left.atom == a && self.right.atom == b)
+            || (self.left.atom == b && self.right.atom == a)
     }
 }
 
@@ -223,7 +235,10 @@ impl Query {
     /// Expands connection-pattern references into explicit join
     /// predicates, returning the *full* join list (explicit joins first,
     /// then expanded pattern joins, §3.1's "more compact" formulation).
-    pub fn expanded_joins(&self, registry: &ServiceRegistry) -> Result<Vec<JoinPredicate>, QueryError> {
+    pub fn expanded_joins(
+        &self,
+        registry: &ServiceRegistry,
+    ) -> Result<Vec<JoinPredicate>, QueryError> {
         let mut joins = self.joins.clone();
         for pref in &self.patterns {
             let pattern = registry.pattern(&pref.pattern)?;
@@ -250,7 +265,9 @@ impl Query {
         let mut sel = 1.0;
         let mut any = false;
         for pref in &self.patterns {
-            if (pref.from_atom == a && pref.to_atom == b) || (pref.from_atom == b && pref.to_atom == a) {
+            if (pref.from_atom == a && pref.to_atom == b)
+                || (pref.from_atom == b && pref.to_atom == a)
+            {
                 sel *= registry.pattern(&pref.pattern)?.selectivity;
                 any = true;
             }
@@ -322,7 +339,10 @@ mod tests {
 
     fn sample() -> Query {
         Query {
-            atoms: vec![QueryAtom::new("M", "Movie1"), QueryAtom::new("T", "Theatre1")],
+            atoms: vec![
+                QueryAtom::new("M", "Movie1"),
+                QueryAtom::new("T", "Theatre1"),
+            ],
             selections: vec![SelectionPredicate {
                 left: QualifiedPath::new("M", AttributePath::sub("Genres", "Genre")),
                 op: Comparator::Eq,
@@ -379,8 +399,14 @@ mod tests {
         });
         let joins = q.expanded_joins(&reg).unwrap();
         assert_eq!(joins.len(), 1);
-        assert_eq!(joins[0].left, QualifiedPath::new("M", AttributePath::atomic("Title")));
-        assert_eq!(joins[0].right, QualifiedPath::new("T", AttributePath::sub("Movie", "Title")));
+        assert_eq!(
+            joins[0].left,
+            QualifiedPath::new("M", AttributePath::atomic("Title"))
+        );
+        assert_eq!(
+            joins[0].right,
+            QualifiedPath::new("T", AttributePath::sub("Movie", "Title"))
+        );
     }
 
     #[test]
@@ -411,7 +437,10 @@ mod tests {
             Operand::Input("INPUT9".into()).resolve(&inputs),
             Err(QueryError::UnboundInput(_))
         ));
-        assert_eq!(Operand::Const(Value::Int(3)).resolve(&inputs).unwrap(), Value::Int(3));
+        assert_eq!(
+            Operand::Const(Value::Int(3)).resolve(&inputs).unwrap(),
+            Value::Int(3)
+        );
     }
 
     #[test]

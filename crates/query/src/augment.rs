@@ -71,7 +71,12 @@ pub fn augment_query(
 
     for round in 0..=options.max_added {
         let unbound = match analyze(&current, registry) {
-            Ok(_) => return Ok(Augmented { query: current, added }),
+            Ok(_) => {
+                return Ok(Augmented {
+                    query: current,
+                    added,
+                })
+            }
             Err(QueryError::Infeasible { unbound_inputs, .. }) => unbound_inputs,
             Err(e) => return Err(e),
         };
@@ -81,7 +86,9 @@ pub fn augment_query(
         // Pick the first unbound input we can cover.
         let mut progressed = false;
         'inputs: for raw in &unbound {
-            let Some((alias, input_path)) = parse_unbound(raw) else { continue };
+            let Some((alias, input_path)) = parse_unbound(raw) else {
+                continue;
+            };
             let atom = current.atom(&alias)?.clone();
             let schema = &registry.interface(&atom.service)?.schema;
             let Some(needed_domain) = schema.domain_of(&input_path)?.map(str::to_owned) else {
@@ -90,17 +97,17 @@ pub fn augment_query(
             // Candidate off-query interfaces, fewest inputs first.
             let mut candidates: Vec<&str> = registry.service_names();
             candidates.sort_by_key(|n| {
-                registry.interface(n).map(|i| i.input_arity()).unwrap_or(usize::MAX)
+                registry
+                    .interface(n)
+                    .map(|i| i.input_arity())
+                    .unwrap_or(usize::MAX)
             });
             for candidate_name in candidates {
                 let candidate = registry.interface(candidate_name)?;
                 // An output attribute of the needed domain?
-                let Some(out_path) = candidate
-                    .schema
-                    .output_paths()
-                    .into_iter()
-                    .find(|p| candidate.schema.domain_of(p).ok().flatten() == Some(needed_domain.as_str()))
-                else {
+                let Some(out_path) = candidate.schema.output_paths().into_iter().find(|p| {
+                    candidate.schema.domain_of(p).ok().flatten() == Some(needed_domain.as_str())
+                }) else {
                     continue;
                 };
                 // Every candidate input must be coverable by a constant
@@ -115,8 +122,7 @@ pub fn augment_query(
                             let sschema = satom
                                 .and_then(|a| registry.interface(&a.service).ok())
                                 .map(|i| &i.schema);
-                            sschema
-                                .and_then(|sc| sc.domain_of(&s.left.path).ok().flatten())
+                            sschema.and_then(|sc| sc.domain_of(&s.left.path).ok().flatten())
                                 == Some(d)
                         })
                     });
@@ -138,7 +144,9 @@ pub fn augment_query(
                 // Add the off-query atom, its reused selections, and the
                 // binding join.
                 let aug_alias = format!("AUG{}", added.len() + 1);
-                current.atoms.push(QueryAtom::new(aug_alias.clone(), candidate_name));
+                current
+                    .atoms
+                    .push(QueryAtom::new(aug_alias.clone(), candidate_name));
                 current.selections.extend(selections);
                 current.joins.push(JoinPredicate {
                     left: QualifiedPath::new(aug_alias.clone(), out_path),
@@ -163,7 +171,10 @@ pub fn augment_query(
     // Could not be repaired: surface the original infeasibility.
     match analyze(query, registry) {
         Err(e) => Err(e),
-        Ok(_) => Ok(Augmented { query: current, added }),
+        Ok(_) => Ok(Augmented {
+            query: current,
+            added,
+        }),
     }
 }
 
@@ -239,7 +250,12 @@ mod tests {
         // Only the date is bound; the destination city is not.
         QueryBuilder::new()
             .atom("F", "Flight1")
-            .select_const("F", "Date", Comparator::Eq, Value::Date(Date::new(2009, 7, 1)))
+            .select_const(
+                "F",
+                "Date",
+                Comparator::Eq,
+                Value::Date(Date::new(2009, 7, 1)),
+            )
             .build()
             .unwrap()
     }
@@ -248,12 +264,18 @@ mod tests {
     fn augmentation_repairs_the_unbound_city_input() {
         let reg = registry();
         let q = infeasible_flight_query();
-        assert!(matches!(analyze(&q, &reg), Err(QueryError::Infeasible { .. })));
+        assert!(matches!(
+            analyze(&q, &reg),
+            Err(QueryError::Infeasible { .. })
+        ));
 
         let augmented = augment_query(&q, &reg, AugmentOptions::default()).unwrap();
         assert_eq!(augmented.added, vec!["AUG1"]);
         assert_eq!(augmented.query.atoms.len(), 2);
-        assert_eq!(augmented.query.atom("AUG1").unwrap().service, "CityDirectory1");
+        assert_eq!(
+            augmented.query.atom("AUG1").unwrap().service,
+            "CityDirectory1"
+        );
         // The augmented query is feasible and the directory feeds the
         // flight's destination.
         let report = analyze(&augmented.query, &reg).unwrap();
@@ -268,7 +290,10 @@ mod tests {
         let q = infeasible_flight_query();
         let augmented = augment_query(&q, &reg, AugmentOptions::default()).unwrap();
         let answers = crate::semantics::evaluate_oracle(&augmented.query, &reg).unwrap();
-        assert!(!answers.is_empty(), "the approximation should produce flights");
+        assert!(
+            !answers.is_empty(),
+            "the approximation should produce flights"
+        );
         // Every answer's flight destination equals the directory city
         // that bound it.
         for a in &answers {
@@ -277,8 +302,10 @@ mod tests {
             let fschema = &reg.interface("Flight1").unwrap().schema;
             let dschema = &reg.interface("CityDirectory1").unwrap().schema;
             assert_eq!(
-                f.first_value_at(fschema, &AttributePath::atomic("To")).unwrap(),
-                d.first_value_at(dschema, &AttributePath::atomic("City")).unwrap()
+                f.first_value_at(fschema, &AttributePath::atomic("To"))
+                    .unwrap(),
+                d.first_value_at(dschema, &AttributePath::atomic("City"))
+                    .unwrap()
             );
         }
     }
@@ -288,7 +315,12 @@ mod tests {
         let reg = registry();
         let q = QueryBuilder::new()
             .atom("F", "Flight1")
-            .select_const("F", "Date", Comparator::Eq, Value::Date(Date::new(2009, 7, 1)))
+            .select_const(
+                "F",
+                "Date",
+                Comparator::Eq,
+                Value::Date(Date::new(2009, 7, 1)),
+            )
             .select_const("F", "To", Comparator::Eq, Value::text("city-3"))
             .build()
             .unwrap();

@@ -8,7 +8,9 @@ use std::collections::BTreeMap;
 
 use seco_model::{AttributePath, Comparator, Value};
 
-use crate::ast::{JoinPredicate, Operand, PatternRef, QualifiedPath, Query, QueryAtom, SelectionPredicate};
+use crate::ast::{
+    JoinPredicate, Operand, PatternRef, QualifiedPath, Query, QueryAtom, SelectionPredicate,
+};
 use crate::error::QueryError;
 use crate::ranking::RankingFunction;
 
@@ -28,7 +30,10 @@ impl QueryBuilder {
     /// Starts an empty query with `k = 10` (the chapter's default
     /// optimization parameter).
     pub fn new() -> Self {
-        QueryBuilder { k: 10, ..Default::default() }
+        QueryBuilder {
+            k: 10,
+            ..Default::default()
+        }
     }
 
     /// Adds a service atom `service As alias`.
@@ -193,13 +198,21 @@ mod tests {
 
     #[test]
     fn ranking_arity_must_match() {
-        let err = QueryBuilder::new().atom("A", "S").ranking(vec![0.5, 0.5]).build().unwrap_err();
+        let err = QueryBuilder::new()
+            .atom("A", "S")
+            .ranking(vec![0.5, 0.5])
+            .build()
+            .unwrap_err();
         assert!(matches!(err, QueryError::BadRanking(_)));
     }
 
     #[test]
     fn duplicate_atoms_rejected_at_build() {
-        let err = QueryBuilder::new().atom("A", "S").atom("A", "S").build().unwrap_err();
+        let err = QueryBuilder::new()
+            .atom("A", "S")
+            .atom("A", "S")
+            .build()
+            .unwrap_err();
         assert!(matches!(err, QueryError::DuplicateAtom(_)));
     }
 

@@ -90,7 +90,10 @@ mod tests {
             unbound_inputs: vec!["R.UCity".into()],
         };
         assert!(e.to_string().contains("R.UCity"));
-        let e = QueryError::Parse { offset: 10, detail: "expected identifier".into() };
+        let e = QueryError::Parse {
+            offset: 10,
+            detail: "expected identifier".into(),
+        };
         assert!(e.to_string().contains("byte 10"));
     }
 

@@ -87,12 +87,19 @@ pub struct FeasibilityReport {
 impl FeasibilityReport {
     /// Dependencies binding the inputs of one atom.
     pub fn bindings_of(&self, atom: &str) -> Vec<&IoDependency> {
-        self.dependencies.iter().filter(|d| d.to_atom == atom).collect()
+        self.dependencies
+            .iter()
+            .filter(|d| d.to_atom == atom)
+            .collect()
     }
 
     /// The atoms that must precede `atom` (pipe sources).
     pub fn predecessors_of(&self, atom: &str) -> Vec<&str> {
-        self.pipe_edges.iter().filter(|(_, t)| t == atom).map(|(f, _)| f.as_str()).collect()
+        self.pipe_edges
+            .iter()
+            .filter(|(_, t)| t == atom)
+            .map(|(f, _)| f.as_str())
+            .collect()
     }
 
     /// True when `atom` has no pipe predecessors (it can start a chain).
@@ -123,9 +130,10 @@ pub fn analyze(query: &Query, registry: &ServiceRegistry) -> Result<FeasibilityR
             let mut all_bound = true;
             for input in iface.schema.input_paths() {
                 // 1. A selection predicate covering this input.
-                let by_selection = query.selections.iter().find(|s| {
-                    s.left.atom == atom.alias && s.left.path == input
-                });
+                let by_selection = query
+                    .selections
+                    .iter()
+                    .find(|s| s.left.atom == atom.alias && s.left.path == input);
                 if let Some(s) = by_selection {
                     atom_deps.push(IoDependency {
                         to_atom: atom.alias.clone(),
@@ -157,7 +165,10 @@ pub fn analyze(query: &Query, registry: &ServiceRegistry) -> Result<FeasibilityR
                     atom_deps.push(IoDependency {
                         to_atom: atom.alias.clone(),
                         input: input.clone(),
-                        source: BindingSource::Piped { from_atom, from_path },
+                        source: BindingSource::Piped {
+                            from_atom,
+                            from_path,
+                        },
                     });
                     continue;
                 }
@@ -195,7 +206,10 @@ pub fn analyze(query: &Query, registry: &ServiceRegistry) -> Result<FeasibilityR
                 }
             }
         }
-        return Err(QueryError::Infeasible { unreachable, unbound_inputs });
+        return Err(QueryError::Infeasible {
+            unreachable,
+            unbound_inputs,
+        });
     }
 
     let mut pipe_edges: Vec<(String, String)> = Vec::new();
@@ -208,7 +222,11 @@ pub fn analyze(query: &Query, registry: &ServiceRegistry) -> Result<FeasibilityR
         }
     }
 
-    Ok(FeasibilityReport { order, dependencies, pipe_edges })
+    Ok(FeasibilityReport {
+        order,
+        dependencies,
+        pipe_edges,
+    })
 }
 
 #[cfg(test)]
@@ -242,12 +260,20 @@ mod tests {
         // Theatre without its address inputs bound.
         let q = QueryBuilder::new()
             .atom("T", "Theatre1")
-            .select_const("T", "UCity", seco_model::Comparator::Eq, Value::text("Milano"))
+            .select_const(
+                "T",
+                "UCity",
+                seco_model::Comparator::Eq,
+                Value::text("Milano"),
+            )
             .build()
             .unwrap();
         let err = analyze(&q, &reg).unwrap_err();
         match err {
-            QueryError::Infeasible { unreachable, unbound_inputs } => {
+            QueryError::Infeasible {
+                unreachable,
+                unbound_inputs,
+            } => {
                 assert_eq!(unreachable, vec!["T"]);
                 assert!(unbound_inputs.contains(&"T.UAddress".to_owned()));
                 assert!(unbound_inputs.contains(&"T.UCountry".to_owned()));

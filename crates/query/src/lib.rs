@@ -34,7 +34,9 @@ pub mod predicate;
 pub mod ranking;
 pub mod semantics;
 
-pub use ast::{JoinPredicate, Operand, PatternRef, QualifiedPath, Query, QueryAtom, SelectionPredicate};
+pub use ast::{
+    JoinPredicate, Operand, PatternRef, QualifiedPath, Query, QueryAtom, SelectionPredicate,
+};
 pub use augment::{augment_query, AugmentOptions, Augmented};
 pub use builder::QueryBuilder;
 pub use error::QueryError;

@@ -19,7 +19,9 @@
 
 use seco_model::{AttributePath, Comparator, Date, Value};
 
-use crate::ast::{JoinPredicate, Operand, PatternRef, QualifiedPath, Query, QueryAtom, SelectionPredicate};
+use crate::ast::{
+    JoinPredicate, Operand, PatternRef, QualifiedPath, Query, QueryAtom, SelectionPredicate,
+};
 use crate::error::QueryError;
 use crate::ranking::RankingFunction;
 
@@ -45,11 +47,18 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn error(&self, detail: impl Into<String>) -> QueryError {
-        QueryError::Parse { offset: self.pos, detail: detail.into() }
+        QueryError::Parse {
+            offset: self.pos,
+            detail: detail.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -124,7 +133,8 @@ impl<'a> Lexer<'a> {
                 _ if b.is_ascii_alphabetic() || b == b'_' => {
                     let s = self.pos;
                     while self.pos < self.bytes.len()
-                        && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+                        && (self.bytes[self.pos].is_ascii_alphanumeric()
+                            || self.bytes[self.pos] == b'_')
                     {
                         self.pos += 1;
                     }
@@ -135,7 +145,9 @@ impl<'a> Lexer<'a> {
                         Token::Ident(word.to_owned())
                     }
                 }
-                other => return Err(self.error(format!("unexpected character `{}`", other as char))),
+                other => {
+                    return Err(self.error(format!("unexpected character `{}`", other as char)))
+                }
             };
             out.push((start, token));
         }
@@ -178,17 +190,23 @@ impl<'a> Lexer<'a> {
         }
         // Float: digits '.' digits.
         if self.bytes.get(self.pos) == Some(&b'.')
-            && self.bytes.get(self.pos + 1).is_some_and(|c| c.is_ascii_digit())
+            && self
+                .bytes
+                .get(self.pos + 1)
+                .is_some_and(|c| c.is_ascii_digit())
         {
             self.pos += 1;
             while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
                 self.pos += 1;
             }
-            let v: f64 =
-                self.src[s..self.pos].parse().map_err(|_| self.error("bad float literal"))?;
+            let v: f64 = self.src[s..self.pos]
+                .parse()
+                .map_err(|_| self.error("bad float literal"))?;
             return Ok(Token::Float(v));
         }
-        let v: i64 = self.src[s..self.pos].parse().map_err(|_| self.error("bad int literal"))?;
+        let v: i64 = self.src[s..self.pos]
+            .parse()
+            .map_err(|_| self.error("bad int literal"))?;
         Ok(Token::Int(v))
     }
 }
@@ -200,8 +218,15 @@ struct Parser {
 
 impl Parser {
     fn error(&self, detail: impl Into<String>) -> QueryError {
-        let offset = self.tokens.get(self.pos).map(|(o, _)| *o).unwrap_or(usize::MAX);
-        QueryError::Parse { offset, detail: detail.into() }
+        let offset = self
+            .tokens
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or(usize::MAX);
+        QueryError::Parse {
+            offset,
+            detail: detail.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -308,7 +333,11 @@ impl Parser {
             self.expect(Token::Comma, "`,`")?;
             let to = self.expect_ident()?;
             self.expect(Token::RParen, "`)`")?;
-            patterns.push(PatternRef { pattern, from_atom: from, to_atom: to });
+            patterns.push(PatternRef {
+                pattern,
+                from_atom: from,
+                to_atom: to,
+            });
             return Ok(());
         }
         // Predicate: qualified-path op (qualified-path | literal | INPUT).
@@ -343,19 +372,35 @@ impl Parser {
             }
             Some(Token::Str(s)) => {
                 self.next();
-                selections.push(SelectionPredicate { left, op, right: Operand::Const(Value::Text(s)) });
+                selections.push(SelectionPredicate {
+                    left,
+                    op,
+                    right: Operand::Const(Value::Text(s)),
+                });
             }
             Some(Token::Int(v)) => {
                 self.next();
-                selections.push(SelectionPredicate { left, op, right: Operand::Const(Value::Int(v)) });
+                selections.push(SelectionPredicate {
+                    left,
+                    op,
+                    right: Operand::Const(Value::Int(v)),
+                });
             }
             Some(Token::Float(v)) => {
                 self.next();
-                selections.push(SelectionPredicate { left, op, right: Operand::Const(Value::float(v)) });
+                selections.push(SelectionPredicate {
+                    left,
+                    op,
+                    right: Operand::Const(Value::float(v)),
+                });
             }
             Some(Token::Date(d)) => {
                 self.next();
-                selections.push(SelectionPredicate { left, op, right: Operand::Const(Value::Date(d)) });
+                selections.push(SelectionPredicate {
+                    left,
+                    op,
+                    right: Operand::Const(Value::Date(d)),
+                });
             }
             _ => return Err(self.error("expected literal, INPUT variable, or attribute path")),
         }
@@ -505,17 +550,18 @@ mod tests {
         assert_eq!(vals[0], &Operand::Const(Value::text("text")));
         assert_eq!(vals[1], &Operand::Const(Value::Int(5)));
         assert_eq!(vals[2], &Operand::Const(Value::float(2.5)));
-        assert_eq!(vals[3], &Operand::Const(Value::Date(Date::new(2009, 3, 29))));
+        assert_eq!(
+            vals[3],
+            &Operand::Const(Value::Date(Date::new(2009, 3, 29)))
+        );
         assert_eq!(vals[4], &Operand::Const(Value::Bool(true)));
         assert_eq!(q.selections[5].op, Comparator::Like);
     }
 
     #[test]
     fn parses_ranking_and_top_extensions() {
-        let q = parse_query(
-            "Select A as X, B as Y where X.P=Y.Q ranking (0.3, 0.7) top 25",
-        )
-        .unwrap();
+        let q =
+            parse_query("Select A as X, B as Y where X.P=Y.Q ranking (0.3, 0.7) top 25").unwrap();
         assert_eq!(q.ranking.weights(), &[0.3, 0.7]);
         assert_eq!(q.k, 25);
     }

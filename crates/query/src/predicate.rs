@@ -91,12 +91,12 @@ fn value_under<'t>(
             let key = (atom.to_owned(), path.attr.clone());
             let row = *assignment.get(&key).unwrap_or(&0);
             let rows = tuple.group_at(idx);
-            rows.get(row)
-                .and_then(|r| r.values.get(s))
-                .ok_or_else(|| QueryError::Model(seco_model::ModelError::SchemaViolation {
+            rows.get(row).and_then(|r| r.values.get(s)).ok_or_else(|| {
+                QueryError::Model(seco_model::ModelError::SchemaViolation {
                     service: schema.name.clone(),
                     detail: format!("group `{}` has no row {row}", path.attr),
-                }))
+                })
+            })
         }
     }
 }
@@ -257,7 +257,10 @@ pub fn satisfies_available(
 /// highly selective, ranges keep about half: the per-comparator defaults
 /// of [`Comparator::default_selectivity`] multiply.
 pub fn estimate_selection_selectivity(selections: &[&SelectionPredicate]) -> f64 {
-    selections.iter().map(|s| s.op.default_selectivity()).product()
+    selections
+        .iter()
+        .map(|s| s.op.default_selectivity())
+        .product()
 }
 
 #[cfg(test)]
@@ -269,7 +272,12 @@ mod tests {
     use seco_services::Service;
 
     /// Sets up the chapter's S1/S2 data and the schema map.
-    fn setup() -> (Vec<seco_model::Tuple>, Vec<seco_model::Tuple>, ServiceSchema, ServiceSchema) {
+    fn setup() -> (
+        Vec<seco_model::Tuple>,
+        Vec<seco_model::Tuple>,
+        ServiceSchema,
+        ServiceSchema,
+    ) {
         let (s1, s2) = chapter_semantics_example();
         (
             s1.rows().to_vec(),
@@ -302,8 +310,14 @@ mod tests {
         let schemas = schema_map(&[("S1", &s1_schema)]);
         let t1 = CompositeTuple::single("S1", s1_rows[0].clone());
         let t2 = CompositeTuple::single("S1", s1_rows[1].clone());
-        assert!(satisfies(&preds, &t1, &schemas).unwrap(), "t1 must be in Q1's result");
-        assert!(!satisfies(&preds, &t2, &schemas).unwrap(), "t2 must NOT be in Q1's result");
+        assert!(
+            satisfies(&preds, &t1, &schemas).unwrap(),
+            "t1 must be in Q1's result"
+        );
+        assert!(
+            !satisfies(&preds, &t2, &schemas).unwrap(),
+            "t2 must NOT be in Q1's result"
+        );
     }
 
     #[test]
@@ -382,7 +396,10 @@ mod tests {
         }
         // Unbound input errors.
         q.inputs.clear();
-        assert!(matches!(resolve_predicates(&q, &[]), Err(QueryError::UnboundInput(_))));
+        assert!(matches!(
+            resolve_predicates(&q, &[]),
+            Err(QueryError::UnboundInput(_))
+        ));
     }
 
     #[test]

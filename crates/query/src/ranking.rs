@@ -21,17 +21,23 @@ impl RankingFunction {
     /// least one must be positive.
     pub fn new(weights: Vec<f64>) -> Result<Self, QueryError> {
         if weights.iter().any(|w| *w < 0.0 || !w.is_finite()) {
-            return Err(QueryError::BadRanking("weights must be non-negative and finite".into()));
+            return Err(QueryError::BadRanking(
+                "weights must be non-negative and finite".into(),
+            ));
         }
         if weights.iter().all(|w| *w == 0.0) {
-            return Err(QueryError::BadRanking("at least one weight must be positive".into()));
+            return Err(QueryError::BadRanking(
+                "at least one weight must be positive".into(),
+            ));
         }
         Ok(RankingFunction { weights })
     }
 
     /// Equal weights `1/n` for `n` atoms.
     pub fn uniform(n: usize) -> Self {
-        RankingFunction { weights: vec![1.0 / n.max(1) as f64; n.max(1)] }
+        RankingFunction {
+            weights: vec![1.0 / n.max(1) as f64; n.max(1)],
+        }
     }
 
     /// The weight vector.

@@ -43,12 +43,18 @@ pub fn evaluate_oracle(
 
     let mut schemas: SchemaMap<'_> = BTreeMap::new();
     for atom in &query.atoms {
-        schemas.insert(atom.alias.clone(), &registry.interface(&atom.service)?.schema);
+        schemas.insert(
+            atom.alias.clone(),
+            &registry.interface(&atom.service)?.schema,
+        );
     }
 
     // Composites under construction; starts with the single empty
     // composite (the user's one input tuple, §3.2).
-    let mut partials = vec![CompositeTuple { atoms: Vec::new(), components: Vec::new() }];
+    let mut partials = vec![CompositeTuple {
+        atoms: Vec::new(),
+        components: Vec::new(),
+    }];
 
     for alias in &report.order {
         let atom = query.atom(alias)?;
@@ -67,7 +73,10 @@ pub fn evaluate_oracle(
                             request = request.constrain(dep.input.clone(), *op, value);
                         }
                     }
-                    BindingSource::Piped { from_atom, from_path } => {
+                    BindingSource::Piped {
+                        from_atom,
+                        from_path,
+                    } => {
                         let from_schema = schemas
                             .get(from_atom)
                             .ok_or_else(|| QueryError::UnknownAtom(from_atom.clone()))?;
@@ -163,7 +172,11 @@ mod tests {
             .unwrap();
         let result = evaluate_oracle(&q, &reg).unwrap();
         assert_eq!(result.len(), 1);
-        assert_eq!(result[0].components[0].group_at(0).len(), 2, "the survivor is t1");
+        assert_eq!(
+            result[0].components[0].group_at(0).len(),
+            2,
+            "the survivor is t1"
+        );
     }
 
     #[test]
@@ -199,13 +212,18 @@ mod tests {
         // Manual: fetch 20 conferences, call weather per (city, date).
         let conf = reg.service("Conference1").unwrap();
         let weather = reg.service("Weather1").unwrap();
-        let creq = Request::unbound().bind(AttributePath::atomic("Topic"), Value::text("databases"));
+        let creq =
+            Request::unbound().bind(AttributePath::atomic("Topic"), Value::text("databases"));
         let conferences = conf.fetch(&creq).unwrap().tuples;
         let cschema = &conf.interface().schema;
         let mut expected = 0;
         for c in &conferences {
-            let city = c.first_value_at(cschema, &AttributePath::atomic("City")).unwrap();
-            let date = c.first_value_at(cschema, &AttributePath::atomic("Date")).unwrap();
+            let city = c
+                .first_value_at(cschema, &AttributePath::atomic("City"))
+                .unwrap();
+            let date = c
+                .first_value_at(cschema, &AttributePath::atomic("Date"))
+                .unwrap();
             let wreq = Request::unbound()
                 .bind(AttributePath::atomic("City"), city)
                 .bind(AttributePath::atomic("Date"), date);
@@ -236,7 +254,10 @@ mod tests {
         assert!(!result.is_empty());
         let scores: Vec<f64> = result.iter().map(|c| c.global_score(&[0.0, 1.0])).collect();
         for w in scores.windows(2) {
-            assert!(w[0] >= w[1] - 1e-12, "oracle output must be globally sorted");
+            assert!(
+                w[0] >= w[1] - 1e-12,
+                "oracle output must be globally sorted"
+            );
         }
     }
 
@@ -244,7 +265,9 @@ mod tests {
     fn infeasible_query_errors() {
         let reg = travel::build_registry(9).unwrap();
         let q = QueryBuilder::new().atom("H", "Hotel1").build().unwrap();
-        assert!(matches!(evaluate_oracle(&q, &reg), Err(QueryError::Infeasible { .. })));
+        assert!(matches!(
+            evaluate_oracle(&q, &reg),
+            Err(QueryError::Infeasible { .. })
+        ));
     }
-
 }

@@ -31,7 +31,7 @@ use seco_model::{
 
 use crate::error::ServiceError;
 use crate::registry::ServiceRegistry;
-use crate::synthetic::{DomainMap, SyntheticService, ValueDomain};
+use crate::synthetic::{mix, DomainMap, FaultProfile, SyntheticService, ValueDomain};
 
 /// Number of distinct titles: `Shows` matches one movie/theatre pair in
 /// 50 ⇒ the 2% selectivity of §5.6.
@@ -52,7 +52,11 @@ pub fn movie_interface() -> ServiceInterface {
             AttributeDef::atomic("Year", DataType::Int, Adornment::Output),
             AttributeDef::group(
                 "Genres",
-                vec![SubAttributeDef::new("Genre", DataType::Text, Adornment::Input)],
+                vec![SubAttributeDef::new(
+                    "Genre",
+                    DataType::Text,
+                    Adornment::Input,
+                )],
             ),
             AttributeDef::atomic("Language", DataType::Text, Adornment::Input),
             AttributeDef::group(
@@ -64,7 +68,11 @@ pub fn movie_interface() -> ServiceInterface {
             ),
             AttributeDef::group(
                 "Actor",
-                vec![SubAttributeDef::new("Name", DataType::Text, Adornment::Output)],
+                vec![SubAttributeDef::new(
+                    "Name",
+                    DataType::Text,
+                    Adornment::Output,
+                )],
             ),
         ],
     )
@@ -145,7 +153,11 @@ pub fn restaurant_interface() -> ServiceInterface {
             AttributeDef::atomic("Rating", DataType::Float, Adornment::Ranked),
             AttributeDef::group(
                 "Category",
-                vec![SubAttributeDef::new("Name", DataType::Text, Adornment::Input)],
+                vec![SubAttributeDef::new(
+                    "Name",
+                    DataType::Text,
+                    Adornment::Input,
+                )],
             ),
         ],
     )
@@ -171,7 +183,10 @@ pub fn shows_pattern() -> ConnectionPattern {
         "Shows",
         "Movie",
         "Theatre",
-        vec![JoinPair::eq(AttributePath::atomic("Title"), AttributePath::sub("Movie", "Title"))],
+        vec![JoinPair::eq(
+            AttributePath::atomic("Title"),
+            AttributePath::sub("Movie", "Title"),
+        )],
         SHOWS_SELECTIVITY,
     )
     .expect("static pattern is valid")
@@ -187,9 +202,18 @@ pub fn dinner_place_pattern() -> ConnectionPattern {
         "Theatre",
         "Restaurant",
         vec![
-            JoinPair::eq(AttributePath::atomic("TAddress"), AttributePath::atomic("UAddress")),
-            JoinPair::eq(AttributePath::atomic("TCity"), AttributePath::atomic("UCity")),
-            JoinPair::eq(AttributePath::atomic("TCountry"), AttributePath::atomic("UCountry")),
+            JoinPair::eq(
+                AttributePath::atomic("TAddress"),
+                AttributePath::atomic("UAddress"),
+            ),
+            JoinPair::eq(
+                AttributePath::atomic("TCity"),
+                AttributePath::atomic("UCity"),
+            ),
+            JoinPair::eq(
+                AttributePath::atomic("TCountry"),
+                AttributePath::atomic("UCountry"),
+            ),
         ],
         DINNER_SELECTIVITY,
     )
@@ -205,35 +229,67 @@ pub fn dinner_place_pattern() -> ConnectionPattern {
 /// 2% pairwise match rate), and `Restaurant1` returns an empty list for
 /// 60% of piped addresses.
 pub fn build_registry(seed: u64) -> Result<ServiceRegistry, ServiceError> {
+    build_registry_with_faults(seed, FaultProfile::none())
+}
+
+/// Like [`build_registry`], but every service injects faults from the
+/// given profile. Each service derives its own decision seed from the
+/// profile's (mixed with the service ordinal), so providers do not fail
+/// in lockstep — one can be mid-outage while the others answer.
+pub fn build_registry_with_faults(
+    seed: u64,
+    faults: FaultProfile,
+) -> Result<ServiceRegistry, ServiceError> {
+    let per_service = |ordinal: u64| faults.with_seed(mix(faults.seed, ordinal));
     let mut reg = ServiceRegistry::new();
     let title = ValueDomain::new("title", TITLE_DOMAIN);
 
-    let movie_domains =
-        DomainMap::new().with(AttributePath::atomic("Title"), title.clone());
+    let movie_domains = DomainMap::new().with(AttributePath::atomic("Title"), title.clone());
     let movie = SyntheticService::new(movie_interface(), movie_domains, seed ^ 0x01)
-        .with_rows_per_group(2);
+        .with_rows_per_group(2)
+        .with_fault_profile(per_service(1));
     reg.register_service(Arc::new(movie))?;
 
     let theatre_domains = DomainMap::new()
         .with(AttributePath::sub("Movie", "Title"), title)
         .with(AttributePath::atomic("TCity"), ValueDomain::new("city", 8))
-        .with(AttributePath::atomic("TCountry"), ValueDomain::new("country", 3));
+        .with(
+            AttributePath::atomic("TCountry"),
+            ValueDomain::new("country", 3),
+        );
     // One programme row per theatre tuple keeps Shows at ≈ 1/50 = 2%.
     // Locality: a search around the user's address returns theatres in
     // the user's own city and country.
     let theatre = SyntheticService::new(theatre_interface(), theatre_domains, seed ^ 0x02)
         .with_rows_per_group(1)
-        .with_mirror(AttributePath::atomic("TCity"), AttributePath::atomic("UCity"))
-        .with_mirror(AttributePath::atomic("TCountry"), AttributePath::atomic("UCountry"));
+        .with_mirror(
+            AttributePath::atomic("TCity"),
+            AttributePath::atomic("UCity"),
+        )
+        .with_mirror(
+            AttributePath::atomic("TCountry"),
+            AttributePath::atomic("UCountry"),
+        )
+        .with_fault_profile(per_service(2));
     reg.register_service(Arc::new(theatre))?;
 
     let restaurant_domains = DomainMap::new()
         .with(AttributePath::atomic("RCity"), ValueDomain::new("city", 8))
-        .with(AttributePath::atomic("RCountry"), ValueDomain::new("country", 3));
+        .with(
+            AttributePath::atomic("RCountry"),
+            ValueDomain::new("country", 3),
+        );
     let restaurant = SyntheticService::new(restaurant_interface(), restaurant_domains, seed ^ 0x03)
         .with_empty_rate(1.0 - DINNER_SELECTIVITY)
-        .with_mirror(AttributePath::atomic("RCity"), AttributePath::atomic("UCity"))
-        .with_mirror(AttributePath::atomic("RCountry"), AttributePath::atomic("UCountry"));
+        .with_mirror(
+            AttributePath::atomic("RCity"),
+            AttributePath::atomic("UCity"),
+        )
+        .with_mirror(
+            AttributePath::atomic("RCountry"),
+            AttributePath::atomic("UCountry"),
+        )
+        .with_fault_profile(per_service(3));
     reg.register_service(Arc::new(restaurant))?;
 
     reg.register_pattern(shows_pattern())?;
@@ -280,15 +336,24 @@ mod tests {
     #[test]
     fn registry_builds_and_services_answer() {
         let reg = build_registry(42).unwrap();
-        assert_eq!(reg.service_names(), vec!["Movie1", "Restaurant1", "Theatre1"]);
+        assert_eq!(
+            reg.service_names(),
+            vec!["Movie1", "Restaurant1", "Theatre1"]
+        );
         assert_eq!(reg.pattern_names(), vec!["DinnerPlace", "Shows"]);
 
         let movie = reg.service("Movie1").unwrap();
         let req = Request::unbound()
             .bind(AttributePath::sub("Genres", "Genre"), Value::text("comedy"))
             .bind(AttributePath::atomic("Language"), Value::text("en"))
-            .bind(AttributePath::sub("Openings", "Country"), Value::text("Italy"))
-            .bind(AttributePath::sub("Openings", "Date"), Value::Date(seco_model::Date::new(2009, 6, 1)));
+            .bind(
+                AttributePath::sub("Openings", "Country"),
+                Value::text("Italy"),
+            )
+            .bind(
+                AttributePath::sub("Openings", "Date"),
+                Value::Date(seco_model::Date::new(2009, 6, 1)),
+            );
         let resp = movie.fetch(&req).unwrap();
         assert_eq!(resp.len(), 20);
         assert!(resp.has_more);
@@ -302,10 +367,19 @@ mod tests {
         let mreq = Request::unbound()
             .bind(AttributePath::sub("Genres", "Genre"), Value::text("drama"))
             .bind(AttributePath::atomic("Language"), Value::text("en"))
-            .bind(AttributePath::sub("Openings", "Country"), Value::text("Italy"))
-            .bind(AttributePath::sub("Openings", "Date"), Value::Date(seco_model::Date::new(2009, 6, 1)));
+            .bind(
+                AttributePath::sub("Openings", "Country"),
+                Value::text("Italy"),
+            )
+            .bind(
+                AttributePath::sub("Openings", "Date"),
+                Value::Date(seco_model::Date::new(2009, 6, 1)),
+            );
         let treq = Request::unbound()
-            .bind(AttributePath::atomic("UAddress"), Value::text("via Golgi 42"))
+            .bind(
+                AttributePath::atomic("UAddress"),
+                Value::text("via Golgi 42"),
+            )
             .bind(AttributePath::atomic("UCity"), Value::text("Milano"))
             .bind(AttributePath::atomic("UCountry"), Value::text("Italy"));
         let mut movies = Vec::new();
@@ -321,17 +395,23 @@ mod tests {
         let tschema = &theatre.interface().schema;
         let mut matches = 0usize;
         for m in &movies {
-            let title = m.first_value_at(mschema, &AttributePath::atomic("Title")).unwrap();
+            let title = m
+                .first_value_at(mschema, &AttributePath::atomic("Title"))
+                .unwrap();
             for t in &theatres {
-                let programme =
-                    t.values_at(tschema, &AttributePath::sub("Movie", "Title")).unwrap();
+                let programme = t
+                    .values_at(tschema, &AttributePath::sub("Movie", "Title"))
+                    .unwrap();
                 if programme.contains(&title) {
                     matches += 1;
                 }
             }
         }
         let rate = matches as f64 / 2500.0;
-        assert!((0.005..0.05).contains(&rate), "Shows match rate {rate} not ≈ 2%");
+        assert!(
+            (0.005..0.05).contains(&rate),
+            "Shows match rate {rate} not ≈ 2%"
+        );
     }
 
     #[test]
@@ -341,7 +421,10 @@ mod tests {
         let mut empty = 0;
         for i in 0..100 {
             let req = Request::unbound()
-                .bind(AttributePath::atomic("UAddress"), Value::Text(format!("addr-{i}")))
+                .bind(
+                    AttributePath::atomic("UAddress"),
+                    Value::Text(format!("addr-{i}")),
+                )
                 .bind(AttributePath::atomic("UCity"), Value::text("Milano"))
                 .bind(AttributePath::atomic("UCountry"), Value::text("Italy"))
                 .bind(AttributePath::sub("Category", "Name"), Value::text("pizza"));

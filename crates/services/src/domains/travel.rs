@@ -18,7 +18,7 @@ use seco_model::{
 
 use crate::error::ServiceError;
 use crate::registry::ServiceRegistry;
-use crate::synthetic::{DomainMap, SyntheticService, ValueDomain};
+use crate::synthetic::{mix, DomainMap, FaultProfile, SyntheticService, ValueDomain};
 
 /// Cities domain shared by all four services (joins on City always
 /// match when piped, and the Flight/Hotel parallel join matches on the
@@ -96,7 +96,11 @@ pub fn flight_interface() -> ServiceInterface {
         schema,
         ServiceKind::Search,
         ServiceStats::new(60.0, 10, 200.0, 1.0).expect("static stats are valid"),
-        ScoreDecay::Step { h: 2, high: 0.95, low: 0.1 },
+        ScoreDecay::Step {
+            h: 2,
+            high: 0.95,
+            low: 0.1,
+        },
     )
     .expect("static interface is valid")
 }
@@ -164,7 +168,10 @@ pub fn stay_at_pattern() -> ConnectionPattern {
         "StayAt",
         "Conference",
         "Hotel",
-        vec![JoinPair::eq(AttributePath::atomic("City"), AttributePath::atomic("City"))],
+        vec![JoinPair::eq(
+            AttributePath::atomic("City"),
+            AttributePath::atomic("City"),
+        )],
         1.0,
     )
     .expect("static pattern is valid")
@@ -177,7 +184,10 @@ pub fn same_trip_pattern() -> ConnectionPattern {
         "SameTrip",
         "Flight",
         "Hotel",
-        vec![JoinPair::eq(AttributePath::atomic("To"), AttributePath::atomic("City"))],
+        vec![JoinPair::eq(
+            AttributePath::atomic("To"),
+            AttributePath::atomic("City"),
+        )],
         1.0,
     )
     .expect("static pattern is valid")
@@ -185,37 +195,46 @@ pub fn same_trip_pattern() -> ConnectionPattern {
 
 /// Registers the four services and the patterns into a fresh registry.
 pub fn build_registry(seed: u64) -> Result<ServiceRegistry, ServiceError> {
+    build_registry_with_faults(seed, FaultProfile::none())
+}
+
+/// Like [`build_registry`], but every service injects faults from the
+/// given profile (per-service decision seeds, as in the entertainment
+/// domain).
+pub fn build_registry_with_faults(
+    seed: u64,
+    faults: FaultProfile,
+) -> Result<ServiceRegistry, ServiceError> {
+    let per_service = |ordinal: u64| faults.with_seed(mix(faults.seed, ordinal));
     let mut reg = ServiceRegistry::new();
     let city = ValueDomain::new("city", CITY_DOMAIN);
 
     let conf_domains = DomainMap::new().with(AttributePath::atomic("City"), city.clone());
-    reg.register_service(Arc::new(SyntheticService::new(
-        conference_interface(),
-        conf_domains,
-        seed ^ 0x11,
-    )))?;
+    reg.register_service(Arc::new(
+        SyntheticService::new(conference_interface(), conf_domains, seed ^ 0x11)
+            .with_fault_profile(per_service(1)),
+    ))?;
 
     // Weather temperature: uniform over 0..40 °C via a 41-value domain;
     // AvgTemp > 26 then keeps ≈ 1/3 of the tuples — "many of them can be
     // discarded" (Fig. 2 commentary).
-    let weather_domains =
-        DomainMap::new().with(AttributePath::atomic("AvgTemp"), ValueDomain::new("temp", 41));
-    reg.register_service(Arc::new(SyntheticService::new(
-        weather_interface(),
-        weather_domains,
-        seed ^ 0x12,
-    )))?;
+    let weather_domains = DomainMap::new().with(
+        AttributePath::atomic("AvgTemp"),
+        ValueDomain::new("temp", 41),
+    );
+    reg.register_service(Arc::new(
+        SyntheticService::new(weather_interface(), weather_domains, seed ^ 0x12)
+            .with_fault_profile(per_service(2)),
+    ))?;
 
-    reg.register_service(Arc::new(SyntheticService::new(
-        flight_interface(),
-        DomainMap::new(),
-        seed ^ 0x13,
-    )))?;
-    reg.register_service(Arc::new(SyntheticService::new(
-        hotel_interface(),
-        DomainMap::new(),
-        seed ^ 0x14,
-    )))?;
+    reg.register_service(Arc::new(
+        SyntheticService::new(flight_interface(), DomainMap::new(), seed ^ 0x13)
+            .with_fault_profile(per_service(3)),
+    ))?;
+    reg.register_service(Arc::new(
+        SyntheticService::new(hotel_interface(), DomainMap::new(), seed ^ 0x14)
+            .with_fault_profile(per_service(4)),
+    ))?;
 
     reg.register_pattern(forecast_pattern())?;
     reg.register_pattern(reached_by_pattern())?;
@@ -236,7 +255,11 @@ mod tests {
         let conf = reg.service("Conference1").unwrap();
         let req = Request::unbound().bind(AttributePath::atomic("Topic"), Value::text("databases"));
         let resp = conf.fetch(&req).unwrap();
-        assert_eq!(resp.len(), 20, "Conference is proliferative with 20 answers on average");
+        assert_eq!(
+            resp.len(),
+            20,
+            "Conference is proliferative with 20 answers on average"
+        );
         assert!(!resp.has_more);
     }
 
@@ -247,8 +270,14 @@ mod tests {
         let mut kept = 0;
         for i in 0..60 {
             let req = Request::unbound()
-                .bind(AttributePath::atomic("City"), Value::Text(format!("city-{}", i % 12)))
-                .bind(AttributePath::atomic("Date"), Value::Date(Date::new(2009, 6, (i % 28 + 1) as u8)));
+                .bind(
+                    AttributePath::atomic("City"),
+                    Value::Text(format!("city-{}", i % 12)),
+                )
+                .bind(
+                    AttributePath::atomic("Date"),
+                    Value::Date(Date::new(2009, 6, (i % 28 + 1) as u8)),
+                );
             let resp = weather.fetch(&req).unwrap();
             assert_eq!(resp.len(), 1);
             if let Value::Int(t) = resp.tuples[0].atomic_at(2) {
@@ -258,7 +287,10 @@ mod tests {
             }
         }
         // ≈ 14/41 of the uniform temperature domain exceeds 26 °C.
-        assert!((8..=30).contains(&kept), "kept {kept}/60, expected roughly a third");
+        assert!(
+            (8..=30).contains(&kept),
+            "kept {kept}/60, expected roughly a third"
+        );
     }
 
     #[test]
@@ -267,17 +299,26 @@ mod tests {
         let flight = reg.service("Flight1").unwrap();
         let req = Request::unbound()
             .bind(AttributePath::atomic("To"), Value::text("city-3"))
-            .bind(AttributePath::atomic("Date"), Value::Date(Date::new(2009, 7, 10)));
+            .bind(
+                AttributePath::atomic("Date"),
+                Value::Date(Date::new(2009, 7, 10)),
+            );
         let c1 = flight.fetch(&req.at_chunk(1)).unwrap();
         let c2 = flight.fetch(&req.at_chunk(2)).unwrap();
-        assert!(c1.tuples.last().unwrap().score > 0.8, "inside the h=2 plateau");
+        assert!(
+            c1.tuples.last().unwrap().score > 0.8,
+            "inside the h=2 plateau"
+        );
         assert!(c2.tuples[0].score < 0.2, "after the step");
     }
 
     #[test]
     fn registry_has_all_patterns() {
         let reg = build_registry(5).unwrap();
-        assert_eq!(reg.pattern_names(), vec!["Forecast", "ReachedBy", "SameTrip", "StayAt"]);
+        assert_eq!(
+            reg.pattern_names(),
+            vec!["Forecast", "ReachedBy", "SameTrip", "StayAt"]
+        );
         assert_eq!(reg.pattern("SameTrip").unwrap().from_mart, "Flight");
     }
 }

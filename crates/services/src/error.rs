@@ -36,6 +36,36 @@ pub enum ServiceError {
         /// Failure description.
         detail: String,
     },
+    /// The per-call deadline elapsed before the service answered. Raised
+    /// by the resilience middleware, never by services themselves.
+    DeadlineExceeded {
+        /// Service name.
+        service: String,
+        /// The deadline that was exceeded, in milliseconds.
+        deadline_ms: f64,
+    },
+    /// The circuit breaker guarding the service is open: recent calls
+    /// failed consecutively, so the middleware short-circuits without
+    /// issuing a request-response.
+    CircuitOpen {
+        /// Service name.
+        service: String,
+    },
+}
+
+impl ServiceError {
+    /// Whether retrying the same request can plausibly succeed.
+    ///
+    /// Transport failures and deadline expirations are transient (a
+    /// flaky network, a latency spike); everything else — bad bindings,
+    /// unknown names, schema violations, an open breaker — is
+    /// deterministic and retrying would only repeat the failure.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Transport { .. } | ServiceError::DeadlineExceeded { .. }
+        )
+    }
 }
 
 impl fmt::Display for ServiceError {
@@ -43,7 +73,10 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Model(e) => write!(f, "model error: {e}"),
             ServiceError::MissingBinding { service, attribute } => {
-                write!(f, "service `{service}` requires input `{attribute}` to be bound")
+                write!(
+                    f,
+                    "service `{service}` requires input `{attribute}` to be bound"
+                )
             }
             ServiceError::NotChunked { service } => {
                 write!(f, "service `{service}` is not chunked; only chunk 0 exists")
@@ -53,6 +86,21 @@ impl fmt::Display for ServiceError {
             ServiceError::Duplicate(name) => write!(f, "duplicate registration of `{name}`"),
             ServiceError::Transport { service, detail } => {
                 write!(f, "transport failure calling `{service}`: {detail}")
+            }
+            ServiceError::DeadlineExceeded {
+                service,
+                deadline_ms,
+            } => {
+                write!(
+                    f,
+                    "call to `{service}` exceeded its {deadline_ms} ms deadline"
+                )
+            }
+            ServiceError::CircuitOpen { service } => {
+                write!(
+                    f,
+                    "circuit breaker for `{service}` is open; call short-circuited"
+                )
             }
         }
     }
@@ -79,10 +127,44 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = ServiceError::MissingBinding { service: "Movie1".into(), attribute: "Genres.Genre".into() };
+        let e = ServiceError::MissingBinding {
+            service: "Movie1".into(),
+            attribute: "Genres.Genre".into(),
+        };
         assert!(e.to_string().contains("Movie1"));
         let e: ServiceError = ModelError::UnknownName("x".into()).into();
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&ServiceError::UnknownService("s".into())).is_none());
+    }
+
+    #[test]
+    fn transient_classification() {
+        let transient = [
+            ServiceError::Transport {
+                service: "S".into(),
+                detail: "reset".into(),
+            },
+            ServiceError::DeadlineExceeded {
+                service: "S".into(),
+                deadline_ms: 200.0,
+            },
+        ];
+        assert!(transient.iter().all(ServiceError::is_transient));
+        let permanent = [
+            ServiceError::CircuitOpen {
+                service: "S".into(),
+            },
+            ServiceError::UnknownService("S".into()),
+            ServiceError::NotChunked {
+                service: "S".into(),
+            },
+            ServiceError::MissingBinding {
+                service: "S".into(),
+                attribute: "K".into(),
+            },
+        ];
+        assert!(permanent.iter().all(|e| !e.is_transient()));
+        assert!(transient[1].to_string().contains("200"));
+        assert!(permanent[0].to_string().contains("short-circuited"));
     }
 }

@@ -46,18 +46,30 @@ pub struct Request {
 impl Request {
     /// Request for the first chunk under the given bindings.
     pub fn first(bindings: Bindings) -> Self {
-        Request { bindings, ranges: Ranges::new(), chunk: 0 }
+        Request {
+            bindings,
+            ranges: Ranges::new(),
+            chunk: 0,
+        }
     }
 
     /// Request with no bindings (for services whose access pattern has
     /// no input attributes).
     pub fn unbound() -> Self {
-        Request { bindings: Bindings::new(), ranges: Ranges::new(), chunk: 0 }
+        Request {
+            bindings: Bindings::new(),
+            ranges: Ranges::new(),
+            chunk: 0,
+        }
     }
 
     /// Returns a copy of this request addressing chunk `chunk`.
     pub fn at_chunk(&self, chunk: usize) -> Self {
-        Request { bindings: self.bindings.clone(), ranges: self.ranges.clone(), chunk }
+        Request {
+            bindings: self.bindings.clone(),
+            ranges: self.ranges.clone(),
+            chunk,
+        }
     }
 
     /// Convenience: inserts one equality binding, builder-style.
@@ -67,7 +79,12 @@ impl Request {
     }
 
     /// Convenience: inserts one range constraint, builder-style.
-    pub fn constrain(mut self, path: AttributePath, op: seco_model::Comparator, value: Value) -> Self {
+    pub fn constrain(
+        mut self,
+        path: AttributePath,
+        op: seco_model::Comparator,
+        value: Value,
+    ) -> Self {
         self.ranges.insert(path, (op, value));
         self
     }
@@ -100,7 +117,11 @@ pub struct ChunkResponse {
 impl ChunkResponse {
     /// An empty terminal chunk.
     pub fn empty(elapsed_ms: f64) -> Self {
-        ChunkResponse { tuples: Vec::new(), has_more: false, elapsed_ms }
+        ChunkResponse {
+            tuples: Vec::new(),
+            has_more: false,
+            elapsed_ms,
+        }
     }
 
     /// Number of tuples in the chunk.
@@ -148,32 +169,12 @@ pub trait Service: Send + Sync {
 /// Shared handle to a service.
 pub type ServiceHandle = Arc<dyn Service>;
 
-/// Fetches chunks `0..n` under the same bindings, concatenating tuples,
-/// stopping early when the service reports no more chunks. Returns the
-/// tuples and the number of request-responses actually performed.
-pub fn fetch_n_chunks(
-    service: &dyn Service,
-    bindings: &Bindings,
-    n: usize,
-) -> Result<(Vec<Tuple>, usize), ServiceError> {
-    let mut tuples = Vec::new();
-    let mut calls = 0;
-    for c in 0..n {
-        let resp = service.fetch(&Request::first(bindings.clone()).at_chunk(c))?;
-        calls += 1;
-        let more = resp.has_more;
-        tuples.extend(resp.tuples);
-        if !more {
-            break;
-        }
-    }
-    Ok((tuples, calls))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seco_model::{Adornment, AttributeDef, DataType, ScoreDecay, ServiceKind, ServiceSchema, ServiceStats};
+    use seco_model::{
+        Adornment, AttributeDef, DataType, ScoreDecay, ServiceKind, ServiceSchema, ServiceStats,
+    };
 
     struct Fixed {
         iface: ServiceInterface,
@@ -240,12 +241,19 @@ mod tests {
     }
 
     #[test]
-    fn fetch_n_chunks_stops_at_terminal_chunk() {
+    fn multi_chunk_fetching_moved_to_service_client() {
+        // Chunked fetch-until-terminal now lives on the builder-style
+        // `ServiceClient::fetch_n_chunks`; see `resilience::tests`.
         let s = fixed();
-        let bindings: Bindings =
-            [(AttributePath::atomic("K"), Value::text("x"))].into_iter().collect();
-        let (tuples, calls) = fetch_n_chunks(&s, &bindings, 5).unwrap();
+        let client = crate::resilience::ServiceClient::for_service(Arc::new(s)).build();
+        let bindings: Bindings = [(AttributePath::atomic("K"), Value::text("x"))]
+            .into_iter()
+            .collect();
+        let (tuples, calls) = client.fetch_n_chunks(&bindings, 5).unwrap();
         assert!(tuples.is_empty());
-        assert_eq!(calls, 1, "has_more=false after first chunk must stop fetching");
+        assert_eq!(
+            calls, 1,
+            "has_more=false after first chunk must stop fetching"
+        );
     }
 }

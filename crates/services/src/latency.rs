@@ -47,11 +47,16 @@ impl LatencyModel {
             LatencyModel::Fixed { ms } => ms,
             LatencyModel::Jittered { base_ms, jitter_ms } => {
                 // Cheap integer hash -> [-1, 1) deterministic jitter.
-                let h = call_index.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+                let h = call_index
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(17);
                 let unit = (h % 2048) as f64 / 1024.0 - 1.0;
                 (base_ms + jitter_ms * unit).max(0.0)
             }
-            LatencyModel::Paged { base_ms, per_chunk_ms } => base_ms + per_chunk_ms * chunk as f64,
+            LatencyModel::Paged {
+                base_ms,
+                per_chunk_ms,
+            } => base_ms + per_chunk_ms * chunk as f64,
         }
     }
 }
@@ -112,11 +117,18 @@ mod tests {
 
     #[test]
     fn jitter_is_deterministic_and_bounded() {
-        let m = LatencyModel::Jittered { base_ms: 100.0, jitter_ms: 10.0 };
+        let m = LatencyModel::Jittered {
+            base_ms: 100.0,
+            jitter_ms: 10.0,
+        };
         for i in 0..100 {
             let l = m.latency_ms(i, 0);
             assert!((90.0..=110.0).contains(&l), "latency {l} out of bounds");
-            assert_eq!(l, m.latency_ms(i, 0), "same call index must give same latency");
+            assert_eq!(
+                l,
+                m.latency_ms(i, 0),
+                "same call index must give same latency"
+            );
         }
         // Jitter actually varies.
         let distinct: std::collections::BTreeSet<u64> =
@@ -126,7 +138,10 @@ mod tests {
 
     #[test]
     fn paged_latency_grows_with_chunk() {
-        let m = LatencyModel::Paged { base_ms: 10.0, per_chunk_ms: 5.0 };
+        let m = LatencyModel::Paged {
+            base_ms: 10.0,
+            per_chunk_ms: 5.0,
+        };
         assert_eq!(m.latency_ms(0, 0), 10.0);
         assert_eq!(m.latency_ms(0, 4), 30.0);
     }

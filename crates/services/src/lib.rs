@@ -28,6 +28,12 @@
 //! chapter (the Movie/Theatre/Restaurant running example and the
 //! Conference/Weather/Flight/Hotel plan of Fig. 2).
 
+//! Resilience lives in [`resilience`]: a [`resilience::ServiceClient`]
+//! decorates any service with per-call deadlines, seeded
+//! retry-with-backoff, and a circuit breaker, while
+//! [`synthetic::FaultProfile`] injects deterministic faults to test
+//! against.
+
 pub mod cache;
 pub mod domains;
 pub mod error;
@@ -36,6 +42,7 @@ pub mod latency;
 pub mod opaque;
 pub mod recorder;
 pub mod registry;
+pub mod resilience;
 pub mod synthetic;
 pub mod table;
 pub mod wire;
@@ -47,7 +54,8 @@ pub use latency::{LatencyModel, VirtualClock};
 pub use opaque::{OpaqueRanking, PositionScored};
 pub use recorder::{CallRecorder, CallStats};
 pub use registry::ServiceRegistry;
-pub use synthetic::{DomainMap, SyntheticService, ValueDomain};
+pub use resilience::{ClientConfig, ServiceClient, ServiceClientBuilder};
+pub use synthetic::{DomainMap, FaultProfile, SyntheticService, ValueDomain};
 pub use table::TableService;
 
 /// Result alias for service-layer operations.

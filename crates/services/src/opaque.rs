@@ -63,7 +63,10 @@ impl PositionScored {
     /// length.
     pub fn new(inner: Arc<dyn Service>) -> Self {
         let assumed_total = inner.interface().stats.avg_cardinality.round().max(1.0) as usize;
-        PositionScored { inner, assumed_total }
+        PositionScored {
+            inner,
+            assumed_total,
+        }
     }
 
     /// Overrides the assumed total list length.
@@ -164,6 +167,9 @@ mod tests {
         let opaque: Arc<dyn Service> = Arc::new(OpaqueRanking::new(search_service()));
         let fast = PositionScored::new(opaque).with_assumed_total(10);
         let last_of_first_chunk = fast.fetch(&req()).unwrap().tuples[9].score;
-        assert!(last_of_first_chunk <= 0.1 + 1e-12, "position 9 of 10 scores near 0");
+        assert!(
+            last_of_first_chunk <= 0.1 + 1e-12,
+            "position 9 of 10 scores near 0"
+        );
     }
 }

@@ -18,7 +18,7 @@ use crate::invocation::{ChunkResponse, Request, Service};
 use crate::wire::chunk_wire_size;
 
 /// Accumulated statistics of one (wrapped) service.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CallStats {
     /// Request-responses issued (including failed ones).
     pub calls: u64,
@@ -37,6 +37,40 @@ pub struct CallStats {
     pub bytes: u64,
     /// Monetary/abstract cost charged (`cost_per_call × calls`).
     pub charged: f64,
+    /// Retry attempts issued by the resilience middleware (a call that
+    /// succeeds on its third attempt counts 3 calls and 2 retries).
+    pub retries: u64,
+    /// Calls abandoned because they exceeded their deadline.
+    pub timeouts: u64,
+    /// Times the circuit breaker tripped from closed/half-open to open.
+    pub breaker_trips: u64,
+    /// Calls short-circuited by an open breaker (no request-response
+    /// was issued, no time consumed).
+    pub short_circuits: u64,
+}
+
+impl serde::Serialize for CallStats {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("calls".to_string(), self.calls.to_json_value()),
+            ("failures".to_string(), self.failures.to_json_value()),
+            ("tuples".to_string(), self.tuples.to_json_value()),
+            ("busy_ms".to_string(), self.busy_ms.to_json_value()),
+            ("max_call_ms".to_string(), self.max_call_ms.to_json_value()),
+            ("bytes".to_string(), self.bytes.to_json_value()),
+            ("charged".to_string(), self.charged.to_json_value()),
+            ("retries".to_string(), self.retries.to_json_value()),
+            ("timeouts".to_string(), self.timeouts.to_json_value()),
+            (
+                "breaker_trips".to_string(),
+                self.breaker_trips.to_json_value(),
+            ),
+            (
+                "short_circuits".to_string(),
+                self.short_circuits.to_json_value(),
+            ),
+        ])
+    }
 }
 
 impl CallStats {
@@ -59,6 +93,10 @@ impl CallStats {
         self.max_call_ms = self.max_call_ms.max(other.max_call_ms);
         self.bytes += other.bytes;
         self.charged += other.charged;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.breaker_trips += other.breaker_trips;
+        self.short_circuits += other.short_circuits;
     }
 }
 
@@ -71,7 +109,10 @@ pub struct CallRecorder {
 impl CallRecorder {
     /// Wraps a service.
     pub fn new(inner: Arc<dyn Service>) -> Arc<Self> {
-        Arc::new(CallRecorder { inner, stats: Mutex::new(CallStats::default()) })
+        Arc::new(CallRecorder {
+            inner,
+            stats: Mutex::new(CallStats::default()),
+        })
     }
 
     /// Snapshot of the statistics so far.
@@ -82,6 +123,26 @@ impl CallRecorder {
     /// Resets the counters (between experiment repetitions).
     pub fn reset(&self) {
         *self.stats.lock() = CallStats::default();
+    }
+
+    /// Records a retry attempt issued by the resilience middleware.
+    pub fn note_retry(&self) {
+        self.stats.lock().retries += 1;
+    }
+
+    /// Records a call abandoned for exceeding its deadline.
+    pub fn note_timeout(&self) {
+        self.stats.lock().timeouts += 1;
+    }
+
+    /// Records a closed/half-open → open breaker transition.
+    pub fn note_breaker_trip(&self) {
+        self.stats.lock().breaker_trips += 1;
+    }
+
+    /// Records a call short-circuited by an open breaker.
+    pub fn note_short_circuit(&self) {
+        self.stats.lock().short_circuits += 1;
     }
 }
 
@@ -155,7 +216,11 @@ mod tests {
         assert!((s.busy_ms - 80.0).abs() < 1e-9);
         assert!((s.max_call_ms - 40.0).abs() < 1e-9);
         assert!((s.charged - 5.0).abs() < 1e-9);
-        assert!(s.bytes > 64, "wire bytes should be substantial, got {}", s.bytes);
+        assert!(
+            s.bytes > 64,
+            "wire bytes should be substantial, got {}",
+            s.bytes
+        );
         assert!((s.mean_call_ms() - 40.0).abs() < 1e-9);
     }
 
@@ -191,8 +256,29 @@ mod tests {
 
     #[test]
     fn merge_aggregates() {
-        let mut a = CallStats { calls: 1, failures: 0, tuples: 10, busy_ms: 5.0, max_call_ms: 5.0, bytes: 100, charged: 1.0 };
-        let b = CallStats { calls: 2, failures: 1, tuples: 4, busy_ms: 9.0, max_call_ms: 8.0, bytes: 50, charged: 2.0 };
+        let mut a = CallStats {
+            calls: 1,
+            failures: 0,
+            tuples: 10,
+            busy_ms: 5.0,
+            max_call_ms: 5.0,
+            bytes: 100,
+            charged: 1.0,
+            ..CallStats::default()
+        };
+        let b = CallStats {
+            calls: 2,
+            failures: 1,
+            tuples: 4,
+            busy_ms: 9.0,
+            max_call_ms: 8.0,
+            bytes: 50,
+            charged: 2.0,
+            retries: 3,
+            timeouts: 1,
+            breaker_trips: 1,
+            short_circuits: 2,
+        };
         a.merge(&b);
         assert_eq!(a.calls, 3);
         assert_eq!(a.failures, 1);
@@ -201,6 +287,10 @@ mod tests {
         assert!((a.max_call_ms - 8.0).abs() < 1e-12);
         assert_eq!(a.bytes, 150);
         assert!((a.charged - 3.0).abs() < 1e-12);
+        assert_eq!(
+            (a.retries, a.timeouts, a.breaker_trips, a.short_circuits),
+            (3, 1, 1, 2)
+        );
         assert_eq!(CallStats::default().mean_call_ms(), 0.0);
     }
 }

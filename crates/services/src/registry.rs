@@ -41,7 +41,8 @@ impl ServiceRegistry {
             .entry(iface.mart.clone())
             .or_insert_with(|| ServiceMart::new(iface.mart.clone()));
         mart.interfaces.push(iface.name.clone());
-        self.services.insert(iface.name.clone(), CallRecorder::new(service));
+        self.services
+            .insert(iface.name.clone(), CallRecorder::new(service));
         Ok(())
     }
 
@@ -56,7 +57,10 @@ impl ServiceRegistry {
 
     /// Looks up an invocable service (wrapped in its recorder).
     pub fn service(&self, name: &str) -> Result<Arc<CallRecorder>, ServiceError> {
-        self.services.get(name).cloned().ok_or_else(|| ServiceError::UnknownService(name.into()))
+        self.services
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownService(name.into()))
     }
 
     /// Looks up a service interface (the adorned schema and statistics).
@@ -69,19 +73,28 @@ impl ServiceRegistry {
 
     /// Looks up a connection pattern.
     pub fn pattern(&self, name: &str) -> Result<&ConnectionPattern, ServiceError> {
-        self.patterns.get(name).ok_or_else(|| ServiceError::UnknownPattern(name.into()))
+        self.patterns
+            .get(name)
+            .ok_or_else(|| ServiceError::UnknownPattern(name.into()))
     }
 
     /// Looks up a mart.
     pub fn mart(&self, name: &str) -> Result<&ServiceMart, ServiceError> {
-        self.marts.get(name).ok_or_else(|| ServiceError::UnknownService(name.into()))
+        self.marts
+            .get(name)
+            .ok_or_else(|| ServiceError::UnknownService(name.into()))
     }
 
     /// All interfaces implementing a mart (Phase-1 candidates).
     pub fn interfaces_of_mart(&self, mart: &str) -> Vec<&ServiceInterface> {
         self.marts
             .get(mart)
-            .map(|m| m.interfaces.iter().filter_map(|n| self.services.get(n).map(|s| s.interface())).collect())
+            .map(|m| {
+                m.interfaces
+                    .iter()
+                    .filter_map(|n| self.services.get(n).map(|s| s.interface()))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -97,7 +110,10 @@ impl ServiceRegistry {
 
     /// Per-service call statistics, keyed by interface name.
     pub fn all_stats(&self) -> BTreeMap<String, CallStats> {
-        self.services.iter().map(|(k, v)| (k.clone(), v.stats())).collect()
+        self.services
+            .iter()
+            .map(|(k, v)| (k.clone(), v.stats()))
+            .collect()
     }
 
     /// Sum of all services' statistics.
@@ -120,8 +136,8 @@ impl ServiceRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::synthetic::{DomainMap, SyntheticService};
     use crate::invocation::Request;
+    use crate::synthetic::{DomainMap, SyntheticService};
     use seco_model::{
         Adornment, AttributeDef, AttributePath, DataType, JoinPair, ScoreDecay, ServiceKind,
         ServiceSchema, ServiceStats, Value,
@@ -150,16 +166,27 @@ mod tests {
 
     fn registry() -> ServiceRegistry {
         let mut reg = ServiceRegistry::new();
-        for (n, m) in [("Movie1", "Movie"), ("Movie2", "Movie"), ("Theatre1", "Theatre")] {
-            reg.register_service(Arc::new(SyntheticService::new(iface(n, m), DomainMap::new(), 1)))
-                .unwrap();
+        for (n, m) in [
+            ("Movie1", "Movie"),
+            ("Movie2", "Movie"),
+            ("Theatre1", "Theatre"),
+        ] {
+            reg.register_service(Arc::new(SyntheticService::new(
+                iface(n, m),
+                DomainMap::new(),
+                1,
+            )))
+            .unwrap();
         }
         reg.register_pattern(
             ConnectionPattern::new(
                 "Shows",
                 "Movie",
                 "Theatre",
-                vec![JoinPair::eq(AttributePath::atomic("V"), AttributePath::atomic("V"))],
+                vec![JoinPair::eq(
+                    AttributePath::atomic("V"),
+                    AttributePath::atomic("V"),
+                )],
                 0.02,
             )
             .unwrap(),
@@ -184,7 +211,11 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut reg = registry();
         let err = reg
-            .register_service(Arc::new(SyntheticService::new(iface("Movie1", "Movie"), DomainMap::new(), 9)))
+            .register_service(Arc::new(SyntheticService::new(
+                iface("Movie1", "Movie"),
+                DomainMap::new(),
+                9,
+            )))
             .unwrap_err();
         assert!(matches!(err, ServiceError::Duplicate(_)));
         let err = reg
@@ -193,7 +224,10 @@ mod tests {
                     "Shows",
                     "A",
                     "B",
-                    vec![JoinPair::eq(AttributePath::atomic("X"), AttributePath::atomic("Y"))],
+                    vec![JoinPair::eq(
+                        AttributePath::atomic("X"),
+                        AttributePath::atomic("Y"),
+                    )],
                     0.5,
                 )
                 .unwrap(),

@@ -48,7 +48,10 @@ pub struct ValueDomain {
 impl ValueDomain {
     /// Creates a domain; size must be positive.
     pub fn new(name: impl Into<String>, size: u64) -> Self {
-        ValueDomain { name: name.into(), size: size.max(1) }
+        ValueDomain {
+            name: name.into(),
+            size: size.max(1),
+        }
     }
 
     /// The `idx`-th value of the domain rendered as the requested type.
@@ -60,7 +63,9 @@ impl ValueDomain {
             DataType::Float => Value::float(idx as f64 / self.size as f64),
             DataType::Bool => Value::Bool(idx.is_multiple_of(2)),
             // Anchor synthetic dates mid-2009, the chapter's era.
-            DataType::Date => Value::Date(Date::from_ordinal(Date::new(2009, 1, 1).ordinal() + idx as i64)),
+            DataType::Date => Value::Date(Date::from_ordinal(
+                Date::new(2009, 1, 1).ordinal() + idx as i64,
+            )),
         }
     }
 }
@@ -77,7 +82,10 @@ impl DomainMap {
     /// Empty map with a default domain size of 1000 (effectively
     /// join-incompatible unless shared explicitly).
     pub fn new() -> Self {
-        DomainMap { map: BTreeMap::new(), default_size: 1000 }
+        DomainMap {
+            map: BTreeMap::new(),
+            default_size: 1000,
+        }
     }
 
     /// Assigns a domain to a path, builder-style.
@@ -109,7 +117,7 @@ fn hash_request_key(request: &Request) -> u64 {
     h.finish()
 }
 
-fn mix(a: u64, b: u64) -> u64 {
+pub(crate) fn mix(a: u64, b: u64) -> u64 {
     // splitmix64-style mixing.
     let mut z = a.wrapping_add(b).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -121,6 +129,99 @@ fn hash_path(path: &AttributePath) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     path.hash(&mut h);
     h.finish()
+}
+
+/// A deterministic fault-injection profile for [`SyntheticService`].
+///
+/// Every decision (does call `i` fail? spike? return an empty chunk?)
+/// is a pure function of `(profile seed, call index)`, so a faulty run
+/// is exactly as reproducible as a healthy one — which is what lets the
+/// resilience tests assert byte-identical retry schedules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Jitter/decision seed of the profile.
+    pub seed: u64,
+    /// Probability that a call fails with a transient transport error.
+    pub transient_rate: f64,
+    /// Probability that a call's latency spikes by `spike_ms`.
+    pub spike_rate: f64,
+    /// Latency added on a spiked call, in milliseconds.
+    pub spike_ms: f64,
+    /// Probability that a call returns an empty (non-terminal) chunk.
+    pub empty_rate: f64,
+    /// Hard outage over a half-open call-index window `[start, end)`:
+    /// every call in the window fails.
+    pub outage: Option<(u64, u64)>,
+}
+
+impl FaultProfile {
+    /// No injected faults (the identity profile).
+    pub fn none() -> Self {
+        FaultProfile {
+            seed: 0,
+            transient_rate: 0.0,
+            spike_rate: 0.0,
+            spike_ms: 0.0,
+            empty_rate: 0.0,
+            outage: None,
+        }
+    }
+
+    /// A flaky provider: frequent transient errors and latency spikes,
+    /// occasional empty chunks, no sustained outage.
+    pub fn flaky() -> Self {
+        FaultProfile {
+            seed: 0xFA17,
+            transient_rate: 0.25,
+            spike_rate: 0.20,
+            spike_ms: 250.0,
+            empty_rate: 0.10,
+            outage: None,
+        }
+    }
+
+    /// A provider that goes hard-down for calls 3..40 (long enough to
+    /// trip any reasonable breaker), healthy otherwise.
+    pub fn outage() -> Self {
+        FaultProfile {
+            seed: 0x0D0D,
+            transient_rate: 0.02,
+            spike_rate: 0.0,
+            spike_ms: 0.0,
+            empty_rate: 0.0,
+            outage: Some((3, 40)),
+        }
+    }
+
+    /// Looks a preset up by name (`none`, `flaky`, `outage`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "none" => Some(FaultProfile::none()),
+            "flaky" => Some(FaultProfile::flaky()),
+            "outage" => Some(FaultProfile::outage()),
+            _ => None,
+        }
+    }
+
+    /// Replaces the decision seed, builder-style.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// True when the profile can never inject anything.
+    pub fn is_inert(&self) -> bool {
+        self.transient_rate <= 0.0
+            && self.spike_rate <= 0.0
+            && self.empty_rate <= 0.0
+            && self.outage.is_none()
+    }
+
+    /// Deterministic unit-interval coin for decision `salt` on call
+    /// `call_idx`.
+    fn coin(&self, salt: u64, call_idx: u64) -> f64 {
+        mix(self.seed ^ salt, call_idx) as f64 / u64::MAX as f64
+    }
 }
 
 /// A deterministic, in-process stand-in for a remote service.
@@ -147,13 +248,17 @@ pub struct SyntheticService {
     /// search for an address in `country-0` returns theatres in
     /// `country-0`. Entries are `(output, input)`.
     mirrors: Vec<(AttributePath, AttributePath)>,
+    /// Seeded fault injection applied per call (resilience experiments).
+    faults: Option<FaultProfile>,
     calls: AtomicU64,
 }
 
 impl SyntheticService {
     /// Creates a synthetic service for an interface.
     pub fn new(iface: ServiceInterface, domains: DomainMap, seed: u64) -> Self {
-        let latency = LatencyModel::Fixed { ms: iface.stats.response_time_ms };
+        let latency = LatencyModel::Fixed {
+            ms: iface.stats.response_time_ms,
+        };
         SyntheticService {
             iface,
             domains,
@@ -164,8 +269,19 @@ impl SyntheticService {
             fail_every: None,
             empty_rate: 0.0,
             mirrors: Vec::new(),
+            faults: None,
             calls: AtomicU64::new(0),
         }
+    }
+
+    /// Applies a fault-injection profile (inert profiles are dropped).
+    pub fn with_fault_profile(mut self, profile: FaultProfile) -> Self {
+        self.faults = if profile.is_inert() {
+            None
+        } else {
+            Some(profile)
+        };
+        self
     }
 
     /// Declares that `output`'s generated value copies the bound value
@@ -262,7 +378,10 @@ impl SyntheticService {
         tuple_index: usize,
     ) -> Option<Value> {
         use seco_model::Comparator as C;
-        let seed = mix(mix(self.seed ^ 0x5EED, bindings_hash), mix(hash_path(path), tuple_index as u64));
+        let seed = mix(
+            mix(self.seed ^ 0x5EED, bindings_hash),
+            mix(hash_path(path), tuple_index as u64),
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let delta = rng.gen_range(1..=30i64);
         let shifted = |sign: i64| -> Option<Value> {
@@ -372,8 +491,34 @@ impl Service for SyntheticService {
                 });
             }
         }
+        let mut injected_spike_ms = 0.0;
+        let mut injected_empty = false;
+        if let Some(profile) = &self.faults {
+            if let Some((start, end)) = profile.outage {
+                if (start..end).contains(&call_idx) {
+                    return Err(ServiceError::Transport {
+                        service: self.iface.name.clone(),
+                        detail: format!(
+                            "injected outage (call {call_idx} in window {start}..{end})"
+                        ),
+                    });
+                }
+            }
+            if profile.coin(0x7A1E, call_idx) < profile.transient_rate {
+                return Err(ServiceError::Transport {
+                    service: self.iface.name.clone(),
+                    detail: format!("injected transient fault on call {call_idx}"),
+                });
+            }
+            if profile.coin(0x591C, call_idx) < profile.spike_rate {
+                injected_spike_ms = profile.spike_ms;
+            }
+            injected_empty = profile.coin(0xE017, call_idx) < profile.empty_rate;
+        }
         if !self.iface.kind.is_chunked() && request.chunk > 0 {
-            return Err(ServiceError::NotChunked { service: self.iface.name.clone() });
+            return Err(ServiceError::NotChunked {
+                service: self.iface.name.clone(),
+            });
         }
         let bindings_hash = hash_request_key(request);
         let total = self.result_len(bindings_hash);
@@ -386,12 +531,31 @@ impl Service for SyntheticService {
             .map_err(ServiceError::Model)?;
         let start = request.chunk * chunk_size;
         let end = (start + chunk_size).min(total);
+        let elapsed_ms = self.latency.latency_ms(call_idx, request.chunk) + injected_spike_ms;
+        if injected_empty {
+            // An empty non-terminal chunk: the provider answered but the
+            // page carried nothing. Re-fetching the same chunk index may
+            // succeed (the decision is per call, not per request).
+            return Ok(ChunkResponse {
+                tuples: Vec::new(),
+                has_more: end < total,
+                elapsed_ms,
+            });
+        }
         let tuples: Vec<Tuple> = (start..end.max(start))
-            .map(|i| self.gen_tuple(&request.bindings, &request.ranges, bindings_hash, i, &scoring))
+            .map(|i| {
+                self.gen_tuple(
+                    &request.bindings,
+                    &request.ranges,
+                    bindings_hash,
+                    i,
+                    &scoring,
+                )
+            })
             .collect::<Result<_, _>>()?;
         Ok(ChunkResponse {
             has_more: end < total,
-            elapsed_ms: self.latency.latency_ms(call_idx, request.chunk),
+            elapsed_ms,
             tuples,
         })
     }
@@ -400,7 +564,9 @@ impl Service for SyntheticService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seco_model::{AttributeDef, ScoreDecay, ServiceKind, ServiceSchema, ServiceStats, SubAttributeDef};
+    use seco_model::{
+        AttributeDef, ScoreDecay, ServiceKind, ServiceSchema, ServiceStats, SubAttributeDef,
+    };
 
     fn search_iface(avg: f64, chunk: usize, decay: ScoreDecay) -> ServiceInterface {
         let schema = ServiceSchema::new(
@@ -412,7 +578,11 @@ mod tests {
                 AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
                 AttributeDef::group(
                     "Tags",
-                    vec![SubAttributeDef::new("Tag", DataType::Text, Adornment::Output)],
+                    vec![SubAttributeDef::new(
+                        "Tag",
+                        DataType::Text,
+                        Adornment::Output,
+                    )],
                 ),
             ],
         )
@@ -434,7 +604,11 @@ mod tests {
 
     #[test]
     fn fetch_is_deterministic() {
-        let s = SyntheticService::new(search_iface(25.0, 10, ScoreDecay::Linear), DomainMap::new(), 7);
+        let s = SyntheticService::new(
+            search_iface(25.0, 10, ScoreDecay::Linear),
+            DomainMap::new(),
+            7,
+        );
         let a = s.fetch(&request()).unwrap();
         let b = s.fetch(&request()).unwrap();
         assert_eq!(a.tuples, b.tuples);
@@ -444,7 +618,11 @@ mod tests {
 
     #[test]
     fn chunking_covers_the_whole_list() {
-        let s = SyntheticService::new(search_iface(25.0, 10, ScoreDecay::Linear), DomainMap::new(), 7);
+        let s = SyntheticService::new(
+            search_iface(25.0, 10, ScoreDecay::Linear),
+            DomainMap::new(),
+            7,
+        );
         let c0 = s.fetch(&request()).unwrap();
         let c1 = s.fetch(&request().at_chunk(1)).unwrap();
         let c2 = s.fetch(&request().at_chunk(2)).unwrap();
@@ -457,7 +635,15 @@ mod tests {
     #[test]
     fn scores_decrease_in_rank_order() {
         let s = SyntheticService::new(
-            search_iface(30.0, 10, ScoreDecay::Step { h: 1, high: 0.95, low: 0.1 }),
+            search_iface(
+                30.0,
+                10,
+                ScoreDecay::Step {
+                    h: 1,
+                    high: 0.95,
+                    low: 0.1,
+                },
+            ),
             DomainMap::new(),
             7,
         );
@@ -477,7 +663,11 @@ mod tests {
 
     #[test]
     fn input_bindings_are_echoed() {
-        let s = SyntheticService::new(search_iface(5.0, 10, ScoreDecay::Linear), DomainMap::new(), 7);
+        let s = SyntheticService::new(
+            search_iface(5.0, 10, ScoreDecay::Linear),
+            DomainMap::new(),
+            7,
+        );
         let resp = s.fetch(&request()).unwrap();
         for t in &resp.tuples {
             assert_eq!(t.atomic_at(0), &Value::text("rome"));
@@ -486,7 +676,11 @@ mod tests {
 
     #[test]
     fn different_bindings_give_different_results() {
-        let s = SyntheticService::new(search_iface(5.0, 10, ScoreDecay::Linear), DomainMap::new(), 7);
+        let s = SyntheticService::new(
+            search_iface(5.0, 10, ScoreDecay::Linear),
+            DomainMap::new(),
+            7,
+        );
         let a = s.fetch(&request()).unwrap();
         let b = s
             .fetch(&Request::unbound().bind(AttributePath::atomic("Key"), Value::text("milan")))
@@ -520,22 +714,34 @@ mod tests {
 
     #[test]
     fn cardinality_jitter_varies_length_around_mean() {
-        let s = SyntheticService::new(search_iface(20.0, 100, ScoreDecay::Linear), DomainMap::new(), 7)
-            .with_cardinality_jitter(0.5);
+        let s = SyntheticService::new(
+            search_iface(20.0, 100, ScoreDecay::Linear),
+            DomainMap::new(),
+            7,
+        )
+        .with_cardinality_jitter(0.5);
         let mut lens = Vec::new();
         for i in 0..20 {
-            let req = Request::unbound().bind(AttributePath::atomic("Key"), Value::Text(format!("k{i}")));
+            let req =
+                Request::unbound().bind(AttributePath::atomic("Key"), Value::Text(format!("k{i}")));
             lens.push(s.fetch(&req).unwrap().len());
         }
         let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
         assert!((10.0..30.0).contains(&mean), "mean {mean}");
-        assert!(lens.iter().any(|&l| l != lens[0]), "jitter must vary lengths");
+        assert!(
+            lens.iter().any(|&l| l != lens[0]),
+            "jitter must vary lengths"
+        );
     }
 
     #[test]
     fn failure_injection_fails_every_nth_call() {
-        let s = SyntheticService::new(search_iface(5.0, 10, ScoreDecay::Linear), DomainMap::new(), 7)
-            .with_failure_every(3);
+        let s = SyntheticService::new(
+            search_iface(5.0, 10, ScoreDecay::Linear),
+            DomainMap::new(),
+            7,
+        )
+        .with_failure_every(3);
         let mut failures = 0;
         for _ in 0..9 {
             if s.fetch(&request()).is_err() {
@@ -548,8 +754,12 @@ mod tests {
 
     #[test]
     fn group_rows_respect_rows_per_group() {
-        let s = SyntheticService::new(search_iface(5.0, 10, ScoreDecay::Linear), DomainMap::new(), 7)
-            .with_rows_per_group(4);
+        let s = SyntheticService::new(
+            search_iface(5.0, 10, ScoreDecay::Linear),
+            DomainMap::new(),
+            7,
+        )
+        .with_rows_per_group(4);
         let resp = s.fetch(&request()).unwrap();
         assert_eq!(resp.tuples[0].group_at(4).len(), 4);
     }
@@ -582,11 +792,16 @@ mod tests {
 
     #[test]
     fn empty_rate_empties_a_deterministic_fraction_of_bindings() {
-        let s = SyntheticService::new(search_iface(5.0, 10, ScoreDecay::Linear), DomainMap::new(), 7)
-            .with_empty_rate(0.6);
+        let s = SyntheticService::new(
+            search_iface(5.0, 10, ScoreDecay::Linear),
+            DomainMap::new(),
+            7,
+        )
+        .with_empty_rate(0.6);
         let mut empties = 0;
         for i in 0..200 {
-            let req = Request::unbound().bind(AttributePath::atomic("Key"), Value::Text(format!("k{i}")));
+            let req =
+                Request::unbound().bind(AttributePath::atomic("Key"), Value::Text(format!("k{i}")));
             let resp = s.fetch(&req).unwrap();
             if resp.is_empty() {
                 empties += 1;
@@ -596,6 +811,78 @@ mod tests {
         }
         let rate = empties as f64 / 200.0;
         assert!((0.45..0.75).contains(&rate), "empty rate {rate} not ≈ 0.6");
+    }
+
+    #[test]
+    fn fault_profile_injects_deterministically() {
+        let profile = FaultProfile::flaky();
+        let run = |seed| {
+            let s = SyntheticService::new(
+                search_iface(25.0, 10, ScoreDecay::Linear),
+                DomainMap::new(),
+                seed,
+            )
+            .with_fault_profile(profile);
+            let mut outcomes = Vec::new();
+            for _ in 0..40 {
+                outcomes.push(match s.fetch(&request()) {
+                    Ok(resp) => format!("ok:{}:{}", resp.len(), resp.elapsed_ms),
+                    Err(e) => format!("err:{e}"),
+                });
+            }
+            outcomes
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seeds must give identical fault sequences");
+        assert!(
+            a.iter().any(|o| o.starts_with("err:")),
+            "flaky profile must inject failures"
+        );
+        assert!(
+            a.iter().any(|o| o.starts_with("ok:")),
+            "flaky profile must let calls through"
+        );
+        assert!(
+            a.iter().any(|o| o.starts_with("ok:0:")),
+            "flaky profile must inject empty chunks"
+        );
+        assert!(
+            a.iter()
+                .any(|o| o.starts_with("ok:") && o.ends_with(":300")),
+            "spiked calls must add spike_ms to the 50 ms base latency"
+        );
+    }
+
+    #[test]
+    fn outage_window_fails_hard_then_recovers() {
+        let s = SyntheticService::new(
+            search_iface(25.0, 10, ScoreDecay::Linear),
+            DomainMap::new(),
+            7,
+        )
+        .with_fault_profile(FaultProfile {
+            outage: Some((2, 5)),
+            ..FaultProfile::none().with_seed(1)
+        });
+        let results: Vec<bool> = (0..8).map(|_| s.fetch(&request()).is_ok()).collect();
+        assert_eq!(
+            results,
+            vec![true, true, false, false, false, true, true, true]
+        );
+    }
+
+    #[test]
+    fn fault_profile_presets_resolve_by_name() {
+        assert_eq!(FaultProfile::by_name("flaky"), Some(FaultProfile::flaky()));
+        assert_eq!(
+            FaultProfile::by_name("outage"),
+            Some(FaultProfile::outage())
+        );
+        assert_eq!(FaultProfile::by_name("none"), Some(FaultProfile::none()));
+        assert!(FaultProfile::by_name("bogus").is_none());
+        assert!(FaultProfile::none().is_inert());
+        assert!(!FaultProfile::flaky().is_inert());
+        assert_eq!(FaultProfile::flaky().with_seed(9).seed, 9);
     }
 
     #[test]

@@ -32,18 +32,27 @@ impl TableService {
         if iface.kind.is_search() {
             for w in rows.windows(2) {
                 if w[0].score < w[1].score - 1e-12 {
-                    return Err(ServiceError::Model(seco_model::ModelError::InvalidParameter {
-                        name: "rows",
-                        detail: format!(
-                            "search service `{}` rows must be in decreasing score order",
-                            iface.name
-                        ),
-                    }));
+                    return Err(ServiceError::Model(
+                        seco_model::ModelError::InvalidParameter {
+                            name: "rows",
+                            detail: format!(
+                                "search service `{}` rows must be in decreasing score order",
+                                iface.name
+                            ),
+                        },
+                    ));
                 }
             }
         }
-        let latency = LatencyModel::Fixed { ms: iface.stats.response_time_ms };
-        Ok(TableService { iface, rows, latency, calls: AtomicU64::new(0) })
+        let latency = LatencyModel::Fixed {
+            ms: iface.stats.response_time_ms,
+        };
+        Ok(TableService {
+            iface,
+            rows,
+            latency,
+            calls: AtomicU64::new(0),
+        })
     }
 
     /// Overrides the latency model.
@@ -101,7 +110,9 @@ impl Service for TableService {
         self.check_bindings(request)?;
         let call_idx = self.calls.fetch_add(1, Ordering::Relaxed);
         if !self.iface.kind.is_chunked() && request.chunk > 0 {
-            return Err(ServiceError::NotChunked { service: self.iface.name.clone() });
+            return Err(ServiceError::NotChunked {
+                service: self.iface.name.clone(),
+            });
         }
         let matching = self.matching_rows(request);
         let chunk_size = if self.iface.kind.is_chunked() {
@@ -111,7 +122,11 @@ impl Service for TableService {
         };
         let start = request.chunk * chunk_size;
         let end = (start + chunk_size).min(matching.len());
-        let tuples = if start < matching.len() { matching[start..end].to_vec() } else { Vec::new() };
+        let tuples = if start < matching.len() {
+            matching[start..end].to_vec()
+        } else {
+            Vec::new()
+        };
         Ok(ChunkResponse {
             has_more: end < matching.len(),
             elapsed_ms: self.latency.latency_ms(call_idx, request.chunk),
@@ -125,7 +140,10 @@ impl Service for TableService {
 /// `S2` provides `t3=({<1,x>,<2,y>})`, `t4=({<2,x>})`, each over a
 /// repeating group `R` with sub-attributes `A` (int) and `B` (text).
 pub fn chapter_semantics_example() -> (TableService, TableService) {
-    use seco_model::{Adornment, AttributeDef, DataType, ScoreDecay, ServiceKind, ServiceSchema, ServiceStats, SubAttributeDef};
+    use seco_model::{
+        Adornment, AttributeDef, DataType, ScoreDecay, ServiceKind, ServiceSchema, ServiceStats,
+        SubAttributeDef,
+    };
 
     let schema = |name: &str| {
         ServiceSchema::new(
@@ -175,7 +193,10 @@ pub fn chapter_semantics_example() -> (TableService, TableService) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seco_model::{Adornment, AttributeDef, AttributePath, DataType, ScoreDecay, ServiceKind, ServiceSchema, ServiceStats};
+    use seco_model::{
+        Adornment, AttributeDef, AttributePath, DataType, ScoreDecay, ServiceKind, ServiceSchema,
+        ServiceStats,
+    };
 
     fn ranked_iface(chunk: usize) -> ServiceInterface {
         let schema = ServiceSchema::new(
@@ -220,13 +241,19 @@ mod tests {
         let req = Request::unbound().bind(AttributePath::atomic("City"), Value::text("rome"));
         let resp = s.fetch(&req).unwrap();
         assert_eq!(resp.len(), 2);
-        assert!(resp.tuples.iter().all(|t| t.atomic_at(0) == &Value::text("rome")));
+        assert!(resp
+            .tuples
+            .iter()
+            .all(|t| t.atomic_at(0) == &Value::text("rome")));
     }
 
     #[test]
     fn rejects_misordered_search_rows() {
         let iface = ranked_iface(2);
-        let rows = vec![mk_row(&iface, "rome", "a", 0.1), mk_row(&iface, "rome", "b", 0.9)];
+        let rows = vec![
+            mk_row(&iface, "rome", "a", 0.1),
+            mk_row(&iface, "rome", "b", 0.9),
+        ];
         assert!(TableService::new(iface, rows).is_err());
     }
 
@@ -254,11 +281,20 @@ mod tests {
         assert_eq!(s2.rows().len(), 2);
         // t1's repeating group has rows <1,x> and <2,x>.
         let t1 = &s1.rows()[0];
-        assert_eq!(t1.group_at(0)[0].values, vec![Value::Int(1), Value::text("x")]);
-        assert_eq!(t1.group_at(0)[1].values, vec![Value::Int(2), Value::text("x")]);
+        assert_eq!(
+            t1.group_at(0)[0].values,
+            vec![Value::Int(1), Value::text("x")]
+        );
+        assert_eq!(
+            t1.group_at(0)[1].values,
+            vec![Value::Int(2), Value::text("x")]
+        );
         // t4 has a single row <2,x>.
         let t4 = &s2.rows()[1];
         assert_eq!(t4.group_at(0).len(), 1);
-        assert_eq!(t4.group_at(0)[0].values, vec![Value::Int(2), Value::text("x")]);
+        assert_eq!(
+            t4.group_at(0)[0].values,
+            vec![Value::Int(2), Value::text("x")]
+        );
     }
 }

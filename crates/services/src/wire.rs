@@ -98,7 +98,11 @@ mod tests {
                 AttributeDef::atomic("C", DataType::Date, Adornment::Output),
                 AttributeDef::group(
                     "G",
-                    vec![SubAttributeDef::new("X", DataType::Float, Adornment::Output)],
+                    vec![SubAttributeDef::new(
+                        "X",
+                        DataType::Float,
+                        Adornment::Output,
+                    )],
                 ),
             ],
         )
@@ -138,7 +142,11 @@ mod tests {
         let t = Tuple::builder(&s).build().unwrap();
         let one = chunk_wire_size(std::slice::from_ref(&t));
         let two = chunk_wire_size(&[t.clone(), t]);
-        assert_eq!(two - one, one - 32, "two tuples add exactly twice one tuple's bytes");
+        assert_eq!(
+            two - one,
+            one - 32,
+            "two tuples add exactly twice one tuple's bytes"
+        );
     }
 
     #[test]
@@ -148,7 +156,10 @@ mod tests {
             vec![AttributeDef::atomic("F", DataType::Bool, Adornment::Output)],
         )
         .unwrap();
-        let t = Tuple::builder(&s).set("F", Value::Bool(true)).build().unwrap();
+        let t = Tuple::builder(&s)
+            .set("F", Value::Bool(true))
+            .build()
+            .unwrap();
         let n = Tuple::builder(&s).build().unwrap();
         assert!(encode_tuple(&t).len() > encode_tuple(&n).len());
     }

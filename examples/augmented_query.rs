@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flight_schema,
         ServiceKind::Search,
         ServiceStats::new(30.0, 10, 100.0, 1.0)?,
-        ScoreDecay::Step { h: 1, high: 0.9, low: 0.1 },
+        ScoreDecay::Step {
+            h: 1,
+            high: 0.9,
+            low: 0.1,
+        },
     )?;
     registry.register_service(Arc::new(SyntheticService::new(
         flight,
@@ -69,7 +73,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // "Flights on July 1st" — destination unbound: infeasible.
     let query = QueryBuilder::new()
         .atom("F", "Flight1")
-        .select_const("F", "Date", Comparator::Eq, Value::Date(Date::new(2009, 7, 1)))
+        .select_const(
+            "F",
+            "Date",
+            Comparator::Eq,
+            Value::Date(Date::new(2009, 7, 1)),
+        )
         .k(8)
         .build()?;
     println!("original query:  {query}");

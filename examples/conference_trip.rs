@@ -33,15 +33,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Build the Fig. 2 plan by hand (the optimizer would find an
     // equivalent one; the point here is to reproduce the figure).
     let joins = query.expanded_joins(&registry)?;
-    let same_trip: Vec<_> = joins.iter().filter(|j| j.connects("F", "H")).cloned().collect();
+    let same_trip: Vec<_> = joins
+        .iter()
+        .filter(|j| j.connects("F", "H"))
+        .cloned()
+        .collect();
     let mut plan = QueryPlan::new(query.clone());
     let c = plan.add(PlanNode::Service(ServiceNode::new("C", "Conference1")));
     let w = plan.add(PlanNode::Service(ServiceNode::new("W", "Weather1")));
     let sel = plan.add(PlanNode::Selection(
         SelectionNode::new(vec![query.selections[1].clone()]).with_selectivity(0.25),
     ));
-    let f = plan.add(PlanNode::Service(ServiceNode::new("F", "Flight1").with_fetches(2)));
-    let h = plan.add(PlanNode::Service(ServiceNode::new("H", "Hotel1").with_fetches(2)));
+    let f = plan.add(PlanNode::Service(
+        ServiceNode::new("F", "Flight1").with_fetches(2),
+    ));
+    let h = plan.add(PlanNode::Service(
+        ServiceNode::new("H", "Hotel1").with_fetches(2),
+    ));
     let j = plan.add(PlanNode::ParallelJoin(search_computing::plan::JoinSpec {
         invocation: Invocation::merge_scan_even(),
         completion: Completion::Rectangular,
@@ -63,7 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", display::ascii(&plan, Some(&annotated))?);
 
     // Deterministic execution.
-    let outcome = execute_plan(&plan, &registry, ExecOptions { join_k: 10 })?;
+    let outcome = execute_plan(
+        &plan,
+        &registry,
+        ExecOptions {
+            join_k: 10,
+            ..Default::default()
+        },
+    )?;
     println!(
         "deterministic executor: {} combinations, {} calls, {:.0} virtual ms",
         outcome.results.len(),
@@ -73,8 +88,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", outcome.trace);
 
     // Pipelined execution on real threads.
-    let parallel = execute_parallel(&plan, &registry, ExecOptions { join_k: 10 })?;
-    println!("pipelined executor: {} combinations (same set)", parallel.len());
+    let parallel = execute_parallel(
+        &plan,
+        &registry,
+        ExecOptions {
+            join_k: 10,
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "pipelined executor: {} combinations (same set)",
+        parallel.len()
+    );
 
     for combo in outcome.results.iter().take(5) {
         println!("  {combo}");

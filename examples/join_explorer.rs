@@ -36,11 +36,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", grid(&nl.order, 6, 6));
 
     println!("== Fig. 5b: merge-scan with triangular completion ==");
-    let ms = explore(Invocation::merge_scan_even(), Completion::Triangular, 1, 6, 6)?;
+    let ms = explore(
+        Invocation::merge_scan_even(),
+        Completion::Triangular,
+        1,
+        6,
+        6,
+    )?;
     println!("{}", grid(&ms.order, 6, 6));
 
     println!("== Fig. 7: merge-scan (r = 1/1), rectangular — squares of growing size ==");
-    let sq = explore(Invocation::merge_scan_even(), Completion::Rectangular, 1, 4, 4)?;
+    let sq = explore(
+        Invocation::merge_scan_even(),
+        Completion::Rectangular,
+        1,
+        4,
+        4,
+    )?;
     println!("{}", grid(&sq.order, 4, 4));
 
     println!("== Fig. 6: the degenerate thin rectangle (every call adds one tile) ==");
@@ -54,17 +66,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{header}");
     for (label, decay) in [
-        ("step(h=2, 1→0) — the ideal step", ScoreDecay::Step { h: 2, high: 1.0, low: 0.0 }),
-        ("step(h=2, 0.95→0.1)", ScoreDecay::Step { h: 2, high: 0.95, low: 0.1 }),
+        (
+            "step(h=2, 1→0) — the ideal step",
+            ScoreDecay::Step {
+                h: 2,
+                high: 1.0,
+                low: 0.0,
+            },
+        ),
+        (
+            "step(h=2, 0.95→0.1)",
+            ScoreDecay::Step {
+                h: 2,
+                high: 0.95,
+                low: 0.1,
+            },
+        ),
         ("linear (progressive)", ScoreDecay::Linear),
     ] {
         let fx = ScoringFunction::new(decay, 60, 10)?;
         let fy = ScoringFunction::new(ScoreDecay::Linear, 60, 10)?;
         let space = TileSpace::new(fx, fy);
         for (name, inv, comp, h) in [
-            ("NL/rect", Invocation::NestedLoop, Completion::Rectangular, 2),
-            ("MS/rect", Invocation::merge_scan_even(), Completion::Rectangular, 1),
-            ("MS/tri", Invocation::merge_scan_even(), Completion::Triangular, 1),
+            (
+                "NL/rect",
+                Invocation::NestedLoop,
+                Completion::Rectangular,
+                2,
+            ),
+            (
+                "MS/rect",
+                Invocation::merge_scan_even(),
+                Completion::Rectangular,
+                1,
+            ),
+            (
+                "MS/tri",
+                Invocation::merge_scan_even(),
+                Completion::Triangular,
+                1,
+            ),
         ] {
             let e = explore(inv, comp, h, space.nx, space.ny)?;
             let local = is_locally_extraction_optimal(&e.calls, &e.order, &space);

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("== Fig. 9: {} admissible topologies ==", topologies.len());
     for (i, t) in topologies.iter().enumerate() {
-        println!("  ({}) {}", (b'a' + i as u8) as char, display::summary_line(t)?);
+        println!(
+            "  ({}) {}",
+            (b'a' + i as u8) as char,
+            display::summary_line(t)?
+        );
     }
     println!();
 
@@ -53,7 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", display::ascii(&best.plan, Some(&best.annotated))?);
 
     // How much did branch-and-bound save against exhaustive search?
-    let (_, all_costs) = optimize_exhaustive_with_costs(&query, &registry, CostMetric::RequestCount)?;
+    let (_, all_costs) =
+        optimize_exhaustive_with_costs(&query, &registry, CostMetric::RequestCount)?;
     println!(
         "branch-and-bound instantiated {} of {} plans (pruned {}), exhaustive costed {}",
         best.stats.instantiated,
@@ -73,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.critical_ms
     );
     let results = ResultSet::new(outcome.results, query.ranking.clone());
-    println!("emission inversion rate: {:.3}", results.ranking_inversion_rate());
+    println!(
+        "emission inversion rate: {:.3}",
+        results.ranking_inversion_rate()
+    );
     for combo in results.top_k(5) {
         println!("  score={:.3}  {combo}", query.ranking.score(&combo));
     }

@@ -6,9 +6,7 @@
 //! Run with: `cargo run --example optimizer_lab`
 
 use search_computing::optimizer::exhaustive::optimize_exhaustive_with_costs;
-use search_computing::optimizer::{
-    HeuristicSet, Phase2Heuristic, Phase3Heuristic,
-};
+use search_computing::optimizer::{HeuristicSet, Phase2Heuristic, Phase3Heuristic};
 use search_computing::plan::display;
 use search_computing::prelude::*;
 use search_computing::query::builder::running_example;
@@ -33,11 +31,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\n== Heuristic ablation (§5.4/§5.5, E12/E13) ==");
-    for p2 in [Phase2Heuristic::ParallelIsBetter, Phase2Heuristic::SelectiveFirst] {
+    for p2 in [
+        Phase2Heuristic::ParallelIsBetter,
+        Phase2Heuristic::SelectiveFirst,
+    ] {
         for p3 in [Phase3Heuristic::Greedy, Phase3Heuristic::SquareIsBetter] {
             for metric in [CostMetric::RequestCount, CostMetric::ExecutionTime] {
                 let mut opt = Optimizer::new(&registry, metric);
-                opt.heuristics = HeuristicSet { phase2: p2, phase3: p3, ..HeuristicSet::default() };
+                opt.heuristics = HeuristicSet {
+                    phase2: p2,
+                    phase3: p3,
+                    ..HeuristicSet::default()
+                };
                 // Anytime: only the first fully instantiated plan.
                 opt.budget = Some(1);
                 let first = opt.optimize(&query)?;

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "optimizer explored {} topologies ({} instantiated, {} pruned), best cost = {:.0} calls",
         best.stats.topologies, best.stats.instantiated, best.stats.pruned, best.cost
     );
-    println!("{}", search_computing::plan::display::ascii(&best.plan, Some(&best.annotated))?);
+    println!(
+        "{}",
+        search_computing::plan::display::ascii(&best.plan, Some(&best.annotated))?
+    );
 
     // Execute deterministically and rank the combinations.
     let outcome = execute_plan(&best.plan, &registry, ExecOptions::default())?;
@@ -43,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         results.len()
     );
     for (i, combo) in results.top_k(10).iter().enumerate() {
-        println!("  #{:<2} score={:.3}  {combo}", i + 1, query.ranking.score(combo));
+        println!(
+            "  #{:<2} score={:.3}  {combo}",
+            i + 1,
+            query.ranking.score(combo)
+        );
     }
     Ok(())
 }

@@ -1,0 +1,144 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Backs [`BytesMut`] with a plain `Vec<u8>` and provides the
+//! big-endian `put_*` writers of the real crate's `BufMut` that the
+//! wire encoder uses. Only the accounting path needs these types, so
+//! zero-copy reference counting is intentionally not reproduced.
+
+use std::ops::Deref;
+
+/// Immutable byte buffer (frozen form of [`BytesMut`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Big-endian append-only writer interface (the used subset of the
+/// real `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian i32.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian i64.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian f64.
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_are_big_endian_and_sized() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32(0x0405_0607);
+        b.put_i64(-1);
+        b.put_f64(1.5);
+        b.put_i32(-2);
+        b.put_slice(b"xy");
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 1 + 2 + 4 + 8 + 8 + 4 + 2);
+        assert_eq!(&frozen[0..3], &[1, 2, 3]);
+        assert_eq!(&frozen[7..15], &[0xFF; 8]);
+    }
+
+    #[test]
+    fn freeze_preserves_equality() {
+        let mut a = BytesMut::default();
+        let mut b = BytesMut::with_capacity(4);
+        a.put_u32(42);
+        b.put_u32(42);
+        assert_eq!(a.clone().freeze(), b.freeze());
+        assert!(!a.is_empty());
+        assert!(Bytes::default().is_empty());
+    }
+}

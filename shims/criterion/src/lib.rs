@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the registration surface (`criterion_group!`,
+//! `criterion_main!`, groups, `bench_with_input`, `BenchmarkId`) so
+//! the bench targets compile and run, but replaces the statistical
+//! machinery with a plain mean-of-N wall-clock measurement printed to
+//! stdout. Good enough to eyeball relative costs; not a substitute
+//! for real criterion numbers.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Runs the routine once to warm up, then `samples` timed
+    /// iterations, recording the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        let mean_ns = total.as_nanos() as f64 / self.samples.max(1) as f64;
+        println!(
+            "    mean {:>12.1} ns over {} iterations",
+            mean_ns, self.samples
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("  {}/{}", self.name, id);
+        let mut bencher = Bencher {
+            samples: self.samples,
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Registers and immediately runs a parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("  {}/{}", self.name, id);
+        let mut bencher = Bencher {
+            samples: self.samples,
+        };
+        f(&mut bencher, input);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("  {id}");
+        let mut bencher = Bencher { samples: 10 };
+        f(&mut bencher);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more group-runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_function("plain", |b| b.iter(|| 1 + 1));
+            group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &n| b.iter(|| n * 2));
+            group.finish();
+        }
+        c.bench_function("standalone", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("bnb", 4).to_string(), "bnb/4");
+        assert_eq!(
+            BenchmarkId::from_parameter("ms-rect").to_string(),
+            "ms-rect"
+        );
+    }
+
+    criterion_group!(sample_group, noop_bench);
+    criterion_main!(sample_group);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn generated_main_is_callable() {
+        main();
+    }
+}

@@ -1,0 +1,472 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property
+//! tests use: the `proptest!` test macro, `prop_assert!` /
+//! `prop_assert_eq!`, numeric range strategies, and string strategies
+//! written as regex literals (a generation-oriented subset: literals,
+//! `.`, character classes, alternation groups, and `{m,n}` / `?` /
+//! `*` / `+` repetition).
+//!
+//! Unlike real proptest there is no shrinking: cases are generated
+//! from a seed derived from the test name, so a failure replays
+//! identically on every run and prints the generating inputs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each property runs.
+pub const CASES: usize = 128;
+
+/// Deterministic generator (splitmix64) used by all strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator; the `proptest!` macro derives the seed
+    /// from the property's name so runs are reproducible.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `bound` (`bound` > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Debiased multiply-shift (Lemire): reject the low product
+        // when it falls in the biased remainder zone.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let wide = (self.next_u64() as u128) * (bound as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform usize in `[lo, hi]`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Derives the per-property seed from its name (FNV-1a).
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A source of generated values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_strategy!(f32, f64);
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let alternatives = regex::parse(self);
+        regex::sample_alternation(&alternatives, rng)
+    }
+}
+
+/// Generation-oriented regex subset used by string strategies.
+mod regex {
+    use super::TestRng;
+
+    /// Upper bound substituted for unbounded `*` / `+` repetition.
+    const UNBOUNDED_CAP: usize = 8;
+
+    pub enum Node {
+        Lit(char),
+        /// `.` — an arbitrary character.
+        Any,
+        /// `[...]` — inclusive ranges; single chars are (c, c).
+        Class(Vec<(char, char)>),
+        /// `(a|b|...)` — each alternative is a sequence.
+        Group(Vec<Vec<(Node, Repeat)>>),
+    }
+
+    pub struct Repeat {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    /// Parses a whole pattern into its top-level alternatives.
+    pub fn parse(pattern: &str) -> Vec<Vec<(Node, Repeat)>> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let alts = parse_alternation(&chars, &mut pos);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex strategy: {pattern:?}"
+        );
+        alts
+    }
+
+    fn parse_alternation(chars: &[char], pos: &mut usize) -> Vec<Vec<(Node, Repeat)>> {
+        let mut alts = vec![parse_sequence(chars, pos)];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            alts.push(parse_sequence(chars, pos));
+        }
+        alts
+    }
+
+    fn parse_sequence(chars: &[char], pos: &mut usize) -> Vec<(Node, Repeat)> {
+        let mut seq = Vec::new();
+        while *pos < chars.len() {
+            let node = match chars[*pos] {
+                ')' | '|' => break,
+                '(' => {
+                    *pos += 1;
+                    let alts = parse_alternation(chars, pos);
+                    assert!(
+                        *pos < chars.len() && chars[*pos] == ')',
+                        "unclosed group in regex strategy"
+                    );
+                    *pos += 1;
+                    Node::Group(alts)
+                }
+                '[' => {
+                    *pos += 1;
+                    Node::Class(parse_class(chars, pos))
+                }
+                '.' => {
+                    *pos += 1;
+                    Node::Any
+                }
+                '\\' => {
+                    *pos += 1;
+                    let c = chars[*pos];
+                    *pos += 1;
+                    Node::Lit(unescape(c))
+                }
+                c => {
+                    *pos += 1;
+                    Node::Lit(c)
+                }
+            };
+            let rep = parse_repeat(chars, pos);
+            seq.push((node, rep));
+        }
+        seq
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ']' {
+            let lo = if chars[*pos] == '\\' {
+                *pos += 1;
+                let c = unescape(chars[*pos]);
+                *pos += 1;
+                c
+            } else {
+                let c = chars[*pos];
+                *pos += 1;
+                c
+            };
+            if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                *pos += 1;
+                let hi = chars[*pos];
+                *pos += 1;
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        assert!(*pos < chars.len(), "unclosed class in regex strategy");
+        *pos += 1; // consume ']'
+        ranges
+    }
+
+    fn parse_repeat(chars: &[char], pos: &mut usize) -> Repeat {
+        if *pos >= chars.len() {
+            return Repeat { min: 1, max: 1 };
+        }
+        match chars[*pos] {
+            '?' => {
+                *pos += 1;
+                Repeat { min: 0, max: 1 }
+            }
+            '*' => {
+                *pos += 1;
+                Repeat {
+                    min: 0,
+                    max: UNBOUNDED_CAP,
+                }
+            }
+            '+' => {
+                *pos += 1;
+                Repeat {
+                    min: 1,
+                    max: UNBOUNDED_CAP,
+                }
+            }
+            '{' => {
+                *pos += 1;
+                let mut min = 0;
+                while chars[*pos].is_ascii_digit() {
+                    min = min * 10 + chars[*pos].to_digit(10).unwrap() as usize;
+                    *pos += 1;
+                }
+                let max = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut max = 0;
+                    while chars[*pos].is_ascii_digit() {
+                        max = max * 10 + chars[*pos].to_digit(10).unwrap() as usize;
+                        *pos += 1;
+                    }
+                    max
+                } else {
+                    min
+                };
+                assert!(chars[*pos] == '}', "malformed repetition in regex strategy");
+                *pos += 1;
+                Repeat { min, max }
+            }
+            _ => Repeat { min: 1, max: 1 },
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    pub fn sample_alternation(alts: &[Vec<(Node, Repeat)>], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let pick = rng.below(alts.len() as u64) as usize;
+        for (node, rep) in &alts[pick] {
+            let count = rng.usize_in(rep.min, rep.max);
+            for _ in 0..count {
+                sample_node(node, rng, &mut out);
+            }
+        }
+        out
+    }
+
+    fn sample_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Any => out.push(arbitrary_char(rng)),
+            Node::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = (hi as u32) - (lo as u32);
+                let code = lo as u32 + rng.below(u64::from(span) + 1) as u32;
+                out.push(char::from_u32(code).unwrap_or(lo));
+            }
+            Node::Group(alts) => out.push_str(&sample_alternation(alts, rng)),
+        }
+    }
+
+    /// `.` draws mostly printable ASCII with occasional whitespace and
+    /// non-ASCII characters to exercise unicode handling.
+    fn arbitrary_char(rng: &mut TestRng) -> char {
+        const RARE: [char; 8] = ['\t', 'é', 'λ', '中', '\u{7f}', '€', '"', '\\'];
+        match rng.below(10) {
+            0 => RARE[rng.below(RARE.len() as u64) as usize],
+            _ => char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap(),
+        }
+    }
+}
+
+/// Runs one property's cases; on a panic, reports which generated
+/// inputs triggered it before propagating.
+pub fn report_failure(name: &str, case_index: usize, inputs: &str) {
+    eprintln!("proptest shim: property `{name}` failed on case {case_index} with {inputs}");
+}
+
+/// Defines deterministic property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]`
+/// that runs [`CASES`] generated cases. Seeds derive from the property
+/// name, so failures reproduce exactly.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
+            for case_index in 0..$crate::CASES {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let case_inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    move || $body,
+                ));
+                if let Err(panic) = outcome {
+                    $crate::report_failure(stringify!($name), case_index, &case_inputs);
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )+};
+}
+
+/// Asserts inside a property body (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { assert!($($tt)+) };
+}
+
+/// Asserts equality inside a property body (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { assert_eq!($($tt)+) };
+}
+
+/// Asserts inequality inside a property body (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)+) => { assert_ne!($($tt)+) };
+}
+
+/// The conventional glob import surface.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (1usize..200).generate(&mut rng);
+            assert!((1..200).contains(&v));
+            let f = (0.1f64..10.0).generate(&mut rng);
+            assert!((0.1..10.0).contains(&f));
+            let m = (1u8..=12).generate(&mut rng);
+            assert!((1..=12).contains(&m));
+            let i = (-50i64..50).generate(&mut rng);
+            assert!((-50..50).contains(&i));
+        }
+    }
+
+    #[test]
+    fn regex_strategies_match_their_own_shape() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..500 {
+            let s = "[abc]{0,8}".generate(&mut rng);
+            assert!(s.len() <= 8 && s.chars().all(|c| "abc".contains(c)));
+            let p = "[abc%_]{0,6}".generate(&mut rng);
+            assert!(p.len() <= 6 && p.chars().all(|c| "abc%_".contains(c)));
+            let any = ".{0,120}".generate(&mut rng);
+            assert!(any.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn alternation_groups_emit_only_listed_tokens() {
+        let mut rng = TestRng::new(13);
+        for _ in 0..200 {
+            let s = r#"(on|off|[0-9]{1,2}|"[a-z]{0,2}")"#.generate(&mut rng);
+            let ok = s == "on"
+                || s == "off"
+                || (!s.is_empty() && s.len() <= 2 && s.chars().all(|c| c.is_ascii_digit()))
+                || (s.starts_with('"')
+                    && s.ends_with('"')
+                    && s.len() >= 2
+                    && s[1..s.len() - 1].chars().all(|c| c.is_ascii_lowercase()));
+            assert!(ok, "unexpected sample {s:?}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = TestRng::new(seed_from_name("prop"));
+        let mut b = TestRng::new(seed_from_name("prop"));
+        for _ in 0..100 {
+            assert_eq!(".{0,40}".generate(&mut a), ".{0,40}".generate(&mut b));
+            assert_eq!(
+                (0usize..1000).generate(&mut a),
+                (0usize..1000).generate(&mut b)
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_runs_cases(x in 0usize..50, s in "[ab]{0,3}") {
+            prop_assert!(x < 50);
+            prop_assert!(s.len() <= 3);
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+    }
+}

@@ -3,9 +3,19 @@
 //! ```text
 //! seco services  [--domain entertainment|travel] [--seed N]
 //! seco explain   [--domain D] [--metric M] [--seed N] <query…>
-//! seco run       [--domain D] [--metric M] [--seed N] [--parallel] <query…>
+//! seco run       [--domain D] [--metric M] [--seed N] [--parallel]
+//!                [--fault-profile none|flaky|outage] [--deadline-ms N] <query…>
 //! seco oracle    [--domain D] [--seed N] <query…>
 //! ```
+//!
+//! `--fault-profile` makes every service inject deterministic faults
+//! (seeded from `--seed`, so two identical invocations produce
+//! byte-identical output) and switches the executor to graceful
+//! degradation: failed branches contribute partial results and are
+//! listed after the answers instead of aborting the run.
+//! `--deadline-ms` bounds each service call; both flags route calls
+//! through the resilient `ServiceClient` (retry with backoff and a
+//! per-service circuit breaker) and report its counters.
 //!
 //! The query is given in the chapter's syntax, e.g.:
 //!
@@ -31,6 +41,8 @@ struct Args {
     metric: CostMetric,
     seed: u64,
     parallel: bool,
+    fault_profile: String,
+    deadline_ms: Option<f64>,
     query: String,
 }
 
@@ -41,10 +53,23 @@ fn parse_args() -> Result<Args, String> {
     let mut metric = CostMetric::RequestCount;
     let mut seed = 42u64;
     let mut parallel = false;
+    let mut fault_profile = "none".to_owned();
+    let mut deadline_ms = None;
     let mut query_parts: Vec<String> = Vec::new();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--domain" => domain = argv.next().ok_or("--domain needs a value")?,
+            "--fault-profile" => {
+                fault_profile = argv.next().ok_or("--fault-profile needs a value")?;
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    argv.next()
+                        .ok_or("--deadline-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad deadline: {e}"))?,
+                );
+            }
             "--seed" => {
                 seed = argv
                     .next()
@@ -67,21 +92,38 @@ fn parse_args() -> Result<Args, String> {
             other => query_parts.push(other.to_owned()),
         }
     }
-    Ok(Args { command, domain, metric, seed, parallel, query: query_parts.join(" ") })
+    Ok(Args {
+        command,
+        domain,
+        metric,
+        seed,
+        parallel,
+        fault_profile,
+        deadline_ms,
+        query: query_parts.join(" "),
+    })
 }
 
 fn usage() -> String {
     "usage: seco <services|explain|run|oracle> [--domain entertainment|travel] \
      [--metric execution-time|sum|request-count|bottleneck|time-to-screen] \
-     [--seed N] [--parallel] <query>"
+     [--seed N] [--parallel] [--fault-profile none|flaky|outage] [--deadline-ms N] <query>"
         .to_owned()
 }
 
-fn build_registry(domain: &str, seed: u64) -> Result<ServiceRegistry, String> {
+fn build_registry(
+    domain: &str,
+    seed: u64,
+    faults: FaultProfile,
+) -> Result<ServiceRegistry, String> {
     match domain {
-        "entertainment" => entertainment::build_registry(seed).map_err(|e| e.to_string()),
-        "travel" => travel::build_registry(seed).map_err(|e| e.to_string()),
-        other => Err(format!("unknown domain `{other}` (use entertainment or travel)")),
+        "entertainment" => {
+            entertainment::build_registry_with_faults(seed, faults).map_err(|e| e.to_string())
+        }
+        "travel" => travel::build_registry_with_faults(seed, faults).map_err(|e| e.to_string()),
+        other => Err(format!(
+            "unknown domain `{other}` (use entertainment or travel)"
+        )),
     }
 }
 
@@ -100,18 +142,31 @@ fn cmd_services(registry: &ServiceRegistry) {
     }
 }
 
-fn cmd_explain(registry: &ServiceRegistry, metric: CostMetric, query_src: &str) -> Result<(), String> {
+fn cmd_explain(
+    registry: &ServiceRegistry,
+    metric: CostMetric,
+    query_src: &str,
+) -> Result<(), String> {
     let query = parse_query(query_src).map_err(|e| e.to_string())?;
     println!("query: {query}\n");
     let report = analyze(&query, registry).map_err(|e| e.to_string())?;
-    println!("feasible; invocation order {:?}, pipe edges {:?}\n", report.order, report.pipe_edges);
+    println!(
+        "feasible; invocation order {:?}, pipe edges {:?}\n",
+        report.order, report.pipe_edges
+    );
     let best = optimize(&query, registry, metric).map_err(|e| e.to_string())?;
     println!(
         "optimized under {metric}: cost {:.1}; explored {} topologies ({} pruned)\n",
         best.cost, best.stats.topologies, best.stats.pruned
     );
-    println!("{}", display::ascii(&best.plan, Some(&best.annotated)).map_err(|e| e.to_string())?);
-    println!("DOT:\n{}", display::to_dot(&best.plan).map_err(|e| e.to_string())?);
+    println!(
+        "{}",
+        display::ascii(&best.plan, Some(&best.annotated)).map_err(|e| e.to_string())?
+    );
+    println!(
+        "DOT:\n{}",
+        display::to_dot(&best.plan).map_err(|e| e.to_string())?
+    );
     Ok(())
 }
 
@@ -119,25 +174,43 @@ fn cmd_run(
     registry: &ServiceRegistry,
     metric: CostMetric,
     parallel: bool,
+    opts: ExecOptions,
     query_src: &str,
 ) -> Result<(), String> {
     let query = parse_query(query_src).map_err(|e| e.to_string())?;
     let best = optimize(&query, registry, metric).map_err(|e| e.to_string())?;
-    let results = if parallel {
-        execute_parallel(&best.plan, registry, ExecOptions::default()).map_err(|e| e.to_string())?
+    registry.reset_stats();
+    let (results, degraded) = if parallel {
+        let out = execute_parallel_with(&best.plan, registry, opts).map_err(|e| e.to_string())?;
+        (out.results, out.degraded)
     } else {
-        let out = execute_plan(&best.plan, registry, ExecOptions::default())
-            .map_err(|e| e.to_string())?;
+        let out = execute_plan(&best.plan, registry, opts).map_err(|e| e.to_string())?;
         println!(
             "{} request-responses, {:.0} virtual ms critical path",
             out.total_calls, out.critical_ms
         );
-        out.results
+        (out.results, out.degraded)
     };
-    let set = ResultSet::new(results, query.ranking.clone());
+    let set = ResultSet::new(results, query.ranking.clone()).with_degraded(degraded);
     println!("{} combinations; top {}:", set.len(), query.k);
     for (i, combo) in set.top_k(query.k).iter().enumerate() {
-        println!("  #{:<3} score={:.3}  {combo}", i + 1, query.ranking.score(combo));
+        println!(
+            "  #{:<3} score={:.3}  {combo}",
+            i + 1,
+            query.ranking.score(combo)
+        );
+    }
+    if opts.client.is_some() || opts.failure_mode == FailureMode::Degrade {
+        if set.is_degraded() {
+            println!("degraded services: {}", set.degraded.join(", "));
+        } else {
+            println!("degraded services: none");
+        }
+        let stats = registry.total_stats();
+        println!(
+            "resilience: {} retries, {} timeouts, {} breaker trips, {} short-circuits",
+            stats.retries, stats.timeouts, stats.breaker_trips, stats.short_circuits
+        );
     }
     Ok(())
 }
@@ -145,7 +218,11 @@ fn cmd_run(
 fn cmd_oracle(registry: &ServiceRegistry, query_src: &str) -> Result<(), String> {
     let query = parse_query(query_src).map_err(|e| e.to_string())?;
     let answers = evaluate_oracle(&query, registry).map_err(|e| e.to_string())?;
-    println!("{} answers (exhaustive declarative semantics); first {}:", answers.len(), query.k);
+    println!(
+        "{} answers (exhaustive declarative semantics); first {}:",
+        answers.len(),
+        query.k
+    );
     for combo in answers.iter().take(query.k) {
         println!("  score={:.3}  {combo}", query.ranking.score(combo));
     }
@@ -160,12 +237,38 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let registry = match build_registry(&args.domain, args.seed) {
+    let faults = match FaultProfile::by_name(&args.fault_profile) {
+        // Fault decisions derive from the run's --seed so a fixed seed
+        // reproduces the exact same failures, retries, and answers.
+        Some(p) => p.with_seed(args.seed.wrapping_add(p.seed)),
+        None => {
+            eprintln!(
+                "unknown fault profile `{}` (use none, flaky, or outage)",
+                args.fault_profile
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = match build_registry(&args.domain, args.seed, faults) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
+    };
+    let resilient = !faults.is_inert() || args.deadline_ms.is_some();
+    let opts = ExecOptions {
+        join_k: 0,
+        failure_mode: if resilient {
+            FailureMode::Degrade
+        } else {
+            FailureMode::Abort
+        },
+        client: resilient.then(|| ClientConfig {
+            deadline_ms: args.deadline_ms,
+            seed: args.seed,
+            ..Default::default()
+        }),
     };
     let outcome = match args.command.as_str() {
         "services" => {
@@ -173,7 +276,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         "explain" => cmd_explain(&registry, args.metric, &args.query),
-        "run" => cmd_run(&registry, args.metric, args.parallel, &args.query),
+        "run" => cmd_run(&registry, args.metric, args.parallel, opts, &args.query),
         "oracle" => cmd_oracle(&registry, &args.query),
         _ => Err(usage()),
     };

@@ -1,0 +1,191 @@
+//! Workspace-wide error type.
+//!
+//! Every layer of the workspace has its own error enum; applications
+//! that drive the whole stack (parse → optimize → execute) previously
+//! had to box them or write seven `map_err` arms. [`SecoError`] unifies
+//! them behind one enum with `From` impls for each, so `?` works across
+//! layer boundaries, and classifies failures as retryable or not — the
+//! same classification the resilience middleware
+//! ([`seco_services::resilience`]) uses to decide whether a failed call
+//! is worth retrying.
+
+use std::fmt;
+
+use seco_engine::EngineError;
+use seco_join::JoinError;
+use seco_model::ModelError;
+use seco_optimizer::OptError;
+use seco_plan::PlanError;
+use seco_query::QueryError;
+use seco_services::ServiceError;
+
+/// Classification of errors into transient (worth retrying) and
+/// permanent. Implemented by every error that can wrap a service-layer
+/// failure; a deterministic logic error is never retryable.
+pub trait Retryable {
+    /// True when retrying the failed operation could succeed.
+    fn is_retryable(&self) -> bool;
+}
+
+impl Retryable for ServiceError {
+    fn is_retryable(&self) -> bool {
+        self.is_transient()
+    }
+}
+
+/// Any error of the Search Computing stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SecoError {
+    /// Service-mart / schema / tuple error.
+    Model(ModelError),
+    /// Service substrate error (calls, registries, resilience).
+    Service(ServiceError),
+    /// Query language / semantics error.
+    Query(QueryError),
+    /// Plan DAG error.
+    Plan(PlanError),
+    /// Join method error.
+    Join(JoinError),
+    /// Optimizer error.
+    Opt(OptError),
+    /// Executor error.
+    Engine(EngineError),
+}
+
+impl SecoError {
+    /// The service-layer failure at the root of this error, if any —
+    /// unwraps the `Engine(Join(Service(…)))`-style nesting the
+    /// executors produce.
+    pub fn service_cause(&self) -> Option<&ServiceError> {
+        match self {
+            SecoError::Service(e) => Some(e),
+            SecoError::Join(JoinError::Service(e)) => Some(e),
+            SecoError::Engine(EngineError::Service(e)) => Some(e),
+            SecoError::Engine(EngineError::Join(JoinError::Service(e))) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl Retryable for SecoError {
+    fn is_retryable(&self) -> bool {
+        self.service_cause().is_some_and(ServiceError::is_transient)
+    }
+}
+
+impl fmt::Display for SecoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecoError::Model(e) => write!(f, "model error: {e}"),
+            SecoError::Service(e) => write!(f, "service error: {e}"),
+            SecoError::Query(e) => write!(f, "query error: {e}"),
+            SecoError::Plan(e) => write!(f, "plan error: {e}"),
+            SecoError::Join(e) => write!(f, "join error: {e}"),
+            SecoError::Opt(e) => write!(f, "optimizer error: {e}"),
+            SecoError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SecoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SecoError::Model(e) => Some(e),
+            SecoError::Service(e) => Some(e),
+            SecoError::Query(e) => Some(e),
+            SecoError::Plan(e) => Some(e),
+            SecoError::Join(e) => Some(e),
+            SecoError::Opt(e) => Some(e),
+            SecoError::Engine(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModelError> for SecoError {
+    fn from(e: ModelError) -> Self {
+        SecoError::Model(e)
+    }
+}
+impl From<ServiceError> for SecoError {
+    fn from(e: ServiceError) -> Self {
+        SecoError::Service(e)
+    }
+}
+impl From<QueryError> for SecoError {
+    fn from(e: QueryError) -> Self {
+        SecoError::Query(e)
+    }
+}
+impl From<PlanError> for SecoError {
+    fn from(e: PlanError) -> Self {
+        SecoError::Plan(e)
+    }
+}
+impl From<JoinError> for SecoError {
+    fn from(e: JoinError) -> Self {
+        SecoError::Join(e)
+    }
+}
+impl From<OptError> for SecoError {
+    fn from(e: OptError) -> Self {
+        SecoError::Opt(e)
+    }
+}
+impl From<EngineError> for SecoError {
+    fn from(e: EngineError) -> Self {
+        SecoError::Engine(e)
+    }
+}
+
+/// Result alias over [`SecoError`].
+pub type Result<T> = std::result::Result<T, SecoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_converts_via_question_mark() {
+        fn model() -> Result<()> {
+            Err(ModelError::UnknownName("m".into()))?
+        }
+        fn all() -> Result<()> {
+            Err(QueryError::UnknownAtom("a".into()))?
+        }
+        assert!(matches!(model().unwrap_err(), SecoError::Model(_)));
+        let e = all().unwrap_err();
+        assert!(matches!(e, SecoError::Query(_)));
+        assert!(e.to_string().contains("query error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn retryability_tracks_the_transient_service_cause() {
+        let transient = ServiceError::Transport {
+            service: "s".into(),
+            detail: "connection reset".into(),
+        };
+        assert!(SecoError::from(transient.clone()).is_retryable());
+        assert!(SecoError::Join(JoinError::Service(transient.clone())).is_retryable());
+        assert!(
+            SecoError::Engine(EngineError::Join(JoinError::Service(transient.clone())))
+                .is_retryable()
+        );
+        assert!(SecoError::Engine(EngineError::Service(transient)).is_retryable());
+
+        // Logic errors are never retryable.
+        assert!(!SecoError::from(QueryError::UnknownAtom("a".into())).is_retryable());
+        assert!(!SecoError::from(ServiceError::UnknownService("s".into())).is_retryable());
+        // An open breaker is deliberate refusal, not a transient fault.
+        assert!(!SecoError::from(ServiceError::CircuitOpen {
+            service: "s".into()
+        })
+        .is_retryable());
+        // A deadline overrun is transient: the next attempt may be fast.
+        assert!(SecoError::from(ServiceError::DeadlineExceeded {
+            service: "s".into(),
+            deadline_ms: 10.0
+        })
+        .is_retryable());
+    }
+}

@@ -52,6 +52,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod error;
+
 pub use seco_engine as engine;
 pub use seco_join as join;
 pub use seco_model as model;
@@ -60,9 +62,15 @@ pub use seco_plan as plan;
 pub use seco_query as query;
 pub use seco_services as services;
 
+pub use error::{Retryable, SecoError};
+
 /// The most common imports in one place.
 pub mod prelude {
-    pub use seco_engine::{execute_parallel, execute_plan, ExecOptions, ResultSet};
+    pub use crate::error::{Retryable, SecoError};
+    pub use seco_engine::{
+        execute_parallel, execute_parallel_with, execute_plan, ExecOptions, FailureMode,
+        ParallelOutcome, ResultSet,
+    };
     pub use seco_join::{JoinMethod, Topology};
     pub use seco_model::{
         Adornment, AttributePath, Comparator, CompositeTuple, Date, ScoreDecay, ServiceInterface,
@@ -71,7 +79,7 @@ pub mod prelude {
     pub use seco_optimizer::{optimize, CostMetric, Optimizer};
     pub use seco_plan::{annotate, AnnotationConfig, Completion, Invocation, QueryPlan};
     pub use seco_query::{evaluate_oracle, parse_query, Query, QueryBuilder};
-    pub use seco_services::{Service, ServiceRegistry};
+    pub use seco_services::{ClientConfig, FaultProfile, Service, ServiceClient, ServiceRegistry};
 }
 
 #[cfg(test)]

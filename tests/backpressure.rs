@@ -76,14 +76,20 @@ fn pipelined_executor_survives_volumes_beyond_channel_capacity() {
         .build()
         .unwrap();
     let mut plan = QueryPlan::new(query);
-    let w = plan.add(PlanNode::Service(ServiceNode::new("W", "Wide1").with_fetches(4)));
+    let w = plan.add(PlanNode::Service(
+        ServiceNode::new("W", "Wide1").with_fetches(4),
+    ));
     let l = plan.add(PlanNode::Service(ServiceNode::new("L", "Lookup1")));
     plan.connect(plan.input(), w).unwrap();
     plan.connect(w, l).unwrap();
     plan.connect(l, plan.output()).unwrap();
 
     let sequential = execute_plan(&plan, &reg, ExecOptions::default()).unwrap();
-    assert_eq!(sequential.results.len(), 2000, "every wide tuple finds its lookup (echoed key)");
+    assert_eq!(
+        sequential.results.len(),
+        2000,
+        "every wide tuple finds its lookup (echoed key)"
+    );
 
     let parallel = execute_parallel(&plan, &reg, ExecOptions::default()).unwrap();
     assert_eq!(parallel.len(), sequential.results.len());

@@ -22,17 +22,27 @@ use search_computing::services::domains::entertainment;
 fn fig10_plan(registry: &ServiceRegistry) -> QueryPlan {
     let query = running_example();
     let joins = query.expanded_joins(registry).unwrap();
-    let shows: Vec<_> = joins.iter().filter(|j| j.connects("M", "T")).cloned().collect();
+    let shows: Vec<_> = joins
+        .iter()
+        .filter(|j| j.connects("M", "T"))
+        .cloned()
+        .collect();
     let mut p = QueryPlan::new(query);
-    let m = p.add(PlanNode::Service(ServiceNode::new("M", "Movie1").with_fetches(5)));
-    let t = p.add(PlanNode::Service(ServiceNode::new("T", "Theatre1").with_fetches(5)));
+    let m = p.add(PlanNode::Service(
+        ServiceNode::new("M", "Movie1").with_fetches(5),
+    ));
+    let t = p.add(PlanNode::Service(
+        ServiceNode::new("T", "Theatre1").with_fetches(5),
+    ));
     let j = p.add(PlanNode::ParallelJoin(JoinSpec {
         invocation: Invocation::merge_scan_even(),
         completion: Completion::Triangular,
         predicates: shows,
         selectivity: entertainment::SHOWS_SELECTIVITY,
     }));
-    let r = p.add(PlanNode::Service(ServiceNode::new("R", "Restaurant1").with_keep_first()));
+    let r = p.add(PlanNode::Service(
+        ServiceNode::new("R", "Restaurant1").with_keep_first(),
+    ));
     p.connect(p.input(), m).unwrap();
     p.connect(p.input(), t).unwrap();
     p.connect(m, j).unwrap();
@@ -83,14 +93,25 @@ fn fig10_plan_executes_and_produces_complete_combinations() {
     // The synthetic substrate realises the declared selectivities only
     // approximately, so we check shape, not the exact count: some
     // combinations exist and each carries all three atoms.
-    assert!(!outcome.results.is_empty(), "the night-out query should have answers");
+    assert!(
+        !outcome.results.is_empty(),
+        "the night-out query should have answers"
+    );
     for combo in &outcome.results {
         assert_eq!(combo.arity(), 3);
     }
     // Movie and Theatre were each fetched 5 times; Restaurant once per
     // surviving MS combination.
-    let m_calls = outcome.trace.event(plan.service_node_of("M").unwrap()).unwrap().calls;
-    let t_calls = outcome.trace.event(plan.service_node_of("T").unwrap()).unwrap().calls;
+    let m_calls = outcome
+        .trace
+        .event(plan.service_node_of("M").unwrap())
+        .unwrap()
+        .calls;
+    let t_calls = outcome
+        .trace
+        .event(plan.service_node_of("T").unwrap())
+        .unwrap()
+        .calls;
     assert_eq!(m_calls, 5);
     assert_eq!(t_calls, 5);
 }

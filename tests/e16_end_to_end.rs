@@ -8,7 +8,9 @@ use search_computing::services::domains::{entertainment, travel};
 /// Two composites describe the same answer when every atom's component
 /// matches.
 fn same_answer(q: &Query, a: &CompositeTuple, b: &CompositeTuple) -> bool {
-    q.atoms.iter().all(|atom| a.component(&atom.alias) == b.component(&atom.alias))
+    q.atoms
+        .iter()
+        .all(|atom| a.component(&atom.alias) == b.component(&atom.alias))
 }
 
 #[test]
@@ -60,7 +62,10 @@ fn parallel_and_sequential_executors_agree() {
     let parallel = execute_parallel(&best.plan, &registry, ExecOptions::default()).unwrap();
     assert_eq!(sequential.results.len(), parallel.len());
     for combo in &parallel {
-        assert!(sequential.results.iter().any(|s| same_answer(&query, s, combo)));
+        assert!(sequential
+            .results
+            .iter()
+            .any(|s| same_answer(&query, s, combo)));
     }
 }
 

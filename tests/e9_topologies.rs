@@ -26,7 +26,8 @@ fn atom_positions(plan: &QueryPlan) -> Vec<(String, usize)> {
 }
 
 fn has_join(plan: &QueryPlan) -> bool {
-    plan.node_ids().any(|id| matches!(plan.node(id), Ok(PlanNode::ParallelJoin(_))))
+    plan.node_ids()
+        .any(|id| matches!(plan.node(id), Ok(PlanNode::ParallelJoin(_))))
 }
 
 #[test]
@@ -34,17 +35,30 @@ fn enumerates_the_fig9_topologies() {
     let registry = entertainment::build_registry(1).unwrap();
     let query = running_example();
     let report = analyze(&query, &registry).unwrap();
-    let plans =
-        enumerate_topologies(&query, &registry, &report, Phase2Heuristic::ParallelIsBetter, 64)
-            .unwrap();
+    let plans = enumerate_topologies(
+        &query,
+        &registry,
+        &report,
+        Phase2Heuristic::ParallelIsBetter,
+        64,
+    )
+    .unwrap();
 
     // The enumeration yields exactly five structures.
-    assert_eq!(plans.len(), 5, "expected the 4 drawn topologies + the undrawn M∥(T→R)");
+    assert_eq!(
+        plans.len(),
+        5,
+        "expected the 4 drawn topologies + the undrawn M∥(T→R)"
+    );
 
     // Classify them.
     let chains: Vec<&QueryPlan> = plans.iter().filter(|p| !has_join(p)).collect();
     let parallel: Vec<&QueryPlan> = plans.iter().filter(|p| has_join(p)).collect();
-    assert_eq!(chains.len(), 3, "the three all-sequential orders: M·T·R, T·M·R, T·R·M");
+    assert_eq!(
+        chains.len(),
+        3,
+        "the three all-sequential orders: M·T·R, T·M·R, T·R·M"
+    );
     assert_eq!(parallel.len(), 2, "(M ∥ T)→R and M ∥ (T→R)");
 
     // All three admissible chain orders are present.
@@ -84,7 +98,10 @@ fn enumerates_the_fig9_topologies() {
         let upstream = p.atoms_at(join_id);
         upstream.contains("M") && upstream.contains("T") && !upstream.contains("R")
     });
-    assert!(fig9d, "the (M ∥ T)→R topology of Fig. 9(d) must be enumerated");
+    assert!(
+        fig9d,
+        "the (M ∥ T)→R topology of Fig. 9(d) must be enumerated"
+    );
 }
 
 #[test]
@@ -92,9 +109,25 @@ fn both_heuristics_enumerate_the_same_set() {
     let registry = entertainment::build_registry(1).unwrap();
     let query = running_example();
     let report = analyze(&query, &registry).unwrap();
-    let a = enumerate_topologies(&query, &registry, &report, Phase2Heuristic::ParallelIsBetter, 64)
-        .unwrap();
-    let b = enumerate_topologies(&query, &registry, &report, Phase2Heuristic::SelectiveFirst, 64)
-        .unwrap();
-    assert_eq!(a.len(), b.len(), "heuristics order the space, they do not shrink it");
+    let a = enumerate_topologies(
+        &query,
+        &registry,
+        &report,
+        Phase2Heuristic::ParallelIsBetter,
+        64,
+    )
+    .unwrap();
+    let b = enumerate_topologies(
+        &query,
+        &registry,
+        &report,
+        Phase2Heuristic::SelectiveFirst,
+        64,
+    )
+    .unwrap();
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "heuristics order the space, they do not shrink it"
+    );
 }

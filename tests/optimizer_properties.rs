@@ -1,10 +1,10 @@
 //! Property-style invariants of the optimizer stack, exercised over the
 //! parameterized chain/star workload generators.
 
-use seco_bench::{chain_scenario, star_scenario};
 use search_computing::optimizer::exhaustive::optimize_exhaustive_with_costs;
 use search_computing::plan::{annotate, AnnotationConfig, PlanNode};
 use search_computing::prelude::*;
+use seco_bench::{chain_scenario, star_scenario};
 
 #[test]
 fn bnb_matches_exhaustive_on_every_generated_scenario() {
@@ -20,8 +20,7 @@ fn bnb_matches_exhaustive_on_every_generated_scenario() {
                 for metric in [CostMetric::RequestCount, CostMetric::ExecutionTime] {
                     let bnb = optimize(&query, &reg, metric)
                         .unwrap_or_else(|e| panic!("{label} n={n} seed={seed}: {e}"));
-                    let (ex, costs) =
-                        optimize_exhaustive_with_costs(&query, &reg, metric).unwrap();
+                    let (ex, costs) = optimize_exhaustive_with_costs(&query, &reg, metric).unwrap();
                     assert!(
                         (bnb.cost - ex.cost).abs() < 1e-9,
                         "{label} n={n} seed={seed} {metric}: bnb={} exhaustive={}",
@@ -43,8 +42,12 @@ fn annotation_is_monotone_in_every_fetch_factor() {
     let (reg, query) = star_scenario(3, 5);
     let best = optimize(&query, &reg, CostMetric::RequestCount).unwrap();
     let base = annotate(&best.plan, &reg, &AnnotationConfig::default()).unwrap();
-    let base_cost = CostMetric::RequestCount.evaluate(&best.plan, &base, &reg).unwrap();
-    let base_time = CostMetric::ExecutionTime.evaluate(&best.plan, &base, &reg).unwrap();
+    let base_cost = CostMetric::RequestCount
+        .evaluate(&best.plan, &base, &reg)
+        .unwrap();
+    let base_time = CostMetric::ExecutionTime
+        .evaluate(&best.plan, &base, &reg)
+        .unwrap();
     for id in best.plan.node_ids().collect::<Vec<_>>() {
         let mut bumped = best.plan.clone();
         let is_service = matches!(bumped.node(id), Ok(PlanNode::Service(_)));
@@ -59,10 +62,20 @@ fn annotation_is_monotone_in_every_fetch_factor() {
             ann.output_tuples >= base.output_tuples - 1e-9,
             "more fetches must never lose estimated answers"
         );
-        let cost = CostMetric::RequestCount.evaluate(&bumped, &ann, &reg).unwrap();
-        let time = CostMetric::ExecutionTime.evaluate(&bumped, &ann, &reg).unwrap();
-        assert!(cost >= base_cost - 1e-9, "request count must be monotone in F");
-        assert!(time >= base_time - 1e-9, "execution time must be monotone in F");
+        let cost = CostMetric::RequestCount
+            .evaluate(&bumped, &ann, &reg)
+            .unwrap();
+        let time = CostMetric::ExecutionTime
+            .evaluate(&bumped, &ann, &reg)
+            .unwrap();
+        assert!(
+            cost >= base_cost - 1e-9,
+            "request count must be monotone in F"
+        );
+        assert!(
+            time >= base_time - 1e-9,
+            "execution time must be monotone in F"
+        );
     }
 }
 
@@ -78,7 +91,9 @@ fn optimized_plans_meet_k_or_the_whole_space_fails() {
                     "seed={seed} k={k}: plan estimates {} answers",
                     best.annotated.output_tuples
                 ),
-                Err(search_computing::optimizer::OptError::Unreachable { best_estimate, .. }) => {
+                Err(search_computing::optimizer::OptError::Unreachable {
+                    best_estimate, ..
+                }) => {
                     assert!(best_estimate < k as f64)
                 }
                 Err(e) => panic!("unexpected optimizer error: {e}"),
@@ -103,7 +118,10 @@ fn star_queries_execute_end_to_end() {
     let oracle = evaluate_oracle(&query, &reg).unwrap();
     for combo in &outcome.results {
         assert!(oracle.iter().any(|o| {
-            query.atoms.iter().all(|a| o.component(&a.alias) == combo.component(&a.alias))
+            query
+                .atoms
+                .iter()
+                .all(|a| o.component(&a.alias) == combo.component(&a.alias))
         }));
     }
 }

@@ -64,7 +64,10 @@ fn the_same_service_joins_with_itself_under_two_renamings() {
         .build()
         .unwrap();
     let oracle = evaluate_oracle(&query, &reg).unwrap();
-    assert!(!oracle.is_empty(), "the shared director domain guarantees matches");
+    assert!(
+        !oracle.is_empty(),
+        "the shared director domain guarantees matches"
+    );
     // Both components come from the same interface but different
     // binding sets.
     for a in &oracle {
@@ -114,5 +117,8 @@ fn opaque_services_work_once_position_scored() {
     for w in scores.windows(2) {
         assert!(w[0] >= w[1] - 1e-12);
     }
-    assert!(scores[0] > scores[scores.len() - 1], "position scoring must discriminate");
+    assert!(
+        scores[0] > scores[scores.len() - 1],
+        "position scoring must discriminate"
+    );
 }

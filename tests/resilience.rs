@@ -1,0 +1,271 @@
+//! End-to-end tests of the resilience layer: deterministic retry
+//! schedules, breaker short-circuits on the virtual clock, and graceful
+//! degradation of pipe and parallel joins.
+
+use std::sync::Arc;
+
+use search_computing::prelude::*;
+use search_computing::query::builder::running_example;
+use search_computing::services::domains::{entertainment, travel};
+use search_computing::services::synthetic::{DomainMap, SyntheticService};
+use search_computing::services::{Request, VirtualClock};
+
+#[test]
+fn identical_seeds_reproduce_identical_resilient_runs() {
+    let q = running_example();
+    let clean = entertainment::build_registry(1).unwrap();
+    let best = optimize(&q, &clean, CostMetric::RequestCount).unwrap();
+    let opts = ExecOptions {
+        failure_mode: FailureMode::Degrade,
+        client: Some(ClientConfig {
+            deadline_ms: Some(200.0),
+            retries: 3,
+            seed: 42,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let run = || {
+        let reg = entertainment::build_registry_with_faults(1, FaultProfile::flaky().with_seed(7))
+            .unwrap();
+        let out = execute_plan(&best.plan, &reg, opts).unwrap();
+        (
+            out.results,
+            out.degraded,
+            out.critical_ms,
+            out.total_calls,
+            reg.total_stats(),
+        )
+    };
+    let (res_a, deg_a, crit_a, calls_a, stats_a) = run();
+    let (res_b, deg_b, crit_b, calls_b, stats_b) = run();
+    assert_eq!(res_a, res_b, "same seeds must give identical answers");
+    assert_eq!(deg_a, deg_b);
+    assert_eq!(
+        crit_a, crit_b,
+        "same seeds must give identical virtual schedules"
+    );
+    assert_eq!(calls_a, calls_b);
+    assert_eq!(
+        (
+            stats_a.calls,
+            stats_a.failures,
+            stats_a.retries,
+            stats_a.timeouts
+        ),
+        (
+            stats_b.calls,
+            stats_b.failures,
+            stats_b.retries,
+            stats_b.timeouts
+        ),
+    );
+    assert_eq!(
+        (stats_a.breaker_trips, stats_a.short_circuits),
+        (stats_b.breaker_trips, stats_b.short_circuits),
+    );
+    // The flaky profile really exercised the middleware.
+    assert!(
+        stats_a.retries > 0,
+        "expected retries under the flaky profile"
+    );
+    assert!(
+        stats_a.timeouts > 0,
+        "expected deadline timeouts under the flaky profile"
+    );
+}
+
+fn tiny_interface() -> ServiceInterface {
+    use search_computing::model::{AttributeDef, DataType, ServiceSchema, ServiceStats};
+    let schema = ServiceSchema::new(
+        "Tiny1",
+        vec![
+            AttributeDef::atomic("K", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("V", DataType::Text, Adornment::Output),
+        ],
+    )
+    .unwrap();
+    ServiceInterface::new(
+        "Tiny1",
+        "Tiny",
+        schema,
+        ServiceKind::Exact { chunked: true },
+        ServiceStats::new(25.0, 10, 40.0, 1.0).unwrap(),
+        ScoreDecay::Constant(0.0),
+    )
+    .unwrap()
+}
+
+#[test]
+fn tripped_breaker_short_circuits_without_consuming_virtual_time() {
+    // A permanently downed service behind a hair-trigger breaker.
+    let svc = SyntheticService::new(tiny_interface(), DomainMap::new(), 1).with_fault_profile(
+        FaultProfile {
+            outage: Some((0, u64::MAX)),
+            ..FaultProfile::none()
+        },
+    );
+    let clock = VirtualClock::new();
+    let client = ServiceClient::for_service(Arc::new(svc))
+        .retries(0)
+        .breaker(1, 1_000.0)
+        .virtual_clock(clock.clone())
+        .build();
+    let req = Request::unbound().bind(AttributePath::atomic("K"), Value::text("k"));
+
+    let first = client.fetch(&req).unwrap_err();
+    assert!(
+        first.is_retryable(),
+        "the outage surfaces as a transient transport error"
+    );
+    assert!(client.breaker_is_open());
+    let after_trip = clock.now_ms();
+
+    // Short-circuits are instantaneous: no request, no virtual time.
+    for _ in 0..5 {
+        let err = client.fetch(&req).unwrap_err();
+        assert!(matches!(
+            err,
+            search_computing::services::ServiceError::CircuitOpen { .. }
+        ));
+        assert!(!SecoError::from(err).is_retryable());
+    }
+    assert_eq!(
+        clock.now_ms(),
+        after_trip,
+        "short-circuits must not consume virtual time"
+    );
+}
+
+#[test]
+fn clean_run_is_a_rank_ordered_superset_of_the_degraded_run() {
+    let q = running_example();
+    let clean = entertainment::build_registry(1).unwrap();
+    let best = optimize(&q, &clean, CostMetric::RequestCount).unwrap();
+    let baseline = execute_plan(&best.plan, &clean, ExecOptions::default()).unwrap();
+    assert!(baseline.degraded.is_empty());
+
+    // An outage profile knocks services out over a call window; the
+    // degraded answer keeps whatever was extracted before the window.
+    let reg =
+        entertainment::build_registry_with_faults(1, FaultProfile::outage().with_seed(3)).unwrap();
+    let opts = ExecOptions {
+        failure_mode: FailureMode::Degrade,
+        client: Some(ClientConfig {
+            retries: 1,
+            seed: 1,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let degraded = execute_plan(&best.plan, &reg, opts).unwrap();
+    assert!(
+        degraded.is_degraded(),
+        "the outage window must degrade the run"
+    );
+    assert!(
+        degraded.results.len() < baseline.results.len(),
+        "the degraded answer must be a strict subset"
+    );
+
+    // Every degraded answer appears in the clean run, in the same
+    // relative (rank) order — degradation truncates, it never reorders.
+    let mut clean_iter = baseline.results.iter();
+    for combo in &degraded.results {
+        assert!(
+            clean_iter.any(|c| c == combo),
+            "degraded answer missing from the clean run or out of order: {combo}"
+        );
+    }
+}
+
+#[test]
+fn degraded_parallel_join_emits_the_surviving_branch_top_k_in_rank_order() {
+    use search_computing::model::Comparator;
+    use search_computing::plan::{JoinSpec, PlanNode, ServiceNode};
+
+    // Diamond plan: Conference fans out to Flight and Hotel, joined by
+    // SameTrip. Flight is hard down.
+    let mut reg = ServiceRegistry::new();
+    let city = search_computing::services::ValueDomain::new("city", 12);
+    let conf_domains = DomainMap::new().with(AttributePath::atomic("City"), city);
+    reg.register_service(Arc::new(SyntheticService::new(
+        travel::conference_interface(),
+        conf_domains,
+        5 ^ 0x11,
+    )))
+    .unwrap();
+    reg.register_service(Arc::new(
+        SyntheticService::new(travel::flight_interface(), DomainMap::new(), 5 ^ 0x13)
+            .with_fault_profile(FaultProfile {
+                outage: Some((0, u64::MAX)),
+                ..FaultProfile::none()
+            }),
+    ))
+    .unwrap();
+    reg.register_service(Arc::new(SyntheticService::new(
+        travel::hotel_interface(),
+        DomainMap::new(),
+        5 ^ 0x14,
+    )))
+    .unwrap();
+    reg.register_pattern(travel::reached_by_pattern()).unwrap();
+    reg.register_pattern(travel::stay_at_pattern()).unwrap();
+    reg.register_pattern(travel::same_trip_pattern()).unwrap();
+
+    let q = QueryBuilder::new()
+        .atom("C", "Conference1")
+        .atom("F", "Flight1")
+        .atom("H", "Hotel1")
+        .pattern("ReachedBy", "C", "F")
+        .pattern("StayAt", "C", "H")
+        .pattern("SameTrip", "F", "H")
+        .select_const("C", "Topic", Comparator::Eq, Value::text("ai"))
+        .k(5)
+        .build()
+        .unwrap();
+    let joins = q.expanded_joins(&reg).unwrap();
+    let same_trip: Vec<_> = joins
+        .iter()
+        .filter(|j| j.connects("F", "H"))
+        .cloned()
+        .collect();
+    let mut p = QueryPlan::new(q);
+    let c = p.add(PlanNode::Service(ServiceNode::new("C", "Conference1")));
+    let f = p.add(PlanNode::Service(ServiceNode::new("F", "Flight1")));
+    let h = p.add(PlanNode::Service(ServiceNode::new("H", "Hotel1")));
+    let j = p.add(PlanNode::ParallelJoin(JoinSpec {
+        invocation: Invocation::merge_scan_even(),
+        completion: Completion::Triangular,
+        predicates: same_trip,
+        selectivity: 1.0,
+    }));
+    p.connect(p.input(), c).unwrap();
+    p.connect(c, f).unwrap();
+    p.connect(c, h).unwrap();
+    p.connect(f, j).unwrap();
+    p.connect(h, j).unwrap();
+    p.connect(j, p.output()).unwrap();
+
+    let opts = ExecOptions {
+        join_k: 5,
+        failure_mode: FailureMode::Degrade,
+        ..Default::default()
+    };
+    let out = execute_plan(&p, &reg, opts).unwrap();
+    assert_eq!(out.degraded, vec!["Flight1".to_string()]);
+    assert!(!out.results.is_empty(), "the hotel branch must survive");
+    assert!(out.results.len() <= 5, "k-answer termination still holds");
+    // Surviving-branch passthrough: hotel-only composites, emitted in
+    // non-increasing score order (the branch's rank order).
+    let mut last = f64::INFINITY;
+    for combo in &out.results {
+        assert!(combo.component("F").is_none());
+        let hotel = combo.component("H").expect("hotel component");
+        assert!(
+            hotel.score <= last + 1e-12,
+            "passthrough must preserve rank order"
+        );
+        last = hotel.score;
+    }
+}

@@ -41,7 +41,10 @@ fn registry() -> ServiceRegistry {
     let mut reg = ServiceRegistry::new();
     reg.register_service(Arc::new(SyntheticService::new(
         chunked_catalogue(),
-        DomainMap::new().with(AttributePath::atomic("Product"), ValueDomain::new("prod", 40)),
+        DomainMap::new().with(
+            AttributePath::atomic("Product"),
+            ValueDomain::new("prod", 40),
+        ),
         5,
     )))
     .unwrap();
@@ -74,7 +77,9 @@ fn annotation_handles_chunked_exact_fetch_factors() {
         .build()
         .unwrap();
     let mut plan = QueryPlan::new(query);
-    let c = plan.add(PlanNode::Service(ServiceNode::new("C", "Catalogue1").with_fetches(2)));
+    let c = plan.add(PlanNode::Service(
+        ServiceNode::new("C", "Catalogue1").with_fetches(2),
+    ));
     plan.connect(plan.input(), c).unwrap();
     plan.connect(c, plan.output()).unwrap();
     let ann = annotate(&plan, &reg, &AnnotationConfig::default()).unwrap();
