@@ -13,7 +13,7 @@ use seco_model::{
     ScoreDecay, ServiceInterface, ServiceKind, ServiceSchema, ServiceStats, Value,
 };
 use seco_query::{Query, QueryBuilder};
-use seco_services::synthetic::{DomainMap, SyntheticService, ValueDomain};
+use seco_services::synthetic::{DomainMap, FaultProfile, SyntheticService, ValueDomain};
 use seco_services::ServiceRegistry;
 
 /// Builds one search-service interface `name` with a `Key` input, a
@@ -53,6 +53,18 @@ pub fn link_service(
 /// Returns the registry and a feasible query over all `n` services with
 /// `ChainLinki` connection patterns.
 pub fn chain_scenario(n: usize, seed: u64) -> (ServiceRegistry, Query) {
+    chain_scenario_with_faults(n, seed, FaultProfile::none())
+}
+
+/// [`chain_scenario`] with every service injecting deterministic
+/// faults from `faults` (each service's schedule is decorrelated by
+/// mixing its index into the profile's seed). The e21-style workload
+/// for exercising the fetch layer under retry storms.
+pub fn chain_scenario_with_faults(
+    n: usize,
+    seed: u64,
+    faults: FaultProfile,
+) -> (ServiceRegistry, Query) {
     assert!(n >= 1);
     let mut reg = ServiceRegistry::new();
     let link = ValueDomain::new("link", 16);
@@ -76,7 +88,11 @@ pub fn chain_scenario(n: usize, seed: u64) -> (ServiceRegistry, Query) {
             iface,
             DomainMap::new().with(AttributePath::atomic("Link"), link.clone()),
             seed ^ ((i as u64) << 8),
-        );
+        )
+        .with_fault_profile(FaultProfile {
+            seed: faults.seed.wrapping_add(i as u64),
+            ..faults
+        });
         reg.register_service(Arc::new(service))
             .expect("unique names");
     }

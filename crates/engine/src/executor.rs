@@ -28,7 +28,9 @@ use seco_query::feasibility::analyze;
 use seco_query::predicate::{
     resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap,
 };
-use seco_services::{ClientConfig, ServiceClient, ServiceRegistry, VirtualClock};
+use seco_services::{
+    CachingService, ClientConfig, Prefetcher, Service, ServiceClient, ServiceRegistry, VirtualClock,
+};
 
 use crate::error::EngineError;
 use crate::trace::{ExecutionTrace, TraceEvent};
@@ -45,6 +47,65 @@ pub enum FailureMode {
     Degrade,
 }
 
+/// Fetch-layer options: the sharded response cache, request
+/// coalescing, and speculative chunk prefetch
+/// ([`seco_services::cache`], [`seco_services::prefetch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchOptions {
+    /// Shards of the per-service response cache; 0 leaves the cache
+    /// off (unless `prefetch` forces it on at the default width).
+    pub cache_shards: usize,
+    /// Maximum cached responses per service, across all shards.
+    pub cache_capacity: usize,
+    /// Speculatively warm chunk `c + 1` while the join consumes chunk
+    /// `c`, within each node's optimizer-assigned fetch budget.
+    pub prefetch: bool,
+}
+
+impl Default for FetchOptions {
+    fn default() -> Self {
+        FetchOptions {
+            cache_shards: 0,
+            cache_capacity: 4096,
+            prefetch: false,
+        }
+    }
+}
+
+impl FetchOptions {
+    /// A cache of `shards` shards at the default capacity.
+    pub fn cached(shards: usize) -> Self {
+        FetchOptions {
+            cache_shards: shards,
+            ..Default::default()
+        }
+    }
+
+    /// Enables speculative chunk prefetch.
+    pub fn with_prefetch(mut self) -> Self {
+        self.prefetch = true;
+        self
+    }
+
+    /// `(shards, capacity)` when the cache is on. Prefetch without an
+    /// explicit shard count turns the cache on at the default width —
+    /// speculation needs somewhere to land its responses.
+    pub fn cache(&self) -> Option<(usize, usize)> {
+        if self.cache_shards > 0 {
+            Some((self.cache_shards, self.cache_capacity))
+        } else if self.prefetch {
+            Some((seco_services::cache::DEFAULT_SHARDS, self.cache_capacity))
+        } else {
+            None
+        }
+    }
+
+    /// True when any part of the fetch layer is active.
+    pub fn enabled(&self) -> bool {
+        self.cache().is_some()
+    }
+}
+
 /// Execution options.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecOptions {
@@ -58,6 +119,10 @@ pub struct ExecOptions {
     /// with this resilience configuration (deadline, retry/backoff,
     /// circuit breaker). One client — hence one breaker — per service.
     pub client: Option<ClientConfig>,
+    /// Fetch-layer configuration (cache, coalescing, prefetch). The
+    /// cache sits *above* the resilient client, so hits and coalesced
+    /// waits bypass retries and breaker checks entirely.
+    pub fetch: FetchOptions,
 }
 
 /// The outcome of executing a plan.
@@ -109,12 +174,23 @@ pub fn execute_plan(
     let mut total_calls = 0usize;
 
     let degrade = options.failure_mode == FailureMode::Degrade;
-    // One resilient client per service, shared across plan nodes so the
-    // circuit breaker accumulates failures over the whole execution. The
-    // clock is shared too: backoff pauses and abandoned-call deadlines
-    // count toward the same virtual timeline as the calls themselves.
+    // One fetch stack per service, shared across plan nodes: the
+    // resilient client (when configured) under the sharded response
+    // cache, so the circuit breaker and the memoized responses both
+    // accumulate over the whole execution. The clock is shared too:
+    // backoff pauses and abandoned-call deadlines count toward the same
+    // virtual timeline as the calls themselves.
     let clock = VirtualClock::new();
-    let mut clients: BTreeMap<String, Arc<ServiceClient>> = BTreeMap::new();
+    let cache_cfg = options.fetch.cache();
+    #[allow(clippy::type_complexity)]
+    let mut stacks: BTreeMap<
+        String,
+        (
+            Arc<dyn Service>,
+            Option<Arc<ServiceClient>>,
+            Option<Arc<CachingService>>,
+        ),
+    > = BTreeMap::new();
     let mut degraded: BTreeSet<String> = BTreeSet::new();
     // Whether each node's output is already partial (some upstream
     // branch lost tuples to a failure).
@@ -169,31 +245,70 @@ pub fn execute_plan(
                         keep_first: node.keep_first,
                         tolerate_failures: degrade,
                     };
-                    let (outcome, busy_ms) = if let Some(cfg) = options.client {
-                        let client = match clients.get(&node.service) {
-                            Some(c) => c.clone(),
-                            None => {
-                                let c = Arc::new(
-                                    ServiceClient::for_recorded(registry.service(&node.service)?)
+                    let recorded = registry.service(&node.service)?;
+                    let (base, client, cache) = match stacks.get(&node.service) {
+                        Some(stack) => stack.clone(),
+                        None => {
+                            let client = options.client.map(|cfg| {
+                                Arc::new(
+                                    ServiceClient::for_recorded(recorded.clone())
                                         .config(cfg)
                                         .virtual_clock(clock.clone())
                                         .build(),
-                                );
-                                clients.insert(node.service.clone(), c.clone());
-                                c
-                            }
-                        };
-                        let before = clock.now_ms();
-                        let outcome = stage.run(&input, client.as_ref())?;
+                                )
+                            });
+                            let inner: Arc<dyn Service> = match &client {
+                                Some(c) => c.clone(),
+                                None => recorded.clone(),
+                            };
+                            let cache = cache_cfg.map(|(shards, capacity)| {
+                                Arc::new(
+                                    CachingService::sharded(inner.clone(), capacity, shards)
+                                        .with_recorder(recorded.clone()),
+                                )
+                            });
+                            let base: Arc<dyn Service> = match &cache {
+                                Some(c) => c.clone(),
+                                None => inner,
+                            };
+                            stacks.insert(
+                                node.service.clone(),
+                                (base.clone(), client.clone(), cache.clone()),
+                            );
+                            (base, client, cache)
+                        }
+                    };
+                    // Inline speculation: the prefetch runs on this
+                    // thread, so the virtual timeline and the fault
+                    // schedule stay a pure function of the seed.
+                    let handle: Arc<dyn Service> = if options.fetch.prefetch && node.fetches > 1 {
+                        let mut pf = Prefetcher::new(base, node.fetches as usize)
+                            .with_recorder(recorded.clone());
+                        if let Some(c) = &client {
+                            pf = pf.respecting_breaker(c.clone());
+                        }
+                        if let Some(c) = &cache {
+                            pf = pf.probing(c.clone());
+                        }
+                        Arc::new(pf)
+                    } else {
+                        base
+                    };
+                    let clock_before = clock.now_ms();
+                    let busy_before = recorded.stats().busy_ms;
+                    let outcome = stage.run(&input, handle.as_ref())?;
+                    let busy_ms = if options.client.is_some() {
                         // Busy time is the clock delta: calls plus
                         // retries, backoff pauses, and abandoned calls
                         // clipped at the deadline.
-                        (outcome, clock.now_ms() - before)
+                        clock.now_ms() - clock_before
+                    } else if cache_cfg.is_some() {
+                        // Cache without a client: no clock runs, so
+                        // charge the recorder's underlying-call time
+                        // (hits and coalesced waits are free).
+                        recorded.stats().busy_ms - busy_before
                     } else {
-                        let service = registry.service(&node.service)?;
-                        let outcome = stage.run(&input, service.as_ref())?;
-                        let busy_ms = outcome.calls as f64 * iface.stats.response_time_ms;
-                        (outcome, busy_ms)
+                        outcome.calls as f64 * iface.stats.response_time_ms
                     };
                     let mut deg = node_degraded[preds_nodes[0].0];
                     if outcome.degraded {

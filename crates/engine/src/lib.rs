@@ -31,7 +31,7 @@ pub mod trace;
 
 pub use clock::{drive_pair, Clock, ClockPacing};
 pub use error::EngineError;
-pub use executor::{execute_plan, ExecOptions, ExecutionResult, FailureMode};
+pub use executor::{execute_plan, ExecOptions, ExecutionResult, FailureMode, FetchOptions};
 pub use output::ResultSet;
 pub use parallel::{execute_parallel, execute_parallel_with, ParallelOutcome};
 pub use trace::{ExecutionTrace, TraceEvent};

@@ -27,14 +27,66 @@ use seco_query::feasibility::analyze;
 use seco_query::predicate::{
     resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap,
 };
-use seco_services::{Service, ServiceClient, ServiceRegistry};
+use seco_services::{CachingService, Prefetcher, Service, ServiceClient, ServiceRegistry};
 
 use crate::error::EngineError;
 use crate::executor::{ExecOptions, FailureMode};
 
-/// Channel capacity per plan arc; small enough to exercise
+/// Channel capacity per plan arc, in batches; small enough to exercise
 /// backpressure, large enough to avoid senseless stalls.
 const ARC_CAPACITY: usize = 256;
+
+/// Tuples per channel batch. Workers buffer their output locally and
+/// ship it in batches, so the per-tuple cost of the channel's internal
+/// lock (and of cloning for every fan-out edge) is amortized away —
+/// this is what removes the output-path contention that per-tuple
+/// sends exhibited with eight producer nodes.
+const BATCH_SIZE: usize = 32;
+
+/// Concurrent speculative fetches per service node.
+const PREFETCH_INFLIGHT: usize = 2;
+
+/// A worker's buffered fan-out over its outgoing arcs.
+struct Fanout {
+    senders: Vec<Sender<Vec<CompositeTuple>>>,
+    buf: Vec<CompositeTuple>,
+}
+
+impl Fanout {
+    fn new(senders: Vec<Sender<Vec<CompositeTuple>>>) -> Self {
+        Fanout {
+            senders,
+            buf: Vec::with_capacity(BATCH_SIZE),
+        }
+    }
+
+    /// Buffers one tuple, shipping a batch when full. Returns `false`
+    /// when every downstream consumer hung up.
+    fn push(&mut self, tuple: CompositeTuple) -> bool {
+        self.buf.push(tuple);
+        if self.buf.len() >= BATCH_SIZE {
+            self.flush()
+        } else {
+            true
+        }
+    }
+
+    /// Ships whatever is buffered. Must be called before the worker
+    /// drops its senders, or the tail of its output is lost.
+    fn flush(&mut self) -> bool {
+        if self.buf.is_empty() || self.senders.is_empty() {
+            self.buf.clear();
+            return true;
+        }
+        let batch = std::mem::take(&mut self.buf);
+        for s in &self.senders {
+            if s.send(batch.clone()).is_err() {
+                return false; // downstream hung up
+            }
+        }
+        true
+    }
+}
 
 /// The outcome of a pipelined execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,14 +148,62 @@ pub fn execute_parallel_with(
         ancestors[id.0] = set;
     }
 
-    // One channel per arc.
-    let mut senders: Vec<Vec<Sender<CompositeTuple>>> = vec![Vec::new(); plan.len()];
-    let mut receivers: Vec<Vec<Receiver<CompositeTuple>>> = vec![Vec::new(); plan.len()];
+    // One channel per arc, carrying batches of tuples.
+    let mut senders: Vec<Vec<Sender<Vec<CompositeTuple>>>> = vec![Vec::new(); plan.len()];
+    let mut receivers: Vec<Vec<Receiver<Vec<CompositeTuple>>>> = vec![Vec::new(); plan.len()];
     for (from, to) in plan.edges() {
         let (tx, rx) = bounded(ARC_CAPACITY);
         senders[from.0].push(tx);
         receivers[to.0].push(rx);
     }
+
+    // One fetch stack per service, shared by every node (and thread)
+    // that invokes it: the wall-clock resilient client — one breaker
+    // per service, matching the deterministic executor — under the
+    // sharded response cache, whose singleflight layer coalesces
+    // concurrent identical requests across plan nodes.
+    let cache_cfg = options.fetch.cache();
+    #[allow(clippy::type_complexity)]
+    let mut stacks: BTreeMap<
+        String,
+        (
+            Arc<dyn Service>,
+            Option<Arc<ServiceClient>>,
+            Option<Arc<CachingService>>,
+        ),
+    > = BTreeMap::new();
+    for id in plan.node_ids() {
+        if let Ok(PlanNode::Service(node)) = plan.node(id) {
+            if stacks.contains_key(&node.service) {
+                continue;
+            }
+            let recorded = registry.service(&node.service)?;
+            let client = options.client.map(|cfg| {
+                Arc::new(
+                    ServiceClient::for_recorded(recorded.clone())
+                        .config(cfg)
+                        .wall_clock()
+                        .build(),
+                )
+            });
+            let inner: Arc<dyn Service> = match &client {
+                Some(c) => c.clone(),
+                None => recorded.clone(),
+            };
+            let cache = cache_cfg.map(|(shards, capacity)| {
+                Arc::new(
+                    CachingService::sharded(inner.clone(), capacity, shards)
+                        .with_recorder(recorded.clone()),
+                )
+            });
+            let base: Arc<dyn Service> = match &cache {
+                Some(c) => c.clone(),
+                None => inner,
+            };
+            stacks.insert(node.service.clone(), (base, client, cache));
+        }
+    }
+    let stacks = &stacks;
 
     let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
     let output: Mutex<Vec<CompositeTuple>> = Mutex::new(Vec::new());
@@ -136,25 +236,22 @@ pub fn execute_parallel_with(
                         *slot = Some(e);
                     }
                 };
-                let send_all = |c: CompositeTuple| -> bool {
-                    for s in &my_senders {
-                        if s.send(c.clone()).is_err() {
-                            return false; // downstream hung up
-                        }
-                    }
-                    true
-                };
+                let mut out = Fanout::new(my_senders);
                 match node {
                     PlanNode::Input => {
-                        send_all(CompositeTuple {
+                        out.push(CompositeTuple {
                             atoms: Vec::new(),
                             components: Vec::new(),
                         });
+                        out.flush();
                     }
                     PlanNode::Output => {
+                        // Batches arrive pre-buffered per producer, so
+                        // this stays one extend per batch — not one
+                        // lock acquisition per tuple.
                         let mut collected = Vec::new();
-                        for c in my_receivers[0].iter() {
-                            collected.push(c);
+                        for batch in my_receivers[0].iter() {
+                            collected.extend(batch);
                         }
                         *output.lock() = collected;
                     }
@@ -164,10 +261,10 @@ pub fn execute_parallel_with(
                             Ok(p) => p,
                             Err(e) => return fail(e),
                         };
-                        for c in my_receivers[0].iter() {
+                        for c in my_receivers[0].iter().flatten() {
                             match satisfies_available(&node_preds, &c, schemas) {
                                 Ok(true) => {
-                                    if !send_all(c) {
+                                    if !out.push(c) {
                                         return;
                                     }
                                 }
@@ -175,23 +272,33 @@ pub fn execute_parallel_with(
                                 Err(e) => return fail(EngineError::Query(e)),
                             }
                         }
+                        out.flush();
                     }
                     PlanNode::Service(svc) => {
-                        let recorded = match registry.service(&svc.service) {
-                            Ok(s) => s,
-                            Err(e) => return fail(EngineError::Service(e)),
-                        };
-                        // Wall-clock resilience: this executor runs real
-                        // threads, so backoff sleeps and breaker
-                        // cooldowns use real time.
-                        let handle: Arc<dyn Service> = match options.client {
-                            Some(cfg) => Arc::new(
-                                ServiceClient::for_recorded(recorded)
-                                    .config(cfg)
-                                    .wall_clock()
-                                    .build(),
-                            ),
-                            None => recorded,
+                        let (base, client, cache) = stacks
+                            .get(&svc.service)
+                            .cloned()
+                            .expect("every service node has a prepared stack");
+                        // Background speculation: real threads warm the
+                        // next chunk while the pipe loop joins this one.
+                        let handle: Arc<dyn Service> = if options.fetch.prefetch && svc.fetches > 1
+                        {
+                            let recorded = match registry.service(&svc.service) {
+                                Ok(r) => r,
+                                Err(e) => return fail(EngineError::Service(e)),
+                            };
+                            let mut pf = Prefetcher::new(base, svc.fetches as usize)
+                                .background(PREFETCH_INFLIGHT)
+                                .with_recorder(recorded);
+                            if let Some(c) = &client {
+                                pf = pf.respecting_breaker(c.clone());
+                            }
+                            if let Some(c) = &cache {
+                                pf = pf.probing(c.clone());
+                            }
+                            Arc::new(pf)
+                        } else {
+                            base
                         };
                         let bindings = report.bindings_of(&svc.atom);
                         let stage = PipeJoin {
@@ -204,14 +311,14 @@ pub fn execute_parallel_with(
                             keep_first: svc.keep_first,
                             tolerate_failures: degrade,
                         };
-                        for input in my_receivers[0].iter() {
+                        for input in my_receivers[0].iter().flatten() {
                             match stage.run(std::slice::from_ref(&input), handle.as_ref()) {
-                                Ok(out) => {
-                                    if out.degraded {
+                                Ok(stage_out) => {
+                                    if stage_out.degraded {
                                         degraded.lock().insert(svc.service.clone());
                                     }
-                                    for c in out.results {
-                                        if !send_all(c) {
+                                    for c in stage_out.results {
+                                        if !out.push(c) {
                                             return;
                                         }
                                     }
@@ -219,11 +326,12 @@ pub fn execute_parallel_with(
                                 Err(e) => return fail(EngineError::Join(e)),
                             }
                         }
+                        out.flush();
                     }
                     PlanNode::ParallelJoin(spec) => {
                         // Rendezvous: drain both inputs.
-                        let left: Vec<CompositeTuple> = my_receivers[0].iter().collect();
-                        let right: Vec<CompositeTuple> = my_receivers[1].iter().collect();
+                        let left: Vec<CompositeTuple> = my_receivers[0].iter().flatten().collect();
+                        let right: Vec<CompositeTuple> = my_receivers[1].iter().flatten().collect();
                         let join_predicates: Vec<ResolvedPredicate> = spec
                             .predicates
                             .iter()
@@ -256,10 +364,11 @@ pub fn execute_parallel_with(
                         match joined {
                             Ok(outcome) => {
                                 for c in outcome.results {
-                                    if !send_all(c) {
+                                    if !out.push(c) {
                                         return;
                                     }
                                 }
+                                out.flush();
                             }
                             Err(e) => fail(EngineError::Join(e)),
                         }

@@ -27,6 +27,10 @@ pub struct PipeOutcome {
     pub results: Vec<CompositeTuple>,
     /// Request-responses issued to the downstream service.
     pub calls: usize,
+    /// Sum of the responses' reported elapsed times, in virtual ms.
+    /// Cache hits and coalesced waits report 0, so under a caching
+    /// fetch stack this is the stage's *residual* service time.
+    pub busy_ms: f64,
     /// True when failure tolerance absorbed at least one service error:
     /// `results` is then a (possibly empty) partial answer.
     pub degraded: bool,
@@ -80,6 +84,7 @@ impl PipeJoin<'_> {
         let fetches = self.fetches.max(1);
         let mut results = Vec::new();
         let mut calls = 0usize;
+        let mut busy_ms = 0.0f64;
         let mut degraded = false;
 
         for input in inputs {
@@ -129,6 +134,7 @@ impl PipeJoin<'_> {
                     Err(error) => return Err(JoinError::Service(error)),
                 };
                 calls += 1;
+                busy_ms += resp.elapsed_ms;
                 let has_more = resp.has_more;
                 for tuple in resp.tuples {
                     let candidate = input.extend_with(self.atom.to_owned(), tuple);
@@ -148,6 +154,7 @@ impl PipeJoin<'_> {
         Ok(PipeOutcome {
             results,
             calls,
+            busy_ms,
             degraded,
         })
     }

@@ -1,4 +1,4 @@
-//! Client-side response caching.
+//! Client-side response caching: sharded, coalescing, hash-keyed.
 //!
 //! Service calls are idempotent for a fixed request (the substrate
 //! guarantees it), so an execution engine may memoize request-responses
@@ -9,52 +9,202 @@
 //! *bound-is-better* intuition ("the service is faster in producing
 //! results, and less memory is required to cache the data": fewer bound
 //! inputs ⇒ more distinct binding sets ⇒ a bigger cache).
+//!
+//! Three properties distinguish this cache from a plain memo map:
+//!
+//! * **Structured keys** — a [`RequestKey`] is a 64-bit fingerprint
+//!   computed directly over the request's chunk index, bindings, and
+//!   range constraints. No string rendering, no per-lookup heap
+//!   allocation; `Bindings`/`Ranges` are `BTreeMap`s, so the hash is
+//!   independent of binding insertion order by construction.
+//! * **Sharding** — entries are spread over N independently locked
+//!   shards selected by the fingerprint, so parallel plan nodes stop
+//!   serializing on one global lock.
+//! * **Request coalescing** (singleflight) — when two threads miss on
+//!   the same key simultaneously, one issues the underlying call and
+//!   the others block on its published result, so fault-retry storms
+//!   and diamond topologies never duplicate in-flight I/O. Coalesced
+//!   waits are counted separately from hits.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex as StdMutex};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
-use seco_model::ServiceInterface;
+use seco_model::{ServiceInterface, Value};
 
 use crate::error::ServiceError;
 use crate::invocation::{ChunkResponse, Request, Service};
+use crate::recorder::CallRecorder;
 
-/// Cache key: the canonical rendering of a request.
-fn key_of(request: &Request) -> String {
-    use std::fmt::Write as _;
-    let mut k = String::with_capacity(64);
-    let _ = write!(k, "c{}|", request.chunk);
-    for (p, v) in &request.bindings {
-        let _ = write!(k, "{p}={v};");
+/// Default shard count when callers do not choose one.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// A 64-bit fingerprint identifying a request (chunk + bindings +
+/// ranges), computed structurally without rendering the request to a
+/// string. Two semantically equal requests — same chunk, same binding
+/// map, same constraint map — produce the same key regardless of the
+/// order bindings were inserted, because `Bindings` and `Ranges` are
+/// ordered maps with a canonical iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestKey(u64);
+
+impl RequestKey {
+    /// Fingerprints a request.
+    pub fn of(request: &Request) -> Self {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        request.chunk.hash(&mut h);
+        request.bindings.len().hash(&mut h);
+        for (path, value) in &request.bindings {
+            path.hash(&mut h);
+            hash_value(value, &mut h);
+        }
+        request.ranges.len().hash(&mut h);
+        for (path, (op, value)) in &request.ranges {
+            path.hash(&mut h);
+            op.hash(&mut h);
+            hash_value(value, &mut h);
+        }
+        RequestKey(h.finish())
     }
-    for (p, (op, v)) in &request.ranges {
-        let _ = write!(k, "{p}{op}{v};");
+
+    /// The raw 64-bit fingerprint.
+    pub fn fingerprint(self) -> u64 {
+        self.0
     }
-    k
+
+    /// The shard this key selects among `shards` (≥ 1).
+    pub fn shard(self, shards: usize) -> usize {
+        (self.0 % shards.max(1) as u64) as usize
+    }
 }
 
-/// A memoizing decorator over any service.
+/// Hashes a [`Value`] structurally. `Value` cannot derive `Hash`
+/// (it contains `f64`); floats are hashed by their bit pattern, which
+/// is sound here because `Value::float` already rejects `NaN` and the
+/// synthetic substrate never produces `-0.0`.
+fn hash_value<H: Hasher>(value: &Value, state: &mut H) {
+    match value {
+        Value::Null => 0u8.hash(state),
+        Value::Bool(b) => {
+            1u8.hash(state);
+            b.hash(state);
+        }
+        Value::Int(i) => {
+            2u8.hash(state);
+            i.hash(state);
+        }
+        Value::Float(f) => {
+            3u8.hash(state);
+            f.to_bits().hash(state);
+        }
+        Value::Text(s) => {
+            4u8.hash(state);
+            s.hash(state);
+        }
+        Value::Date(d) => {
+            5u8.hash(state);
+            d.hash(state);
+        }
+    }
+}
+
+/// An in-flight underlying call other threads can wait on. Uses the
+/// standard-library mutex/condvar pair (the `parking_lot` shim carries
+/// no condvar): the leader publishes the call's result into `slot` and
+/// wakes every waiter.
+struct Flight {
+    slot: StdMutex<Option<Result<ChunkResponse, ServiceError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Self> {
+        Arc::new(Flight {
+            slot: StdMutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    fn publish(&self, result: Result<ChunkResponse, ServiceError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<ChunkResponse, ServiceError> {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// One shard: its cached entries and the calls currently in flight for
+/// keys that hash here. A single lock covers both maps so the
+/// hit / join-flight / become-leader decision is atomic. Entries are
+/// `Arc`ed so a hit only clones a pointer inside the critical section;
+/// the deep copy of the tuples happens after the lock is released.
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<u64, Arc<ChunkResponse>>,
+    inflight: HashMap<u64, Arc<Flight>>,
+}
+
+/// A memoizing, coalescing decorator over any service.
 pub struct CachingService {
-    inner: std::sync::Arc<dyn Service>,
-    cache: Mutex<HashMap<String, ChunkResponse>>,
+    inner: Arc<dyn Service>,
+    shards: Vec<Mutex<Shard>>,
+    /// Maximum entries per shard (total capacity ÷ shard count).
+    per_shard_capacity: usize,
+    /// Total configured capacity (0 disables caching and coalescing).
+    capacity: usize,
+    recorder: Option<Arc<CallRecorder>>,
     hits: AtomicU64,
     misses: AtomicU64,
-    capacity: usize,
+    coalesced: AtomicU64,
+    /// Shard-lock acquisitions that found the lock held (a `try_lock`
+    /// miss before blocking) — a direct, host-independent measure of
+    /// lock contention for the sharding benchmarks.
+    contended: AtomicU64,
 }
 
 impl CachingService {
     /// Wraps a service with a cache of at most `capacity` responses
-    /// (0 disables caching; insertion stops at capacity — the workloads
-    /// here are short-lived, so no eviction policy is needed).
-    pub fn new(inner: std::sync::Arc<dyn Service>, capacity: usize) -> Self {
+    /// over [`DEFAULT_SHARDS`] shards (0 disables caching; insertion
+    /// stops at capacity — the workloads here are short-lived, so no
+    /// eviction policy is needed).
+    pub fn new(inner: Arc<dyn Service>, capacity: usize) -> Self {
+        Self::sharded(inner, capacity, DEFAULT_SHARDS)
+    }
+
+    /// Wraps a service with an explicit shard count (≥ 1).
+    pub fn sharded(inner: Arc<dyn Service>, capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
         CachingService {
             inner,
-            cache: Mutex::new(HashMap::new()),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: capacity.div_ceil(shards),
+            capacity,
+            recorder: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            capacity,
+            coalesced: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
         }
+    }
+
+    /// Mirrors hits and coalesced waits into a [`CallRecorder`], so
+    /// registry-level statistics see them next to the underlying calls.
+    pub fn with_recorder(mut self, recorder: Arc<CallRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Cache hits so far.
@@ -62,19 +212,57 @@ impl CachingService {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Cache misses (actual inner calls) so far.
+    /// Cache misses (actual inner calls that succeeded) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Entries currently cached.
+    /// Requests that waited on another thread's in-flight call instead
+    /// of issuing their own.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// True when `request`'s response is already cached or being
+    /// fetched by another thread right now. Lets a prefetcher skip
+    /// speculation that could only land on an existing entry.
+    pub fn contains(&self, request: &Request) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let key = RequestKey::of(request);
+        let guard = self.lock_shard(&self.shards[key.shard(self.shards.len())]);
+        guard.entries.contains_key(&key.fingerprint())
+            || guard.inflight.contains_key(&key.fingerprint())
+    }
+
+    /// Shard-lock acquisitions that had to wait for another thread.
+    pub fn lock_contentions(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Locks a shard, counting the acquisition as contended when the
+    /// lock was already held.
+    fn lock_shard<'a>(&'a self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        shard.try_lock().unwrap_or_else(|| {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            shard.lock()
+        })
+    }
+
+    /// Entries currently cached, over all shards.
     pub fn len(&self) -> usize {
-        self.cache.lock().len()
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     /// True when nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.cache.lock().is_empty()
+        self.shards.iter().all(|s| s.lock().entries.is_empty())
     }
 }
 
@@ -84,21 +272,69 @@ impl Service for CachingService {
     }
 
     fn fetch(&self, request: &Request) -> Result<ChunkResponse, ServiceError> {
-        let key = key_of(request);
-        if let Some(cached) = self.cache.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            // A cache hit costs no service time.
-            let mut resp = cached.clone();
-            resp.elapsed_ms = 0.0;
-            return Ok(resp);
+        if self.capacity == 0 {
+            return self.inner.fetch(request);
         }
-        let resp = self.inner.fetch(request)?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut cache = self.cache.lock();
-        if cache.len() < self.capacity {
-            cache.insert(key, resp.clone());
+        let key = RequestKey::of(request);
+        let shard = &self.shards[key.shard(self.shards.len())];
+
+        enum Role {
+            Hit(Arc<ChunkResponse>),
+            Waiter(Arc<Flight>),
+            Leader(Arc<Flight>),
         }
-        Ok(resp)
+        let role = {
+            let mut guard = self.lock_shard(shard);
+            if let Some(cached) = guard.entries.get(&key.fingerprint()) {
+                Role::Hit(cached.clone())
+            } else if let Some(flight) = guard.inflight.get(&key.fingerprint()) {
+                Role::Waiter(flight.clone())
+            } else {
+                let flight = Flight::new();
+                guard.inflight.insert(key.fingerprint(), flight.clone());
+                Role::Leader(flight)
+            }
+        };
+
+        match role {
+            Role::Hit(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(rec) = &self.recorder {
+                    rec.note_cache_hit();
+                }
+                // A cache hit costs no service time.
+                let mut resp = (*entry).clone();
+                resp.elapsed_ms = 0.0;
+                Ok(resp)
+            }
+            Role::Waiter(flight) => {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                if let Some(rec) = &self.recorder {
+                    rec.note_coalesced();
+                }
+                // The leader pays the call's time; joining its flight
+                // is free, like a hit.
+                flight.wait().map(|mut resp| {
+                    resp.elapsed_ms = 0.0;
+                    resp
+                })
+            }
+            Role::Leader(flight) => {
+                let result = self.inner.fetch(request);
+                flight.publish(result.clone());
+                let mut guard = self.lock_shard(shard);
+                guard.inflight.remove(&key.fingerprint());
+                if let Ok(resp) = &result {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    if guard.entries.len() < self.per_shard_capacity {
+                        guard
+                            .entries
+                            .insert(key.fingerprint(), Arc::new(resp.clone()));
+                    }
+                }
+                result
+            }
+        }
     }
 }
 
@@ -196,5 +432,83 @@ mod tests {
         cached.fetch(&base).unwrap();
         cached.fetch(&constrained).unwrap();
         assert_eq!(cached.misses(), 2, "different constraints must not collide");
+    }
+
+    #[test]
+    fn request_keys_ignore_binding_insertion_order() {
+        use seco_model::Comparator;
+        let a = Request::unbound()
+            .bind(AttributePath::atomic("A"), Value::text("1"))
+            .bind(AttributePath::atomic("B"), Value::Int(2))
+            .constrain(AttributePath::atomic("C"), Comparator::Gt, Value::Int(3))
+            .constrain(AttributePath::atomic("D"), Comparator::Lt, Value::Int(4));
+        let b = Request::unbound()
+            .constrain(AttributePath::atomic("D"), Comparator::Lt, Value::Int(4))
+            .constrain(AttributePath::atomic("C"), Comparator::Gt, Value::Int(3))
+            .bind(AttributePath::atomic("B"), Value::Int(2))
+            .bind(AttributePath::atomic("A"), Value::text("1"));
+        assert_eq!(
+            RequestKey::of(&a),
+            RequestKey::of(&b),
+            "semantically equal requests must hash identically"
+        );
+        assert_ne!(
+            RequestKey::of(&a),
+            RequestKey::of(&a.at_chunk(1)),
+            "the chunk index is part of the key"
+        );
+        let narrower =
+            a.clone()
+                .constrain(AttributePath::atomic("C"), Comparator::Gt, Value::Int(9));
+        assert_ne!(
+            RequestKey::of(&a),
+            RequestKey::of(&narrower),
+            "constraint values are part of the key"
+        );
+    }
+
+    #[test]
+    fn entries_spread_over_shards() {
+        let cached = CachingService::sharded(service(), 256, 4);
+        assert_eq!(cached.shard_count(), 4);
+        for i in 0..64 {
+            cached.fetch(&req(&format!("k{i}"))).unwrap();
+        }
+        assert_eq!(cached.len(), 64);
+        let populated = cached
+            .shards
+            .iter()
+            .filter(|s| !s.lock().entries.is_empty())
+            .count();
+        assert!(
+            populated >= 2,
+            "64 distinct keys must land in more than one shard, got {populated}"
+        );
+    }
+
+    #[test]
+    fn racing_threads_coalesce_on_one_underlying_call() {
+        use std::sync::Barrier;
+        let inner = service();
+        let cached = Arc::new(CachingService::new(inner.clone(), 64));
+        let k = 8;
+        let barrier = Arc::new(Barrier::new(k));
+        std::thread::scope(|scope| {
+            for _ in 0..k {
+                let cached = cached.clone();
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    cached.fetch(&req("same")).unwrap();
+                });
+            }
+        });
+        assert_eq!(inner.calls_served(), 1, "exactly one underlying call");
+        assert_eq!(
+            cached.hits() + cached.coalesced() + cached.misses(),
+            k as u64,
+            "every request is a miss, a hit, or a coalesced wait"
+        );
+        assert_eq!(cached.misses(), 1);
     }
 }

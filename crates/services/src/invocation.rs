@@ -19,7 +19,8 @@ use crate::error::ServiceError;
 ///
 /// Uses a `BTreeMap` so the binding set has a canonical order — the
 /// synthetic generator hashes it to derive the deterministic per-call
-/// seed, and the recorder uses it as a cache key.
+/// seed, and the cache's [`crate::cache::RequestKey`] fingerprint is
+/// insertion-order independent by construction.
 pub type Bindings = BTreeMap<AttributePath, Value>;
 
 /// Non-equality constraints shipped with a request: `path op value`.

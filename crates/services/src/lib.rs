@@ -40,6 +40,7 @@ pub mod error;
 pub mod invocation;
 pub mod latency;
 pub mod opaque;
+pub mod prefetch;
 pub mod recorder;
 pub mod registry;
 pub mod resilience;
@@ -47,11 +48,12 @@ pub mod synthetic;
 pub mod table;
 pub mod wire;
 
-pub use cache::CachingService;
+pub use cache::{CachingService, RequestKey};
 pub use error::ServiceError;
 pub use invocation::{ChunkResponse, Request, Service};
 pub use latency::{LatencyModel, VirtualClock};
 pub use opaque::{OpaqueRanking, PositionScored};
+pub use prefetch::Prefetcher;
 pub use recorder::{CallRecorder, CallStats};
 pub use registry::ServiceRegistry;
 pub use resilience::{ClientConfig, ServiceClient, ServiceClientBuilder};

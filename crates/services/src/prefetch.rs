@@ -1,0 +1,342 @@
+//! Speculative chunk prefetch.
+//!
+//! While a join consumes chunk *c* of a response, the next thing the
+//! pipe fetch loop will ask for — under rectangular completion — is
+//! chunk *c + 1* of the *same* binding set. A [`Prefetcher`] decorator
+//! exploits that: after every successful fetch it warms the next chunk
+//! through its target (normally a [`crate::cache::CachingService`]), so
+//! the loop's next request is a cache hit or a coalesced wait instead
+//! of a synchronous round-trip.
+//!
+//! Speculation is governed, never unbounded:
+//!
+//! * the **fetch budget** caps the prefetched chunk index at the plan
+//!   node's optimizer-assigned `fetches`, so speculation never issues a
+//!   request the optimizer did not already pay for in its cost model;
+//! * a response with `has_more == false` ends speculation for that
+//!   binding set;
+//! * when the target stack carries a circuit breaker
+//!   ([`crate::resilience::ServiceClient`]), an **open breaker** mutes
+//!   speculation — prefetching into an outage would only feed the
+//!   breaker more failures;
+//! * in background mode at most `max_inflight` speculative threads run
+//!   per node, and they are joined before the prefetcher drops.
+//!
+//! Two modes match the two executors. **Inline** (deterministic
+//! executor): the prefetch runs synchronously on the caller's thread,
+//! so virtual-clock accounting and fault schedules stay a pure function
+//! of the seed — identical seeds give byte-identical results with
+//! prefetch on or off. **Background** (pipelined executor): the
+//! prefetch runs on a real thread overlapping the join's own work.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use seco_model::ServiceInterface;
+
+use crate::cache::CachingService;
+use crate::error::ServiceError;
+use crate::invocation::{ChunkResponse, Request, Service};
+use crate::recorder::CallRecorder;
+use crate::resilience::ServiceClient;
+
+/// Decorator that speculatively warms chunk `c + 1` after serving
+/// chunk `c`. Wrap it around a caching stack; prefetching through an
+/// uncached service would throw the speculative response away.
+pub struct Prefetcher {
+    target: Arc<dyn Service>,
+    /// Fetch budget: chunks `0..budget` may be requested, so the
+    /// largest chunk worth prefetching is `budget - 1`.
+    budget: usize,
+    background: bool,
+    max_inflight: usize,
+    inflight: Arc<AtomicUsize>,
+    breaker: Option<Arc<ServiceClient>>,
+    /// Concrete handle on the cache in the target stack (when known):
+    /// speculation is skipped for chunks already cached or in flight,
+    /// so repeated demand hits don't re-issue no-op speculations.
+    probe: Option<Arc<CachingService>>,
+    recorder: Option<Arc<CallRecorder>>,
+    issued: AtomicU64,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Prefetcher {
+    /// An inline (synchronous) prefetcher with the given fetch budget.
+    pub fn new(target: Arc<dyn Service>, budget: usize) -> Self {
+        Prefetcher {
+            target,
+            budget: budget.max(1),
+            background: false,
+            max_inflight: 1,
+            inflight: Arc::new(AtomicUsize::new(0)),
+            breaker: None,
+            probe: None,
+            recorder: None,
+            issued: AtomicU64::new(0),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Switches to background mode: speculative fetches run on real
+    /// threads, at most `max_inflight` at a time (excess speculation is
+    /// dropped, not queued).
+    pub fn background(mut self, max_inflight: usize) -> Self {
+        self.background = true;
+        self.max_inflight = max_inflight.max(1);
+        self
+    }
+
+    /// Mutes speculation while this client's circuit breaker is open.
+    pub fn respecting_breaker(mut self, client: Arc<ServiceClient>) -> Self {
+        self.breaker = Some(client);
+        self
+    }
+
+    /// Skips speculation for chunks `cache` already holds (or is
+    /// fetching), keeping the issued-prefetch count meaningful.
+    pub fn probing(mut self, cache: Arc<CachingService>) -> Self {
+        self.probe = Some(cache);
+        self
+    }
+
+    /// Counts issued prefetches in a [`CallRecorder`].
+    pub fn with_recorder(mut self, recorder: Arc<CallRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Speculative fetches issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued.load(Ordering::Relaxed)
+    }
+
+    /// Joins every outstanding background prefetch.
+    pub fn wait_idle(&self) {
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn speculate(&self, request: &Request, response: &ChunkResponse) {
+        let next = request.chunk + 1;
+        if !response.has_more || next >= self.budget {
+            return;
+        }
+        if let Some(client) = &self.breaker {
+            if client.breaker_is_open() {
+                return;
+            }
+        }
+        if let Some(cache) = &self.probe {
+            if cache.contains(&request.at_chunk(next)) {
+                return;
+            }
+        }
+        if self.background {
+            // Reserve an in-flight slot; over-budget speculation is
+            // simply skipped.
+            let reserved = self
+                .inflight
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    (n < self.max_inflight).then_some(n + 1)
+                });
+            if reserved.is_err() {
+                return;
+            }
+            self.note_issued();
+            let target = Arc::clone(&self.target);
+            let inflight = Arc::clone(&self.inflight);
+            let next_request = request.at_chunk(next);
+            let handle = std::thread::spawn(move || {
+                // Errors are the speculation's to absorb: the demand
+                // fetch will surface them if they persist.
+                let _ = target.fetch(&next_request);
+                inflight.fetch_sub(1, Ordering::SeqCst);
+            });
+            self.handles.lock().push(handle);
+        } else {
+            self.note_issued();
+            let _ = self.target.fetch(&request.at_chunk(next));
+        }
+    }
+
+    fn note_issued(&self) {
+        self.issued.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = &self.recorder {
+            rec.note_prefetch();
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.wait_idle();
+    }
+}
+
+impl Service for Prefetcher {
+    fn interface(&self) -> &ServiceInterface {
+        self.target.interface()
+    }
+
+    fn fetch(&self, request: &Request) -> Result<ChunkResponse, ServiceError> {
+        let result = self.target.fetch(request);
+        if let Ok(response) = &result {
+            self.speculate(request, response);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachingService;
+    use crate::synthetic::{DomainMap, SyntheticService};
+    use seco_model::{
+        Adornment, AttributeDef, AttributePath, DataType, ScoreDecay, ServiceKind, ServiceSchema,
+        ServiceStats, Value,
+    };
+
+    fn service() -> Arc<SyntheticService> {
+        let schema = ServiceSchema::new(
+            "S1",
+            vec![
+                AttributeDef::atomic("K", DataType::Text, Adornment::Input),
+                AttributeDef::atomic("V", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+            ],
+        )
+        .unwrap();
+        // 30 tuples at chunk size 10: chunks 0..2 exist, has_more until 2.
+        let iface = ServiceInterface::new(
+            "S1",
+            "S",
+            schema,
+            ServiceKind::Search,
+            ServiceStats::new(30.0, 10, 40.0, 1.0).unwrap(),
+            ScoreDecay::Linear,
+        )
+        .unwrap();
+        Arc::new(SyntheticService::new(iface, DomainMap::new(), 3))
+    }
+
+    fn req(k: &str) -> Request {
+        Request::unbound().bind(AttributePath::atomic("K"), Value::text(k))
+    }
+
+    #[test]
+    fn inline_prefetch_warms_the_next_chunk() {
+        let inner = service();
+        let cache = Arc::new(CachingService::new(inner.clone(), 64));
+        let pf = Prefetcher::new(cache.clone(), 3);
+        pf.fetch(&req("x")).unwrap();
+        assert_eq!(pf.issued(), 1);
+        assert_eq!(inner.calls_served(), 2, "chunk 0 demanded, chunk 1 warmed");
+        // The demand fetch of chunk 1 is now a hit…
+        let warm = pf.fetch(&req("x").at_chunk(1)).unwrap();
+        assert_eq!(warm.elapsed_ms, 0.0);
+        assert_eq!(cache.hits(), 1);
+        // …and it speculated chunk 2 in turn.
+        assert_eq!(inner.calls_served(), 3);
+    }
+
+    #[test]
+    fn probing_skips_already_cached_chunks() {
+        let inner = service();
+        let cache = Arc::new(CachingService::new(inner.clone(), 64));
+        let pf = Prefetcher::new(cache.clone(), 3).probing(cache.clone());
+        pf.fetch(&req("x")).unwrap();
+        assert_eq!(pf.issued(), 1);
+        // Serving chunk 0 again is a cache hit, and chunk 1 is already
+        // warm: the probe suppresses a redundant speculation.
+        pf.fetch(&req("x")).unwrap();
+        assert_eq!(pf.issued(), 1);
+        assert_eq!(inner.calls_served(), 2);
+    }
+
+    #[test]
+    fn prefetch_respects_the_fetch_budget() {
+        let inner = service();
+        let cache = Arc::new(CachingService::new(inner.clone(), 64));
+        let pf = Prefetcher::new(cache, 1);
+        pf.fetch(&req("x")).unwrap();
+        assert_eq!(pf.issued(), 0, "budget 1 leaves no chunk to speculate");
+        assert_eq!(inner.calls_served(), 1);
+    }
+
+    #[test]
+    fn terminal_chunks_end_speculation() {
+        let inner = service();
+        let cache = Arc::new(CachingService::new(inner.clone(), 64));
+        let pf = Prefetcher::new(cache, 10);
+        // Chunk 2 is the last one (30 tuples / chunk 10): fetching it
+        // reports has_more = false and must not speculate chunk 3.
+        pf.fetch(&req("x").at_chunk(2)).unwrap();
+        assert_eq!(pf.issued(), 0);
+        assert_eq!(inner.calls_served(), 1);
+    }
+
+    #[test]
+    fn background_prefetch_joins_before_drop() {
+        let inner = service();
+        let cache = Arc::new(CachingService::new(inner.clone(), 64));
+        {
+            let pf = Prefetcher::new(cache.clone(), 3).background(2);
+            pf.fetch(&req("x")).unwrap();
+            assert_eq!(pf.issued(), 1);
+        } // drop joins the speculative thread
+        assert_eq!(inner.calls_served(), 2);
+        // The speculated chunk really landed in the cache.
+        let warm = cache.fetch(&req("x").at_chunk(1)).unwrap();
+        assert_eq!(warm.elapsed_ms, 0.0);
+    }
+
+    #[test]
+    fn open_breaker_mutes_speculation() {
+        use crate::synthetic::FaultProfile;
+        let schema = service().interface().schema.clone();
+        let iface = ServiceInterface::new(
+            "S1",
+            "S",
+            schema,
+            ServiceKind::Search,
+            ServiceStats::new(30.0, 10, 40.0, 1.0).unwrap(),
+            ScoreDecay::Linear,
+        )
+        .unwrap();
+        let downed = Arc::new(
+            SyntheticService::new(iface, DomainMap::new(), 3).with_fault_profile(FaultProfile {
+                outage: Some((0, u64::MAX)),
+                ..FaultProfile::none()
+            }),
+        );
+        let client = Arc::new(
+            ServiceClient::for_service(downed)
+                .retries(0)
+                .breaker(1, 60_000.0)
+                .build(),
+        );
+        assert!(client.fetch(&req("x")).is_err());
+        assert!(client.breaker_is_open());
+        let cache = Arc::new(CachingService::new(client.clone(), 64));
+        let pf = Prefetcher::new(cache, 3).respecting_breaker(client);
+        // A synthetic "success" path cannot be exercised against a hard
+        // outage, so drive speculate() directly: with the breaker open
+        // it must refuse to issue.
+        pf.speculate(
+            &req("x"),
+            &ChunkResponse {
+                tuples: Vec::new(),
+                has_more: true,
+                elapsed_ms: 1.0,
+            },
+        );
+        assert_eq!(pf.issued(), 0);
+    }
+}

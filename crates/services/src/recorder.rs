@@ -47,6 +47,14 @@ pub struct CallStats {
     /// Calls short-circuited by an open breaker (no request-response
     /// was issued, no time consumed).
     pub short_circuits: u64,
+    /// Requests answered from the response cache (no request-response
+    /// was issued, no time consumed).
+    pub cache_hits: u64,
+    /// Requests that coalesced onto another thread's in-flight call
+    /// instead of issuing their own (counted separately from hits).
+    pub coalesced: u64,
+    /// Speculative chunk prefetches issued by the fetch layer.
+    pub prefetches: u64,
 }
 
 impl serde::Serialize for CallStats {
@@ -69,6 +77,9 @@ impl serde::Serialize for CallStats {
                 "short_circuits".to_string(),
                 self.short_circuits.to_json_value(),
             ),
+            ("cache_hits".to_string(), self.cache_hits.to_json_value()),
+            ("coalesced".to_string(), self.coalesced.to_json_value()),
+            ("prefetches".to_string(), self.prefetches.to_json_value()),
         ])
     }
 }
@@ -97,6 +108,9 @@ impl CallStats {
         self.timeouts += other.timeouts;
         self.breaker_trips += other.breaker_trips;
         self.short_circuits += other.short_circuits;
+        self.cache_hits += other.cache_hits;
+        self.coalesced += other.coalesced;
+        self.prefetches += other.prefetches;
     }
 }
 
@@ -143,6 +157,21 @@ impl CallRecorder {
     /// Records a call short-circuited by an open breaker.
     pub fn note_short_circuit(&self) {
         self.stats.lock().short_circuits += 1;
+    }
+
+    /// Records a request answered from the response cache.
+    pub fn note_cache_hit(&self) {
+        self.stats.lock().cache_hits += 1;
+    }
+
+    /// Records a request coalesced onto an in-flight call.
+    pub fn note_coalesced(&self) {
+        self.stats.lock().coalesced += 1;
+    }
+
+    /// Records a speculative prefetch issued by the fetch layer.
+    pub fn note_prefetch(&self) {
+        self.stats.lock().prefetches += 1;
     }
 }
 
@@ -278,6 +307,9 @@ mod tests {
             timeouts: 1,
             breaker_trips: 1,
             short_circuits: 2,
+            cache_hits: 4,
+            coalesced: 2,
+            prefetches: 5,
         };
         a.merge(&b);
         assert_eq!(a.calls, 3);
@@ -291,6 +323,7 @@ mod tests {
             (a.retries, a.timeouts, a.breaker_trips, a.short_circuits),
             (3, 1, 1, 2)
         );
+        assert_eq!((a.cache_hits, a.coalesced, a.prefetches), (4, 2, 5));
         assert_eq!(CallStats::default().mean_call_ms(), 0.0);
     }
 }

@@ -16,4 +16,8 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> fetch_bench --smoke"
+cargo run --release -q -p seco-bench --bin fetch_bench -- --smoke
+cp results/BENCH_fetch.json BENCH_fetch.json
+
 echo "CI OK"

@@ -4,9 +4,16 @@
 //! seco services  [--domain entertainment|travel] [--seed N]
 //! seco explain   [--domain D] [--metric M] [--seed N] <query…>
 //! seco run       [--domain D] [--metric M] [--seed N] [--parallel]
-//!                [--fault-profile none|flaky|outage] [--deadline-ms N] <query…>
+//!                [--fault-profile none|flaky|outage] [--deadline-ms N]
+//!                [--cache-shards N] [--prefetch] <query…>
 //! seco oracle    [--domain D] [--seed N] <query…>
 //! ```
+//!
+//! `--cache-shards N` routes every service call through a sharded,
+//! request-coalescing response cache; `--prefetch` additionally warms
+//! the next chunk speculatively (implying a cache at the default
+//! width). Both report hit / coalesced / prefetch counters after the
+//! answers.
 //!
 //! `--fault-profile` makes every service inject deterministic faults
 //! (seeded from `--seed`, so two identical invocations produce
@@ -43,6 +50,8 @@ struct Args {
     parallel: bool,
     fault_profile: String,
     deadline_ms: Option<f64>,
+    cache_shards: usize,
+    prefetch: bool,
     query: String,
 }
 
@@ -55,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
     let mut parallel = false;
     let mut fault_profile = "none".to_owned();
     let mut deadline_ms = None;
+    let mut cache_shards = 0usize;
+    let mut prefetch = false;
     let mut query_parts: Vec<String> = Vec::new();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -78,6 +89,14 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad seed: {e}"))?;
             }
             "--parallel" => parallel = true,
+            "--prefetch" => prefetch = true,
+            "--cache-shards" => {
+                cache_shards = argv
+                    .next()
+                    .ok_or("--cache-shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad shard count: {e}"))?;
+            }
             "--metric" => {
                 let m = argv.next().ok_or("--metric needs a value")?;
                 metric = match m.as_str() {
@@ -100,6 +119,8 @@ fn parse_args() -> Result<Args, String> {
         parallel,
         fault_profile,
         deadline_ms,
+        cache_shards,
+        prefetch,
         query: query_parts.join(" "),
     })
 }
@@ -107,7 +128,8 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: seco <services|explain|run|oracle> [--domain entertainment|travel] \
      [--metric execution-time|sum|request-count|bottleneck|time-to-screen] \
-     [--seed N] [--parallel] [--fault-profile none|flaky|outage] [--deadline-ms N] <query>"
+     [--seed N] [--parallel] [--fault-profile none|flaky|outage] [--deadline-ms N] \
+     [--cache-shards N] [--prefetch] <query>"
         .to_owned()
 }
 
@@ -212,6 +234,13 @@ fn cmd_run(
             stats.retries, stats.timeouts, stats.breaker_trips, stats.short_circuits
         );
     }
+    if opts.fetch.enabled() {
+        let stats = registry.total_stats();
+        println!(
+            "fetch: {} underlying calls, {} cache hits, {} coalesced waits, {} prefetches",
+            stats.calls, stats.cache_hits, stats.coalesced, stats.prefetches
+        );
+    }
     Ok(())
 }
 
@@ -269,6 +298,11 @@ fn main() -> ExitCode {
             seed: args.seed,
             ..Default::default()
         }),
+        fetch: FetchOptions {
+            cache_shards: args.cache_shards,
+            prefetch: args.prefetch,
+            ..Default::default()
+        },
     };
     let outcome = match args.command.as_str() {
         "services" => {

@@ -69,7 +69,7 @@ pub mod prelude {
     pub use crate::error::{Retryable, SecoError};
     pub use seco_engine::{
         execute_parallel, execute_parallel_with, execute_plan, ExecOptions, FailureMode,
-        ParallelOutcome, ResultSet,
+        FetchOptions, ParallelOutcome, ResultSet,
     };
     pub use seco_join::{JoinMethod, Topology};
     pub use seco_model::{
