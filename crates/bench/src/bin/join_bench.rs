@@ -1,0 +1,418 @@
+//! `join_bench` — benchmarks of the zero-copy tuple data plane
+//! (shared immutable tuples, interned symbols, thin composites),
+//! emitting `BENCH_join.json`.
+//!
+//! Usage:
+//!   cargo run --release -p seco-bench --bin join_bench            # full
+//!   cargo run --release -p seco-bench --bin join_bench -- --smoke # CI
+//!
+//! Three benchmarks:
+//!
+//! * **data-plane** — the chunk→composite→merge path of a tile-space
+//!   join, twice over identical inputs: the zero-copy plane (handle
+//!   bumps, `ptr_eq` merge fast path) vs an in-binary emulation of the
+//!   pre-change baseline (owned `String` atoms, one deep `Tuple` copy
+//!   per handoff, as the data plane did before tuples were
+//!   `Arc`-shared). Reports tuples/sec and bytes cloned for both and
+//!   checks the ≥2× throughput / ≥10× bytes-cloned targets;
+//! * **cache-hits** — N hits against a warm cache: the zero-copy plane
+//!   must report 0 clone events / 0 bytes cloned (hits are handle
+//!   bumps), vs the emulated deep-copy-per-hit baseline;
+//! * **E1** — the Fig. 2/3 travel plan end-to-end, run twice: wall
+//!   clock, combinations, and byte-identical seeded output.
+
+use std::time::Instant;
+
+use seco_bench::join_pair;
+use seco_engine::{execute_plan, ExecOptions};
+use seco_join::executor::{ParallelJoinExecutor, ServiceStream};
+use seco_model::{
+    AttributePath, Comparator, CompositeTuple, ScoreDecay, SharedTuple, Symbol, Tuple, Value,
+};
+use seco_plan::{Completion, Invocation, PlanNode, QueryPlan};
+use seco_query::predicate::{ResolvedPredicate, SchemaMap};
+use seco_query::QueryBuilder;
+use seco_services::cache::CachingService;
+use seco_services::domains::travel;
+use seco_services::invocation::{ChunkResponse, Request};
+use seco_services::recorder::CallRecorder;
+use seco_services::wire::chunk_wire_size;
+use seco_services::Service;
+
+type DynError = Box<dyn std::error::Error>;
+
+/// The owned-composite representation the data plane used before the
+/// zero-copy refactor: `String` atom keys and deep-copied rows.
+struct LegacyComposite {
+    atoms: Vec<String>,
+    components: Vec<Tuple>,
+}
+
+/// Deep-copies one tuple the way every pre-change handoff did,
+/// charging its wire size to the clone counter.
+fn legacy_copy(t: &Tuple, bytes: &mut u64) -> Tuple {
+    *bytes += chunk_wire_size(std::slice::from_ref(t)) as u64;
+    t.clone()
+}
+
+/// The chunk→composite→merge data plane over identical pre-fetched
+/// chunks, in both representations.
+fn bench_data_plane(
+    iters: usize,
+    total: usize,
+    chunk: usize,
+) -> Result<serde_json::Value, DynError> {
+    let (sx, sy) = join_pair(ScoreDecay::Linear, ScoreDecay::Quadratic, total, chunk, 5);
+    let req = Request::unbound().bind(AttributePath::atomic("Key"), Value::text("q"));
+
+    // Pre-fetch every chunk of both sides once, outside the timed
+    // loops: the benchmark measures the data plane, not the services.
+    let fetch_all = |s: &dyn Service| -> Result<Vec<ChunkResponse>, DynError> {
+        let mut chunks = Vec::new();
+        let mut idx = 0;
+        loop {
+            let resp = s.fetch(&req.at_chunk(idx))?;
+            let more = resp.has_more();
+            chunks.push(resp);
+            if !more {
+                return Ok(chunks);
+            }
+            idx += 1;
+        }
+    };
+    let chunks_x = fetch_all(sx.as_ref())?;
+    let chunks_y = fetch_all(sy.as_ref())?;
+    let tuples_per_iter: usize = chunks_x.iter().map(|c| c.len()).sum::<usize>()
+        + chunks_y.iter().map(|c| c.len()).sum::<usize>();
+
+    // Zero-copy plane: composites hold handles, merging bumps Arcs,
+    // only the emitted pair materializes (ranked output).
+    let mut zc_bytes = 0u64;
+    let mut zc_pairs = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let build = |chunks: &[ChunkResponse], atom: Symbol| -> Vec<Vec<CompositeTuple>> {
+            chunks
+                .iter()
+                .map(|c| {
+                    c.tuples()
+                        .iter()
+                        .map(|t| CompositeTuple::single(atom, t.clone()))
+                        .collect()
+                })
+                .collect()
+        };
+        let cx = build(&chunks_x, Symbol::from("X"));
+        let cy = build(&chunks_y, Symbol::from("Y"));
+        for tx in &cx {
+            for ty in &cy {
+                for a in tx {
+                    for b in ty {
+                        if let Some(pair) = a.merge(b) {
+                            zc_pairs += 1;
+                            // Final output is the one deep copy.
+                            if zc_pairs.is_multiple_of(1000) {
+                                for (_, row) in pair.materialize() {
+                                    zc_bytes += chunk_wire_size(std::slice::from_ref(&row)) as u64;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let zc_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Legacy emulation: the same traversal with the pre-change
+    // representation — a deep copy per chunk-serve handoff, an owned
+    // `String` + deep copy per composite, and deep copies per merge.
+    let mut legacy_bytes = 0u64;
+    let mut legacy_pairs = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let build =
+            |chunks: &[ChunkResponse], atom: &str, bytes: &mut u64| -> Vec<Vec<LegacyComposite>> {
+                chunks
+                    .iter()
+                    .map(|c| {
+                        c.tuples()
+                            .iter()
+                            .map(|t| {
+                                // Chunk serving handed out an owned copy…
+                                let served = legacy_copy(t, bytes);
+                                // …and composite construction copied again.
+                                LegacyComposite {
+                                    atoms: vec![atom.to_owned()],
+                                    components: vec![legacy_copy(&served, bytes)],
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect()
+            };
+        let cx = build(&chunks_x, "X", &mut legacy_bytes);
+        let cy = build(&chunks_y, "Y", &mut legacy_bytes);
+        for tx in &cx {
+            for ty in &cy {
+                for a in tx {
+                    for b in ty {
+                        // Merging owned composites copied every
+                        // component row of both sides.
+                        let mut atoms = a.atoms.clone();
+                        atoms.extend(b.atoms.iter().cloned());
+                        let mut components: Vec<Tuple> = a
+                            .components
+                            .iter()
+                            .map(|t| legacy_copy(t, &mut legacy_bytes))
+                            .collect();
+                        components.extend(
+                            b.components
+                                .iter()
+                                .map(|t| legacy_copy(t, &mut legacy_bytes)),
+                        );
+                        let pair = LegacyComposite { atoms, components };
+                        if !pair.components.is_empty() {
+                            legacy_pairs += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let legacy_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        zc_pairs, legacy_pairs,
+        "both planes must traverse identical candidate pairs"
+    );
+    let tuples_handled = (tuples_per_iter * iters) as f64;
+    let zc_tps = tuples_handled / (zc_ms / 1e3);
+    let legacy_tps = tuples_handled / (legacy_ms / 1e3);
+    let speedup = zc_tps / legacy_tps;
+    let bytes_reduction = legacy_bytes as f64 / (zc_bytes.max(1)) as f64;
+    println!(
+        "data-plane ({iters} iters, {total}x2 tuples, chunk {chunk}): \
+         zero-copy {zc_ms:.1} ms ({zc_tps:.0} tuples/s, {zc_bytes} B cloned), \
+         legacy {legacy_ms:.1} ms ({legacy_tps:.0} tuples/s, {legacy_bytes} B cloned), \
+         {speedup:.1}x throughput, {bytes_reduction:.0}x fewer bytes"
+    );
+    Ok(serde_json::json!({
+        "iters": iters,
+        "tuples_per_side": total,
+        "chunk_size": chunk,
+        "candidate_pairs": zc_pairs,
+        "zero_copy": {
+            "wall_ms": zc_ms,
+            "tuples_per_sec": zc_tps,
+            "bytes_cloned": zc_bytes,
+            "deep_tuple_allocations_per_combination": 0,
+        },
+        "legacy_emulation": {
+            "wall_ms": legacy_ms,
+            "tuples_per_sec": legacy_tps,
+            "bytes_cloned": legacy_bytes,
+            "deep_tuple_allocations_per_combination": 2,
+        },
+        "speedup_tuples_per_sec": speedup,
+        "bytes_cloned_reduction": bytes_reduction,
+        "meets_2x_throughput_target": speedup >= 2.0,
+        "meets_10x_bytes_target": bytes_reduction >= 10.0,
+    }))
+}
+
+/// N hits against a warm cache: the zero-copy plane serves handle
+/// bumps (0 clone events), the legacy emulation deep-copied the stored
+/// response on every hit.
+fn bench_cache_hits(hits: usize) -> Result<serde_json::Value, DynError> {
+    let (inner, _) = join_pair(ScoreDecay::Linear, ScoreDecay::Linear, 50, 10, 9);
+    let recorder = CallRecorder::new(inner);
+    let cache = CachingService::sharded(recorder.clone(), 64, 4);
+    let req = Request::unbound().bind(AttributePath::atomic("Key"), Value::text("hot"));
+    let warm = cache.fetch(&req)?; // miss: populate
+    let start = Instant::now();
+    for _ in 0..hits {
+        let resp = cache.fetch(&req)?;
+        assert!(std::sync::Arc::ptr_eq(resp.body(), warm.body()));
+    }
+    let zc_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = recorder.stats();
+    assert_eq!(
+        (stats.clone_events, stats.bytes_cloned),
+        (0, 0),
+        "cache hits must not clone tuple data"
+    );
+
+    // Legacy emulation: each hit deep-copies the stored chunk.
+    let mut legacy_bytes = 0u64;
+    let start = Instant::now();
+    for _ in 0..hits {
+        let copied: Vec<Tuple> = warm
+            .tuples()
+            .iter()
+            .map(|t| legacy_copy(t, &mut legacy_bytes))
+            .collect();
+        let copied: Vec<SharedTuple> = copied.into_iter().map(SharedTuple::new).collect();
+        std::hint::black_box(&copied);
+    }
+    let legacy_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "cache-hits ({hits} hits, {}-tuple chunk): zero-copy {zc_ms:.2} ms / 0 B, \
+         legacy {legacy_ms:.2} ms / {legacy_bytes} B",
+        warm.len()
+    );
+    Ok(serde_json::json!({
+        "hits": hits,
+        "chunk_tuples": warm.len(),
+        "zero_copy_wall_ms": zc_ms,
+        "zero_copy_bytes_cloned": stats.bytes_cloned,
+        "zero_copy_clone_events": stats.clone_events,
+        "legacy_wall_ms": legacy_ms,
+        "legacy_bytes_cloned": legacy_bytes,
+    }))
+}
+
+/// The E1 travel plan (Fig. 2/3) end-to-end, twice: wall clock and
+/// byte-identical seeded output through the zero-copy plane.
+fn bench_e1() -> Result<serde_json::Value, DynError> {
+    let run = || -> Result<(f64, usize, String, usize), DynError> {
+        let registry = travel::build_registry(5)?;
+        let query = QueryBuilder::new()
+            .atom("C", "Conference1")
+            .atom("W", "Weather1")
+            .atom("F", "Flight1")
+            .atom("H", "Hotel1")
+            .pattern("Forecast", "C", "W")
+            .pattern("ReachedBy", "C", "F")
+            .pattern("StayAt", "C", "H")
+            .pattern("SameTrip", "F", "H")
+            .select_const("C", "Topic", Comparator::Eq, Value::text("databases"))
+            .select_const("W", "AvgTemp", Comparator::Gt, Value::Int(26))
+            .build()?;
+        let joins = query.expanded_joins(&registry)?;
+        let same_trip: Vec<_> = joins
+            .iter()
+            .filter(|j| j.connects("F", "H"))
+            .cloned()
+            .collect();
+        let mut plan = QueryPlan::new(query.clone());
+        let c = plan.add(PlanNode::Service(seco_plan::ServiceNode::new(
+            "C",
+            "Conference1",
+        )));
+        let w = plan.add(PlanNode::Service(seco_plan::ServiceNode::new(
+            "W", "Weather1",
+        )));
+        let sel = plan.add(PlanNode::Selection(
+            seco_plan::SelectionNode::new(vec![query.selections[1].clone()]).with_selectivity(0.25),
+        ));
+        let f = plan.add(PlanNode::Service(
+            seco_plan::ServiceNode::new("F", "Flight1").with_fetches(2),
+        ));
+        let h = plan.add(PlanNode::Service(
+            seco_plan::ServiceNode::new("H", "Hotel1").with_fetches(2),
+        ));
+        let j = plan.add(PlanNode::ParallelJoin(seco_plan::JoinSpec {
+            invocation: Invocation::merge_scan_even(),
+            completion: Completion::Rectangular,
+            predicates: same_trip,
+            selectivity: 1.0,
+        }));
+        plan.connect(plan.input(), c)?;
+        plan.connect(c, w)?;
+        plan.connect(w, sel)?;
+        plan.connect(sel, f)?;
+        plan.connect(sel, h)?;
+        plan.connect(f, j)?;
+        plan.connect(h, j)?;
+        plan.connect(j, plan.output())?;
+        let start = Instant::now();
+        let outcome = execute_plan(
+            &plan,
+            &registry,
+            ExecOptions {
+                join_k: 10,
+                ..Default::default()
+            },
+        )?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let render: String = outcome
+            .results
+            .iter()
+            .map(|c| format!("{:?};", c.materialize()))
+            .collect();
+        Ok((ms, outcome.results.len(), render, outcome.total_calls))
+    };
+    let (ms_a, n_a, render_a, calls) = run()?;
+    let (ms_b, n_b, render_b, _) = run()?;
+    let identical = render_a == render_b;
+    assert!(identical, "seeded E1 runs must be byte-identical");
+    println!(
+        "e1 (travel plan, k=10): {n_a} combinations, {calls} calls, \
+         {ms_a:.1} / {ms_b:.1} ms, byte-identical={identical}"
+    );
+    Ok(serde_json::json!({
+        "combinations": n_a,
+        "combinations_second_run": n_b,
+        "total_calls": calls,
+        "wall_ms_first": ms_a,
+        "wall_ms_second": ms_b,
+        "byte_identical_seeded_output": identical,
+    }))
+}
+
+/// Tile representatives come off chunk headers: a quick self-check
+/// that the real executor path reports them without rescans.
+fn check_tile_representatives() -> Result<(), DynError> {
+    let (sx, sy) = join_pair(ScoreDecay::Linear, ScoreDecay::Quadratic, 30, 5, 11);
+    let req = Request::unbound().bind(AttributePath::atomic("Key"), Value::text("q"));
+    let mut x = ServiceStream::new("X", sx.as_ref(), req.clone());
+    let mut y = ServiceStream::new("Y", sy.as_ref(), req);
+    let predicates = vec![ResolvedPredicate::Join(seco_query::JoinPredicate {
+        left: seco_query::QualifiedPath::new("X", AttributePath::atomic("Link")),
+        op: Comparator::Eq,
+        right: seco_query::QualifiedPath::new("Y", AttributePath::atomic("Link")),
+    })];
+    let mut schemas = SchemaMap::new();
+    schemas.insert("X".into(), &sx.interface().schema);
+    schemas.insert("Y".into(), &sy.interface().schema);
+    let exec = ParallelJoinExecutor {
+        predicates: &predicates,
+        schemas: &schemas,
+        invocation: Invocation::merge_scan_even(),
+        completion: Completion::Rectangular,
+        h: 1,
+        k: 0,
+    };
+    let out = exec.run(&mut x, &mut y)?;
+    assert_eq!(out.tiles.len(), out.tile_representatives.len());
+    assert!(out
+        .tile_representatives
+        .iter()
+        .all(|r| (0.0..=1.0).contains(r)));
+    Ok(())
+}
+
+fn main() -> Result<(), DynError> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (iters, total, hits) = if smoke {
+        (3, 60, 2_000)
+    } else {
+        (20, 200, 50_000)
+    };
+    println!("join_bench ({} mode)", if smoke { "smoke" } else { "full" });
+    check_tile_representatives()?;
+    let value = serde_json::json!({
+        "mode": if smoke { "smoke" } else { "full" },
+        "data_plane": bench_data_plane(iters, total, 10)?,
+        "cache_hits": bench_cache_hits(hits)?,
+        "e1": bench_e1()?,
+    });
+    std::fs::create_dir_all("results")?;
+    std::fs::write(
+        "results/BENCH_join.json",
+        serde_json::to_string_pretty(&value)?,
+    )?;
+    println!("wrote results/BENCH_join.json");
+    Ok(())
+}

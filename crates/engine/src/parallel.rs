@@ -46,14 +46,25 @@ const BATCH_SIZE: usize = 32;
 /// Concurrent speculative fetches per service node.
 const PREFETCH_INFLIGHT: usize = 2;
 
+/// A batch of composites on a plan arc. Batches are `Arc`-shared so a
+/// fan-out over N consumers ships N handle bumps, not N vector copies
+/// (the composites themselves are thin handles already).
+type Batch = Arc<Vec<CompositeTuple>>;
+
+/// Recovers an owned batch from the shared handle: moves when this
+/// consumer was the only one, clones handles otherwise.
+fn unbatch(batch: Batch) -> Vec<CompositeTuple> {
+    Arc::try_unwrap(batch).unwrap_or_else(|shared| (*shared).clone())
+}
+
 /// A worker's buffered fan-out over its outgoing arcs.
 struct Fanout {
-    senders: Vec<Sender<Vec<CompositeTuple>>>,
+    senders: Vec<Sender<Batch>>,
     buf: Vec<CompositeTuple>,
 }
 
 impl Fanout {
-    fn new(senders: Vec<Sender<Vec<CompositeTuple>>>) -> Self {
+    fn new(senders: Vec<Sender<Batch>>) -> Self {
         Fanout {
             senders,
             buf: Vec::with_capacity(BATCH_SIZE),
@@ -78,7 +89,7 @@ impl Fanout {
             self.buf.clear();
             return true;
         }
-        let batch = std::mem::take(&mut self.buf);
+        let batch: Batch = Arc::new(std::mem::take(&mut self.buf));
         for s in &self.senders {
             if s.send(batch.clone()).is_err() {
                 return false; // downstream hung up
@@ -148,9 +159,9 @@ pub fn execute_parallel_with(
         ancestors[id.0] = set;
     }
 
-    // One channel per arc, carrying batches of tuples.
-    let mut senders: Vec<Vec<Sender<Vec<CompositeTuple>>>> = vec![Vec::new(); plan.len()];
-    let mut receivers: Vec<Vec<Receiver<Vec<CompositeTuple>>>> = vec![Vec::new(); plan.len()];
+    // One channel per arc, carrying shared batches of tuples.
+    let mut senders: Vec<Vec<Sender<Batch>>> = vec![Vec::new(); plan.len()];
+    let mut receivers: Vec<Vec<Receiver<Batch>>> = vec![Vec::new(); plan.len()];
     for (from, to) in plan.edges() {
         let (tx, rx) = bounded(ARC_CAPACITY);
         senders[from.0].push(tx);
@@ -251,7 +262,7 @@ pub fn execute_parallel_with(
                         // lock acquisition per tuple.
                         let mut collected = Vec::new();
                         for batch in my_receivers[0].iter() {
-                            collected.extend(batch);
+                            collected.extend(unbatch(batch));
                         }
                         *output.lock() = collected;
                     }
@@ -261,7 +272,7 @@ pub fn execute_parallel_with(
                             Ok(p) => p,
                             Err(e) => return fail(e),
                         };
-                        for c in my_receivers[0].iter().flatten() {
+                        for c in my_receivers[0].iter().flat_map(unbatch) {
                             match satisfies_available(&node_preds, &c, schemas) {
                                 Ok(true) => {
                                     if !out.push(c) {
@@ -311,7 +322,7 @@ pub fn execute_parallel_with(
                             keep_first: svc.keep_first,
                             tolerate_failures: degrade,
                         };
-                        for input in my_receivers[0].iter().flatten() {
+                        for input in my_receivers[0].iter().flat_map(unbatch) {
                             match stage.run(std::slice::from_ref(&input), handle.as_ref()) {
                                 Ok(stage_out) => {
                                     if stage_out.degraded {
@@ -330,8 +341,10 @@ pub fn execute_parallel_with(
                     }
                     PlanNode::ParallelJoin(spec) => {
                         // Rendezvous: drain both inputs.
-                        let left: Vec<CompositeTuple> = my_receivers[0].iter().flatten().collect();
-                        let right: Vec<CompositeTuple> = my_receivers[1].iter().flatten().collect();
+                        let left: Vec<CompositeTuple> =
+                            my_receivers[0].iter().flat_map(unbatch).collect();
+                        let right: Vec<CompositeTuple> =
+                            my_receivers[1].iter().flat_map(unbatch).collect();
                         let join_predicates: Vec<ResolvedPredicate> = spec
                             .predicates
                             .iter()

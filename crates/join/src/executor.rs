@@ -8,7 +8,7 @@
 //! tile (under the repeating-group mapping semantics), and emits joined
 //! composites in tile order — the non-blocking dataflow of §4.1.
 
-use seco_model::CompositeTuple;
+use seco_model::{CompositeTuple, Symbol};
 use seco_plan::{Completion, Invocation};
 use seco_query::predicate::{satisfies_available, ResolvedPredicate, SchemaMap};
 use seco_services::invocation::Request;
@@ -18,17 +18,74 @@ use crate::error::JoinError;
 use crate::strategy::{CallScheduler, CallTarget};
 use crate::tile::Tile;
 
+/// One fetched chunk of composites plus its cached header data.
+///
+/// The chunk's §4.1 representative score is computed once, when the
+/// chunk is built (or forwarded from the service chunk's own header),
+/// so tile extraction never rescans tuples to recover it. Cloning a
+/// `CompositeChunk` clones composite *handles* (atom symbols and
+/// `Arc`-shared components), never tuple payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositeChunk {
+    /// The chunk's composites, in stream order.
+    pub composites: Vec<CompositeTuple>,
+    /// Whether more chunks exist past this one.
+    pub has_more: bool,
+    /// The chunk's representative score: the head composite's score
+    /// product (1.0 for an empty chunk), per the tile-space convention
+    /// of taking the first tuple as representative for the whole chunk.
+    pub representative: f64,
+}
+
+impl CompositeChunk {
+    /// Builds a chunk, deriving the representative from the head
+    /// composite.
+    pub fn new(composites: Vec<CompositeTuple>, has_more: bool) -> Self {
+        let representative = composites
+            .first()
+            .map_or(1.0, CompositeTuple::score_product);
+        CompositeChunk {
+            composites,
+            has_more,
+            representative,
+        }
+    }
+
+    /// Builds a chunk with an externally supplied representative (e.g.
+    /// forwarded from a service chunk's cached header).
+    pub fn with_representative(
+        composites: Vec<CompositeTuple>,
+        has_more: bool,
+        representative: f64,
+    ) -> Self {
+        CompositeChunk {
+            composites,
+            has_more,
+            representative,
+        }
+    }
+
+    /// Number of composites in the chunk.
+    pub fn len(&self) -> usize {
+        self.composites.len()
+    }
+
+    /// True when the chunk carries no composites.
+    pub fn is_empty(&self) -> bool {
+        self.composites.is_empty()
+    }
+}
+
 /// A lazily fetched, chunked stream of composite tuples.
 pub trait ChunkStream {
-    /// Fetches chunk `idx` (0-based). Returns the composites of that
-    /// chunk and whether more chunks exist.
-    fn fetch_chunk(&mut self, idx: usize) -> Result<(Vec<CompositeTuple>, bool), JoinError>;
+    /// Fetches chunk `idx` (0-based).
+    fn fetch_chunk(&mut self, idx: usize) -> Result<CompositeChunk, JoinError>;
 }
 
 /// Adapter: one service invocation (fixed bindings) as a stream of
 /// single-atom composites.
 pub struct ServiceStream<'a> {
-    atom: String,
+    atom: Symbol,
     service: &'a dyn Service,
     request: Request,
 }
@@ -36,7 +93,7 @@ pub struct ServiceStream<'a> {
 impl<'a> ServiceStream<'a> {
     /// Creates a stream for `atom` answered by `service` under
     /// `request`'s bindings.
-    pub fn new(atom: impl Into<String>, service: &'a dyn Service, request: Request) -> Self {
+    pub fn new(atom: impl Into<Symbol>, service: &'a dyn Service, request: Request) -> Self {
         ServiceStream {
             atom: atom.into(),
             service,
@@ -46,39 +103,51 @@ impl<'a> ServiceStream<'a> {
 }
 
 impl ChunkStream for ServiceStream<'_> {
-    fn fetch_chunk(&mut self, idx: usize) -> Result<(Vec<CompositeTuple>, bool), JoinError> {
+    fn fetch_chunk(&mut self, idx: usize) -> Result<CompositeChunk, JoinError> {
         let resp = self.service.fetch(&self.request.at_chunk(idx))?;
         let composites = resp
-            .tuples
-            .into_iter()
-            .map(|t| CompositeTuple::single(self.atom.clone(), t))
+            .tuples()
+            .iter()
+            .map(|t| CompositeTuple::single(self.atom, t.clone()))
             .collect();
-        Ok((composites, resp.has_more))
+        // The representative rides along on the service chunk's shared
+        // header — no rescan of tuple scores here.
+        Ok(CompositeChunk::with_representative(
+            composites,
+            resp.has_more(),
+            resp.head_score(),
+        ))
     }
 }
 
 /// In-memory stream over pre-chunked composites (tests and re-joining
 /// buffered intermediate results).
 pub struct MemoryStream {
-    chunks: Vec<Vec<CompositeTuple>>,
+    chunks: Vec<CompositeChunk>,
 }
 
 impl MemoryStream {
-    /// Chunks an already-materialized list.
+    /// Chunks an already-materialized list; per-chunk representatives
+    /// are computed once, here.
     pub fn new(tuples: Vec<CompositeTuple>, chunk_size: usize) -> Self {
         let chunk_size = chunk_size.max(1);
+        let n_chunks = tuples.chunks(chunk_size).count();
         let chunks = tuples
             .chunks(chunk_size)
-            .map(<[CompositeTuple]>::to_vec)
+            .enumerate()
+            .map(|(i, c)| CompositeChunk::new(c.to_vec(), i + 1 < n_chunks))
             .collect();
         MemoryStream { chunks }
     }
 }
 
 impl ChunkStream for MemoryStream {
-    fn fetch_chunk(&mut self, idx: usize) -> Result<(Vec<CompositeTuple>, bool), JoinError> {
-        let chunk = self.chunks.get(idx).cloned().unwrap_or_default();
-        Ok((chunk, idx + 1 < self.chunks.len()))
+    fn fetch_chunk(&mut self, idx: usize) -> Result<CompositeChunk, JoinError> {
+        Ok(self
+            .chunks
+            .get(idx)
+            .cloned()
+            .unwrap_or_else(|| CompositeChunk::new(Vec::new(), false)))
     }
 }
 
@@ -93,6 +162,11 @@ pub struct JoinOutcome {
     pub calls_y: usize,
     /// Tiles processed, in order.
     pub tiles: Vec<Tile>,
+    /// Observed representative score of each processed tile (the
+    /// product of the two chunks' cached head scores), aligned with
+    /// `tiles`. Computed from chunk headers, never by rescanning
+    /// tuples.
+    pub tile_representatives: Vec<f64>,
     /// True when the whole tile space was explored (no more results
     /// exist); false when the run stopped at the `k` target.
     pub exhausted: bool,
@@ -147,11 +221,12 @@ impl ParallelJoinExecutor<'_> {
         };
         let target_k = if self.k == 0 { usize::MAX } else { self.k };
 
-        let mut chunks_x: Vec<Vec<CompositeTuple>> = Vec::new();
-        let mut chunks_y: Vec<Vec<CompositeTuple>> = Vec::new();
+        let mut chunks_x: Vec<CompositeChunk> = Vec::new();
+        let mut chunks_y: Vec<CompositeChunk> = Vec::new();
         let (mut more_x, mut more_y) = (true, true);
         let (mut calls_x, mut calls_y) = (0usize, 0usize);
         let mut processed: Vec<Tile> = Vec::new();
+        let mut tile_reps: Vec<f64> = Vec::new();
         let mut done = std::collections::BTreeSet::new();
         let mut results: Vec<CompositeTuple> = Vec::new();
         let mut c = r1 * r2;
@@ -170,15 +245,15 @@ impl ParallelJoinExecutor<'_> {
             }
             match target {
                 CallTarget::X if more_x => {
-                    let (chunk, has_more) = x.fetch_chunk(calls_x)?;
+                    let chunk = x.fetch_chunk(calls_x)?;
                     calls_x += 1;
-                    more_x = has_more;
+                    more_x = chunk.has_more;
                     chunks_x.push(chunk);
                 }
                 CallTarget::Y if more_y => {
-                    let (chunk, has_more) = y.fetch_chunk(calls_y)?;
+                    let chunk = y.fetch_chunk(calls_y)?;
                     calls_y += 1;
-                    more_y = has_more;
+                    more_y = chunk.has_more;
                     chunks_y.push(chunk);
                 }
                 _ => {} // both axes exhausted; fall through to the wave
@@ -215,7 +290,12 @@ impl ParallelJoinExecutor<'_> {
                 for t in wave {
                     done.insert(t);
                     processed.push(t);
-                    self.join_tile(&chunks_x[t.x], &chunks_y[t.y], &mut results)?;
+                    tile_reps.push(chunks_x[t.x].representative * chunks_y[t.y].representative);
+                    self.join_tile(
+                        &chunks_x[t.x].composites,
+                        &chunks_y[t.y].composites,
+                        &mut results,
+                    )?;
                     if results.len() >= target_k {
                         break 'outer;
                     }
@@ -241,6 +321,7 @@ impl ParallelJoinExecutor<'_> {
             calls_x,
             calls_y,
             tiles: processed,
+            tile_representatives: tile_reps,
             exhausted,
             degraded: false,
         })
@@ -273,9 +354,10 @@ impl ParallelJoinExecutor<'_> {
             let mut passed = Vec::new();
             let mut idx = 0usize;
             loop {
-                let (chunk, more) = survivor.fetch_chunk(idx)?;
+                let chunk = survivor.fetch_chunk(idx)?;
                 idx += 1;
-                for composite in chunk {
+                let more = chunk.has_more;
+                for composite in chunk.composites {
                     passed.push(composite);
                     if passed.len() >= target_k {
                         break;
@@ -567,12 +649,52 @@ mod tests {
         let svc = SyntheticService::new(iface, DomainMap::new(), 3);
         let req = Request::unbound().bind(AttributePath::atomic("K"), Value::text("x"));
         let mut stream = ServiceStream::new("A", &svc, req);
-        let (chunk, more) = stream.fetch_chunk(0).unwrap();
+        let chunk = stream.fetch_chunk(0).unwrap();
         assert_eq!(chunk.len(), 2);
-        assert!(more);
-        assert_eq!(chunk[0].atoms, vec!["A".to_owned()]);
-        let (last, more) = stream.fetch_chunk(2).unwrap();
+        assert!(chunk.has_more);
+        assert_eq!(chunk.composites[0].atom_names(), vec!["A"]);
+        // The representative rides on the chunk header and matches the
+        // head composite's score product.
+        assert!((chunk.representative - chunk.composites[0].score_product()).abs() < 1e-12);
+        let last = stream.fetch_chunk(2).unwrap();
         assert_eq!(last.len(), 1);
-        assert!(!more);
+        assert!(!last.has_more);
+    }
+
+    #[test]
+    fn tile_representatives_ride_on_chunk_headers() {
+        let sa = schema("A1");
+        let sb = schema("B1");
+        let (preds, schemas) = setup(&sa, &sb);
+        let a = stream_data("A", &sa, 6, ScoreDecay::Linear);
+        let b = stream_data("B", &sb, 6, ScoreDecay::Linear);
+        let exec = ParallelJoinExecutor {
+            predicates: &preds,
+            schemas: &schemas,
+            invocation: Invocation::merge_scan_even(),
+            completion: Completion::Rectangular,
+            h: 1,
+            k: 0,
+        };
+        let mut ms_a = MemoryStream::new(a.clone(), 2);
+        let mut ms_b = MemoryStream::new(b.clone(), 2);
+        let out = exec.run(&mut ms_a, &mut ms_b).unwrap();
+        assert_eq!(out.tile_representatives.len(), out.tiles.len());
+        for (t, rep) in out.tiles.iter().zip(&out.tile_representatives) {
+            // Each observed representative is the product of the two
+            // head composites' scores for that tile.
+            let expected = a[t.x * 2].score_product() * b[t.y * 2].score_product();
+            assert!((rep - expected).abs() < 1e-12);
+        }
+        // Representatives never increase along either axis (ranked
+        // streams decay), so tile (0,0) dominates.
+        let first = out.tile_representatives[out
+            .tiles
+            .iter()
+            .position(|t| *t == Tile::new(0, 0))
+            .unwrap()];
+        for rep in &out.tile_representatives {
+            assert!(*rep <= first + 1e-12);
+        }
     }
 }

@@ -135,9 +135,9 @@ impl PipeJoin<'_> {
                 };
                 calls += 1;
                 busy_ms += resp.elapsed_ms;
-                let has_more = resp.has_more;
-                for tuple in resp.tuples {
-                    let candidate = input.extend_with(self.atom.to_owned(), tuple);
+                let has_more = resp.has_more();
+                for tuple in resp.tuples() {
+                    let candidate = input.extend_with(self.atom, tuple.clone());
                     if satisfies_available(self.predicates, &candidate, self.schemas)? {
                         results.push(candidate);
                         if self.keep_first {
@@ -213,7 +213,7 @@ mod tests {
         theatre
             .fetch(&req)
             .unwrap()
-            .tuples
+            .shared_tuples()
             .into_iter()
             .map(|t| CompositeTuple::single("T", t))
             .collect()

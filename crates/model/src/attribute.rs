@@ -11,6 +11,8 @@
 
 use std::fmt;
 
+use crate::symbol::Symbol;
+
 /// Primitive type of an atomic attribute or sub-attribute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
@@ -191,17 +193,49 @@ impl AttributeDef {
 
 /// A (possibly sub-)attribute reference: `A` or `R.A` in the notation of
 /// §3.1 (service prefixes are handled one level up, in the query AST).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Names are interned [`Symbol`]s: a path is two machine words, `Copy`-like
+/// to clone, and free of per-tuple heap allocations. `Hash` and `Ord` are
+/// implemented manually over the string content so the path behaves exactly
+/// like the `(String, Option<String>)` pair it replaces — seeded request
+/// hashing and `BTreeMap` binding order depend on that.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttributePath {
     /// The top-level attribute (or repeating-group) name.
-    pub attr: String,
+    pub attr: Symbol,
     /// For repeating groups, the addressed sub-attribute.
-    pub sub: Option<String>,
+    pub sub: Option<Symbol>,
+}
+
+// Matches the derived hash of the former `{ attr: String, sub: Option<String> }`
+// layout: `Symbol` hashes like the string it interns, and `Option<Symbol>`
+// hashes its discriminant + payload exactly like `Option<String>`.
+impl std::hash::Hash for AttributePath {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.attr.hash(state);
+        self.sub.hash(state);
+    }
+}
+
+// Lexicographic by content, `None < Some` — the derived order of the former
+// String-backed struct.
+impl Ord for AttributePath {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.attr
+            .cmp(&other.attr)
+            .then_with(|| self.sub.cmp(&other.sub))
+    }
+}
+
+impl PartialOrd for AttributePath {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 impl AttributePath {
     /// Path to an atomic attribute `A`.
-    pub fn atomic(attr: impl Into<String>) -> Self {
+    pub fn atomic(attr: impl Into<Symbol>) -> Self {
         AttributePath {
             attr: attr.into(),
             sub: None,
@@ -209,7 +243,7 @@ impl AttributePath {
     }
 
     /// Path to a sub-attribute `R.A` of a repeating group.
-    pub fn sub(group: impl Into<String>, sub: impl Into<String>) -> Self {
+    pub fn sub(group: impl Into<Symbol>, sub: impl Into<Symbol>) -> Self {
         AttributePath {
             attr: group.into(),
             sub: Some(sub.into()),
@@ -242,7 +276,7 @@ impl fmt::Display for AttributePath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.sub {
             Some(sub) => write!(f, "{}.{}", self.attr, sub),
-            None => f.write_str(&self.attr),
+            None => f.write_str(self.attr.as_str()),
         }
     }
 }
@@ -292,6 +326,50 @@ mod tests {
         assert!(AttributePath::parse("").is_none());
         assert!(AttributePath::parse("a.b.c").is_none());
         assert!(AttributePath::parse("a.").is_none());
+    }
+
+    #[test]
+    fn path_hash_matches_the_string_layout_it_replaced() {
+        // Seeded data generation hashes request bindings through
+        // `AttributePath`'s Hash impl; interning must not change the hash,
+        // or every generated dataset (and ranked output) would shift.
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        for (attr, sub) in [
+            ("Topic", None),
+            ("Openings", Some("Country")),
+            ("AvgTemp", None),
+        ] {
+            let path = match sub {
+                None => AttributePath::atomic(attr),
+                Some(s) => AttributePath::sub(attr, s),
+            };
+            let mut by_path = DefaultHasher::new();
+            path.hash(&mut by_path);
+            let mut by_strings = DefaultHasher::new();
+            attr.to_owned().hash(&mut by_strings);
+            sub.map(str::to_owned).hash(&mut by_strings);
+            assert_eq!(
+                by_path.finish(),
+                by_strings.finish(),
+                "hash drift for {attr:?}.{sub:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_order_is_lexicographic_by_content() {
+        let mut paths = [
+            AttributePath::sub("R", "B"),
+            AttributePath::atomic("R"),
+            AttributePath::atomic("A"),
+            AttributePath::sub("R", "A"),
+        ];
+        paths.sort();
+        assert_eq!(
+            paths.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+            ["A", "R", "R.A", "R.B"]
+        );
     }
 
     #[test]

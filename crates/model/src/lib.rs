@@ -30,6 +30,7 @@ pub mod mart;
 pub mod schema;
 pub mod scoring;
 pub mod stats;
+pub mod symbol;
 pub mod tuple;
 pub mod value;
 
@@ -43,7 +44,8 @@ pub use mart::{
 pub use schema::ServiceSchema;
 pub use scoring::{ScoreDecay, ScoringFunction};
 pub use stats::ServiceStats;
-pub use tuple::{CompositeTuple, GroupTuple, Tuple};
+pub use symbol::Symbol;
+pub use tuple::{CompositeTuple, GroupTuple, SharedTuple, Tuple};
 pub use value::{Comparator, Date, Value};
 
 /// Result alias for fallible model operations.

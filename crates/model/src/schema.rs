@@ -56,17 +56,17 @@ impl ServiceSchema {
     /// checking shape: a `sub` path must address a group, a bare path must
     /// address an atomic attribute.
     pub fn resolve(&self, path: &AttributePath) -> Result<(usize, Option<usize>), ModelError> {
-        let idx = self
-            .attr_index(&path.attr)
-            .ok_or_else(|| ModelError::UnknownAttribute {
-                service: self.name.clone(),
-                attribute: path.to_string(),
-            })?;
+        let idx =
+            self.attr_index(path.attr.as_str())
+                .ok_or_else(|| ModelError::UnknownAttribute {
+                    service: self.name.clone(),
+                    attribute: path.to_string(),
+                })?;
         let def = &self.attributes[idx];
         match (&def.kind, &path.sub) {
             (AttributeKind::Atomic(_), None) => Ok((idx, None)),
             (AttributeKind::Group(subs), Some(sub)) => {
-                let sidx = subs.iter().position(|s| &s.name == sub).ok_or_else(|| {
+                let sidx = subs.iter().position(|s| s.name == *sub).ok_or_else(|| {
                     ModelError::UnknownAttribute {
                         service: self.name.clone(),
                         attribute: path.to_string(),

@@ -1,0 +1,223 @@
+//! Interned string symbols for attribute and atom names.
+//!
+//! The data plane repeats a small vocabulary of names (attribute paths,
+//! query atoms, service aliases) across millions of tuples. Interning each
+//! distinct name once in a process-wide table turns every per-tuple key into
+//! a `Copy` handle, removes the per-clone heap traffic of `String` keys, and
+//! makes equality a single pointer compare.
+//!
+//! Determinism contract: `Hash` and `Ord` are defined over the *string
+//! content*, not the table address, so symbols hash and sort exactly like
+//! the `String`s they replace. Seeded request hashing (`hash_request_key`,
+//! `hash_path`) and the `BTreeMap` iteration order of bindings therefore
+//! produce byte-identical results before and after interning.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, OnceLock};
+
+/// A handle to an interned string: the canonical `&'static str` for its
+/// content. Cheap to copy; equality is a pointer compare. Only `intern`
+/// touches the table lock — `as_str`, `Hash`, `Ord` are lock-free.
+#[derive(Clone, Copy, Eq)]
+pub struct Symbol(&'static str);
+
+fn interner() -> &'static Mutex<HashSet<&'static str>> {
+    static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+impl Symbol {
+    /// Intern `s`, returning its stable handle. Repeated calls with equal
+    /// strings return the same (pointer-identical) symbol.
+    pub fn intern(s: &str) -> Symbol {
+        let mut table = interner().lock().expect("symbol table poisoned");
+        if let Some(&canonical) = table.get(s) {
+            return Symbol(canonical);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        table.insert(leaked);
+        Symbol(leaked)
+    }
+
+    /// The interned string. `'static` because the table never frees entries.
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+
+    /// Number of distinct strings interned so far (diagnostics only).
+    pub fn table_len() -> usize {
+        interner().lock().expect("symbol table poisoned").len()
+    }
+
+    /// True if the symbol's content equals `s` (no interning of `s`).
+    pub fn is(self, s: &str) -> bool {
+        self.0 == s
+    }
+}
+
+// Interning canonicalizes: equal content implies the same leaked allocation,
+// so pointer identity is content equality.
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+// Hash by content so `Symbol` is a drop-in replacement for `String` keys in
+// seeded hashing (`DefaultHasher` over a `&str` and a `String` agree).
+impl Hash for Symbol {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+// Order by content so BTreeMap iteration matches the pre-interning order.
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if std::ptr::eq(self.0, other.0) {
+            std::cmp::Ordering::Equal
+        } else {
+            self.0.cmp(other.0)
+        }
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for str {
+    fn eq(&self, other: &Symbol) -> bool {
+        self == other.0
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.0
+    }
+}
+
+impl PartialEq<Symbol> for String {
+    fn eq(&self, other: &Symbol) -> bool {
+        self.as_str() == other.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.0, f)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<Symbol> for String {
+    fn from(s: Symbol) -> String {
+        s.0.to_owned()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    #[test]
+    fn interning_is_stable_and_deduplicating() {
+        let a = Symbol::intern("Topic");
+        let b = Symbol::intern("Topic");
+        let c = Symbol::intern("AvgTemp");
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "Topic");
+        assert_eq!(c.as_str(), "AvgTemp");
+    }
+
+    #[test]
+    fn hashes_exactly_like_the_string_it_replaces() {
+        for name in ["Topic", "AvgTemp", "Flight1", "日付", ""] {
+            let sym = Symbol::intern(name);
+            let mut h1 = DefaultHasher::new();
+            sym.hash(&mut h1);
+            let mut h2 = DefaultHasher::new();
+            name.to_owned().hash(&mut h2);
+            assert_eq!(h1.finish(), h2.finish(), "hash mismatch for {name:?}");
+        }
+    }
+
+    #[test]
+    fn orders_by_content_not_intern_order() {
+        // Interned in reverse lexicographic order on purpose.
+        let z = Symbol::intern("zeta-order");
+        let a = Symbol::intern("alpha-order");
+        assert!(a < z);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
+    }
+
+    #[test]
+    fn compares_against_plain_strings() {
+        let s = Symbol::intern("Conference1");
+        assert!(s == "Conference1");
+        assert!("Conference1" == s);
+        let owned: String = "Conference1".into();
+        assert!(s == owned);
+        assert!(owned == s);
+        assert!(s.is("Conference1"));
+        assert!(!s.is("Conference2"));
+    }
+}

@@ -8,11 +8,18 @@
 //! services' scores.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::attribute::{AttributeKind, AttributePath};
 use crate::error::ModelError;
 use crate::schema::ServiceSchema;
+use crate::symbol::Symbol;
 use crate::value::Value;
+
+/// A shared, immutable tuple handle. The zero-copy data plane passes these
+/// between cache, join pipes, and executors: cloning one bumps a reference
+/// count instead of deep-copying fields.
+pub type SharedTuple = Arc<Tuple>;
 
 /// One row of a repeating group: values aligned with the group's
 /// sub-attribute definitions.
@@ -229,28 +236,33 @@ impl<'a> TupleBuilder<'a> {
 /// A composite tuple `t1 · … · tn`: one component tuple per query atom,
 /// with the component scores retained so the global ranking function
 /// (weighted sum, §3.1) can be applied and re-weighted dynamically.
+///
+/// Composites are *thin*: each component is a [`SharedTuple`] handle into
+/// the chunk that produced it, and atom names are interned [`Symbol`]s.
+/// Joining, merging, and extending a composite copies handles, never rows;
+/// field data is materialized only when the final output is rendered.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompositeTuple {
     /// Names of the contributing query atoms (service aliases), aligned
     /// with `components`.
-    pub atoms: Vec<String>,
-    /// The component tuples, in atom order.
-    pub components: Vec<Tuple>,
+    pub atoms: Vec<Symbol>,
+    /// Shared handles to the component tuples, in atom order.
+    pub components: Vec<SharedTuple>,
 }
 
 impl CompositeTuple {
     /// A composite with a single component.
-    pub fn single(atom: impl Into<String>, tuple: Tuple) -> Self {
+    pub fn single(atom: impl Into<Symbol>, tuple: impl Into<SharedTuple>) -> Self {
         CompositeTuple {
             atoms: vec![atom.into()],
-            components: vec![tuple],
+            components: vec![tuple.into()],
         }
     }
 
     /// Concatenates two composites: `self · other`.
     pub fn join(&self, other: &CompositeTuple) -> Self {
         let mut atoms = self.atoms.clone();
-        atoms.extend(other.atoms.iter().cloned());
+        atoms.extend(other.atoms.iter().copied());
         let mut components = self.components.clone();
         components.extend(other.components.iter().cloned());
         CompositeTuple { atoms, components }
@@ -262,19 +274,22 @@ impl CompositeTuple {
     ///
     /// Returns `None` when a shared atom's components differ — such a
     /// pair stems from two different upstream tuples and must not join.
-    /// Otherwise the result carries each atom once.
+    /// Otherwise the result carries each atom once. Shared components are
+    /// usually pointer-identical handles into the same chunk, so the
+    /// equality check short-circuits on `Arc::ptr_eq` before comparing
+    /// fields.
     pub fn merge(&self, other: &CompositeTuple) -> Option<Self> {
         for (atom, tuple) in other.atoms.iter().zip(&other.components) {
-            if let Some(mine) = self.component(atom) {
-                if mine != tuple {
+            if let Some(mine) = self.component(atom.as_str()) {
+                if !Arc::ptr_eq(mine, tuple) && **mine != **tuple {
                     return None;
                 }
             }
         }
         let mut out = self.clone();
         for (atom, tuple) in other.atoms.iter().zip(&other.components) {
-            if out.component(atom).is_none() {
-                out.atoms.push(atom.clone());
+            if out.component(atom.as_str()).is_none() {
+                out.atoms.push(*atom);
                 out.components.push(tuple.clone());
             }
         }
@@ -282,19 +297,24 @@ impl CompositeTuple {
     }
 
     /// Extends the composite with one more component.
-    pub fn extend_with(&self, atom: impl Into<String>, tuple: Tuple) -> Self {
+    pub fn extend_with(&self, atom: impl Into<Symbol>, tuple: impl Into<SharedTuple>) -> Self {
         let mut out = self.clone();
         out.atoms.push(atom.into());
-        out.components.push(tuple);
+        out.components.push(tuple.into());
         out
     }
 
-    /// Component tuple for a given atom alias.
-    pub fn component(&self, atom: &str) -> Option<&Tuple> {
+    /// Shared handle to the component tuple for a given atom alias.
+    pub fn component(&self, atom: &str) -> Option<&SharedTuple> {
         self.atoms
             .iter()
-            .position(|a| a == atom)
+            .position(|a| *a == atom)
             .map(|i| &self.components[i])
+    }
+
+    /// Atom names as plain strings (test and display convenience).
+    pub fn atom_names(&self) -> Vec<&'static str> {
+        self.atoms.iter().map(|a| a.as_str()).collect()
     }
 
     /// Global score under a weight vector aligned with `atoms`
@@ -317,6 +337,22 @@ impl CompositeTuple {
     /// Number of components.
     pub fn arity(&self) -> usize {
         self.components.len()
+    }
+
+    /// Materializes the combination into owned rows, one `(atom, tuple)`
+    /// pair per component.
+    ///
+    /// This is the *only* deep copy in a composite's life: everything
+    /// upstream (joins, merges, fan-out, buffering) moves handles. Call
+    /// it when the ranked combination leaves the engine — rendering,
+    /// serialization, or handing rows to a caller that outlives the
+    /// source chunks.
+    pub fn materialize(&self) -> Vec<(&'static str, Tuple)> {
+        self.atoms
+            .iter()
+            .zip(&self.components)
+            .map(|(a, t)| (a.as_str(), (**t).clone()))
+            .collect()
     }
 }
 
@@ -425,7 +461,7 @@ mod tests {
         let c2 = CompositeTuple::single("T", t2);
         let j = c1.join(&c2);
         assert_eq!(j.arity(), 2);
-        assert_eq!(j.atoms, vec!["M".to_owned(), "T".to_owned()]);
+        assert_eq!(j.atom_names(), ["M", "T"]);
         assert!((j.global_score(&[0.5, 0.5]) - 0.65).abs() < 1e-12);
         assert!((j.score_product() - 0.4).abs() < 1e-12);
         assert!(j.component("T").is_some());
@@ -454,10 +490,7 @@ mod tests {
         let b2 = CompositeTuple::single("C", t1.clone()).extend_with("H", t3.clone());
         let merged = b1.merge(&b2).expect("same shared component merges");
         assert_eq!(merged.arity(), 3);
-        assert_eq!(
-            merged.atoms,
-            vec!["C".to_owned(), "F".to_owned(), "H".to_owned()]
-        );
+        assert_eq!(merged.atom_names(), ["C", "F", "H"]);
         // Different C components must refuse to merge.
         let b3 = CompositeTuple::single("C", t2).extend_with("H", t3);
         assert!(b1.merge(&b3).is_none());
@@ -465,6 +498,29 @@ mod tests {
         let d1 = CompositeTuple::single("X", t1.clone());
         let d2 = CompositeTuple::single("Y", t1);
         assert_eq!(d1.merge(&d2).unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn composite_components_are_shared_not_copied() {
+        let t: SharedTuple = Arc::new(sample());
+        let b1 = CompositeTuple::single("C", t.clone()).extend_with("F", t.clone());
+        let b2 = CompositeTuple::single("C", t.clone()).extend_with("H", t.clone());
+        // Joining composites clones handles, not rows: every component of
+        // the merge points at the one underlying allocation.
+        let merged = b1.merge(&b2).unwrap();
+        assert_eq!(merged.arity(), 3);
+        for c in &merged.components {
+            assert!(Arc::ptr_eq(c, &t));
+        }
+        // 1 origin + 2 in b1 + 2 in b2 + 3 in merged.
+        assert_eq!(Arc::strong_count(&t), 8);
+        // Materialization is the one deep copy: owned rows, detached
+        // from the shared allocation.
+        let rows = merged.materialize();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, "C");
+        assert_eq!(rows[0].1, *t);
+        assert_eq!(Arc::strong_count(&t), 8, "materialize takes no handle");
     }
 
     #[test]

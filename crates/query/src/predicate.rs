@@ -72,8 +72,8 @@ pub fn resolve_predicates(
 /// Schema lookup for the atoms of a query: alias → schema.
 pub type SchemaMap<'a> = BTreeMap<String, &'a ServiceSchema>;
 
-/// Identifies one repeating group of one atom.
-type GroupKey = (String, String);
+/// Identifies one repeating group of one atom (atom alias, group symbol).
+type GroupKey = (String, seco_model::Symbol);
 
 /// Evaluation support: the value of `path` in `tuple` under a group-row
 /// assignment.
@@ -88,7 +88,7 @@ fn value_under<'t>(
     match sidx {
         None => Ok(tuple.atomic_at(idx)),
         Some(s) => {
-            let key = (atom.to_owned(), path.attr.clone());
+            let key = (atom.to_owned(), path.attr);
             let row = *assignment.get(&key).unwrap_or(&0);
             let rows = tuple.group_at(idx);
             rows.get(row).and_then(|r| r.values.get(s)).ok_or_else(|| {
@@ -147,7 +147,7 @@ fn evaluate_inner(
             let tuple = composite
                 .component(&qp.atom)
                 .ok_or_else(|| QueryError::UnknownAtom(qp.atom.clone()))?;
-            let key = (qp.atom.clone(), qp.path.attr.clone());
+            let key = (qp.atom.clone(), qp.path.attr);
             seen.entry(key).or_insert_with(|| tuple.group_at(idx).len());
             Ok(())
         };
@@ -273,8 +273,8 @@ mod tests {
 
     /// Sets up the chapter's S1/S2 data and the schema map.
     fn setup() -> (
-        Vec<seco_model::Tuple>,
-        Vec<seco_model::Tuple>,
+        Vec<seco_model::SharedTuple>,
+        Vec<seco_model::SharedTuple>,
         ServiceSchema,
         ServiceSchema,
     ) {

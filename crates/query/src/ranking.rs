@@ -78,8 +78,10 @@ mod tests {
         let mut atoms = Vec::new();
         let mut components = Vec::new();
         for (i, s) in scores.iter().enumerate() {
-            atoms.push(format!("a{i}"));
-            components.push(Tuple::builder(&schema).score(*s).build().unwrap());
+            atoms.push(seco_model::Symbol::from(format!("a{i}")));
+            components.push(seco_model::SharedTuple::new(
+                Tuple::builder(&schema).score(*s).build().unwrap(),
+            ));
         }
         CompositeTuple { atoms, components }
     }

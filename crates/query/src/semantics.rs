@@ -92,13 +92,13 @@ pub fn evaluate_oracle(
             let mut chunk = 0;
             loop {
                 let resp = service.fetch(&request.at_chunk(chunk))?;
-                for tuple in resp.tuples {
-                    let candidate = partial.extend_with(alias.clone(), tuple);
+                for tuple in resp.tuples() {
+                    let candidate = partial.extend_with(alias.as_str(), tuple.clone());
                     if satisfies_available(&predicates, &candidate, &schemas)? {
                         extended.push(candidate);
                     }
                 }
-                if !resp.has_more || chunk + 1 >= MAX_CHUNKS_PER_CALL {
+                if !resp.has_more() || chunk + 1 >= MAX_CHUNKS_PER_CALL {
                     break;
                 }
                 chunk += 1;
@@ -136,7 +136,7 @@ fn reorder(c: &CompositeTuple, query: &Query) -> Result<CompositeTuple, QueryErr
         let t = c
             .component(&atom.alias)
             .ok_or_else(|| QueryError::UnknownAtom(atom.alias.clone()))?;
-        atoms.push(atom.alias.clone());
+        atoms.push(seco_model::Symbol::from(&atom.alias));
         components.push(t.clone());
     }
     Ok(CompositeTuple { atoms, components })
@@ -214,7 +214,7 @@ mod tests {
         let weather = reg.service("Weather1").unwrap();
         let creq =
             Request::unbound().bind(AttributePath::atomic("Topic"), Value::text("databases"));
-        let conferences = conf.fetch(&creq).unwrap().tuples;
+        let conferences = conf.fetch(&creq).unwrap().shared_tuples();
         let cschema = &conf.interface().schema;
         let mut expected = 0;
         for c in &conferences {
@@ -227,7 +227,7 @@ mod tests {
             let wreq = Request::unbound()
                 .bind(AttributePath::atomic("City"), city)
                 .bind(AttributePath::atomic("Date"), date);
-            for w in weather.fetch(&wreq).unwrap().tuples {
+            for w in weather.fetch(&wreq).unwrap().tuples() {
                 if let Value::Int(t) = w.atomic_at(2) {
                     if *t > 26 {
                         expected += 1;

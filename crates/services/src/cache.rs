@@ -148,12 +148,13 @@ impl Flight {
 
 /// One shard: its cached entries and the calls currently in flight for
 /// keys that hash here. A single lock covers both maps so the
-/// hit / join-flight / become-leader decision is atomic. Entries are
-/// `Arc`ed so a hit only clones a pointer inside the critical section;
-/// the deep copy of the tuples happens after the lock is released.
+/// hit / join-flight / become-leader decision is atomic. A cached
+/// [`ChunkResponse`] is an `Arc` handle to its immutable body, so a hit
+/// clones a pointer — O(1) in the size of the chunk, with no deep copy
+/// inside or outside the critical section.
 #[derive(Default)]
 struct Shard {
-    entries: HashMap<u64, Arc<ChunkResponse>>,
+    entries: HashMap<u64, ChunkResponse>,
     inflight: HashMap<u64, Arc<Flight>>,
 }
 
@@ -279,14 +280,16 @@ impl Service for CachingService {
         let shard = &self.shards[key.shard(self.shards.len())];
 
         enum Role {
-            Hit(Arc<ChunkResponse>),
+            Hit(ChunkResponse),
             Waiter(Arc<Flight>),
             Leader(Arc<Flight>),
         }
         let role = {
             let mut guard = self.lock_shard(shard);
             if let Some(cached) = guard.entries.get(&key.fingerprint()) {
-                Role::Hit(cached.clone())
+                // A cache hit costs no service time and no tuple copies:
+                // the response re-shares the stored body.
+                Role::Hit(cached.with_elapsed(0.0))
             } else if let Some(flight) = guard.inflight.get(&key.fingerprint()) {
                 Role::Waiter(flight.clone())
             } else {
@@ -297,14 +300,11 @@ impl Service for CachingService {
         };
 
         match role {
-            Role::Hit(entry) => {
+            Role::Hit(resp) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 if let Some(rec) = &self.recorder {
                     rec.note_cache_hit();
                 }
-                // A cache hit costs no service time.
-                let mut resp = (*entry).clone();
-                resp.elapsed_ms = 0.0;
                 Ok(resp)
             }
             Role::Waiter(flight) => {
@@ -313,11 +313,8 @@ impl Service for CachingService {
                     rec.note_coalesced();
                 }
                 // The leader pays the call's time; joining its flight
-                // is free, like a hit.
-                flight.wait().map(|mut resp| {
-                    resp.elapsed_ms = 0.0;
-                    resp
-                })
+                // is free, like a hit, and shares the leader's body.
+                flight.wait().map(|resp| resp.with_elapsed(0.0))
             }
             Role::Leader(flight) => {
                 let result = self.inner.fetch(request);
@@ -327,9 +324,7 @@ impl Service for CachingService {
                 if let Ok(resp) = &result {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     if guard.entries.len() < self.per_shard_capacity {
-                        guard
-                            .entries
-                            .insert(key.fingerprint(), Arc::new(resp.clone()));
+                        guard.entries.insert(key.fingerprint(), resp.clone());
                     }
                 }
                 result
@@ -380,12 +375,37 @@ mod tests {
         let cached = CachingService::new(inner.clone(), 64);
         let a = cached.fetch(&req("x")).unwrap();
         let b = cached.fetch(&req("x")).unwrap();
-        assert_eq!(a.tuples, b.tuples);
+        assert_eq!(a.tuples(), b.tuples());
         assert_eq!((cached.hits(), cached.misses()), (1, 1));
         assert_eq!(inner.calls_served(), 1, "the inner service was called once");
         // Hits are free.
         assert_eq!(b.elapsed_ms, 0.0);
         assert!(a.elapsed_ms > 0.0);
+    }
+
+    #[test]
+    fn cache_hits_share_the_stored_body_without_copying() {
+        // Regression test for the hit-path deep copy: a hit must be O(1)
+        // in the response size, which means every hit hands out the SAME
+        // body allocation — not a copy of its tuples.
+        let inner = service();
+        let recorder = CallRecorder::new(inner.clone());
+        let cached = CachingService::new(inner, 64).with_recorder(recorder.clone());
+        let miss = cached.fetch(&req("x")).unwrap();
+        assert!(!miss.is_empty(), "fixture must produce a non-trivial chunk");
+        let h1 = cached.fetch(&req("x")).unwrap();
+        let h2 = cached.fetch(&req("x")).unwrap();
+        assert!(
+            Arc::ptr_eq(miss.body(), h1.body()) && Arc::ptr_eq(h1.body(), h2.body()),
+            "hits must re-share the cached body allocation"
+        );
+        for (t1, t2) in miss.tuples().iter().zip(h1.tuples()) {
+            assert!(Arc::ptr_eq(t1, t2), "tuple handles must be shared too");
+        }
+        // The data plane performed zero deep copies serving those hits.
+        let stats = recorder.stats();
+        assert_eq!((stats.clone_events, stats.bytes_cloned), (0, 0));
+        assert_eq!(stats.cache_hits, 2);
     }
 
     #[test]

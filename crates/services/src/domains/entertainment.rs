@@ -356,7 +356,7 @@ mod tests {
             );
         let resp = movie.fetch(&req).unwrap();
         assert_eq!(resp.len(), 20);
-        assert!(resp.has_more);
+        assert!(resp.has_more());
     }
 
     #[test]
@@ -384,11 +384,11 @@ mod tests {
             .bind(AttributePath::atomic("UCountry"), Value::text("Italy"));
         let mut movies = Vec::new();
         for c in 0..5 {
-            movies.extend(movie.fetch(&mreq.at_chunk(c)).unwrap().tuples);
+            movies.extend(movie.fetch(&mreq.at_chunk(c)).unwrap().shared_tuples());
         }
         let mut theatres = Vec::new();
         for c in 0..5 {
-            theatres.extend(theatre.fetch(&treq.at_chunk(c)).unwrap().tuples);
+            theatres.extend(theatre.fetch(&treq.at_chunk(c)).unwrap().shared_tuples());
         }
         assert_eq!((movies.len(), theatres.len()), (100, 25));
         let mschema = &movie.interface().schema;

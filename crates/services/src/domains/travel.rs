@@ -260,7 +260,7 @@ mod tests {
             20,
             "Conference is proliferative with 20 answers on average"
         );
-        assert!(!resp.has_more);
+        assert!(!resp.has_more());
     }
 
     #[test]
@@ -280,7 +280,7 @@ mod tests {
                 );
             let resp = weather.fetch(&req).unwrap();
             assert_eq!(resp.len(), 1);
-            if let Value::Int(t) = resp.tuples[0].atomic_at(2) {
+            if let Value::Int(t) = resp.tuples()[0].atomic_at(2) {
                 if *t > 26 {
                     kept += 1;
                 }
@@ -306,10 +306,10 @@ mod tests {
         let c1 = flight.fetch(&req.at_chunk(1)).unwrap();
         let c2 = flight.fetch(&req.at_chunk(2)).unwrap();
         assert!(
-            c1.tuples.last().unwrap().score > 0.8,
+            c1.tuples().last().unwrap().score > 0.8,
             "inside the h=2 plateau"
         );
-        assert!(c2.tuples[0].score < 0.2, "after the step");
+        assert!(c2.tuples()[0].score < 0.2, "after the step");
     }
 
     #[test]

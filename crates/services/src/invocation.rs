@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use seco_model::{AttributePath, ServiceInterface, Tuple, Value};
+use seco_model::{AttributePath, ServiceInterface, SharedTuple, Tuple, Value};
 
 use crate::error::ServiceError;
 
@@ -104,35 +104,135 @@ impl fmt::Display for Request {
     }
 }
 
-/// One chunk of results returned by a service call.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ChunkResponse {
+/// The immutable payload of one result chunk, shared by every consumer.
+///
+/// A body is built once — by the producing service — and then travels the
+/// data plane behind an `Arc`: the cache stores the same body it hands to
+/// hits, coalesced waiters receive the leader's body, and join pipes index
+/// into it through [`SharedTuple`] handles. Nothing downstream mutates it.
+#[derive(Debug, PartialEq)]
+pub struct ChunkBody {
     /// The tuples of this chunk, in ranking order for search services.
-    pub tuples: Vec<Tuple>,
+    pub tuples: Vec<SharedTuple>,
     /// Whether further chunks exist under the same bindings.
     pub has_more: bool,
+    /// Score of the chunk's head tuple (1.0 for empty chunks) — the
+    /// §4.1 *representative* of the chunk, cached here so tile extraction
+    /// never rescans tuples to price a tile.
+    pub head_score: f64,
+}
+
+impl ChunkBody {
+    /// Builds a body from owned tuples, wrapping each in a shared handle
+    /// and caching the head score.
+    pub fn new(tuples: Vec<Tuple>, has_more: bool) -> Self {
+        ChunkBody::from_shared(tuples.into_iter().map(Arc::new).collect(), has_more)
+    }
+
+    /// Builds a body from already-shared tuples.
+    pub fn from_shared(tuples: Vec<SharedTuple>, has_more: bool) -> Self {
+        let head_score = tuples.first().map_or(1.0, |t| t.score);
+        ChunkBody {
+            tuples,
+            has_more,
+            head_score,
+        }
+    }
+}
+
+/// One chunk of results returned by a service call.
+///
+/// The tuple payload lives in an `Arc`-shared [`ChunkBody`]; cloning a
+/// response is O(1) regardless of chunk size. Only `elapsed_ms` is
+/// per-delivery state (a cache hit re-delivers the same body with zero
+/// elapsed time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkResponse {
+    body: Arc<ChunkBody>,
     /// Simulated elapsed time of this request-response, in milliseconds.
     pub elapsed_ms: f64,
 }
 
 impl ChunkResponse {
-    /// An empty terminal chunk.
-    pub fn empty(elapsed_ms: f64) -> Self {
+    /// A response owning freshly produced tuples.
+    pub fn new(tuples: Vec<Tuple>, has_more: bool, elapsed_ms: f64) -> Self {
         ChunkResponse {
-            tuples: Vec::new(),
-            has_more: false,
+            body: Arc::new(ChunkBody::new(tuples, has_more)),
             elapsed_ms,
         }
     }
 
+    /// A response over already-shared tuples.
+    pub fn from_shared(tuples: Vec<SharedTuple>, has_more: bool, elapsed_ms: f64) -> Self {
+        ChunkResponse {
+            body: Arc::new(ChunkBody::from_shared(tuples, has_more)),
+            elapsed_ms,
+        }
+    }
+
+    /// A response re-delivering an existing body (cache hits, coalesced
+    /// waiters). O(1) in the size of the chunk.
+    pub fn from_body(body: Arc<ChunkBody>, elapsed_ms: f64) -> Self {
+        ChunkResponse { body, elapsed_ms }
+    }
+
+    /// An empty terminal chunk.
+    pub fn empty(elapsed_ms: f64) -> Self {
+        ChunkResponse::new(Vec::new(), false, elapsed_ms)
+    }
+
+    /// The shared body.
+    pub fn body(&self) -> &Arc<ChunkBody> {
+        &self.body
+    }
+
+    /// The tuples of this chunk, in ranking order for search services.
+    pub fn tuples(&self) -> &[SharedTuple] {
+        &self.body.tuples
+    }
+
+    /// Shared handles to the tuples (O(1) per tuple — refcount bumps).
+    pub fn shared_tuples(&self) -> Vec<SharedTuple> {
+        self.body.tuples.clone()
+    }
+
+    /// Whether further chunks exist under the same bindings.
+    pub fn has_more(&self) -> bool {
+        self.body.has_more
+    }
+
+    /// Cached score of the chunk's head tuple (the §4.1 representative).
+    pub fn head_score(&self) -> f64 {
+        self.body.head_score
+    }
+
+    /// Same body, different delivery time (cache hits report 0 ms).
+    pub fn with_elapsed(&self, elapsed_ms: f64) -> Self {
+        ChunkResponse {
+            body: self.body.clone(),
+            elapsed_ms,
+        }
+    }
+
+    /// Rebuilds the response with each tuple transformed — the one
+    /// deep-copying escape hatch, used by ranking decorators that rewrite
+    /// scores below the cache.
+    pub fn map_tuples(&self, mut f: impl FnMut(&Tuple) -> Tuple) -> Self {
+        ChunkResponse::new(
+            self.body.tuples.iter().map(|t| f(t)).collect(),
+            self.body.has_more,
+            self.elapsed_ms,
+        )
+    }
+
     /// Number of tuples in the chunk.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.body.tuples.len()
     }
 
     /// True when the chunk carries no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.body.tuples.is_empty()
     }
 }
 
@@ -238,7 +338,10 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.len(), 0);
         assert_eq!(c.elapsed_ms, 2.0);
-        assert!(!c.has_more);
+        assert!(!c.has_more());
+        // Cloning a response shares the body instead of copying tuples.
+        let d = c.clone();
+        assert!(Arc::ptr_eq(c.body(), d.body()));
     }
 
     #[test]

@@ -39,13 +39,15 @@ impl Service for OpaqueRanking {
     }
 
     fn fetch(&self, request: &Request) -> Result<ChunkResponse, ServiceError> {
-        let mut resp = self.inner.fetch(request)?;
-        for t in &mut resp.tuples {
-            // All scores collapse to 1: order is preserved, magnitude
-            // is gone.
+        let resp = self.inner.fetch(request)?;
+        // All scores collapse to 1: order is preserved, magnitude is gone.
+        // Rewriting scores is the one place the data plane deep-copies a
+        // chunk; it runs below the cache, once per distinct request.
+        Ok(resp.map_tuples(|t| {
+            let mut t = t.clone();
             t.score = 1.0;
-        }
-        Ok(resp)
+            t
+        }))
     }
 }
 
@@ -88,13 +90,16 @@ impl Service for PositionScored {
 
     fn fetch(&self, request: &Request) -> Result<ChunkResponse, ServiceError> {
         let chunk_size = self.inner.interface().stats.chunk_size;
-        let mut resp = self.inner.fetch(request)?;
-        for (offset, t) in resp.tuples.iter_mut().enumerate() {
+        let resp = self.inner.fetch(request)?;
+        let mut offset = 0;
+        Ok(resp.map_tuples(|t| {
             let position = request.chunk * chunk_size + offset;
+            offset += 1;
+            let mut t = t.clone();
             t.source_rank = position;
             t.score = self.score_of_position(position);
-        }
-        Ok(resp)
+            t
+        }))
     }
 }
 
@@ -139,9 +144,12 @@ mod tests {
         let plain = inner.fetch(&req()).unwrap();
         let opaque = OpaqueRanking::new(inner).fetch(&req()).unwrap();
         assert_eq!(plain.len(), opaque.len());
-        assert!(opaque.tuples.iter().all(|t| t.score == 1.0));
+        assert!(opaque.tuples().iter().all(|t| t.score == 1.0));
         // Payload unchanged.
-        assert_eq!(plain.tuples[3].atomic_at(1), opaque.tuples[3].atomic_at(1));
+        assert_eq!(
+            plain.tuples()[3].atomic_at(1),
+            opaque.tuples()[3].atomic_at(1)
+        );
     }
 
     #[test]
@@ -151,22 +159,22 @@ mod tests {
         let c0 = scored.fetch(&req()).unwrap();
         let c1 = scored.fetch(&req().at_chunk(1)).unwrap();
         let mut prev = f64::INFINITY;
-        for t in c0.tuples.iter().chain(&c1.tuples) {
+        for t in c0.tuples().iter().chain(c1.tuples()) {
             assert!(t.score <= prev);
             assert!((0.0..=1.0).contains(&t.score));
             prev = t.score;
         }
         // Positions carry across chunks.
-        assert_eq!(c1.tuples[0].source_rank, 10);
+        assert_eq!(c1.tuples()[0].source_rank, 10);
         // First chunk's head has the best score.
-        assert_eq!(c0.tuples[0].score, 1.0);
+        assert_eq!(c0.tuples()[0].score, 1.0);
     }
 
     #[test]
     fn assumed_total_controls_decay_speed() {
         let opaque: Arc<dyn Service> = Arc::new(OpaqueRanking::new(search_service()));
         let fast = PositionScored::new(opaque).with_assumed_total(10);
-        let last_of_first_chunk = fast.fetch(&req()).unwrap().tuples[9].score;
+        let last_of_first_chunk = fast.fetch(&req()).unwrap().tuples()[9].score;
         assert!(
             last_of_first_chunk <= 0.1 + 1e-12,
             "position 9 of 10 scores near 0"

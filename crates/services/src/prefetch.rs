@@ -124,7 +124,7 @@ impl Prefetcher {
 
     fn speculate(&self, request: &Request, response: &ChunkResponse) {
         let next = request.chunk + 1;
-        if !response.has_more || next >= self.budget {
+        if !response.has_more() || next >= self.budget {
             return;
         }
         if let Some(client) = &self.breaker {
@@ -329,14 +329,7 @@ mod tests {
         // A synthetic "success" path cannot be exercised against a hard
         // outage, so drive speculate() directly: with the breaker open
         // it must refuse to issue.
-        pf.speculate(
-            &req("x"),
-            &ChunkResponse {
-                tuples: Vec::new(),
-                has_more: true,
-                elapsed_ms: 1.0,
-            },
-        );
+        pf.speculate(&req("x"), &ChunkResponse::new(Vec::new(), true, 1.0));
         assert_eq!(pf.issued(), 0);
     }
 }

@@ -55,6 +55,12 @@ pub struct CallStats {
     pub coalesced: u64,
     /// Speculative chunk prefetches issued by the fetch layer.
     pub prefetches: u64,
+    /// Deep copies of tuple data performed anywhere in the data plane
+    /// (the zero-copy plane keeps this at 0 on cache hits; legacy-style
+    /// planes increment it once per copied chunk or row batch).
+    pub clone_events: u64,
+    /// Wire-equivalent bytes deep-copied by those clone events.
+    pub bytes_cloned: u64,
 }
 
 impl serde::Serialize for CallStats {
@@ -80,6 +86,14 @@ impl serde::Serialize for CallStats {
             ("cache_hits".to_string(), self.cache_hits.to_json_value()),
             ("coalesced".to_string(), self.coalesced.to_json_value()),
             ("prefetches".to_string(), self.prefetches.to_json_value()),
+            (
+                "clone_events".to_string(),
+                self.clone_events.to_json_value(),
+            ),
+            (
+                "bytes_cloned".to_string(),
+                self.bytes_cloned.to_json_value(),
+            ),
         ])
     }
 }
@@ -111,6 +125,8 @@ impl CallStats {
         self.cache_hits += other.cache_hits;
         self.coalesced += other.coalesced;
         self.prefetches += other.prefetches;
+        self.clone_events += other.clone_events;
+        self.bytes_cloned += other.bytes_cloned;
     }
 }
 
@@ -173,6 +189,16 @@ impl CallRecorder {
     pub fn note_prefetch(&self) {
         self.stats.lock().prefetches += 1;
     }
+
+    /// Records a deep copy of tuple data (`bytes` in wire-equivalent
+    /// size). The zero-copy plane never calls this on its hot paths; it
+    /// exists so benchmarks and legacy-style decorators can account for
+    /// the copies they make.
+    pub fn note_clone(&self, bytes: usize) {
+        let mut stats = self.stats.lock();
+        stats.clone_events += 1;
+        stats.bytes_cloned += bytes as u64;
+    }
 }
 
 impl Service for CallRecorder {
@@ -187,10 +213,10 @@ impl Service for CallRecorder {
         stats.charged += self.inner.interface().stats.cost_per_call;
         match &result {
             Ok(resp) => {
-                stats.tuples += resp.tuples.len() as u64;
+                stats.tuples += resp.len() as u64;
                 stats.busy_ms += resp.elapsed_ms;
                 stats.max_call_ms = stats.max_call_ms.max(resp.elapsed_ms);
-                stats.bytes += chunk_wire_size(&resp.tuples) as u64;
+                stats.bytes += chunk_wire_size(resp.tuples()) as u64;
             }
             Err(_) => stats.failures += 1,
         }
@@ -310,6 +336,8 @@ mod tests {
             cache_hits: 4,
             coalesced: 2,
             prefetches: 5,
+            clone_events: 6,
+            bytes_cloned: 640,
         };
         a.merge(&b);
         assert_eq!(a.calls, 3);
@@ -324,6 +352,7 @@ mod tests {
             (3, 1, 1, 2)
         );
         assert_eq!((a.cache_hits, a.coalesced, a.prefetches), (4, 2, 5));
+        assert_eq!((a.clone_events, a.bytes_cloned), (6, 640));
         assert_eq!(CallStats::default().mean_call_ms(), 0.0);
     }
 }

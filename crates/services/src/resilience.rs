@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use seco_model::{ServiceInterface, Tuple};
+use seco_model::{ServiceInterface, SharedTuple};
 
 use crate::error::ServiceError;
 use crate::invocation::{Bindings, ChunkResponse, Request, Service};
@@ -404,14 +404,14 @@ impl ServiceClient {
         &self,
         bindings: &Bindings,
         n: usize,
-    ) -> Result<(Vec<Tuple>, usize), ServiceError> {
+    ) -> Result<(Vec<SharedTuple>, usize), ServiceError> {
         let mut tuples = Vec::new();
         let mut calls = 0;
         for c in 0..n {
             let resp = self.fetch(&Request::first(bindings.clone()).at_chunk(c))?;
             calls += 1;
-            let more = resp.has_more;
-            tuples.extend(resp.tuples);
+            let more = resp.has_more();
+            tuples.extend(resp.shared_tuples());
             if !more {
                 break;
             }
@@ -514,11 +514,11 @@ mod tests {
                     detail: format!("flaky call {idx}"),
                 });
             }
-            Ok(ChunkResponse {
-                tuples: Vec::new(),
-                has_more: false,
-                elapsed_ms: self.iface.stats.response_time_ms,
-            })
+            Ok(ChunkResponse::new(
+                Vec::new(),
+                false,
+                self.iface.stats.response_time_ms,
+            ))
         }
     }
 
@@ -537,7 +537,7 @@ mod tests {
             .virtual_clock(clock.clone())
             .build();
         let resp = client.fetch(&req()).unwrap();
-        assert!(!resp.has_more);
+        assert!(!resp.has_more());
         let stats = rec.stats();
         assert_eq!((stats.calls, stats.failures, stats.retries), (3, 2, 2));
         // Two backoffs plus the final call's latency.

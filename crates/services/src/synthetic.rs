@@ -536,11 +536,7 @@ impl Service for SyntheticService {
             // An empty non-terminal chunk: the provider answered but the
             // page carried nothing. Re-fetching the same chunk index may
             // succeed (the decision is per call, not per request).
-            return Ok(ChunkResponse {
-                tuples: Vec::new(),
-                has_more: end < total,
-                elapsed_ms,
-            });
+            return Ok(ChunkResponse::new(Vec::new(), end < total, elapsed_ms));
         }
         let tuples: Vec<Tuple> = (start..end.max(start))
             .map(|i| {
@@ -553,11 +549,7 @@ impl Service for SyntheticService {
                 )
             })
             .collect::<Result<_, _>>()?;
-        Ok(ChunkResponse {
-            has_more: end < total,
-            elapsed_ms,
-            tuples,
-        })
+        Ok(ChunkResponse::new(tuples, end < total, elapsed_ms))
     }
 }
 
@@ -611,9 +603,9 @@ mod tests {
         );
         let a = s.fetch(&request()).unwrap();
         let b = s.fetch(&request()).unwrap();
-        assert_eq!(a.tuples, b.tuples);
+        assert_eq!(a.tuples(), b.tuples());
         assert_eq!(a.len(), 10);
-        assert!(a.has_more);
+        assert!(a.has_more());
     }
 
     #[test]
@@ -627,9 +619,9 @@ mod tests {
         let c1 = s.fetch(&request().at_chunk(1)).unwrap();
         let c2 = s.fetch(&request().at_chunk(2)).unwrap();
         assert_eq!((c0.len(), c1.len(), c2.len()), (10, 10, 5));
-        assert!(c0.has_more && c1.has_more && !c2.has_more);
+        assert!(c0.has_more() && c1.has_more() && !c2.has_more());
         let c3 = s.fetch(&request().at_chunk(3)).unwrap();
-        assert!(c3.is_empty() && !c3.has_more);
+        assert!(c3.is_empty() && !c3.has_more());
     }
 
     #[test]
@@ -649,7 +641,7 @@ mod tests {
         );
         let mut prev = f64::INFINITY;
         for c in 0..3 {
-            for t in s.fetch(&request().at_chunk(c)).unwrap().tuples {
+            for t in s.fetch(&request().at_chunk(c)).unwrap().tuples() {
                 assert!(t.score <= prev + 1e-12);
                 prev = t.score;
             }
@@ -657,8 +649,8 @@ mod tests {
         // Step after one chunk of 10.
         let c0 = s.fetch(&request()).unwrap();
         let c1 = s.fetch(&request().at_chunk(1)).unwrap();
-        assert!(c0.tuples[9].score > 0.8);
-        assert!(c1.tuples[0].score < 0.2);
+        assert!(c0.tuples()[9].score > 0.8);
+        assert!(c1.tuples()[0].score < 0.2);
     }
 
     #[test]
@@ -669,7 +661,7 @@ mod tests {
             7,
         );
         let resp = s.fetch(&request()).unwrap();
-        for t in &resp.tuples {
+        for t in resp.tuples() {
             assert_eq!(t.atomic_at(0), &Value::text("rome"));
         }
     }
@@ -685,7 +677,7 @@ mod tests {
         let b = s
             .fetch(&Request::unbound().bind(AttributePath::atomic("Key"), Value::text("milan")))
             .unwrap();
-        assert_ne!(a.tuples, b.tuples);
+        assert_ne!(a.tuples(), b.tuples());
     }
 
     #[test]
@@ -701,8 +693,8 @@ mod tests {
             )
         };
         let (s1, s2) = (mk(1), mk(2));
-        let a = s1.fetch(&request()).unwrap().tuples;
-        let b = s2.fetch(&request()).unwrap().tuples;
+        let a = s1.fetch(&request()).unwrap().shared_tuples();
+        let b = s2.fetch(&request()).unwrap().shared_tuples();
         let matches = a
             .iter()
             .flat_map(|x| b.iter().map(move |y| (x, y)))
@@ -761,7 +753,7 @@ mod tests {
         )
         .with_rows_per_group(4);
         let resp = s.fetch(&request()).unwrap();
-        assert_eq!(resp.tuples[0].group_at(4).len(), 4);
+        assert_eq!(resp.tuples()[0].group_at(4).len(), 4);
     }
 
     #[test]
@@ -783,9 +775,9 @@ mod tests {
         let s = SyntheticService::new(iface, DomainMap::new(), 1);
         let ok = s.fetch(&Request::unbound()).unwrap();
         assert_eq!(ok.len(), 3);
-        assert!(!ok.has_more);
+        assert!(!ok.has_more());
         // All tuples carry the constant score.
-        assert!(ok.tuples.iter().all(|t| t.score == 0.5));
+        assert!(ok.tuples().iter().all(|t| t.score == 0.5));
         let err = s.fetch(&Request::unbound().at_chunk(1)).unwrap_err();
         assert!(matches!(err, ServiceError::NotChunked { .. }));
     }

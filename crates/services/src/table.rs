@@ -10,16 +10,19 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use seco_model::{ServiceInterface, Tuple, Value};
+use seco_model::{ServiceInterface, SharedTuple, Tuple, Value};
 
 use crate::error::ServiceError;
 use crate::invocation::{ChunkResponse, Request, Service};
 use crate::latency::LatencyModel;
 
 /// A service backed by an explicit tuple list.
+///
+/// Rows are stored as [`SharedTuple`] handles so that serving a chunk
+/// clones references, never tuple data.
 pub struct TableService {
     iface: ServiceInterface,
-    rows: Vec<Tuple>,
+    rows: Vec<SharedTuple>,
     latency: LatencyModel,
     calls: AtomicU64,
 }
@@ -49,7 +52,7 @@ impl TableService {
         };
         Ok(TableService {
             iface,
-            rows,
+            rows: rows.into_iter().map(SharedTuple::new).collect(),
             latency,
             calls: AtomicU64::new(0),
         })
@@ -62,7 +65,7 @@ impl TableService {
     }
 
     /// All rows, unfiltered (oracle access).
-    pub fn rows(&self) -> &[Tuple] {
+    pub fn rows(&self) -> &[SharedTuple] {
         &self.rows
     }
 
@@ -75,7 +78,7 @@ impl TableService {
     /// bound input path; group paths match if *some* row of the group
     /// equals the bound value) and range constraints (applied with
     /// their actual comparator — the table has the real data).
-    fn matching_rows(&self, request: &Request) -> Vec<Tuple> {
+    fn matching_rows(&self, request: &Request) -> Vec<SharedTuple> {
         let schema = &self.iface.schema;
         self.rows
             .iter()
@@ -127,11 +130,11 @@ impl Service for TableService {
         } else {
             Vec::new()
         };
-        Ok(ChunkResponse {
-            has_more: end < matching.len(),
-            elapsed_ms: self.latency.latency_ms(call_idx, request.chunk),
+        Ok(ChunkResponse::from_shared(
             tuples,
-        })
+            end < matching.len(),
+            self.latency.latency_ms(call_idx, request.chunk),
+        ))
     }
 }
 
@@ -242,7 +245,7 @@ mod tests {
         let resp = s.fetch(&req).unwrap();
         assert_eq!(resp.len(), 2);
         assert!(resp
-            .tuples
+            .tuples()
             .iter()
             .all(|t| t.atomic_at(0) == &Value::text("rome")));
     }
@@ -270,7 +273,7 @@ mod tests {
         let c0 = s.fetch(&req).unwrap();
         let c1 = s.fetch(&req.at_chunk(1)).unwrap();
         assert_eq!((c0.len(), c1.len()), (2, 1));
-        assert!(c0.has_more && !c1.has_more);
+        assert!(c0.has_more() && !c1.has_more());
         assert_eq!(s.calls_served(), 2);
     }
 

@@ -78,10 +78,14 @@ pub fn encode_tuple(t: &Tuple) -> Bytes {
 }
 
 /// Total encoded size in bytes of a slice of tuples — the payload a
-/// chunk would occupy on the wire.
-pub fn chunk_wire_size(tuples: &[Tuple]) -> usize {
+/// chunk would occupy on the wire. Accepts both owned (`&[Tuple]`) and
+/// shared (`&[SharedTuple]`) slices.
+pub fn chunk_wire_size<T: std::borrow::Borrow<Tuple>>(tuples: &[T]) -> usize {
     // Per-chunk envelope (status line, framing) modelled as a flat 32 bytes.
-    32 + tuples.iter().map(|t| encode_tuple(t).len()).sum::<usize>()
+    32 + tuples
+        .iter()
+        .map(|t| encode_tuple(t.borrow()).len())
+        .sum::<usize>()
 }
 
 #[cfg(test)]
@@ -137,7 +141,7 @@ mod tests {
 
     #[test]
     fn chunk_size_includes_envelope() {
-        assert_eq!(chunk_wire_size(&[]), 32);
+        assert_eq!(chunk_wire_size::<Tuple>(&[]), 32);
         let s = schema();
         let t = Tuple::builder(&s).build().unwrap();
         let one = chunk_wire_size(std::slice::from_ref(&t));

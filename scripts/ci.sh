@@ -20,4 +20,8 @@ echo "==> fetch_bench --smoke"
 cargo run --release -q -p seco-bench --bin fetch_bench -- --smoke
 cp results/BENCH_fetch.json BENCH_fetch.json
 
+echo "==> join_bench --smoke"
+cargo run --release -q -p seco-bench --bin join_bench -- --smoke
+cp results/BENCH_join.json BENCH_join.json
+
 echo "CI OK"

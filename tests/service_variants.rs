@@ -60,9 +60,9 @@ fn chunked_exact_services_page_without_ranking() {
     let c1 = svc.fetch(&req.at_chunk(1)).unwrap();
     let c2 = svc.fetch(&req.at_chunk(2)).unwrap();
     assert_eq!((c0.len(), c1.len(), c2.len()), (10, 10, 3));
-    assert!(c0.has_more && c1.has_more && !c2.has_more);
+    assert!(c0.has_more() && c1.has_more() && !c2.has_more());
     // Exact ⇒ constant scores everywhere (no relevance order claimed).
-    for t in c0.tuples.iter().chain(&c1.tuples).chain(&c2.tuples) {
+    for t in c0.tuples().iter().chain(c1.tuples()).chain(c2.tuples()) {
         assert_eq!(t.score, 1.0);
     }
 }
