@@ -4,12 +4,41 @@
 //! every supported cost metric: a topology instantiated at the minimal
 //! fetch vector ⟨1, …, 1⟩ costs no more than any of its completions, so
 //! its cost is a valid lower bound for the whole phase-3 subtree. When
-//! that bound is not below the incumbent's cost, the subtree is pruned
+//! that bound exceeds the incumbent's cost, the subtree is pruned
 //! without running phase 3. "The search for the optimal plan can be
 //! stopped at any time, and it will nevertheless return a valid
 //! solution" — [`Optimizer::budget`] implements that anytime behaviour.
+//!
+//! # Parallel search
+//!
+//! Phase-2 topologies are independent branch-and-bound subtrees, so the
+//! driver fans them across a bounded worker pool ([`Optimizer::workers`]):
+//! workers pull (assignment × topology) items off a shared atomic
+//! cursor, share the incumbent cost as an atomic bound (monotonically
+//! decreasing, so a stale read only costs a missed prune, never a wrong
+//! one), and race to improve the incumbent under one mutex.
+//!
+//! The result is **deterministic** — byte-identical across worker
+//! counts and to the serial path — by construction:
+//!
+//! * pruning is *strict* (`lower_bound > incumbent cost`): a topology
+//!   whose completion ties the optimum can never be pruned under any
+//!   schedule, because its lower bound never exceeds the optimal cost;
+//! * among equal-cost completions the winner is the least
+//!   `(cost, canonical plan key, enumeration index)` triple, a total
+//!   order independent of arrival order.
+//!
+//! Every instantiated plan therefore competes in every run, and the
+//! minimum of a fixed set under a total order does not depend on the
+//! schedule.
 
-use seco_plan::{annotate, AnnotatedPlan, AnnotationConfig, QueryPlan};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use seco_plan::{annotate, AnnotatedPlan, AnnotationConfig, DeltaAnnotator, PlanNode, QueryPlan};
 use seco_query::Query;
 use seco_services::ServiceRegistry;
 
@@ -18,7 +47,8 @@ use crate::error::OptError;
 use crate::heuristics::HeuristicSet;
 use crate::phase1::enumerate_assignments;
 use crate::phase2::{enumerate_topologies, DEFAULT_MAX_TOPOLOGIES};
-use crate::phase3::assign_fetches;
+use crate::phase3::{assign_fetches_seeded, assign_fetches_with, AnnotationMemo, Phase3Stats};
+use crate::plan_cache::{query_fingerprint, PlanCache};
 
 /// Exploration statistics of one optimization run (the Fig. 8
 /// experiment data).
@@ -32,6 +62,20 @@ pub struct SearchStats {
     pub instantiated: usize,
     /// Topologies pruned by the lower bound.
     pub pruned: usize,
+    /// Times the shared incumbent bound strictly improved.
+    pub bound_updates: usize,
+    /// Full-plan annotations performed.
+    pub annotate_full: usize,
+    /// Incremental (downstream-cone) annotation propagations.
+    pub annotate_delta: usize,
+    /// Phase-3 trial evaluations answered by the shape/vector memo.
+    pub memo_hits: usize,
+    /// Optimizations answered entirely from the plan cache.
+    pub cache_hits: usize,
+    /// Plan-cache lookups that missed and fell through to the search.
+    pub cache_misses: usize,
+    /// Results inserted into the plan cache.
+    pub cache_inserts: usize,
 }
 
 /// The optimization result: the chosen fully instantiated plan, its
@@ -56,16 +100,129 @@ pub struct Optimizer<'a> {
     pub metric: CostMetric,
     /// Branch-ordering heuristics.
     pub heuristics: HeuristicSet,
-    /// Anytime budget: stop after fully instantiating this many plans
-    /// (`None` = run to exhaustion of the search space).
+    /// Anytime budget: stop once this many plans have been fully
+    /// instantiated *and* a feasible incumbent exists (`None` = run to
+    /// exhaustion of the search space). Under parallel search the
+    /// instantiation counter is global, so the overshoot is bounded by
+    /// the worker count.
     pub budget: Option<usize>,
     /// Cap on enumerated topologies per assignment.
     pub max_topologies: usize,
+    /// Worker threads for the topology fan-out (`1` = serial in the
+    /// calling thread; higher values share the incumbent bound).
+    pub workers: usize,
+    /// Use incremental (delta) annotation in phase 3. Disabled, every
+    /// fetch-factor trial re-annotates the full plan — kept as the
+    /// benchmark baseline.
+    pub incremental: bool,
+    /// Optional cross-run plan cache keyed by structural query
+    /// fingerprint. Skipped when a [`budget`](Self::budget) is set:
+    /// truncated searches are not canonical results worth caching.
+    pub cache: Option<Arc<PlanCache>>,
+}
+
+/// A candidate incumbent: the total tie-break order is
+/// `(cost, canonical key, enumeration index)`, which is
+/// schedule-independent.
+struct Candidate {
+    cost: f64,
+    key: String,
+    item_idx: usize,
+    plan: QueryPlan,
+    annotated: AnnotatedPlan,
+}
+
+impl Candidate {
+    fn beats(&self, other: &Candidate) -> bool {
+        if self.cost != other.cost {
+            return self.cost < other.cost;
+        }
+        if self.key != other.key {
+            return self.key < other.key;
+        }
+        self.item_idx < other.item_idx
+    }
+}
+
+/// State shared by the search workers.
+struct Shared<'s> {
+    /// Pre-enumerated (assignment × topology) work items.
+    items: &'s [QueryPlan],
+    /// Next item to claim.
+    next: AtomicUsize,
+    /// Incumbent cost as f64 bits (monotonically decreasing; stale
+    /// reads weaken pruning but never break it).
+    bound_bits: AtomicU64,
+    /// The incumbent plan; bound updates happen under this lock so the
+    /// bound never drops below the best candidate's cost.
+    best: Mutex<Option<Candidate>>,
+    /// Phase-3 trial memo shared across workers.
+    memo: Mutex<AnnotationMemo>,
+    /// Cooperative stop (budget reached or a worker failed).
+    stop: AtomicBool,
+    /// First hard error, propagated after join.
+    error: Mutex<Option<OptError>>,
+    /// Last infeasible-k outcome, reported when nothing is feasible.
+    unreachable: Mutex<Option<OptError>>,
+    instantiated: AtomicUsize,
+    pruned: AtomicUsize,
+    bound_updates: AtomicUsize,
+    annotate_full: AtomicUsize,
+    annotate_delta: AtomicUsize,
+    memo_hits: AtomicUsize,
+    /// Lower bounds of pruned subtrees, checked against the final
+    /// incumbent in debug builds: a pruned subtree must never contain
+    /// the winner.
+    #[cfg(debug_assertions)]
+    pruned_bounds: Mutex<Vec<f64>>,
+}
+
+impl<'s> Shared<'s> {
+    fn new(items: &'s [QueryPlan]) -> Self {
+        Shared {
+            items,
+            next: AtomicUsize::new(0),
+            bound_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            best: Mutex::new(None),
+            memo: Mutex::new(AnnotationMemo::new()),
+            stop: AtomicBool::new(false),
+            error: Mutex::new(None),
+            unreachable: Mutex::new(None),
+            instantiated: AtomicUsize::new(0),
+            pruned: AtomicUsize::new(0),
+            bound_updates: AtomicUsize::new(0),
+            annotate_full: AtomicUsize::new(0),
+            annotate_delta: AtomicUsize::new(0),
+            memo_hits: AtomicUsize::new(0),
+            #[cfg(debug_assertions)]
+            pruned_bounds: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn bound(&self) -> f64 {
+        f64::from_bits(self.bound_bits.load(Ordering::Relaxed))
+    }
+
+    fn add_phase3(&self, p3: &Phase3Stats) {
+        self.annotate_full
+            .fetch_add(p3.annotate_full, Ordering::Relaxed);
+        self.annotate_delta
+            .fetch_add(p3.annotate_delta, Ordering::Relaxed);
+        self.memo_hits.fetch_add(p3.memo_hits, Ordering::Relaxed);
+    }
+
+    fn fail(&self, e: OptError) {
+        let mut err = self.error.lock();
+        if err.is_none() {
+            *err = Some(e);
+        }
+        self.stop.store(true, Ordering::Release);
+    }
 }
 
 impl<'a> Optimizer<'a> {
-    /// An optimizer with default heuristics, no budget, and the given
-    /// metric.
+    /// An optimizer with default heuristics, no budget, serial search,
+    /// incremental annotation, and the given metric.
     pub fn new(registry: &'a ServiceRegistry, metric: CostMetric) -> Self {
         Optimizer {
             registry,
@@ -73,21 +230,58 @@ impl<'a> Optimizer<'a> {
             heuristics: HeuristicSet::default(),
             budget: None,
             max_topologies: DEFAULT_MAX_TOPOLOGIES,
+            workers: 1,
+            incremental: true,
+            cache: None,
         }
     }
 
     /// Runs the three-phase branch-and-bound and returns the best plan
-    /// found.
+    /// found. With a plan cache attached, a structurally identical
+    /// query under the same registry epoch is answered without
+    /// searching at all.
     pub fn optimize(&self, query: &Query) -> Result<Optimized, OptError> {
-        let config = AnnotationConfig::default();
+        let fingerprint = match &self.cache {
+            Some(cache) if self.budget.is_none() => {
+                let fp = query_fingerprint(
+                    query,
+                    self.registry,
+                    self.metric,
+                    &self.heuristics,
+                    self.max_topologies,
+                );
+                if let Some(hit) = cache.get(fp) {
+                    let mut out = (*hit).clone();
+                    out.stats = SearchStats {
+                        cache_hits: 1,
+                        ..SearchStats::default()
+                    };
+                    return Ok(out);
+                }
+                Some(fp)
+            }
+            _ => None,
+        };
+
+        let mut result = self.search(query)?;
+        if let (Some(cache), Some(fp)) = (&self.cache, fingerprint) {
+            cache.insert(fp, Arc::new(result.clone()));
+            result.stats.cache_misses = 1;
+            result.stats.cache_inserts = 1;
+        }
+        Ok(result)
+    }
+
+    /// The actual search: enumerate phases 1–2, then fan the topologies
+    /// across the worker pool.
+    fn search(&self, query: &Query) -> Result<Optimized, OptError> {
         let mut stats = SearchStats::default();
-        let mut incumbent: Option<Optimized> = None;
-        let mut last_unreachable: Option<OptError> = None;
 
         let assignments = enumerate_assignments(query, self.registry, self.heuristics.phase1)?;
         stats.assignments = assignments.len();
 
-        'search: for assignment in &assignments {
+        let mut items: Vec<QueryPlan> = Vec::new();
+        for assignment in &assignments {
             let topologies = enumerate_topologies(
                 &assignment.query,
                 self.registry,
@@ -95,65 +289,197 @@ impl<'a> Optimizer<'a> {
                 self.heuristics.phase2,
                 self.max_topologies,
             )?;
-            stats.topologies += topologies.len();
+            items.extend(topologies);
+        }
+        stats.topologies = items.len();
 
-            for topology in topologies {
-                // Bounding: the minimal instantiation lower-bounds every
-                // phase-3 completion (metric monotone in F).
-                let lb_ann = annotate(&topology, self.registry, &config)?;
-                let lower_bound = self.metric.evaluate(&topology, &lb_ann, self.registry)?;
-                if let Some(best) = &incumbent {
-                    if lower_bound >= best.cost {
-                        stats.pruned += 1;
-                        continue;
-                    }
+        let shared = Shared::new(&items);
+        let workers = self.workers.max(1).min(items.len().max(1));
+        if workers <= 1 {
+            self.worker(&shared, query.k);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| self.worker(&shared, query.k));
                 }
-                // Phase 3: full instantiation.
-                let mut plan = topology;
-                match assign_fetches(
-                    &mut plan,
-                    self.registry,
-                    query.k,
-                    self.heuristics.phase3,
-                    self.metric,
-                ) {
-                    Ok(annotated) => {
-                        stats.instantiated += 1;
-                        let cost = self.metric.evaluate(&plan, &annotated, self.registry)?;
-                        let better = incumbent.as_ref().map(|b| cost < b.cost).unwrap_or(true);
-                        if better {
-                            incumbent = Some(Optimized {
-                                plan,
-                                annotated,
-                                cost,
-                                stats: SearchStats::default(),
-                            });
+            });
+        }
+
+        if let Some(e) = shared.error.lock().take() {
+            return Err(e);
+        }
+
+        stats.instantiated = shared.instantiated.load(Ordering::Relaxed);
+        stats.pruned = shared.pruned.load(Ordering::Relaxed);
+        stats.bound_updates = shared.bound_updates.load(Ordering::Relaxed);
+        stats.annotate_full = shared.annotate_full.load(Ordering::Relaxed);
+        stats.annotate_delta = shared.annotate_delta.load(Ordering::Relaxed);
+        stats.memo_hits = shared.memo_hits.load(Ordering::Relaxed);
+
+        let best = shared.best.lock().take();
+        match best {
+            Some(candidate) => {
+                // Pruning soundness (debug builds): every pruned
+                // subtree's lower bound must exceed the winning cost —
+                // i.e. the exhaustive winner is never in a pruned
+                // subtree. Strict pruning guarantees this under any
+                // schedule.
+                #[cfg(debug_assertions)]
+                for lb in shared.pruned_bounds.lock().iter() {
+                    debug_assert!(
+                        *lb > candidate.cost,
+                        "pruned a subtree (lb={lb}) that could contain the winner \
+                         (cost={})",
+                        candidate.cost
+                    );
+                }
+                Ok(Optimized {
+                    plan: candidate.plan,
+                    annotated: candidate.annotated,
+                    cost: candidate.cost,
+                    stats,
+                })
+            }
+            None => {
+                let unreachable = shared.unreachable.lock().take();
+                Err(unreachable.unwrap_or(OptError::Unreachable {
+                    best_estimate: 0.0,
+                    k: query.k,
+                }))
+            }
+        }
+    }
+
+    /// Worker loop: claim items off the shared cursor until exhausted
+    /// or stopped.
+    fn worker(&self, shared: &Shared<'_>, k: usize) {
+        loop {
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let idx = shared.next.fetch_add(1, Ordering::Relaxed);
+            let Some(topology) = shared.items.get(idx) else {
+                return;
+            };
+            if let Err(e) = self.process_item(idx, topology, shared, k) {
+                shared.fail(e);
+                return;
+            }
+        }
+    }
+
+    /// Bound and, if surviving, fully instantiate one topology.
+    fn process_item(
+        &self,
+        idx: usize,
+        topology: &QueryPlan,
+        shared: &Shared<'_>,
+        k: usize,
+    ) -> Result<(), OptError> {
+        let config = AnnotationConfig::default();
+        let mut plan = topology.clone();
+        for id in plan.node_ids().collect::<Vec<_>>() {
+            if let PlanNode::Service(s) = plan.node_mut(id)? {
+                s.fetches = 1;
+            }
+        }
+
+        let mut p3 = Phase3Stats::default();
+        let instantiation = if self.incremental {
+            // One full annotation serves both the lower bound and the
+            // phase-3 starting point.
+            let annotator = DeltaAnnotator::new(&plan, self.registry, &config)?;
+            p3.annotate_full += 1;
+            let lower_bound = self
+                .metric
+                .evaluate(&plan, annotator.annotated(), self.registry)?;
+            if lower_bound > shared.bound() {
+                shared.pruned.fetch_add(1, Ordering::Relaxed);
+                #[cfg(debug_assertions)]
+                shared.pruned_bounds.lock().push(lower_bound);
+                shared.add_phase3(&p3);
+                return Ok(());
+            }
+            // Topology-shape hash at ⟨1,…,1⟩: fetch factors live in the
+            // memo's vector key, not the shape.
+            let shape = {
+                let mut h = DefaultHasher::new();
+                plan.canonical_key().hash(&mut h);
+                h.finish()
+            };
+            assign_fetches_seeded(
+                &mut plan,
+                self.registry,
+                k,
+                self.heuristics.phase3,
+                self.metric,
+                annotator,
+                Some((&shared.memo, shape)),
+                &mut p3,
+            )
+        } else {
+            let lb_ann = annotate(&plan, self.registry, &config)?;
+            p3.annotate_full += 1;
+            let lower_bound = self.metric.evaluate(&plan, &lb_ann, self.registry)?;
+            if lower_bound > shared.bound() {
+                shared.pruned.fetch_add(1, Ordering::Relaxed);
+                #[cfg(debug_assertions)]
+                shared.pruned_bounds.lock().push(lower_bound);
+                shared.add_phase3(&p3);
+                return Ok(());
+            }
+            assign_fetches_with(
+                &mut plan,
+                self.registry,
+                k,
+                self.heuristics.phase3,
+                self.metric,
+                false,
+                None,
+                &mut p3,
+            )
+        };
+        shared.add_phase3(&p3);
+
+        match instantiation {
+            Ok(annotated) => {
+                let instantiated = shared.instantiated.fetch_add(1, Ordering::Relaxed) + 1;
+                let cost = self.metric.evaluate(&plan, &annotated, self.registry)?;
+                let candidate = Candidate {
+                    cost,
+                    key: plan.canonical_key(),
+                    item_idx: idx,
+                    plan,
+                    annotated,
+                };
+                {
+                    let mut best = shared.best.lock();
+                    let replace = best.as_ref().map(|b| candidate.beats(b)).unwrap_or(true);
+                    if replace {
+                        if candidate.cost
+                            < f64::from_bits(shared.bound_bits.load(Ordering::Relaxed))
+                        {
+                            shared
+                                .bound_bits
+                                .store(candidate.cost.to_bits(), Ordering::Relaxed);
+                            shared.bound_updates.fetch_add(1, Ordering::Relaxed);
                         }
+                        *best = Some(candidate);
                     }
-                    Err(e @ OptError::Unreachable { .. }) => {
-                        stats.instantiated += 1;
-                        last_unreachable = Some(e);
-                    }
-                    Err(e) => return Err(e),
                 }
                 if let Some(budget) = self.budget {
-                    if stats.instantiated >= budget {
-                        break 'search;
+                    if instantiated >= budget && shared.best.lock().is_some() {
+                        shared.stop.store(true, Ordering::Release);
                     }
                 }
             }
-        }
-
-        match incumbent {
-            Some(mut best) => {
-                best.stats = stats;
-                Ok(best)
+            Err(e @ OptError::Unreachable { .. }) => {
+                shared.instantiated.fetch_add(1, Ordering::Relaxed);
+                *shared.unreachable.lock() = Some(e);
             }
-            None => Err(last_unreachable.unwrap_or(OptError::Unreachable {
-                best_estimate: 0.0,
-                k: query.k,
-            })),
+            Err(e) => return Err(e),
         }
+        Ok(())
     }
 }
 
@@ -287,5 +613,97 @@ mod tests {
         q.k = 10_000_000;
         let err = optimize(&q, &reg, CostMetric::RequestCount).unwrap_err();
         assert!(matches!(err, OptError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn parallel_search_matches_serial_byte_for_byte() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        for metric in CostMetric::all() {
+            let serial = optimize(&q, &reg, metric).unwrap();
+            for workers in [2usize, 4, 8] {
+                let mut opt = Optimizer::new(&reg, metric);
+                opt.workers = workers;
+                let parallel = opt.optimize(&q).unwrap();
+                assert_eq!(
+                    parallel.cost.to_bits(),
+                    serial.cost.to_bits(),
+                    "{metric} workers={workers}"
+                );
+                assert_eq!(
+                    parallel.plan.canonical_key(),
+                    serial.plan.canonical_key(),
+                    "{metric} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_annotation_baseline_finds_the_same_optimum() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        for metric in CostMetric::all() {
+            let incremental = optimize(&q, &reg, metric).unwrap();
+            let mut opt = Optimizer::new(&reg, metric);
+            opt.incremental = false;
+            let full = opt.optimize(&q).unwrap();
+            assert_eq!(full.cost.to_bits(), incremental.cost.to_bits(), "{metric}");
+            assert_eq!(
+                full.plan.canonical_key(),
+                incremental.plan.canonical_key(),
+                "{metric}"
+            );
+            assert!(
+                incremental.stats.annotate_full < full.stats.annotate_full,
+                "{metric}: delta annotation must replace full annotations \
+                 ({} !< {})",
+                incremental.stats.annotate_full,
+                full.stats.annotate_full
+            );
+            assert_eq!(full.stats.annotate_delta, 0);
+        }
+    }
+
+    #[test]
+    fn plan_cache_answers_repeat_queries() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let cache = Arc::new(PlanCache::new());
+        let mut opt = Optimizer::new(&reg, CostMetric::RequestCount);
+        opt.cache = Some(Arc::clone(&cache));
+
+        let cold = opt.optimize(&q).unwrap();
+        assert_eq!(cold.stats.cache_hits, 0);
+        assert_eq!(cold.stats.cache_misses, 1);
+        assert_eq!(cold.stats.cache_inserts, 1);
+        assert_eq!(cache.len(), 1);
+
+        let warm = opt.optimize(&q).unwrap();
+        assert_eq!(warm.stats.cache_hits, 1);
+        assert_eq!(warm.stats.instantiated, 0, "a hit searches nothing");
+        assert_eq!(warm.cost.to_bits(), cold.cost.to_bits());
+        assert_eq!(warm.plan.canonical_key(), cold.plan.canonical_key());
+
+        // A different metric is a different fingerprint.
+        let mut opt2 = Optimizer::new(&reg, CostMetric::ExecutionTime);
+        opt2.cache = Some(Arc::clone(&cache));
+        let other = opt2.optimize(&q).unwrap();
+        assert_eq!(other.stats.cache_misses, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn budgeted_runs_bypass_the_cache() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let cache = Arc::new(PlanCache::new());
+        let mut opt = Optimizer::new(&reg, CostMetric::RequestCount);
+        opt.cache = Some(Arc::clone(&cache));
+        opt.budget = Some(1);
+        let anytime = opt.optimize(&q).unwrap();
+        assert_eq!(anytime.stats.cache_misses, 0);
+        assert_eq!(anytime.stats.cache_inserts, 0);
+        assert!(cache.is_empty(), "truncated results must not be cached");
     }
 }

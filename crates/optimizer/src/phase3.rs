@@ -12,8 +12,22 @@
 //! factor with the highest estimated output gain per unit of cost) and
 //! **square-is-better** (keep the explored tuple counts of all chunked
 //! services balanced).
+//!
+//! Annotation is **incremental** by default: the topology is annotated
+//! once at ⟨1, …, 1⟩ (a [`DeltaAnnotator`]), and every trial or
+//! committed increment propagates only the changed node's downstream
+//! cone. Trial evaluations are additionally memoized across topologies
+//! by (topology shape, fetch vector), so re-instantiating a shape the
+//! search has already explored never re-derives the same estimate. The
+//! legacy full-re-annotation path is kept (`incremental = false`) as
+//! the baseline the `optimizer_bench` delta is measured against.
 
-use seco_plan::{annotate, AnnotatedPlan, AnnotationConfig, NodeId, PlanNode, QueryPlan};
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use seco_plan::{
+    annotate, AnnotatedPlan, AnnotationConfig, DeltaAnnotator, NodeId, PlanNode, QueryPlan,
+};
 use seco_services::ServiceRegistry;
 
 use crate::cost::CostMetric;
@@ -22,6 +36,34 @@ use crate::heuristics::Phase3Heuristic;
 
 /// Safety valve on increment rounds.
 const MAX_ROUNDS: usize = 10_000;
+
+/// Annotation-work counters of one phase-3 run (aggregated into
+/// [`crate::SearchStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Phase3Stats {
+    /// Full-plan annotations (validate + feasibility + every node).
+    pub annotate_full: usize,
+    /// Delta propagations (downstream cone of one changed node).
+    pub annotate_delta: usize,
+    /// Trial evaluations answered by the (shape, fetch-vector) memo.
+    pub memo_hits: usize,
+}
+
+impl Phase3Stats {
+    /// Accumulates another run's counters.
+    pub fn merge(&mut self, other: &Phase3Stats) {
+        self.annotate_full += other.annotate_full;
+        self.annotate_delta += other.annotate_delta;
+        self.memo_hits += other.memo_hits;
+    }
+}
+
+/// Memoized trial estimates keyed by (topology-shape hash, fetch
+/// vector): expected output tuples and metric cost. Shared across the
+/// branch-and-bound's workers under one optimization run (the registry
+/// statistics and metric are fixed for the run, so entries never go
+/// stale within it).
+pub type AnnotationMemo = HashMap<(u64, Vec<u32>), (f64, f64)>;
 
 /// Assigns fetch factors in place until the annotated plan yields at
 /// least `k` expected answers; returns the final annotation.
@@ -36,14 +78,122 @@ pub fn assign_fetches(
     heuristic: Phase3Heuristic,
     metric: CostMetric,
 ) -> Result<AnnotatedPlan, OptError> {
-    let config = AnnotationConfig::default();
+    let mut stats = Phase3Stats::default();
+    assign_fetches_with(plan, registry, k, heuristic, metric, true, None, &mut stats)
+}
+
+/// [`assign_fetches`] with explicit annotation mode, optional memo, and
+/// work counters. `incremental = false` re-annotates the full plan on
+/// every trial (the pre-delta behaviour, kept as the benchmark
+/// baseline).
+#[allow(clippy::too_many_arguments)]
+pub fn assign_fetches_with(
+    plan: &mut QueryPlan,
+    registry: &ServiceRegistry,
+    k: usize,
+    heuristic: Phase3Heuristic,
+    metric: CostMetric,
+    incremental: bool,
+    memo: Option<(&Mutex<AnnotationMemo>, u64)>,
+    stats: &mut Phase3Stats,
+) -> Result<AnnotatedPlan, OptError> {
     // Initialise every factor at the lowest admissible value.
     for id in plan.node_ids().collect::<Vec<_>>() {
         if let PlanNode::Service(s) = plan.node_mut(id)? {
             s.fetches = 1;
         }
     }
+    if incremental {
+        let config = AnnotationConfig::default();
+        let annotator = DeltaAnnotator::new(plan, registry, &config)?;
+        stats.annotate_full += 1;
+        assign_fetches_seeded(plan, registry, k, heuristic, metric, annotator, memo, stats)
+    } else {
+        assign_fetches_full(plan, registry, k, heuristic, metric, stats)
+    }
+}
+
+/// Incremental phase 3 starting from a pre-built annotator positioned
+/// at the plan's current (minimal) fetch vector — the branch-and-bound
+/// reuses the annotator it already built for the lower bound, so a
+/// surviving topology costs exactly one full annotation.
+#[allow(clippy::too_many_arguments)]
+pub fn assign_fetches_seeded(
+    plan: &mut QueryPlan,
+    registry: &ServiceRegistry,
+    k: usize,
+    heuristic: Phase3Heuristic,
+    metric: CostMetric,
+    mut annotator: DeltaAnnotator,
+    memo: Option<(&Mutex<AnnotationMemo>, u64)>,
+    stats: &mut Phase3Stats,
+) -> Result<AnnotatedPlan, OptError> {
+    // Service-node ordinals in node-id order: position of each service
+    // node within the fetch vector (the memo key layout).
+    let service_nodes: Vec<NodeId> = plan
+        .node_ids()
+        .filter(|id| matches!(plan.node(*id), Ok(PlanNode::Service(_))))
+        .collect();
+    let ordinal_of = |id: NodeId| service_nodes.iter().position(|s| *s == id);
+
+    for _ in 0..MAX_ROUNDS {
+        if annotator.output_tuples() >= k as f64 {
+            return Ok(annotator.to_annotated());
+        }
+        let candidates = incrementable(plan, registry)?;
+        if candidates.is_empty() {
+            return Err(OptError::Unreachable {
+                best_estimate: annotator.output_tuples(),
+                k,
+            });
+        }
+        let chosen = match heuristic {
+            Phase3Heuristic::Greedy => pick_greedy_incremental(
+                plan,
+                registry,
+                &mut annotator,
+                &candidates,
+                metric,
+                memo,
+                &ordinal_of,
+                stats,
+            )?,
+            Phase3Heuristic::SquareIsBetter => pick_square(plan, registry, &candidates)?,
+        };
+        let Some(chosen) = chosen else {
+            // No increment improves the estimate: the output is capped
+            // by the data, not by fetching.
+            return Err(OptError::Unreachable {
+                best_estimate: annotator.output_tuples(),
+                k,
+            });
+        };
+        let next = annotator.fetches(chosen).unwrap_or(1) + 1;
+        annotator.set_fetches(chosen, next)?;
+        stats.annotate_delta += 1;
+        if let PlanNode::Service(s) = plan.node_mut(chosen)? {
+            s.fetches = next;
+        }
+    }
+    Err(OptError::Unreachable {
+        best_estimate: annotator.output_tuples(),
+        k,
+    })
+}
+
+/// The legacy full-re-annotation loop (benchmark baseline): every trial
+/// and every committed increment re-annotates the whole plan.
+fn assign_fetches_full(
+    plan: &mut QueryPlan,
+    registry: &ServiceRegistry,
+    k: usize,
+    heuristic: Phase3Heuristic,
+    metric: CostMetric,
+    stats: &mut Phase3Stats,
+) -> Result<AnnotatedPlan, OptError> {
+    let config = AnnotationConfig::default();
     let mut annotated = annotate(plan, registry, &config)?;
+    stats.annotate_full += 1;
 
     for _ in 0..MAX_ROUNDS {
         if annotated.output_tuples >= k as f64 {
@@ -58,13 +208,11 @@ pub fn assign_fetches(
         }
         let chosen = match heuristic {
             Phase3Heuristic::Greedy => {
-                pick_greedy(plan, registry, &annotated, &candidates, metric)?
+                pick_greedy_full(plan, registry, &annotated, &candidates, metric, stats)?
             }
             Phase3Heuristic::SquareIsBetter => pick_square(plan, registry, &candidates)?,
         };
         let Some(chosen) = chosen else {
-            // No increment improves the estimate: the output is capped
-            // by the data, not by fetching.
             return Err(OptError::Unreachable {
                 best_estimate: annotated.output_tuples,
                 k,
@@ -74,6 +222,7 @@ pub fn assign_fetches(
             s.fetches += 1;
         }
         annotated = annotate(plan, registry, &config)?;
+        stats.annotate_full += 1;
     }
     Err(OptError::Unreachable {
         best_estimate: annotated.output_tuples,
@@ -100,13 +249,76 @@ fn incrementable(plan: &QueryPlan, registry: &ServiceRegistry) -> Result<Vec<Nod
     Ok(out)
 }
 
-/// Greedy: the candidate with the highest Δoutput / Δcost.
-fn pick_greedy(
+/// Greedy over delta propagations: each candidate's trial bumps one
+/// factor, reads the new estimate and cost, and reverts — two cone
+/// recomputations instead of two full annotations, unless the (shape,
+/// vector) memo already knows the answer.
+#[allow(clippy::too_many_arguments)]
+fn pick_greedy_incremental(
+    plan: &QueryPlan,
+    registry: &ServiceRegistry,
+    annotator: &mut DeltaAnnotator,
+    candidates: &[NodeId],
+    metric: CostMetric,
+    memo: Option<(&Mutex<AnnotationMemo>, u64)>,
+    ordinal_of: &dyn Fn(NodeId) -> Option<usize>,
+    stats: &mut Phase3Stats,
+) -> Result<Option<NodeId>, OptError> {
+    let base_out = annotator.output_tuples();
+    let base_cost = metric.evaluate(plan, annotator.annotated(), registry)?;
+    let base_vector = annotator.fetch_vector();
+    let mut best: Option<(NodeId, f64)> = None;
+    for &id in candidates {
+        let current = annotator.fetches(id).unwrap_or(1);
+        let (out, cost) = {
+            let trial_key = memo.and_then(|(_, shape)| {
+                let ord = ordinal_of(id)?;
+                let mut v = base_vector.clone();
+                v[ord] += 1;
+                Some((shape, v))
+            });
+            let cached = trial_key
+                .as_ref()
+                .and_then(|key| memo.map(|(m, _)| m.lock().get(key).copied()))
+                .flatten();
+            if let Some(hit) = cached {
+                stats.memo_hits += 1;
+                hit
+            } else {
+                annotator.set_fetches(id, current + 1)?;
+                stats.annotate_delta += 1;
+                let out = annotator.output_tuples();
+                let cost = metric.evaluate(plan, annotator.annotated(), registry)?;
+                annotator.set_fetches(id, current)?;
+                stats.annotate_delta += 1;
+                if let (Some((m, _)), Some(key)) = (memo, trial_key) {
+                    m.lock().insert(key, (out, cost));
+                }
+                (out, cost)
+            }
+        };
+        let gain = out - base_out;
+        if gain <= 0.0 {
+            continue;
+        }
+        let cost_delta = (cost - base_cost).max(1e-9);
+        let sensitivity = gain / cost_delta;
+        if best.map(|(_, s)| sensitivity > s).unwrap_or(true) {
+            best = Some((id, sensitivity));
+        }
+    }
+    Ok(best.map(|(id, _)| id))
+}
+
+/// Greedy over full re-annotations (legacy baseline): the candidate
+/// with the highest Δoutput / Δcost.
+fn pick_greedy_full(
     plan: &QueryPlan,
     registry: &ServiceRegistry,
     current: &AnnotatedPlan,
     candidates: &[NodeId],
     metric: CostMetric,
+    stats: &mut Phase3Stats,
 ) -> Result<Option<NodeId>, OptError> {
     let config = AnnotationConfig::default();
     let base_cost = metric.evaluate(plan, current, registry)?;
@@ -117,6 +329,7 @@ fn pick_greedy(
             s.fetches += 1;
         }
         let ann = annotate(&trial, registry, &config)?;
+        stats.annotate_full += 1;
         let gain = ann.output_tuples - current.output_tuples;
         if gain <= 0.0 {
             continue;
@@ -272,5 +485,86 @@ mod tests {
             }
         };
         assert!(f("T") >= f("M"), "theatre F={} movie F={}", f("T"), f("M"));
+    }
+
+    /// Incremental and full phase 3 must be interchangeable: same fetch
+    /// vector, same annotation, same counters shape.
+    #[test]
+    fn incremental_matches_full_for_both_heuristics() {
+        for h in [Phase3Heuristic::Greedy, Phase3Heuristic::SquareIsBetter] {
+            for k in [1usize, 5, 10, 25] {
+                let (mut p_inc, reg) = parallel_topology();
+                let mut p_full = p_inc.clone();
+                let mut st_inc = Phase3Stats::default();
+                let mut st_full = Phase3Stats::default();
+                let metric = CostMetric::RequestCount;
+                let a =
+                    assign_fetches_with(&mut p_inc, &reg, k, h, metric, true, None, &mut st_inc);
+                let b =
+                    assign_fetches_with(&mut p_full, &reg, k, h, metric, false, None, &mut st_full);
+                match (a, b) {
+                    (Ok(ann_a), Ok(ann_b)) => {
+                        assert_eq!(p_inc, p_full, "{h} k={k}: fetch vectors diverged");
+                        assert_eq!(
+                            ann_a.output_tuples.to_bits(),
+                            ann_b.output_tuples.to_bits(),
+                            "{h} k={k}"
+                        );
+                        assert_eq!(ann_a.calls_by_service, ann_b.calls_by_service);
+                    }
+                    (Err(OptError::Unreachable { .. }), Err(OptError::Unreachable { .. })) => {}
+                    (a, b) => panic!("{h} k={k}: outcomes diverged: {a:?} vs {b:?}"),
+                }
+                assert!(
+                    st_inc.annotate_full <= 1,
+                    "incremental must annotate fully at most once, did {}",
+                    st_inc.annotate_full
+                );
+                if st_full.annotate_full > 1 {
+                    assert!(
+                        st_inc.annotate_delta > 0,
+                        "delta work must replace full work"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The memo answers repeated trial evaluations for the same
+    /// (shape, vector) without propagating.
+    #[test]
+    fn memo_short_circuits_repeated_shapes() {
+        let (plan, reg) = parallel_topology();
+        let memo = Mutex::new(AnnotationMemo::new());
+        let shape = 0xfeed_beefu64;
+        let run = || {
+            let mut p = plan.clone();
+            let mut stats = Phase3Stats::default();
+            assign_fetches_with(
+                &mut p,
+                &reg,
+                10,
+                Phase3Heuristic::Greedy,
+                CostMetric::RequestCount,
+                true,
+                Some((&memo, shape)),
+                &mut stats,
+            )
+            .unwrap();
+            stats
+        };
+        let first = run();
+        assert_eq!(first.memo_hits, 0, "cold memo cannot hit");
+        let second = run();
+        assert!(
+            second.memo_hits > 0,
+            "re-instantiating the same shape must hit the memo"
+        );
+        assert!(
+            second.annotate_delta < first.annotate_delta,
+            "memo hits must replace delta propagations ({} !< {})",
+            second.annotate_delta,
+            first.annotate_delta
+        );
     }
 }

@@ -1,0 +1,235 @@
+//! A sharded cache of optimization results keyed by a structural query
+//! fingerprint.
+//!
+//! Optimization is pure: given the same query shape, the same registry
+//! statistics, the same metric, and the same search configuration, the
+//! branch-and-bound always lands on the same plan. Services in a search
+//! computing deployment answer many instances of the same query
+//! template (same atoms and predicates, different `INPUT` values appear
+//! in the fingerprint through the resolved input map), so re-planning
+//! from scratch on every call wastes the dominant share of latency.
+//!
+//! The fingerprint hashes a *normalized* form of the query AST — atoms,
+//! selections, joins, and pattern references in sorted order, so
+//! clause-order permutations of the same query share a plan — together
+//! with the ranking weights, `k`, the optimizer configuration, and the
+//! registry's [`stats_epoch`](ServiceRegistry::stats_epoch). Any change
+//! to a service's cost statistics rolls the epoch and implicitly
+//! invalidates every cached plan derived from the old estimates.
+//!
+//! The map is sharded by fingerprint (the same contention-splitting
+//! scheme as the fetch layer's request cache), so concurrent lookups
+//! from parallel query sessions do not serialize on one lock.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use seco_query::Query;
+use seco_services::ServiceRegistry;
+
+use crate::bnb::Optimized;
+use crate::cost::CostMetric;
+use crate::heuristics::HeuristicSet;
+
+/// Number of independent shards. Lookups hash to one shard, so up to
+/// this many threads can hit the cache without contending.
+const SHARD_COUNT: usize = 16;
+
+/// Sharded fingerprint → optimized-plan cache, shared across query
+/// sessions via `Arc`.
+pub struct PlanCache {
+    shards: Vec<Mutex<HashMap<u64, Arc<Optimized>>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, fingerprint: u64) -> &Mutex<HashMap<u64, Arc<Optimized>>> {
+        &self.shards[(fingerprint % SHARD_COUNT as u64) as usize]
+    }
+
+    /// Looks up a cached result.
+    pub fn get(&self, fingerprint: u64) -> Option<Arc<Optimized>> {
+        self.shard(fingerprint).lock().get(&fingerprint).cloned()
+    }
+
+    /// Stores a result (last writer wins on a fingerprint collision
+    /// between concurrent planners — both computed the same plan).
+    pub fn insert(&self, fingerprint: u64, plan: Arc<Optimized>) {
+        self.shard(fingerprint).lock().insert(fingerprint, plan);
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Structural fingerprint of one optimization problem: normalized query
+/// AST + ranking + `k` + optimizer configuration + registry statistics
+/// epoch.
+pub fn query_fingerprint(
+    query: &Query,
+    registry: &ServiceRegistry,
+    metric: CostMetric,
+    heuristics: &HeuristicSet,
+    max_topologies: usize,
+) -> u64 {
+    let mut h = DefaultHasher::new();
+
+    // Atoms, selections, joins, and pattern references in sorted order:
+    // clause permutations of the same query normalize to one key.
+    let mut atoms: Vec<String> = query
+        .atoms
+        .iter()
+        .map(|a| format!("{}={}", a.alias, a.service))
+        .collect();
+    atoms.sort();
+    atoms.hash(&mut h);
+
+    let mut selections: Vec<String> = query.selections.iter().map(|s| s.to_string()).collect();
+    selections.sort();
+    selections.hash(&mut h);
+
+    let mut joins: Vec<String> = query.joins.iter().map(|j| j.to_string()).collect();
+    joins.sort();
+    joins.hash(&mut h);
+
+    let mut patterns: Vec<String> = query.patterns.iter().map(|p| p.to_string()).collect();
+    patterns.sort();
+    patterns.hash(&mut h);
+
+    // Inputs are a BTreeMap: already canonically ordered.
+    for (name, value) in &query.inputs {
+        name.hash(&mut h);
+        value.to_string().hash(&mut h);
+    }
+
+    for w in query.ranking.weights() {
+        w.to_bits().hash(&mut h);
+    }
+    query.k.hash(&mut h);
+
+    // Search configuration: a different metric or heuristic set may
+    // legitimately choose a different plan.
+    format!("{metric:?}").hash(&mut h);
+    format!("{heuristics:?}").hash(&mut h);
+    max_topologies.hash(&mut h);
+
+    registry.stats_epoch().hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_query::builder::running_example;
+    use seco_services::domains::entertainment;
+
+    fn setup() -> (Query, ServiceRegistry) {
+        (running_example(), entertainment::build_registry(1).unwrap())
+    }
+
+    #[test]
+    fn fingerprint_is_stable_for_the_same_query() {
+        let (q, reg) = setup();
+        let h = HeuristicSet::default();
+        let a = query_fingerprint(&q, &reg, CostMetric::RequestCount, &h, 256);
+        let b = query_fingerprint(&q.clone(), &reg, CostMetric::RequestCount, &h, 256);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_normalizes_clause_order() {
+        let (q, reg) = setup();
+        let mut permuted = q.clone();
+        permuted.atoms.reverse();
+        permuted.selections.reverse();
+        permuted.patterns.reverse();
+        let h = HeuristicSet::default();
+        assert_eq!(
+            query_fingerprint(&q, &reg, CostMetric::RequestCount, &h, 256),
+            query_fingerprint(&permuted, &reg, CostMetric::RequestCount, &h, 256),
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_metric_k_and_configuration() {
+        let (q, reg) = setup();
+        let h = HeuristicSet::default();
+        let base = query_fingerprint(&q, &reg, CostMetric::RequestCount, &h, 256);
+        assert_ne!(
+            base,
+            query_fingerprint(&q, &reg, CostMetric::ExecutionTime, &h, 256)
+        );
+        let mut more_k = q.clone();
+        more_k.k += 1;
+        assert_ne!(
+            base,
+            query_fingerprint(&more_k, &reg, CostMetric::RequestCount, &h, 256)
+        );
+        assert_ne!(
+            base,
+            query_fingerprint(&q, &reg, CostMetric::RequestCount, &h, 128)
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_registry_epoch() {
+        let (q, _) = setup();
+        // Two registries with different replication factors expose
+        // different service populations / statistics.
+        let reg1 = entertainment::build_registry(1).unwrap();
+        let reg2 = entertainment::build_registry(2).unwrap();
+        let h = HeuristicSet::default();
+        if reg1.stats_epoch() != reg2.stats_epoch() {
+            assert_ne!(
+                query_fingerprint(&q, &reg1, CostMetric::RequestCount, &h, 256),
+                query_fingerprint(&q, &reg2, CostMetric::RequestCount, &h, 256),
+            );
+        }
+    }
+
+    #[test]
+    fn cache_round_trips_and_clears() {
+        let cache = PlanCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.get(42).is_none());
+        let (q, reg) = setup();
+        let opt = crate::bnb::optimize(&q, &reg, CostMetric::RequestCount).unwrap();
+        cache.insert(42, Arc::new(opt));
+        assert_eq!(cache.len(), 1);
+        let hit = cache.get(42).unwrap();
+        assert!(hit.cost > 0.0);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -77,12 +77,45 @@ impl AnnotatedPlan {
     pub fn total_calls(&self) -> f64 {
         self.calls_by_service.values().sum()
     }
+
+    /// Assembles an annotated plan from precomputed parts (the
+    /// incremental annotator maintains one in place).
+    pub(crate) fn from_parts(
+        annotations: Vec<Annotation>,
+        calls_by_service: BTreeMap<String, f64>,
+        output_tuples: f64,
+    ) -> Self {
+        AnnotatedPlan {
+            annotations,
+            calls_by_service,
+            output_tuples,
+        }
+    }
+
+    /// In-place update of one node's annotation (incremental annotator
+    /// only; keeps `calls_by_service`/`output_tuples` the caller's job).
+    pub(crate) fn set_annotation(&mut self, idx: usize, ann: Annotation) {
+        if idx < self.annotations.len() {
+            self.annotations[idx] = ann;
+        }
+    }
+
+    /// Replaces the per-service call sums (incremental annotator only).
+    pub(crate) fn set_calls_by_service(&mut self, calls: BTreeMap<String, f64>) {
+        self.calls_by_service = calls;
+    }
+
+    /// Replaces the cached output-tuple estimate (incremental annotator
+    /// only).
+    pub(crate) fn set_output_tuples(&mut self, tuples: f64) {
+        self.output_tuples = tuples;
+    }
 }
 
 /// Computes the pipe-join selectivity applying to a service node: the
 /// product of the join selectivities between this atom and each distinct
 /// atom that pipes values into it.
-fn pipe_selectivity(
+pub(crate) fn pipe_selectivity(
     plan: &QueryPlan,
     registry: &ServiceRegistry,
     report: &FeasibilityReport,
@@ -256,7 +289,7 @@ pub fn back_propagate(
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::dag::QueryPlan;
     use crate::node::{Completion, Invocation, JoinSpec, PlanNode, SelectionNode, ServiceNode};

@@ -148,6 +148,70 @@ impl QueryPlan {
         out
     }
 
+    /// A canonical structural key of the fully specified plan: node
+    /// kinds, atoms, services, fetch factors, keep-first flags, and
+    /// join strategies, rendered from the output node with the branch
+    /// subkeys of every parallel join sorted. Two plans that differ
+    /// only in node insertion order map to the same key, so the key is
+    /// a schedule-independent tie-breaker for equal-cost plans in the
+    /// parallel branch-and-bound.
+    pub fn canonical_key(&self) -> String {
+        fn key_of(plan: &QueryPlan, id: NodeId) -> String {
+            match plan.node(id) {
+                Ok(PlanNode::Input) => "I".to_owned(),
+                Ok(PlanNode::Output) => {
+                    let preds = plan.predecessors(id);
+                    format!("O({})", key_of(plan, preds[0]))
+                }
+                Ok(PlanNode::Service(s)) => {
+                    let preds = plan.predecessors(id);
+                    format!(
+                        "S[{}={},F={},kf={}]({})",
+                        s.atom,
+                        s.service,
+                        s.fetches,
+                        u8::from(s.keep_first),
+                        key_of(plan, preds[0])
+                    )
+                }
+                Ok(PlanNode::Selection(s)) => {
+                    let preds = plan.predecessors(id);
+                    let mut clauses: Vec<String> = s
+                        .predicates
+                        .iter()
+                        .map(|p| p.to_string())
+                        .chain(s.join_predicates.iter().map(|p| p.to_string()))
+                        .collect();
+                    clauses.sort();
+                    format!(
+                        "F[{};sel={:x}]({})",
+                        clauses.join(","),
+                        s.selectivity.to_bits(),
+                        key_of(plan, preds[0])
+                    )
+                }
+                Ok(PlanNode::ParallelJoin(spec)) => {
+                    let preds = plan.predecessors(id);
+                    let mut subs: Vec<String> = preds.iter().map(|p| key_of(plan, *p)).collect();
+                    subs.sort();
+                    let mut clauses: Vec<String> =
+                        spec.predicates.iter().map(|p| p.to_string()).collect();
+                    clauses.sort();
+                    format!(
+                        "J[{},{},{};sel={:x}]({})",
+                        spec.invocation,
+                        spec.completion,
+                        clauses.join(","),
+                        spec.selectivity.to_bits(),
+                        subs.join("|")
+                    )
+                }
+                Err(_) => "?".to_owned(),
+            }
+        }
+        key_of(self, self.output())
+    }
+
     /// Topological order (input first). Errors on cycles.
     pub fn topo_order(&self) -> Result<Vec<NodeId>, PlanError> {
         let n = self.nodes.len();

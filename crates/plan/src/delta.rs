@@ -1,0 +1,434 @@
+//! Incremental (delta) cardinality annotation.
+//!
+//! Phase 3 of the optimizer perturbs exactly one fetch factor per trial
+//! and re-reads the plan's expected output and cost. A full
+//! [`annotate`](crate::annotate::annotate) re-validates the plan,
+//! re-runs feasibility analysis, and re-derives every node — all of
+//! which is invariant across trials. The [`DeltaAnnotator`] does that
+//! work once, then propagates a fetch-factor change only through the
+//! *downstream cone* of the changed node (the nodes reachable from it),
+//! reusing every other node's annotation unchanged.
+//!
+//! The arithmetic is byte-for-byte the same as the full annotator: the
+//! same operations in the same order on the same `f64`s, so a delta
+//! propagation and a full re-annotation agree exactly (property-tested
+//! in `tests/optimizer_parallel.rs`), which is what lets the parallel
+//! branch-and-bound stay byte-identical to the serial one.
+
+use std::collections::BTreeMap;
+
+use seco_query::feasibility::analyze;
+use seco_services::ServiceRegistry;
+
+use crate::annotate::{pipe_selectivity, AnnotatedPlan, Annotation, AnnotationConfig};
+use crate::dag::{NodeId, QueryPlan};
+use crate::error::PlanError;
+use crate::node::PlanNode;
+
+/// Everything the annotation arithmetic needs about one node, resolved
+/// once at construction so propagation touches no registry, query, or
+/// feasibility state.
+#[derive(Debug, Clone)]
+enum NodeParams {
+    Input,
+    Output,
+    Selection {
+        selectivity: f64,
+    },
+    Join {
+        selectivity: f64,
+        coverage: f64,
+    },
+    Service {
+        service: String,
+        fetches: u32,
+        keep_first: bool,
+        chunked: bool,
+        chunk_size: f64,
+        avg_cardinality: f64,
+        pipe_selectivity: f64,
+    },
+}
+
+/// An annotated plan that can be re-annotated incrementally after a
+/// fetch-factor change, recomputing only the changed node's downstream
+/// cone.
+#[derive(Debug, Clone)]
+pub struct DeltaAnnotator {
+    params: Vec<NodeParams>,
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    /// Topological order of node indices (same order the full annotator
+    /// walks).
+    topo: Vec<usize>,
+    /// Node index → position in `topo` (cone nodes are recomputed in
+    /// this order).
+    topo_pos: Vec<usize>,
+    output: usize,
+    cap_by_total: bool,
+    ann: AnnotatedPlan,
+    /// Node annotations recomputed by delta propagations (observable
+    /// work; a full annotation recomputes `len()` nodes).
+    nodes_recomputed: usize,
+    /// Delta propagations performed.
+    propagations: usize,
+}
+
+impl DeltaAnnotator {
+    /// Builds the annotator: one full annotation pass plus the cached
+    /// per-node parameters. Equivalent to
+    /// [`annotate`](crate::annotate::annotate) at the plan's current
+    /// fetch vector.
+    pub fn new(
+        plan: &QueryPlan,
+        registry: &ServiceRegistry,
+        config: &AnnotationConfig,
+    ) -> Result<Self, PlanError> {
+        plan.validate()?;
+        let report = analyze(&plan.query, registry)?;
+        let n = plan.len();
+        let mut params = Vec::with_capacity(n);
+        for id in plan.node_ids() {
+            let p = match plan.node(id)? {
+                PlanNode::Input => NodeParams::Input,
+                PlanNode::Output => NodeParams::Output,
+                PlanNode::Selection(sel) => NodeParams::Selection {
+                    selectivity: sel.selectivity,
+                },
+                PlanNode::ParallelJoin(spec) => NodeParams::Join {
+                    selectivity: spec.selectivity,
+                    coverage: spec.completion.coverage_factor(),
+                },
+                PlanNode::Service(node) => {
+                    let iface = registry
+                        .interface(&node.service)
+                        .map_err(|e| PlanError::Query(e.into()))?;
+                    NodeParams::Service {
+                        service: node.service.clone(),
+                        fetches: node.fetches,
+                        keep_first: node.keep_first,
+                        chunked: iface.kind.is_chunked(),
+                        chunk_size: iface.stats.chunk_size as f64,
+                        avg_cardinality: iface.stats.avg_cardinality,
+                        pipe_selectivity: pipe_selectivity(plan, registry, &report, &node.atom)?,
+                    }
+                }
+            };
+            params.push(p);
+        }
+        let preds: Vec<Vec<usize>> = plan
+            .node_ids()
+            .map(|id| plan.predecessors(id).iter().map(|p| p.0).collect())
+            .collect();
+        let succs: Vec<Vec<usize>> = plan
+            .node_ids()
+            .map(|id| plan.successors(id).iter().map(|s| s.0).collect())
+            .collect();
+        let topo: Vec<usize> = plan.topo_order()?.iter().map(|id| id.0).collect();
+        let mut topo_pos = vec![0usize; n];
+        for (pos, &node) in topo.iter().enumerate() {
+            topo_pos[node] = pos;
+        }
+        let mut out = DeltaAnnotator {
+            params,
+            preds,
+            succs,
+            topo,
+            topo_pos,
+            output: plan.output().0,
+            cap_by_total: config.cap_by_total,
+            ann: AnnotatedPlan::from_parts(vec![Annotation::default(); n], BTreeMap::new(), 0.0),
+            nodes_recomputed: 0,
+            propagations: 0,
+        };
+        out.recompute_all();
+        Ok(out)
+    }
+
+    /// The current annotation (kept consistent with every applied
+    /// fetch-factor change).
+    pub fn annotated(&self) -> &AnnotatedPlan {
+        &self.ann
+    }
+
+    /// A detached copy of the current annotation.
+    pub fn to_annotated(&self) -> AnnotatedPlan {
+        self.ann.clone()
+    }
+
+    /// Expected tuples delivered to the output node.
+    pub fn output_tuples(&self) -> f64 {
+        self.ann.output_tuples
+    }
+
+    /// The fetch factor of a service node, `None` for other kinds.
+    pub fn fetches(&self, id: NodeId) -> Option<u32> {
+        match self.params.get(id.0) {
+            Some(NodeParams::Service { fetches, .. }) => Some(*fetches),
+            _ => None,
+        }
+    }
+
+    /// The fetch factors of every service node, in node-id order (the
+    /// memoization key of a trial state).
+    pub fn fetch_vector(&self) -> Vec<u32> {
+        self.params
+            .iter()
+            .filter_map(|p| match p {
+                NodeParams::Service { fetches, .. } => Some(*fetches),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Node annotations recomputed by delta propagations so far.
+    pub fn nodes_recomputed(&self) -> usize {
+        self.nodes_recomputed
+    }
+
+    /// Delta propagations performed so far.
+    pub fn propagations(&self) -> usize {
+        self.propagations
+    }
+
+    /// Sets a service node's fetch factor and re-annotates only its
+    /// downstream cone. Errors when `id` is not a service node.
+    pub fn set_fetches(&mut self, id: NodeId, fetches: u32) -> Result<(), PlanError> {
+        match self.params.get_mut(id.0) {
+            Some(NodeParams::Service { fetches: f, .. }) => *f = fetches,
+            Some(_) | None => {
+                return Err(PlanError::Invalid {
+                    detail: format!("{id} is not a service node"),
+                })
+            }
+        }
+        self.propagate_from(id.0);
+        Ok(())
+    }
+
+    /// Recomputes every node (construction and testing).
+    fn recompute_all(&mut self) {
+        for i in 0..self.topo.len() {
+            let node = self.topo[i];
+            let ann = self.compute_node(node);
+            self.ann.set_annotation(node, ann);
+        }
+        self.resum();
+    }
+
+    /// Re-derives `calls_by_service` and `output_tuples` from the node
+    /// annotations, accumulating in topological order — the exact
+    /// summation order (and therefore the exact `f64` results) of the
+    /// full annotator.
+    fn resum(&mut self) {
+        let mut calls: BTreeMap<String, f64> = BTreeMap::new();
+        for &node in &self.topo {
+            if let NodeParams::Service { service, .. } = &self.params[node] {
+                *calls.entry(service.clone()).or_insert(0.0) +=
+                    self.ann.annotation(NodeId(node)).calls;
+            }
+        }
+        self.ann.set_calls_by_service(calls);
+        let out = self.ann.annotation(NodeId(self.output)).tout;
+        self.ann.set_output_tuples(out);
+    }
+
+    /// Re-annotates the downstream cone of `start` (inclusive), in
+    /// topological order, adjusting `calls_by_service` by the per-node
+    /// call deltas.
+    fn propagate_from(&mut self, start: usize) {
+        self.propagations += 1;
+        // Collect the cone: every node reachable from `start`.
+        let mut in_cone = vec![false; self.params.len()];
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            if in_cone[n] {
+                continue;
+            }
+            in_cone[n] = true;
+            stack.extend(self.succs[n].iter().copied());
+        }
+        // Recompute cone members in global topological order so every
+        // predecessor (in or out of the cone) is final when read.
+        let mut cone: Vec<usize> = (0..self.params.len()).filter(|&n| in_cone[n]).collect();
+        cone.sort_by_key(|&n| self.topo_pos[n]);
+        for node in cone {
+            let new = self.compute_node(node);
+            self.nodes_recomputed += 1;
+            self.ann.set_annotation(node, new);
+        }
+        self.resum();
+    }
+
+    /// One node's annotation from its predecessors' — the exact
+    /// arithmetic of the full annotator, in the same operation order.
+    fn compute_node(&self, node: usize) -> Annotation {
+        let preds = &self.preds[node];
+        match &self.params[node] {
+            NodeParams::Input => Annotation {
+                tin: 1.0,
+                tout: 1.0,
+                calls: 0.0,
+            },
+            NodeParams::Output => {
+                let tin = self.ann.annotation(NodeId(preds[0])).tout;
+                Annotation {
+                    tin,
+                    tout: tin,
+                    calls: 0.0,
+                }
+            }
+            NodeParams::Selection { selectivity } => {
+                let tin = self.ann.annotation(NodeId(preds[0])).tout;
+                Annotation {
+                    tin,
+                    tout: tin * selectivity,
+                    calls: 0.0,
+                }
+            }
+            NodeParams::Join {
+                selectivity,
+                coverage,
+            } => {
+                let tl = self.ann.annotation(NodeId(preds[0])).tout;
+                let tr = self.ann.annotation(NodeId(preds[1])).tout;
+                let candidates = tl * tr * coverage;
+                Annotation {
+                    tin: candidates,
+                    tout: candidates * selectivity,
+                    calls: 0.0,
+                }
+            }
+            NodeParams::Service {
+                fetches,
+                keep_first,
+                chunked,
+                chunk_size,
+                avg_cardinality,
+                pipe_selectivity,
+                ..
+            } => {
+                let tin = self.ann.annotation(NodeId(preds[0])).tout;
+                let calls = tin * *fetches as f64;
+                let per_input = if *keep_first {
+                    1.0
+                } else if *chunked {
+                    let fetched = chunk_size * *fetches as f64;
+                    if self.cap_by_total {
+                        fetched.min(avg_cardinality.max(1.0))
+                    } else {
+                        fetched
+                    }
+                } else {
+                    *avg_cardinality
+                };
+                Annotation {
+                    tin,
+                    tout: tin * pipe_selectivity * per_input,
+                    calls,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate;
+    use crate::node::{PlanNode, ServiceNode};
+    use seco_query::builder::running_example;
+    use seco_services::domains::entertainment;
+
+    /// The Fig. 10 plan from the annotate tests.
+    fn fig10() -> (QueryPlan, ServiceRegistry) {
+        let reg = entertainment::build_registry(1).unwrap();
+        (crate::annotate::tests::fig10_plan(), reg)
+    }
+
+    fn assert_same(a: &AnnotatedPlan, b: &AnnotatedPlan, plan: &QueryPlan) {
+        for id in plan.node_ids() {
+            let (x, y) = (a.annotation(id), b.annotation(id));
+            assert_eq!(x.tin.to_bits(), y.tin.to_bits(), "{id} tin");
+            assert_eq!(x.tout.to_bits(), y.tout.to_bits(), "{id} tout");
+            assert_eq!(x.calls.to_bits(), y.calls.to_bits(), "{id} calls");
+        }
+        assert_eq!(a.output_tuples.to_bits(), b.output_tuples.to_bits());
+        assert_eq!(a.calls_by_service, b.calls_by_service);
+    }
+
+    #[test]
+    fn construction_matches_full_annotation() {
+        let (plan, reg) = fig10();
+        let config = AnnotationConfig::default();
+        let full = annotate(&plan, &reg, &config).unwrap();
+        let delta = DeltaAnnotator::new(&plan, &reg, &config).unwrap();
+        assert_same(&full, delta.annotated(), &plan);
+    }
+
+    #[test]
+    fn single_change_matches_full_reannotation_bit_for_bit() {
+        let (mut plan, reg) = fig10();
+        let config = AnnotationConfig::default();
+        let mut delta = DeltaAnnotator::new(&plan, &reg, &config).unwrap();
+        let m = plan.service_node_of("M").unwrap();
+        for f in [2u32, 7, 1, 3] {
+            delta.set_fetches(m, f).unwrap();
+            if let PlanNode::Service(s) = plan.node_mut(m).unwrap() {
+                s.fetches = f;
+            }
+            let full = annotate(&plan, &reg, &config).unwrap();
+            assert_same(&full, delta.annotated(), &plan);
+        }
+    }
+
+    #[test]
+    fn propagation_touches_only_the_downstream_cone() {
+        let (plan, reg) = fig10();
+        let config = AnnotationConfig::default();
+        let mut delta = DeltaAnnotator::new(&plan, &reg, &config).unwrap();
+        // The Theatre branch is upstream-independent of Movie: changing
+        // Movie's factor must not recompute Theatre.
+        let m = plan.service_node_of("M").unwrap();
+        let before = delta.nodes_recomputed();
+        delta.set_fetches(m, 4).unwrap();
+        let touched = delta.nodes_recomputed() - before;
+        assert!(
+            touched < plan.len(),
+            "cone ({touched} nodes) must be smaller than the plan ({})",
+            plan.len()
+        );
+        // M, join, R, output — but neither Input nor T.
+        assert_eq!(touched, 4, "M → join → R → output");
+    }
+
+    #[test]
+    fn non_service_nodes_are_rejected() {
+        let (plan, reg) = fig10();
+        let mut delta = DeltaAnnotator::new(&plan, &reg, &AnnotationConfig::default()).unwrap();
+        assert!(delta.set_fetches(plan.input(), 2).is_err());
+        assert!(delta.set_fetches(plan.output(), 2).is_err());
+    }
+
+    #[test]
+    fn fetch_vector_tracks_changes() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let mut p = QueryPlan::new(q);
+        let m = p.add(PlanNode::Service(ServiceNode::new("M", "Movie1")));
+        let t = p.add(PlanNode::Service(ServiceNode::new("T", "Theatre1")));
+        let r = p.add(PlanNode::Service(
+            ServiceNode::new("R", "Restaurant1").with_keep_first(),
+        ));
+        p.connect(p.input(), m).unwrap();
+        p.connect(m, t).unwrap();
+        p.connect(t, r).unwrap();
+        p.connect(r, p.output()).unwrap();
+        let mut delta = DeltaAnnotator::new(&p, &reg, &AnnotationConfig::default()).unwrap();
+        assert_eq!(delta.fetch_vector(), vec![1, 1, 1]);
+        delta.set_fetches(t, 3).unwrap();
+        assert_eq!(delta.fetch_vector(), vec![1, 3, 1]);
+        assert_eq!(delta.fetches(t), Some(3));
+        assert_eq!(delta.propagations(), 1);
+    }
+}

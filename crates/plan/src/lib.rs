@@ -16,12 +16,14 @@
 
 pub mod annotate;
 pub mod dag;
+pub mod delta;
 pub mod display;
 pub mod error;
 pub mod node;
 
 pub use annotate::{annotate, back_propagate, AnnotatedPlan, Annotation, AnnotationConfig};
 pub use dag::{NodeId, QueryPlan};
+pub use delta::DeltaAnnotator;
 pub use error::PlanError;
 pub use node::{Completion, Invocation, JoinSpec, PlanNode, SelectionNode, ServiceNode};
 

@@ -131,6 +131,32 @@ impl ServiceRegistry {
             s.reset();
         }
     }
+
+    /// Fingerprint of the cost-model-relevant registry state: every
+    /// interface's name, mart, behaviour flags, and statistics, in name
+    /// order. Cached optimizer plans are keyed on this epoch — a plan
+    /// derived under one set of statistics is invalid under another,
+    /// because the annotation (and therefore the cost ranking) changes
+    /// with the estimates.
+    pub fn stats_epoch(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for name in self.services.keys() {
+            let Ok(iface) = self.interface(name) else {
+                continue;
+            };
+            iface.name.hash(&mut h);
+            iface.mart.hash(&mut h);
+            iface.kind.is_search().hash(&mut h);
+            iface.kind.is_chunked().hash(&mut h);
+            iface.stats.avg_cardinality.to_bits().hash(&mut h);
+            iface.stats.chunk_size.hash(&mut h);
+            iface.stats.response_time_ms.to_bits().hash(&mut h);
+            iface.stats.cost_per_call.to_bits().hash(&mut h);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]

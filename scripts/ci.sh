@@ -24,4 +24,8 @@ echo "==> join_bench --smoke"
 cargo run --release -q -p seco-bench --bin join_bench -- --smoke
 cp results/BENCH_join.json BENCH_join.json
 
+echo "==> optimizer_bench --smoke"
+cargo run --release -q -p seco-bench --bin optimizer_bench -- --smoke
+cp results/BENCH_optimizer.json BENCH_optimizer.json
+
 echo "CI OK"

@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! seco services  [--domain entertainment|travel] [--seed N]
-//! seco explain   [--domain D] [--metric M] [--seed N] <query…>
+//! seco explain   [--domain D] [--metric M] [--seed N] [--workers N] <query…>
+//! seco optimize  [--domain D] [--metric M] [--seed N] [--workers N] <query…>
 //! seco run       [--domain D] [--metric M] [--seed N] [--parallel]
 //!                [--fault-profile none|flaky|outage] [--deadline-ms N]
 //!                [--cache-shards N] [--prefetch] <query…>
 //! seco oracle    [--domain D] [--seed N] <query…>
 //! ```
+//!
+//! `optimize` (and `explain`, its superset) runs the parallel
+//! branch-and-bound: `--workers N` fans phase-2 topologies across N
+//! threads sharing the incumbent bound — the winning plan is
+//! byte-identical at every worker count. Both print the search,
+//! annotation, and plan-cache counters after the cost line.
 //!
 //! `--cache-shards N` routes every service call through a sharded,
 //! request-coalescing response cache; `--prefetch` additionally warms
@@ -52,6 +59,7 @@ struct Args {
     deadline_ms: Option<f64>,
     cache_shards: usize,
     prefetch: bool,
+    workers: usize,
     query: String,
 }
 
@@ -66,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
     let mut deadline_ms = None;
     let mut cache_shards = 0usize;
     let mut prefetch = false;
+    let mut workers = 1usize;
     let mut query_parts: Vec<String> = Vec::new();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -97,6 +106,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad shard count: {e}"))?;
             }
+            "--workers" => {
+                workers = argv
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?;
+                if workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
             "--metric" => {
                 let m = argv.next().ok_or("--metric needs a value")?;
                 metric = match m.as_str() {
@@ -121,15 +140,16 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms,
         cache_shards,
         prefetch,
+        workers,
         query: query_parts.join(" "),
     })
 }
 
 fn usage() -> String {
-    "usage: seco <services|explain|run|oracle> [--domain entertainment|travel] \
+    "usage: seco <services|explain|optimize|run|oracle> [--domain entertainment|travel] \
      [--metric execution-time|sum|request-count|bottleneck|time-to-screen] \
-     [--seed N] [--parallel] [--fault-profile none|flaky|outage] [--deadline-ms N] \
-     [--cache-shards N] [--prefetch] <query>"
+     [--seed N] [--workers N] [--parallel] [--fault-profile none|flaky|outage] \
+     [--deadline-ms N] [--cache-shards N] [--prefetch] <query>"
         .to_owned()
 }
 
@@ -167,6 +187,8 @@ fn cmd_services(registry: &ServiceRegistry) {
 fn cmd_explain(
     registry: &ServiceRegistry,
     metric: CostMetric,
+    workers: usize,
+    show_dot: bool,
     query_src: &str,
 ) -> Result<(), String> {
     let query = parse_query(query_src).map_err(|e| e.to_string())?;
@@ -176,19 +198,36 @@ fn cmd_explain(
         "feasible; invocation order {:?}, pipe edges {:?}\n",
         report.order, report.pipe_edges
     );
-    let best = optimize(&query, registry, metric).map_err(|e| e.to_string())?;
+    let mut optimizer = Optimizer::new(registry, metric);
+    optimizer.workers = workers;
+    let best = optimizer.optimize(&query).map_err(|e| e.to_string())?;
+    let stats = &best.stats;
     println!(
-        "optimized under {metric}: cost {:.1}; explored {} topologies ({} pruned)\n",
-        best.cost, best.stats.topologies, best.stats.pruned
+        "optimized under {metric}: cost {:.1}; explored {} topologies ({} pruned)",
+        best.cost, stats.topologies, stats.pruned
+    );
+    println!(
+        "search: {} workers, {} assignments, {} instantiated, {} bound updates",
+        workers, stats.assignments, stats.instantiated, stats.bound_updates
+    );
+    println!(
+        "annotation: {} full, {} delta, {} memo hits",
+        stats.annotate_full, stats.annotate_delta, stats.memo_hits
+    );
+    println!(
+        "plan cache: {} hits, {} misses, {} inserts\n",
+        stats.cache_hits, stats.cache_misses, stats.cache_inserts
     );
     println!(
         "{}",
         display::ascii(&best.plan, Some(&best.annotated)).map_err(|e| e.to_string())?
     );
-    println!(
-        "DOT:\n{}",
-        display::to_dot(&best.plan).map_err(|e| e.to_string())?
-    );
+    if show_dot {
+        println!(
+            "DOT:\n{}",
+            display::to_dot(&best.plan).map_err(|e| e.to_string())?
+        );
+    }
     Ok(())
 }
 
@@ -309,7 +348,8 @@ fn main() -> ExitCode {
             cmd_services(&registry);
             Ok(())
         }
-        "explain" => cmd_explain(&registry, args.metric, &args.query),
+        "explain" => cmd_explain(&registry, args.metric, args.workers, true, &args.query),
+        "optimize" => cmd_explain(&registry, args.metric, args.workers, false, &args.query),
         "run" => cmd_run(&registry, args.metric, args.parallel, opts, &args.query),
         "oracle" => cmd_oracle(&registry, &args.query),
         _ => Err(usage()),
