@@ -64,6 +64,7 @@ fn bench_join_methods(c: &mut Criterion) {
                             completion: comp,
                             h: dx.step_chunks().unwrap_or(1),
                             k: 10,
+                            options: seco_join::JoinIndexOptions::default(),
                         };
                         exec.run(&mut x, &mut y).expect("join runs")
                     })

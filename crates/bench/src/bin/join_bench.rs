@@ -6,7 +6,7 @@
 //!   cargo run --release -p seco-bench --bin join_bench            # full
 //!   cargo run --release -p seco-bench --bin join_bench -- --smoke # CI
 //!
-//! Three benchmarks:
+//! Four benchmarks:
 //!
 //! * **data-plane** — the chunk→composite→merge path of a tile-space
 //!   join, twice over identical inputs: the zero-copy plane (handle
@@ -19,13 +19,20 @@
 //!   must report 0 clone events / 0 bytes cloned (hits are handle
 //!   bumps), vs the emulated deep-copy-per-hit baseline;
 //! * **E1** — the Fig. 2/3 travel plan end-to-end, run twice: wall
-//!   clock, combinations, and byte-identical seeded output.
+//!   clock, combinations, and byte-identical seeded output;
+//! * **index-vs-nested** — the tile-space join at varying equi-join
+//!   selectivity (`Link` domain width 2/10/50) and chunk size (5/20),
+//!   once with the nested-loop kernel (`--join-index off`) and once
+//!   with the hash index (+ tile pruning): byte-identical results are
+//!   asserted, and the candidate pairs actually evaluated must drop
+//!   ≥3× at selectivity ≤ 0.1.
 
 use std::time::Instant;
 
-use seco_bench::join_pair;
+use seco_bench::{join_pair, join_pair_with_width};
 use seco_engine::{execute_plan, ExecOptions};
-use seco_join::executor::{ParallelJoinExecutor, ServiceStream};
+use seco_join::executor::{JoinOutcome, ParallelJoinExecutor, ServiceStream};
+use seco_join::{JoinIndexMode, JoinIndexOptions};
 use seco_model::{
     AttributePath, Comparator, CompositeTuple, ScoreDecay, SharedTuple, Symbol, Tuple, Value,
 };
@@ -361,6 +368,135 @@ fn bench_e1() -> Result<serde_json::Value, DynError> {
     }))
 }
 
+/// One tile-space join over a seeded service pair, under the given
+/// join-kernel options. Returns the outcome and the wall time in ms.
+fn run_indexed_join(
+    total: usize,
+    chunk: usize,
+    width: usize,
+    options: JoinIndexOptions,
+) -> Result<(JoinOutcome, f64), DynError> {
+    let (sx, sy) = join_pair_with_width(
+        ScoreDecay::Linear,
+        ScoreDecay::Quadratic,
+        total,
+        chunk,
+        17,
+        width,
+    );
+    let req = Request::unbound().bind(AttributePath::atomic("Key"), Value::text("q"));
+    let mut x = ServiceStream::new("X", sx.as_ref(), req.clone());
+    let mut y = ServiceStream::new("Y", sy.as_ref(), req);
+    let predicates = vec![ResolvedPredicate::Join(seco_query::JoinPredicate {
+        left: seco_query::QualifiedPath::new("X", AttributePath::atomic("Link")),
+        op: Comparator::Eq,
+        right: seco_query::QualifiedPath::new("Y", AttributePath::atomic("Link")),
+    })];
+    let mut schemas = SchemaMap::new();
+    schemas.insert("X".into(), &sx.interface().schema);
+    schemas.insert("Y".into(), &sy.interface().schema);
+    let exec = ParallelJoinExecutor {
+        predicates: &predicates,
+        schemas: &schemas,
+        invocation: Invocation::merge_scan_even(),
+        completion: Completion::Rectangular,
+        h: 1,
+        k: 0,
+        options,
+    };
+    let start = Instant::now();
+    let out = exec.run(&mut x, &mut y)?;
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok((out, ms))
+}
+
+/// The hash-index kernel vs the nested loop at varying selectivity and
+/// chunk size: byte-identical answers, fewer evaluated candidate pairs.
+fn bench_index_vs_nested(total: usize) -> Result<serde_json::Value, DynError> {
+    let mut cases = Vec::new();
+    for &width in &[2usize, 10, 50] {
+        for &chunk in &[5usize, 20] {
+            let selectivity = 1.0 / width as f64;
+            let (nested, nested_ms) = run_indexed_join(
+                total,
+                chunk,
+                width,
+                JoinIndexOptions {
+                    mode: JoinIndexMode::Off,
+                    tile_prune: false,
+                },
+            )?;
+            let (hashed, hashed_ms) = run_indexed_join(
+                total,
+                chunk,
+                width,
+                JoinIndexOptions {
+                    mode: JoinIndexMode::Hash,
+                    tile_prune: true,
+                },
+            )?;
+            let render = |out: &JoinOutcome| -> String {
+                out.results
+                    .iter()
+                    .map(|c| format!("{:?};", c.materialize()))
+                    .collect()
+            };
+            assert_eq!(
+                render(&nested),
+                render(&hashed),
+                "hash kernel must be byte-identical at width {width}, chunk {chunk}"
+            );
+            assert_eq!(nested.tiles, hashed.tiles);
+            assert_eq!(nested.tile_representatives, hashed.tile_representatives);
+            // The nested loop evaluates the predicates on every
+            // candidate pair; the index only on surviving candidates.
+            let reduction =
+                nested.stats.predicate_evals as f64 / hashed.stats.predicate_evals.max(1) as f64;
+            if selectivity <= 0.1 {
+                assert!(
+                    reduction >= 3.0,
+                    "expected ≥3x fewer evaluated pairs at selectivity {selectivity} \
+                     (chunk {chunk}), got {reduction:.1}x"
+                );
+            }
+            println!(
+                "index-vs-nested (sel {selectivity:.2}, chunk {chunk:>2}): \
+                 nested {} evals / {nested_ms:.1} ms, \
+                 hash {} evals / {hashed_ms:.1} ms ({} probes, {} pairs skipped, \
+                 {} tiles pruned), {reduction:.1}x fewer evals",
+                nested.stats.predicate_evals,
+                hashed.stats.predicate_evals,
+                hashed.stats.probes,
+                hashed.stats.pairs_skipped,
+                hashed.stats.tiles_pruned,
+            );
+            cases.push(serde_json::json!({
+                "selectivity": selectivity,
+                "link_domain_width": width,
+                "chunk_size": chunk,
+                "tuples_per_side": total,
+                "combinations": hashed.results.len(),
+                "byte_identical_to_nested_loop": true,
+                "nested_loop": {
+                    "wall_ms": nested_ms,
+                    "predicate_evals": nested.stats.predicate_evals,
+                },
+                "hash_index": {
+                    "wall_ms": hashed_ms,
+                    "predicate_evals": hashed.stats.predicate_evals,
+                    "index_builds": hashed.stats.index_builds,
+                    "probes": hashed.stats.probes,
+                    "pairs_skipped": hashed.stats.pairs_skipped,
+                    "tiles_pruned": hashed.stats.tiles_pruned,
+                },
+                "candidate_pair_reduction": reduction,
+                "meets_3x_reduction_at_low_selectivity": selectivity > 0.1 || reduction >= 3.0,
+            }));
+        }
+    }
+    Ok(serde_json::Value::Array(cases))
+}
+
 /// Tile representatives come off chunk headers: a quick self-check
 /// that the real executor path reports them without rescans.
 fn check_tile_representatives() -> Result<(), DynError> {
@@ -383,6 +519,7 @@ fn check_tile_representatives() -> Result<(), DynError> {
         completion: Completion::Rectangular,
         h: 1,
         k: 0,
+        options: JoinIndexOptions::default(),
     };
     let out = exec.run(&mut x, &mut y)?;
     assert_eq!(out.tiles.len(), out.tile_representatives.len());
@@ -407,6 +544,7 @@ fn main() -> Result<(), DynError> {
         "data_plane": bench_data_plane(iters, total, 10)?,
         "cache_hits": bench_cache_hits(hits)?,
         "e1": bench_e1()?,
+        "index_vs_nested": bench_index_vs_nested(total)?,
     });
     std::fs::create_dir_all("results")?;
     std::fs::write(

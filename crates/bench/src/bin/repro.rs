@@ -312,6 +312,7 @@ fn run_join(
         completion,
         h,
         k,
+        options: seco_join::JoinIndexOptions::default(),
     };
     let out = exec.run(&mut x, &mut y)?;
     Ok((out.calls_x + out.calls_y, out.results))
@@ -646,7 +647,42 @@ fn e10() -> Result<(), DynError> {
         ok &= agree;
         println!("{label:<36} ours = {ours:<8.1} match: {agree}");
     }
-    save_json("e10", serde_json::json!({ "all_numbers_match": ok }))
+    // Execute the instantiated plan with the hash-indexed join kernel
+    // (byte-identical to the nested loop; tests/join_index.rs proves
+    // it) and report the kernel's work counters.
+    let result = execute_plan(
+        &plan,
+        &registry,
+        ExecOptions {
+            join_k: 10,
+            ..Default::default()
+        },
+    )?;
+    let js = result.join_stats;
+    println!(
+        "executed: {} combinations; join: {} index builds, {} probes, \
+         {} pairs skipped, {} tiles pruned, {} predicate evals",
+        result.results.len(),
+        js.index_builds,
+        js.probes,
+        js.pairs_skipped,
+        js.tiles_pruned,
+        js.predicate_evals
+    );
+    save_json(
+        "e10",
+        serde_json::json!({
+            "all_numbers_match": ok,
+            "combinations": result.results.len(),
+            "join_stats": {
+                "index_builds": js.index_builds,
+                "probes": js.probes,
+                "pairs_skipped": js.pairs_skipped,
+                "tiles_pruned": js.tiles_pruned,
+                "predicate_evals": js.predicate_evals,
+            },
+        }),
+    )
 }
 
 /// E11 — §5.3: phase-1 heuristics.
@@ -979,6 +1015,7 @@ fn e17() -> Result<(), DynError> {
             completion: Completion::Triangular,
             h: 1,
             k,
+            options: seco_join::JoinIndexOptions::default(),
         };
         let out = exec.run(&mut x, &mut y)?;
         let service_ms = out.calls_x as f64 * tx + out.calls_y as f64 * ty;

@@ -177,7 +177,21 @@ pub fn join_pair(
     chunk: usize,
     seed: u64,
 ) -> (Arc<SyntheticService>, Arc<SyntheticService>) {
-    let link = ValueDomain::new("pairlink", 10);
+    join_pair_with_width(decay_x, decay_y, total, chunk, seed, 10)
+}
+
+/// [`join_pair`] with an explicit `Link` domain width: the equi-join
+/// selectivity is ~`1/width`, so wide domains make sparse joins (few
+/// matching pairs) and narrow domains dense ones.
+pub fn join_pair_with_width(
+    decay_x: ScoreDecay,
+    decay_y: ScoreDecay,
+    total: usize,
+    chunk: usize,
+    seed: u64,
+    width: usize,
+) -> (Arc<SyntheticService>, Arc<SyntheticService>) {
+    let link = ValueDomain::new("pairlink", width as u64);
     let make = |name: &str, decay: ScoreDecay, s: u64| {
         Arc::new(SyntheticService::new(
             link_service(name, total as f64, chunk, 50.0, decay),

@@ -341,6 +341,7 @@ mod tests {
             completion: Completion::Rectangular,
             h: 1,
             k: 0,
+            options: seco_join::JoinIndexOptions::default(),
         };
         // Clock-paced run at ratio 1:3.
         let mut pacer = ClockPacing::new(1, 3, 1);

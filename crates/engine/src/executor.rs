@@ -21,7 +21,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use seco_join::PipeJoin;
+use seco_join::{JoinIndexOptions, JoinStats, PipeJoin};
 use seco_model::CompositeTuple;
 use seco_plan::{NodeId, PlanNode, QueryPlan};
 use seco_query::feasibility::analyze;
@@ -123,6 +123,10 @@ pub struct ExecOptions {
     /// cache sits *above* the resilient client, so hits and coalesced
     /// waits bypass retries and breaker checks entirely.
     pub fetch: FetchOptions,
+    /// Join-kernel configuration: hash-index acceleration of tile and
+    /// pipe joins, and top-k tile pruning. The default (`Hash`, no
+    /// pruning) is byte-identical to the nested-loop baseline.
+    pub join_index: JoinIndexOptions,
 }
 
 /// The outcome of executing a plan.
@@ -140,6 +144,9 @@ pub struct ExecutionResult {
     /// empty on a clean run). Only populated under
     /// [`FailureMode::Degrade`].
     pub degraded: Vec<String>,
+    /// Join-kernel counters aggregated over every pipe stage and
+    /// parallel join of the plan.
+    pub join_stats: JoinStats,
 }
 
 impl ExecutionResult {
@@ -172,6 +179,7 @@ pub fn execute_plan(
     let mut busy: Vec<f64> = vec![0.0; plan.len()];
     let mut trace = ExecutionTrace::default();
     let mut total_calls = 0usize;
+    let mut join_stats = JoinStats::default();
 
     let degrade = options.failure_mode == FailureMode::Degrade;
     // One fetch stack per service, shared across plan nodes: the
@@ -281,19 +289,23 @@ pub fn execute_plan(
                     // Inline speculation: the prefetch runs on this
                     // thread, so the virtual timeline and the fault
                     // schedule stay a pure function of the seed.
-                    let handle: Arc<dyn Service> = if options.fetch.prefetch && node.fetches > 1 {
-                        let mut pf = Prefetcher::new(base, node.fetches as usize)
-                            .with_recorder(recorded.clone());
-                        if let Some(c) = &client {
-                            pf = pf.respecting_breaker(c.clone());
-                        }
-                        if let Some(c) = &cache {
-                            pf = pf.probing(c.clone());
-                        }
-                        Arc::new(pf)
-                    } else {
-                        base
-                    };
+                    // Never speculate past a keep-first stage: it stops
+                    // at the first satisfying tuple, so chunk `c + 1`
+                    // would be warmed for a join that may never ask.
+                    let handle: Arc<dyn Service> =
+                        if options.fetch.prefetch && node.fetches > 1 && !node.keep_first {
+                            let mut pf = Prefetcher::new(base, node.fetches as usize)
+                                .with_recorder(recorded.clone());
+                            if let Some(c) = &client {
+                                pf = pf.respecting_breaker(c.clone());
+                            }
+                            if let Some(c) = &cache {
+                                pf = pf.probing(c.clone());
+                            }
+                            Arc::new(pf)
+                        } else {
+                            base
+                        };
                     let clock_before = clock.now_ms();
                     let busy_before = recorded.stats().busy_ms;
                     let outcome = stage.run(&input, handle.as_ref())?;
@@ -310,6 +322,14 @@ pub fn execute_plan(
                     } else {
                         outcome.calls as f64 * iface.stats.response_time_ms
                     };
+                    join_stats.merge(&outcome.stats);
+                    recorded.note_join_counters(
+                        outcome.stats.index_builds,
+                        outcome.stats.probes,
+                        outcome.stats.pairs_skipped,
+                        outcome.stats.tiles_pruned,
+                        outcome.stats.predicate_evals,
+                    );
                     let mut deg = node_degraded[preds_nodes[0].0];
                     if outcome.degraded {
                         degraded.insert(node.service.clone());
@@ -341,6 +361,7 @@ pub fn execute_plan(
                         completion: spec.completion,
                         h,
                         k: options.join_k,
+                        options: options.join_index,
                     };
                     let mut sl = seco_join::executor::MemoryStream::new(left, cl);
                     let mut sr = seco_join::executor::MemoryStream::new(right, cr);
@@ -349,6 +370,7 @@ pub fn execute_plan(
                     } else {
                         exec.run(&mut sl, &mut sr)?
                     };
+                    join_stats.merge(&outcome.stats);
                     (n_in, outcome.results, 0, 0.0, left_deg || right_deg)
                 }
             };
@@ -383,6 +405,7 @@ pub fn execute_plan(
         critical_ms: finish[plan.output().0],
         total_calls,
         degraded: degraded.into_iter().collect(),
+        join_stats,
     })
 }
 

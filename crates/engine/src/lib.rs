@@ -34,6 +34,7 @@ pub use error::EngineError;
 pub use executor::{execute_plan, ExecOptions, ExecutionResult, FailureMode, FetchOptions};
 pub use output::ResultSet;
 pub use parallel::{execute_parallel, execute_parallel_with, ParallelOutcome};
+pub use seco_join::{JoinIndexMode, JoinIndexOptions, JoinStats};
 pub use trace::{ExecutionTrace, TraceEvent};
 
 /// Result alias for engine operations.

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use seco_join::PipeJoin;
+use seco_join::{JoinStats, PipeJoin};
 use seco_model::CompositeTuple;
 use seco_plan::{PlanNode, QueryPlan};
 use seco_query::feasibility::analyze;
@@ -107,6 +107,9 @@ pub struct ParallelOutcome {
     /// Services whose failures degraded the answer (sorted,
     /// deduplicated; empty on a clean run).
     pub degraded: Vec<String>,
+    /// Join-kernel counters aggregated over every pipe stage and
+    /// parallel join of the plan.
+    pub join_stats: JoinStats,
 }
 
 /// Executes a plan with one thread per node, returning the output
@@ -219,6 +222,7 @@ pub fn execute_parallel_with(
     let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
     let output: Mutex<Vec<CompositeTuple>> = Mutex::new(Vec::new());
     let degraded: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+    let join_stats: Mutex<JoinStats> = Mutex::new(JoinStats::default());
 
     std::thread::scope(|scope| {
         for id in plan.node_ids() {
@@ -238,6 +242,7 @@ pub fn execute_parallel_with(
             let first_error = &first_error;
             let output = &output;
             let degraded = &degraded;
+            let join_stats = &join_stats;
             let ancestors = &ancestors;
             let query = &plan.query;
             scope.spawn(move || {
@@ -292,25 +297,27 @@ pub fn execute_parallel_with(
                             .expect("every service node has a prepared stack");
                         // Background speculation: real threads warm the
                         // next chunk while the pipe loop joins this one.
-                        let handle: Arc<dyn Service> = if options.fetch.prefetch && svc.fetches > 1
-                        {
-                            let recorded = match registry.service(&svc.service) {
-                                Ok(r) => r,
-                                Err(e) => return fail(EngineError::Service(e)),
+                        // Keep-first stages stop at the first satisfying
+                        // tuple, so speculating past them wastes calls.
+                        let handle: Arc<dyn Service> =
+                            if options.fetch.prefetch && svc.fetches > 1 && !svc.keep_first {
+                                let recorded = match registry.service(&svc.service) {
+                                    Ok(r) => r,
+                                    Err(e) => return fail(EngineError::Service(e)),
+                                };
+                                let mut pf = Prefetcher::new(base, svc.fetches as usize)
+                                    .background(PREFETCH_INFLIGHT)
+                                    .with_recorder(recorded);
+                                if let Some(c) = &client {
+                                    pf = pf.respecting_breaker(c.clone());
+                                }
+                                if let Some(c) = &cache {
+                                    pf = pf.probing(c.clone());
+                                }
+                                Arc::new(pf)
+                            } else {
+                                base
                             };
-                            let mut pf = Prefetcher::new(base, svc.fetches as usize)
-                                .background(PREFETCH_INFLIGHT)
-                                .with_recorder(recorded);
-                            if let Some(c) = &client {
-                                pf = pf.respecting_breaker(c.clone());
-                            }
-                            if let Some(c) = &cache {
-                                pf = pf.probing(c.clone());
-                            }
-                            Arc::new(pf)
-                        } else {
-                            base
-                        };
                         let bindings = report.bindings_of(&svc.atom);
                         let stage = PipeJoin {
                             atom: &svc.atom,
@@ -322,9 +329,11 @@ pub fn execute_parallel_with(
                             keep_first: svc.keep_first,
                             tolerate_failures: degrade,
                         };
+                        let mut local = JoinStats::default();
                         for input in my_receivers[0].iter().flat_map(unbatch) {
                             match stage.run(std::slice::from_ref(&input), handle.as_ref()) {
                                 Ok(stage_out) => {
+                                    local.merge(&stage_out.stats);
                                     if stage_out.degraded {
                                         degraded.lock().insert(svc.service.clone());
                                     }
@@ -336,6 +345,16 @@ pub fn execute_parallel_with(
                                 }
                                 Err(e) => return fail(EngineError::Join(e)),
                             }
+                        }
+                        join_stats.lock().merge(&local);
+                        if let Ok(recorded) = registry.service(&svc.service) {
+                            recorded.note_join_counters(
+                                local.index_builds,
+                                local.probes,
+                                local.pairs_skipped,
+                                local.tiles_pruned,
+                                local.predicate_evals,
+                            );
                         }
                         out.flush();
                     }
@@ -358,6 +377,7 @@ pub fn execute_parallel_with(
                             completion: spec.completion,
                             h: 1,
                             k: options.join_k,
+                            options: options.join_index,
                         };
                         let mut sl = seco_join::executor::MemoryStream::new(left, 10);
                         let mut sr = seco_join::executor::MemoryStream::new(right, 10);
@@ -376,6 +396,7 @@ pub fn execute_parallel_with(
                         };
                         match joined {
                             Ok(outcome) => {
+                                join_stats.lock().merge(&outcome.stats);
                                 for c in outcome.results {
                                     if !out.push(c) {
                                         return;
@@ -397,6 +418,7 @@ pub fn execute_parallel_with(
     Ok(ParallelOutcome {
         results: output.into_inner(),
         degraded: degraded.into_inner().into_iter().collect(),
+        join_stats: join_stats.into_inner(),
     })
 }
 

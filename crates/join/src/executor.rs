@@ -11,11 +11,13 @@
 use seco_model::{CompositeTuple, Symbol};
 use seco_plan::{Completion, Invocation};
 use seco_query::predicate::{satisfies_available, ResolvedPredicate, SchemaMap};
+use seco_query::{CompiledPredicates, EvalScratch};
 use seco_services::invocation::Request;
 use seco_services::Service;
 
 use crate::error::JoinError;
-use crate::strategy::{CallScheduler, CallTarget};
+use crate::index::{JoinIndex, JoinIndexMode, JoinIndexOptions, JoinStats, KeyPlan, ProbeKeys};
+use crate::strategy::{CallScheduler, CallTarget, TilePruner};
 use crate::tile::Tile;
 
 /// One fetched chunk of composites plus its cached header data.
@@ -174,6 +176,9 @@ pub struct JoinOutcome {
     /// then a partial answer (possibly the surviving branch passed
     /// through unjoined).
     pub degraded: bool,
+    /// Join-kernel work counters (index builds, probes, skipped pairs,
+    /// pruned tiles, predicate evaluations).
+    pub stats: JoinStats,
 }
 
 /// The parallel-join executor (§4.2.2).
@@ -191,6 +196,25 @@ pub struct ParallelJoinExecutor<'p> {
     pub h: usize,
     /// Stop after emitting this many results (0 = explore everything).
     pub k: usize,
+    /// Join-kernel options: candidate enumeration mode and tile
+    /// pruning. The default (hash mode, no score pruning) is
+    /// byte-identical to the nested-loop baseline.
+    pub options: JoinIndexOptions,
+}
+
+/// Per-run mutable state of the index-accelerated kernel: the reusable
+/// evaluation scratch, the deduplicated key plans, the lazily built
+/// per-chunk indexes and probe-key caches, and the work counters.
+#[derive(Default)]
+struct RunState {
+    scratch: EvalScratch,
+    plans: Vec<KeyPlan>,
+    /// Per Y chunk: `None` = not examined yet; `Some(None)` = no usable
+    /// key plan (nested loop); `Some(Some(ix))` = built index.
+    indexes_y: Vec<Option<Option<JoinIndex>>>,
+    /// Per X chunk: cached probe keys, one entry per plan encountered.
+    probes_x: Vec<Vec<ProbeKeys>>,
+    stats: JoinStats,
 }
 
 impl ParallelJoinExecutor<'_> {
@@ -230,6 +254,15 @@ impl ParallelJoinExecutor<'_> {
         let mut done = std::collections::BTreeSet::new();
         let mut results: Vec<CompositeTuple> = Vec::new();
         let mut c = r1 * r2;
+
+        // Compile the predicate set once per run; `None` (off mode or an
+        // unresolvable set) falls back to the interpreted nested loop.
+        let compiled = match self.options.mode {
+            JoinIndexMode::Off => None,
+            JoinIndexMode::Hash => CompiledPredicates::compile(self.predicates, self.schemas),
+        };
+        let mut st = RunState::default();
+        let mut pruner = TilePruner::new(self.k);
 
         'outer: loop {
             if results.len() >= target_k {
@@ -290,12 +323,29 @@ impl ParallelJoinExecutor<'_> {
                 for t in wave {
                     done.insert(t);
                     processed.push(t);
-                    tile_reps.push(chunks_x[t.x].representative * chunks_y[t.y].representative);
+                    let rep = chunks_x[t.x].representative * chunks_y[t.y].representative;
+                    tile_reps.push(rep);
+                    if self.options.tile_prune && pruner.can_skip(rep) {
+                        st.stats.tiles_pruned += 1;
+                        st.stats.pairs_skipped +=
+                            (chunks_x[t.x].len() * chunks_y[t.y].len()) as u64;
+                        continue;
+                    }
+                    let before = results.len();
                     self.join_tile(
+                        compiled.as_ref(),
                         &chunks_x[t.x].composites,
                         &chunks_y[t.y].composites,
+                        t.x,
+                        t.y,
+                        &mut st,
                         &mut results,
                     )?;
+                    if self.options.tile_prune {
+                        for r in &results[before..] {
+                            pruner.observe(r.score_product());
+                        }
+                    }
                     if results.len() >= target_k {
                         break 'outer;
                     }
@@ -324,6 +374,7 @@ impl ParallelJoinExecutor<'_> {
             tile_representatives: tile_reps,
             exhausted,
             degraded: false,
+            stats: st.stats,
         })
     }
 
@@ -373,23 +424,147 @@ impl ParallelJoinExecutor<'_> {
         Ok(outcome)
     }
 
-    /// Joins one tile: every pair of the two chunks, in (i, j) order.
+    /// Joins one tile, emitting results in the exact (i, j) order of
+    /// the nested-loop baseline.
     ///
     /// Pairs are *merged*, not concatenated: branches with common
     /// ancestry (the Fig. 2 diamond) share atoms, and a pair whose
     /// shared components differ is not a candidate at all.
+    ///
+    /// Three enumeration strategies, in decreasing preference:
+    /// 1. hash probe — the Y chunk is bucketed by equi-join key (built
+    ///    lazily once per chunk) and each X composite visits only its
+    ///    bucket plus the unkeyed entries, in ascending index order;
+    /// 2. compiled nested loop — no usable equi key, but the predicate
+    ///    set compiled (zero per-candidate path resolution);
+    /// 3. interpreted nested loop — off mode or an uncompilable set.
+    #[allow(clippy::too_many_arguments)]
     fn join_tile(
         &self,
+        compiled: Option<&CompiledPredicates>,
         cx: &[CompositeTuple],
         cy: &[CompositeTuple],
+        xi: usize,
+        yi: usize,
+        st: &mut RunState,
         out: &mut Vec<CompositeTuple>,
     ) -> Result<(), JoinError> {
-        for a in cx {
-            for b in cy {
-                let Some(candidate) = a.merge(b) else {
+        let Some(compiled) = compiled else {
+            for a in cx {
+                for b in cy {
+                    let Some(candidate) = a.merge(b) else {
+                        continue;
+                    };
+                    st.stats.predicate_evals += 1;
+                    if satisfies_available(self.predicates, &candidate, self.schemas)? {
+                        out.push(candidate);
+                    }
+                }
+            }
+            return Ok(());
+        };
+
+        // Build (or reuse) the Y chunk's index.
+        if st.indexes_y.len() <= yi {
+            st.indexes_y.resize_with(yi + 1, || None);
+        }
+        if st.probes_x.len() <= xi {
+            st.probes_x.resize_with(xi + 1, Vec::new);
+        }
+        if st.indexes_y[yi].is_none() {
+            let built = cy
+                .first()
+                .and_then(|sample| KeyPlan::build(compiled.equi_candidates(), sample))
+                .map(|plan| {
+                    let plan_id = match st.plans.iter().position(|p| *p == plan) {
+                        Some(i) => i,
+                        None => {
+                            st.plans.push(plan);
+                            st.plans.len() - 1
+                        }
+                    };
+                    st.stats.index_builds += 1;
+                    JoinIndex::build(&st.plans[plan_id], plan_id, cy)
+                });
+            st.indexes_y[yi] = Some(built);
+        }
+        let Some(index) = st.indexes_y[yi].as_ref().and_then(|ix| ix.as_ref()) else {
+            // Compiled nested loop: no equi key applies to this chunk.
+            for a in cx {
+                for b in cy {
+                    let Some(candidate) = a.merge(b) else {
+                        continue;
+                    };
+                    st.stats.predicate_evals += 1;
+                    if compiled.eval(&candidate, &mut st.scratch)? {
+                        out.push(candidate);
+                    }
+                }
+            }
+            return Ok(());
+        };
+
+        // Extract (or reuse) the X chunk's probe keys under this plan.
+        let plan_id = index.plan_id;
+        if !st.probes_x[xi].iter().any(|p| p.plan_id == plan_id) {
+            let pk = ProbeKeys::build(&st.plans[plan_id], plan_id, cx);
+            st.probes_x[xi].push(pk);
+        }
+        let probe = st.probes_x[xi]
+            .iter()
+            .find(|p| p.plan_id == plan_id)
+            .expect("probe keys cached above");
+
+        let ny = cy.len();
+        // Index-emptiness pruning: when every composite on both sides is
+        // keyed and no probe key has a bucket, every pair mismatches on
+        // an equi conjunct — the tile cannot contribute a result.
+        if probe.all_keyed
+            && index.unkeyed.is_empty()
+            && probe
+                .distinct
+                .iter()
+                .all(|k| !index.buckets.contains_key(k))
+        {
+            st.stats.tiles_pruned += 1;
+            st.stats.pairs_skipped += (cx.len() * ny) as u64;
+            return Ok(());
+        }
+
+        for (i, a) in cx.iter().enumerate() {
+            let Some(key) = probe.keys[i] else {
+                // This composite cannot supply every key: scan the chunk.
+                for b in cy {
+                    let Some(candidate) = a.merge(b) else {
+                        continue;
+                    };
+                    st.stats.predicate_evals += 1;
+                    if compiled.eval(&candidate, &mut st.scratch)? {
+                        out.push(candidate);
+                    }
+                }
+                continue;
+            };
+            st.stats.probes += 1;
+            let bucket: &[u32] = index.buckets.get(&key).map_or(&[], |v| v.as_slice());
+            let unkeyed: &[u32] = &index.unkeyed;
+            st.stats.pairs_skipped += (ny - bucket.len() - unkeyed.len()) as u64;
+            // Ascending-index merge of the bucket with the unkeyed list
+            // reproduces the nested loop's j order exactly.
+            let (mut bi, mut ui) = (0usize, 0usize);
+            while bi < bucket.len() || ui < unkeyed.len() {
+                let j = if bi < bucket.len() && (ui >= unkeyed.len() || bucket[bi] < unkeyed[ui]) {
+                    bi += 1;
+                    bucket[bi - 1]
+                } else {
+                    ui += 1;
+                    unkeyed[ui - 1]
+                } as usize;
+                let Some(candidate) = a.merge(&cy[j]) else {
                     continue;
                 };
-                if satisfies_available(self.predicates, &candidate, self.schemas)? {
+                st.stats.predicate_evals += 1;
+                if compiled.eval(&candidate, &mut st.scratch)? {
                     out.push(candidate);
                 }
             }
@@ -474,6 +649,7 @@ mod tests {
             completion: Completion::Rectangular,
             h: 1,
             k: 0,
+            options: JoinIndexOptions::default(),
         };
         let mut ms_a = MemoryStream::new(a, 2);
         let mut ms_b = MemoryStream::new(b, 2);
@@ -502,6 +678,7 @@ mod tests {
             completion: Completion::Triangular,
             h: 1,
             k: 3,
+            options: JoinIndexOptions::default(),
         };
         let mut ms_a = MemoryStream::new(a, 2);
         let mut ms_b = MemoryStream::new(b, 2);
@@ -540,6 +717,7 @@ mod tests {
             completion: Completion::Rectangular,
             h: 2,
             k: 0,
+            options: JoinIndexOptions::default(),
         };
         let mut ms_a = MemoryStream::new(a, 2);
         let mut ms_b = MemoryStream::new(b, 2);
@@ -562,6 +740,7 @@ mod tests {
             completion: Completion::Rectangular,
             h: 1,
             k: 0,
+            options: JoinIndexOptions::default(),
         };
         let mut ms_a = MemoryStream::new(Vec::new(), 2);
         let mut ms_b = MemoryStream::new(stream_data("B", &sb, 4, ScoreDecay::Linear), 2);
@@ -583,6 +762,7 @@ mod tests {
             completion: Completion::Rectangular,
             h: 1,
             k: 3,
+            options: JoinIndexOptions::default(),
         };
         // B's branch lost everything to an outage upstream.
         let mut ms_a = MemoryStream::new(survivors.clone(), 2);
@@ -675,6 +855,7 @@ mod tests {
             completion: Completion::Rectangular,
             h: 1,
             k: 0,
+            options: JoinIndexOptions::default(),
         };
         let mut ms_a = MemoryStream::new(a.clone(), 2);
         let mut ms_b = MemoryStream::new(b.clone(), 2);

@@ -1,0 +1,351 @@
+//! Hash-accelerated tile joins: options, counters, key plans, and the
+//! per-chunk hash index.
+//!
+//! The baseline `join_tile` scans the full `nX × nY` cross product of a
+//! tile. When the predicate set contains equality conjuncts over atomic
+//! attributes of the two streams' atoms ([`seco_query::EquiCandidate`]),
+//! a key mismatch on any such conjunct falsifies the conjunction under
+//! *every* group-row mapping, so pairs with different keys can be
+//! skipped without evaluating them. This module turns that observation
+//! into a per-chunk hash index: each Y chunk is bucketed once by its
+//! join-key values (interned to [`Symbol`]s), and each X composite
+//! probes its bucket instead of scanning the chunk.
+//!
+//! Exactness invariants, relied on by the equivalence property tests:
+//!
+//! * **Key encoding is equality-faithful.** Two values get the same
+//!   encoding whenever the baseline's `=` holds (numeric promotion
+//!   included: `Int` and `Float` both encode as the promoted `f64`'s
+//!   bits, with `-0.0` normalized to `0.0`), and probing re-verifies
+//!   every bucket hit with the full compiled evaluation, so accidental
+//!   encoding collisions (large-integer rounding, separator bytes in
+//!   text) can only add *candidates*, never results.
+//! * **Fallback on anything unusual.** A composite missing a planned
+//!   atom, or carrying an unencodable value (a raw `NaN`, on which the
+//!   baseline would error), is left out of the buckets and scanned
+//!   against every probe, so the interpreter's behavior — including its
+//!   errors — is reproduced.
+//! * **Emission order is the nested loop's.** Bucket entries keep
+//!   source indices, and the probe merges bucket hits with unscanned
+//!   ("unkeyed") entries in ascending index order, so results appear in
+//!   the exact (i, j) order of the baseline.
+
+use std::collections::HashMap;
+
+use seco_model::{CompositeTuple, Symbol, Value};
+use seco_query::EquiCandidate;
+
+/// Which candidate-pair enumeration the join executor uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinIndexMode {
+    /// The original nested-loop scan, untouched.
+    Off,
+    /// Per-chunk hash index on equi-join keys, with nested-loop
+    /// fallback when no key exists. Byte-identical to `Off`.
+    #[default]
+    Hash,
+}
+
+/// Join-kernel options carried through `ExecOptions` and the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JoinIndexOptions {
+    /// Candidate enumeration mode.
+    pub mode: JoinIndexMode,
+    /// Enables the score-frontier tile bound
+    /// ([`crate::strategy::TilePruner`]) on top of index-emptiness
+    /// pruning.
+    pub tile_prune: bool,
+}
+
+/// Counters describing how much work the join kernel actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JoinStats {
+    /// Hash indexes built (one per chunk that got bucketed).
+    pub index_builds: u64,
+    /// Bucket lookups performed by keyed probes.
+    pub probes: u64,
+    /// Candidate pairs skipped without evaluation (key mismatches and
+    /// pruned tiles).
+    pub pairs_skipped: u64,
+    /// Whole tiles skipped (index-emptiness or score-frontier bound).
+    pub tiles_pruned: u64,
+    /// Predicate-set evaluations performed (compiled or interpreted).
+    pub predicate_evals: u64,
+}
+
+impl JoinStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &JoinStats) {
+        self.index_builds += other.index_builds;
+        self.probes += other.probes;
+        self.pairs_skipped += other.pairs_skipped;
+        self.tiles_pruned += other.tiles_pruned;
+        self.predicate_evals += other.predicate_evals;
+    }
+}
+
+/// Separates the per-candidate encodings inside a joint key. Text
+/// containing the separator can at worst merge two distinct joint keys
+/// into one bucket — a safe collision, since every hit is re-verified.
+const KEY_SEP: char = '\u{1f}';
+
+/// Appends an equality-faithful encoding of `v` to `out`. Returns
+/// `false` for values with no faithful encoding (a raw `NaN`), which
+/// the caller must route to the scan-everything fallback.
+fn encode_value(v: &Value, out: &mut String) -> bool {
+    use std::fmt::Write;
+    match v {
+        // `=` holds for Null only against Null, so Null gets its own tag.
+        Value::Null => out.push('n'),
+        Value::Bool(b) => out.push_str(if *b { "b1" } else { "b0" }),
+        // Int and Float share the baseline's numeric promotion: encode
+        // the promoted f64's bits. `-0.0 == 0.0` under `=`, so normalize.
+        Value::Int(i) => {
+            let f = *i as f64;
+            let f = if f == 0.0 { 0.0 } else { f };
+            let _ = write!(out, "f{:016x}", f.to_bits());
+        }
+        Value::Float(f) => {
+            if f.is_nan() {
+                return false;
+            }
+            let f = if *f == 0.0 { 0.0 } else { *f };
+            let _ = write!(out, "f{:016x}", f.to_bits());
+        }
+        Value::Text(s) => {
+            out.push('t');
+            out.push_str(s);
+        }
+        Value::Date(d) => {
+            let _ = write!(out, "d{}", d.ordinal());
+        }
+    }
+    true
+}
+
+/// One equi conjunct oriented for a concrete (X, Y) chunk pair: which
+/// atom/field the indexed (Y) side keys on, and which atom/field the
+/// probing (X) side supplies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PlanEntry {
+    y_atom: Symbol,
+    y_field: usize,
+    x_atom: Symbol,
+    x_field: usize,
+}
+
+/// The key layout for one Y-chunk shape: the oriented equi conjuncts
+/// whose Y-side atoms appear in the chunk's composites. Plans are
+/// deduplicated per run; indexes and probe-key caches are tagged with
+/// the plan they were built under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPlan {
+    entries: Vec<PlanEntry>,
+}
+
+impl KeyPlan {
+    /// Orients `equi` against a sample composite of the Y chunk.
+    /// Returns `None` when no conjunct applies (the executor then keeps
+    /// the nested loop for tiles over this chunk).
+    ///
+    /// A conjunct whose *both* atoms appear in the sample is still
+    /// usable: the merged pair shares those components (or the merge
+    /// fails), so a key mismatch implies either no merge or a false
+    /// predicate — skipping remains exact.
+    pub fn build(equi: &[EquiCandidate], sample: &CompositeTuple) -> Option<KeyPlan> {
+        let mut entries = Vec::new();
+        for c in equi {
+            let has_right = sample.component(c.right_atom.as_str()).is_some();
+            let has_left = sample.component(c.left_atom.as_str()).is_some();
+            if has_right {
+                entries.push(PlanEntry {
+                    y_atom: c.right_atom,
+                    y_field: c.right_field,
+                    x_atom: c.left_atom,
+                    x_field: c.left_field,
+                });
+            } else if has_left {
+                entries.push(PlanEntry {
+                    y_atom: c.left_atom,
+                    y_field: c.left_field,
+                    x_atom: c.right_atom,
+                    x_field: c.right_field,
+                });
+            }
+        }
+        if entries.is_empty() {
+            None
+        } else {
+            Some(KeyPlan { entries })
+        }
+    }
+
+    fn key_of(
+        &self,
+        composite: &CompositeTuple,
+        pick: impl Fn(&PlanEntry) -> (Symbol, usize),
+    ) -> Option<Symbol> {
+        let mut buf = String::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                buf.push(KEY_SEP);
+            }
+            let (atom, field) = pick(e);
+            let tuple = composite.component(atom.as_str())?;
+            if !encode_value(tuple.atomic_at(field), &mut buf) {
+                return None;
+            }
+        }
+        Some(Symbol::intern(&buf))
+    }
+
+    /// The joint key of a Y-side composite, or `None` when the
+    /// composite is missing a planned atom or holds an unencodable
+    /// value (it then lands in the index's unkeyed list).
+    pub fn y_key(&self, composite: &CompositeTuple) -> Option<Symbol> {
+        self.key_of(composite, |e| (e.y_atom, e.y_field))
+    }
+
+    /// The joint key an X-side composite probes with, or `None` when it
+    /// cannot supply every planned value (it then scans the whole
+    /// chunk).
+    pub fn x_key(&self, composite: &CompositeTuple) -> Option<Symbol> {
+        self.key_of(composite, |e| (e.x_atom, e.x_field))
+    }
+}
+
+/// Hash index over one Y chunk, built lazily once and cached for every
+/// tile in that chunk's row.
+#[derive(Debug, Clone)]
+pub struct JoinIndex {
+    /// Which [`KeyPlan`] (by run-local id) the buckets were keyed under.
+    pub plan_id: usize,
+    /// Join-key buckets; entries are ascending source indices.
+    pub buckets: HashMap<Symbol, Vec<u32>>,
+    /// Composites with no key (missing atom, unencodable value), probed
+    /// by every X composite. Ascending source indices.
+    pub unkeyed: Vec<u32>,
+}
+
+impl JoinIndex {
+    /// Buckets `chunk` under `plan`.
+    pub fn build(plan: &KeyPlan, plan_id: usize, chunk: &[CompositeTuple]) -> JoinIndex {
+        let mut buckets: HashMap<Symbol, Vec<u32>> = HashMap::new();
+        let mut unkeyed = Vec::new();
+        for (j, c) in chunk.iter().enumerate() {
+            match plan.y_key(c) {
+                Some(key) => buckets.entry(key).or_default().push(j as u32),
+                None => unkeyed.push(j as u32),
+            }
+        }
+        JoinIndex {
+            plan_id,
+            buckets,
+            unkeyed,
+        }
+    }
+}
+
+/// Cached probe keys of one X chunk under one plan.
+#[derive(Debug, Clone)]
+pub struct ProbeKeys {
+    /// Which plan the keys were extracted under.
+    pub plan_id: usize,
+    /// Per composite: its probe key, or `None` for scan-everything.
+    pub keys: Vec<Option<Symbol>>,
+    /// Distinct probe keys present (for index-emptiness pruning).
+    pub distinct: Vec<Symbol>,
+    /// True when every composite has a probe key.
+    pub all_keyed: bool,
+}
+
+impl ProbeKeys {
+    /// Extracts the probe keys of `chunk` under `plan`.
+    pub fn build(plan: &KeyPlan, plan_id: usize, chunk: &[CompositeTuple]) -> ProbeKeys {
+        let mut keys = Vec::with_capacity(chunk.len());
+        let mut distinct: Vec<Symbol> = Vec::new();
+        let mut all_keyed = true;
+        for c in chunk {
+            let key = plan.x_key(c);
+            match key {
+                Some(k) => {
+                    if !distinct.contains(&k) {
+                        distinct.push(k);
+                    }
+                }
+                None => all_keyed = false,
+            }
+            keys.push(key);
+        }
+        ProbeKeys {
+            plan_id,
+            keys,
+            distinct,
+            all_keyed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_is_equality_faithful() {
+        let mut a = String::new();
+        let mut b = String::new();
+        // Int/Float promotion: 3 = 3.0.
+        assert!(encode_value(&Value::Int(3), &mut a));
+        assert!(encode_value(&Value::Float(3.0), &mut b));
+        assert_eq!(a, b);
+        // -0.0 = 0.0.
+        a.clear();
+        b.clear();
+        assert!(encode_value(&Value::Float(-0.0), &mut a));
+        assert!(encode_value(&Value::Float(0.0), &mut b));
+        assert_eq!(a, b);
+        // Null only matches Null.
+        a.clear();
+        b.clear();
+        assert!(encode_value(&Value::Null, &mut a));
+        assert!(encode_value(&Value::text(""), &mut b));
+        assert_ne!(a, b);
+        // Distinct texts stay distinct.
+        a.clear();
+        b.clear();
+        assert!(encode_value(&Value::text("x"), &mut a));
+        assert!(encode_value(&Value::text("y"), &mut b));
+        assert_ne!(a, b);
+        // NaN has no faithful encoding.
+        a.clear();
+        assert!(!encode_value(&Value::Float(f64::NAN), &mut a));
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut s = JoinStats {
+            index_builds: 1,
+            probes: 2,
+            pairs_skipped: 3,
+            tiles_pruned: 4,
+            predicate_evals: 5,
+        };
+        s.merge(&JoinStats {
+            index_builds: 10,
+            probes: 20,
+            pairs_skipped: 30,
+            tiles_pruned: 40,
+            predicate_evals: 50,
+        });
+        assert_eq!(
+            s,
+            JoinStats {
+                index_builds: 11,
+                probes: 22,
+                pairs_skipped: 33,
+                tiles_pruned: 44,
+                predicate_evals: 55,
+            }
+        );
+    }
+}

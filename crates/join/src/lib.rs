@@ -25,6 +25,7 @@
 pub mod completion;
 pub mod error;
 pub mod executor;
+pub mod index;
 pub mod method;
 pub mod optimality;
 pub mod pipe;
@@ -33,9 +34,10 @@ pub mod tile;
 
 pub use error::JoinError;
 pub use executor::{JoinOutcome, ParallelJoinExecutor};
+pub use index::{JoinIndexMode, JoinIndexOptions, JoinStats};
 pub use method::{JoinMethod, Topology};
 pub use pipe::{pipe_join, PipeJoin, PipeOutcome};
-pub use strategy::{cost_based_ratio, CallScheduler, CallTarget, Pacing};
+pub use strategy::{cost_based_ratio, CallScheduler, CallTarget, Pacing, TilePruner};
 pub use tile::{Tile, TileSpace};
 
 /// Result alias for join-layer operations.

@@ -15,10 +15,12 @@ use std::collections::BTreeMap;
 use seco_model::{Comparator, CompositeTuple, Value};
 use seco_query::feasibility::{BindingSource, IoDependency};
 use seco_query::predicate::{satisfies_available, ResolvedPredicate, SchemaMap};
+use seco_query::{CompiledPredicates, EvalScratch};
 use seco_services::invocation::Request;
 use seco_services::Service;
 
 use crate::error::JoinError;
+use crate::index::JoinStats;
 
 /// Outcome of a pipe-join stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +36,9 @@ pub struct PipeOutcome {
     /// True when failure tolerance absorbed at least one service error:
     /// `results` is then a (possibly empty) partial answer.
     pub degraded: bool,
+    /// Join-kernel work counters (pipe stages only evaluate predicates,
+    /// so only `predicate_evals` moves here).
+    pub stats: JoinStats,
 }
 
 /// A configured pipe-join stage: extends each input composite with the
@@ -86,6 +91,14 @@ impl PipeJoin<'_> {
         let mut calls = 0usize;
         let mut busy_ms = 0.0f64;
         let mut degraded = false;
+        let mut stats = JoinStats::default();
+
+        // Compile the predicate set once per stage run. The compiled
+        // evaluator mirrors `satisfies_available` exactly; when the set
+        // does not compile (unknown atom, unresolvable path) the
+        // interpreted path below keeps the original error behavior.
+        let compiled = CompiledPredicates::compile(self.predicates, self.schemas);
+        let mut scratch = EvalScratch::default();
 
         for input in inputs {
             // Assemble the request for this input composite.
@@ -138,9 +151,18 @@ impl PipeJoin<'_> {
                 let has_more = resp.has_more();
                 for tuple in resp.tuples() {
                     let candidate = input.extend_with(self.atom, tuple.clone());
-                    if satisfies_available(self.predicates, &candidate, self.schemas)? {
+                    stats.predicate_evals += 1;
+                    let keep = match &compiled {
+                        Some(c) => c.eval(&candidate, &mut scratch)?,
+                        None => satisfies_available(self.predicates, &candidate, self.schemas)?,
+                    };
+                    if keep {
                         results.push(candidate);
                         if self.keep_first {
+                            // This input has its extension: stop its
+                            // fetch budget here and move to the next
+                            // input — no further chunks are issued for
+                            // a satisfied composite.
                             break 'chunks;
                         }
                     }
@@ -156,6 +178,7 @@ impl PipeJoin<'_> {
             calls,
             busy_ms,
             degraded,
+            stats,
         })
     }
 }

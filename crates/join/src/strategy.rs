@@ -164,6 +164,89 @@ pub fn cost_based_ratio(
     }
 }
 
+/// Score-frontier tile bound for top-`k` runs.
+///
+/// A tile's representative — the product of its two chunks' head scores
+/// (§4.1) — upper-bounds the score product of every candidate pair in
+/// the tile, because ranked streams decay within and across chunks. Once
+/// `k` results have been emitted whose score products all exceed a
+/// tile's representative, no pair of that tile can enter the top-`k`
+/// frontier, so the whole tile can be skipped without changing the
+/// result set.
+///
+/// Under the executor's emit-in-tile-order, stop-at-`k` semantics the
+/// frontier can never *fill* while tiles are still being examined (the
+/// run breaks the moment the `k`-th result is emitted), so this bound is
+/// vacuously exact — it never fires, which the equivalence property
+/// tests confirm by comparing pruned and unpruned runs byte-for-byte.
+/// It is wired in behind `JoinIndexOptions::tile_prune` as the hook for
+/// strategies that buffer and re-rank before emitting. `k = 0` means an
+/// unbounded target: nothing is ever skipped.
+#[derive(Debug, Clone, Default)]
+pub struct TilePruner {
+    k: usize,
+    /// Min-heap over the `k` highest emitted score products.
+    frontier: std::collections::BinaryHeap<std::cmp::Reverse<FrontierScore>>,
+}
+
+/// Total order over emitted score products (`f64::total_cmp`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FrontierScore(f64);
+
+impl Eq for FrontierScore {}
+
+impl Ord for FrontierScore {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for FrontierScore {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl TilePruner {
+    /// Creates a pruner targeting `k` results (`0` = unbounded, never
+    /// prunes).
+    pub fn new(k: usize) -> Self {
+        TilePruner {
+            k,
+            frontier: std::collections::BinaryHeap::new(),
+        }
+    }
+
+    /// Records the score product of an emitted result.
+    pub fn observe(&mut self, score_product: f64) {
+        if self.k == 0 {
+            return;
+        }
+        if self.frontier.len() < self.k {
+            self.frontier
+                .push(std::cmp::Reverse(FrontierScore(score_product)));
+        } else if let Some(std::cmp::Reverse(min)) = self.frontier.peek() {
+            if score_product > min.0 {
+                self.frontier.pop();
+                self.frontier
+                    .push(std::cmp::Reverse(FrontierScore(score_product)));
+            }
+        }
+    }
+
+    /// True when a tile with this representative cannot contribute a
+    /// top-`k` result: the frontier is full and strictly dominates it.
+    pub fn can_skip(&self, representative: f64) -> bool {
+        if self.k == 0 || self.frontier.len() < self.k {
+            return false;
+        }
+        match self.frontier.peek() {
+            Some(std::cmp::Reverse(min)) => representative < min.0,
+            None => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +309,22 @@ mod tests {
     fn nested_loop_with_h_one_behaves_like_outer_probe() {
         let s = CallScheduler::new(Invocation::NestedLoop, 1).unwrap();
         assert_eq!(s.sequence(5), vec![X, Y, Y, Y, Y]);
+    }
+
+    #[test]
+    fn tile_pruner_skips_only_dominated_tiles_behind_a_full_frontier() {
+        let mut p = TilePruner::new(2);
+        assert!(!p.can_skip(0.1), "empty frontier never skips");
+        p.observe(0.9);
+        assert!(!p.can_skip(0.1), "frontier not full yet");
+        p.observe(0.8);
+        assert!(p.can_skip(0.5));
+        assert!(!p.can_skip(0.8), "ties are not skipped");
+        p.observe(0.95); // evicts 0.8
+        assert!(p.can_skip(0.85));
+        let mut unbounded = TilePruner::new(0);
+        unbounded.observe(1.0);
+        assert!(!unbounded.can_skip(0.0));
     }
 
     #[test]

@@ -1,0 +1,644 @@
+//! Compile-once predicate evaluation for the join hot path.
+//!
+//! The interpreted evaluator in [`crate::predicate`] re-resolves every
+//! `QualifiedPath` through the schema map, allocates `String` group keys,
+//! and builds a fresh `BTreeMap` assignment per candidate pair. A join
+//! stage evaluates the same predicate set once per candidate — up to
+//! `nX × nY` times per tile — so this module compiles the set once per
+//! stage: every path becomes a direct `(component, field, sub)` accessor,
+//! repeating groups become pre-sorted slots, and the row odometer runs
+//! over caller-owned scratch buffers without touching the heap.
+//!
+//! The compiled evaluator is a *mirror* of
+//! [`crate::predicate::satisfies_available`], not a rewrite: the
+//! active-predicate filter, the `(atom, group)`-sorted group collection,
+//! the odometer advance order, and the in-order short-circuit evaluation
+//! reproduce the interpreter decision-for-decision and error-for-error,
+//! so swapping it in cannot change results. [`CompiledPredicates::compile`]
+//! returns `None` whenever anything cannot be pre-resolved (unknown atom,
+//! unresolvable path); callers then fall back to the interpreted path,
+//! which also preserves the interpreter's error behavior for malformed
+//! inputs.
+//!
+//! Compilation additionally classifies predicates: conjuncts of the form
+//! `X.a = Y.b` over *atomic* attributes of *distinct* atoms with
+//! compatible types are surfaced as [`EquiCandidate`]s, which the join
+//! layer uses to build hash indexes (see `seco-join`). Such a predicate
+//! is independent of any group-row assignment, so a key mismatch falsifies
+//! the conjunction under every mapping — skipping non-matching pairs is
+//! exact. Predicates with incompatible operand types are *not* surfaced:
+//! the baseline raises `IncomparableValues` on them, and the fallback path
+//! must keep doing so.
+
+use seco_model::{Comparator, CompositeTuple, DataType, Symbol, Value};
+
+use crate::ast::QualifiedPath;
+use crate::error::QueryError;
+use crate::predicate::{ResolvedPredicate, SchemaMap};
+
+/// A pre-resolved reference to one side of a predicate: which atom, which
+/// field slot, and (for grouped paths) which sub-attribute and group slot.
+#[derive(Debug, Clone, Copy)]
+struct Accessor {
+    /// Index into [`CompiledPredicates::atoms`].
+    atom_idx: usize,
+    /// Field slot index in the atom's tuple.
+    field: usize,
+    /// Sub-attribute index within a group row, when the path is grouped.
+    sub: Option<usize>,
+    /// Index into [`CompiledPredicates::groups`]; only valid when `sub`
+    /// is `Some`.
+    group_slot: usize,
+    /// Attribute name, kept for error messages.
+    attr: Symbol,
+}
+
+#[derive(Debug, Clone)]
+enum CompiledPred {
+    Selection {
+        left: Accessor,
+        op: Comparator,
+        value: Value,
+    },
+    Join {
+        left: Accessor,
+        op: Comparator,
+        right: Accessor,
+    },
+}
+
+/// One repeating group referenced by the predicate set.
+#[derive(Debug, Clone, Copy)]
+struct GroupSlot {
+    /// Index into [`CompiledPredicates::atoms`].
+    atom_idx: usize,
+    /// Field slot of the group in the atom's tuple.
+    field: usize,
+}
+
+/// An equality conjunct `left_atom.field = right_atom.field` over atomic
+/// attributes of two distinct atoms: the raw material for hash-join keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquiCandidate {
+    /// Alias of the left atom.
+    pub left_atom: Symbol,
+    /// Atomic field slot on the left tuple.
+    pub left_field: usize,
+    /// Alias of the right atom.
+    pub right_atom: Symbol,
+    /// Atomic field slot on the right tuple.
+    pub right_field: usize,
+}
+
+/// A predicate set compiled against a schema map: direct accessors, slot
+/// numbers for every referenced repeating group, and the extracted
+/// equi-join candidates.
+#[derive(Debug, Clone)]
+pub struct CompiledPredicates {
+    /// Distinct atom aliases referenced by the predicates.
+    atoms: Vec<Symbol>,
+    /// Schema (service) name per atom, for error messages.
+    schema_names: Vec<String>,
+    preds: Vec<CompiledPred>,
+    /// Referenced repeating groups, sorted by `(alias, group name)` — the
+    /// same order the interpreter's `BTreeMap` iterates in.
+    groups: Vec<GroupSlot>,
+    equi: Vec<EquiCandidate>,
+}
+
+/// Reusable buffers for [`CompiledPredicates::eval`]. Owned by the caller
+/// so a join stage performs zero allocations per candidate.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Per compiled atom: its position in the composite, or `usize::MAX`.
+    comp_idx: Vec<usize>,
+    /// Indices of predicates whose atoms are all present.
+    active: Vec<usize>,
+    /// Per group slot: referenced by an active predicate this call?
+    group_used: Vec<bool>,
+    /// Per group slot: row count in the current composite.
+    counts: Vec<usize>,
+    /// Per group slot: the row selected by the current odometer state.
+    rows: Vec<usize>,
+    /// Referenced group slots in slot (= sorted) order; the odometer
+    /// advances `order[0]` fastest, exactly like the interpreter.
+    order: Vec<usize>,
+}
+
+fn types_compatible(a: DataType, b: DataType) -> bool {
+    let numeric = |t| matches!(t, DataType::Int | DataType::Float);
+    a == b || (numeric(a) && numeric(b))
+}
+
+/// The declared type of a constant operand, `None` for `Null` (which
+/// never raises a comparison error: `eval` short-circuits on it).
+fn const_type(v: &Value) -> Option<DataType> {
+    match v {
+        Value::Null => None,
+        Value::Bool(_) => Some(DataType::Bool),
+        Value::Int(_) => Some(DataType::Int),
+        Value::Float(_) => Some(DataType::Float),
+        Value::Text(_) => Some(DataType::Text),
+        Value::Date(_) => Some(DataType::Date),
+    }
+}
+
+/// True when `op` over operands of these types can never return an
+/// error for schema-conforming values. `Like` demands text on both
+/// sides; the other comparators accept identical or numeric-promotable
+/// pairs. `None` (a `Null` constant) is always safe.
+fn cmp_is_total(op: Comparator, left: DataType, right: Option<DataType>) -> bool {
+    match right {
+        None => true,
+        Some(r) => {
+            if op == Comparator::Like {
+                left == DataType::Text && r == DataType::Text
+            } else {
+                types_compatible(left, r)
+            }
+        }
+    }
+}
+
+/// Intermediate per-path resolution used during compilation.
+struct ResolvedPath {
+    atom_idx: usize,
+    alias: Symbol,
+    field: usize,
+    sub: Option<usize>,
+    attr: Symbol,
+    dtype: DataType,
+}
+
+impl CompiledPredicates {
+    /// Compiles `predicates` against `schemas`. Returns `None` when any
+    /// path fails to resolve — callers must fall back to the interpreted
+    /// evaluator so error behavior on malformed inputs is unchanged.
+    pub fn compile(predicates: &[ResolvedPredicate], schemas: &SchemaMap<'_>) -> Option<Self> {
+        let mut atoms: Vec<Symbol> = Vec::new();
+        let mut schema_names: Vec<String> = Vec::new();
+        // (alias, group name) -> (atom_idx, field); BTreeMap iteration
+        // gives the interpreter's sorted group order.
+        let mut group_keys: std::collections::BTreeMap<(Symbol, Symbol), GroupSlot> =
+            std::collections::BTreeMap::new();
+
+        let mut resolve_path = |qp: &QualifiedPath| -> Option<ResolvedPath> {
+            let schema = schemas.get(&qp.atom)?;
+            let (field, sub) = schema.resolve(&qp.path).ok()?;
+            let dtype = schema.type_of(&qp.path).ok()?;
+            let alias = Symbol::intern(&qp.atom);
+            let atom_idx = match atoms.iter().position(|a| *a == alias) {
+                Some(i) => i,
+                None => {
+                    atoms.push(alias);
+                    schema_names.push(schema.name.clone());
+                    atoms.len() - 1
+                }
+            };
+            if sub.is_some() {
+                group_keys
+                    .entry((alias, qp.path.attr))
+                    .or_insert(GroupSlot { atom_idx, field });
+            }
+            Some(ResolvedPath {
+                atom_idx,
+                alias,
+                field,
+                sub,
+                attr: qp.path.attr,
+                dtype,
+            })
+        };
+
+        // First pass: resolve every path (collecting atoms and groups).
+        enum Partial {
+            Selection(ResolvedPath, Comparator, Value),
+            Join(ResolvedPath, Comparator, ResolvedPath),
+        }
+        let mut partial = Vec::with_capacity(predicates.len());
+        for p in predicates {
+            match p {
+                ResolvedPredicate::Selection { left, op, value } => {
+                    partial.push(Partial::Selection(resolve_path(left)?, *op, value.clone()));
+                }
+                ResolvedPredicate::Join(j) => {
+                    partial.push(Partial::Join(
+                        resolve_path(&j.left)?,
+                        j.op,
+                        resolve_path(&j.right)?,
+                    ));
+                }
+            }
+        }
+
+        // Assign group slots in sorted-key order.
+        let groups: Vec<GroupSlot> = group_keys.values().copied().collect();
+        let slot_of = |alias: Symbol, attr: Symbol| -> usize {
+            group_keys
+                .keys()
+                .position(|k| *k == (alias, attr))
+                .unwrap_or(usize::MAX)
+        };
+        let accessor = |rp: &ResolvedPath| -> Accessor {
+            Accessor {
+                atom_idx: rp.atom_idx,
+                field: rp.field,
+                sub: rp.sub,
+                group_slot: match rp.sub {
+                    Some(_) => slot_of(rp.alias, rp.attr),
+                    None => usize::MAX,
+                },
+                attr: rp.attr,
+            }
+        };
+
+        // A skipped pair must not hide an error the interpreter would
+        // have raised from *any* predicate in the set, so equi keys are
+        // only extracted when every predicate is statically total.
+        let mut all_total = true;
+        let mut preds = Vec::with_capacity(partial.len());
+        let mut equi = Vec::new();
+        for p in &partial {
+            match p {
+                Partial::Selection(left, op, value) => {
+                    all_total &= cmp_is_total(*op, left.dtype, const_type(value));
+                    preds.push(CompiledPred::Selection {
+                        left: accessor(left),
+                        op: *op,
+                        value: value.clone(),
+                    });
+                }
+                Partial::Join(left, op, right) => {
+                    all_total &= cmp_is_total(*op, left.dtype, Some(right.dtype));
+                    if *op == Comparator::Eq
+                        && left.sub.is_none()
+                        && right.sub.is_none()
+                        && left.alias != right.alias
+                        && types_compatible(left.dtype, right.dtype)
+                    {
+                        equi.push(EquiCandidate {
+                            left_atom: left.alias,
+                            left_field: left.field,
+                            right_atom: right.alias,
+                            right_field: right.field,
+                        });
+                    }
+                    preds.push(CompiledPred::Join {
+                        left: accessor(left),
+                        op: *op,
+                        right: accessor(right),
+                    });
+                }
+            }
+        }
+
+        if !all_total {
+            equi.clear();
+        }
+        Some(CompiledPredicates {
+            atoms,
+            schema_names,
+            preds,
+            groups,
+            equi,
+        })
+    }
+
+    /// The extracted equality conjuncts usable as hash-join keys.
+    pub fn equi_candidates(&self) -> &[EquiCandidate] {
+        &self.equi
+    }
+
+    /// Number of compiled predicates.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True when the set is empty (every composite satisfies it).
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Non-strict evaluation, mirroring
+    /// [`crate::predicate::satisfies_available`]: predicates whose atoms
+    /// are not all present are skipped; the rest must hold under a single
+    /// group-row mapping.
+    pub fn eval(
+        &self,
+        composite: &CompositeTuple,
+        s: &mut EvalScratch,
+    ) -> Result<bool, QueryError> {
+        // Locate each compiled atom in this composite.
+        s.comp_idx.clear();
+        for a in &self.atoms {
+            let pos = composite
+                .atoms
+                .iter()
+                .position(|x| x == a)
+                .unwrap_or(usize::MAX);
+            s.comp_idx.push(pos);
+        }
+
+        // Active-predicate filter, in predicate order.
+        s.active.clear();
+        for (i, p) in self.preds.iter().enumerate() {
+            let present = match p {
+                CompiledPred::Selection { left, .. } => s.comp_idx[left.atom_idx] != usize::MAX,
+                CompiledPred::Join { left, right, .. } => {
+                    s.comp_idx[left.atom_idx] != usize::MAX
+                        && s.comp_idx[right.atom_idx] != usize::MAX
+                }
+            };
+            if present {
+                s.active.push(i);
+            }
+        }
+        if s.active.is_empty() {
+            return Ok(true);
+        }
+
+        // Collect the groups referenced by active predicates; slot order
+        // is the interpreter's sorted order.
+        s.group_used.clear();
+        s.group_used.resize(self.groups.len(), false);
+        for &i in &s.active {
+            match &self.preds[i] {
+                CompiledPred::Selection { left, .. } => {
+                    if left.sub.is_some() {
+                        s.group_used[left.group_slot] = true;
+                    }
+                }
+                CompiledPred::Join { left, right, .. } => {
+                    if left.sub.is_some() {
+                        s.group_used[left.group_slot] = true;
+                    }
+                    if right.sub.is_some() {
+                        s.group_used[right.group_slot] = true;
+                    }
+                }
+            }
+        }
+        s.counts.clear();
+        s.counts.resize(self.groups.len(), 0);
+        s.order.clear();
+        for (slot, g) in self.groups.iter().enumerate() {
+            if !s.group_used[slot] {
+                continue;
+            }
+            let n = composite.components[s.comp_idx[g.atom_idx]]
+                .group_at(g.field)
+                .len();
+            if n == 0 {
+                // No mapping exists for an empty referenced group.
+                return Ok(false);
+            }
+            s.counts[slot] = n;
+            s.order.push(slot);
+        }
+
+        // Odometer over row choices; order[0] advances fastest.
+        s.rows.clear();
+        s.rows.resize(self.groups.len(), 0);
+        loop {
+            let mut all_hold = true;
+            for &i in &s.active {
+                let holds = match &self.preds[i] {
+                    CompiledPred::Selection { left, op, value } => {
+                        let lv = self.value_of(left, composite, s)?;
+                        op.eval(lv, value).map_err(QueryError::Model)?
+                    }
+                    CompiledPred::Join { left, op, right } => {
+                        let lv = self.value_of(left, composite, s)?;
+                        let rv = self.value_of(right, composite, s)?;
+                        op.eval(lv, rv).map_err(QueryError::Model)?
+                    }
+                };
+                if !holds {
+                    all_hold = false;
+                    break;
+                }
+            }
+            if all_hold {
+                return Ok(true);
+            }
+            let mut k = 0;
+            loop {
+                if k == s.order.len() {
+                    return Ok(false);
+                }
+                let slot = s.order[k];
+                s.rows[slot] += 1;
+                if s.rows[slot] < s.counts[slot] {
+                    break;
+                }
+                s.rows[slot] = 0;
+                k += 1;
+            }
+        }
+    }
+
+    fn value_of<'t>(
+        &self,
+        acc: &Accessor,
+        composite: &'t CompositeTuple,
+        s: &EvalScratch,
+    ) -> Result<&'t Value, QueryError> {
+        let tuple = &composite.components[s.comp_idx[acc.atom_idx]];
+        match acc.sub {
+            None => Ok(tuple.atomic_at(acc.field)),
+            Some(sub) => {
+                let row = s.rows[acc.group_slot];
+                tuple
+                    .group_at(acc.field)
+                    .get(row)
+                    .and_then(|r| r.values.get(sub))
+                    .ok_or_else(|| {
+                        QueryError::Model(seco_model::ModelError::SchemaViolation {
+                            service: self.schema_names[acc.atom_idx].clone(),
+                            detail: format!("group `{}` has no row {row}", acc.attr),
+                        })
+                    })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::JoinPredicate;
+    use crate::predicate::satisfies_available;
+    use seco_model::{AttributePath, ServiceSchema};
+    use seco_services::table::chapter_semantics_example;
+    use seco_services::Service;
+
+    fn setup() -> (
+        Vec<seco_model::SharedTuple>,
+        Vec<seco_model::SharedTuple>,
+        ServiceSchema,
+        ServiceSchema,
+    ) {
+        let (s1, s2) = chapter_semantics_example();
+        (
+            s1.rows().to_vec(),
+            s2.rows().to_vec(),
+            s1.interface().schema.clone(),
+            s2.interface().schema.clone(),
+        )
+    }
+
+    fn schema_map<'a>(entries: &[(&str, &'a ServiceSchema)]) -> SchemaMap<'a> {
+        entries.iter().map(|(a, s)| ((*a).to_owned(), *s)).collect()
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_on_the_chapter_example() {
+        // Q1 selections (grouped paths) and Q2 joins over S1/S2.
+        let (s1_rows, s2_rows, s1_schema, s2_schema) = setup();
+        let schemas = schema_map(&[("S1", &s1_schema), ("S2", &s2_schema)]);
+        let preds = vec![
+            ResolvedPredicate::Join(JoinPredicate {
+                left: QualifiedPath::new("S1", AttributePath::sub("R", "A")),
+                op: Comparator::Eq,
+                right: QualifiedPath::new("S2", AttributePath::sub("R", "A")),
+            }),
+            ResolvedPredicate::Join(JoinPredicate {
+                left: QualifiedPath::new("S1", AttributePath::sub("R", "B")),
+                op: Comparator::Eq,
+                right: QualifiedPath::new("S2", AttributePath::sub("R", "B")),
+            }),
+        ];
+        let compiled = CompiledPredicates::compile(&preds, &schemas).expect("compiles");
+        let mut scratch = EvalScratch::default();
+        for x in &s1_rows {
+            for y in &s2_rows {
+                let c = CompositeTuple::single("S1", x.clone()).extend_with("S2", y.clone());
+                let interp = satisfies_available(&preds, &c, &schemas).unwrap();
+                let comp = compiled.eval(&c, &mut scratch).unwrap();
+                assert_eq!(interp, comp, "divergence on {c}");
+            }
+        }
+        // Grouped paths must not become equi candidates.
+        assert!(compiled.equi_candidates().is_empty());
+    }
+
+    #[test]
+    fn compiled_skips_predicates_with_missing_atoms() {
+        let (s1_rows, _, s1_schema, s2_schema) = setup();
+        let schemas = schema_map(&[("S1", &s1_schema), ("S2", &s2_schema)]);
+        let preds = vec![ResolvedPredicate::Join(JoinPredicate {
+            left: QualifiedPath::new("S1", AttributePath::sub("R", "A")),
+            op: Comparator::Eq,
+            right: QualifiedPath::new("S2", AttributePath::sub("R", "A")),
+        })];
+        let compiled = CompiledPredicates::compile(&preds, &schemas).expect("compiles");
+        let mut scratch = EvalScratch::default();
+        let partial = CompositeTuple::single("S1", s1_rows[0].clone());
+        assert!(compiled.eval(&partial, &mut scratch).unwrap());
+        assert!(satisfies_available(&preds, &partial, &schemas).unwrap());
+    }
+
+    #[test]
+    fn selection_on_grouped_path_matches_interpreter() {
+        let (s1_rows, _, s1_schema, _) = setup();
+        let schemas = schema_map(&[("S1", &s1_schema)]);
+        let preds = vec![
+            ResolvedPredicate::Selection {
+                left: QualifiedPath::new("S1", AttributePath::sub("R", "A")),
+                op: Comparator::Eq,
+                value: Value::Int(1),
+            },
+            ResolvedPredicate::Selection {
+                left: QualifiedPath::new("S1", AttributePath::sub("R", "B")),
+                op: Comparator::Eq,
+                value: Value::text("x"),
+            },
+        ];
+        let compiled = CompiledPredicates::compile(&preds, &schemas).expect("compiles");
+        let mut scratch = EvalScratch::default();
+        for row in &s1_rows {
+            let c = CompositeTuple::single("S1", row.clone());
+            assert_eq!(
+                satisfies_available(&preds, &c, &schemas).unwrap(),
+                compiled.eval(&c, &mut scratch).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_atom_fails_compilation() {
+        let (_, _, s1_schema, _) = setup();
+        let schemas = schema_map(&[("S1", &s1_schema)]);
+        let preds = vec![ResolvedPredicate::Selection {
+            left: QualifiedPath::new("Nope", AttributePath::atomic("X")),
+            op: Comparator::Eq,
+            value: Value::Int(1),
+        }];
+        assert!(CompiledPredicates::compile(&preds, &schemas).is_none());
+    }
+
+    #[test]
+    fn equi_candidates_require_atomic_distinct_compatible_sides() {
+        use seco_model::{Adornment, AttributeDef, DataType};
+        let left = ServiceSchema::new(
+            "L1",
+            vec![
+                AttributeDef::atomic("Key", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("N", DataType::Int, Adornment::Output),
+            ],
+        )
+        .unwrap();
+        let right = ServiceSchema::new(
+            "R1",
+            vec![
+                AttributeDef::atomic("Key", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("M", DataType::Float, Adornment::Output),
+                AttributeDef::atomic("Flag", DataType::Bool, Adornment::Output),
+            ],
+        )
+        .unwrap();
+        let schemas = schema_map(&[("L", &left), ("R", &right)]);
+        let preds = vec![
+            // Text = Text: candidate.
+            ResolvedPredicate::Join(JoinPredicate {
+                left: QualifiedPath::new("L", AttributePath::atomic("Key")),
+                op: Comparator::Eq,
+                right: QualifiedPath::new("R", AttributePath::atomic("Key")),
+            }),
+            // Int = Float: numeric promotion, still a candidate.
+            ResolvedPredicate::Join(JoinPredicate {
+                left: QualifiedPath::new("L", AttributePath::atomic("N")),
+                op: Comparator::Eq,
+                right: QualifiedPath::new("R", AttributePath::atomic("M")),
+            }),
+            // Lt: not an equality, but total — does not block the others.
+            ResolvedPredicate::Join(JoinPredicate {
+                left: QualifiedPath::new("L", AttributePath::atomic("N")),
+                op: Comparator::Lt,
+                right: QualifiedPath::new("R", AttributePath::atomic("M")),
+            }),
+        ];
+        let compiled = CompiledPredicates::compile(&preds, &schemas).expect("compiles");
+        let equi = compiled.equi_candidates();
+        assert_eq!(equi.len(), 2);
+        assert!(equi[0].left_atom.is("L") && equi[0].right_atom.is("R"));
+        assert_eq!(equi[0].left_field, 0);
+        assert_eq!(equi[0].right_field, 0);
+        assert_eq!(equi[1].left_field, 1);
+        assert_eq!(equi[1].right_field, 1);
+
+        // An incomparable predicate (Int = Bool) makes the interpreter
+        // error at runtime; its presence suppresses every equi key so the
+        // fallback path keeps erroring on the same pairs.
+        let with_incomparable = [
+            preds[0].clone(),
+            ResolvedPredicate::Join(JoinPredicate {
+                left: QualifiedPath::new("L", AttributePath::atomic("N")),
+                op: Comparator::Eq,
+                right: QualifiedPath::new("R", AttributePath::atomic("Flag")),
+            }),
+        ];
+        let compiled = CompiledPredicates::compile(&with_incomparable, &schemas).expect("compiles");
+        assert!(compiled.equi_candidates().is_empty());
+    }
+}

@@ -27,6 +27,7 @@
 pub mod ast;
 pub mod augment;
 pub mod builder;
+pub mod compile;
 pub mod error;
 pub mod feasibility;
 pub mod parser;
@@ -39,6 +40,7 @@ pub use ast::{
 };
 pub use augment::{augment_query, AugmentOptions, Augmented};
 pub use builder::QueryBuilder;
+pub use compile::{CompiledPredicates, EquiCandidate, EvalScratch};
 pub use error::QueryError;
 pub use feasibility::{FeasibilityReport, IoDependency};
 pub use parser::parse_query;

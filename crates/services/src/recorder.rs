@@ -61,6 +61,17 @@ pub struct CallStats {
     pub clone_events: u64,
     /// Wire-equivalent bytes deep-copied by those clone events.
     pub bytes_cloned: u64,
+    /// Hash join indexes built over chunks fed by this service.
+    pub index_builds: u64,
+    /// Join-key bucket lookups probing those indexes.
+    pub probes: u64,
+    /// Candidate pairs skipped without predicate evaluation.
+    pub pairs_skipped: u64,
+    /// Whole join tiles skipped by index or score-bound pruning.
+    pub tiles_pruned: u64,
+    /// Predicate-set evaluations performed by join stages over this
+    /// service's tuples.
+    pub predicate_evals: u64,
 }
 
 impl serde::Serialize for CallStats {
@@ -93,6 +104,23 @@ impl serde::Serialize for CallStats {
             (
                 "bytes_cloned".to_string(),
                 self.bytes_cloned.to_json_value(),
+            ),
+            (
+                "index_builds".to_string(),
+                self.index_builds.to_json_value(),
+            ),
+            ("probes".to_string(), self.probes.to_json_value()),
+            (
+                "pairs_skipped".to_string(),
+                self.pairs_skipped.to_json_value(),
+            ),
+            (
+                "tiles_pruned".to_string(),
+                self.tiles_pruned.to_json_value(),
+            ),
+            (
+                "predicate_evals".to_string(),
+                self.predicate_evals.to_json_value(),
             ),
         ])
     }
@@ -127,6 +155,11 @@ impl CallStats {
         self.prefetches += other.prefetches;
         self.clone_events += other.clone_events;
         self.bytes_cloned += other.bytes_cloned;
+        self.index_builds += other.index_builds;
+        self.probes += other.probes;
+        self.pairs_skipped += other.pairs_skipped;
+        self.tiles_pruned += other.tiles_pruned;
+        self.predicate_evals += other.predicate_evals;
     }
 }
 
@@ -198,6 +231,25 @@ impl CallRecorder {
         let mut stats = self.stats.lock();
         stats.clone_events += 1;
         stats.bytes_cloned += bytes as u64;
+    }
+
+    /// Records join-kernel work performed over this service's tuples.
+    /// Takes raw counters (not a join-layer type) because the join crate
+    /// sits above this one in the dependency order.
+    pub fn note_join_counters(
+        &self,
+        index_builds: u64,
+        probes: u64,
+        pairs_skipped: u64,
+        tiles_pruned: u64,
+        predicate_evals: u64,
+    ) {
+        let mut stats = self.stats.lock();
+        stats.index_builds += index_builds;
+        stats.probes += probes;
+        stats.pairs_skipped += pairs_skipped;
+        stats.tiles_pruned += tiles_pruned;
+        stats.predicate_evals += predicate_evals;
     }
 }
 
@@ -338,6 +390,11 @@ mod tests {
             prefetches: 5,
             clone_events: 6,
             bytes_cloned: 640,
+            index_builds: 1,
+            probes: 7,
+            pairs_skipped: 20,
+            tiles_pruned: 2,
+            predicate_evals: 9,
         };
         a.merge(&b);
         assert_eq!(a.calls, 3);
@@ -353,6 +410,8 @@ mod tests {
         );
         assert_eq!((a.cache_hits, a.coalesced, a.prefetches), (4, 2, 5));
         assert_eq!((a.clone_events, a.bytes_cloned), (6, 640));
+        assert_eq!((a.index_builds, a.probes, a.pairs_skipped), (1, 7, 20));
+        assert_eq!((a.tiles_pruned, a.predicate_evals), (2, 9));
         assert_eq!(CallStats::default().mean_call_ms(), 0.0);
     }
 }

@@ -6,7 +6,8 @@
 //! seco optimize  [--domain D] [--metric M] [--seed N] [--workers N] <query…>
 //! seco run       [--domain D] [--metric M] [--seed N] [--parallel]
 //!                [--fault-profile none|flaky|outage] [--deadline-ms N]
-//!                [--cache-shards N] [--prefetch] <query…>
+//!                [--cache-shards N] [--prefetch]
+//!                [--join-index off|hash] [--tile-prune] <query…>
 //! seco oracle    [--domain D] [--seed N] <query…>
 //! ```
 //!
@@ -20,6 +21,14 @@
 //! request-coalescing response cache; `--prefetch` additionally warms
 //! the next chunk speculatively (implying a cache at the default
 //! width). Both report hit / coalesced / prefetch counters after the
+//! answers.
+//!
+//! `--join-index` selects the join kernel: `hash` (the default) builds
+//! per-chunk hash indexes over equi-join keys and probes them instead
+//! of scanning every candidate pair; `off` runs the plain nested loop.
+//! Both produce byte-identical answers. `--tile-prune` additionally
+//! skips tiles whose score-product representative cannot reach the
+//! current top-k frontier. A `join:` counter line is printed after the
 //! answers.
 //!
 //! `--fault-profile` makes every service inject deterministic faults
@@ -59,6 +68,8 @@ struct Args {
     deadline_ms: Option<f64>,
     cache_shards: usize,
     prefetch: bool,
+    join_index: JoinIndexMode,
+    tile_prune: bool,
     workers: usize,
     query: String,
 }
@@ -74,8 +85,15 @@ fn parse_args() -> Result<Args, String> {
     let mut deadline_ms = None;
     let mut cache_shards = 0usize;
     let mut prefetch = false;
+    let mut join_index = JoinIndexMode::default();
+    let mut tile_prune = false;
     let mut workers = 1usize;
     let mut query_parts: Vec<String> = Vec::new();
+    let parse_join_index = |mode: &str| match mode {
+        "off" | "nested" => Ok(JoinIndexMode::Off),
+        "hash" => Ok(JoinIndexMode::Hash),
+        other => Err(format!("unknown join index `{other}` (use off or hash)")),
+    };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--domain" => domain = argv.next().ok_or("--domain needs a value")?,
@@ -99,6 +117,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--parallel" => parallel = true,
             "--prefetch" => prefetch = true,
+            "--tile-prune" => tile_prune = true,
+            "--join-index" => {
+                join_index = parse_join_index(&argv.next().ok_or("--join-index needs a value")?)?;
+            }
             "--cache-shards" => {
                 cache_shards = argv
                     .next()
@@ -127,7 +149,13 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown metric `{other}`")),
                 };
             }
-            other => query_parts.push(other.to_owned()),
+            other => {
+                if let Some(mode) = other.strip_prefix("--join-index=") {
+                    join_index = parse_join_index(mode)?;
+                } else {
+                    query_parts.push(other.to_owned());
+                }
+            }
         }
     }
     Ok(Args {
@@ -140,6 +168,8 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms,
         cache_shards,
         prefetch,
+        join_index,
+        tile_prune,
         workers,
         query: query_parts.join(" "),
     })
@@ -149,7 +179,8 @@ fn usage() -> String {
     "usage: seco <services|explain|optimize|run|oracle> [--domain entertainment|travel] \
      [--metric execution-time|sum|request-count|bottleneck|time-to-screen] \
      [--seed N] [--workers N] [--parallel] [--fault-profile none|flaky|outage] \
-     [--deadline-ms N] [--cache-shards N] [--prefetch] <query>"
+     [--deadline-ms N] [--cache-shards N] [--prefetch] \
+     [--join-index off|hash] [--tile-prune] <query>"
         .to_owned()
 }
 
@@ -241,16 +272,16 @@ fn cmd_run(
     let query = parse_query(query_src).map_err(|e| e.to_string())?;
     let best = optimize(&query, registry, metric).map_err(|e| e.to_string())?;
     registry.reset_stats();
-    let (results, degraded) = if parallel {
+    let (results, degraded, join_stats) = if parallel {
         let out = execute_parallel_with(&best.plan, registry, opts).map_err(|e| e.to_string())?;
-        (out.results, out.degraded)
+        (out.results, out.degraded, out.join_stats)
     } else {
         let out = execute_plan(&best.plan, registry, opts).map_err(|e| e.to_string())?;
         println!(
             "{} request-responses, {:.0} virtual ms critical path",
             out.total_calls, out.critical_ms
         );
-        (out.results, out.degraded)
+        (out.results, out.degraded, out.join_stats)
     };
     let set = ResultSet::new(results, query.ranking.clone()).with_degraded(degraded);
     println!("{} combinations; top {}:", set.len(), query.k);
@@ -280,6 +311,14 @@ fn cmd_run(
             stats.calls, stats.cache_hits, stats.coalesced, stats.prefetches
         );
     }
+    println!(
+        "join: {} index builds, {} probes, {} pairs skipped, {} tiles pruned, {} predicate evals",
+        join_stats.index_builds,
+        join_stats.probes,
+        join_stats.pairs_skipped,
+        join_stats.tiles_pruned,
+        join_stats.predicate_evals
+    );
     Ok(())
 }
 
@@ -341,6 +380,10 @@ fn main() -> ExitCode {
             cache_shards: args.cache_shards,
             prefetch: args.prefetch,
             ..Default::default()
+        },
+        join_index: JoinIndexOptions {
+            mode: args.join_index,
+            tile_prune: args.tile_prune,
         },
     };
     let outcome = match args.command.as_str() {

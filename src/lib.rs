@@ -71,7 +71,7 @@ pub mod prelude {
         execute_parallel, execute_parallel_with, execute_plan, ExecOptions, FailureMode,
         FetchOptions, ParallelOutcome, ResultSet,
     };
-    pub use seco_join::{JoinMethod, Topology};
+    pub use seco_join::{JoinIndexMode, JoinIndexOptions, JoinMethod, JoinStats, Topology};
     pub use seco_model::{
         Adornment, AttributePath, Comparator, CompositeTuple, Date, ScoreDecay, ServiceInterface,
         ServiceKind, Value,

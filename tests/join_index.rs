@@ -1,0 +1,294 @@
+//! Exactness of the hash-accelerated join kernel: for every join
+//! method, decay model, chunk size, and `k`, the indexed executor must
+//! be *byte-identical* to the nested-loop baseline — same combinations
+//! in the same emission order, same tiles, same tile representatives,
+//! same call counts. The index may only change how much work is done,
+//! never what is produced.
+
+use search_computing::join::executor::{JoinOutcome, MemoryStream, ParallelJoinExecutor};
+use search_computing::join::{JoinIndexMode, JoinIndexOptions};
+use search_computing::plan::{JoinSpec, PlanNode, SelectionNode, ServiceNode};
+use search_computing::prelude::*;
+use search_computing::query::predicate::{ResolvedPredicate, SchemaMap};
+use search_computing::query::{JoinPredicate, QualifiedPath};
+use search_computing::services::domains::travel;
+use search_computing::services::invocation::Request;
+use seco_bench::join_pair_with_width;
+use seco_model::{Adornment, AttributeDef, AttributePath, DataType, ServiceSchema, Tuple};
+
+const OFF: JoinIndexOptions = JoinIndexOptions {
+    mode: JoinIndexMode::Off,
+    tile_prune: false,
+};
+const HASH: JoinIndexOptions = JoinIndexOptions {
+    mode: JoinIndexMode::Hash,
+    tile_prune: false,
+};
+const HASH_PRUNED: JoinIndexOptions = JoinIndexOptions {
+    mode: JoinIndexMode::Hash,
+    tile_prune: true,
+};
+
+/// Owned render of the full outcome; two runs are byte-identical iff
+/// these strings are equal.
+fn render(out: &JoinOutcome) -> String {
+    let rows: String = out
+        .results
+        .iter()
+        .map(|c| format!("{:?};", c.materialize()))
+        .collect();
+    format!(
+        "{rows}|tiles={:?}|reps={:?}|calls={}/{}|exhausted={}",
+        out.tiles, out.tile_representatives, out.calls_x, out.calls_y, out.exhausted
+    )
+}
+
+/// Runs one join method over a seeded synthetic service pair.
+fn run_method(
+    decay_x: ScoreDecay,
+    decay_y: ScoreDecay,
+    invocation: Invocation,
+    completion: Completion,
+    chunk: usize,
+    k: usize,
+    options: JoinIndexOptions,
+) -> JoinOutcome {
+    let (sx, sy) = join_pair_with_width(decay_x, decay_y, 40, chunk, 23, 10);
+    let req = Request::unbound().bind(AttributePath::atomic("Key"), Value::text("q"));
+    let mut x = search_computing::join::executor::ServiceStream::new("X", sx.as_ref(), req.clone());
+    let mut y = search_computing::join::executor::ServiceStream::new("Y", sy.as_ref(), req);
+    let predicates = vec![ResolvedPredicate::Join(JoinPredicate {
+        left: QualifiedPath::new("X", AttributePath::atomic("Link")),
+        op: Comparator::Eq,
+        right: QualifiedPath::new("Y", AttributePath::atomic("Link")),
+    })];
+    let mut schemas = SchemaMap::new();
+    schemas.insert("X".into(), &sx.interface().schema);
+    schemas.insert("Y".into(), &sy.interface().schema);
+    let exec = ParallelJoinExecutor {
+        predicates: &predicates,
+        schemas: &schemas,
+        invocation,
+        completion,
+        h: decay_x.step_chunks().unwrap_or(1),
+        k,
+        options,
+    };
+    exec.run(&mut x, &mut y).expect("join runs")
+}
+
+#[test]
+fn hash_kernel_is_byte_identical_across_join_methods() {
+    let decays = [
+        (ScoreDecay::Linear, ScoreDecay::Quadratic),
+        (
+            ScoreDecay::Step {
+                h: 2,
+                high: 0.9,
+                low: 0.1,
+            },
+            ScoreDecay::Linear,
+        ),
+    ];
+    let invocations = [
+        Invocation::NestedLoop,
+        Invocation::merge_scan_even(),
+        Invocation::MergeScan { r1: 1, r2: 3 },
+    ];
+    let completions = [Completion::Rectangular, Completion::Triangular];
+    let mut nested_evals = 0u64;
+    let mut hashed_evals = 0u64;
+    for &(dx, dy) in &decays {
+        for &inv in &invocations {
+            for &comp in &completions {
+                for &k in &[0usize, 7] {
+                    for &chunk in &[3usize, 5] {
+                        let base = run_method(dx, dy, inv, comp, chunk, k, OFF);
+                        for opts in [HASH, HASH_PRUNED] {
+                            let accel = run_method(dx, dy, inv, comp, chunk, k, opts);
+                            assert_eq!(
+                                render(&base),
+                                render(&accel),
+                                "divergence at {dx:?}/{dy:?} {inv:?} {comp:?} k={k} \
+                                 chunk={chunk} opts={opts:?}"
+                            );
+                        }
+                        let hashed = run_method(dx, dy, inv, comp, chunk, k, HASH);
+                        nested_evals += base.stats.predicate_evals;
+                        hashed_evals += hashed.stats.predicate_evals;
+                    }
+                }
+            }
+        }
+    }
+    // At the pair's ~0.1 selectivity the index must pay for itself.
+    assert!(
+        hashed_evals * 3 <= nested_evals,
+        "expected ≥3x fewer predicate evaluations, got {nested_evals} vs {hashed_evals}"
+    );
+}
+
+/// Composites with clustered text keys: chunk `c` carries only the key
+/// `city-<c/base>`, so whole tiles have no key overlap and the indexed
+/// kernel can prove them empty without touching a single pair.
+fn clustered(
+    atom: &str,
+    schema: &ServiceSchema,
+    n: usize,
+    first_city: usize,
+) -> Vec<CompositeTuple> {
+    (0..n)
+        .map(|i| {
+            CompositeTuple::single(
+                atom,
+                Tuple::builder(schema)
+                    .set("L", Value::Text(format!("city-{}", first_city + i / 10)))
+                    .score(1.0 - i as f64 / n as f64)
+                    .source_rank(i)
+                    .build()
+                    .unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn empty_key_tiles_are_pruned_without_changing_the_answer() {
+    let schema = ServiceSchema::new(
+        "S",
+        vec![AttributeDef::atomic("L", DataType::Text, Adornment::Output)],
+    )
+    .unwrap();
+    let predicates = vec![ResolvedPredicate::Join(JoinPredicate {
+        left: QualifiedPath::new("X", AttributePath::atomic("L")),
+        op: Comparator::Eq,
+        right: QualifiedPath::new("Y", AttributePath::atomic("L")),
+    })];
+    let mut schemas = SchemaMap::new();
+    schemas.insert("X".into(), &schema);
+    schemas.insert("Y".into(), &schema);
+    let run = |options: JoinIndexOptions| -> JoinOutcome {
+        let exec = ParallelJoinExecutor {
+            predicates: &predicates,
+            schemas: &schemas,
+            invocation: Invocation::merge_scan_even(),
+            completion: Completion::Rectangular,
+            h: 1,
+            k: 0,
+            options,
+        };
+        // X covers city-0..3, Y covers city-2..5: tiles between the
+        // disjoint chunks share no key.
+        let mut x = MemoryStream::new(clustered("X", &schema, 40, 0), 10);
+        let mut y = MemoryStream::new(clustered("Y", &schema, 40, 2), 10);
+        exec.run(&mut x, &mut y).expect("join runs")
+    };
+    let base = run(OFF);
+    let accel = run(HASH_PRUNED);
+    assert_eq!(render(&base), render(&accel));
+    assert!(
+        !accel.results.is_empty(),
+        "the overlapping cities must match"
+    );
+    assert!(
+        accel.stats.tiles_pruned > 0,
+        "disjoint-key tiles must be pruned: {:?}",
+        accel.stats
+    );
+    assert!(accel.stats.pairs_skipped > 0);
+    assert!(accel.stats.predicate_evals < base.stats.predicate_evals);
+    assert_eq!(base.stats.index_builds, 0);
+    assert!(accel.stats.index_builds > 0);
+}
+
+/// The E1 travel plan (Fig. 2/3), used to compare whole-engine runs
+/// with the kernel on and off.
+fn e1_plan(seed: u64) -> (QueryPlan, ServiceRegistry) {
+    let registry = travel::build_registry(seed).unwrap();
+    let query = QueryBuilder::new()
+        .atom("C", "Conference1")
+        .atom("W", "Weather1")
+        .atom("F", "Flight1")
+        .atom("H", "Hotel1")
+        .pattern("Forecast", "C", "W")
+        .pattern("ReachedBy", "C", "F")
+        .pattern("StayAt", "C", "H")
+        .pattern("SameTrip", "F", "H")
+        .select_const("C", "Topic", Comparator::Eq, Value::text("databases"))
+        .select_const("W", "AvgTemp", Comparator::Gt, Value::Int(26))
+        .build()
+        .unwrap();
+    let joins = query.expanded_joins(&registry).unwrap();
+    let same_trip: Vec<_> = joins
+        .iter()
+        .filter(|j| j.connects("F", "H"))
+        .cloned()
+        .collect();
+    let mut plan = QueryPlan::new(query.clone());
+    let c = plan.add(PlanNode::Service(ServiceNode::new("C", "Conference1")));
+    let w = plan.add(PlanNode::Service(ServiceNode::new("W", "Weather1")));
+    let sel = plan.add(PlanNode::Selection(
+        SelectionNode::new(vec![query.selections[1].clone()]).with_selectivity(0.25),
+    ));
+    let f = plan.add(PlanNode::Service(
+        ServiceNode::new("F", "Flight1").with_fetches(2),
+    ));
+    let h = plan.add(PlanNode::Service(
+        ServiceNode::new("H", "Hotel1").with_fetches(2),
+    ));
+    let j = plan.add(PlanNode::ParallelJoin(JoinSpec {
+        invocation: Invocation::merge_scan_even(),
+        completion: Completion::Rectangular,
+        predicates: same_trip,
+        selectivity: 1.0,
+    }));
+    plan.connect(plan.input(), c).unwrap();
+    plan.connect(c, w).unwrap();
+    plan.connect(w, sel).unwrap();
+    plan.connect(sel, f).unwrap();
+    plan.connect(sel, h).unwrap();
+    plan.connect(f, j).unwrap();
+    plan.connect(h, j).unwrap();
+    plan.connect(j, plan.output()).unwrap();
+    (plan, registry)
+}
+
+#[test]
+fn both_executors_agree_with_and_without_the_index() {
+    let opts_of = |join_index: JoinIndexOptions| ExecOptions {
+        join_k: 10,
+        join_index,
+        ..Default::default()
+    };
+    // Deterministic executor: identical emission order and counters,
+    // and the hash run must actually have built indexes.
+    let (plan, registry) = e1_plan(5);
+    let base = execute_plan(&plan, &registry, opts_of(OFF)).unwrap();
+    for opts in [HASH, HASH_PRUNED] {
+        let (plan, registry) = e1_plan(5);
+        let accel = execute_plan(&plan, &registry, opts_of(opts)).unwrap();
+        assert_eq!(base.results, accel.results, "under {opts:?}");
+        assert_eq!(base.total_calls, accel.total_calls);
+        assert_eq!(base.critical_ms, accel.critical_ms);
+        assert!(accel.join_stats.index_builds > 0);
+        // This plan's branches are cluster-aligned per conference (the
+        // probed bucket spans the whole chunk), so the index changes
+        // nothing about the work done — only byte-identity and the
+        // counters can be asserted.
+        assert!(accel.join_stats.probes > 0);
+        assert!(accel.join_stats.predicate_evals <= base.join_stats.predicate_evals);
+    }
+    assert_eq!(base.join_stats.index_builds, 0);
+    assert_eq!(base.join_stats.probes, 0);
+    assert!(base.join_stats.predicate_evals > 0);
+
+    // Pipelined executor: same combinations either way.
+    let (plan, registry) = e1_plan(5);
+    let par_base = execute_parallel_with(&plan, &registry, opts_of(OFF)).unwrap();
+    let (plan, registry) = e1_plan(5);
+    let par_accel = execute_parallel_with(&plan, &registry, opts_of(HASH)).unwrap();
+    assert_eq!(par_base.results, par_accel.results);
+    assert!(par_accel.join_stats.index_builds > 0);
+    // The recorders saw the counters too (CLI `join:` line source).
+    assert!(registry.total_stats().predicate_evals > 0);
+}
