@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use seco_engine::{execute_parallel, execute_plan, ExecOptions};
+use seco_engine::{execute_parallel, execute_plan, EngineConfig};
 use seco_optimizer::{optimize, CostMetric};
 use seco_query::builder::running_example;
 use seco_services::domains::entertainment;
@@ -15,11 +15,11 @@ fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_running_example");
     group.sample_size(20);
     group.bench_function("sequential", |b| {
-        b.iter(|| execute_plan(&best.plan, &registry, ExecOptions::default()).expect("executes"))
+        b.iter(|| execute_plan(&best.plan, &registry, EngineConfig::default()).expect("executes"))
     });
     group.bench_function("pipelined_threads", |b| {
         b.iter(|| {
-            execute_parallel(&best.plan, &registry, ExecOptions::default()).expect("executes")
+            execute_parallel(&best.plan, &registry, EngineConfig::default()).expect("executes")
         })
     });
     group.finish();

@@ -65,6 +65,7 @@ fn bench_join_methods(c: &mut Criterion) {
                             h: dx.step_chunks().unwrap_or(1),
                             k: 10,
                             options: seco_join::JoinIndexOptions::default(),
+                            columnar: seco_join::ColumnarOptions::default(),
                         };
                         exec.run(&mut x, &mut y).expect("join runs")
                     })

@@ -24,7 +24,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use seco_bench::{chain_scenario, chain_scenario_with_faults, link_service};
-use seco_engine::{execute_parallel, execute_plan, ExecOptions, FailureMode, FetchOptions};
+use seco_engine::{execute_parallel, execute_plan, EngineConfig, FailureMode, FetchOptions};
 use seco_model::{AttributePath, ScoreDecay, ServiceInterface, Value};
 use seco_optimizer::{optimize, CostMetric};
 use seco_services::cache::CachingService;
@@ -59,7 +59,7 @@ fn bench_call_reduction(n: usize) -> Result<serde_json::Value, DynError> {
         let (reg, query) = chain_scenario_with_faults(n, 7, flaky());
         let best = optimize(&query, &reg, CostMetric::RequestCount)?;
         reg.reset_stats();
-        let opts = ExecOptions {
+        let opts = EngineConfig {
             failure_mode: FailureMode::Degrade,
             client: Some(client()),
             fetch,
@@ -244,7 +244,7 @@ fn bench_prefetch(n_parallel: usize) -> Result<serde_json::Value, DynError> {
     let best = optimize(&query, &reg, CostMetric::RequestCount)?;
     let mut plan = best.plan;
     widen_fetches(&mut plan, 3, None);
-    let opts = |fetch: FetchOptions| ExecOptions {
+    let opts = |fetch: FetchOptions| EngineConfig {
         fetch,
         ..Default::default()
     };

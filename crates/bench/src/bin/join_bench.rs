@@ -6,7 +6,7 @@
 //!   cargo run --release -p seco-bench --bin join_bench            # full
 //!   cargo run --release -p seco-bench --bin join_bench -- --smoke # CI
 //!
-//! Four benchmarks:
+//! Five benchmarks:
 //!
 //! * **data-plane** — the chunk→composite→merge path of a tile-space
 //!   join, twice over identical inputs: the zero-copy plane (handle
@@ -25,14 +25,20 @@
 //!   once with the nested-loop kernel (`--join-index off`) and once
 //!   with the hash index (+ tile pruning): byte-identical results are
 //!   asserted, and the candidate pairs actually evaluated must drop
-//!   ≥3× at selectivity ≤ 0.1.
+//!   ≥3× at selectivity ≤ 0.1;
+//! * **columnar-vs-row** — the vectorized batch predicate kernels vs
+//!   the scalar row loop at varying selectivity: a pure predicate
+//!   kernel microbenchmark (≥2× evals/sec at selectivity 0.02) plus a
+//!   full tile-space join under both data planes, byte-identical, with
+//!   the `batch_evals` / `columns_scanned` / `rows_materialized`
+//!   counters reported.
 
 use std::time::Instant;
 
 use seco_bench::{join_pair, join_pair_with_width};
-use seco_engine::{execute_plan, ExecOptions};
+use seco_engine::{execute_plan, EngineConfig};
 use seco_join::executor::{JoinOutcome, ParallelJoinExecutor, ServiceStream};
-use seco_join::{JoinIndexMode, JoinIndexOptions};
+use seco_join::{ColumnarOptions, JoinIndexMode, JoinIndexOptions};
 use seco_model::{
     AttributePath, Comparator, CompositeTuple, ScoreDecay, SharedTuple, Symbol, Tuple, Value,
 };
@@ -337,7 +343,7 @@ fn bench_e1() -> Result<serde_json::Value, DynError> {
         let outcome = execute_plan(
             &plan,
             &registry,
-            ExecOptions {
+            EngineConfig {
                 join_k: 10,
                 ..Default::default()
             },
@@ -375,6 +381,7 @@ fn run_indexed_join(
     chunk: usize,
     width: usize,
     options: JoinIndexOptions,
+    columnar: ColumnarOptions,
 ) -> Result<(JoinOutcome, f64), DynError> {
     let (sx, sy) = join_pair_with_width(
         ScoreDecay::Linear,
@@ -403,6 +410,7 @@ fn run_indexed_join(
         h: 1,
         k: 0,
         options,
+        columnar,
     };
     let start = Instant::now();
     let out = exec.run(&mut x, &mut y)?;
@@ -425,6 +433,7 @@ fn bench_index_vs_nested(total: usize) -> Result<serde_json::Value, DynError> {
                     mode: JoinIndexMode::Off,
                     tile_prune: false,
                 },
+                ColumnarOptions::default(),
             )?;
             let (hashed, hashed_ms) = run_indexed_join(
                 total,
@@ -434,6 +443,7 @@ fn bench_index_vs_nested(total: usize) -> Result<serde_json::Value, DynError> {
                     mode: JoinIndexMode::Hash,
                     tile_prune: true,
                 },
+                ColumnarOptions::default(),
             )?;
             let render = |out: &JoinOutcome| -> String {
                 out.results
@@ -497,6 +507,170 @@ fn bench_index_vs_nested(total: usize) -> Result<serde_json::Value, DynError> {
     Ok(serde_json::Value::Array(cases))
 }
 
+/// The vectorized batch kernels vs the scalar row loop.
+///
+/// Two measurements per selectivity (`Link` domain width 2/10/50, i.e.
+/// 0.5/0.1/0.02):
+///
+/// * a **kernel microbenchmark** — one probe composite evaluated
+///   against a resident chunk of `rows` composites, repeatedly, once
+///   through `BatchPlan::eval_mask` over typed columns and once
+///   through the scalar merge-and-evaluate loop the row plane runs per
+///   candidate. Reports predicate evaluations per second for both and
+///   checks the ≥2× batch speedup target at selectivity 0.02;
+/// * a **full tile-space join** under both data planes
+///   (`ColumnarOptions::default()` vs `row_plane()`): byte-identical
+///   outcomes are asserted and the columnar counters
+///   (`batch_evals`, `columns_scanned`, `rows_materialized`) reported.
+fn bench_columnar_vs_row(total: usize, evals_target: u64) -> Result<serde_json::Value, DynError> {
+    use seco_model::{Adornment, AttributeDef, BitMask, DataType, ServiceSchema};
+    use seco_query::{CompiledPredicates, EvalScratch};
+
+    let schema = ServiceSchema::new(
+        "S",
+        vec![AttributeDef::atomic(
+            "Link",
+            DataType::Int,
+            Adornment::Output,
+        )],
+    )?;
+    let mut cases = Vec::new();
+    for &width in &[2usize, 10, 50] {
+        let selectivity = 1.0 / width as f64;
+
+        // --- kernel microbenchmark ---------------------------------
+        let rows = 4_096usize;
+        let mk = |alias: &str, link: i64, rank: usize| -> CompositeTuple {
+            CompositeTuple::single(
+                alias,
+                Tuple::builder(&schema)
+                    .set("Link", Value::Int(link))
+                    .score(1.0 - rank as f64 / rows as f64)
+                    .source_rank(rank)
+                    .build()
+                    .expect("valid tuple"),
+            )
+        };
+        let probe = mk("X", 0, 0);
+        let chunk: Vec<CompositeTuple> =
+            (0..rows).map(|i| mk("Y", (i % width) as i64, i)).collect();
+        let predicates = vec![ResolvedPredicate::Join(seco_query::JoinPredicate {
+            left: seco_query::QualifiedPath::new("X", AttributePath::atomic("Link")),
+            op: Comparator::Eq,
+            right: seco_query::QualifiedPath::new("Y", AttributePath::atomic("Link")),
+        })];
+        let mut schemas = SchemaMap::new();
+        schemas.insert("X".into(), &schema);
+        schemas.insert("Y".into(), &schema);
+        let compiled =
+            CompiledPredicates::compile(&predicates, &schemas).ok_or("predicates must compile")?;
+        let plan = compiled
+            .batch_plan(&[Symbol::intern("X")], &[Symbol::intern("Y")])
+            .ok_or("equi-join must have a batch plan")?;
+        let columns = plan
+            .gather_columns(&chunk)
+            .ok_or("uniform chunk must gather")?;
+        let refs: Vec<_> = columns.iter().map(|c| c.as_ref()).collect();
+        let reps = (evals_target / rows as u64).max(1);
+
+        let mut mask = BitMask::default();
+        let mut batch_selected = 0u64;
+        let batch_start = Instant::now();
+        for _ in 0..reps {
+            mask.reset_ones(rows);
+            assert!(plan.eval_mask(Some(&probe), &refs, &mut mask));
+            batch_selected += mask.count_ones() as u64;
+        }
+        let batch_secs = batch_start.elapsed().as_secs_f64();
+
+        let mut scratch = EvalScratch::default();
+        let mut scalar_selected = 0u64;
+        let scalar_start = Instant::now();
+        for _ in 0..reps {
+            for y in &chunk {
+                let candidate = probe.merge(y).expect("disjoint atoms merge");
+                if compiled.eval(&candidate, &mut scratch)? {
+                    scalar_selected += 1;
+                }
+            }
+        }
+        let scalar_secs = scalar_start.elapsed().as_secs_f64();
+        assert_eq!(
+            batch_selected, scalar_selected,
+            "kernel and scalar loop must select the same rows at width {width}"
+        );
+        let evals = reps * rows as u64;
+        let batch_eps = evals as f64 / batch_secs.max(1e-9);
+        let scalar_eps = evals as f64 / scalar_secs.max(1e-9);
+        let speedup = batch_eps / scalar_eps;
+
+        // --- full tile-space join under both planes ----------------
+        let (col, col_ms) = run_indexed_join(
+            total,
+            10,
+            width,
+            JoinIndexOptions::default(),
+            ColumnarOptions::default(),
+        )?;
+        let (row, row_ms) = run_indexed_join(
+            total,
+            10,
+            width,
+            JoinIndexOptions::default(),
+            ColumnarOptions::row_plane(),
+        )?;
+        let render = |out: &JoinOutcome| -> String {
+            out.results
+                .iter()
+                .map(|c| format!("{:?};", c.materialize()))
+                .collect()
+        };
+        assert_eq!(
+            render(&col),
+            render(&row),
+            "columnar plane must be byte-identical at width {width}"
+        );
+        assert_eq!(col.stats.predicate_evals, row.stats.predicate_evals);
+        assert_eq!(row.stats.batch_evals, 0);
+        assert_eq!(row.stats.columns_scanned, 0);
+
+        println!(
+            "columnar-vs-row (sel {selectivity:.2}): kernel {batch_eps:.2e} evals/s vs \
+             scalar {scalar_eps:.2e} ({speedup:.1}x); full join {col_ms:.1} ms vs \
+             {row_ms:.1} ms, {} batch evals, {} columns scanned, {} rows materialized",
+            col.stats.batch_evals, col.stats.columns_scanned, col.stats.rows_materialized
+        );
+        cases.push(serde_json::json!({
+            "selectivity": selectivity,
+            "kernel": {
+                "rows_per_batch": rows,
+                "predicate_evals": evals,
+                "batch_evals_per_sec": batch_eps,
+                "scalar_evals_per_sec": scalar_eps,
+                "batch_speedup": speedup,
+                "meets_2x_at_low_selectivity": selectivity > 0.02 || speedup >= 2.0,
+            },
+            "full_join": {
+                "byte_identical_to_row_plane": true,
+                "predicate_evals": col.stats.predicate_evals,
+                "columnar": {
+                    "wall_ms": col_ms,
+                    "batch_evals": col.stats.batch_evals,
+                    "columns_scanned": col.stats.columns_scanned,
+                    "rows_materialized": col.stats.rows_materialized,
+                },
+                "row_plane": {
+                    "wall_ms": row_ms,
+                    "batch_evals": row.stats.batch_evals,
+                    "columns_scanned": row.stats.columns_scanned,
+                    "rows_materialized": row.stats.rows_materialized,
+                },
+            },
+        }));
+    }
+    Ok(serde_json::Value::Array(cases))
+}
+
 /// Tile representatives come off chunk headers: a quick self-check
 /// that the real executor path reports them without rescans.
 fn check_tile_representatives() -> Result<(), DynError> {
@@ -520,6 +694,7 @@ fn check_tile_representatives() -> Result<(), DynError> {
         h: 1,
         k: 0,
         options: JoinIndexOptions::default(),
+        columnar: ColumnarOptions::default(),
     };
     let out = exec.run(&mut x, &mut y)?;
     assert_eq!(out.tiles.len(), out.tile_representatives.len());
@@ -545,6 +720,7 @@ fn main() -> Result<(), DynError> {
         "cache_hits": bench_cache_hits(hits)?,
         "e1": bench_e1()?,
         "index_vs_nested": bench_index_vs_nested(total)?,
+        "columnar_vs_row": bench_columnar_vs_row(total, if smoke { 500_000 } else { 5_000_000 })?,
     });
     std::fs::create_dir_all("results")?;
     std::fs::write(

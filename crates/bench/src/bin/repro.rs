@@ -11,7 +11,7 @@
 use std::fmt::Write as _;
 
 use seco_bench::{chain_scenario, join_pair, star_scenario};
-use seco_engine::{execute_parallel, execute_plan, ExecOptions, ResultSet};
+use seco_engine::{execute_parallel, execute_plan, EngineConfig, ResultSet};
 use seco_join::completion::explore;
 use seco_join::executor::{ParallelJoinExecutor, ServiceStream};
 use seco_join::optimality::{
@@ -115,7 +115,7 @@ fn e1() -> Result<(), DynError> {
     let outcome = execute_plan(
         &plan,
         &registry,
-        ExecOptions {
+        EngineConfig {
             join_k: 10,
             ..Default::default()
         },
@@ -313,6 +313,7 @@ fn run_join(
         h,
         k,
         options: seco_join::JoinIndexOptions::default(),
+        columnar: seco_join::ColumnarOptions::default(),
     };
     let out = exec.run(&mut x, &mut y)?;
     Ok((out.calls_x + out.calls_y, out.results))
@@ -653,7 +654,7 @@ fn e10() -> Result<(), DynError> {
     let result = execute_plan(
         &plan,
         &registry,
-        ExecOptions {
+        EngineConfig {
             join_k: 10,
             ..Default::default()
         },
@@ -669,6 +670,10 @@ fn e10() -> Result<(), DynError> {
         js.tiles_pruned,
         js.predicate_evals
     );
+    println!(
+        "columnar plane: {} columns scanned, {} batch evals, {} rows materialized",
+        js.columns_scanned, js.batch_evals, js.rows_materialized
+    );
     save_json(
         "e10",
         serde_json::json!({
@@ -680,6 +685,9 @@ fn e10() -> Result<(), DynError> {
                 "pairs_skipped": js.pairs_skipped,
                 "tiles_pruned": js.tiles_pruned,
                 "predicate_evals": js.predicate_evals,
+                "columns_scanned": js.columns_scanned,
+                "batch_evals": js.batch_evals,
+                "rows_materialized": js.rows_materialized,
             },
         }),
     )
@@ -932,7 +940,7 @@ fn e16() -> Result<(), DynError> {
     let mut rows = Vec::new();
     for metric in [CostMetric::RequestCount, CostMetric::ExecutionTime] {
         let best = optimize(&query, &registry, metric)?;
-        let outcome = execute_plan(&best.plan, &registry, ExecOptions::default())?;
+        let outcome = execute_plan(&best.plan, &registry, EngineConfig::default())?;
         let sound = outcome.results.iter().all(|c| {
             oracle.iter().any(|o| {
                 query
@@ -942,7 +950,7 @@ fn e16() -> Result<(), DynError> {
             })
         });
         let rs = ResultSet::new(outcome.results.clone(), query.ranking.clone());
-        let par = execute_parallel(&best.plan, &registry, ExecOptions::default())?;
+        let par = execute_parallel(&best.plan, &registry, EngineConfig::default())?;
         println!(
             "{:<16} emitted {:>3} / sound: {sound} / calls {:>3} / inversion rate {:.3} / parallel executor agrees: {}",
             metric.to_string(),
@@ -1016,6 +1024,7 @@ fn e17() -> Result<(), DynError> {
             h: 1,
             k,
             options: seco_join::JoinIndexOptions::default(),
+            columnar: seco_join::ColumnarOptions::default(),
         };
         let out = exec.run(&mut x, &mut y)?;
         let service_ms = out.calls_x as f64 * tx + out.calls_y as f64 * ty;
@@ -1081,7 +1090,7 @@ fn e18() -> Result<(), DynError> {
         let est_calls = best.annotated.total_calls();
         let est_time =
             CostMetric::ExecutionTime.evaluate(&best.plan, &best.annotated, &registry)?;
-        let outcome = execute_plan(&best.plan, &registry, ExecOptions::default())?;
+        let outcome = execute_plan(&best.plan, &registry, EngineConfig::default())?;
         for (q, e, m) in [
             ("request-responses", est_calls, outcome.total_calls as f64),
             ("critical path (ms)", est_time, outcome.critical_ms),
@@ -1284,7 +1293,7 @@ fn e20() -> Result<(), DynError> {
             }
         }
         reg.reset_stats();
-        let outcome = execute_plan(&plan, &reg, ExecOptions::default())?;
+        let outcome = execute_plan(&plan, &reg, EngineConfig::default())?;
         // Distinguish wire calls (inner service) from engine-issued
         // requests: the recorder sits outside the cache, so its count
         // is what actually crossed to the provider only when uncached;
@@ -1320,14 +1329,14 @@ fn e21() -> Result<(), DynError> {
     let query = running_example();
     let clean = entertainment::build_registry(1)?;
     let best = optimize(&query, &clean, CostMetric::RequestCount)?;
-    let baseline = execute_plan(&best.plan, &clean, ExecOptions::default())?;
+    let baseline = execute_plan(&best.plan, &clean, EngineConfig::default())?;
     println!(
         "clean baseline: {} combinations, {} calls",
         baseline.results.len(),
         baseline.total_calls
     );
 
-    let opts = ExecOptions {
+    let opts = EngineConfig {
         failure_mode: FailureMode::Degrade,
         client: Some(ClientConfig {
             deadline_ms: Some(200.0),

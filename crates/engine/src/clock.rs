@@ -342,6 +342,7 @@ mod tests {
             h: 1,
             k: 0,
             options: seco_join::JoinIndexOptions::default(),
+            columnar: seco_join::ColumnarOptions::default(),
         };
         // Clock-paced run at ratio 1:3.
         let mut pacer = ClockPacing::new(1, 3, 1);

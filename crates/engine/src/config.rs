@@ -1,0 +1,181 @@
+//! The consolidated engine configuration.
+//!
+//! [`EngineConfig`] gathers everything that used to be spread across
+//! `ExecOptions`, [`FetchOptions`], [`JoinIndexOptions`], and the
+//! columnar-plane switches into one builder-style value. Every `seco
+//! run` CLI flag maps 1:1 to a builder method, and both executors
+//! ([`crate::execute_plan`] and [`crate::execute_parallel`]) consume it
+//! directly. The old `ExecOptions` name survives as a deprecated alias;
+//! existing field-struct construction keeps compiling because the
+//! fields are unchanged.
+
+use seco_join::{ColumnarOptions, JoinIndexMode, JoinIndexOptions};
+use seco_services::ClientConfig;
+
+use crate::executor::{FailureMode, FetchOptions};
+
+/// Engine-wide execution configuration.
+///
+/// Construct with [`EngineConfig::default`] and chain builder methods:
+///
+/// ```
+/// use seco_engine::{EngineConfig, FailureMode};
+///
+/// let config = EngineConfig::default()
+///     .join_k(10)
+///     .failure_mode(FailureMode::Degrade)
+///     .cache_shards(8)
+///     .prefetch(true)
+///     .columnar(true)
+///     .batch_eval(true);
+/// assert_eq!(config.join_k, 10);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Stop parallel joins after this many emitted results (0 = no
+    /// limit). Corresponds to the optimizer's `k` when the join node is
+    /// the last producer.
+    pub join_k: usize,
+    /// Abort on service failure (default) or degrade gracefully.
+    pub failure_mode: FailureMode,
+    /// When set, every service call goes through a
+    /// [`seco_services::ServiceClient`] with this resilience
+    /// configuration (deadline, retry/backoff, circuit breaker). One
+    /// client — hence one breaker — per service.
+    pub client: Option<ClientConfig>,
+    /// Fetch-layer configuration (cache, coalescing, prefetch). The
+    /// cache sits *above* the resilient client, so hits and coalesced
+    /// waits bypass retries and breaker checks entirely.
+    pub fetch: FetchOptions,
+    /// Join-kernel configuration: hash-index acceleration of tile and
+    /// pipe joins, and top-k tile pruning. The default (`Hash`, no
+    /// pruning) is byte-identical to the nested-loop baseline.
+    pub join_index: JoinIndexOptions,
+    /// Columnar data-plane configuration: column-backed key extraction
+    /// and vectorized batch predicate evaluation. The default (both on)
+    /// is byte-identical to the row-at-a-time plane.
+    pub columnar: ColumnarOptions,
+}
+
+impl EngineConfig {
+    /// Sets the parallel-join result target `k` (0 = no limit).
+    pub fn join_k(mut self, k: usize) -> Self {
+        self.join_k = k;
+        self
+    }
+
+    /// Sets the failure mode.
+    pub fn failure_mode(mut self, mode: FailureMode) -> Self {
+        self.failure_mode = mode;
+        self
+    }
+
+    /// Shorthand for [`FailureMode::Degrade`].
+    pub fn degrade(self) -> Self {
+        self.failure_mode(FailureMode::Degrade)
+    }
+
+    /// Routes every service call through a resilient client with this
+    /// configuration.
+    pub fn client(mut self, config: ClientConfig) -> Self {
+        self.client = Some(config);
+        self
+    }
+
+    /// Sets the response-cache shard count (0 = cache off).
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.fetch.cache_shards = shards;
+        self
+    }
+
+    /// Sets the maximum cached responses per service.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.fetch.cache_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables speculative chunk prefetch.
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.fetch.prefetch = on;
+        self
+    }
+
+    /// Sets the candidate-enumeration mode of tile joins.
+    pub fn join_index_mode(mut self, mode: JoinIndexMode) -> Self {
+        self.join_index.mode = mode;
+        self
+    }
+
+    /// Enables or disables the score-frontier tile bound.
+    pub fn tile_prune(mut self, on: bool) -> Self {
+        self.join_index.tile_prune = on;
+        self
+    }
+
+    /// Enables or disables column-wise consumption of chunk bodies
+    /// (columnar hash-key extraction, zero-copy kernel inputs).
+    pub fn columnar(mut self, on: bool) -> Self {
+        self.columnar.columnar = on;
+        self
+    }
+
+    /// Enables or disables vectorized batch predicate evaluation.
+    pub fn batch_eval(mut self, on: bool) -> Self {
+        self.columnar.batch_eval = on;
+        self
+    }
+}
+
+/// The historical name of [`EngineConfig`].
+#[deprecated(since = "0.1.0", note = "renamed to EngineConfig")]
+pub type ExecOptions = EngineConfig;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_cover_every_field() {
+        let cfg = EngineConfig::default()
+            .join_k(7)
+            .degrade()
+            .client(ClientConfig::default())
+            .cache_shards(4)
+            .cache_capacity(128)
+            .prefetch(true)
+            .join_index_mode(JoinIndexMode::Off)
+            .tile_prune(true)
+            .columnar(false)
+            .batch_eval(false);
+        assert_eq!(cfg.join_k, 7);
+        assert_eq!(cfg.failure_mode, FailureMode::Degrade);
+        assert!(cfg.client.is_some());
+        assert_eq!(cfg.fetch.cache_shards, 4);
+        assert_eq!(cfg.fetch.cache_capacity, 128);
+        assert!(cfg.fetch.prefetch);
+        assert_eq!(cfg.join_index.mode, JoinIndexMode::Off);
+        assert!(cfg.join_index.tile_prune);
+        assert!(!cfg.columnar.columnar);
+        assert!(!cfg.columnar.batch_eval);
+    }
+
+    #[test]
+    fn defaults_keep_the_columnar_plane_on() {
+        let cfg = EngineConfig::default();
+        assert!(cfg.columnar.columnar && cfg.columnar.batch_eval);
+        assert_eq!(cfg.join_index.mode, JoinIndexMode::Hash);
+        assert!(!cfg.join_index.tile_prune);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_alias_still_compiles() {
+        // Field-struct construction under the old name keeps working.
+        let old = ExecOptions {
+            join_k: 3,
+            ..Default::default()
+        };
+        let new: EngineConfig = old;
+        assert_eq!(new.join_k, 3);
+    }
+}

@@ -21,17 +21,19 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use seco_join::{JoinIndexOptions, JoinStats, PipeJoin};
-use seco_model::CompositeTuple;
+use seco_join::{ColumnarOptions, JoinStats, PipeJoin};
+use seco_model::{BitMask, Column, CompositeTuple};
 use seco_plan::{NodeId, PlanNode, QueryPlan};
 use seco_query::feasibility::analyze;
 use seco_query::predicate::{
     resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap,
 };
+use seco_query::CompiledPredicates;
 use seco_services::{
-    CachingService, ClientConfig, Prefetcher, Service, ServiceClient, ServiceRegistry, VirtualClock,
+    CachingService, Prefetcher, Service, ServiceClient, ServiceRegistry, VirtualClock,
 };
 
+use crate::config::EngineConfig;
 use crate::error::EngineError;
 use crate::trace::{ExecutionTrace, TraceEvent};
 
@@ -106,29 +108,6 @@ impl FetchOptions {
     }
 }
 
-/// Execution options.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ExecOptions {
-    /// Stop parallel joins after this many emitted results (0 = no
-    /// limit). Corresponds to the optimizer's `k` when the join node is
-    /// the last producer.
-    pub join_k: usize,
-    /// Abort on service failure (default) or degrade gracefully.
-    pub failure_mode: FailureMode,
-    /// When set, every service call goes through a [`ServiceClient`]
-    /// with this resilience configuration (deadline, retry/backoff,
-    /// circuit breaker). One client — hence one breaker — per service.
-    pub client: Option<ClientConfig>,
-    /// Fetch-layer configuration (cache, coalescing, prefetch). The
-    /// cache sits *above* the resilient client, so hits and coalesced
-    /// waits bypass retries and breaker checks entirely.
-    pub fetch: FetchOptions,
-    /// Join-kernel configuration: hash-index acceleration of tile and
-    /// pipe joins, and top-k tile pruning. The default (`Hash`, no
-    /// pruning) is byte-identical to the nested-loop baseline.
-    pub join_index: JoinIndexOptions,
-}
-
 /// The outcome of executing a plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionResult {
@@ -160,7 +139,7 @@ impl ExecutionResult {
 pub fn execute_plan(
     plan: &QueryPlan,
     registry: &ServiceRegistry,
-    options: ExecOptions,
+    options: EngineConfig,
 ) -> Result<ExecutionResult, EngineError> {
     plan.validate()?;
     let report = analyze(&plan.query, registry)?;
@@ -230,12 +209,13 @@ pub fn execute_plan(
                     let input = outputs[preds_nodes[0].0].clone();
                     let n_in = input.len();
                     let node_preds = resolve_selection_node(sel, &plan.query)?;
-                    let mut kept = Vec::new();
-                    for c in input {
-                        if satisfies_available(&node_preds, &c, &schemas)? {
-                            kept.push(c);
-                        }
-                    }
+                    let kept = run_selection(
+                        &node_preds,
+                        input,
+                        &schemas,
+                        options.columnar,
+                        &mut join_stats,
+                    )?;
                     (n_in, kept, 0, 0.0, node_degraded[preds_nodes[0].0])
                 }
                 PlanNode::Service(node) => {
@@ -252,6 +232,7 @@ pub fn execute_plan(
                         fetches: node.fetches as usize,
                         keep_first: node.keep_first,
                         tolerate_failures: degrade,
+                        columnar: options.columnar,
                     };
                     let recorded = registry.service(&node.service)?;
                     let (base, client, cache) = match stacks.get(&node.service) {
@@ -329,6 +310,9 @@ pub fn execute_plan(
                         outcome.stats.pairs_skipped,
                         outcome.stats.tiles_pruned,
                         outcome.stats.predicate_evals,
+                        outcome.stats.columns_scanned,
+                        outcome.stats.batch_evals,
+                        outcome.stats.rows_materialized,
                     );
                     let mut deg = node_degraded[preds_nodes[0].0];
                     if outcome.degraded {
@@ -362,6 +346,7 @@ pub fn execute_plan(
                         h,
                         k: options.join_k,
                         options: options.join_index,
+                        columnar: options.columnar,
                     };
                     let mut sl = seco_join::executor::MemoryStream::new(left, cl);
                     let mut sr = seco_join::executor::MemoryStream::new(right, cr);
@@ -428,6 +413,55 @@ pub(crate) fn resolve_selection_node(
     Ok(out)
 }
 
+/// Applies a selection node's predicates to its input composites.
+///
+/// With `batch_eval` on, a uniform input (same atom signature on every
+/// composite) is filtered by one vectorized kernel over columns
+/// gathered from the composites; any failed precondition — or a value
+/// only the scalar path can decide — falls back to the interpreted
+/// per-composite check, which also reproduces its error behavior.
+/// Selection nodes never counted `predicate_evals` (the pipe stages
+/// already charged the predicates), so the kernel only moves the
+/// columnar counters.
+pub(crate) fn run_selection(
+    preds: &[ResolvedPredicate],
+    input: Vec<CompositeTuple>,
+    schemas: &SchemaMap<'_>,
+    columnar: ColumnarOptions,
+    stats: &mut JoinStats,
+) -> Result<Vec<CompositeTuple>, EngineError> {
+    if columnar.batch_eval && input.len() > 1 {
+        let uniform = input.iter().all(|c| c.atoms == input[0].atoms);
+        if uniform {
+            if let Some(plan) = CompiledPredicates::compile(preds, schemas)
+                .and_then(|c| c.batch_plan(&[], &input[0].atoms))
+            {
+                if let Some(cols) = plan.gather_columns(&input) {
+                    let refs: Vec<_> = cols.iter().map(Column::as_ref).collect();
+                    let mut mask = BitMask::default();
+                    mask.reset_ones(input.len());
+                    if plan.eval_mask(None, &refs, &mut mask) {
+                        stats.batch_evals += 1;
+                        stats.columns_scanned += refs.len() as u64;
+                        return Ok(input
+                            .into_iter()
+                            .enumerate()
+                            .filter_map(|(i, c)| mask.get(i).then_some(c))
+                            .collect());
+                    }
+                }
+            }
+        }
+    }
+    let mut kept = Vec::new();
+    for c in input {
+        if satisfies_available(preds, &c, schemas)? {
+            kept.push(c);
+        }
+    }
+    Ok(kept)
+}
+
 /// Chunk size for re-chunking a branch: the chunk size of the nearest
 /// service node upstream, defaulting to 10.
 fn branch_chunk_size(plan: &QueryPlan, registry: &ServiceRegistry, from: NodeId) -> usize {
@@ -465,6 +499,7 @@ mod tests {
     use seco_query::builder::running_example;
     use seco_query::evaluate_oracle;
     use seco_services::domains::entertainment;
+    use seco_services::ClientConfig;
 
     #[test]
     fn executes_the_optimized_running_example() {
@@ -472,7 +507,7 @@ mod tests {
         let q = running_example();
         let best = optimize(&q, &reg, CostMetric::RequestCount).unwrap();
         reg.reset_stats();
-        let result = execute_plan(&best.plan, &reg, ExecOptions::default()).unwrap();
+        let result = execute_plan(&best.plan, &reg, EngineConfig::default()).unwrap();
         assert!(result.total_calls > 0);
         assert!(result.critical_ms > 0.0);
         // Every emitted combination carries all three atoms.
@@ -493,7 +528,7 @@ mod tests {
         let q = running_example();
         let oracle = evaluate_oracle(&q, &reg).unwrap();
         let best = optimize(&q, &reg, CostMetric::RequestCount).unwrap();
-        let result = execute_plan(&best.plan, &reg, ExecOptions::default()).unwrap();
+        let result = execute_plan(&best.plan, &reg, EngineConfig::default()).unwrap();
         for c in &result.results {
             let found = oracle.iter().any(|o| {
                 q.atoms
@@ -531,7 +566,7 @@ mod tests {
         p.connect(c, w).unwrap();
         p.connect(w, s).unwrap();
         p.connect(s, p.output()).unwrap();
-        let result = execute_plan(&p, &reg, ExecOptions::default()).unwrap();
+        let result = execute_plan(&p, &reg, EngineConfig::default()).unwrap();
         // The Weather pipe stage filters eagerly ("immediately after
         // the service call that makes the predicate evaluable", §3.2),
         // so the explicit selection node sees pre-filtered tuples and
@@ -589,10 +624,10 @@ mod tests {
         let best = optimize(&q, &healthy, CostMetric::RequestCount).unwrap();
 
         // Abort (the default) still surfaces the failure as an error.
-        assert!(execute_plan(&best.plan, &reg, ExecOptions::default()).is_err());
+        assert!(execute_plan(&best.plan, &reg, EngineConfig::default()).is_err());
 
         // Degrade completes, reporting the failed service.
-        let opts = ExecOptions {
+        let opts = EngineConfig {
             failure_mode: FailureMode::Degrade,
             ..Default::default()
         };
@@ -618,14 +653,14 @@ mod tests {
         let clean = entertainment::build_registry(1).unwrap();
         let q = running_example();
         let best = optimize(&q, &clean, CostMetric::RequestCount).unwrap();
-        let baseline = execute_plan(&best.plan, &clean, ExecOptions::default()).unwrap();
+        let baseline = execute_plan(&best.plan, &clean, EngineConfig::default()).unwrap();
 
         let cfg = ClientConfig {
             retries: 6,
             seed: 9,
             ..Default::default()
         };
-        let opts = ExecOptions {
+        let opts = EngineConfig {
             failure_mode: FailureMode::Degrade,
             client: Some(cfg),
             ..Default::default()
@@ -697,7 +732,7 @@ mod tests {
         let result = execute_plan(
             &p,
             &reg,
-            ExecOptions {
+            EngineConfig {
                 join_k: 50,
                 ..Default::default()
             },

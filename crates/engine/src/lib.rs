@@ -23,6 +23,7 @@
 //! with an approximation of the total order".
 
 pub mod clock;
+pub mod config;
 pub mod error;
 pub mod executor;
 pub mod output;
@@ -30,11 +31,14 @@ pub mod parallel;
 pub mod trace;
 
 pub use clock::{drive_pair, Clock, ClockPacing};
+pub use config::EngineConfig;
+#[allow(deprecated)]
+pub use config::ExecOptions;
 pub use error::EngineError;
-pub use executor::{execute_plan, ExecOptions, ExecutionResult, FailureMode, FetchOptions};
+pub use executor::{execute_plan, ExecutionResult, FailureMode, FetchOptions};
 pub use output::ResultSet;
 pub use parallel::{execute_parallel, execute_parallel_with, ParallelOutcome};
-pub use seco_join::{JoinIndexMode, JoinIndexOptions, JoinStats};
+pub use seco_join::{ColumnarOptions, JoinIndexMode, JoinIndexOptions, JoinStats};
 pub use trace::{ExecutionTrace, TraceEvent};
 
 /// Result alias for engine operations.

@@ -29,8 +29,9 @@ use seco_query::predicate::{
 };
 use seco_services::{CachingService, Prefetcher, Service, ServiceClient, ServiceRegistry};
 
+use crate::config::EngineConfig;
 use crate::error::EngineError;
-use crate::executor::{ExecOptions, FailureMode};
+use crate::executor::FailureMode;
 
 /// Channel capacity per plan arc, in batches; small enough to exercise
 /// backpressure, large enough to avoid senseless stalls.
@@ -117,19 +118,19 @@ pub struct ParallelOutcome {
 pub fn execute_parallel(
     plan: &QueryPlan,
     registry: &ServiceRegistry,
-    options: ExecOptions,
+    options: EngineConfig,
 ) -> Result<Vec<CompositeTuple>, EngineError> {
     execute_parallel_with(plan, registry, options).map(|o| o.results)
 }
 
 /// Like [`execute_parallel`], additionally reporting which services
 /// degraded the answer under [`FailureMode::Degrade`]. Resilience
-/// middleware ([`ExecOptions::client`]) runs in wall-clock mode here:
+/// middleware ([`EngineConfig::client`]) runs in wall-clock mode here:
 /// backoff really sleeps and breaker cooldowns are real milliseconds.
 pub fn execute_parallel_with(
     plan: &QueryPlan,
     registry: &ServiceRegistry,
-    options: ExecOptions,
+    options: EngineConfig,
 ) -> Result<ParallelOutcome, EngineError> {
     plan.validate()?;
     let report = analyze(&plan.query, registry)?;
@@ -328,6 +329,7 @@ pub fn execute_parallel_with(
                             fetches: svc.fetches as usize,
                             keep_first: svc.keep_first,
                             tolerate_failures: degrade,
+                            columnar: options.columnar,
                         };
                         let mut local = JoinStats::default();
                         for input in my_receivers[0].iter().flat_map(unbatch) {
@@ -354,6 +356,9 @@ pub fn execute_parallel_with(
                                 local.pairs_skipped,
                                 local.tiles_pruned,
                                 local.predicate_evals,
+                                local.columns_scanned,
+                                local.batch_evals,
+                                local.rows_materialized,
                             );
                         }
                         out.flush();
@@ -378,6 +383,7 @@ pub fn execute_parallel_with(
                             h: 1,
                             k: options.join_k,
                             options: options.join_index,
+                            columnar: options.columnar,
                         };
                         let mut sl = seco_join::executor::MemoryStream::new(left, 10);
                         let mut sr = seco_join::executor::MemoryStream::new(right, 10);
@@ -435,8 +441,8 @@ mod tests {
         let q = running_example();
         let best = optimize(&q, &reg, CostMetric::RequestCount).unwrap();
         let sequential =
-            crate::executor::execute_plan(&best.plan, &reg, ExecOptions::default()).unwrap();
-        let parallel = execute_parallel(&best.plan, &reg, ExecOptions::default()).unwrap();
+            crate::executor::execute_plan(&best.plan, &reg, EngineConfig::default()).unwrap();
+        let parallel = execute_parallel(&best.plan, &reg, EngineConfig::default()).unwrap();
         assert_eq!(parallel.len(), sequential.results.len());
         for c in &parallel {
             assert!(
@@ -482,7 +488,7 @@ mod tests {
         // Reuse a plan optimized against a healthy registry.
         let healthy = entertainment::build_registry(1).unwrap();
         let best = optimize(&q, &healthy, CostMetric::RequestCount).unwrap();
-        let err = execute_parallel(&best.plan, &reg, ExecOptions::default()).unwrap_err();
+        let err = execute_parallel(&best.plan, &reg, EngineConfig::default()).unwrap_err();
         assert!(
             matches!(err, EngineError::Join(_) | EngineError::Service(_)),
             "{err}"
@@ -490,7 +496,7 @@ mod tests {
 
         // The same downed registry under Degrade mode completes and
         // names the culprit instead of erroring.
-        let opts = ExecOptions {
+        let opts = EngineConfig {
             failure_mode: crate::executor::FailureMode::Degrade,
             ..Default::default()
         };
@@ -570,7 +576,7 @@ mod tests {
         p.connect(h, j).unwrap();
         p.connect(j, p.output()).unwrap();
 
-        let opts = ExecOptions {
+        let opts = EngineConfig {
             join_k: 5,
             failure_mode: crate::executor::FailureMode::Degrade,
             ..Default::default()

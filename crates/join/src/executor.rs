@@ -8,15 +8,19 @@
 //! tile (under the repeating-group mapping semantics), and emits joined
 //! composites in tile order — the non-blocking dataflow of §4.1.
 
-use seco_model::{CompositeTuple, Symbol};
+use std::sync::Arc;
+
+use seco_model::{BitMask, ChunkColumns, Column, ColumnRef, CompositeTuple, Symbol};
 use seco_plan::{Completion, Invocation};
 use seco_query::predicate::{satisfies_available, ResolvedPredicate, SchemaMap};
-use seco_query::{CompiledPredicates, EvalScratch};
-use seco_services::invocation::Request;
+use seco_query::{BatchPlan, CompiledPredicates, EvalScratch};
+use seco_services::invocation::{ChunkBody, Request};
 use seco_services::Service;
 
 use crate::error::JoinError;
-use crate::index::{JoinIndex, JoinIndexMode, JoinIndexOptions, JoinStats, KeyPlan, ProbeKeys};
+use crate::index::{
+    ColumnarOptions, JoinIndex, JoinIndexMode, JoinIndexOptions, JoinStats, KeyPlan, ProbeKeys,
+};
 use crate::strategy::{CallScheduler, CallTarget, TilePruner};
 use crate::tile::Tile;
 
@@ -37,6 +41,13 @@ pub struct CompositeChunk {
     /// product (1.0 for an empty chunk), per the tile-space convention
     /// of taking the first tuple as representative for the whole chunk.
     pub representative: f64,
+    /// The service chunk body the composites were built from, when the
+    /// chunk came from a single-atom service stream: the atom every
+    /// composite carries, plus the shared body whose columns (if
+    /// columnar) back the composites row for row. Lets the join kernel
+    /// extract hash keys and run batch kernels straight off typed
+    /// columns, zero-copy. `None` for derived or in-memory chunks.
+    pub body: Option<(Symbol, Arc<ChunkBody>)>,
 }
 
 impl CompositeChunk {
@@ -50,6 +61,7 @@ impl CompositeChunk {
             composites,
             has_more,
             representative,
+            body: None,
         }
     }
 
@@ -64,7 +76,16 @@ impl CompositeChunk {
             composites,
             has_more,
             representative,
+            body: None,
         }
+    }
+
+    /// Attaches the backing service chunk body. The caller asserts that
+    /// every composite is `CompositeTuple::single(atom, row_i)` over the
+    /// body's rows, in order — the columnar kernels rely on it.
+    pub fn with_chunk_body(mut self, atom: Symbol, body: Arc<ChunkBody>) -> Self {
+        self.body = Some((atom, body));
+        self
     }
 
     /// Number of composites in the chunk.
@@ -107,6 +128,7 @@ impl<'a> ServiceStream<'a> {
 impl ChunkStream for ServiceStream<'_> {
     fn fetch_chunk(&mut self, idx: usize) -> Result<CompositeChunk, JoinError> {
         let resp = self.service.fetch(&self.request.at_chunk(idx))?;
+        let body = resp.body().clone();
         let composites = resp
             .tuples()
             .iter()
@@ -114,11 +136,10 @@ impl ChunkStream for ServiceStream<'_> {
             .collect();
         // The representative rides along on the service chunk's shared
         // header — no rescan of tuple scores here.
-        Ok(CompositeChunk::with_representative(
-            composites,
-            resp.has_more(),
-            resp.head_score(),
-        ))
+        Ok(
+            CompositeChunk::with_representative(composites, resp.has_more(), resp.head_score())
+                .with_chunk_body(self.atom, body),
+        )
     }
 }
 
@@ -200,11 +221,16 @@ pub struct ParallelJoinExecutor<'p> {
     /// pruning. The default (hash mode, no score pruning) is
     /// byte-identical to the nested-loop baseline.
     pub options: JoinIndexOptions,
+    /// Columnar data-plane options: column-backed key extraction and
+    /// vectorized batch predicate evaluation. Both default on; both are
+    /// byte-identical to the row-at-a-time plane.
+    pub columnar: ColumnarOptions,
 }
 
 /// Per-run mutable state of the index-accelerated kernel: the reusable
 /// evaluation scratch, the deduplicated key plans, the lazily built
-/// per-chunk indexes and probe-key caches, and the work counters.
+/// per-chunk indexes and probe-key caches, the batch-kernel scratch
+/// buffers, and the work counters.
 #[derive(Default)]
 struct RunState {
     scratch: EvalScratch,
@@ -214,6 +240,12 @@ struct RunState {
     indexes_y: Vec<Option<Option<JoinIndex>>>,
     /// Per X chunk: cached probe keys, one entry per plan encountered.
     probes_x: Vec<Vec<ProbeKeys>>,
+    /// Selection mask reused by whole-chunk batch kernels.
+    mask: BitMask,
+    /// Candidate index list reused by the probe path.
+    cand: Vec<usize>,
+    /// Copy of `cand` consumed destructively by batch residual kernels.
+    cand_scratch: Vec<usize>,
     stats: JoinStats,
 }
 
@@ -281,12 +313,14 @@ impl ParallelJoinExecutor<'_> {
                     let chunk = x.fetch_chunk(calls_x)?;
                     calls_x += 1;
                     more_x = chunk.has_more;
+                    st.stats.rows_materialized += chunk_rows_materialized(&chunk);
                     chunks_x.push(chunk);
                 }
                 CallTarget::Y if more_y => {
                     let chunk = y.fetch_chunk(calls_y)?;
                     calls_y += 1;
                     more_y = chunk.has_more;
+                    st.stats.rows_materialized += chunk_rows_materialized(&chunk);
                     chunks_y.push(chunk);
                 }
                 _ => {} // both axes exhausted; fall through to the wave
@@ -334,8 +368,8 @@ impl ParallelJoinExecutor<'_> {
                     let before = results.len();
                     self.join_tile(
                         compiled.as_ref(),
-                        &chunks_x[t.x].composites,
-                        &chunks_y[t.y].composites,
+                        &chunks_x[t.x],
+                        &chunks_y[t.y],
                         t.x,
                         t.y,
                         &mut st,
@@ -424,6 +458,58 @@ impl ParallelJoinExecutor<'_> {
         Ok(outcome)
     }
 
+    /// Typed columns backing one tile's batch kernels, when the Y
+    /// chunk's columns can be read zero-copy (single-atom body matching
+    /// the plan) or gathered from the composites otherwise.
+    ///
+    /// Returns `None` whenever any batching precondition fails; the
+    /// caller then evaluates every candidate scalar, exactly as before.
+    /// Preconditions: uniform atom signatures on both sides (one plan
+    /// covers the tile), disjoint sides (every merge succeeds, so batch
+    /// per-candidate counting matches the scalar loop), and a plan
+    /// covering every active predicate with total, ungrouped operands.
+    fn tile_batch<'y>(
+        &self,
+        compiled: &CompiledPredicates,
+        chunk_x: &CompositeChunk,
+        chunk_y: &'y CompositeChunk,
+        stats: &mut JoinStats,
+    ) -> Option<(BatchPlan, TileCols<'y>)> {
+        let cx = &chunk_x.composites;
+        let cy = &chunk_y.composites;
+        let first_x = cx.first()?;
+        let first_y = cy.first()?;
+        if !cx.iter().all(|c| c.atoms == first_x.atoms)
+            || !cy.iter().all(|c| c.atoms == first_y.atoms)
+        {
+            return None;
+        }
+        if first_x.atoms.iter().any(|a| first_y.atoms.contains(a)) {
+            return None;
+        }
+        let plan = compiled.batch_plan(&first_x.atoms, &first_y.atoms)?;
+        // Zero-copy when the Y chunk's body columns back the plan.
+        if self.columnar.columnar {
+            if let Some((atom, body)) = &chunk_y.body {
+                if let Some(cc) = body.columns() {
+                    if first_y.atoms.len() == 1
+                        && first_y.atoms[0] == *atom
+                        && plan
+                            .columns()
+                            .iter()
+                            .all(|(a, f)| a == atom && cc.column(*f).is_some())
+                    {
+                        stats.columns_scanned += plan.columns().len() as u64;
+                        return Some((plan, TileCols::Body(cc)));
+                    }
+                }
+            }
+        }
+        let owned = plan.gather_columns(cy)?;
+        stats.columns_scanned += owned.len() as u64;
+        Some((plan, TileCols::Owned(owned)))
+    }
+
     /// Joins one tile, emitting results in the exact (i, j) order of
     /// the nested-loop baseline.
     ///
@@ -433,22 +519,32 @@ impl ParallelJoinExecutor<'_> {
     ///
     /// Three enumeration strategies, in decreasing preference:
     /// 1. hash probe — the Y chunk is bucketed by equi-join key (built
-    ///    lazily once per chunk) and each X composite visits only its
-    ///    bucket plus the unkeyed entries, in ascending index order;
+    ///    lazily once per chunk, straight from typed columns when the
+    ///    body is columnar) and each X composite visits only its bucket
+    ///    plus the unkeyed entries, in ascending index order;
     /// 2. compiled nested loop — no usable equi key, but the predicate
     ///    set compiled (zero per-candidate path resolution);
     /// 3. interpreted nested loop — off mode or an uncompilable set.
+    ///
+    /// On top of 1 and 2, when [`ColumnarOptions::batch_eval`] is on and
+    /// a [`BatchPlan`] applies, candidates are evaluated by vectorized
+    /// kernels over the Y chunk's columns — a selection mask for whole
+    /// chunks, residual refinement for index-selected lists — with the
+    /// scalar loop kept as the fallback that also reproduces evaluation
+    /// errors.
     #[allow(clippy::too_many_arguments)]
     fn join_tile(
         &self,
         compiled: Option<&CompiledPredicates>,
-        cx: &[CompositeTuple],
-        cy: &[CompositeTuple],
+        chunk_x: &CompositeChunk,
+        chunk_y: &CompositeChunk,
         xi: usize,
         yi: usize,
         st: &mut RunState,
         out: &mut Vec<CompositeTuple>,
     ) -> Result<(), JoinError> {
+        let cx = &chunk_x.composites;
+        let cy = &chunk_y.composites;
         let Some(compiled) = compiled else {
             for a in cx {
                 for b in cy {
@@ -472,6 +568,7 @@ impl ParallelJoinExecutor<'_> {
             st.probes_x.resize_with(xi + 1, Vec::new);
         }
         if st.indexes_y[yi].is_none() {
+            let columnar = self.columnar.columnar;
             let built = cy
                 .first()
                 .and_then(|sample| KeyPlan::build(compiled.equi_candidates(), sample))
@@ -484,13 +581,53 @@ impl ParallelJoinExecutor<'_> {
                         }
                     };
                     st.stats.index_builds += 1;
-                    JoinIndex::build(&st.plans[plan_id], plan_id, cy)
+                    let plan = &st.plans[plan_id];
+                    if columnar {
+                        // Key straight off the body's typed columns when
+                        // they back the plan; byte-identical buckets.
+                        if let Some((atom, body)) = &chunk_y.body {
+                            if let Some(cols) = body.columns() {
+                                if let Some((ix, scanned)) =
+                                    JoinIndex::build_from_columns(plan, plan_id, *atom, cols)
+                                {
+                                    st.stats.columns_scanned += scanned as u64;
+                                    return ix;
+                                }
+                            }
+                        }
+                    }
+                    JoinIndex::build(plan, plan_id, cy)
                 });
             st.indexes_y[yi] = Some(built);
         }
+
+        // Prepare the tile's batch kernel, when every precondition holds.
+        let prepared = if self.columnar.batch_eval {
+            self.tile_batch(compiled, chunk_x, chunk_y, &mut st.stats)
+        } else {
+            None
+        };
+        let batch: Option<(&BatchPlan, Vec<ColumnRef<'_>>)> =
+            prepared.as_ref().map(|(plan, tc)| {
+                let refs = match tc {
+                    TileCols::Body(cc) => plan
+                        .columns()
+                        .iter()
+                        .map(|(_, f)| cc.column(*f).expect("validated in tile_batch"))
+                        .collect(),
+                    TileCols::Owned(cols) => cols.iter().map(Column::as_ref).collect(),
+                };
+                (plan, refs)
+            });
+
         let Some(index) = st.indexes_y[yi].as_ref().and_then(|ix| ix.as_ref()) else {
             // Compiled nested loop: no equi key applies to this chunk.
             for a in cx {
+                if let Some((plan, cols)) = &batch {
+                    if batch_scan_chunk(plan, cols, a, cy, &mut st.mask, &mut st.stats, out) {
+                        continue;
+                    }
+                }
                 for b in cy {
                     let Some(candidate) = a.merge(b) else {
                         continue;
@@ -534,6 +671,11 @@ impl ParallelJoinExecutor<'_> {
         for (i, a) in cx.iter().enumerate() {
             let Some(key) = probe.keys[i] else {
                 // This composite cannot supply every key: scan the chunk.
+                if let Some((plan, cols)) = &batch {
+                    if batch_scan_chunk(plan, cols, a, cy, &mut st.mask, &mut st.stats, out) {
+                        continue;
+                    }
+                }
                 for b in cy {
                     let Some(candidate) = a.merge(b) else {
                         continue;
@@ -551,6 +693,7 @@ impl ParallelJoinExecutor<'_> {
             st.stats.pairs_skipped += (ny - bucket.len() - unkeyed.len()) as u64;
             // Ascending-index merge of the bucket with the unkeyed list
             // reproduces the nested loop's j order exactly.
+            st.cand.clear();
             let (mut bi, mut ui) = (0usize, 0usize);
             while bi < bucket.len() || ui < unkeyed.len() {
                 let j = if bi < bucket.len() && (ui >= unkeyed.len() || bucket[bi] < unkeyed[ui]) {
@@ -560,6 +703,23 @@ impl ParallelJoinExecutor<'_> {
                     ui += 1;
                     unkeyed[ui - 1]
                 } as usize;
+                st.cand.push(j);
+            }
+            if let Some((plan, cols)) = &batch {
+                if batch_probe_list(
+                    plan,
+                    cols,
+                    a,
+                    cy,
+                    &st.cand,
+                    &mut st.cand_scratch,
+                    &mut st.stats,
+                    out,
+                ) {
+                    continue;
+                }
+            }
+            for &j in &st.cand {
                 let Some(candidate) = a.merge(&cy[j]) else {
                     continue;
                 };
@@ -571,6 +731,82 @@ impl ParallelJoinExecutor<'_> {
         }
         Ok(())
     }
+}
+
+/// Typed columns backing one tile's batch kernels.
+enum TileCols<'y> {
+    /// Zero-copy: the Y chunk's columnar body backs the plan directly.
+    Body(&'y ChunkColumns),
+    /// Gathered once per tile from the composites (multi-atom Y sides
+    /// and row-structured bodies).
+    Owned(Vec<Column>),
+}
+
+/// Rows the columnar plane had to materialize for this chunk (zero for
+/// row-structured bodies, which never had columns to keep).
+fn chunk_rows_materialized(chunk: &CompositeChunk) -> u64 {
+    match &chunk.body {
+        Some((_, b)) if b.is_columnar() && b.rows_ready() => b.len() as u64,
+        _ => 0,
+    }
+}
+
+/// Evaluates composite `a` against the whole Y chunk with one masked
+/// batch kernel. Returns `false` (leaving no results emitted) when the
+/// kernel hit a case only the scalar path can decide — the caller then
+/// re-runs the candidates scalar, reproducing results *and* errors.
+fn batch_scan_chunk(
+    plan: &BatchPlan,
+    cols: &[ColumnRef<'_>],
+    a: &CompositeTuple,
+    cy: &[CompositeTuple],
+    mask: &mut BitMask,
+    stats: &mut JoinStats,
+    out: &mut Vec<CompositeTuple>,
+) -> bool {
+    mask.reset_ones(cy.len());
+    if !plan.eval_mask(Some(a), cols, mask) {
+        return false;
+    }
+    // Disjoint sides guarantee every merge succeeds, so the batch
+    // covered exactly one evaluation per candidate — same as scalar.
+    stats.predicate_evals += cy.len() as u64;
+    stats.batch_evals += 1;
+    for j in mask.iter_ones() {
+        if let Some(candidate) = a.merge(&cy[j]) {
+            out.push(candidate);
+        }
+    }
+    true
+}
+
+/// Evaluates composite `a` against an index-selected candidate list
+/// with one residual batch kernel. Same fallback contract as
+/// [`batch_scan_chunk`].
+#[allow(clippy::too_many_arguments)]
+fn batch_probe_list(
+    plan: &BatchPlan,
+    cols: &[ColumnRef<'_>],
+    a: &CompositeTuple,
+    cy: &[CompositeTuple],
+    cand: &[usize],
+    scratch: &mut Vec<usize>,
+    stats: &mut JoinStats,
+    out: &mut Vec<CompositeTuple>,
+) -> bool {
+    scratch.clear();
+    scratch.extend_from_slice(cand);
+    if !plan.eval_indices(Some(a), cols, scratch) {
+        return false;
+    }
+    stats.predicate_evals += cand.len() as u64;
+    stats.batch_evals += 1;
+    for &j in scratch.iter() {
+        if let Some(candidate) = a.merge(&cy[j]) {
+            out.push(candidate);
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -650,6 +886,7 @@ mod tests {
             h: 1,
             k: 0,
             options: JoinIndexOptions::default(),
+            columnar: ColumnarOptions::default(),
         };
         let mut ms_a = MemoryStream::new(a, 2);
         let mut ms_b = MemoryStream::new(b, 2);
@@ -679,6 +916,7 @@ mod tests {
             h: 1,
             k: 3,
             options: JoinIndexOptions::default(),
+            columnar: ColumnarOptions::default(),
         };
         let mut ms_a = MemoryStream::new(a, 2);
         let mut ms_b = MemoryStream::new(b, 2);
@@ -718,6 +956,7 @@ mod tests {
             h: 2,
             k: 0,
             options: JoinIndexOptions::default(),
+            columnar: ColumnarOptions::default(),
         };
         let mut ms_a = MemoryStream::new(a, 2);
         let mut ms_b = MemoryStream::new(b, 2);
@@ -741,6 +980,7 @@ mod tests {
             h: 1,
             k: 0,
             options: JoinIndexOptions::default(),
+            columnar: ColumnarOptions::default(),
         };
         let mut ms_a = MemoryStream::new(Vec::new(), 2);
         let mut ms_b = MemoryStream::new(stream_data("B", &sb, 4, ScoreDecay::Linear), 2);
@@ -763,6 +1003,7 @@ mod tests {
             h: 1,
             k: 3,
             options: JoinIndexOptions::default(),
+            columnar: ColumnarOptions::default(),
         };
         // B's branch lost everything to an outage upstream.
         let mut ms_a = MemoryStream::new(survivors.clone(), 2);
@@ -856,6 +1097,7 @@ mod tests {
             h: 1,
             k: 0,
             options: JoinIndexOptions::default(),
+            columnar: ColumnarOptions::default(),
         };
         let mut ms_a = MemoryStream::new(a.clone(), 2);
         let mut ms_b = MemoryStream::new(b.clone(), 2);

@@ -32,7 +32,7 @@
 
 use std::collections::HashMap;
 
-use seco_model::{CompositeTuple, Symbol, Value};
+use seco_model::{ChunkColumns, ColumnRef, CompositeTuple, Symbol, Value};
 use seco_query::EquiCandidate;
 
 /// Which candidate-pair enumeration the join executor uses.
@@ -46,7 +46,7 @@ pub enum JoinIndexMode {
     Hash,
 }
 
-/// Join-kernel options carried through `ExecOptions` and the CLI.
+/// Join-kernel options carried through `EngineConfig` and the CLI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct JoinIndexOptions {
     /// Candidate enumeration mode.
@@ -55,6 +55,42 @@ pub struct JoinIndexOptions {
     /// ([`crate::strategy::TilePruner`]) on top of index-emptiness
     /// pruning.
     pub tile_prune: bool,
+}
+
+/// Options for the columnar data plane. Both switches preserve
+/// byte-identical results; they only choose how candidate pairs are
+/// keyed and evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnarOptions {
+    /// Consume chunk bodies column-wise where possible: hash keys are
+    /// extracted straight from typed columns and batch kernels read
+    /// body-backed columns zero-copy. When off, executors go through
+    /// the materialized row view only.
+    pub columnar: bool,
+    /// Evaluate compiled predicates with vectorized batch kernels
+    /// (selection masks over whole chunks, residual evaluation over
+    /// index-selected candidate lists). When off, every candidate is
+    /// evaluated scalar, one composite at a time.
+    pub batch_eval: bool,
+}
+
+impl Default for ColumnarOptions {
+    fn default() -> Self {
+        ColumnarOptions {
+            columnar: true,
+            batch_eval: true,
+        }
+    }
+}
+
+impl ColumnarOptions {
+    /// The pre-columnar row-at-a-time configuration.
+    pub fn row_plane() -> ColumnarOptions {
+        ColumnarOptions {
+            columnar: false,
+            batch_eval: false,
+        }
+    }
 }
 
 /// Counters describing how much work the join kernel actually did.
@@ -70,7 +106,18 @@ pub struct JoinStats {
     /// Whole tiles skipped (index-emptiness or score-frontier bound).
     pub tiles_pruned: u64,
     /// Predicate-set evaluations performed (compiled or interpreted).
+    /// Batch kernels count every candidate they cover, so this matches
+    /// the scalar path exactly.
     pub predicate_evals: u64,
+    /// Typed columns consumed by the columnar plane (key extraction,
+    /// batch kernels, and gathers).
+    pub columns_scanned: u64,
+    /// Successful batch-kernel invocations (each covers many
+    /// candidates; scalar fallbacks are not counted).
+    pub batch_evals: u64,
+    /// Rows materialized out of the columnar plane into the shared row
+    /// view (chunks that stayed columnar end to end contribute zero).
+    pub rows_materialized: u64,
 }
 
 impl JoinStats {
@@ -81,6 +128,9 @@ impl JoinStats {
         self.pairs_skipped += other.pairs_skipped;
         self.tiles_pruned += other.tiles_pruned;
         self.predicate_evals += other.predicate_evals;
+        self.columns_scanned += other.columns_scanned;
+        self.batch_evals += other.batch_evals;
+        self.rows_materialized += other.rows_materialized;
     }
 }
 
@@ -119,6 +169,41 @@ fn encode_value(v: &Value, out: &mut String) -> bool {
         Value::Date(d) => {
             let _ = write!(out, "d{}", d.ordinal());
         }
+    }
+    true
+}
+
+/// Appends the encoding of row `j` of a typed column — byte-identical
+/// to [`encode_value`] on the row view's `Value`, without building it.
+/// Returns `false` for unencodable cells (a raw `NaN`).
+fn encode_cell(col: &ColumnRef<'_>, j: usize, out: &mut String) -> bool {
+    use std::fmt::Write;
+    if col.is_null(j) {
+        out.push('n');
+        return true;
+    }
+    match col {
+        ColumnRef::Bool(v, _) => out.push_str(if v[j] { "b1" } else { "b0" }),
+        ColumnRef::Int(v, _) => {
+            let f = v[j] as f64;
+            let f = if f == 0.0 { 0.0 } else { f };
+            let _ = write!(out, "f{:016x}", f.to_bits());
+        }
+        ColumnRef::Float(v, _) => {
+            if v[j].is_nan() {
+                return false;
+            }
+            let f = if v[j] == 0.0 { 0.0 } else { v[j] };
+            let _ = write!(out, "f{:016x}", f.to_bits());
+        }
+        ColumnRef::Text(v, _) => {
+            out.push('t');
+            out.push_str(v[j].as_str());
+        }
+        ColumnRef::Date(v, _) => {
+            let _ = write!(out, "d{}", v[j].ordinal());
+        }
+        ColumnRef::Mixed(v) => return encode_value(&v[j], out),
     }
     true
 }
@@ -212,6 +297,17 @@ impl KeyPlan {
     pub fn x_key(&self, composite: &CompositeTuple) -> Option<Symbol> {
         self.key_of(composite, |e| (e.x_atom, e.x_field))
     }
+
+    /// The single atom every Y-side entry keys on, when there is one.
+    /// Only then can keys be read straight off a service chunk's
+    /// columns (whose rows all belong to that atom).
+    pub fn single_y_atom(&self) -> Option<Symbol> {
+        let first = self.entries.first()?.y_atom;
+        self.entries
+            .iter()
+            .all(|e| e.y_atom == first)
+            .then_some(first)
+    }
 }
 
 /// Hash index over one Y chunk, built lazily once and cached for every
@@ -243,6 +339,55 @@ impl JoinIndex {
             buckets,
             unkeyed,
         }
+    }
+
+    /// Buckets a single-atom chunk straight from its typed columns,
+    /// never touching the row view. Returns the number of columns
+    /// scanned alongside the index. `None` when the plan keys on more
+    /// than one atom, `atom` is not it, or a planned field has no
+    /// atomic column — the caller then falls back to the row build,
+    /// which produces byte-identical buckets.
+    pub fn build_from_columns(
+        plan: &KeyPlan,
+        plan_id: usize,
+        atom: Symbol,
+        cols: &ChunkColumns,
+    ) -> Option<(JoinIndex, usize)> {
+        if plan.single_y_atom() != Some(atom) {
+            return None;
+        }
+        let key_cols: Vec<ColumnRef<'_>> = plan
+            .entries
+            .iter()
+            .map(|e| cols.column(e.y_field))
+            .collect::<Option<_>>()?;
+        let mut buckets: HashMap<Symbol, Vec<u32>> = HashMap::new();
+        let mut unkeyed = Vec::new();
+        let mut buf = String::new();
+        'rows: for j in 0..cols.len() {
+            buf.clear();
+            for (i, col) in key_cols.iter().enumerate() {
+                if i > 0 {
+                    buf.push(KEY_SEP);
+                }
+                if !encode_cell(col, j, &mut buf) {
+                    unkeyed.push(j as u32);
+                    continue 'rows;
+                }
+            }
+            buckets
+                .entry(Symbol::intern(&buf))
+                .or_default()
+                .push(j as u32);
+        }
+        Some((
+            JoinIndex {
+                plan_id,
+                buckets,
+                unkeyed,
+            },
+            key_cols.len(),
+        ))
     }
 }
 
@@ -329,6 +474,9 @@ mod tests {
             pairs_skipped: 3,
             tiles_pruned: 4,
             predicate_evals: 5,
+            columns_scanned: 6,
+            batch_evals: 7,
+            rows_materialized: 8,
         };
         s.merge(&JoinStats {
             index_builds: 10,
@@ -336,6 +484,9 @@ mod tests {
             pairs_skipped: 30,
             tiles_pruned: 40,
             predicate_evals: 50,
+            columns_scanned: 60,
+            batch_evals: 70,
+            rows_materialized: 80,
         });
         assert_eq!(
             s,
@@ -345,7 +496,62 @@ mod tests {
                 pairs_skipped: 33,
                 tiles_pruned: 44,
                 predicate_evals: 55,
+                columns_scanned: 66,
+                batch_evals: 77,
+                rows_materialized: 88,
             }
         );
+    }
+
+    #[test]
+    fn columnar_key_build_matches_row_build() {
+        use seco_model::tuple::FieldSlot;
+        use seco_model::Tuple;
+        // K mixes Int/Float/Null (a Mixed column); T stays typed Text.
+        let rows: Vec<Tuple> = [
+            (Value::Int(1), Value::text("a")),
+            (Value::Int(0), Value::text("b")),
+            (Value::Null, Value::text("c")),
+            (Value::Float(-0.0), Value::text("a")),
+            (Value::Float(f64::NAN), Value::text("d")),
+            (Value::Int(1), Value::Null),
+        ]
+        .into_iter()
+        .map(|(k, t)| Tuple {
+            fields: vec![FieldSlot::Atomic(k), FieldSlot::Atomic(t)],
+            score: 0.0,
+            source_rank: 0,
+        })
+        .collect();
+        let atom = Symbol::from("y");
+        let plan = KeyPlan {
+            entries: vec![
+                PlanEntry {
+                    y_atom: atom,
+                    y_field: 0,
+                    x_atom: Symbol::from("x"),
+                    x_field: 0,
+                },
+                PlanEntry {
+                    y_atom: atom,
+                    y_field: 1,
+                    x_atom: Symbol::from("x"),
+                    x_field: 1,
+                },
+            ],
+        };
+        let composites: Vec<CompositeTuple> = rows
+            .iter()
+            .map(|t| CompositeTuple::single("y", t.clone()))
+            .collect();
+        let row_ix = JoinIndex::build(&plan, 0, &composites);
+        let cols = ChunkColumns::from_tuples(&rows).expect("flat rows columnarize");
+        let (col_ix, scanned) =
+            JoinIndex::build_from_columns(&plan, 0, atom, &cols).expect("columnar build applies");
+        assert_eq!(scanned, 2);
+        assert_eq!(col_ix.unkeyed, row_ix.unkeyed);
+        assert_eq!(col_ix.buckets, row_ix.buckets);
+        // A plan keying on a different atom refuses the columnar path.
+        assert!(JoinIndex::build_from_columns(&plan, 0, Symbol::from("z"), &cols).is_none());
     }
 }

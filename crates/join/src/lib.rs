@@ -34,7 +34,7 @@ pub mod tile;
 
 pub use error::JoinError;
 pub use executor::{JoinOutcome, ParallelJoinExecutor};
-pub use index::{JoinIndexMode, JoinIndexOptions, JoinStats};
+pub use index::{ColumnarOptions, JoinIndexMode, JoinIndexOptions, JoinStats};
 pub use method::{JoinMethod, Topology};
 pub use pipe::{pipe_join, PipeJoin, PipeOutcome};
 pub use strategy::{cost_based_ratio, CallScheduler, CallTarget, Pacing, TilePruner};

@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use seco_model::{Comparator, CompositeTuple, Value};
+use seco_model::{BitMask, ColumnRef, Comparator, CompositeTuple, Symbol, Value};
 use seco_query::feasibility::{BindingSource, IoDependency};
 use seco_query::predicate::{satisfies_available, ResolvedPredicate, SchemaMap};
 use seco_query::{CompiledPredicates, EvalScratch};
@@ -20,7 +20,7 @@ use seco_services::invocation::Request;
 use seco_services::Service;
 
 use crate::error::JoinError;
-use crate::index::JoinStats;
+use crate::index::{ColumnarOptions, JoinStats};
 
 /// Outcome of a pipe-join stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,8 +36,9 @@ pub struct PipeOutcome {
     /// True when failure tolerance absorbed at least one service error:
     /// `results` is then a (possibly empty) partial answer.
     pub degraded: bool,
-    /// Join-kernel work counters (pipe stages only evaluate predicates,
-    /// so only `predicate_evals` moves here).
+    /// Join-kernel work counters. Pipe stages move `predicate_evals`
+    /// and the columnar-plane counters (`columns_scanned`,
+    /// `batch_evals`, `rows_materialized`); index counters stay zero.
     pub stats: JoinStats,
 }
 
@@ -77,6 +78,11 @@ pub struct PipeJoin<'a> {
     pub keep_first: bool,
     /// Absorb service failures into a degraded partial outcome.
     pub tolerate_failures: bool,
+    /// Columnar data-plane options. With `batch_eval` on (and
+    /// `keep_first` off), whole response chunks are filtered by a
+    /// vectorized kernel over the body's typed columns, and chunks with
+    /// no survivors never materialize their row view at all.
+    pub columnar: ColumnarOptions,
 }
 
 impl PipeJoin<'_> {
@@ -99,8 +105,22 @@ impl PipeJoin<'_> {
         // interpreted path below keeps the original error behavior.
         let compiled = CompiledPredicates::compile(self.predicates, self.schemas);
         let mut scratch = EvalScratch::default();
+        let atom_sym = Symbol::intern(self.atom);
+        let mut mask = BitMask::default();
 
         for input in inputs {
+            // Batch plan for this input shape: the input composite is
+            // the fixed side, the fetched atom the varying side. Only
+            // without `keep_first` — its early exit stops evaluation
+            // mid-chunk, which a whole-chunk kernel cannot reproduce.
+            let batch_plan =
+                if self.columnar.columnar && self.columnar.batch_eval && !self.keep_first {
+                    compiled
+                        .as_ref()
+                        .and_then(|c| c.batch_plan(&input.atoms, std::slice::from_ref(&atom_sym)))
+                } else {
+                    None
+                };
             // Assemble the request for this input composite.
             let mut request = Request::unbound();
             for dep in self.bindings {
@@ -149,21 +169,56 @@ impl PipeJoin<'_> {
                 calls += 1;
                 busy_ms += resp.elapsed_ms;
                 let has_more = resp.has_more();
-                for tuple in resp.tuples() {
-                    let candidate = input.extend_with(self.atom, tuple.clone());
-                    stats.predicate_evals += 1;
-                    let keep = match &compiled {
-                        Some(c) => c.eval(&candidate, &mut scratch)?,
-                        None => satisfies_available(self.predicates, &candidate, self.schemas)?,
-                    };
-                    if keep {
-                        results.push(candidate);
-                        if self.keep_first {
-                            // This input has its extension: stop its
-                            // fetch budget here and move to the next
-                            // input — no further chunks are issued for
-                            // a satisfied composite.
-                            break 'chunks;
+                let body = resp.body();
+                let mut handled = false;
+                if let (Some(plan), Some(cc)) = (&batch_plan, body.columns()) {
+                    // Body-backed columns only: every plan column must
+                    // come off the fetched atom's typed columns.
+                    let cols: Option<Vec<ColumnRef<'_>>> = plan
+                        .columns()
+                        .iter()
+                        .map(|(a, f)| if *a == atom_sym { cc.column(*f) } else { None })
+                        .collect();
+                    if let Some(cols) = cols.filter(|_| !cc.is_empty()) {
+                        mask.reset_ones(cc.len());
+                        if plan.eval_mask(Some(input), &cols, &mut mask) {
+                            stats.predicate_evals += cc.len() as u64;
+                            stats.batch_evals += 1;
+                            stats.columns_scanned += cols.len() as u64;
+                            if !mask.none_set() {
+                                // Only surviving chunks pay the row view.
+                                if !body.rows_ready() {
+                                    stats.rows_materialized += body.len() as u64;
+                                }
+                                let tuples = body.tuples();
+                                for j in mask.iter_ones() {
+                                    results.push(input.extend_with(self.atom, tuples[j].clone()));
+                                }
+                            }
+                            handled = true;
+                        }
+                    }
+                }
+                if !handled {
+                    if body.is_columnar() && !body.rows_ready() && !body.is_empty() {
+                        stats.rows_materialized += body.len() as u64;
+                    }
+                    for tuple in resp.tuples() {
+                        let candidate = input.extend_with(self.atom, tuple.clone());
+                        stats.predicate_evals += 1;
+                        let keep = match &compiled {
+                            Some(c) => c.eval(&candidate, &mut scratch)?,
+                            None => satisfies_available(self.predicates, &candidate, self.schemas)?,
+                        };
+                        if keep {
+                            results.push(candidate);
+                            if self.keep_first {
+                                // This input has its extension: stop its
+                                // fetch budget here and move to the next
+                                // input — no further chunks are issued
+                                // for a satisfied composite.
+                                break 'chunks;
+                            }
                         }
                     }
                 }
@@ -208,6 +263,7 @@ pub fn pipe_join(
         fetches,
         keep_first,
         tolerate_failures: false,
+        columnar: ColumnarOptions::default(),
     }
     .run(inputs, service)
 }
@@ -401,6 +457,7 @@ mod tests {
             fetches: 1,
             keep_first: false,
             tolerate_failures: tolerate,
+            columnar: ColumnarOptions::default(),
         };
         let strict = stage(false).run(&inputs, &downed);
         assert!(matches!(strict, Err(JoinError::Service(_))));

@@ -25,6 +25,7 @@
 //! optimizer, and the execution engine) is written against these types.
 
 pub mod attribute;
+pub mod column;
 pub mod error;
 pub mod mart;
 pub mod schema;
@@ -37,6 +38,7 @@ pub mod value;
 pub use attribute::{
     Adornment, AttributeDef, AttributeKind, AttributePath, DataType, SubAttributeDef,
 };
+pub use column::{BitMask, ChunkColumns, Column, ColumnRef, ColumnSlot};
 pub use error::ModelError;
 pub use mart::{
     AttributeHints, ConnectionPattern, JoinPair, ServiceInterface, ServiceKind, ServiceMart,

@@ -40,7 +40,7 @@ pub use ast::{
 };
 pub use augment::{augment_query, AugmentOptions, Augmented};
 pub use builder::QueryBuilder;
-pub use compile::{CompiledPredicates, EquiCandidate, EvalScratch};
+pub use compile::{BatchPlan, CompiledPredicates, EquiCandidate, EvalScratch};
 pub use error::QueryError;
 pub use feasibility::{FeasibilityReport, IoDependency};
 pub use parser::parse_query;

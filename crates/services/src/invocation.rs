@@ -9,9 +9,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use seco_model::{AttributePath, ServiceInterface, SharedTuple, Tuple, Value};
+use seco_model::{
+    AttributePath, ChunkColumns, ColumnRef, ServiceInterface, SharedTuple, Tuple, Value,
+};
 
 use crate::error::ServiceError;
 
@@ -110,10 +112,21 @@ impl fmt::Display for Request {
 /// data plane behind an `Arc`: the cache stores the same body it hands to
 /// hits, coalesced waiters receive the leader's body, and join pipes index
 /// into it through [`SharedTuple`] handles. Nothing downstream mutates it.
-#[derive(Debug, PartialEq)]
+///
+/// Storage is *columnar*: tuples produced by a service decompose into
+/// per-attribute typed columns with null masks ([`ChunkColumns`]), which
+/// the batch predicate kernels and the hash-index builder read directly
+/// through [`ChunkBody::column`]. The row view ([`ChunkBody::tuples`]) is
+/// materialized lazily, at most once, so `SharedTuple` consumers keep
+/// working unchanged; chunks whose tuples do not share one field layout
+/// (and bodies built from already-shared rows) stay row-structured.
+#[derive(Debug)]
 pub struct ChunkBody {
-    /// The tuples of this chunk, in ranking order for search services.
-    pub tuples: Vec<SharedTuple>,
+    /// Columnar payload; `None` for row-structured bodies.
+    columns: Option<ChunkColumns>,
+    /// Lazily materialized row view (seeded eagerly for row-structured
+    /// bodies).
+    rows: OnceLock<Vec<SharedTuple>>,
     /// Whether further chunks exist under the same bindings.
     pub has_more: bool,
     /// Score of the chunk's head tuple (1.0 for empty chunks) — the
@@ -123,20 +136,100 @@ pub struct ChunkBody {
 }
 
 impl ChunkBody {
-    /// Builds a body from owned tuples, wrapping each in a shared handle
-    /// and caching the head score.
+    /// Builds a body from owned tuples, decomposing them into columns
+    /// (falling back to row storage when the tuples do not share one
+    /// field-slot layout) and caching the head score.
     pub fn new(tuples: Vec<Tuple>, has_more: bool) -> Self {
-        ChunkBody::from_shared(tuples.into_iter().map(Arc::new).collect(), has_more)
+        let head_score = tuples.first().map_or(1.0, |t| t.score);
+        match ChunkColumns::from_tuples(&tuples) {
+            Some(columns) => ChunkBody {
+                columns: Some(columns),
+                rows: OnceLock::new(),
+                has_more,
+                head_score,
+            },
+            None => {
+                let rows = OnceLock::new();
+                let _ = rows.set(tuples.into_iter().map(Arc::new).collect());
+                ChunkBody {
+                    columns: None,
+                    rows,
+                    has_more,
+                    head_score,
+                }
+            }
+        }
     }
 
-    /// Builds a body from already-shared tuples.
+    /// Builds a body from already-shared tuples; these stay the row view
+    /// (re-columnarizing shared rows would copy the data they alias).
     pub fn from_shared(tuples: Vec<SharedTuple>, has_more: bool) -> Self {
         let head_score = tuples.first().map_or(1.0, |t| t.score);
+        let rows = OnceLock::new();
+        let _ = rows.set(tuples);
         ChunkBody {
-            tuples,
+            columns: None,
+            rows,
             has_more,
             head_score,
         }
+    }
+
+    /// The row view, in ranking order for search services. For columnar
+    /// bodies this materializes the rows on first access and caches them.
+    pub fn tuples(&self) -> &[SharedTuple] {
+        self.rows.get_or_init(|| {
+            self.columns
+                .as_ref()
+                .map(|c| c.materialize_rows().into_iter().map(Arc::new).collect())
+                .unwrap_or_default()
+        })
+    }
+
+    /// The columnar payload, when this body is columnar.
+    pub fn columns(&self) -> Option<&ChunkColumns> {
+        self.columns.as_ref()
+    }
+
+    /// Typed handle for the atomic column at schema position `field` —
+    /// the redesigned access path of the batch kernels. `None` for
+    /// row-structured bodies and for group slots.
+    pub fn column(&self, field: usize) -> Option<ColumnRef<'_>> {
+        self.columns.as_ref()?.column(field)
+    }
+
+    /// True when the body stores columns (the row view may or may not
+    /// have been materialized yet).
+    pub fn is_columnar(&self) -> bool {
+        self.columns.is_some()
+    }
+
+    /// True when the row view has already been materialized (or the body
+    /// was row-structured from the start). Callers use the transition to
+    /// account `rows_materialized`.
+    pub fn rows_ready(&self) -> bool {
+        self.rows.get().is_some()
+    }
+
+    /// Number of tuples, without materializing the row view.
+    pub fn len(&self) -> usize {
+        match &self.columns {
+            Some(c) => c.len(),
+            None => self.rows.get().map_or(0, |r| r.len()),
+        }
+    }
+
+    /// True when the chunk carries no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PartialEq for ChunkBody {
+    fn eq(&self, other: &Self) -> bool {
+        self.has_more == other.has_more
+            && self.head_score == other.head_score
+            && self.tuples() == other.tuples()
     }
 }
 
@@ -187,13 +280,14 @@ impl ChunkResponse {
     }
 
     /// The tuples of this chunk, in ranking order for search services.
+    /// Materializes the row view of a columnar body on first access.
     pub fn tuples(&self) -> &[SharedTuple] {
-        &self.body.tuples
+        self.body.tuples()
     }
 
     /// Shared handles to the tuples (O(1) per tuple — refcount bumps).
     pub fn shared_tuples(&self) -> Vec<SharedTuple> {
-        self.body.tuples.clone()
+        self.body.tuples().to_vec()
     }
 
     /// Whether further chunks exist under the same bindings.
@@ -219,20 +313,20 @@ impl ChunkResponse {
     /// scores below the cache.
     pub fn map_tuples(&self, mut f: impl FnMut(&Tuple) -> Tuple) -> Self {
         ChunkResponse::new(
-            self.body.tuples.iter().map(|t| f(t)).collect(),
+            self.body.tuples().iter().map(|t| f(t)).collect(),
             self.body.has_more,
             self.elapsed_ms,
         )
     }
 
-    /// Number of tuples in the chunk.
+    /// Number of tuples in the chunk (no row materialization).
     pub fn len(&self) -> usize {
-        self.body.tuples.len()
+        self.body.len()
     }
 
     /// True when the chunk carries no tuples.
     pub fn is_empty(&self) -> bool {
-        self.body.tuples.is_empty()
+        self.body.is_empty()
     }
 }
 

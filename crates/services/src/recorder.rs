@@ -15,7 +15,7 @@ use seco_model::ServiceInterface;
 
 use crate::error::ServiceError;
 use crate::invocation::{ChunkResponse, Request, Service};
-use crate::wire::chunk_wire_size;
+use crate::wire::chunk_wire_size_body;
 
 /// Accumulated statistics of one (wrapped) service.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -72,6 +72,14 @@ pub struct CallStats {
     /// Predicate-set evaluations performed by join stages over this
     /// service's tuples.
     pub predicate_evals: u64,
+    /// Typed columns scanned (or gathered) by batch predicate kernels
+    /// and column-driven index builds.
+    pub columns_scanned: u64,
+    /// Vectorized predicate-kernel invocations (each covers a whole row
+    /// batch; `predicate_evals` still counts the rows inside).
+    pub batch_evals: u64,
+    /// Rows materialized out of the columnar plane into the row view.
+    pub rows_materialized: u64,
 }
 
 impl serde::Serialize for CallStats {
@@ -122,6 +130,15 @@ impl serde::Serialize for CallStats {
                 "predicate_evals".to_string(),
                 self.predicate_evals.to_json_value(),
             ),
+            (
+                "columns_scanned".to_string(),
+                self.columns_scanned.to_json_value(),
+            ),
+            ("batch_evals".to_string(), self.batch_evals.to_json_value()),
+            (
+                "rows_materialized".to_string(),
+                self.rows_materialized.to_json_value(),
+            ),
         ])
     }
 }
@@ -160,6 +177,9 @@ impl CallStats {
         self.pairs_skipped += other.pairs_skipped;
         self.tiles_pruned += other.tiles_pruned;
         self.predicate_evals += other.predicate_evals;
+        self.columns_scanned += other.columns_scanned;
+        self.batch_evals += other.batch_evals;
+        self.rows_materialized += other.rows_materialized;
     }
 }
 
@@ -236,6 +256,7 @@ impl CallRecorder {
     /// Records join-kernel work performed over this service's tuples.
     /// Takes raw counters (not a join-layer type) because the join crate
     /// sits above this one in the dependency order.
+    #[allow(clippy::too_many_arguments)]
     pub fn note_join_counters(
         &self,
         index_builds: u64,
@@ -243,6 +264,9 @@ impl CallRecorder {
         pairs_skipped: u64,
         tiles_pruned: u64,
         predicate_evals: u64,
+        columns_scanned: u64,
+        batch_evals: u64,
+        rows_materialized: u64,
     ) {
         let mut stats = self.stats.lock();
         stats.index_builds += index_builds;
@@ -250,6 +274,9 @@ impl CallRecorder {
         stats.pairs_skipped += pairs_skipped;
         stats.tiles_pruned += tiles_pruned;
         stats.predicate_evals += predicate_evals;
+        stats.columns_scanned += columns_scanned;
+        stats.batch_evals += batch_evals;
+        stats.rows_materialized += rows_materialized;
     }
 }
 
@@ -268,7 +295,9 @@ impl Service for CallRecorder {
                 stats.tuples += resp.len() as u64;
                 stats.busy_ms += resp.elapsed_ms;
                 stats.max_call_ms = stats.max_call_ms.max(resp.elapsed_ms);
-                stats.bytes += chunk_wire_size(resp.tuples()) as u64;
+                // Sized off the columnar layout — byte-identical to
+                // framing the rows, without materializing the row view.
+                stats.bytes += chunk_wire_size_body(resp.body()) as u64;
             }
             Err(_) => stats.failures += 1,
         }
@@ -395,6 +424,9 @@ mod tests {
             pairs_skipped: 20,
             tiles_pruned: 2,
             predicate_evals: 9,
+            columns_scanned: 3,
+            batch_evals: 4,
+            rows_materialized: 11,
         };
         a.merge(&b);
         assert_eq!(a.calls, 3);
@@ -412,6 +444,10 @@ mod tests {
         assert_eq!((a.clone_events, a.bytes_cloned), (6, 640));
         assert_eq!((a.index_builds, a.probes, a.pairs_skipped), (1, 7, 20));
         assert_eq!((a.tiles_pruned, a.predicate_evals), (2, 9));
+        assert_eq!(
+            (a.columns_scanned, a.batch_evals, a.rows_materialized),
+            (3, 4, 11)
+        );
         assert_eq!(CallStats::default().mean_call_ms(), 0.0);
     }
 }

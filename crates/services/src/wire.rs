@@ -88,6 +88,76 @@ pub fn chunk_wire_size<T: std::borrow::Borrow<Tuple>>(tuples: &[T]) -> usize {
         .sum::<usize>()
 }
 
+/// Encoded size of one value, mirroring [`put_value`] byte for byte.
+fn value_wire_size(v: &Value) -> usize {
+    match v {
+        Value::Null => 1,
+        Value::Bool(_) => 2,
+        Value::Int(_) | Value::Float(_) => 9,
+        Value::Text(s) => 5 + s.len(),
+        Value::Date(_) => 7,
+    }
+}
+
+/// Wire size of a whole chunk body, computed straight off the columnar
+/// layout when one is present — byte-identical to framing the row view,
+/// without materializing it. Row-structured bodies fall back to
+/// [`chunk_wire_size`].
+pub fn chunk_wire_size_body(body: &crate::invocation::ChunkBody) -> usize {
+    use seco_model::{Column, ColumnSlot};
+    let Some(cols) = body.columns() else {
+        return chunk_wire_size(body.tuples());
+    };
+    let n = cols.len();
+    // Envelope + per-tuple header (score f64, rank u32, field count u16).
+    let mut total = 32 + n * (8 + 4 + 2);
+    for slot in cols.slots() {
+        match slot {
+            ColumnSlot::Atomic(col) => {
+                // Slot-kind byte plus the tagged value, per row.
+                total += n;
+                total += match col {
+                    Column::Int(_, nulls) | Column::Float(_, nulls) => {
+                        let nulled = nulls.count_ones();
+                        (n - nulled) * 9 + nulled
+                    }
+                    Column::Bool(_, nulls) => {
+                        let nulled = nulls.count_ones();
+                        (n - nulled) * 2 + nulled
+                    }
+                    Column::Date(_, nulls) => {
+                        let nulled = nulls.count_ones();
+                        (n - nulled) * 7 + nulled
+                    }
+                    Column::Text(syms, nulls) => syms
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            if nulls.get(i) {
+                                1
+                            } else {
+                                5 + s.as_str().len()
+                            }
+                        })
+                        .sum(),
+                    Column::Mixed(vals) => vals.iter().map(value_wire_size).sum(),
+                };
+            }
+            ColumnSlot::Group(rows) => {
+                // Slot-kind byte + row-count u16, then per group row a
+                // value-count u16 and the tagged values.
+                for r in rows {
+                    total += 3 + r
+                        .iter()
+                        .map(|g| 2 + g.values.iter().map(value_wire_size).sum::<usize>())
+                        .sum::<usize>();
+                }
+            }
+        }
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +221,41 @@ mod tests {
             one - 32,
             "two tuples add exactly twice one tuple's bytes"
         );
+    }
+
+    #[test]
+    fn columnar_body_size_matches_row_framing() {
+        let s = schema();
+        let rows: Vec<Tuple> = (0..7)
+            .map(|i| {
+                Tuple::builder(&s)
+                    .set(
+                        "A",
+                        if i % 3 == 0 {
+                            Value::Null
+                        } else {
+                            Value::Int(i)
+                        },
+                    )
+                    .set("B", Value::text(format!("text-{i}")))
+                    .set("C", Value::Date(Date::new(2009, 1, 1 + i as u8)))
+                    .push_group_row("G", vec![Value::float(i as f64)])
+                    .source_rank(i as usize)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let body = crate::invocation::ChunkBody::new(rows.clone(), true);
+        assert!(body.is_columnar());
+        assert_eq!(chunk_wire_size_body(&body), chunk_wire_size(&rows));
+        assert!(
+            !body.rows_ready(),
+            "sizing a columnar body must not materialize its rows"
+        );
+        // Row-structured bodies agree too (fallback path).
+        let shared: Vec<_> = rows.iter().cloned().map(std::sync::Arc::new).collect();
+        let row_body = crate::invocation::ChunkBody::from_shared(shared, true);
+        assert_eq!(chunk_wire_size_body(&row_body), chunk_wire_size(&rows));
     }
 
     #[test]

@@ -95,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         search_computing::plan::display::ascii(&best.plan, Some(&best.annotated))?
     );
-    let outcome = execute_plan(&best.plan, &registry, ExecOptions::default())?;
+    let outcome = execute_plan(&best.plan, &registry, EngineConfig::default())?;
     println!(
         "{} flight combinations via {} calls (an approximation: only flights to\n\
          directory cities, as the chapter warns)",

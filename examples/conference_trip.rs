@@ -71,14 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", display::ascii(&plan, Some(&annotated))?);
 
     // Deterministic execution.
-    let outcome = execute_plan(
-        &plan,
-        &registry,
-        ExecOptions {
-            join_k: 10,
-            ..Default::default()
-        },
-    )?;
+    let outcome = execute_plan(&plan, &registry, EngineConfig::default().join_k(10))?;
     println!(
         "deterministic executor: {} combinations, {} calls, {:.0} virtual ms",
         outcome.results.len(),
@@ -88,14 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", outcome.trace);
 
     // Pipelined execution on real threads.
-    let parallel = execute_parallel(
-        &plan,
-        &registry,
-        ExecOptions {
-            join_k: 10,
-            ..Default::default()
-        },
-    )?;
+    let parallel = execute_parallel(&plan, &registry, EngineConfig::default().join_k(10))?;
     println!(
         "pipelined executor: {} combinations (same set)",
         parallel.len()

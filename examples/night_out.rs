@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Execute and compare with the oracle.
-    let outcome = execute_plan(&best.plan, &registry, ExecOptions::default())?;
+    let outcome = execute_plan(&best.plan, &registry, EngineConfig::default())?;
     let oracle = evaluate_oracle(&query, &registry)?;
     println!(
         "\nexecution: {} combinations ({} in the oracle), {} calls, {:.0} virtual ms",

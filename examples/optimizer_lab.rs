@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", display::ascii(&best.plan, Some(&best.annotated))?);
     println!("estimated execution time: {:.0} ms", best.cost);
 
-    let outcome = execute_plan(&best.plan, &registry, ExecOptions::default())?;
+    let outcome = execute_plan(&best.plan, &registry, EngineConfig::default())?;
     println!(
         "measured (virtual) critical path: {:.0} ms with {} calls",
         outcome.critical_ms, outcome.total_calls

@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Execute deterministically and rank the combinations.
-    let outcome = execute_plan(&best.plan, &registry, ExecOptions::default())?;
+    let outcome = execute_plan(&best.plan, &registry, EngineConfig::default())?;
     let results = ResultSet::new(outcome.results, query.ranking.clone());
     println!(
         "executed with {} request-responses, critical path {:.0} ms (virtual), {} combinations",

@@ -7,7 +7,8 @@
 //! seco run       [--domain D] [--metric M] [--seed N] [--parallel]
 //!                [--fault-profile none|flaky|outage] [--deadline-ms N]
 //!                [--cache-shards N] [--prefetch]
-//!                [--join-index off|hash] [--tile-prune] <query…>
+//!                [--join-index off|hash] [--tile-prune]
+//!                [--columnar on|off] [--batch-eval on|off] <query…>
 //! seco oracle    [--domain D] [--seed N] <query…>
 //! ```
 //!
@@ -30,6 +31,14 @@
 //! skips tiles whose score-product representative cannot reach the
 //! current top-k frontier. A `join:` counter line is printed after the
 //! answers.
+//!
+//! `--columnar` toggles column-wise consumption of chunk bodies
+//! (columnar hash-key extraction, zero-copy kernel inputs) and
+//! `--batch-eval` toggles the vectorized predicate kernels built on
+//! top of it; both default to `on` and are byte-identical to the
+//! row-at-a-time plane. Every flag default is taken from
+//! `EngineConfig::default()`, and each flag maps 1:1 to an
+//! `EngineConfig` builder method.
 //!
 //! `--fault-profile` makes every service inject deterministic faults
 //! (seeded from `--seed`, so two identical invocations produce
@@ -70,6 +79,8 @@ struct Args {
     prefetch: bool,
     join_index: JoinIndexMode,
     tile_prune: bool,
+    columnar: bool,
+    batch_eval: bool,
     workers: usize,
     query: String,
 }
@@ -77,22 +88,34 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or_else(usage)?;
+    // Every flag default comes from the engine's own defaults, so the
+    // CLI can never drift from `EngineConfig::default()`.
+    let defaults = EngineConfig::default();
     let mut domain = "entertainment".to_owned();
     let mut metric = CostMetric::RequestCount;
     let mut seed = 42u64;
     let mut parallel = false;
     let mut fault_profile = "none".to_owned();
     let mut deadline_ms = None;
-    let mut cache_shards = 0usize;
-    let mut prefetch = false;
-    let mut join_index = JoinIndexMode::default();
-    let mut tile_prune = false;
+    let mut cache_shards = defaults.fetch.cache_shards;
+    let mut prefetch = defaults.fetch.prefetch;
+    let mut join_index = defaults.join_index.mode;
+    let mut tile_prune = defaults.join_index.tile_prune;
+    let mut columnar = defaults.columnar.columnar;
+    let mut batch_eval = defaults.columnar.batch_eval;
     let mut workers = 1usize;
     let mut query_parts: Vec<String> = Vec::new();
     let parse_join_index = |mode: &str| match mode {
         "off" | "nested" => Ok(JoinIndexMode::Off),
         "hash" => Ok(JoinIndexMode::Hash),
         other => Err(format!("unknown join index `{other}` (use off or hash)")),
+    };
+    let parse_switch = |flag: &str, value: &str| match value {
+        "on" | "true" => Ok(true),
+        "off" | "false" => Ok(false),
+        other => Err(format!(
+            "unknown value `{other}` for {flag} (use on or off)"
+        )),
     };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -120,6 +143,18 @@ fn parse_args() -> Result<Args, String> {
             "--tile-prune" => tile_prune = true,
             "--join-index" => {
                 join_index = parse_join_index(&argv.next().ok_or("--join-index needs a value")?)?;
+            }
+            "--columnar" => {
+                columnar = parse_switch(
+                    "--columnar",
+                    &argv.next().ok_or("--columnar needs a value")?,
+                )?;
+            }
+            "--batch-eval" => {
+                batch_eval = parse_switch(
+                    "--batch-eval",
+                    &argv.next().ok_or("--batch-eval needs a value")?,
+                )?;
             }
             "--cache-shards" => {
                 cache_shards = argv
@@ -152,6 +187,10 @@ fn parse_args() -> Result<Args, String> {
             other => {
                 if let Some(mode) = other.strip_prefix("--join-index=") {
                     join_index = parse_join_index(mode)?;
+                } else if let Some(value) = other.strip_prefix("--columnar=") {
+                    columnar = parse_switch("--columnar", value)?;
+                } else if let Some(value) = other.strip_prefix("--batch-eval=") {
+                    batch_eval = parse_switch("--batch-eval", value)?;
                 } else {
                     query_parts.push(other.to_owned());
                 }
@@ -170,6 +209,8 @@ fn parse_args() -> Result<Args, String> {
         prefetch,
         join_index,
         tile_prune,
+        columnar,
+        batch_eval,
         workers,
         query: query_parts.join(" "),
     })
@@ -180,7 +221,8 @@ fn usage() -> String {
      [--metric execution-time|sum|request-count|bottleneck|time-to-screen] \
      [--seed N] [--workers N] [--parallel] [--fault-profile none|flaky|outage] \
      [--deadline-ms N] [--cache-shards N] [--prefetch] \
-     [--join-index off|hash] [--tile-prune] <query>"
+     [--join-index off|hash] [--tile-prune] \
+     [--columnar on|off] [--batch-eval on|off] <query>"
         .to_owned()
 }
 
@@ -266,7 +308,7 @@ fn cmd_run(
     registry: &ServiceRegistry,
     metric: CostMetric,
     parallel: bool,
-    opts: ExecOptions,
+    opts: EngineConfig,
     query_src: &str,
 ) -> Result<(), String> {
     let query = parse_query(query_src).map_err(|e| e.to_string())?;
@@ -319,6 +361,10 @@ fn cmd_run(
         join_stats.tiles_pruned,
         join_stats.predicate_evals
     );
+    println!(
+        "columnar: {} columns scanned, {} batch evals, {} rows materialized",
+        join_stats.columns_scanned, join_stats.batch_evals, join_stats.rows_materialized
+    );
     Ok(())
 }
 
@@ -364,28 +410,21 @@ fn main() -> ExitCode {
         }
     };
     let resilient = !faults.is_inert() || args.deadline_ms.is_some();
-    let opts = ExecOptions {
-        join_k: 0,
-        failure_mode: if resilient {
-            FailureMode::Degrade
-        } else {
-            FailureMode::Abort
-        },
-        client: resilient.then(|| ClientConfig {
+    // Every flag maps 1:1 onto an `EngineConfig` builder method.
+    let mut opts = EngineConfig::default()
+        .cache_shards(args.cache_shards)
+        .prefetch(args.prefetch)
+        .join_index_mode(args.join_index)
+        .tile_prune(args.tile_prune)
+        .columnar(args.columnar)
+        .batch_eval(args.batch_eval);
+    if resilient {
+        opts = opts.degrade().client(ClientConfig {
             deadline_ms: args.deadline_ms,
             seed: args.seed,
             ..Default::default()
-        }),
-        fetch: FetchOptions {
-            cache_shards: args.cache_shards,
-            prefetch: args.prefetch,
-            ..Default::default()
-        },
-        join_index: JoinIndexOptions {
-            mode: args.join_index,
-            tile_prune: args.tile_prune,
-        },
-    };
+        });
+    }
     let outcome = match args.command.as_str() {
         "services" => {
             cmd_services(&registry);

@@ -47,7 +47,7 @@
 //!
 //! // 3. Optimize under the request-count metric and execute.
 //! let best = optimize(&query, &registry, CostMetric::RequestCount)?;
-//! let outcome = execute_plan(&best.plan, &registry, ExecOptions::default())?;
+//! let outcome = execute_plan(&best.plan, &registry, EngineConfig::default())?;
 //! println!("{} combinations with {} service calls", outcome.results.len(), outcome.total_calls);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -67,11 +67,15 @@ pub use error::{Retryable, SecoError};
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::error::{Retryable, SecoError};
+    #[allow(deprecated)]
+    pub use seco_engine::ExecOptions;
     pub use seco_engine::{
-        execute_parallel, execute_parallel_with, execute_plan, ExecOptions, FailureMode,
+        execute_parallel, execute_parallel_with, execute_plan, EngineConfig, FailureMode,
         FetchOptions, ParallelOutcome, ResultSet,
     };
-    pub use seco_join::{JoinIndexMode, JoinIndexOptions, JoinMethod, JoinStats, Topology};
+    pub use seco_join::{
+        ColumnarOptions, JoinIndexMode, JoinIndexOptions, JoinMethod, JoinStats, Topology,
+    };
     pub use seco_model::{
         Adornment, AttributePath, Comparator, CompositeTuple, Date, ScoreDecay, ServiceInterface,
         ServiceKind, Value,
@@ -87,6 +91,8 @@ mod tests {
     #[test]
     fn facade_re_exports_compile() {
         use crate::prelude::*;
+        let _ = EngineConfig::default().columnar(true).batch_eval(true);
+        let _ = ColumnarOptions::default();
         let _ = CostMetric::RequestCount;
         let _ = Comparator::Eq;
         let _ = Completion::Triangular;

@@ -84,13 +84,13 @@ fn pipelined_executor_survives_volumes_beyond_channel_capacity() {
     plan.connect(w, l).unwrap();
     plan.connect(l, plan.output()).unwrap();
 
-    let sequential = execute_plan(&plan, &reg, ExecOptions::default()).unwrap();
+    let sequential = execute_plan(&plan, &reg, EngineConfig::default()).unwrap();
     assert_eq!(
         sequential.results.len(),
         2000,
         "every wide tuple finds its lookup (echoed key)"
     );
 
-    let parallel = execute_parallel(&plan, &reg, ExecOptions::default()).unwrap();
+    let parallel = execute_parallel(&plan, &reg, EngineConfig::default()).unwrap();
     assert_eq!(parallel.len(), sequential.results.len());
 }

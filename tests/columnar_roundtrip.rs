@@ -1,0 +1,199 @@
+//! Seeded property test for the columnar chunk plane: decomposing any
+//! chunk of rows into typed columns and materializing it back must be
+//! bit-exact, including the awkward corners of IEEE-754 (`NaN`,
+//! `-0.0`, infinities), explicit nulls, repeating groups, and columns
+//! that degrade to `Mixed` storage because the rows disagree on a
+//! type. Bit-exactness is asserted on the `Debug` render (which
+//! distinguishes `-0.0` from `0.0`) plus raw `to_bits` comparison for
+//! float cells.
+
+use search_computing::model::tuple::{FieldSlot, GroupTuple, Tuple};
+use search_computing::model::{ChunkColumns, Date, Value};
+use search_computing::services::invocation::ChunkBody;
+
+/// Deterministic 64-bit LCG (Knuth MMIX constants); no external crates.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// A random value of one flavor. `flavor` pins the column type so a
+/// whole column can stay typed; `255` means "any", which forces the
+/// column into `Mixed` storage most of the time.
+fn random_value(rng: &mut Lcg, flavor: u8) -> Value {
+    let flavor = if flavor == 255 {
+        rng.below(6) as u8
+    } else {
+        flavor
+    };
+    if rng.chance(20) {
+        return Value::Null;
+    }
+    match flavor {
+        0 => Value::Int(rng.next() as i64 % 1000 - 500),
+        1 => match rng.below(5) {
+            0 => Value::Float(-0.0),
+            1 => Value::Float(f64::NAN),
+            2 => Value::Float(f64::INFINITY),
+            3 => Value::Float(f64::NEG_INFINITY),
+            _ => Value::Float((rng.next() as i64 % 1000) as f64 / 8.0),
+        },
+        2 => Value::Bool(rng.chance(50)),
+        3 => Value::Text(format!("t-{}", rng.below(40))),
+        4 => Value::Date(Date::new(
+            2000 + rng.below(20) as i32,
+            1 + rng.below(12) as u8,
+            1 + rng.below(28) as u8,
+        )),
+        _ => Value::Null,
+    }
+}
+
+/// A random chunk: every row has the same slot layout (the columnar
+/// plane's precondition), with a mix of typed, mixed, and group slots.
+fn random_chunk(rng: &mut Lcg, rows: usize, slots: usize) -> Vec<Tuple> {
+    // Per-slot layout decided once per chunk.
+    let layout: Vec<(bool, u8)> = (0..slots)
+        .map(|_| {
+            let group = rng.chance(20);
+            let flavor = if rng.chance(25) {
+                255 // mixed column
+            } else {
+                rng.below(5) as u8
+            };
+            (group, flavor)
+        })
+        .collect();
+    (0..rows)
+        .map(|i| Tuple {
+            fields: layout
+                .iter()
+                .map(|&(group, flavor)| {
+                    if group {
+                        FieldSlot::Group(
+                            (0..rng.below(3))
+                                .map(|_| {
+                                    GroupTuple::new(vec![
+                                        random_value(rng, 3),
+                                        random_value(rng, 0),
+                                    ])
+                                })
+                                .collect(),
+                        )
+                    } else {
+                        FieldSlot::Atomic(random_value(rng, flavor))
+                    }
+                })
+                .collect(),
+            score: 1.0 - i as f64 / rows.max(1) as f64,
+            source_rank: i,
+        })
+        .collect()
+}
+
+/// Bit-exact render of a row set. `Debug` on `f64` distinguishes
+/// `-0.0`, `NaN`, and infinities, so equal renders mean equal bits for
+/// every case the generator produces.
+fn render(rows: &[Tuple]) -> String {
+    rows.iter()
+        .map(|t| format!("{:?}|{}|{};", t, t.score.to_bits(), t.source_rank))
+        .collect()
+}
+
+#[test]
+fn columnar_round_trip_is_bit_exact_for_seeded_random_chunks() {
+    let mut rng = Lcg(0x5ec0_c0de);
+    let mut columnar_chunks = 0usize;
+    for trial in 0..200 {
+        let rows = rng.below(18) as usize;
+        let slots = 1 + rng.below(5) as usize;
+        let chunk = random_chunk(&mut rng, rows, slots);
+
+        // Direct decomposition round trip.
+        let cols = ChunkColumns::from_tuples(&chunk)
+            .unwrap_or_else(|| panic!("uniform layout must columnarize (trial {trial})"));
+        assert_eq!(cols.len(), chunk.len());
+        assert_eq!(render(&cols.materialize_rows()), render(&chunk));
+
+        // Per-cell spot checks through the typed handles: null masks
+        // and value_at must agree with the original rows, bit for bit.
+        for f in 0..slots {
+            if let Some(col) = cols.column(f) {
+                for (i, t) in chunk.iter().enumerate() {
+                    let FieldSlot::Atomic(original) = &t.fields[f] else {
+                        panic!("column() must be None for group slots");
+                    };
+                    assert_eq!(col.is_null(i), original.is_null());
+                    match (&col.value_at(i), original) {
+                        (Value::Float(a), Value::Float(b)) => {
+                            assert_eq!(a.to_bits(), b.to_bits(), "trial {trial} slot {f} row {i}")
+                        }
+                        (a, b) => {
+                            assert_eq!(format!("{a:?}"), format!("{b:?}"))
+                        }
+                    }
+                }
+            }
+        }
+
+        // Chunk-body round trip: the lazily materialized row view of a
+        // columnar body must reproduce the input rows exactly.
+        let body = ChunkBody::new(chunk.clone(), rng.chance(50));
+        if body.is_columnar() {
+            columnar_chunks += 1;
+            assert!(
+                body.is_empty() || !body.rows_ready(),
+                "row view must be lazy until first use (trial {trial})"
+            );
+        }
+        let view: Vec<Tuple> = body.tuples().iter().map(|t| (**t).clone()).collect();
+        assert_eq!(render(&view), render(&chunk));
+        assert_eq!(body.len(), chunk.len());
+    }
+    assert!(
+        columnar_chunks > 100,
+        "the generator must actually exercise the columnar plane ({columnar_chunks})"
+    );
+}
+
+/// Rows that disagree on slot count cannot be columnarized; the body
+/// must fall back to row storage and still serve the same tuples.
+#[test]
+fn ragged_chunks_fall_back_to_rows() {
+    let a = Tuple {
+        fields: vec![FieldSlot::Atomic(Value::Int(1))],
+        score: 0.9,
+        source_rank: 0,
+    };
+    let b = Tuple {
+        fields: vec![
+            FieldSlot::Atomic(Value::Int(2)),
+            FieldSlot::Atomic(Value::text("x")),
+        ],
+        score: 0.8,
+        source_rank: 1,
+    };
+    assert!(ChunkColumns::from_tuples(&[a.clone(), b.clone()]).is_none());
+    let body = ChunkBody::new(vec![a.clone(), b.clone()], false);
+    assert!(!body.is_columnar());
+    assert!(body.rows_ready());
+    assert_eq!(render(&[a, b]), {
+        let rows: Vec<Tuple> = body.tuples().iter().map(|t| (**t).clone()).collect();
+        render(&rows)
+    });
+}

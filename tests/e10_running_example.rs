@@ -89,7 +89,7 @@ fn fig10_annotation_reproduces_every_number_in_the_chapter() {
 fn fig10_plan_executes_and_produces_complete_combinations() {
     let registry = entertainment::build_registry(1).unwrap();
     let plan = fig10_plan(&registry);
-    let outcome = execute_plan(&plan, &registry, ExecOptions::default()).unwrap();
+    let outcome = execute_plan(&plan, &registry, EngineConfig::default()).unwrap();
     // The synthetic substrate realises the declared selectivities only
     // approximately, so we check shape, not the exact count: some
     // combinations exist and each carries all three atoms.

@@ -20,7 +20,7 @@ fn running_example_engine_is_sound_wrt_oracle() {
     let oracle = evaluate_oracle(&query, &registry).unwrap();
     for metric in [CostMetric::RequestCount, CostMetric::ExecutionTime] {
         let best = optimize(&query, &registry, metric).unwrap();
-        let outcome = execute_plan(&best.plan, &registry, ExecOptions::default()).unwrap();
+        let outcome = execute_plan(&best.plan, &registry, EngineConfig::default()).unwrap();
         for combo in &outcome.results {
             assert!(
                 oracle.iter().any(|o| same_answer(&query, o, combo)),
@@ -46,7 +46,7 @@ fn travel_query_engine_is_sound_wrt_oracle() {
         .unwrap();
     let oracle = evaluate_oracle(&query, &registry).unwrap();
     let best = optimize(&query, &registry, CostMetric::Sum).unwrap();
-    let outcome = execute_plan(&best.plan, &registry, ExecOptions::default()).unwrap();
+    let outcome = execute_plan(&best.plan, &registry, EngineConfig::default()).unwrap();
     assert!(!outcome.results.is_empty());
     for combo in &outcome.results {
         assert!(oracle.iter().any(|o| same_answer(&query, o, combo)));
@@ -58,8 +58,8 @@ fn parallel_and_sequential_executors_agree() {
     let registry = entertainment::build_registry(21).unwrap();
     let query = running_example();
     let best = optimize(&query, &registry, CostMetric::RequestCount).unwrap();
-    let sequential = execute_plan(&best.plan, &registry, ExecOptions::default()).unwrap();
-    let parallel = execute_parallel(&best.plan, &registry, ExecOptions::default()).unwrap();
+    let sequential = execute_plan(&best.plan, &registry, EngineConfig::default()).unwrap();
+    let parallel = execute_parallel(&best.plan, &registry, EngineConfig::default()).unwrap();
     assert_eq!(sequential.results.len(), parallel.len());
     for combo in &parallel {
         assert!(sequential
@@ -83,7 +83,7 @@ fn parsed_query_round_trips_through_the_whole_stack() {
     )
     .unwrap();
     let best = optimize(&query, &registry, CostMetric::ExecutionTime).unwrap();
-    let outcome = execute_plan(&best.plan, &registry, ExecOptions::default()).unwrap();
+    let outcome = execute_plan(&best.plan, &registry, EngineConfig::default()).unwrap();
     let oracle = evaluate_oracle(&query, &registry).unwrap();
     for combo in &outcome.results {
         assert!(oracle.iter().any(|o| same_answer(&query, o, combo)));
@@ -105,7 +105,7 @@ fn continuation_fetches_more_results() {
     let registry = entertainment::build_registry(33).unwrap();
     let query = running_example();
     let best = optimize(&query, &registry, CostMetric::RequestCount).unwrap();
-    let first = execute_plan(&best.plan, &registry, ExecOptions::default()).unwrap();
+    let first = execute_plan(&best.plan, &registry, EngineConfig::default()).unwrap();
 
     let mut more_plan = best.plan.clone();
     for id in more_plan.node_ids().collect::<Vec<_>>() {
@@ -115,7 +115,7 @@ fn continuation_fetches_more_results() {
             }
         }
     }
-    let second = execute_plan(&more_plan, &registry, ExecOptions::default()).unwrap();
+    let second = execute_plan(&more_plan, &registry, EngineConfig::default()).unwrap();
     assert!(
         second.results.len() >= first.results.len(),
         "continuation must not lose answers: {} -> {}",

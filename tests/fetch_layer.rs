@@ -130,7 +130,7 @@ fn prefetch_is_invisible_in_deterministic_results() {
         execute_plan(
             &plan,
             &reg,
-            ExecOptions {
+            EngineConfig {
                 fetch,
                 ..Default::default()
             },
@@ -159,7 +159,7 @@ fn parallel_prefetch_agrees_with_deterministic_results() {
     let det = execute_plan(
         &plan,
         &reg,
-        ExecOptions {
+        EngineConfig {
             fetch: FetchOptions::cached(4),
             ..Default::default()
         },
@@ -168,7 +168,7 @@ fn parallel_prefetch_agrees_with_deterministic_results() {
     let par = execute_parallel(
         &plan,
         &reg,
-        ExecOptions {
+        EngineConfig {
             fetch: FetchOptions::cached(4).with_prefetch(),
             ..Default::default()
         },

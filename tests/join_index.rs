@@ -6,7 +6,7 @@
 //! never what is produced.
 
 use search_computing::join::executor::{JoinOutcome, MemoryStream, ParallelJoinExecutor};
-use search_computing::join::{JoinIndexMode, JoinIndexOptions};
+use search_computing::join::{ColumnarOptions, JoinIndexMode, JoinIndexOptions};
 use search_computing::plan::{JoinSpec, PlanNode, SelectionNode, ServiceNode};
 use search_computing::prelude::*;
 use search_computing::query::predicate::{ResolvedPredicate, SchemaMap};
@@ -27,6 +27,22 @@ const HASH: JoinIndexOptions = JoinIndexOptions {
 const HASH_PRUNED: JoinIndexOptions = JoinIndexOptions {
     mode: JoinIndexMode::Hash,
     tile_prune: true,
+};
+
+/// The three data-plane configurations: full columnar (the default),
+/// columnar access without batch kernels, and the row-at-a-time
+/// baseline. All three must be byte-identical.
+const COL: ColumnarOptions = ColumnarOptions {
+    columnar: true,
+    batch_eval: true,
+};
+const COL_NO_BATCH: ColumnarOptions = ColumnarOptions {
+    columnar: true,
+    batch_eval: false,
+};
+const ROW: ColumnarOptions = ColumnarOptions {
+    columnar: false,
+    batch_eval: false,
 };
 
 /// Owned render of the full outcome; two runs are byte-identical iff
@@ -52,6 +68,7 @@ fn run_method(
     chunk: usize,
     k: usize,
     options: JoinIndexOptions,
+    columnar: ColumnarOptions,
 ) -> JoinOutcome {
     let (sx, sy) = join_pair_with_width(decay_x, decay_y, 40, chunk, 23, 10);
     let req = Request::unbound().bind(AttributePath::atomic("Key"), Value::text("q"));
@@ -73,6 +90,7 @@ fn run_method(
         h: decay_x.step_chunks().unwrap_or(1),
         k,
         options,
+        columnar,
     };
     exec.run(&mut x, &mut y).expect("join runs")
 }
@@ -103,17 +121,37 @@ fn hash_kernel_is_byte_identical_across_join_methods() {
             for &comp in &completions {
                 for &k in &[0usize, 7] {
                     for &chunk in &[3usize, 5] {
-                        let base = run_method(dx, dy, inv, comp, chunk, k, OFF);
-                        for opts in [HASH, HASH_PRUNED] {
-                            let accel = run_method(dx, dy, inv, comp, chunk, k, opts);
-                            assert_eq!(
-                                render(&base),
-                                render(&accel),
-                                "divergence at {dx:?}/{dy:?} {inv:?} {comp:?} k={k} \
-                                 chunk={chunk} opts={opts:?}"
-                            );
+                        let base = run_method(dx, dy, inv, comp, chunk, k, OFF, ROW);
+                        // Every (kernel, data-plane) combination must
+                        // reproduce the row-plane nested loop byte for
+                        // byte.
+                        for opts in [OFF, HASH, HASH_PRUNED] {
+                            for plane in [COL, COL_NO_BATCH, ROW] {
+                                let accel = run_method(dx, dy, inv, comp, chunk, k, opts, plane);
+                                assert_eq!(
+                                    render(&base),
+                                    render(&accel),
+                                    "divergence at {dx:?}/{dy:?} {inv:?} {comp:?} k={k} \
+                                     chunk={chunk} opts={opts:?} plane={plane:?}"
+                                );
+                                // The data plane may move work between
+                                // scalar and batch kernels, but never
+                                // change how many candidates are judged.
+                                let row = run_method(dx, dy, inv, comp, chunk, k, opts, ROW);
+                                assert_eq!(
+                                    accel.stats.predicate_evals, row.stats.predicate_evals,
+                                    "plane {plane:?} changed predicate_evals under {opts:?}"
+                                );
+                                if !plane.batch_eval {
+                                    assert_eq!(accel.stats.batch_evals, 0);
+                                }
+                                if !plane.columnar && !plane.batch_eval {
+                                    assert_eq!(accel.stats.columns_scanned, 0);
+                                    assert_eq!(accel.stats.batch_evals, 0);
+                                }
+                            }
                         }
-                        let hashed = run_method(dx, dy, inv, comp, chunk, k, HASH);
+                        let hashed = run_method(dx, dy, inv, comp, chunk, k, HASH, COL);
                         nested_evals += base.stats.predicate_evals;
                         hashed_evals += hashed.stats.predicate_evals;
                     }
@@ -176,6 +214,7 @@ fn empty_key_tiles_are_pruned_without_changing_the_answer() {
             h: 1,
             k: 0,
             options,
+            columnar: ColumnarOptions::default(),
         };
         // X covers city-0..3, Y covers city-2..5: tiles between the
         // disjoint chunks share no key.
@@ -255,7 +294,7 @@ fn e1_plan(seed: u64) -> (QueryPlan, ServiceRegistry) {
 
 #[test]
 fn both_executors_agree_with_and_without_the_index() {
-    let opts_of = |join_index: JoinIndexOptions| ExecOptions {
+    let opts_of = |join_index: JoinIndexOptions| EngineConfig {
         join_k: 10,
         join_index,
         ..Default::default()
@@ -281,6 +320,22 @@ fn both_executors_agree_with_and_without_the_index() {
     assert_eq!(base.join_stats.index_builds, 0);
     assert_eq!(base.join_stats.probes, 0);
     assert!(base.join_stats.predicate_evals > 0);
+
+    // The columnar data plane must not change whole-engine results,
+    // calls, virtual time, or how many candidates are judged.
+    let (plan, registry) = e1_plan(5);
+    let mut row_cfg = opts_of(OFF);
+    row_cfg.columnar = ROW;
+    let row_plane = execute_plan(&plan, &registry, row_cfg).unwrap();
+    assert_eq!(base.results, row_plane.results);
+    assert_eq!(base.total_calls, row_plane.total_calls);
+    assert_eq!(base.critical_ms, row_plane.critical_ms);
+    assert_eq!(
+        base.join_stats.predicate_evals,
+        row_plane.join_stats.predicate_evals
+    );
+    assert_eq!(row_plane.join_stats.batch_evals, 0);
+    assert_eq!(row_plane.join_stats.columns_scanned, 0);
 
     // Pipelined executor: same combinations either way.
     let (plan, registry) = e1_plan(5);

@@ -108,11 +108,11 @@ fn star_queries_execute_end_to_end() {
     // produce full-arity composites agreeing between both executors.
     let (reg, query) = star_scenario(3, 11);
     let best = optimize(&query, &reg, CostMetric::ExecutionTime).unwrap();
-    let outcome = execute_plan(&best.plan, &reg, ExecOptions::default()).unwrap();
+    let outcome = execute_plan(&best.plan, &reg, EngineConfig::default()).unwrap();
     for combo in &outcome.results {
         assert_eq!(combo.arity(), 3);
     }
-    let par = execute_parallel(&best.plan, &reg, ExecOptions::default()).unwrap();
+    let par = execute_parallel(&best.plan, &reg, EngineConfig::default()).unwrap();
     assert_eq!(par.len(), outcome.results.len());
     // Soundness against the oracle.
     let oracle = evaluate_oracle(&query, &reg).unwrap();
@@ -132,7 +132,7 @@ fn chain_queries_execute_end_to_end() {
     for n in 2..=4 {
         let (reg, query) = chain_scenario(n, 11);
         let best = optimize(&query, &reg, CostMetric::Sum).unwrap();
-        let outcome = execute_plan(&best.plan, &reg, ExecOptions::default()).unwrap();
+        let outcome = execute_plan(&best.plan, &reg, EngineConfig::default()).unwrap();
         assert!(
             !outcome.results.is_empty(),
             "chain n={n} should produce results (link domain 16, 50% pattern selectivity)"
@@ -141,7 +141,7 @@ fn chain_queries_execute_end_to_end() {
             assert_eq!(combo.arity(), n);
         }
         // The pipelined executor agrees.
-        let par = execute_parallel(&best.plan, &reg, ExecOptions::default()).unwrap();
+        let par = execute_parallel(&best.plan, &reg, EngineConfig::default()).unwrap();
         assert_eq!(par.len(), outcome.results.len());
     }
 }

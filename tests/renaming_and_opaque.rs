@@ -80,7 +80,7 @@ fn the_same_service_joins_with_itself_under_two_renamings() {
 
     // The optimizer handles the self-join too.
     let best = optimize(&query, &reg, CostMetric::RequestCount).unwrap();
-    let outcome = execute_plan(&best.plan, &reg, ExecOptions::default()).unwrap();
+    let outcome = execute_plan(&best.plan, &reg, EngineConfig::default()).unwrap();
     for combo in &outcome.results {
         assert!(oracle.iter().any(|o| {
             o.component("C") == combo.component("C") && o.component("D") == combo.component("D")

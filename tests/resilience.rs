@@ -15,7 +15,7 @@ fn identical_seeds_reproduce_identical_resilient_runs() {
     let q = running_example();
     let clean = entertainment::build_registry(1).unwrap();
     let best = optimize(&q, &clean, CostMetric::RequestCount).unwrap();
-    let opts = ExecOptions {
+    let opts = EngineConfig {
         failure_mode: FailureMode::Degrade,
         client: Some(ClientConfig {
             deadline_ms: Some(200.0),
@@ -142,14 +142,14 @@ fn clean_run_is_a_rank_ordered_superset_of_the_degraded_run() {
     let q = running_example();
     let clean = entertainment::build_registry(1).unwrap();
     let best = optimize(&q, &clean, CostMetric::RequestCount).unwrap();
-    let baseline = execute_plan(&best.plan, &clean, ExecOptions::default()).unwrap();
+    let baseline = execute_plan(&best.plan, &clean, EngineConfig::default()).unwrap();
     assert!(baseline.degraded.is_empty());
 
     // An outage profile knocks services out over a call window; the
     // degraded answer keeps whatever was extracted before the window.
     let reg =
         entertainment::build_registry_with_faults(1, FaultProfile::outage().with_seed(3)).unwrap();
-    let opts = ExecOptions {
+    let opts = EngineConfig {
         failure_mode: FailureMode::Degrade,
         client: Some(ClientConfig {
             retries: 1,
@@ -247,7 +247,7 @@ fn degraded_parallel_join_emits_the_surviving_branch_top_k_in_rank_order() {
     p.connect(h, j).unwrap();
     p.connect(j, p.output()).unwrap();
 
-    let opts = ExecOptions {
+    let opts = EngineConfig {
         join_k: 5,
         failure_mode: FailureMode::Degrade,
         ..Default::default()

@@ -87,7 +87,7 @@ fn annotation_handles_chunked_exact_fetch_factors() {
     assert_eq!(ann.annotation(c).tout, 20.0);
     assert_eq!(ann.annotation(c).calls, 2.0);
     // Execution agrees with the page arithmetic.
-    let outcome = execute_plan(&plan, &reg, ExecOptions::default()).unwrap();
+    let outcome = execute_plan(&plan, &reg, EngineConfig::default()).unwrap();
     assert_eq!(outcome.results.len(), 20);
     assert_eq!(outcome.total_calls, 2);
 }
