@@ -6,7 +6,7 @@
 //!   cargo run --release -p seco-bench --bin join_bench            # full
 //!   cargo run --release -p seco-bench --bin join_bench -- --smoke # CI
 //!
-//! Five benchmarks:
+//! Seven benchmarks:
 //!
 //! * **data-plane** — the chunk→composite→merge path of a tile-space
 //!   join, twice over identical inputs: the zero-copy plane (handle
@@ -31,7 +31,14 @@
 //!   kernel microbenchmark (≥2× evals/sec at selectivity 0.02) plus a
 //!   full tile-space join under both data planes, byte-identical, with
 //!   the `batch_evals` / `columns_scanned` / `rows_materialized`
-//!   counters reported.
+//!   counters reported;
+//! * **rank-vs-full** — the rank-join operator at k=5 on the
+//!   deep-chain scenario (selectivity 0.02, chunk 20) vs full
+//!   enumeration + sort: the top-k must be the sorted prefix with ≥3×
+//!   fewer chunk fetches and a ≥2× faster time-to-kth;
+//! * **nary-vs-cascade** — the n-ary kernel over three services vs
+//!   the materializing two-stage binary cascade: byte-identical, all
+//!   intermediates elided, join-loop wall clock compared.
 
 use std::time::Instant;
 
@@ -671,6 +678,302 @@ fn bench_columnar_vs_row(total: usize, evals_target: u64) -> Result<serde_json::
     Ok(serde_json::Value::Array(cases))
 }
 
+/// The rank-join operator vs enumerate-then-sort on the deep-chain
+/// scenario (equi-join selectivity 0.02, chunk 20): the threshold
+/// bound must cut chunk fetches ≥3× at k=5 and reach the provably
+/// final k-th result ≥2× sooner than full enumeration can.
+fn bench_rank_vs_full(total: usize) -> Result<serde_json::Value, DynError> {
+    use seco_join::{score_order, RankJoin, TileSpace};
+    use seco_model::ScoringFunction;
+
+    let width = 50usize; // selectivity 1/50 = 0.02
+    let chunk = 20usize;
+    let k = 5usize;
+    let (sx, sy) = join_pair_with_width(
+        ScoreDecay::Linear,
+        ScoreDecay::Quadratic,
+        total,
+        chunk,
+        17,
+        width,
+    );
+    let req = Request::unbound().bind(AttributePath::atomic("Key"), Value::text("q"));
+    let predicates = vec![ResolvedPredicate::Join(seco_query::JoinPredicate {
+        left: seco_query::QualifiedPath::new("X", AttributePath::atomic("Link")),
+        op: Comparator::Eq,
+        right: seco_query::QualifiedPath::new("Y", AttributePath::atomic("Link")),
+    })];
+    let mut schemas = SchemaMap::new();
+    schemas.insert("X".into(), &sx.interface().schema);
+    schemas.insert("Y".into(), &sy.interface().schema);
+
+    // Full enumeration: fetch everything, join, sort, truncate. The
+    // k-th result is only known once the whole answer is in hand, so
+    // its time-to-kth is the entire run.
+    let full_exec = ParallelJoinExecutor {
+        predicates: &predicates,
+        schemas: &schemas,
+        invocation: Invocation::merge_scan_even(),
+        completion: Completion::Rectangular,
+        h: 1,
+        k: 0,
+        options: JoinIndexOptions::default(),
+        columnar: ColumnarOptions::default(),
+    };
+    let mut x = ServiceStream::new("X", sx.as_ref(), req.clone());
+    let mut y = ServiceStream::new("Y", sy.as_ref(), req.clone());
+    let start = Instant::now();
+    let full = full_exec.run(&mut x, &mut y)?;
+    let mut prefix = full.results.clone();
+    prefix.sort_by(score_order);
+    prefix.truncate(k);
+    let full_kth_us = (start.elapsed().as_micros() as u64).max(1);
+
+    // Rank join: frontier-driven pulls under the threshold bound. The
+    // tile space gives it the total chunk counts, so it can also
+    // report how many fetches the bound provably saved.
+    let rank_exec = ParallelJoinExecutor {
+        predicates: &predicates,
+        schemas: &schemas,
+        invocation: Invocation::merge_scan_even(),
+        completion: Completion::Rectangular,
+        h: 1,
+        k,
+        options: JoinIndexOptions::default(),
+        columnar: ColumnarOptions::default(),
+    };
+    let space = TileSpace::new(
+        ScoringFunction::new(ScoreDecay::Linear, total, chunk)?,
+        ScoringFunction::new(ScoreDecay::Quadratic, total, chunk)?,
+    );
+    let rank = RankJoin {
+        join: rank_exec,
+        space: Some(space),
+    };
+    let mut x = ServiceStream::new("X", sx.as_ref(), req.clone());
+    let mut y = ServiceStream::new("Y", sy.as_ref(), req);
+    let start = Instant::now();
+    let ranked = rank.run(&mut x, &mut y)?;
+    let rank_us = (start.elapsed().as_micros() as u64).max(1);
+
+    let render = |rows: &[CompositeTuple]| -> String {
+        rows.iter()
+            .map(|c| format!("{:?};", c.materialize()))
+            .collect()
+    };
+    assert_eq!(
+        render(&ranked.results),
+        render(&prefix),
+        "rank-join top-{k} must be the sorted full-enumeration prefix"
+    );
+    let rank_kth_us = ranked.stats.time_to_kth_us.max(1);
+    let chunk_reduction =
+        full.stats.chunks_fetched as f64 / ranked.stats.chunks_fetched.max(1) as f64;
+    let kth_speedup = full_kth_us as f64 / rank_kth_us as f64;
+    assert!(
+        chunk_reduction >= 3.0,
+        "rank join must fetch ≥3x fewer chunks at k={k} (full {}, rank {})",
+        full.stats.chunks_fetched,
+        ranked.stats.chunks_fetched,
+    );
+    assert!(
+        kth_speedup >= 2.0,
+        "rank join must reach the k-th result ≥2x sooner \
+         (full {full_kth_us} us, rank {rank_kth_us} us)"
+    );
+    println!(
+        "rank-vs-full (sel 0.02, chunk {chunk}, k={k}): \
+         full {} chunks / kth at {full_kth_us} us, \
+         rank {} chunks ({} saved, {} bound checks) / kth at {rank_kth_us} us, \
+         {chunk_reduction:.1}x fewer chunks, {kth_speedup:.1}x faster to kth",
+        full.stats.chunks_fetched,
+        ranked.stats.chunks_fetched,
+        ranked.stats.chunks_saved,
+        ranked.stats.bound_checks,
+    );
+    Ok(serde_json::json!({
+        "tuples_per_side": total,
+        "chunk_size": chunk,
+        "selectivity": 1.0 / width as f64,
+        "k": k,
+        "top_k_is_sorted_prefix": true,
+        "full_enumeration": {
+            "chunks_fetched": full.stats.chunks_fetched,
+            "combinations": full.results.len(),
+            "time_to_kth_us": full_kth_us,
+        },
+        "rank_join": {
+            "chunks_fetched": ranked.stats.chunks_fetched,
+            "chunks_saved": ranked.stats.chunks_saved,
+            "bound_checks": ranked.stats.bound_checks,
+            "time_to_kth_us": rank_kth_us,
+            "wall_us": rank_us,
+        },
+        "chunk_fetch_reduction": chunk_reduction,
+        "time_to_kth_speedup": kth_speedup,
+        "meets_3x_chunk_target": chunk_reduction >= 3.0,
+        "meets_2x_kth_target": kth_speedup >= 2.0,
+    }))
+}
+
+/// The n-ary kernel vs the two-stage binary cascade over three
+/// services: byte-identical answers, all intermediate composites
+/// elided, and a faster join loop.
+fn bench_nary_vs_cascade(rows: usize, iters: usize) -> Result<serde_json::Value, DynError> {
+    use seco_join::executor::MemoryStream;
+    use seco_join::{NaryJoin, NaryStage};
+    use seco_model::{Adornment, AttributeDef, DataType, ScoringFunction, ServiceSchema};
+
+    let width = 10usize;
+    let chunk = 20usize;
+    let schema = |name: &str| -> Result<ServiceSchema, DynError> {
+        Ok(ServiceSchema::new(
+            name,
+            vec![
+                AttributeDef::atomic("Link", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+            ],
+        )?)
+    };
+    let (sa, sb, sc) = (schema("A")?, schema("B")?, schema("C")?);
+    let f = ScoringFunction::new(ScoreDecay::Linear, rows, chunk)?;
+    let data =
+        |atom: &str, s: &ServiceSchema, phase: usize| -> Result<Vec<CompositeTuple>, DynError> {
+            (0..rows)
+                .map(|i| {
+                    let t = Tuple::builder(s)
+                        .set(
+                            "Link",
+                            Value::Text(format!("hub-{}", (i * 7 + phase) % width)),
+                        )
+                        .set("Score", Value::float(f.score_at(i)))
+                        .score(f.score_at(i))
+                        .source_rank(i)
+                        .build()?;
+                    Ok(CompositeTuple::single(atom, t))
+                })
+                .collect()
+        };
+    let a = data("A", &sa, 0)?;
+    let b = data("B", &sb, 1)?;
+    let c = data("C", &sc, 2)?;
+    let mut schemas = SchemaMap::new();
+    schemas.insert("A".into(), &sa);
+    schemas.insert("B".into(), &sb);
+    schemas.insert("C".into(), &sc);
+    let eq = |la: &str, ra: &str| -> ResolvedPredicate {
+        ResolvedPredicate::Join(seco_query::JoinPredicate {
+            left: seco_query::QualifiedPath::new(la, AttributePath::atomic("Link")),
+            op: Comparator::Eq,
+            right: seco_query::QualifiedPath::new(ra, AttributePath::atomic("Link")),
+        })
+    };
+    let p1 = vec![eq("A", "B")];
+    let p2 = vec![eq("A", "C")];
+    let e1 = ParallelJoinExecutor {
+        predicates: &p1,
+        schemas: &schemas,
+        invocation: Invocation::merge_scan_even(),
+        completion: Completion::Rectangular,
+        h: 1,
+        k: 0,
+        options: JoinIndexOptions::default(),
+        columnar: ColumnarOptions::default(),
+    };
+    let e2 = ParallelJoinExecutor {
+        predicates: &p2,
+        ..e1
+    };
+
+    // Binary cascade: materialize A⋈B, then join the intermediates
+    // against C through a second full tile-space pass.
+    let mut cascade_out = Vec::new();
+    let mut mid_rows = 0usize;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut x = MemoryStream::new(a.clone(), chunk);
+        let mut yb = MemoryStream::new(b.clone(), chunk);
+        let mid = e1.run(&mut x, &mut yb)?.results;
+        mid_rows = mid.len();
+        let mut m = MemoryStream::new(mid, chunk);
+        let mut yc = MemoryStream::new(c.clone(), chunk);
+        cascade_out = e2.run(&mut m, &mut yc)?.results;
+    }
+    let cascade_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // N-ary kernel: one pass, prefix rows stay flat row-id tuples.
+    let s1 = NaryStage {
+        predicates: &p1,
+        invocation: Invocation::merge_scan_even(),
+        completion: Completion::Rectangular,
+        h: 1,
+        k: 0,
+        left_chunk: chunk,
+        right_chunk: chunk,
+    };
+    let s2 = NaryStage {
+        predicates: &p2,
+        ..s1
+    };
+    let nj = NaryJoin {
+        schemas: &schemas,
+        tile_prune: false,
+    };
+    let groups = [a, b, c];
+    let stages = [s1, s2];
+    let mut nary_out = None;
+    let start = Instant::now();
+    for _ in 0..iters {
+        nary_out = nj.run(&groups, &stages)?;
+    }
+    let nary_ms = start.elapsed().as_secs_f64() * 1e3;
+    let nary_out = nary_out.ok_or("three uniform ranked services must be n-ary eligible")?;
+
+    let render = |rows: &[CompositeTuple]| -> String {
+        rows.iter()
+            .map(|c| format!("{:?};", c.materialize()))
+            .collect()
+    };
+    assert_eq!(
+        render(&nary_out.results),
+        render(&cascade_out),
+        "n-ary kernel must be byte-identical to the binary cascade"
+    );
+    assert_eq!(
+        nary_out.stats.intermediates_elided as usize, mid_rows,
+        "every intermediate the cascade materialized must be elided"
+    );
+    let speedup = cascade_ms / nary_ms.max(1e-9);
+    assert!(
+        speedup >= 1.0,
+        "n-ary kernel must beat the binary cascade on join-loop wall \
+         clock (cascade {cascade_ms:.1} ms, nary {nary_ms:.1} ms)"
+    );
+    println!(
+        "nary-vs-cascade ({rows}x3 tuples, {iters} iters): \
+         cascade {cascade_ms:.1} ms ({mid_rows} intermediates), \
+         nary {nary_ms:.1} ms ({} elided), {speedup:.2}x join-loop speedup",
+        nary_out.stats.intermediates_elided,
+    );
+    Ok(serde_json::json!({
+        "tuples_per_service": rows,
+        "iters": iters,
+        "chunk_size": chunk,
+        "combinations": nary_out.results.len(),
+        "byte_identical_to_cascade": true,
+        "cascade": {
+            "wall_ms": cascade_ms,
+            "intermediates_materialized": mid_rows,
+        },
+        "nary": {
+            "wall_ms": nary_ms,
+            "intermediates_elided": nary_out.stats.intermediates_elided,
+        },
+        "join_loop_speedup": speedup,
+        "nary_beats_cascade": speedup >= 1.0,
+    }))
+}
+
 /// Tile representatives come off chunk headers: a quick self-check
 /// that the real executor path reports them without rescans.
 fn check_tile_representatives() -> Result<(), DynError> {
@@ -721,6 +1024,11 @@ fn main() -> Result<(), DynError> {
         "e1": bench_e1()?,
         "index_vs_nested": bench_index_vs_nested(total)?,
         "columnar_vs_row": bench_columnar_vs_row(total, if smoke { 500_000 } else { 5_000_000 })?,
+        "rank_vs_full": bench_rank_vs_full(if smoke { 400 } else { 1_000 })?,
+        "nary_vs_cascade": bench_nary_vs_cascade(
+            if smoke { 100 } else { 200 },
+            if smoke { 3 } else { 10 },
+        )?,
     });
     std::fs::create_dir_all("results")?;
     std::fs::write(

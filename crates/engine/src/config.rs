@@ -55,6 +55,17 @@ pub struct EngineConfig {
     /// and vectorized batch predicate evaluation. The default (both on)
     /// is byte-identical to the row-at-a-time plane.
     pub columnar: ColumnarOptions,
+    /// Runs parallel joins as true top-k rank joins when `join_k > 0`:
+    /// score-sorted inputs, a threshold bound over the unseen frontier,
+    /// and chunk fetches that stop as soon as the k-th buffered result
+    /// meets the bound. Output is the score-correct k-prefix of the
+    /// full enumeration (off by default).
+    pub rank_join: bool,
+    /// Fuses chains of parallel joins into the single-pass n-ary kernel
+    /// when the plan is eligible, eliding intermediate composites.
+    /// Output stays byte-identical to the binary cascade (off by
+    /// default).
+    pub nary_join: bool,
 }
 
 impl EngineConfig {
@@ -124,6 +135,19 @@ impl EngineConfig {
         self.columnar.batch_eval = on;
         self
     }
+
+    /// Enables or disables the top-k rank join (effective when
+    /// `join_k > 0`).
+    pub fn rank_join(mut self, on: bool) -> Self {
+        self.rank_join = on;
+        self
+    }
+
+    /// Enables or disables n-ary fusion of parallel-join chains.
+    pub fn nary_join(mut self, on: bool) -> Self {
+        self.nary_join = on;
+        self
+    }
 }
 
 /// The historical name of [`EngineConfig`].
@@ -146,7 +170,9 @@ mod tests {
             .join_index_mode(JoinIndexMode::Off)
             .tile_prune(true)
             .columnar(false)
-            .batch_eval(false);
+            .batch_eval(false)
+            .rank_join(true)
+            .nary_join(true);
         assert_eq!(cfg.join_k, 7);
         assert_eq!(cfg.failure_mode, FailureMode::Degrade);
         assert!(cfg.client.is_some());
@@ -157,6 +183,7 @@ mod tests {
         assert!(cfg.join_index.tile_prune);
         assert!(!cfg.columnar.columnar);
         assert!(!cfg.columnar.batch_eval);
+        assert!(cfg.rank_join && cfg.nary_join);
     }
 
     #[test]
@@ -165,6 +192,7 @@ mod tests {
         assert!(cfg.columnar.columnar && cfg.columnar.batch_eval);
         assert_eq!(cfg.join_index.mode, JoinIndexMode::Hash);
         assert!(!cfg.join_index.tile_prune);
+        assert!(!cfg.rank_join && !cfg.nary_join);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use seco_join::{ColumnarOptions, JoinStats, PipeJoin};
+use seco_join::{score_order, ColumnarOptions, JoinStats, NaryJoin, NaryStage, PipeJoin, RankJoin};
 use seco_model::{BitMask, Column, CompositeTuple};
 use seco_plan::{NodeId, PlanNode, QueryPlan};
 use seco_query::feasibility::analyze;
@@ -183,6 +183,15 @@ pub fn execute_plan(
     // branch lost tuples to a failure).
     let mut node_degraded: Vec<bool> = vec![false; plan.len()];
 
+    // Left-deep chains of parallel joins the n-ary kernel can fuse.
+    // Rank join takes precedence: its score-sorted top-k inputs are
+    // incompatible with replaying the cascade's exploration.
+    let (nary_elided, nary_chains) = if options.nary_join && !options.rank_join {
+        fusion_chains(plan)?
+    } else {
+        (vec![false; plan.len()], BTreeMap::new())
+    };
+
     for id in order.iter().copied() {
         let preds_nodes = plan.predecessors(id);
         let (tuples_in, out, calls, busy_ms, deg): (usize, Vec<CompositeTuple>, usize, f64, bool) =
@@ -313,6 +322,10 @@ pub fn execute_plan(
                         outcome.stats.columns_scanned,
                         outcome.stats.batch_evals,
                         outcome.stats.rows_materialized,
+                        outcome.stats.chunks_fetched,
+                        outcome.stats.chunks_saved,
+                        outcome.stats.bound_checks,
+                        outcome.stats.intermediates_elided,
                     );
                     let mut deg = node_degraded[preds_nodes[0].0];
                     if outcome.degraded {
@@ -320,6 +333,112 @@ pub fn execute_plan(
                         deg = true;
                     }
                     (n_in, outcome.results, outcome.calls, busy_ms, deg)
+                }
+                PlanNode::ParallelJoin(spec) if nary_elided[id.0] => {
+                    // Absorbed into a downstream n-ary fusion: the
+                    // chain's top join consumes this node's inputs
+                    // directly. The label `spec` stays unused here.
+                    let _ = spec;
+                    let deg = node_degraded[preds_nodes[0].0] || node_degraded[preds_nodes[1].0];
+                    (0, Vec::new(), 0, 0.0, deg)
+                }
+                PlanNode::ParallelJoin(_) if nary_chains.contains_key(&id.0) => {
+                    let chain = &nary_chains[&id.0];
+                    // Feeder nodes: the bottom join's two inputs, then
+                    // every later join's right input, in join order.
+                    let fp = plan.predecessors(chain[0]);
+                    let mut group_nodes = vec![fp[0], fp[1]];
+                    for j in chain.iter().skip(1) {
+                        group_nodes.push(plan.predecessors(*j)[1]);
+                    }
+                    let groups: Vec<Vec<CompositeTuple>> =
+                        group_nodes.iter().map(|g| outputs[g.0].clone()).collect();
+                    let any_deg = group_nodes.iter().any(|g| node_degraded[g.0]);
+                    let n_in = groups.iter().map(Vec::len).sum();
+                    // Per-stage parameters, identical to what each
+                    // unfused join would have used.
+                    let mut params = Vec::with_capacity(chain.len());
+                    for j in chain {
+                        let jp = plan.predecessors(*j);
+                        let PlanNode::ParallelJoin(js) = plan.node(*j)? else {
+                            unreachable!("fusion chains hold join nodes only");
+                        };
+                        let preds_j: Vec<ResolvedPredicate> = js
+                            .predicates
+                            .iter()
+                            .cloned()
+                            .map(ResolvedPredicate::Join)
+                            .collect();
+                        params.push((
+                            preds_j,
+                            js.invocation,
+                            js.completion,
+                            branch_step_chunks(plan, registry, jp[0]),
+                            branch_chunk_size(plan, registry, jp[0]),
+                            branch_chunk_size(plan, registry, jp[1]),
+                        ));
+                    }
+                    // Degraded inputs keep the cascade's per-stage
+                    // pass-through semantics; the kernel only fuses
+                    // clean runs.
+                    let fused = if any_deg {
+                        None
+                    } else {
+                        let stages: Vec<NaryStage<'_>> = params
+                            .iter()
+                            .map(|(p, inv, comp, h, lc, rc)| NaryStage {
+                                predicates: p,
+                                invocation: *inv,
+                                completion: *comp,
+                                h: *h,
+                                k: options.join_k,
+                                left_chunk: *lc,
+                                right_chunk: *rc,
+                            })
+                            .collect();
+                        let nj = NaryJoin {
+                            schemas: &schemas,
+                            tile_prune: options.join_index.tile_prune,
+                        };
+                        nj.run(&groups, &stages)?
+                    };
+                    match fused {
+                        Some(out) => {
+                            join_stats.merge(&out.stats);
+                            (n_in, out.results, 0, 0.0, false)
+                        }
+                        None => {
+                            // Ineligible plan: run the byte-identical
+                            // binary cascade the fusion replaced.
+                            let mut cur = groups[0].clone();
+                            let mut cur_deg = node_degraded[group_nodes[0].0];
+                            for (gi, (p, inv, comp, h, lc, rc)) in params.iter().enumerate() {
+                                let right = groups[gi + 1].clone();
+                                let right_deg = node_degraded[group_nodes[gi + 1].0];
+                                let exec = seco_join::ParallelJoinExecutor {
+                                    predicates: p,
+                                    schemas: &schemas,
+                                    invocation: *inv,
+                                    completion: *comp,
+                                    h: *h,
+                                    k: options.join_k,
+                                    options: options.join_index,
+                                    columnar: options.columnar,
+                                };
+                                let mut sl = seco_join::executor::MemoryStream::new(cur, *lc);
+                                let mut sr = seco_join::executor::MemoryStream::new(right, *rc);
+                                let outcome = if degrade {
+                                    exec.run_with_degradation(&mut sl, &mut sr, cur_deg, right_deg)?
+                                } else {
+                                    exec.run(&mut sl, &mut sr)?
+                                };
+                                join_stats.merge(&outcome.stats);
+                                cur = outcome.results;
+                                cur_deg = cur_deg || right_deg;
+                            }
+                            (n_in, cur, 0, 0.0, cur_deg)
+                        }
+                    }
                 }
                 PlanNode::ParallelJoin(spec) => {
                     let left = outputs[preds_nodes[0].0].clone();
@@ -348,12 +467,31 @@ pub fn execute_plan(
                         options: options.join_index,
                         columnar: options.columnar,
                     };
-                    let mut sl = seco_join::executor::MemoryStream::new(left, cl);
-                    let mut sr = seco_join::executor::MemoryStream::new(right, cr);
-                    let outcome = if degrade {
-                        exec.run_with_degradation(&mut sl, &mut sr, left_deg, right_deg)?
+                    let rank = options.rank_join
+                        && options.join_k > 0
+                        && !(degrade && (left_deg || right_deg));
+                    let outcome = if rank {
+                        // Rank join needs score-sorted streams; branch
+                        // materializations arrive in emission order.
+                        let mut left = left;
+                        let mut right = right;
+                        left.sort_by(score_order);
+                        right.sort_by(score_order);
+                        let mut sl = seco_join::executor::MemoryStream::new(left, cl);
+                        let mut sr = seco_join::executor::MemoryStream::new(right, cr);
+                        RankJoin {
+                            join: exec,
+                            space: None,
+                        }
+                        .run(&mut sl, &mut sr)?
                     } else {
-                        exec.run(&mut sl, &mut sr)?
+                        let mut sl = seco_join::executor::MemoryStream::new(left, cl);
+                        let mut sr = seco_join::executor::MemoryStream::new(right, cr);
+                        if degrade {
+                            exec.run_with_degradation(&mut sl, &mut sr, left_deg, right_deg)?
+                        } else {
+                            exec.run(&mut sl, &mut sr)?
+                        }
                     };
                     join_stats.merge(&outcome.stats);
                     (n_in, outcome.results, 0, 0.0, left_deg || right_deg)
@@ -460,6 +598,53 @@ pub(crate) fn run_selection(
         }
     }
     Ok(kept)
+}
+
+/// Finds the left-deep chains of parallel joins eligible for n-ary
+/// fusion. A join is *absorbable* when its only consumer is another
+/// parallel join taking it as the **left** input — then the chain's top
+/// join can replay every stage in one pass. Returns per-node elision
+/// flags and, for each chain top, the chain's join nodes bottom-up
+/// (top included).
+#[allow(clippy::type_complexity)]
+pub(crate) fn fusion_chains(
+    plan: &QueryPlan,
+) -> Result<(Vec<bool>, BTreeMap<usize, Vec<NodeId>>), EngineError> {
+    let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); plan.len()];
+    for (from, to) in plan.edges() {
+        succs[from.0].push(*to);
+    }
+    let is_join = |id: NodeId| matches!(plan.node(id), Ok(PlanNode::ParallelJoin(_)));
+    let absorbable = |id: NodeId| {
+        is_join(id)
+            && succs[id.0].len() == 1
+            && is_join(succs[id.0][0])
+            && plan.predecessors(succs[id.0][0]).first() == Some(&id)
+    };
+    let mut elided = vec![false; plan.len()];
+    let mut chains: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+    for id in plan.topo_order()? {
+        if !is_join(id) || absorbable(id) {
+            continue;
+        }
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(&l) = plan.predecessors(cur).first() {
+            if !absorbable(l) {
+                break;
+            }
+            chain.push(l);
+            cur = l;
+        }
+        if chain.len() >= 2 {
+            chain.reverse();
+            for j in &chain[..chain.len() - 1] {
+                elided[j.0] = true;
+            }
+            chains.insert(id.0, chain);
+        }
+    }
+    Ok((elided, chains))
 }
 
 /// Chunk size for re-chunking a branch: the chunk size of the nearest

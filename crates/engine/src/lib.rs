@@ -32,8 +32,6 @@ pub mod trace;
 
 pub use clock::{drive_pair, Clock, ClockPacing};
 pub use config::EngineConfig;
-#[allow(deprecated)]
-pub use config::ExecOptions;
 pub use error::EngineError;
 pub use executor::{execute_plan, ExecutionResult, FailureMode, FetchOptions};
 pub use output::ResultSet;

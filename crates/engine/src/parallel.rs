@@ -20,9 +20,9 @@ use std::sync::Arc;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use seco_join::{JoinStats, PipeJoin};
+use seco_join::{score_order, JoinStats, NaryJoin, NaryStage, PipeJoin, RankJoin};
 use seco_model::CompositeTuple;
-use seco_plan::{PlanNode, QueryPlan};
+use seco_plan::{NodeId, PlanNode, QueryPlan};
 use seco_query::feasibility::analyze;
 use seco_query::predicate::{
     resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap,
@@ -31,7 +31,7 @@ use seco_services::{CachingService, Prefetcher, Service, ServiceClient, ServiceR
 
 use crate::config::EngineConfig;
 use crate::error::EngineError;
-use crate::executor::FailureMode;
+use crate::executor::{fusion_chains, FailureMode};
 
 /// Channel capacity per plan arc, in batches; small enough to exercise
 /// backpressure, large enough to avoid senseless stalls.
@@ -163,13 +163,54 @@ pub fn execute_parallel_with(
         ancestors[id.0] = set;
     }
 
+    // Left-deep parallel-join chains fused by the n-ary kernel (rank
+    // join takes precedence, exactly as in the deterministic executor).
+    let (nary_elided, nary_chains) = if options.nary_join && !options.rank_join {
+        fusion_chains(plan)?
+    } else {
+        (vec![false; plan.len()], BTreeMap::new())
+    };
+    // Channel rerouting for fused chains: edges into an absorbed join
+    // deliver straight to the chain's top join (tagged with their group
+    // index) and the chain's internal edges disappear, so the absorbed
+    // joins never spawn.
+    let mut skip_edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut routes: BTreeMap<(usize, usize), Vec<(usize, usize)>> = BTreeMap::new();
+    let mut fused_groups: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
+    for (top, chain) in &nary_chains {
+        let fp = plan.predecessors(chain[0]);
+        let mut group_nodes = vec![fp[0], fp[1]];
+        routes
+            .entry((fp[0].0, chain[0].0))
+            .or_default()
+            .push((*top, 0));
+        routes
+            .entry((fp[1].0, chain[0].0))
+            .or_default()
+            .push((*top, 1));
+        for (i, j) in chain.iter().enumerate().skip(1) {
+            skip_edges.insert((chain[i - 1].0, j.0));
+            let g = plan.predecessors(*j)[1];
+            routes.entry((g.0, j.0)).or_default().push((*top, i + 1));
+            group_nodes.push(g);
+        }
+        fused_groups.insert(*top, group_nodes);
+    }
+
     // One channel per arc, carrying shared batches of tuples.
     let mut senders: Vec<Vec<Sender<Batch>>> = vec![Vec::new(); plan.len()];
     let mut receivers: Vec<Vec<Receiver<Batch>>> = vec![Vec::new(); plan.len()];
+    let mut extra_rx: Vec<Vec<(usize, Receiver<Batch>)>> = vec![Vec::new(); plan.len()];
     for (from, to) in plan.edges() {
+        if skip_edges.contains(&(from.0, to.0)) {
+            continue;
+        }
         let (tx, rx) = bounded(ARC_CAPACITY);
         senders[from.0].push(tx);
-        receivers[to.0].push(rx);
+        match routes.get_mut(&(from.0, to.0)).and_then(Vec::pop) {
+            Some((top, gi)) => extra_rx[top].push((gi, rx)),
+            None => receivers[to.0].push(rx),
+        }
     }
 
     // One fetch stack per service, shared by every node (and thread)
@@ -227,6 +268,11 @@ pub fn execute_parallel_with(
 
     std::thread::scope(|scope| {
         for id in plan.node_ids() {
+            if nary_elided[id.0] {
+                // Absorbed into a fused chain: its channels were
+                // rerouted to the chain top, so there is nothing to run.
+                continue;
+            }
             let node = match plan.node(id) {
                 Ok(n) => n.clone(),
                 Err(e) => {
@@ -236,6 +282,10 @@ pub fn execute_parallel_with(
             };
             let my_senders = std::mem::take(&mut senders[id.0]);
             let my_receivers = std::mem::take(&mut receivers[id.0]);
+            let my_extra = std::mem::take(&mut extra_rx[id.0]);
+            let fused_group_nodes = fused_groups.get(&id.0).cloned();
+            let chain_nodes = nary_chains.get(&id.0).cloned();
+            let plan_ref = plan;
             let my_preds = plan.predecessors(id);
             let report = &report;
             let predicates = &predicates;
@@ -359,7 +409,135 @@ pub fn execute_parallel_with(
                                 local.columns_scanned,
                                 local.batch_evals,
                                 local.rows_materialized,
+                                local.chunks_fetched,
+                                local.chunks_saved,
+                                local.bound_checks,
+                                local.intermediates_elided,
                             );
+                        }
+                        out.flush();
+                    }
+                    PlanNode::ParallelJoin(spec) if fused_group_nodes.is_some() => {
+                        let _ = spec;
+                        let group_nodes = fused_group_nodes.expect("guarded above");
+                        let chain = chain_nodes.expect("tops always carry their chain");
+                        // N-ary rendezvous: drain every group channel in
+                        // group order.
+                        let mut tagged = my_extra;
+                        tagged.sort_by_key(|(gi, _)| *gi);
+                        let groups: Vec<Vec<CompositeTuple>> = tagged
+                            .iter()
+                            .map(|(_, rx)| rx.iter().flat_map(unbatch).collect())
+                            .collect();
+                        // Per-stage parameters: this executor's joins run
+                        // with h = 1 and chunk size 10 (see the unfused
+                        // arm), so the replayed stages must too.
+                        let mut stage_preds: Vec<Vec<ResolvedPredicate>> = Vec::new();
+                        let mut stage_shape = Vec::new();
+                        for j in &chain {
+                            match plan_ref.node(*j) {
+                                Ok(PlanNode::ParallelJoin(js)) => {
+                                    stage_preds.push(
+                                        js.predicates
+                                            .iter()
+                                            .cloned()
+                                            .map(ResolvedPredicate::Join)
+                                            .collect(),
+                                    );
+                                    stage_shape.push((js.invocation, js.completion));
+                                }
+                                Ok(_) => unreachable!("fusion chains hold join nodes only"),
+                                Err(e) => return fail(EngineError::Plan(e)),
+                            }
+                        }
+                        // All channels are closed by now, so every
+                        // upstream degradation is already recorded.
+                        let group_deg: Vec<bool> = if degrade {
+                            let deg = degraded.lock();
+                            group_nodes
+                                .iter()
+                                .map(|g| ancestors[g.0].iter().any(|s| deg.contains(s)))
+                                .collect()
+                        } else {
+                            vec![false; group_nodes.len()]
+                        };
+                        let fused = if group_deg.iter().any(|d| *d) {
+                            // Degraded inputs keep the cascade's
+                            // per-stage pass-through semantics.
+                            Ok(None)
+                        } else {
+                            let stages: Vec<NaryStage<'_>> = stage_preds
+                                .iter()
+                                .zip(&stage_shape)
+                                .map(|(p, (inv, comp))| NaryStage {
+                                    predicates: p,
+                                    invocation: *inv,
+                                    completion: *comp,
+                                    h: 1,
+                                    k: options.join_k,
+                                    left_chunk: 10,
+                                    right_chunk: 10,
+                                })
+                                .collect();
+                            NaryJoin {
+                                schemas,
+                                tile_prune: options.join_index.tile_prune,
+                            }
+                            .run(&groups, &stages)
+                        };
+                        let results = match fused {
+                            Ok(Some(outcome)) => {
+                                join_stats.lock().merge(&outcome.stats);
+                                outcome.results
+                            }
+                            Ok(None) => {
+                                // Ineligible or degraded: run the
+                                // byte-identical binary cascade.
+                                let mut cur = groups[0].clone();
+                                let mut cur_deg = group_deg[0];
+                                for (i, p) in stage_preds.iter().enumerate() {
+                                    let exec = seco_join::ParallelJoinExecutor {
+                                        predicates: p,
+                                        schemas,
+                                        invocation: stage_shape[i].0,
+                                        completion: stage_shape[i].1,
+                                        h: 1,
+                                        k: options.join_k,
+                                        options: options.join_index,
+                                        columnar: options.columnar,
+                                    };
+                                    let mut sl = seco_join::executor::MemoryStream::new(cur, 10);
+                                    let mut sr = seco_join::executor::MemoryStream::new(
+                                        groups[i + 1].clone(),
+                                        10,
+                                    );
+                                    let joined = if degrade {
+                                        exec.run_with_degradation(
+                                            &mut sl,
+                                            &mut sr,
+                                            cur_deg,
+                                            group_deg[i + 1],
+                                        )
+                                    } else {
+                                        exec.run(&mut sl, &mut sr)
+                                    };
+                                    match joined {
+                                        Ok(o) => {
+                                            join_stats.lock().merge(&o.stats);
+                                            cur = o.results;
+                                            cur_deg = cur_deg || group_deg[i + 1];
+                                        }
+                                        Err(e) => return fail(EngineError::Join(e)),
+                                    }
+                                }
+                                cur
+                            }
+                            Err(e) => return fail(EngineError::Join(e)),
+                        };
+                        for c in results {
+                            if !out.push(c) {
+                                return;
+                            }
                         }
                         out.flush();
                     }
@@ -385,20 +563,47 @@ pub fn execute_parallel_with(
                             options: options.join_index,
                             columnar: options.columnar,
                         };
-                        let mut sl = seco_join::executor::MemoryStream::new(left, 10);
-                        let mut sr = seco_join::executor::MemoryStream::new(right, 10);
                         // Both channels are closed by now, so every
                         // upstream degradation is already recorded.
-                        let joined = if degrade {
+                        let (left_failed, right_failed) = if degrade {
                             let deg = degraded.lock();
-                            let left_failed =
-                                ancestors[my_preds[0].0].iter().any(|s| deg.contains(s));
-                            let right_failed =
-                                ancestors[my_preds[1].0].iter().any(|s| deg.contains(s));
-                            drop(deg);
-                            exec.run_with_degradation(&mut sl, &mut sr, left_failed, right_failed)
+                            (
+                                ancestors[my_preds[0].0].iter().any(|s| deg.contains(s)),
+                                ancestors[my_preds[1].0].iter().any(|s| deg.contains(s)),
+                            )
                         } else {
-                            exec.run(&mut sl, &mut sr)
+                            (false, false)
+                        };
+                        let rank = options.rank_join
+                            && options.join_k > 0
+                            && !(left_failed || right_failed);
+                        let joined = if rank {
+                            // Rank join needs score-sorted streams;
+                            // batches arrive in pipeline order.
+                            let mut left = left;
+                            let mut right = right;
+                            left.sort_by(score_order);
+                            right.sort_by(score_order);
+                            let mut sl = seco_join::executor::MemoryStream::new(left, 10);
+                            let mut sr = seco_join::executor::MemoryStream::new(right, 10);
+                            RankJoin {
+                                join: exec,
+                                space: None,
+                            }
+                            .run(&mut sl, &mut sr)
+                        } else {
+                            let mut sl = seco_join::executor::MemoryStream::new(left, 10);
+                            let mut sr = seco_join::executor::MemoryStream::new(right, 10);
+                            if degrade {
+                                exec.run_with_degradation(
+                                    &mut sl,
+                                    &mut sr,
+                                    left_failed,
+                                    right_failed,
+                                )
+                            } else {
+                                exec.run(&mut sl, &mut sr)
+                            }
                         };
                         match joined {
                             Ok(outcome) => {

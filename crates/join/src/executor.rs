@@ -232,7 +232,7 @@ pub struct ParallelJoinExecutor<'p> {
 /// per-chunk indexes and probe-key caches, the batch-kernel scratch
 /// buffers, and the work counters.
 #[derive(Default)]
-struct RunState {
+pub(crate) struct RunState {
     scratch: EvalScratch,
     plans: Vec<KeyPlan>,
     /// Per Y chunk: `None` = not examined yet; `Some(None)` = no usable
@@ -246,7 +246,7 @@ struct RunState {
     cand: Vec<usize>,
     /// Copy of `cand` consumed destructively by batch residual kernels.
     cand_scratch: Vec<usize>,
-    stats: JoinStats,
+    pub(crate) stats: JoinStats,
 }
 
 impl ParallelJoinExecutor<'_> {
@@ -400,6 +400,7 @@ impl ParallelJoinExecutor<'_> {
             && !more_y
             && done.len() == chunks_x.len() * chunks_y.len()
             && results.len() < target_k;
+        st.stats.chunks_fetched = (calls_x + calls_y) as u64;
         Ok(JoinOutcome {
             results,
             calls_x,
@@ -533,7 +534,7 @@ impl ParallelJoinExecutor<'_> {
     /// scalar loop kept as the fallback that also reproduces evaluation
     /// errors.
     #[allow(clippy::too_many_arguments)]
-    fn join_tile(
+    pub(crate) fn join_tile(
         &self,
         compiled: Option<&CompiledPredicates>,
         chunk_x: &CompositeChunk,
@@ -744,7 +745,7 @@ enum TileCols<'y> {
 
 /// Rows the columnar plane had to materialize for this chunk (zero for
 /// row-structured bodies, which never had columns to keep).
-fn chunk_rows_materialized(chunk: &CompositeChunk) -> u64 {
+pub(crate) fn chunk_rows_materialized(chunk: &CompositeChunk) -> u64 {
     match &chunk.body {
         Some((_, b)) if b.is_columnar() && b.rows_ready() => b.len() as u64,
         _ => 0,

@@ -118,6 +118,21 @@ pub struct JoinStats {
     /// Rows materialized out of the columnar plane into the shared row
     /// view (chunks that stayed columnar end to end contribute zero).
     pub rows_materialized: u64,
+    /// Chunks actually fetched from the two streams (rank join and the
+    /// paced executor both report `calls_x + calls_y` here).
+    pub chunks_fetched: u64,
+    /// Chunks the rank join proved it never needed to fetch (known only
+    /// when the operator was given a [`crate::tile::TileSpace`] with
+    /// total chunk counts; zero otherwise).
+    pub chunks_saved: u64,
+    /// Threshold-bound evaluations performed by the rank join.
+    pub bound_checks: u64,
+    /// Intermediate composite materializations the n-ary kernel elided
+    /// (rows a binary cascade would have built as `CompositeTuple`s).
+    pub intermediates_elided: u64,
+    /// Microseconds until the k-th result was provably final in the
+    /// rank join's buffer (0 when the run never reached k).
+    pub time_to_kth_us: u64,
 }
 
 impl JoinStats {
@@ -131,18 +146,25 @@ impl JoinStats {
         self.columns_scanned += other.columns_scanned;
         self.batch_evals += other.batch_evals;
         self.rows_materialized += other.rows_materialized;
+        self.chunks_fetched += other.chunks_fetched;
+        self.chunks_saved += other.chunks_saved;
+        self.bound_checks += other.bound_checks;
+        self.intermediates_elided += other.intermediates_elided;
+        // Time-to-k-th is a latency, not a volume: merging runs keeps
+        // the slowest one rather than summing unrelated clocks.
+        self.time_to_kth_us = self.time_to_kth_us.max(other.time_to_kth_us);
     }
 }
 
 /// Separates the per-candidate encodings inside a joint key. Text
 /// containing the separator can at worst merge two distinct joint keys
 /// into one bucket — a safe collision, since every hit is re-verified.
-const KEY_SEP: char = '\u{1f}';
+pub(crate) const KEY_SEP: char = '\u{1f}';
 
 /// Appends an equality-faithful encoding of `v` to `out`. Returns
 /// `false` for values with no faithful encoding (a raw `NaN`), which
 /// the caller must route to the scan-everything fallback.
-fn encode_value(v: &Value, out: &mut String) -> bool {
+pub(crate) fn encode_value(v: &Value, out: &mut String) -> bool {
     use std::fmt::Write;
     match v {
         // `=` holds for Null only against Null, so Null gets its own tag.
@@ -477,6 +499,11 @@ mod tests {
             columns_scanned: 6,
             batch_evals: 7,
             rows_materialized: 8,
+            chunks_fetched: 9,
+            chunks_saved: 10,
+            bound_checks: 11,
+            intermediates_elided: 12,
+            time_to_kth_us: 500,
         };
         s.merge(&JoinStats {
             index_builds: 10,
@@ -487,6 +514,11 @@ mod tests {
             columns_scanned: 60,
             batch_evals: 70,
             rows_materialized: 80,
+            chunks_fetched: 90,
+            chunks_saved: 100,
+            bound_checks: 110,
+            intermediates_elided: 120,
+            time_to_kth_us: 130,
         });
         assert_eq!(
             s,
@@ -499,6 +531,12 @@ mod tests {
                 columns_scanned: 66,
                 batch_evals: 77,
                 rows_materialized: 88,
+                chunks_fetched: 99,
+                chunks_saved: 110,
+                bound_checks: 121,
+                intermediates_elided: 132,
+                // Latency merges by max, not sum.
+                time_to_kth_us: 500,
             }
         );
     }

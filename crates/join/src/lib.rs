@@ -27,8 +27,10 @@ pub mod error;
 pub mod executor;
 pub mod index;
 pub mod method;
+pub mod nary;
 pub mod optimality;
 pub mod pipe;
+pub mod rank;
 pub mod strategy;
 pub mod tile;
 
@@ -36,7 +38,9 @@ pub use error::JoinError;
 pub use executor::{JoinOutcome, ParallelJoinExecutor};
 pub use index::{ColumnarOptions, JoinIndexMode, JoinIndexOptions, JoinStats};
 pub use method::{JoinMethod, Topology};
+pub use nary::{NaryJoin, NaryOutcome, NaryStage};
 pub use pipe::{pipe_join, PipeJoin, PipeOutcome};
+pub use rank::{score_order, RankJoin};
 pub use strategy::{cost_based_ratio, CallScheduler, CallTarget, Pacing, TilePruner};
 pub use tile::{Tile, TileSpace};
 

@@ -1,0 +1,830 @@
+//! The n-ary join kernel: 3+ services in one pass, no intermediate
+//! composites.
+//!
+//! A binary cascade `(g0 ⋈ g1) ⋈ g2 ⋈ …` materializes a
+//! [`CompositeTuple`] for every row surviving every internal stage,
+//! only to tear most of them apart again one stage later. This kernel
+//! replays the *exact same* staged exploration — every stage replicates
+//! the paced tile loop of
+//! [`crate::executor::ParallelJoinExecutor::run_paced`] over virtual
+//! chunk axes, so chunking, invocation pacing, completion admission,
+//! wave order, and per-stage `k` targets all match the cascade
+//! tile-for-tile — but represents every intermediate row as a flat
+//! vector of per-group row indices. Only the final survivors are
+//! materialized (by the same left-to-right merge chain the cascade
+//! performs), which is counted in `JoinStats::intermediates_elided`.
+//!
+//! Candidate enumeration is a leapfrog-style sorted intersection: each
+//! right chunk's join keys (the [`crate::index`] encoding, interned to
+//! [`Symbol`]s whose `Ord` is content-based) are sorted once, and each
+//! prefix row seeks its key range via binary search, merging the hits
+//! with the chunk's unkeyed rows in ascending row order — the exact
+//! nested-loop (i, j) emission order of the binary kernel. The
+//! encoding is equality-faithful per value, so a joint key can only
+//! collide when a `Text` value embeds [`KEY_SEP`]; hits whose keys are
+//! provably injective (single conjunct, or no embedded separator on
+//! either side) are emitted directly, and only the remaining hits are
+//! re-verified with the full predicate list in predicate order —
+//! results *and* evaluation errors stay byte-identical to the cascade.
+//!
+//! [`NaryJoin::run`] returns `Ok(None)` — "use the binary cascade" —
+//! whenever any precondition for that identity fails:
+//!
+//! * a group with non-uniform atom signatures, or groups sharing an
+//!   atom (diamond plans with common ancestry);
+//! * a stage whose predicates don't compile, or compile with residual
+//!   (non-equi) conjuncts;
+//! * an equi conjunct that is active at its stage but does not span the
+//!   prefix and the stage's new group.
+
+use std::collections::BTreeSet;
+
+use seco_model::{Comparator, CompositeTuple, Symbol, Value};
+use seco_plan::{Completion, Invocation};
+use seco_query::predicate::{ResolvedPredicate, SchemaMap};
+use seco_query::{CompiledPredicates, QueryError};
+
+use crate::error::JoinError;
+use crate::index::{encode_value, JoinStats, KEY_SEP};
+use crate::strategy::{CallScheduler, CallTarget, TilePruner};
+use crate::tile::Tile;
+
+/// One internal stage of the cascade being replayed: the parameters the
+/// equivalent binary [`crate::executor::ParallelJoinExecutor`] would
+/// run with when joining the prefix of earlier groups against the
+/// stage's new group.
+pub struct NaryStage<'p> {
+    /// The stage's join predicates (resolved), in query order.
+    pub predicates: &'p [ResolvedPredicate],
+    /// Invocation strategy of the equivalent binary stage.
+    pub invocation: Invocation,
+    /// Completion strategy of the equivalent binary stage.
+    pub completion: Completion,
+    /// Nested-loop step parameter `h` of the stage's left stream.
+    pub h: usize,
+    /// Per-stage result target (0 = explore everything) — the cascade
+    /// passes the engine's `join_k` to every internal stage, and so
+    /// must the replay.
+    pub k: usize,
+    /// Chunk size of the stage's left (prefix) stream.
+    pub left_chunk: usize,
+    /// Chunk size of the stage's right (new group) stream.
+    pub right_chunk: usize,
+}
+
+/// Outcome of an n-ary run: final combinations in the cascade's exact
+/// emission order, plus kernel counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaryOutcome {
+    /// Joined composites, byte-identical to the binary cascade's.
+    pub results: Vec<CompositeTuple>,
+    /// Kernel work counters (`intermediates_elided` counts the rows a
+    /// cascade would have materialized at internal stages).
+    pub stats: JoinStats,
+}
+
+/// The n-ary join kernel.
+pub struct NaryJoin<'p> {
+    /// Schemas of every atom appearing in the groups.
+    pub schemas: &'p SchemaMap<'p>,
+    /// Replays the score-frontier tile bound of
+    /// [`crate::index::JoinIndexOptions::tile_prune`] at every stage.
+    pub tile_prune: bool,
+}
+
+/// One oriented equi conjunct of a stage: the prefix (x) side names a
+/// group already joined, the y side the stage's new group.
+struct KeyedEq {
+    x_group: usize,
+    /// Component index of `x_atom` inside its group's (uniform)
+    /// signature — resolved once so the hot loops skip name lookups.
+    x_comp: usize,
+    x_field: usize,
+    /// Component index of the y atom inside the new group's signature.
+    y_comp: usize,
+    y_field: usize,
+}
+
+/// A stage's compiled key layout: the active equi conjuncts, oriented.
+/// Inactive conjuncts (an atom outside every group joined so far) are
+/// vacuously true at this stage — exactly the compiled evaluator's
+/// active-predicate filter — and are dropped.
+struct StagePlan {
+    keyed: Vec<KeyedEq>,
+}
+
+/// Sorted key array of one right chunk: `(key, row, trusted)` triples
+/// ordered by content (leapfrog seeks binary-search this), plus the
+/// rows with no encodable key, which every probe must scan. `trusted`
+/// marks keys that are provably injective (no `Text` value embedding
+/// [`KEY_SEP`]), whose hits need no re-verification.
+struct RightIndex {
+    keys: Vec<(Symbol, u32, bool)>,
+    unkeyed: Vec<u32>,
+}
+
+/// Cached probe keys of one prefix chunk: one `(key, trusted)` entry
+/// per row, `None` for rows whose key can't encode (they scan).
+type ProbeKeys = Vec<Option<(Symbol, bool)>>;
+
+impl NaryJoin<'_> {
+    /// Joins `groups[0] ⋈ groups[1] ⋈ …` under `stages` (one per
+    /// internal join). Returns `Ok(None)` when the inputs fall outside
+    /// the kernel's byte-identity preconditions — the caller then runs
+    /// the binary cascade.
+    pub fn run(
+        &self,
+        groups: &[Vec<CompositeTuple>],
+        stages: &[NaryStage<'_>],
+    ) -> Result<Option<NaryOutcome>, JoinError> {
+        if groups.len() < 2 || stages.len() != groups.len() - 1 {
+            return Ok(None);
+        }
+        let mut stats = JoinStats::default();
+        // An inner join over an empty group is provably empty; skip the
+        // exploration entirely.
+        if groups.iter().any(|g| g.is_empty()) {
+            return Ok(Some(NaryOutcome {
+                results: Vec::new(),
+                stats,
+            }));
+        }
+        let Some(plans) = self.plan(groups, stages) else {
+            return Ok(None);
+        };
+
+        // The running prefix: one flat row of `stride` per-group row
+        // indices per surviving combination.
+        let mut prefix: Vec<u32> = (0..groups[0].len() as u32).collect();
+        let mut stride = 1usize;
+        for (s, stage) in stages.iter().enumerate() {
+            prefix = self.run_stage(groups, &prefix, stride, stage, &plans[s], &mut stats)?;
+            stride += 1;
+            if s + 1 < stages.len() {
+                stats.intermediates_elided += (prefix.len() / stride) as u64;
+            }
+            if prefix.is_empty() {
+                // Later stages of the cascade would re-explore empty
+                // left streams to the same empty end.
+                return Ok(Some(NaryOutcome {
+                    results: Vec::new(),
+                    stats,
+                }));
+            }
+        }
+
+        // Materialize the survivors. The cascade's left-to-right merge
+        // chain over pairwise-disjoint groups (a plan() precondition)
+        // is pure concatenation in group order — no shared-atom checks
+        // can fire — so each composite is assembled directly.
+        let n_atoms: usize = groups.iter().map(|g| g[0].atoms.len()).sum();
+        let mut results = Vec::with_capacity(prefix.len() / stride);
+        for row in prefix.chunks(stride) {
+            let mut atoms = Vec::with_capacity(n_atoms);
+            let mut components = Vec::with_capacity(n_atoms);
+            for (g, &r) in row.iter().enumerate() {
+                let c = &groups[g][r as usize];
+                atoms.extend_from_slice(&c.atoms);
+                components.extend_from_slice(&c.components);
+            }
+            results.push(CompositeTuple { atoms, components });
+        }
+        Ok(Some(NaryOutcome { results, stats }))
+    }
+
+    /// Checks every byte-identity precondition and compiles the
+    /// per-stage key layouts. `None` = run the binary cascade instead.
+    fn plan(
+        &self,
+        groups: &[Vec<CompositeTuple>],
+        stages: &[NaryStage<'_>],
+    ) -> Option<Vec<StagePlan>> {
+        // Uniform signatures per group, pairwise-disjoint across groups.
+        let mut atom_group: Vec<(Symbol, usize)> = Vec::new();
+        for (gi, g) in groups.iter().enumerate() {
+            let sig = &g[0].atoms;
+            if !g.iter().all(|c| &c.atoms == sig) {
+                return None;
+            }
+            for a in sig {
+                if atom_group.iter().any(|(s, _)| s == a) {
+                    return None; // shared ancestry: merges can fail
+                }
+                atom_group.push((*a, gi));
+            }
+        }
+        let group_of = |a: Symbol| atom_group.iter().find(|(s, _)| *s == a).map(|(_, g)| *g);
+
+        let mut plans = Vec::with_capacity(stages.len());
+        for (s, stage) in stages.iter().enumerate() {
+            let new_group = s + 1;
+            let compiled = CompiledPredicates::compile(stage.predicates, self.schemas)?;
+            if compiled.equi_candidates().len() != compiled.len() {
+                return None; // residual conjuncts: keep the cascade
+            }
+            // Signatures are uniform per group (checked above), so an
+            // atom's component position is a per-stage constant.
+            let comp_of = |g: usize, a: Symbol| groups[g][0].atoms.iter().position(|s| *s == a);
+            let mut keyed = Vec::new();
+            for c in compiled.equi_candidates() {
+                let gl = group_of(c.left_atom).filter(|g| *g <= new_group);
+                let gr = group_of(c.right_atom).filter(|g| *g <= new_group);
+                match (gl, gr) {
+                    // An absent atom makes the conjunct inactive at this
+                    // stage — vacuously true, forever, in the cascade too.
+                    (None, _) | (_, None) => continue,
+                    (Some(gl), Some(gr)) if gl == new_group && gr < new_group => {
+                        keyed.push(KeyedEq {
+                            x_group: gr,
+                            x_comp: comp_of(gr, c.right_atom)?,
+                            x_field: c.right_field,
+                            y_comp: comp_of(new_group, c.left_atom)?,
+                            y_field: c.left_field,
+                        });
+                    }
+                    (Some(gl), Some(gr)) if gr == new_group && gl < new_group => {
+                        keyed.push(KeyedEq {
+                            x_group: gl,
+                            x_comp: comp_of(gl, c.left_atom)?,
+                            x_field: c.left_field,
+                            y_comp: comp_of(new_group, c.right_atom)?,
+                            y_field: c.right_field,
+                        });
+                    }
+                    // Active but not spanning prefix ↔ new group.
+                    _ => return None,
+                }
+            }
+            plans.push(StagePlan { keyed });
+        }
+        Some(plans)
+    }
+
+    /// Replays one stage's `run_paced` loop over virtual chunk axes.
+    /// Returns the surviving prefix rows (stride `stride + 1`), in the
+    /// cascade's exact emission order.
+    #[allow(clippy::too_many_arguments)]
+    fn run_stage(
+        &self,
+        groups: &[Vec<CompositeTuple>],
+        prefix: &[u32],
+        stride: usize,
+        stage: &NaryStage<'_>,
+        plan: &StagePlan,
+        stats: &mut JoinStats,
+    ) -> Result<Vec<u32>, JoinError> {
+        let right_group = stride; // groups joined so far == index of the new one
+        let right = &groups[right_group];
+        let (r1, r2) = match stage.invocation {
+            Invocation::MergeScan { r1, r2 } => (r1 as usize, r2 as usize),
+            Invocation::NestedLoop => (1, 1),
+        };
+        let target_k = if stage.k == 0 { usize::MAX } else { stage.k };
+        let scheduler = CallScheduler::new(stage.invocation, stage.h.max(1))?;
+        let lc = stage.left_chunk.max(1);
+        let rc = stage.right_chunk.max(1);
+        let n_left = prefix.len() / stride;
+        let nx_chunks = n_left.div_ceil(lc);
+        let ny_chunks = right.len().div_ceil(rc);
+        let (mut more_x, mut more_y) = (true, true);
+        let (mut calls_x, mut calls_y) = (0usize, 0usize);
+        let mut done: BTreeSet<Tile> = BTreeSet::new();
+        let out_stride = stride + 1;
+        let mut out: Vec<u32> = Vec::new();
+        let mut c = r1 * r2;
+        let mut pruner = TilePruner::new(stage.k);
+        let mut rindex: Vec<Option<RightIndex>> = Vec::new();
+        let mut probes: Vec<Option<ProbeKeys>> = Vec::new();
+
+        let row_range = |ci: usize, chunk: usize, total: usize| {
+            let s = (ci * chunk).min(total);
+            (s, ((ci + 1) * chunk).min(total))
+        };
+
+        'outer: loop {
+            if out.len() / out_stride >= target_k {
+                break;
+            }
+            let mut target = scheduler.next_target(calls_x, calls_y);
+            if target == CallTarget::X && !more_x {
+                target = CallTarget::Y;
+            }
+            if target == CallTarget::Y && !more_y {
+                target = CallTarget::X;
+            }
+            match target {
+                CallTarget::X if more_x => {
+                    more_x = calls_x + 1 < nx_chunks;
+                    calls_x += 1;
+                }
+                CallTarget::Y if more_y => {
+                    more_y = calls_y + 1 < ny_chunks;
+                    calls_y += 1;
+                }
+                _ => {}
+            }
+
+            loop {
+                let mut wave: Vec<Tile> = Vec::new();
+                for xi in 0..calls_x {
+                    for yi in 0..calls_y {
+                        let t = Tile::new(xi, yi);
+                        if done.contains(&t) {
+                            continue;
+                        }
+                        let admitted = match stage.completion {
+                            Completion::Rectangular => true,
+                            Completion::Triangular => xi * r2 + yi * r1 < c,
+                        };
+                        if admitted {
+                            wave.push(t);
+                        }
+                    }
+                }
+                if wave.is_empty() {
+                    let waiting = (0..calls_x)
+                        .any(|xi| (0..calls_y).any(|yi| !done.contains(&Tile::new(xi, yi))));
+                    if stage.completion == Completion::Triangular && waiting {
+                        c += 1;
+                        continue;
+                    }
+                    break;
+                }
+                wave.sort_by_key(|t| (t.index_sum(), t.x));
+                for t in wave {
+                    done.insert(t);
+                    let (xs, xe) = row_range(t.x, lc, n_left);
+                    let (ys, ye) = row_range(t.y, rc, right.len());
+                    if self.tile_prune {
+                        // Chunk representatives, 1.0 for empty chunks —
+                        // the `CompositeChunk::new` convention.
+                        let rep_x = if xs < xe {
+                            row_score(groups, &prefix[xs * stride..(xs + 1) * stride])
+                        } else {
+                            1.0
+                        };
+                        let rep_y = if ys < ye {
+                            right[ys].score_product()
+                        } else {
+                            1.0
+                        };
+                        if pruner.can_skip(rep_x * rep_y) {
+                            stats.tiles_pruned += 1;
+                            stats.pairs_skipped += ((xe - xs) * (ye - ys)) as u64;
+                            continue;
+                        }
+                    }
+                    let before = out.len();
+                    self.join_stage_tile(
+                        groups,
+                        prefix,
+                        stride,
+                        right,
+                        plan,
+                        (xs, xe),
+                        (ys, ye),
+                        t,
+                        &mut rindex,
+                        &mut probes,
+                        stats,
+                        &mut out,
+                    )?;
+                    if self.tile_prune {
+                        for row in out[before..].chunks(out_stride) {
+                            pruner.observe(row_score(groups, row));
+                        }
+                    }
+                    if out.len() / out_stride >= target_k {
+                        break 'outer;
+                    }
+                }
+                if stage.completion == Completion::Rectangular {
+                    break;
+                }
+            }
+
+            if !more_x && !more_y {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Joins one virtual tile in the binary kernel's exact (i, j)
+    /// order: per prefix row, seek its key range in the right chunk's
+    /// sorted keys, merge the hits with the unkeyed rows ascending, and
+    /// re-verify every candidate with the full predicate list.
+    #[allow(clippy::too_many_arguments)]
+    fn join_stage_tile(
+        &self,
+        groups: &[Vec<CompositeTuple>],
+        prefix: &[u32],
+        stride: usize,
+        right: &[CompositeTuple],
+        plan: &StagePlan,
+        (xs, xe): (usize, usize),
+        (ys, ye): (usize, usize),
+        t: Tile,
+        rindex: &mut Vec<Option<RightIndex>>,
+        probes: &mut Vec<Option<ProbeKeys>>,
+        stats: &mut JoinStats,
+        out: &mut Vec<u32>,
+    ) -> Result<(), JoinError> {
+        if xs >= xe || ys >= ye {
+            return Ok(());
+        }
+        let ny = ye - ys;
+
+        if plan.keyed.is_empty() {
+            // No active conjunct: every pair passes vacuously (the
+            // compiled evaluator's empty-active case), one counted
+            // evaluation per candidate, exactly like the cascade.
+            for li in xs..xe {
+                let row = &prefix[li * stride..(li + 1) * stride];
+                for j in ys..ye {
+                    stats.predicate_evals += 1;
+                    out.extend_from_slice(row);
+                    out.push(j as u32);
+                }
+            }
+            return Ok(());
+        }
+
+        // Sort the right chunk's keys once (leapfrog trie level).
+        if rindex.len() <= t.y {
+            rindex.resize_with(t.y + 1, || None);
+        }
+        // A joint key can only lie about equality when a `Text` value
+        // embeds the separator; single-conjunct keys never can.
+        let sep_safe = plan.keyed.len() == 1;
+        let tainted = |v: &Value| matches!(v, Value::Text(s) if !sep_safe && s.contains(KEY_SEP));
+
+        if rindex[t.y].is_none() {
+            stats.index_builds += 1;
+            let mut keys: Vec<(Symbol, u32, bool)> = Vec::new();
+            let mut unkeyed: Vec<u32> = Vec::new();
+            let mut buf = String::new();
+            'rows: for (off, comp) in right[ys..ye].iter().enumerate() {
+                buf.clear();
+                let mut trusted = true;
+                for (i, e) in plan.keyed.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(KEY_SEP);
+                    }
+                    let v = comp.components[e.y_comp].atomic_at(e.y_field);
+                    trusted &= !tainted(v);
+                    if !encode_value(v, &mut buf) {
+                        unkeyed.push(off as u32);
+                        continue 'rows;
+                    }
+                }
+                keys.push((Symbol::intern(&buf), off as u32, trusted));
+            }
+            keys.sort();
+            rindex[t.y] = Some(RightIndex { keys, unkeyed });
+        }
+        let ri = rindex[t.y].as_ref().expect("built above");
+
+        // Extract (or reuse) the prefix chunk's probe keys.
+        if probes.len() <= t.x {
+            probes.resize_with(t.x + 1, || None);
+        }
+        if probes[t.x].is_none() {
+            let mut pk = Vec::with_capacity(xe - xs);
+            let mut buf = String::new();
+            'rows: for li in xs..xe {
+                let row = &prefix[li * stride..(li + 1) * stride];
+                buf.clear();
+                let mut trusted = true;
+                for (i, e) in plan.keyed.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(KEY_SEP);
+                    }
+                    let comp = &groups[e.x_group][row[e.x_group] as usize];
+                    let v = comp.components[e.x_comp].atomic_at(e.x_field);
+                    trusted &= !tainted(v);
+                    if !encode_value(v, &mut buf) {
+                        pk.push(None);
+                        continue 'rows;
+                    }
+                }
+                pk.push(Some((Symbol::intern(&buf), trusted)));
+            }
+            probes[t.x] = Some(pk);
+        }
+        let pk = probes[t.x].as_ref().expect("built above");
+
+        let mut cand: Vec<(u32, bool)> = Vec::new();
+        for li in xs..xe {
+            let row = &prefix[li * stride..(li + 1) * stride];
+            match pk[li - xs] {
+                None => {
+                    // Unencodable probe: scan the chunk so the
+                    // interpreter's behavior — including errors — is
+                    // reproduced.
+                    for j in ys..ye {
+                        verify_and_emit(groups, row, right, j, plan, stats, out)?;
+                    }
+                }
+                Some((key, x_trusted)) => {
+                    stats.probes += 1;
+                    let lo = ri.keys.partition_point(|(k, _, _)| *k < key);
+                    let hi = ri.keys.partition_point(|(k, _, _)| *k <= key);
+                    let hits = &ri.keys[lo..hi];
+                    // Ascending merge of keyed hits with unkeyed rows
+                    // reproduces the nested loop's j order exactly.
+                    cand.clear();
+                    let (mut bi, mut ui) = (0usize, 0usize);
+                    while bi < hits.len() || ui < ri.unkeyed.len() {
+                        if bi < hits.len()
+                            && (ui >= ri.unkeyed.len() || hits[bi].1 < ri.unkeyed[ui])
+                        {
+                            bi += 1;
+                            cand.push((hits[bi - 1].1, hits[bi - 1].2));
+                        } else {
+                            ui += 1;
+                            cand.push((ri.unkeyed[ui - 1], false));
+                        }
+                    }
+                    stats.pairs_skipped += (ny - cand.len()) as u64;
+                    for &(off, y_trusted) in &cand {
+                        let j = ys + off as usize;
+                        if x_trusted && y_trusted {
+                            // Proven match: the key comparison was the
+                            // equality evaluation (counted like a batch
+                            // kernel covering its candidates).
+                            stats.predicate_evals += 1;
+                            out.extend_from_slice(row);
+                            out.push(j as u32);
+                        } else {
+                            verify_and_emit(groups, row, right, j, plan, stats, out)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Score product of a prefix row — what the merged composite's
+/// `score_product` would be, without building it.
+fn row_score(groups: &[Vec<CompositeTuple>], row: &[u32]) -> f64 {
+    row.iter()
+        .enumerate()
+        .map(|(g, &r)| groups[g][r as usize].score_product())
+        .product()
+}
+
+/// Verifies one candidate pair with the full predicate list, in
+/// predicate order with short-circuit on false — the compiled
+/// evaluator's semantics, errors included — and emits the extended
+/// prefix row on success.
+fn verify_and_emit(
+    groups: &[Vec<CompositeTuple>],
+    row: &[u32],
+    right: &[CompositeTuple],
+    j: usize,
+    plan: &StagePlan,
+    stats: &mut JoinStats,
+    out: &mut Vec<u32>,
+) -> Result<(), JoinError> {
+    stats.predicate_evals += 1;
+    let b = &right[j];
+    for e in &plan.keyed {
+        let comp = &groups[e.x_group][row[e.x_group] as usize];
+        let lt = &comp.components[e.x_comp];
+        let rt = &b.components[e.y_comp];
+        let ok = Comparator::Eq
+            .eval(lt.atomic_at(e.x_field), rt.atomic_at(e.y_field))
+            .map_err(QueryError::Model)?;
+        if !ok {
+            return Ok(());
+        }
+    }
+    out.extend_from_slice(row);
+    out.push(j as u32);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{MemoryStream, ParallelJoinExecutor};
+    use crate::index::{ColumnarOptions, JoinIndexOptions};
+    use seco_model::{
+        Adornment, AttributeDef, AttributePath, DataType, ScoreDecay, ServiceSchema, Tuple, Value,
+    };
+    use seco_query::{JoinPredicate, QualifiedPath};
+
+    fn schema(name: &str) -> ServiceSchema {
+        ServiceSchema::new(
+            name,
+            vec![
+                AttributeDef::atomic("City", DataType::Text, Adornment::Output),
+                AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn stream_data(
+        atom: &str,
+        schema: &ServiceSchema,
+        n: usize,
+        decay: ScoreDecay,
+        modulus: usize,
+    ) -> Vec<CompositeTuple> {
+        let f = seco_model::ScoringFunction::new(decay, n, 2).unwrap();
+        (0..n)
+            .map(|i| {
+                let t = Tuple::builder(schema)
+                    .set("City", Value::Text(format!("city-{}", i % modulus)))
+                    .set("Score", Value::float(f.score_at(i)))
+                    .score(f.score_at(i))
+                    .source_rank(i)
+                    .build()
+                    .unwrap();
+                CompositeTuple::single(atom, t)
+            })
+            .collect()
+    }
+
+    fn eq_pred(la: &str, ra: &str) -> ResolvedPredicate {
+        ResolvedPredicate::Join(JoinPredicate {
+            left: QualifiedPath::new(la, AttributePath::atomic("City")),
+            op: seco_model::Comparator::Eq,
+            right: QualifiedPath::new(ra, AttributePath::atomic("City")),
+        })
+    }
+
+    /// The reference: two chained binary executor runs.
+    #[allow(clippy::too_many_arguments)]
+    fn cascade(
+        schemas: &SchemaMap<'_>,
+        a: &[CompositeTuple],
+        b: &[CompositeTuple],
+        cc: &[CompositeTuple],
+        p1: &[ResolvedPredicate],
+        p2: &[ResolvedPredicate],
+        k: usize,
+        chunks: (usize, usize, usize, usize),
+    ) -> Vec<CompositeTuple> {
+        let (c0, c1, lc2, c2) = chunks;
+        let e1 = ParallelJoinExecutor {
+            predicates: p1,
+            schemas,
+            invocation: seco_plan::Invocation::merge_scan_even(),
+            completion: Completion::Triangular,
+            h: 1,
+            k,
+            options: JoinIndexOptions::default(),
+            columnar: ColumnarOptions::default(),
+        };
+        let mut sa = MemoryStream::new(a.to_vec(), c0);
+        let mut sb = MemoryStream::new(b.to_vec(), c1);
+        let mid = e1.run(&mut sa, &mut sb).unwrap().results;
+        let e2 = ParallelJoinExecutor {
+            predicates: p2,
+            ..e1
+        };
+        let mut sm = MemoryStream::new(mid, lc2);
+        let mut sc = MemoryStream::new(cc.to_vec(), c2);
+        e2.run(&mut sm, &mut sc).unwrap().results
+    }
+
+    #[test]
+    fn three_way_join_matches_the_binary_cascade() {
+        let sa = schema("A1");
+        let sb = schema("B1");
+        let sc = schema("C1");
+        let mut schemas = SchemaMap::new();
+        schemas.insert("A".into(), &sa);
+        schemas.insert("B".into(), &sb);
+        schemas.insert("C".into(), &sc);
+        let p1 = vec![eq_pred("A", "B")];
+        let p2 = vec![eq_pred("B", "C")];
+        let a = stream_data("A", &sa, 12, ScoreDecay::Linear, 3);
+        let b = stream_data("B", &sb, 10, ScoreDecay::Quadratic, 3);
+        let cc = stream_data("C", &sc, 14, ScoreDecay::Linear, 4);
+        for k in [0usize, 7] {
+            let want = cascade(&schemas, &a, &b, &cc, &p1, &p2, k, (3, 4, 5, 3));
+            let nj = NaryJoin {
+                schemas: &schemas,
+                tile_prune: false,
+            };
+            let stages = [
+                NaryStage {
+                    predicates: &p1,
+                    invocation: seco_plan::Invocation::merge_scan_even(),
+                    completion: Completion::Triangular,
+                    h: 1,
+                    k,
+                    left_chunk: 3,
+                    right_chunk: 4,
+                },
+                NaryStage {
+                    predicates: &p2,
+                    invocation: seco_plan::Invocation::merge_scan_even(),
+                    completion: Completion::Triangular,
+                    h: 1,
+                    k,
+                    left_chunk: 5,
+                    right_chunk: 3,
+                },
+            ];
+            let out = nj
+                .run(&[a.clone(), b.clone(), cc.clone()], &stages)
+                .unwrap()
+                .expect("eligible plan");
+            assert_eq!(out.results, want, "k={k}");
+            if k == 0 {
+                assert!(out.stats.intermediates_elided > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_ancestry_falls_back() {
+        let sa = schema("A1");
+        let sb = schema("B1");
+        let mut schemas = SchemaMap::new();
+        schemas.insert("A".into(), &sa);
+        schemas.insert("B".into(), &sb);
+        let p = vec![eq_pred("A", "B")];
+        let a = stream_data("A", &sa, 4, ScoreDecay::Linear, 2);
+        let b = stream_data("B", &sb, 4, ScoreDecay::Linear, 2);
+        // Group 2 shares atom A with group 0: merges could fail, so the
+        // kernel must defer to the cascade.
+        let stages = [
+            NaryStage {
+                predicates: &p,
+                invocation: seco_plan::Invocation::merge_scan_even(),
+                completion: Completion::Rectangular,
+                h: 1,
+                k: 0,
+                left_chunk: 2,
+                right_chunk: 2,
+            },
+            NaryStage {
+                predicates: &p,
+                invocation: seco_plan::Invocation::merge_scan_even(),
+                completion: Completion::Rectangular,
+                h: 1,
+                k: 0,
+                left_chunk: 2,
+                right_chunk: 2,
+            },
+        ];
+        let nj = NaryJoin {
+            schemas: &schemas,
+            tile_prune: false,
+        };
+        let out = nj.run(&[a.clone(), b.clone(), a.clone()], &stages).unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn empty_group_short_circuits() {
+        let sa = schema("A1");
+        let sb = schema("B1");
+        let sc = schema("C1");
+        let mut schemas = SchemaMap::new();
+        schemas.insert("A".into(), &sa);
+        schemas.insert("B".into(), &sb);
+        schemas.insert("C".into(), &sc);
+        let p1 = vec![eq_pred("A", "B")];
+        let p2 = vec![eq_pred("B", "C")];
+        let a = stream_data("A", &sa, 4, ScoreDecay::Linear, 2);
+        let cc = stream_data("C", &sc, 4, ScoreDecay::Linear, 2);
+        let stages = [
+            NaryStage {
+                predicates: &p1,
+                invocation: seco_plan::Invocation::merge_scan_even(),
+                completion: Completion::Rectangular,
+                h: 1,
+                k: 0,
+                left_chunk: 2,
+                right_chunk: 2,
+            },
+            NaryStage {
+                predicates: &p2,
+                invocation: seco_plan::Invocation::merge_scan_even(),
+                completion: Completion::Rectangular,
+                h: 1,
+                k: 0,
+                left_chunk: 2,
+                right_chunk: 2,
+            },
+        ];
+        let nj = NaryJoin {
+            schemas: &schemas,
+            tile_prune: false,
+        };
+        let out = nj
+            .run(&[a, Vec::new(), cc], &stages)
+            .unwrap()
+            .expect("provably empty is still an answer");
+        assert!(out.results.is_empty());
+    }
+}

@@ -107,6 +107,15 @@ impl TileSpace {
                 .then(a.index_sum().cmp(&b.index_sum()))
                 .then(a.x.cmp(&b.x))
         });
+        // The rank join's stopping bound relies on this order being a
+        // true descent: the representative at any suffix position
+        // upper-bounds every pair not yet examined.
+        debug_assert!(
+            tiles
+                .windows(2)
+                .all(|w| self.representative(w[0]) >= self.representative(w[1])),
+            "optimal_order must be monotone non-increasing in representative"
+        );
         tiles
     }
 
@@ -115,12 +124,24 @@ impl TileSpace {
     /// region of size m·n represents the part of the search space that
     /// can be inspected after performing m request-responses to SX and
     /// n request-responses to SY").
+    ///
+    /// **Frontier invariant.** Because ranked streams decay along both
+    /// axes, every tile *outside* the `m × n` rectangle is dominated by
+    /// a tile on its frontier: `representative(t(i,j)) ≤
+    /// representative(t(min(i, m−1), min(j, n−1)))`. The frontier row
+    /// `t(m, ·)` and column `t(·, n)` therefore bound the best possible
+    /// score of any unseen combination — the fact the rank join's
+    /// threshold test is built on.
     pub fn available(&self, m: usize, n: usize) -> Vec<Tile> {
         let m = m.min(self.nx);
         let n = n.min(self.ny);
-        (0..m)
-            .flat_map(|x| (0..n).map(move |y| Tile::new(x, y)))
-            .collect()
+        let mut tiles = Vec::with_capacity(m * n);
+        for x in 0..m {
+            for y in 0..n {
+                tiles.push(Tile::new(x, y));
+            }
+        }
+        tiles
     }
 }
 

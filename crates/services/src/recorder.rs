@@ -80,6 +80,19 @@ pub struct CallStats {
     pub batch_evals: u64,
     /// Rows materialized out of the columnar plane into the row view.
     pub rows_materialized: u64,
+    /// Service chunks pulled by join kernels (rank join and the paced
+    /// executor both report their call totals here).
+    pub chunks_fetched: u64,
+    /// Chunks the rank join's threshold bound proved unnecessary,
+    /// measured against the full tile space (0 when the space is
+    /// unknown).
+    pub chunks_saved: u64,
+    /// Threshold-bound evaluations performed by the rank join's pull
+    /// loop.
+    pub bound_checks: u64,
+    /// Intermediate composites the n-ary kernel avoided materializing
+    /// (rows a binary cascade would have built at internal stages).
+    pub intermediates_elided: u64,
 }
 
 impl serde::Serialize for CallStats {
@@ -139,6 +152,22 @@ impl serde::Serialize for CallStats {
                 "rows_materialized".to_string(),
                 self.rows_materialized.to_json_value(),
             ),
+            (
+                "chunks_fetched".to_string(),
+                self.chunks_fetched.to_json_value(),
+            ),
+            (
+                "chunks_saved".to_string(),
+                self.chunks_saved.to_json_value(),
+            ),
+            (
+                "bound_checks".to_string(),
+                self.bound_checks.to_json_value(),
+            ),
+            (
+                "intermediates_elided".to_string(),
+                self.intermediates_elided.to_json_value(),
+            ),
         ])
     }
 }
@@ -180,6 +209,10 @@ impl CallStats {
         self.columns_scanned += other.columns_scanned;
         self.batch_evals += other.batch_evals;
         self.rows_materialized += other.rows_materialized;
+        self.chunks_fetched += other.chunks_fetched;
+        self.chunks_saved += other.chunks_saved;
+        self.bound_checks += other.bound_checks;
+        self.intermediates_elided += other.intermediates_elided;
     }
 }
 
@@ -267,6 +300,10 @@ impl CallRecorder {
         columns_scanned: u64,
         batch_evals: u64,
         rows_materialized: u64,
+        chunks_fetched: u64,
+        chunks_saved: u64,
+        bound_checks: u64,
+        intermediates_elided: u64,
     ) {
         let mut stats = self.stats.lock();
         stats.index_builds += index_builds;
@@ -277,6 +314,10 @@ impl CallRecorder {
         stats.columns_scanned += columns_scanned;
         stats.batch_evals += batch_evals;
         stats.rows_materialized += rows_materialized;
+        stats.chunks_fetched += chunks_fetched;
+        stats.chunks_saved += chunks_saved;
+        stats.bound_checks += bound_checks;
+        stats.intermediates_elided += intermediates_elided;
     }
 }
 
@@ -427,6 +468,10 @@ mod tests {
             columns_scanned: 3,
             batch_evals: 4,
             rows_materialized: 11,
+            chunks_fetched: 12,
+            chunks_saved: 5,
+            bound_checks: 13,
+            intermediates_elided: 6,
         };
         a.merge(&b);
         assert_eq!(a.calls, 3);
@@ -447,6 +492,15 @@ mod tests {
         assert_eq!(
             (a.columns_scanned, a.batch_evals, a.rows_materialized),
             (3, 4, 11)
+        );
+        assert_eq!(
+            (
+                a.chunks_fetched,
+                a.chunks_saved,
+                a.bound_checks,
+                a.intermediates_elided
+            ),
+            (12, 5, 13, 6)
         );
         assert_eq!(CallStats::default().mean_call_ms(), 0.0);
     }

@@ -23,6 +23,9 @@ cp results/BENCH_fetch.json BENCH_fetch.json
 echo "==> join_bench --smoke"
 cargo run --release -q -p seco-bench --bin join_bench -- --smoke
 cp results/BENCH_join.json BENCH_join.json
+echo "==> rank join smoke summary (chunks fetched / time-to-kth)"
+grep -E '"(chunks_fetched|chunks_saved|time_to_kth_us|chunk_fetch_reduction|time_to_kth_speedup)"' \
+  BENCH_join.json
 
 echo "==> optimizer_bench --smoke"
 cargo run --release -q -p seco-bench --bin optimizer_bench -- --smoke

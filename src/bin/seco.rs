@@ -8,6 +8,7 @@
 //!                [--fault-profile none|flaky|outage] [--deadline-ms N]
 //!                [--cache-shards N] [--prefetch]
 //!                [--join-index off|hash] [--tile-prune]
+//!                [--rank-join] [--nary-join]
 //!                [--columnar on|off] [--batch-eval on|off] <query…>
 //! seco oracle    [--domain D] [--seed N] <query…>
 //! ```
@@ -31,6 +32,14 @@
 //! skips tiles whose score-product representative cannot reach the
 //! current top-k frontier. A `join:` counter line is printed after the
 //! answers.
+//!
+//! `--rank-join` turns parallel joins into true top-k rank joins: the
+//! inputs are score-sorted and chunk pulls stop as soon as the
+//! threshold bound proves the buffered top `k` final (the query's
+//! `top k` supplies the target). `--nary-join` fuses chains of
+//! parallel joins into one n-ary pass that skips the intermediate
+//! composites; answers stay byte-identical to the binary cascade. A
+//! `rank:` counter line is printed after the answers.
 //!
 //! `--columnar` toggles column-wise consumption of chunk bodies
 //! (columnar hash-key extraction, zero-copy kernel inputs) and
@@ -79,6 +88,8 @@ struct Args {
     prefetch: bool,
     join_index: JoinIndexMode,
     tile_prune: bool,
+    rank_join: bool,
+    nary_join: bool,
     columnar: bool,
     batch_eval: bool,
     workers: usize,
@@ -101,6 +112,8 @@ fn parse_args() -> Result<Args, String> {
     let mut prefetch = defaults.fetch.prefetch;
     let mut join_index = defaults.join_index.mode;
     let mut tile_prune = defaults.join_index.tile_prune;
+    let mut rank_join = defaults.rank_join;
+    let mut nary_join = defaults.nary_join;
     let mut columnar = defaults.columnar.columnar;
     let mut batch_eval = defaults.columnar.batch_eval;
     let mut workers = 1usize;
@@ -141,6 +154,8 @@ fn parse_args() -> Result<Args, String> {
             "--parallel" => parallel = true,
             "--prefetch" => prefetch = true,
             "--tile-prune" => tile_prune = true,
+            "--rank-join" => rank_join = true,
+            "--nary-join" => nary_join = true,
             "--join-index" => {
                 join_index = parse_join_index(&argv.next().ok_or("--join-index needs a value")?)?;
             }
@@ -209,6 +224,8 @@ fn parse_args() -> Result<Args, String> {
         prefetch,
         join_index,
         tile_prune,
+        rank_join,
+        nary_join,
         columnar,
         batch_eval,
         workers,
@@ -221,7 +238,7 @@ fn usage() -> String {
      [--metric execution-time|sum|request-count|bottleneck|time-to-screen] \
      [--seed N] [--workers N] [--parallel] [--fault-profile none|flaky|outage] \
      [--deadline-ms N] [--cache-shards N] [--prefetch] \
-     [--join-index off|hash] [--tile-prune] \
+     [--join-index off|hash] [--tile-prune] [--rank-join] [--nary-join] \
      [--columnar on|off] [--batch-eval on|off] <query>"
         .to_owned()
 }
@@ -312,6 +329,12 @@ fn cmd_run(
     query_src: &str,
 ) -> Result<(), String> {
     let query = parse_query(query_src).map_err(|e| e.to_string())?;
+    let mut opts = opts;
+    if opts.rank_join && opts.join_k == 0 {
+        // The rank join needs a top-k target; the query's `top k`
+        // clause is the natural one.
+        opts = opts.join_k(query.k);
+    }
     let best = optimize(&query, registry, metric).map_err(|e| e.to_string())?;
     registry.reset_stats();
     let (results, degraded, join_stats) = if parallel {
@@ -365,6 +388,15 @@ fn cmd_run(
         "columnar: {} columns scanned, {} batch evals, {} rows materialized",
         join_stats.columns_scanned, join_stats.batch_evals, join_stats.rows_materialized
     );
+    println!(
+        "rank: {} chunks fetched, {} chunks saved, {} bound checks, \
+         {} intermediates elided, time-to-kth {} us",
+        join_stats.chunks_fetched,
+        join_stats.chunks_saved,
+        join_stats.bound_checks,
+        join_stats.intermediates_elided,
+        join_stats.time_to_kth_us
+    );
     Ok(())
 }
 
@@ -416,6 +448,8 @@ fn main() -> ExitCode {
         .prefetch(args.prefetch)
         .join_index_mode(args.join_index)
         .tile_prune(args.tile_prune)
+        .rank_join(args.rank_join)
+        .nary_join(args.nary_join)
         .columnar(args.columnar)
         .batch_eval(args.batch_eval);
     if resilient {

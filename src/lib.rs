@@ -67,8 +67,6 @@ pub use error::{Retryable, SecoError};
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::error::{Retryable, SecoError};
-    #[allow(deprecated)]
-    pub use seco_engine::ExecOptions;
     pub use seco_engine::{
         execute_parallel, execute_parallel_with, execute_plan, EngineConfig, FailureMode,
         FetchOptions, ParallelOutcome, ResultSet,
