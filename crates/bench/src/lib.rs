@@ -14,7 +14,7 @@ use seco_model::{
 };
 use seco_query::{Query, QueryBuilder};
 use seco_services::synthetic::{DomainMap, FaultProfile, SyntheticService, ValueDomain};
-use seco_services::ServiceRegistry;
+use seco_services::{MisdeclaredService, ServiceRegistry};
 
 /// Builds one search-service interface `name` with a `Key` input, a
 /// `Link` output (shared `link` domain for joins), and a ranked score.
@@ -168,6 +168,141 @@ pub fn star_scenario(n: usize, seed: u64) -> (ServiceRegistry, Query) {
     (reg, query)
 }
 
+/// The adaptive-optimization scenario: a hub service whose *declared*
+/// cardinality understates the truth by `misestimate`, and a `Leaf`
+/// mart offering two access patterns for the same data — a
+/// cheap-per-call pipe (`LeafPipe1`, exact lookup by the hub's link)
+/// that wins under the lie, and a single bulk scan (`LeafScan1`) that
+/// wins under the truth.
+///
+/// With `misestimate = 1.0` the registry is *informed* (declared =
+/// true); with `misestimate = 10.0` the declared-optimal plan (hub →
+/// pipe, est. 140 virtual ms) really costs 1220 virtual ms, while the
+/// scan-based parallel plan stays at 150 — exactly the situation
+/// mid-flight re-planning exists for.
+pub fn adaptive_registry(seed: u64, misestimate: f64) -> ServiceRegistry {
+    assert!(misestimate >= 1.0);
+    let mut reg = ServiceRegistry::new();
+    let link = ValueDomain::new("leaflink", 2);
+
+    // Hub: Key (const input) → ~20 links, 20 ms per chunk. Declared
+    // cardinality is the truth divided by `misestimate`.
+    let hub_schema = ServiceSchema::new(
+        "Hub1",
+        vec![
+            AttributeDef::atomic("Key", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("Link", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+        ],
+    )
+    .expect("static schema is valid");
+    let hub_true = ServiceInterface::new(
+        "Hub1",
+        "Hub",
+        hub_schema,
+        ServiceKind::Search,
+        ServiceStats::new(20.0, 20, 20.0, 1.0).expect("static stats are valid"),
+        ScoreDecay::Linear,
+    )
+    .expect("static interface is valid")
+    .with_hint(AttributePath::atomic("Link"), 2);
+    let hub_inner = Arc::new(SyntheticService::new(
+        hub_true,
+        DomainMap::new().with(AttributePath::atomic("Link"), link.clone()),
+        seed ^ 0x107,
+    ));
+    let declared =
+        ServiceStats::new(20.0 / misestimate, 20, 20.0, 1.0).expect("static stats are valid");
+    reg.register_service(Arc::new(MisdeclaredService::new(hub_inner, declared)))
+        .expect("unique names");
+
+    // LeafPipe1: exact lookup piped from Hub.Link — 60 ms per call.
+    let pipe_schema = ServiceSchema::new(
+        "LeafPipe1",
+        vec![
+            AttributeDef::atomic("LKey", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("Cat", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("Payload", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+        ],
+    )
+    .expect("static schema is valid");
+    let pipe = ServiceInterface::new(
+        "LeafPipe1",
+        "Leaf",
+        pipe_schema,
+        ServiceKind::Search,
+        ServiceStats::new(1.0, 1, 60.0, 1.0).expect("static stats are valid"),
+        ScoreDecay::Linear,
+    )
+    .expect("static interface is valid");
+    reg.register_service(Arc::new(SyntheticService::new(
+        pipe,
+        DomainMap::new(),
+        seed ^ 0x209,
+    )))
+    .expect("unique names");
+
+    // LeafScan1: one bulk scan of the whole mart — 150 ms for the lot.
+    let scan_schema = ServiceSchema::new(
+        "LeafScan1",
+        vec![
+            AttributeDef::atomic("Cat", DataType::Text, Adornment::Input),
+            AttributeDef::atomic("LKey", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Payload", DataType::Text, Adornment::Output),
+            AttributeDef::atomic("Score", DataType::Float, Adornment::Ranked),
+        ],
+    )
+    .expect("static schema is valid");
+    let scan = ServiceInterface::new(
+        "LeafScan1",
+        "Leaf",
+        scan_schema,
+        ServiceKind::Search,
+        ServiceStats::new(30.0, 30, 150.0, 1.0).expect("static stats are valid"),
+        ScoreDecay::Linear,
+    )
+    .expect("static interface is valid")
+    .with_hint(AttributePath::atomic("LKey"), 2);
+    reg.register_service(Arc::new(SyntheticService::new(
+        scan,
+        DomainMap::new().with(AttributePath::atomic("LKey"), link),
+        seed ^ 0x30B,
+    )))
+    .expect("unique names");
+
+    reg.register_pattern(
+        ConnectionPattern::new(
+            "Hop",
+            "Hub",
+            "Leaf",
+            vec![JoinPair::eq(
+                AttributePath::atomic("Link"),
+                AttributePath::atomic("LKey"),
+            )],
+            0.5,
+        )
+        .expect("static pattern is valid"),
+    )
+    .expect("unique names");
+    reg
+}
+
+/// The query over [`adaptive_registry`]: the `L` atom names the mart
+/// (`Leaf`), so the optimizer — and the mid-flight re-planner — choose
+/// between the pipe and scan access patterns.
+pub fn adaptive_query() -> Query {
+    QueryBuilder::new()
+        .atom("H", "Hub1")
+        .atom("L", "Leaf")
+        .pattern("Hop", "H", "L")
+        .select_const("H", "Key", Comparator::Eq, Value::text("start"))
+        .select_const("L", "Cat", Comparator::Eq, Value::text("c"))
+        .k(1)
+        .build()
+        .expect("adaptive query is valid")
+}
+
 /// Builds a pair of standalone search services for join-method
 /// experiments, with configurable decays.
 pub fn join_pair(
@@ -228,6 +363,30 @@ mod tests {
                 .unwrap_or_else(|e| panic!("star n={n}: {e}"));
             assert!(best.cost > 0.0);
         }
+    }
+
+    #[test]
+    fn adaptive_scenario_flips_the_optimum_with_the_truth() {
+        let q = adaptive_query();
+        let informed = adaptive_registry(7, 1.0);
+        let lied = adaptive_registry(7, 10.0);
+        let best_i = optimize(&q, &informed, CostMetric::ExecutionTime).unwrap();
+        let best_l = optimize(&q, &lied, CostMetric::ExecutionTime).unwrap();
+        assert_ne!(
+            best_i.plan.canonical_key(),
+            best_l.plan.canonical_key(),
+            "the misdeclared statistics must change the winning plan"
+        );
+        assert!(
+            best_l.plan.canonical_key().contains("LeafPipe1"),
+            "under the lie the cheap-per-call pipe wins: {}",
+            best_l.plan.canonical_key()
+        );
+        assert!(
+            best_i.plan.canonical_key().contains("LeafScan1"),
+            "under the truth the bulk scan wins: {}",
+            best_i.plan.canonical_key()
+        );
     }
 
     #[test]

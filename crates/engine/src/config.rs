@@ -10,6 +10,7 @@
 //! fields are unchanged.
 
 use seco_join::{ColumnarOptions, JoinIndexMode, JoinIndexOptions};
+use seco_optimizer::CostMetric;
 use seco_services::ClientConfig;
 
 use crate::executor::{FailureMode, FetchOptions};
@@ -30,7 +31,7 @@ use crate::executor::{FailureMode, FetchOptions};
 ///     .batch_eval(true);
 /// assert_eq!(config.join_k, 10);
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Stop parallel joins after this many emitted results (0 = no
     /// limit). Corresponds to the optimizer's `k` when the join node is
@@ -66,6 +67,38 @@ pub struct EngineConfig {
     /// Output stays byte-identical to the binary cascade (off by
     /// default).
     pub nary_join: bool,
+    /// Adaptive re-optimization: after each fresh service or join stage,
+    /// compare observed output cardinality against the plan-time
+    /// estimate; when they deviate past [`adaptive_threshold`]
+    /// (`EngineConfig::adaptive_threshold`), promote the observed
+    /// statistics into the registry and re-plan the unexecuted suffix
+    /// mid-flight ([`seco_optimizer::Optimizer::replan_suffix`]). Off by
+    /// default: execution is byte-identical to the non-adaptive engine.
+    pub adaptive: bool,
+    /// Deviation ratio (`max(obs/est, est/obs)`) that triggers a
+    /// mid-flight re-plan when [`adaptive`](EngineConfig::adaptive) is
+    /// on.
+    pub adaptive_threshold: f64,
+    /// Cost metric the mid-flight re-planner optimizes.
+    pub adaptive_metric: CostMetric,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            join_k: 0,
+            failure_mode: FailureMode::default(),
+            client: None,
+            fetch: FetchOptions::default(),
+            join_index: JoinIndexOptions::default(),
+            columnar: ColumnarOptions::default(),
+            rank_join: false,
+            nary_join: false,
+            adaptive: false,
+            adaptive_threshold: 10.0,
+            adaptive_metric: CostMetric::ExecutionTime,
+        }
+    }
 }
 
 impl EngineConfig {
@@ -148,6 +181,24 @@ impl EngineConfig {
         self.nary_join = on;
         self
     }
+
+    /// Enables or disables adaptive mid-flight re-optimization.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
+    /// Sets the deviation ratio that triggers a re-plan.
+    pub fn adaptive_threshold(mut self, ratio: f64) -> Self {
+        self.adaptive_threshold = ratio;
+        self
+    }
+
+    /// Sets the cost metric the mid-flight re-planner optimizes.
+    pub fn adaptive_metric(mut self, metric: CostMetric) -> Self {
+        self.adaptive_metric = metric;
+        self
+    }
 }
 
 /// The historical name of [`EngineConfig`].
@@ -172,7 +223,10 @@ mod tests {
             .columnar(false)
             .batch_eval(false)
             .rank_join(true)
-            .nary_join(true);
+            .nary_join(true)
+            .adaptive(true)
+            .adaptive_threshold(4.0)
+            .adaptive_metric(CostMetric::RequestCount);
         assert_eq!(cfg.join_k, 7);
         assert_eq!(cfg.failure_mode, FailureMode::Degrade);
         assert!(cfg.client.is_some());
@@ -184,6 +238,9 @@ mod tests {
         assert!(!cfg.columnar.columnar);
         assert!(!cfg.columnar.batch_eval);
         assert!(cfg.rank_join && cfg.nary_join);
+        assert!(cfg.adaptive);
+        assert_eq!(cfg.adaptive_threshold, 4.0);
+        assert_eq!(cfg.adaptive_metric, CostMetric::RequestCount);
     }
 
     #[test]
@@ -193,6 +250,9 @@ mod tests {
         assert_eq!(cfg.join_index.mode, JoinIndexMode::Hash);
         assert!(!cfg.join_index.tile_prune);
         assert!(!cfg.rank_join && !cfg.nary_join);
+        assert!(!cfg.adaptive, "adaptive must default off (byte-identity)");
+        assert_eq!(cfg.adaptive_threshold, 10.0);
+        assert_eq!(cfg.adaptive_metric, CostMetric::ExecutionTime);
     }
 
     #[test]

@@ -23,14 +23,16 @@ use std::sync::Arc;
 
 use seco_join::{score_order, ColumnarOptions, JoinStats, NaryJoin, NaryStage, PipeJoin, RankJoin};
 use seco_model::{BitMask, Column, CompositeTuple};
-use seco_plan::{NodeId, PlanNode, QueryPlan};
+use seco_optimizer::Optimizer;
+use seco_plan::{annotate, AnnotatedPlan, AnnotationConfig, NodeId, PlanNode, QueryPlan};
 use seco_query::feasibility::analyze;
 use seco_query::predicate::{
     resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap,
 };
 use seco_query::CompiledPredicates;
 use seco_services::{
-    CachingService, Prefetcher, Service, ServiceClient, ServiceRegistry, VirtualClock,
+    drift_ratio, CachingService, DeviationPolicy, Prefetcher, Service, ServiceClient,
+    ServiceRegistry, VirtualClock,
 };
 
 use crate::config::EngineConfig;
@@ -126,6 +128,12 @@ pub struct ExecutionResult {
     /// Join-kernel counters aggregated over every pipe stage and
     /// parallel join of the plan.
     pub join_stats: JoinStats,
+    /// The plan execution finished on, when adaptive re-optimization
+    /// swapped it mid-flight (`None` on a non-adaptive run or when no
+    /// checkpoint deviated).
+    pub replanned: Option<QueryPlan>,
+    /// Number of mid-flight re-plans taken.
+    pub replans: usize,
 }
 
 impl ExecutionResult {
@@ -135,12 +143,111 @@ impl ExecutionResult {
     }
 }
 
+/// Memoized outcome of an already-executed service stage, carried
+/// across adaptive restarts. Suffix re-planning pins the executed
+/// services (same interface, same fetch factors, same upstream
+/// structure), so on a restart the stage's recorded outcome is replayed
+/// instead of re-invoking the service: calls, busy time, and the
+/// virtual clock all account each invocation exactly once.
+struct StageMemo {
+    service: String,
+    outputs: Vec<CompositeTuple>,
+    calls: usize,
+    busy_ms: f64,
+    failed: bool,
+}
+
+/// One pass over a plan: a completed execution, or a request to restart
+/// on a re-planned suffix.
+enum PassOutcome {
+    Done(ExecutionResult),
+    Replan(QueryPlan),
+}
+
 /// Executes a plan against the registry.
+///
+/// With [`EngineConfig::adaptive`] on, every fresh service stage and
+/// parallel join doubles as a checkpoint: when its observed output
+/// cardinality deviates from the plan-time estimate by at least
+/// [`EngineConfig::adaptive_threshold`], the observed statistics are
+/// promoted into the registry and the unexecuted suffix is re-planned
+/// ([`Optimizer::replan_suffix`]); execution restarts on the new plan,
+/// replaying the executed stages from memo. Each checkpoint fires at
+/// most once, so the number of restarts is bounded by the number of
+/// plan stages. With adaptive off the run is byte-identical to the
+/// non-adaptive engine.
 pub fn execute_plan(
     plan: &QueryPlan,
     registry: &ServiceRegistry,
     options: EngineConfig,
 ) -> Result<ExecutionResult, EngineError> {
+    let mut memo: BTreeMap<String, StageMemo> = BTreeMap::new();
+    let mut checked: BTreeSet<String> = BTreeSet::new();
+    let mut current: Option<QueryPlan> = None;
+    let mut replans = 0usize;
+    loop {
+        let active = current.as_ref().unwrap_or(plan);
+        match run_pass(active, registry, options, &mut memo, &mut checked)? {
+            PassOutcome::Done(mut result) => {
+                result.replanned = current;
+                result.replans = replans;
+                return Ok(result);
+            }
+            PassOutcome::Replan(next) => {
+                replans += 1;
+                current = Some(next);
+            }
+        }
+    }
+}
+
+/// Promotes observed deviations into the registry and re-plans the
+/// unexecuted suffix. `trigger` is the deviating checkpoint's
+/// `(estimated, observed)` cardinality pair — it opens the re-planner's
+/// deviation gate even when the executed services' own cardinalities
+/// are on target (e.g. a join whose selectivity was wrong). Returns
+/// `None` when the re-plan itself fails: adaptivity is best-effort and
+/// must never abort a viable execution.
+fn attempt_replan(
+    plan: &QueryPlan,
+    registry: &ServiceRegistry,
+    options: &EngineConfig,
+    estimates: &AnnotatedPlan,
+    memo: &BTreeMap<String, StageMemo>,
+    trigger: (f64, f64),
+) -> Option<seco_optimizer::Optimized> {
+    let policy = DeviationPolicy {
+        threshold: options.adaptive_threshold,
+        min_samples: 1,
+    };
+    registry.promote_deviations(&policy);
+    let executed: BTreeSet<String> = memo.keys().cloned().collect();
+    let mut observed: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    for alias in &executed {
+        if let Some(id) = plan.service_node_of(alias) {
+            observed.insert(
+                alias.clone(),
+                (
+                    estimates.annotation(id).tout,
+                    memo[alias].outputs.len() as f64,
+                ),
+            );
+        }
+    }
+    observed.insert("(checkpoint)".to_owned(), trigger);
+    let mut opt = Optimizer::new(registry, options.adaptive_metric);
+    opt.replan_threshold = options.adaptive_threshold;
+    opt.replan_suffix(plan, &executed, &observed).ok()
+}
+
+/// Runs one execution pass of `plan` (see [`execute_plan`]).
+fn run_pass(
+    plan: &QueryPlan,
+    registry: &ServiceRegistry,
+    options: EngineConfig,
+    memo: &mut BTreeMap<String, StageMemo>,
+    checked: &mut BTreeSet<String>,
+) -> Result<PassOutcome, EngineError> {
     plan.validate()?;
     let report = analyze(&plan.query, registry)?;
     let joins = plan.query.expanded_joins(registry)?;
@@ -192,6 +299,13 @@ pub fn execute_plan(
         (vec![false; plan.len()], BTreeMap::new())
     };
 
+    // Plan-time cardinality estimates, for the adaptive checkpoints.
+    let mut estimates: Option<AnnotatedPlan> = if options.adaptive {
+        Some(annotate(plan, registry, &AnnotationConfig::default())?)
+    } else {
+        None
+    };
+
     for id in order.iter().copied() {
         let preds_nodes = plan.predecessors(id);
         let (tuples_in, out, calls, busy_ms, deg): (usize, Vec<CompositeTuple>, usize, f64, bool) =
@@ -226,6 +340,23 @@ pub fn execute_plan(
                         &mut join_stats,
                     )?;
                     (n_in, kept, 0, 0.0, node_degraded[preds_nodes[0].0])
+                }
+                PlanNode::Service(node)
+                    if memo
+                        .get(&node.atom)
+                        .is_some_and(|m| m.service == node.service) =>
+                {
+                    // Already executed before an adaptive restart: the
+                    // re-planner pinned this stage (same service, same
+                    // fetches, same upstream structure), so replay its
+                    // recorded outcome instead of re-invoking.
+                    let n_in = outputs[preds_nodes[0].0].len();
+                    let m = &memo[&node.atom];
+                    if m.failed {
+                        degraded.insert(node.service.clone());
+                    }
+                    let deg = node_degraded[preds_nodes[0].0] || m.failed;
+                    (n_in, m.outputs.clone(), m.calls, m.busy_ms, deg)
                 }
                 PlanNode::Service(node) => {
                     let input = outputs[preds_nodes[0].0].clone();
@@ -331,6 +462,18 @@ pub fn execute_plan(
                     if outcome.degraded {
                         degraded.insert(node.service.clone());
                         deg = true;
+                    }
+                    if options.adaptive {
+                        memo.insert(
+                            node.atom.clone(),
+                            StageMemo {
+                                service: node.service.clone(),
+                                outputs: outcome.results.clone(),
+                                calls: outcome.calls,
+                                busy_ms,
+                                failed: outcome.degraded,
+                            },
+                        );
                     }
                     (n_in, outcome.results, outcome.calls, busy_ms, deg)
                 }
@@ -446,6 +589,7 @@ pub fn execute_plan(
                     let left_deg = node_degraded[preds_nodes[0].0];
                     let right_deg = node_degraded[preds_nodes[1].0];
                     let n_in = left.len() + right.len();
+                    let candidate_pairs = (left.len() * right.len()) as u64;
                     // Chunk the branch materializations at the chunk
                     // size of their source service when identifiable.
                     let cl = branch_chunk_size(plan, registry, preds_nodes[0]);
@@ -494,6 +638,13 @@ pub fn execute_plan(
                         }
                     };
                     join_stats.merge(&outcome.stats);
+                    note_parallel_join(
+                        plan,
+                        registry,
+                        id,
+                        candidate_pairs,
+                        outcome.results.len() as u64,
+                    );
                     (n_in, outcome.results, 0, 0.0, left_deg || right_deg)
                 }
             };
@@ -509,6 +660,46 @@ pub fn execute_plan(
             busy_ms,
         });
         outputs[id.0] = out;
+
+        // Adaptive checkpoint: fresh service stages and parallel joins
+        // compare their observed output cardinality against the
+        // plan-time estimate. Each checkpoint fires at most once across
+        // restarts, and only while some atom is still unexecuted — a
+        // fully executed plan has nothing left to re-plan.
+        if let Some(est) = &estimates {
+            let stage_key = match plan.node(id)? {
+                PlanNode::Service(s) => Some(format!("svc:{}", s.atom)),
+                PlanNode::ParallelJoin(_) if !nary_elided[id.0] => {
+                    let atoms: Vec<String> = plan.atoms_at(id).into_iter().collect();
+                    Some(format!("join:{}", atoms.join(",")))
+                }
+                _ => None,
+            };
+            if let Some(key) = stage_key {
+                if checked.insert(key) && memo.len() < plan.query.atoms.len() {
+                    let est_out = est.annotation(id).tout;
+                    let obs = outputs[id.0].len() as f64;
+                    if drift_ratio(obs, est_out) >= options.adaptive_threshold {
+                        if let Some(re) =
+                            attempt_replan(plan, registry, &options, est, memo, (est_out, obs))
+                        {
+                            if re.plan != *plan {
+                                if let Some(svc) = trigger_service(plan, id) {
+                                    if let Ok(rec) = registry.service(&svc) {
+                                        rec.note_replan();
+                                    }
+                                }
+                                return Ok(PassOutcome::Replan(re.plan));
+                            }
+                            // Same plan under the promoted statistics:
+                            // later checkpoints compare against the
+                            // refreshed estimates.
+                            estimates = Some(re.annotated);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     // Critical path over the DAG with the measured busy times.
@@ -522,14 +713,62 @@ pub fn execute_plan(
         finish[id.0] = start + busy[id.0];
     }
 
-    Ok(ExecutionResult {
+    Ok(PassOutcome::Done(ExecutionResult {
         results: outputs[plan.output().0].clone(),
         trace,
         critical_ms: finish[plan.output().0],
         total_calls,
         degraded: degraded.into_iter().collect(),
         join_stats,
-    })
+        replanned: None,
+        replans: 0,
+    }))
+}
+
+/// Feeds the observed selectivity of a parallel join back to the
+/// registry: every query pattern connecting the two input branches is
+/// credited with `pairs` candidate pairs and `matches` survivors.
+pub(crate) fn note_parallel_join(
+    plan: &QueryPlan,
+    registry: &ServiceRegistry,
+    id: NodeId,
+    pairs: u64,
+    matches: u64,
+) {
+    let preds = plan.predecessors(id);
+    if preds.len() != 2 {
+        return;
+    }
+    let left = plan.atoms_at(preds[0]);
+    let right = plan.atoms_at(preds[1]);
+    for p in &plan.query.patterns {
+        let lr = left.contains(&p.from_atom) && right.contains(&p.to_atom);
+        let rl = right.contains(&p.from_atom) && left.contains(&p.to_atom);
+        if lr || rl {
+            registry.note_join_observation(&p.pattern, pairs, matches);
+        }
+    }
+}
+
+/// The service a checkpoint's re-plan is attributed to: the stage's own
+/// service, or for a join the lexicographically-first service among its
+/// input atoms.
+fn trigger_service(plan: &QueryPlan, id: NodeId) -> Option<String> {
+    match plan.node(id) {
+        Ok(PlanNode::Service(s)) => Some(s.service.clone()),
+        Ok(PlanNode::ParallelJoin(_)) => plan
+            .atoms_at(id)
+            .iter()
+            .filter_map(|alias| {
+                plan.query
+                    .atoms
+                    .iter()
+                    .find(|a| &a.alias == alias)
+                    .map(|a| a.service.clone())
+            })
+            .min(),
+        _ => None,
+    }
 }
 
 /// Resolves a selection node's predicates against the query inputs.
@@ -703,6 +942,26 @@ mod tests {
         assert_eq!(result.trace.events.len(), best.plan.len());
         // The registry recorders agree with the engine's count.
         assert_eq!(reg.total_stats().calls as usize, result.total_calls);
+    }
+
+    #[test]
+    fn adaptive_with_accurate_statistics_changes_nothing() {
+        // When the declared statistics are right, no checkpoint
+        // deviates: the adaptive run must replay the non-adaptive run
+        // exactly — results, trace, virtual time, and call counts.
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let best = optimize(&q, &reg, CostMetric::RequestCount).unwrap();
+        let baseline = execute_plan(&best.plan, &reg, EngineConfig::default()).unwrap();
+        reg.reset_stats();
+        reg.reset_observed();
+        let adaptive =
+            execute_plan(&best.plan, &reg, EngineConfig::default().adaptive(true)).unwrap();
+        assert_eq!(adaptive.results, baseline.results);
+        assert_eq!(adaptive.critical_ms, baseline.critical_ms);
+        assert_eq!(adaptive.total_calls, baseline.total_calls);
+        assert_eq!(adaptive.replans, 0);
+        assert!(adaptive.replanned.is_none());
     }
 
     #[test]

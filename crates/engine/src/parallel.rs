@@ -22,12 +22,15 @@ use parking_lot::Mutex;
 
 use seco_join::{score_order, JoinStats, NaryJoin, NaryStage, PipeJoin, RankJoin};
 use seco_model::CompositeTuple;
+use seco_optimizer::Optimizer;
 use seco_plan::{NodeId, PlanNode, QueryPlan};
 use seco_query::feasibility::analyze;
 use seco_query::predicate::{
     resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap,
 };
-use seco_services::{CachingService, Prefetcher, Service, ServiceClient, ServiceRegistry};
+use seco_services::{
+    CachingService, DeviationPolicy, Prefetcher, Service, ServiceClient, ServiceRegistry,
+};
 
 use crate::config::EngineConfig;
 use crate::error::EngineError;
@@ -111,6 +114,10 @@ pub struct ParallelOutcome {
     /// Join-kernel counters aggregated over every pipe stage and
     /// parallel join of the plan.
     pub join_stats: JoinStats,
+    /// The plan the run actually executed, when the pre-flight adaptive
+    /// checkpoint re-planned under promoted statistics (`None`
+    /// otherwise).
+    pub replanned: Option<QueryPlan>,
 }
 
 /// Executes a plan with one thread per node, returning the output
@@ -132,6 +139,45 @@ pub fn execute_parallel_with(
     registry: &ServiceRegistry,
     options: EngineConfig,
 ) -> Result<ParallelOutcome, EngineError> {
+    // Pre-flight adaptive checkpoint. Wall-clock threads preclude the
+    // deterministic executor's mid-flight restarts (replaying memoized
+    // stages under a virtual clock), so this executor adapts *between*
+    // runs: statistics observed by earlier executions are promoted and
+    // the whole plan is re-planned (empty executed prefix ⇒ every
+    // degree of freedom re-opens) before any thread spawns.
+    let replanned: Option<QueryPlan> = if options.adaptive {
+        let policy = DeviationPolicy {
+            threshold: options.adaptive_threshold,
+            min_samples: 1,
+        };
+        let promoted = registry.promote_deviations(&policy);
+        if promoted.is_empty() {
+            None
+        } else {
+            let mut observed: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+            for (name, drift) in registry.service_drift() {
+                if let Some(card) = drift.observed_cardinality {
+                    observed.insert(name, (drift.declared_cardinality, card.value));
+                }
+            }
+            // A promotion *is* a deviation past the threshold (that is
+            // the promotion criterion), so always open the re-planner's
+            // gate — pattern-only drift leaves no service entry above.
+            observed.insert(
+                "(promoted)".to_owned(),
+                (1.0, options.adaptive_threshold.max(1.0)),
+            );
+            let mut opt = Optimizer::new(registry, options.adaptive_metric);
+            opt.replan_threshold = options.adaptive_threshold;
+            opt.replan_suffix(plan, &BTreeSet::new(), &observed)
+                .ok()
+                .filter(|re| re.plan != *plan)
+                .map(|re| re.plan)
+        }
+    } else {
+        None
+    };
+    let plan = replanned.as_ref().unwrap_or(plan);
     plan.validate()?;
     let report = analyze(&plan.query, registry)?;
     let joins = plan.query.expanded_joins(registry)?;
@@ -547,6 +593,7 @@ pub fn execute_parallel_with(
                             my_receivers[0].iter().flat_map(unbatch).collect();
                         let right: Vec<CompositeTuple> =
                             my_receivers[1].iter().flat_map(unbatch).collect();
+                        let candidate_pairs = (left.len() * right.len()) as u64;
                         let join_predicates: Vec<ResolvedPredicate> = spec
                             .predicates
                             .iter()
@@ -608,6 +655,13 @@ pub fn execute_parallel_with(
                         match joined {
                             Ok(outcome) => {
                                 join_stats.lock().merge(&outcome.stats);
+                                crate::executor::note_parallel_join(
+                                    plan_ref,
+                                    registry,
+                                    id,
+                                    candidate_pairs,
+                                    outcome.results.len() as u64,
+                                );
                                 for c in outcome.results {
                                     if !out.push(c) {
                                         return;
@@ -630,6 +684,7 @@ pub fn execute_parallel_with(
         results: output.into_inner(),
         degraded: degraded.into_inner().into_iter().collect(),
         join_stats: join_stats.into_inner(),
+        replanned,
     })
 }
 

@@ -76,6 +76,12 @@ pub struct SearchStats {
     pub cache_misses: usize,
     /// Results inserted into the plan cache.
     pub cache_inserts: usize,
+    /// Observed-stat promotions that rolled the registry epoch before
+    /// this search ran (carried on suffix re-plans for observability).
+    pub epoch_invalidations: usize,
+    /// Suffix re-plans that produced a different plan (1 when
+    /// [`Optimizer::replan_suffix`] switched, 0 otherwise).
+    pub replans: usize,
 }
 
 /// The optimization result: the chosen fully instantiated plan, its
@@ -119,6 +125,11 @@ pub struct Optimizer<'a> {
     /// fingerprint. Skipped when a [`budget`](Self::budget) is set:
     /// truncated searches are not canonical results worth caching.
     pub cache: Option<Arc<PlanCache>>,
+    /// Deviation gate for [`Self::replan_suffix`]: observed node
+    /// cardinalities must be off from their plan-time estimates by at
+    /// least this multiplicative ratio before a suffix re-plan is
+    /// attempted (the chapter's "off by ≥10×" default).
+    pub replan_threshold: f64,
 }
 
 /// A candidate incumbent: the total tie-break order is
@@ -233,6 +244,7 @@ impl<'a> Optimizer<'a> {
             workers: 1,
             incremental: true,
             cache: None,
+            replan_threshold: 10.0,
         }
     }
 
@@ -415,6 +427,7 @@ impl<'a> Optimizer<'a> {
                 self.metric,
                 annotator,
                 Some((&shared.memo, shape)),
+                &[],
                 &mut p3,
             )
         } else {

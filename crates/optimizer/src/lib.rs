@@ -34,6 +34,7 @@ pub mod phase1;
 pub mod phase2;
 pub mod phase3;
 pub mod plan_cache;
+pub mod replan;
 
 pub use bnb::{optimize, Optimized, Optimizer, SearchStats};
 pub use cost::CostMetric;
@@ -41,6 +42,7 @@ pub use error::OptError;
 pub use heuristics::{HeuristicSet, Phase1Heuristic, Phase2Heuristic, Phase3Heuristic};
 pub use phase3::Phase3Stats;
 pub use plan_cache::{query_fingerprint, PlanCache};
+pub use replan::prefix_signature;
 
 /// Result alias for optimizer operations.
 pub type Result<T> = std::result::Result<T, OptError>;

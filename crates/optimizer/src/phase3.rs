@@ -107,7 +107,17 @@ pub fn assign_fetches_with(
         let config = AnnotationConfig::default();
         let annotator = DeltaAnnotator::new(plan, registry, &config)?;
         stats.annotate_full += 1;
-        assign_fetches_seeded(plan, registry, k, heuristic, metric, annotator, memo, stats)
+        assign_fetches_seeded(
+            plan,
+            registry,
+            k,
+            heuristic,
+            metric,
+            annotator,
+            memo,
+            &[],
+            stats,
+        )
     } else {
         assign_fetches_full(plan, registry, k, heuristic, metric, stats)
     }
@@ -117,6 +127,10 @@ pub fn assign_fetches_with(
 /// at the plan's current (minimal) fetch vector — the branch-and-bound
 /// reuses the annotator it already built for the lower bound, so a
 /// surviving topology costs exactly one full annotation.
+///
+/// Nodes in `pinned` keep their current fetch factor: suffix re-plans
+/// pass the already-executed service nodes here, whose fetches are a
+/// fact of the past, not a degree of freedom.
 #[allow(clippy::too_many_arguments)]
 pub fn assign_fetches_seeded(
     plan: &mut QueryPlan,
@@ -126,6 +140,7 @@ pub fn assign_fetches_seeded(
     metric: CostMetric,
     mut annotator: DeltaAnnotator,
     memo: Option<(&Mutex<AnnotationMemo>, u64)>,
+    pinned: &[NodeId],
     stats: &mut Phase3Stats,
 ) -> Result<AnnotatedPlan, OptError> {
     // Service-node ordinals in node-id order: position of each service
@@ -140,7 +155,8 @@ pub fn assign_fetches_seeded(
         if annotator.output_tuples() >= k as f64 {
             return Ok(annotator.to_annotated());
         }
-        let candidates = incrementable(plan, registry)?;
+        let mut candidates = incrementable(plan, registry)?;
+        candidates.retain(|id| !pinned.contains(id));
         if candidates.is_empty() {
             return Err(OptError::Unreachable {
                 best_estimate: annotator.output_tuples(),

@@ -1,0 +1,311 @@
+//! Mid-flight suffix re-planning: the planner half of the adaptive
+//! optimization loop.
+//!
+//! When the engine observes node cardinalities far from the plan-time
+//! estimates, a full re-optimization would discard everything already
+//! executed. [`Optimizer::replan_suffix`] instead re-runs the phase-2
+//! search restricted to plans that *share the executed prefix*: the
+//! already-invoked services keep their assignment and their fetch
+//! factors (facts of the past, not degrees of freedom), while the
+//! unexecuted suffix — remaining access-pattern choices, topology, and
+//! fetch factors — is re-searched under the current (possibly promoted)
+//! registry statistics.
+//!
+//! Determinism mirrors the branch-and-bound: the original plan is
+//! seeded as the incumbent at tie-break rank 0, and a challenger must
+//! *strictly* beat it under the `(cost, canonical key, index)` order.
+//! With observations that do not deviate past
+//! [`Optimizer::replan_threshold`], the search is skipped entirely and
+//! the original plan is returned byte-identically.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use seco_plan::{annotate, AnnotationConfig, DeltaAnnotator, NodeId, PlanNode, QueryPlan};
+use seco_services::drift_ratio;
+
+use crate::bnb::{Optimized, Optimizer, SearchStats};
+use crate::error::OptError;
+use crate::phase1::enumerate_assignments;
+use crate::phase2::enumerate_topologies;
+use crate::phase3::{assign_fetches_seeded, Phase3Stats};
+
+/// Structural signature of the already-executed part of a plan: the
+/// sorted signatures of every node whose inputs are fully covered by
+/// the executed atoms. Fetch factors are excluded — the suffix search
+/// pins them separately — so a candidate topology matches iff the
+/// executed work embeds into it unchanged.
+pub fn prefix_signature(plan: &QueryPlan, executed: &BTreeSet<String>) -> String {
+    fn sig_of(plan: &QueryPlan, id: NodeId) -> String {
+        match plan.node(id) {
+            Ok(PlanNode::Input) => "I".to_owned(),
+            Ok(PlanNode::Output) => {
+                let preds = plan.predecessors(id);
+                format!("O({})", sig_of(plan, preds[0]))
+            }
+            Ok(PlanNode::Service(s)) => {
+                let preds = plan.predecessors(id);
+                format!(
+                    "S[{}={},kf={}]({})",
+                    s.atom,
+                    s.service,
+                    u8::from(s.keep_first),
+                    sig_of(plan, preds[0])
+                )
+            }
+            Ok(PlanNode::Selection(s)) => {
+                let preds = plan.predecessors(id);
+                let mut clauses: Vec<String> = s
+                    .predicates
+                    .iter()
+                    .map(|p| p.to_string())
+                    .chain(s.join_predicates.iter().map(|p| p.to_string()))
+                    .collect();
+                clauses.sort();
+                format!("F[{}]({})", clauses.join(","), sig_of(plan, preds[0]))
+            }
+            Ok(PlanNode::ParallelJoin(spec)) => {
+                let preds = plan.predecessors(id);
+                let mut subs: Vec<String> = preds.iter().map(|p| sig_of(plan, *p)).collect();
+                subs.sort();
+                let mut clauses: Vec<String> =
+                    spec.predicates.iter().map(|p| p.to_string()).collect();
+                clauses.sort();
+                format!(
+                    "J[{},{},{}]({})",
+                    spec.invocation,
+                    spec.completion,
+                    clauses.join(","),
+                    subs.join("|")
+                )
+            }
+            Err(_) => "?".to_owned(),
+        }
+    }
+    let mut sigs: Vec<String> = plan
+        .node_ids()
+        .filter(|id| !matches!(plan.node(*id), Ok(PlanNode::Output)))
+        .filter(|id| plan.atoms_at(*id).is_subset(executed))
+        .map(|id| sig_of(plan, id))
+        .collect();
+    sigs.sort();
+    sigs.join(";")
+}
+
+impl Optimizer<'_> {
+    /// Re-plans the unexecuted suffix of `plan`.
+    ///
+    /// `executed_prefix` names the atoms whose service stages have
+    /// already run; `observed` maps atom aliases to
+    /// `(plan-time estimated, observed)` output cardinalities. When no
+    /// observation deviates by at least
+    /// [`replan_threshold`](Optimizer::replan_threshold), the original
+    /// plan is returned **byte-identically** without searching. When
+    /// one does, phases 1–3 re-run under the current registry
+    /// statistics, restricted to plans embedding the executed prefix
+    /// (same services, same upstream structure, fetch factors pinned);
+    /// the original plan stays the incumbent unless a candidate
+    /// strictly beats it.
+    pub fn replan_suffix(
+        &self,
+        plan: &QueryPlan,
+        executed_prefix: &BTreeSet<String>,
+        observed: &BTreeMap<String, (f64, f64)>,
+    ) -> Result<Optimized, OptError> {
+        let config = AnnotationConfig::default();
+        let annotated = annotate(plan, self.registry, &config)?;
+        let cost = self.metric.evaluate(plan, &annotated, self.registry)?;
+        let mut stats = SearchStats {
+            annotate_full: 1,
+            ..SearchStats::default()
+        };
+
+        let deviated = observed
+            .values()
+            .any(|(est, obs)| drift_ratio(*obs, *est) >= self.replan_threshold);
+        if !deviated {
+            return Ok(Optimized {
+                plan: plan.clone(),
+                annotated,
+                cost,
+                stats,
+            });
+        }
+
+        // Incumbent: the original plan under current statistics, at
+        // tie-break rank 0 — challengers must strictly beat it.
+        let mut best = (cost, plan.canonical_key(), 0usize, plan.clone(), annotated);
+
+        // The executed services' fetch factors are history; pin them.
+        let mut prefix_fetches: BTreeMap<String, u32> = BTreeMap::new();
+        for alias in executed_prefix {
+            if let Some(id) = plan.service_node_of(alias) {
+                if let Ok(PlanNode::Service(s)) = plan.node(id) {
+                    prefix_fetches.insert(alias.clone(), s.fetches);
+                }
+            }
+        }
+        let target_sig = prefix_signature(plan, executed_prefix);
+
+        // Phase 1 restricted: executed atoms stay on their assigned
+        // interface; unexecuted atoms re-open to every interface of
+        // their mart.
+        let mut relaxed = plan.query.clone();
+        for atom in &mut relaxed.atoms {
+            if !executed_prefix.contains(&atom.alias) {
+                if let Ok(iface) = self.registry.interface(&atom.service) {
+                    atom.service = iface.mart.clone();
+                }
+            }
+        }
+        let assignments = enumerate_assignments(&relaxed, self.registry, self.heuristics.phase1)?;
+        stats.assignments = assignments.len();
+
+        let k = plan.query.k;
+        let mut item_idx = 0usize;
+        for assignment in &assignments {
+            let topologies = enumerate_topologies(
+                &assignment.query,
+                self.registry,
+                &assignment.report,
+                self.heuristics.phase2,
+                self.max_topologies,
+            )?;
+            for topology in topologies {
+                stats.topologies += 1;
+                item_idx += 1;
+                if prefix_signature(&topology, executed_prefix) != target_sig {
+                    continue;
+                }
+                let mut candidate = topology;
+                let mut pinned: Vec<NodeId> = Vec::new();
+                for id in candidate.node_ids().collect::<Vec<_>>() {
+                    if let PlanNode::Service(s) = candidate.node_mut(id)? {
+                        match prefix_fetches.get(&s.atom) {
+                            Some(f) => {
+                                s.fetches = *f;
+                                pinned.push(id);
+                            }
+                            None => s.fetches = 1,
+                        }
+                    }
+                }
+                let mut p3 = Phase3Stats::default();
+                let annotator = DeltaAnnotator::new(&candidate, self.registry, &config)?;
+                p3.annotate_full += 1;
+                let lower =
+                    self.metric
+                        .evaluate(&candidate, annotator.annotated(), self.registry)?;
+                if lower > best.0 {
+                    stats.pruned += 1;
+                    stats.annotate_full += p3.annotate_full;
+                    continue;
+                }
+                let instantiation = assign_fetches_seeded(
+                    &mut candidate,
+                    self.registry,
+                    k,
+                    self.heuristics.phase3,
+                    self.metric,
+                    annotator,
+                    None,
+                    &pinned,
+                    &mut p3,
+                );
+                stats.annotate_full += p3.annotate_full;
+                stats.annotate_delta += p3.annotate_delta;
+                stats.memo_hits += p3.memo_hits;
+                match instantiation {
+                    Ok(ann) => {
+                        stats.instantiated += 1;
+                        let c = self.metric.evaluate(&candidate, &ann, self.registry)?;
+                        let key = candidate.canonical_key();
+                        let beats = c < best.0
+                            || (c == best.0
+                                && (key < best.1 || (key == best.1 && item_idx < best.2)));
+                        if beats {
+                            stats.bound_updates += 1;
+                            best = (c, key, item_idx, candidate, ann);
+                        }
+                    }
+                    // A suffix that cannot reach k under the new
+                    // statistics simply does not challenge.
+                    Err(OptError::Unreachable { .. }) => stats.instantiated += 1,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        stats.replans = usize::from(best.2 != 0);
+        Ok(Optimized {
+            plan: best.3,
+            annotated: best.4,
+            cost: best.0,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostMetric;
+    use seco_query::builder::running_example;
+    use seco_services::domains::entertainment;
+
+    #[test]
+    fn unchanged_observations_return_the_original_byte_identically() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let opt = Optimizer::new(&reg, CostMetric::RequestCount);
+        let original = opt.optimize(&q).unwrap();
+
+        let executed: BTreeSet<String> = ["M".to_string()].into();
+        let observed: BTreeMap<String, (f64, f64)> = [("M".to_string(), (20.0, 20.0))].into();
+        let replanned = opt
+            .replan_suffix(&original.plan, &executed, &observed)
+            .unwrap();
+        assert_eq!(replanned.plan, original.plan, "plan must be byte-identical");
+        assert_eq!(replanned.stats.replans, 0);
+        assert_eq!(replanned.stats.topologies, 0, "the search must not run");
+    }
+
+    #[test]
+    fn deviating_observations_search_but_keep_prefix_structure() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let opt = Optimizer::new(&reg, CostMetric::RequestCount);
+        let original = opt.optimize(&q).unwrap();
+
+        let executed: BTreeSet<String> = ["M".to_string()].into();
+        // Observed 100× the estimate: the gate opens. The statistics
+        // have not actually changed, so the original stays optimal —
+        // but now by winning the restricted search, not by skipping it.
+        let observed: BTreeMap<String, (f64, f64)> = [("M".to_string(), (1.0, 100.0))].into();
+        let replanned = opt
+            .replan_suffix(&original.plan, &executed, &observed)
+            .unwrap();
+        assert!(replanned.stats.topologies > 0, "the search must run");
+        let sig = prefix_signature(&original.plan, &executed);
+        assert_eq!(prefix_signature(&replanned.plan, &executed), sig);
+        assert!(replanned.cost <= original.cost + 1e-9);
+    }
+
+    #[test]
+    fn prefix_signature_ignores_fetches_but_not_structure() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let opt = Optimizer::new(&reg, CostMetric::RequestCount);
+        let original = opt.optimize(&q).unwrap();
+        let executed: BTreeSet<String> = ["M".to_string()].into();
+        let sig = prefix_signature(&original.plan, &executed);
+        let mut refetched = original.plan.clone();
+        for id in refetched.node_ids().collect::<Vec<_>>() {
+            if let PlanNode::Service(s) = refetched.node_mut(id).unwrap() {
+                s.fetches += 7;
+            }
+        }
+        assert_eq!(prefix_signature(&refetched, &executed), sig);
+        let none: BTreeSet<String> = BTreeSet::new();
+        assert_ne!(prefix_signature(&original.plan, &none), sig);
+    }
+}

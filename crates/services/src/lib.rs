@@ -44,6 +44,7 @@ pub mod prefetch;
 pub mod recorder;
 pub mod registry;
 pub mod resilience;
+pub mod stats_accumulator;
 pub mod synthetic;
 pub mod table;
 pub mod wire;
@@ -57,6 +58,10 @@ pub use prefetch::Prefetcher;
 pub use recorder::{CallRecorder, CallStats};
 pub use registry::ServiceRegistry;
 pub use resilience::{ClientConfig, ServiceClient, ServiceClientBuilder};
+pub use stats_accumulator::{
+    drift_ratio, DeviationPolicy, JoinObservation, MisdeclaredService, ObservedCardinality,
+    ServiceDrift, StatsAccumulator,
+};
 pub use synthetic::{DomainMap, FaultProfile, SyntheticService, ValueDomain};
 pub use table::TableService;
 

@@ -9,12 +9,13 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use seco_model::ServiceInterface;
+use seco_model::{ServiceInterface, ServiceStats};
 
 use crate::error::ServiceError;
 use crate::invocation::{ChunkResponse, Request, Service};
+use crate::stats_accumulator::{request_binding_key, ObservedCardinality, StatsAccumulator};
 use crate::wire::chunk_wire_size_body;
 
 /// Accumulated statistics of one (wrapped) service.
@@ -93,6 +94,13 @@ pub struct CallStats {
     /// Intermediate composites the n-ary kernel avoided materializing
     /// (rows a binary cascade would have built at internal stages).
     pub intermediates_elided: u64,
+    /// Times observed statistics were promoted into this service's
+    /// effective interface, rolling the registry's stats epoch (and
+    /// with it every cached plan fingerprint).
+    pub epoch_invalidations: u64,
+    /// Mid-flight suffix re-plans triggered by deviations observed at
+    /// this service's stage.
+    pub replans: u64,
 }
 
 impl serde::Serialize for CallStats {
@@ -168,6 +176,11 @@ impl serde::Serialize for CallStats {
                 "intermediates_elided".to_string(),
                 self.intermediates_elided.to_json_value(),
             ),
+            (
+                "epoch_invalidations".to_string(),
+                self.epoch_invalidations.to_json_value(),
+            ),
+            ("replans".to_string(), self.replans.to_json_value()),
         ])
     }
 }
@@ -213,6 +226,8 @@ impl CallStats {
         self.chunks_saved += other.chunks_saved;
         self.bound_checks += other.bound_checks;
         self.intermediates_elided += other.intermediates_elided;
+        self.epoch_invalidations += other.epoch_invalidations;
+        self.replans += other.replans;
     }
 }
 
@@ -220,6 +235,12 @@ impl CallStats {
 pub struct CallRecorder {
     inner: Arc<dyn Service>,
     stats: Mutex<CallStats>,
+    accumulator: Mutex<StatsAccumulator>,
+    /// Promoted interface carrying observed statistics. Promotions are
+    /// rare (each one rolls the stats epoch), so the replacement
+    /// interface is leaked to keep `interface()` returning a plain
+    /// reference; `None` means the declared interface is in effect.
+    promoted: RwLock<Option<&'static ServiceInterface>>,
 }
 
 impl CallRecorder {
@@ -228,6 +249,8 @@ impl CallRecorder {
         Arc::new(CallRecorder {
             inner,
             stats: Mutex::new(CallStats::default()),
+            accumulator: Mutex::new(StatsAccumulator::default()),
+            promoted: RwLock::new(None),
         })
     }
 
@@ -319,10 +342,75 @@ impl CallRecorder {
         stats.bound_checks += bound_checks;
         stats.intermediates_elided += intermediates_elided;
     }
+
+    /// Records a mid-flight suffix re-plan triggered at this service.
+    pub fn note_replan(&self) {
+        self.stats.lock().replans += 1;
+    }
+
+    /// The declared (registration-time) interface, regardless of any
+    /// promotion.
+    pub fn declared_interface(&self) -> &ServiceInterface {
+        self.inner.interface()
+    }
+
+    /// Whether observed statistics have been promoted into the
+    /// effective interface.
+    pub fn is_promoted(&self) -> bool {
+        self.promoted.read().is_some()
+    }
+
+    /// Observed output cardinality per invocation, if any fetch was
+    /// recorded.
+    pub fn observed_cardinality(&self) -> Option<ObservedCardinality> {
+        self.accumulator.lock().cardinality()
+    }
+
+    /// Observed chunk-latency EWMA, if any fetch was recorded.
+    pub fn observed_latency_ms(&self) -> Option<f64> {
+        self.accumulator.lock().latency_ewma_ms()
+    }
+
+    /// Chunk fetches behind the accumulated observations.
+    pub fn observed_fetches(&self) -> u64 {
+        self.accumulator.lock().fetches()
+    }
+
+    /// Drops accumulated observations and reverts to the declared
+    /// interface (between experiment repetitions).
+    pub fn reset_observed(&self) {
+        self.accumulator.lock().reset();
+        *self.promoted.write() = None;
+    }
+
+    /// Replaces the effective statistics with `stats`, keeping the rest
+    /// of the interface. Returns `false` (and promotes nothing) when
+    /// the effective statistics already equal `stats`. Each successful
+    /// promotion counts one `epoch_invalidations`, because the
+    /// registry's stats epoch — and with it every cached plan
+    /// fingerprint — changes with the effective statistics.
+    pub fn promote_stats(&self, stats: ServiceStats) -> bool {
+        let mut slot = self.promoted.write();
+        let current = slot.map_or_else(|| self.inner.interface().stats, |p| p.stats);
+        if current == stats {
+            return false;
+        }
+        let mut iface = self.inner.interface().clone();
+        iface.stats = stats;
+        *slot = Some(Box::leak(Box::new(iface)));
+        drop(slot);
+        self.stats.lock().epoch_invalidations += 1;
+        true
+    }
 }
 
 impl Service for CallRecorder {
+    /// The *effective* interface: declared statistics until a
+    /// promotion, observed statistics after.
     fn interface(&self) -> &ServiceInterface {
+        if let Some(promoted) = *self.promoted.read() {
+            return promoted;
+        }
         self.inner.interface()
     }
 
@@ -339,6 +427,14 @@ impl Service for CallRecorder {
                 // Sized off the columnar layout — byte-identical to
                 // framing the rows, without materializing the row view.
                 stats.bytes += chunk_wire_size_body(resp.body()) as u64;
+                drop(stats);
+                self.accumulator.lock().record_fetch(
+                    request_binding_key(request),
+                    request.chunk,
+                    resp.len(),
+                    resp.has_more(),
+                    resp.elapsed_ms,
+                );
             }
             Err(_) => stats.failures += 1,
         }
@@ -472,6 +568,8 @@ mod tests {
             chunks_saved: 5,
             bound_checks: 13,
             intermediates_elided: 6,
+            epoch_invalidations: 2,
+            replans: 1,
         };
         a.merge(&b);
         assert_eq!(a.calls, 3);
@@ -502,6 +600,49 @@ mod tests {
             ),
             (12, 5, 13, 6)
         );
+        assert_eq!((a.epoch_invalidations, a.replans), (2, 1));
         assert_eq!(CallStats::default().mean_call_ms(), 0.0);
+    }
+
+    #[test]
+    fn fetches_feed_the_accumulator() {
+        let rec = CallRecorder::new(service());
+        rec.fetch(&req()).unwrap();
+        rec.fetch(&req().at_chunk(1)).unwrap();
+        // avg 25, chunk 10: chunks 0 and 1 are full — only a lower
+        // bound of 20 is observable so far.
+        let card = rec.observed_cardinality().unwrap();
+        assert!(!card.exact);
+        assert!((card.value - 20.0).abs() < 1e-9);
+        rec.fetch(&req().at_chunk(2)).unwrap();
+        let card = rec.observed_cardinality().unwrap();
+        assert!(card.exact, "final short chunk completes the binding");
+        assert!((card.value - 25.0).abs() < 1e-9);
+        assert!(rec.observed_latency_ms().is_some());
+        assert_eq!(rec.observed_fetches(), 3);
+        rec.reset_observed();
+        assert_eq!(rec.observed_cardinality(), None);
+    }
+
+    #[test]
+    fn promotion_swaps_the_effective_interface() {
+        let rec = CallRecorder::new(service());
+        assert!(!rec.is_promoted());
+        let declared = rec.declared_interface().stats;
+        // Promoting identical stats is a no-op.
+        assert!(!rec.promote_stats(declared));
+        assert_eq!(rec.stats().epoch_invalidations, 0);
+        let observed = ServiceStats::new(250.0, 10, 40.0, 2.5).unwrap();
+        assert!(rec.promote_stats(observed));
+        assert!(rec.is_promoted());
+        assert!((rec.interface().stats.avg_cardinality - 250.0).abs() < 1e-9);
+        assert!((rec.declared_interface().stats.avg_cardinality - 25.0).abs() < 1e-9);
+        assert_eq!(rec.stats().epoch_invalidations, 1);
+        // Re-promoting the same stats is again a no-op.
+        assert!(!rec.promote_stats(observed));
+        assert_eq!(rec.stats().epoch_invalidations, 1);
+        rec.reset_observed();
+        assert!(!rec.is_promoted());
+        assert!((rec.interface().stats.avg_cardinality - 25.0).abs() < 1e-9);
     }
 }

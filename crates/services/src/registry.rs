@@ -9,11 +9,14 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use parking_lot::{Mutex, RwLock};
+
 use seco_model::{ConnectionPattern, ServiceInterface, ServiceMart};
 
 use crate::error::ServiceError;
 use crate::invocation::Service;
 use crate::recorder::{CallRecorder, CallStats};
+use crate::stats_accumulator::{drift_ratio, DeviationPolicy, JoinObservation, ServiceDrift};
 
 /// Registry of everything invocable and joinable.
 #[derive(Default)]
@@ -21,6 +24,13 @@ pub struct ServiceRegistry {
     marts: BTreeMap<String, ServiceMart>,
     services: BTreeMap<String, Arc<CallRecorder>>,
     patterns: BTreeMap<String, ConnectionPattern>,
+    /// Observed pair/match counts per connection pattern, fed by join
+    /// stages during execution.
+    join_observations: Mutex<BTreeMap<String, JoinObservation>>,
+    /// Promoted patterns carrying observed selectivities (same leak
+    /// discipline as `CallRecorder::promote_stats`: promotions are rare
+    /// and each rolls the stats epoch).
+    promoted_patterns: RwLock<BTreeMap<String, &'static ConnectionPattern>>,
 }
 
 impl ServiceRegistry {
@@ -71,8 +81,20 @@ impl ServiceRegistry {
             .ok_or_else(|| ServiceError::UnknownService(name.into()))
     }
 
-    /// Looks up a connection pattern.
+    /// Looks up a connection pattern (the *effective* one: declared
+    /// selectivity until a promotion, observed selectivity after).
     pub fn pattern(&self, name: &str) -> Result<&ConnectionPattern, ServiceError> {
+        if let Some(promoted) = self.promoted_patterns.read().get(name) {
+            return Ok(promoted);
+        }
+        self.patterns
+            .get(name)
+            .ok_or_else(|| ServiceError::UnknownPattern(name.into()))
+    }
+
+    /// Looks up the declared (registration-time) connection pattern,
+    /// regardless of any promotion.
+    pub fn declared_pattern(&self, name: &str) -> Result<&ConnectionPattern, ServiceError> {
         self.patterns
             .get(name)
             .ok_or_else(|| ServiceError::UnknownPattern(name.into()))
@@ -132,6 +154,112 @@ impl ServiceRegistry {
         }
     }
 
+    /// Drops all runtime observations and promotions, reverting every
+    /// service and pattern to its declared statistics.
+    pub fn reset_observed(&self) {
+        for s in self.services.values() {
+            s.reset_observed();
+        }
+        self.join_observations.lock().clear();
+        self.promoted_patterns.write().clear();
+    }
+
+    /// Feeds an equi-join observation for a connection pattern: how
+    /// many candidate pairs a join stage examined and how many matched.
+    pub fn note_join_observation(&self, pattern: &str, pairs: u64, matches: u64) {
+        let mut obs = self.join_observations.lock();
+        let entry = obs.entry(pattern.to_owned()).or_default();
+        entry.pairs += pairs;
+        entry.matches += matches;
+    }
+
+    /// Observed pair/match counts per pattern so far.
+    pub fn join_observations(&self) -> BTreeMap<String, JoinObservation> {
+        self.join_observations.lock().clone()
+    }
+
+    /// Declared-vs-observed drift per service, for `seco stats`.
+    pub fn service_drift(&self) -> BTreeMap<String, ServiceDrift> {
+        self.services
+            .iter()
+            .map(|(name, rec)| {
+                let declared = rec.declared_interface().stats;
+                (
+                    name.clone(),
+                    ServiceDrift {
+                        declared_cardinality: declared.avg_cardinality,
+                        observed_cardinality: rec.observed_cardinality(),
+                        declared_latency_ms: declared.response_time_ms,
+                        observed_latency_ms: rec.observed_latency_ms(),
+                        fetches: rec.observed_fetches(),
+                        promoted: rec.is_promoted(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// The adaptive deviation test: compares every service's observed
+    /// cardinality/latency and every pattern's observed selectivity
+    /// against the *effective* declared values, and promotes the
+    /// observations whose drift is at or past `policy.threshold`.
+    /// Returns the names of promoted services and patterns; any
+    /// promotion rolls [`stats_epoch`](Self::stats_epoch), invalidating
+    /// stale plan-cache entries.
+    pub fn promote_deviations(&self, policy: &DeviationPolicy) -> Vec<String> {
+        let mut promoted = Vec::new();
+        for (name, rec) in &self.services {
+            let effective = rec.interface().stats;
+            let mut next = effective;
+            if let Some(card) = rec.observed_cardinality() {
+                // A lower bound (no binding ran to exhaustion) is only
+                // trusted when it already *exceeds* the declared value.
+                let usable = card.samples >= policy.min_samples
+                    && (card.exact || card.value > effective.avg_cardinality);
+                if usable && drift_ratio(card.value, effective.avg_cardinality) >= policy.threshold
+                {
+                    next.avg_cardinality = card.value;
+                }
+            }
+            if let Some(latency) = rec.observed_latency_ms() {
+                if rec.observed_fetches() >= policy.min_samples
+                    && drift_ratio(latency, effective.response_time_ms) >= policy.threshold
+                {
+                    next.response_time_ms = latency;
+                }
+            }
+            if next != effective && rec.promote_stats(next) {
+                promoted.push(name.clone());
+            }
+        }
+        let observations = self.join_observations.lock().clone();
+        for (name, obs) in observations {
+            let Some(observed_sel) = obs.selectivity() else {
+                continue;
+            };
+            let Ok(effective) = self.pattern(&name) else {
+                continue;
+            };
+            if obs.pairs < policy.min_samples
+                || drift_ratio(observed_sel, effective.selectivity) < policy.threshold
+            {
+                continue;
+            }
+            let mut pattern = effective.clone();
+            pattern.selectivity = observed_sel.clamp(0.0, 1.0);
+            self.promoted_patterns
+                .write()
+                .insert(name.clone(), Box::leak(Box::new(pattern)));
+            promoted.push(name);
+        }
+        promoted
+    }
+
+    /// Total observed-stat promotions (service and pattern) so far.
+    pub fn epoch_invalidations(&self) -> u64 {
+        self.total_stats().epoch_invalidations + self.promoted_patterns.read().len() as u64
+    }
+
     /// Fingerprint of the cost-model-relevant registry state: every
     /// interface's name, mart, behaviour flags, and statistics, in name
     /// order. Cached optimizer plans are keyed on this epoch — a plan
@@ -154,6 +282,13 @@ impl ServiceRegistry {
             iface.stats.chunk_size.hash(&mut h);
             iface.stats.response_time_ms.to_bits().hash(&mut h);
             iface.stats.cost_per_call.to_bits().hash(&mut h);
+        }
+        for name in self.patterns.keys() {
+            let Ok(pattern) = self.pattern(name) else {
+                continue;
+            };
+            pattern.name.hash(&mut h);
+            pattern.selectivity.to_bits().hash(&mut h);
         }
         h.finish()
     }
@@ -270,6 +405,77 @@ mod tests {
         assert!(reg.interfaces_of_mart("Nothing").is_empty());
         assert_eq!(reg.mart("Movie").unwrap().interfaces.len(), 2);
         assert!(reg.mart("Nothing").is_err());
+    }
+
+    #[test]
+    fn deviations_promote_and_roll_the_epoch() {
+        use crate::stats_accumulator::MisdeclaredService;
+        let mut reg = ServiceRegistry::new();
+        // True behaviour: 30 tuples per invocation in one chunk of 30.
+        let truth = ServiceInterface::new(
+            "Drifty1",
+            "Drifty",
+            iface("Drifty1", "Drifty").schema.clone(),
+            ServiceKind::Search,
+            ServiceStats::new(30.0, 30, 10.0, 1.0).unwrap(),
+            ScoreDecay::Linear,
+        )
+        .unwrap();
+        let inner = Arc::new(SyntheticService::new(truth, DomainMap::new(), 7));
+        // Declared: 10× under.
+        let declared = ServiceStats::new(3.0, 30, 10.0, 1.0).unwrap();
+        reg.register_service(Arc::new(MisdeclaredService::new(inner, declared)))
+            .unwrap();
+        let epoch_before = reg.stats_epoch();
+        let svc = reg.service("Drifty1").unwrap();
+        let req = Request::unbound().bind(AttributePath::atomic("K"), Value::text("k"));
+        svc.fetch(&req).unwrap();
+        let drift = reg.service_drift()["Drifty1"].clone();
+        assert!((drift.declared_cardinality - 3.0).abs() < 1e-9);
+        assert!((drift.observed_cardinality.unwrap().value - 30.0).abs() < 1e-9);
+        assert!(!drift.promoted);
+
+        // Below threshold: nothing happens.
+        let strict = DeviationPolicy {
+            threshold: 100.0,
+            min_samples: 1,
+        };
+        assert!(reg.promote_deviations(&strict).is_empty());
+        assert_eq!(reg.stats_epoch(), epoch_before);
+
+        let promoted = reg.promote_deviations(&DeviationPolicy::default());
+        assert_eq!(promoted, vec!["Drifty1".to_string()]);
+        assert_ne!(reg.stats_epoch(), epoch_before, "promotion rolls the epoch");
+        let eff = reg.interface("Drifty1").unwrap().stats;
+        assert!((eff.avg_cardinality - 30.0).abs() < 1e-9);
+        assert_eq!(reg.epoch_invalidations(), 1);
+
+        // Join observation drift promotes the pattern selectivity too.
+        reg.register_pattern(
+            ConnectionPattern::new(
+                "DriftyJoin",
+                "Drifty",
+                "Drifty",
+                vec![JoinPair::eq(
+                    AttributePath::atomic("V"),
+                    AttributePath::atomic("V"),
+                )],
+                0.02,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let epoch_mid = reg.stats_epoch();
+        reg.note_join_observation("DriftyJoin", 100, 40);
+        let promoted = reg.promote_deviations(&DeviationPolicy::default());
+        assert_eq!(promoted, vec!["DriftyJoin".to_string()]);
+        assert!((reg.pattern("DriftyJoin").unwrap().selectivity - 0.4).abs() < 1e-9);
+        assert!((reg.declared_pattern("DriftyJoin").unwrap().selectivity - 0.02).abs() < 1e-9);
+        assert_ne!(reg.stats_epoch(), epoch_mid);
+
+        reg.reset_observed();
+        assert!((reg.interface("Drifty1").unwrap().stats.avg_cardinality - 3.0).abs() < 1e-9);
+        assert!((reg.pattern("DriftyJoin").unwrap().selectivity - 0.02).abs() < 1e-9);
     }
 
     #[test]

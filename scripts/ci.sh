@@ -31,4 +31,11 @@ echo "==> optimizer_bench --smoke"
 cargo run --release -q -p seco-bench --bin optimizer_bench -- --smoke
 cp results/BENCH_optimizer.json BENCH_optimizer.json
 
+echo "==> adaptive_bench --smoke"
+cargo run --release -q -p seco-bench --bin adaptive_bench -- --smoke
+cp results/BENCH_adaptive.json BENCH_adaptive.json
+echo "==> adaptive smoke summary (convergence / ratio / replans)"
+grep -E '"(converged|ratio_vs_informed|replans|epoch_invalidations)"' BENCH_adaptive.json
+grep -q '"converged": true' BENCH_adaptive.json
+
 echo "CI OK"

@@ -9,7 +9,9 @@
 //!                [--cache-shards N] [--prefetch]
 //!                [--join-index off|hash] [--tile-prune]
 //!                [--rank-join] [--nary-join]
+//!                [--adaptive] [--adaptive-threshold N]
 //!                [--columnar on|off] [--batch-eval on|off] <query…>
+//! seco stats     [--domain D] [--metric M] [--seed N] [--adaptive] <query…>
 //! seco oracle    [--domain D] [--seed N] <query…>
 //! ```
 //!
@@ -48,6 +50,23 @@
 //! row-at-a-time plane. Every flag default is taken from
 //! `EngineConfig::default()`, and each flag maps 1:1 to an
 //! `EngineConfig` builder method.
+//!
+//! `--adaptive` turns on mid-flight re-optimization: after every fresh
+//! service or join stage, the engine compares the observed output
+//! cardinality against the plan-time estimate and, past the deviation
+//! threshold (`--adaptive-threshold`, default from
+//! `EngineConfig::default()`), promotes the observed statistics into
+//! the registry and re-plans the unexecuted suffix. Completed stages
+//! replay from a memo, so each call is still charged exactly once. The
+//! run reports its replan and epoch-invalidation counts after the
+//! answers. With the flag off, execution is byte-identical to the
+//! non-adaptive engine.
+//!
+//! `stats` runs the query like `run` and then dumps, per service, the
+//! declared (registration-time) statistics next to what the
+//! accumulators actually observed — cardinality, latency EWMA, chunk
+//! fetches, promotion state — plus observed join selectivities per
+//! connection pattern.
 //!
 //! `--fault-profile` makes every service inject deterministic faults
 //! (seeded from `--seed`, so two identical invocations produce
@@ -90,6 +109,8 @@ struct Args {
     tile_prune: bool,
     rank_join: bool,
     nary_join: bool,
+    adaptive: bool,
+    adaptive_threshold: f64,
     columnar: bool,
     batch_eval: bool,
     workers: usize,
@@ -114,6 +135,8 @@ fn parse_args() -> Result<Args, String> {
     let mut tile_prune = defaults.join_index.tile_prune;
     let mut rank_join = defaults.rank_join;
     let mut nary_join = defaults.nary_join;
+    let mut adaptive = defaults.adaptive;
+    let mut adaptive_threshold = defaults.adaptive_threshold;
     let mut columnar = defaults.columnar.columnar;
     let mut batch_eval = defaults.columnar.batch_eval;
     let mut workers = 1usize;
@@ -156,6 +179,17 @@ fn parse_args() -> Result<Args, String> {
             "--tile-prune" => tile_prune = true,
             "--rank-join" => rank_join = true,
             "--nary-join" => nary_join = true,
+            "--adaptive" => adaptive = true,
+            "--adaptive-threshold" => {
+                adaptive_threshold = argv
+                    .next()
+                    .ok_or("--adaptive-threshold needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?;
+                if adaptive_threshold < 1.0 {
+                    return Err("--adaptive-threshold must be at least 1.0".into());
+                }
+            }
             "--join-index" => {
                 join_index = parse_join_index(&argv.next().ok_or("--join-index needs a value")?)?;
             }
@@ -226,6 +260,8 @@ fn parse_args() -> Result<Args, String> {
         tile_prune,
         rank_join,
         nary_join,
+        adaptive,
+        adaptive_threshold,
         columnar,
         batch_eval,
         workers,
@@ -234,11 +270,12 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: seco <services|explain|optimize|run|oracle> [--domain entertainment|travel] \
+    "usage: seco <services|explain|optimize|run|stats|oracle> [--domain entertainment|travel] \
      [--metric execution-time|sum|request-count|bottleneck|time-to-screen] \
      [--seed N] [--workers N] [--parallel] [--fault-profile none|flaky|outage] \
      [--deadline-ms N] [--cache-shards N] [--prefetch] \
      [--join-index off|hash] [--tile-prune] [--rank-join] [--nary-join] \
+     [--adaptive] [--adaptive-threshold N] \
      [--columnar on|off] [--batch-eval on|off] <query>"
         .to_owned()
 }
@@ -305,8 +342,12 @@ fn cmd_explain(
         stats.annotate_full, stats.annotate_delta, stats.memo_hits
     );
     println!(
-        "plan cache: {} hits, {} misses, {} inserts\n",
+        "plan cache: {} hits, {} misses, {} inserts",
         stats.cache_hits, stats.cache_misses, stats.cache_inserts
+    );
+    println!(
+        "adaptivity: {} epoch invalidations, {} replans\n",
+        stats.epoch_invalidations, stats.replans
     );
     println!(
         "{}",
@@ -337,16 +378,29 @@ fn cmd_run(
     }
     let best = optimize(&query, registry, metric).map_err(|e| e.to_string())?;
     registry.reset_stats();
-    let (results, degraded, join_stats) = if parallel {
+    let (results, degraded, join_stats, replans, replanned) = if parallel {
         let out = execute_parallel_with(&best.plan, registry, opts).map_err(|e| e.to_string())?;
-        (out.results, out.degraded, out.join_stats)
+        let replans = usize::from(out.replanned.is_some());
+        (
+            out.results,
+            out.degraded,
+            out.join_stats,
+            replans,
+            out.replanned,
+        )
     } else {
         let out = execute_plan(&best.plan, registry, opts).map_err(|e| e.to_string())?;
         println!(
             "{} request-responses, {:.0} virtual ms critical path",
             out.total_calls, out.critical_ms
         );
-        (out.results, out.degraded, out.join_stats)
+        (
+            out.results,
+            out.degraded,
+            out.join_stats,
+            out.replans,
+            out.replanned,
+        )
     };
     let set = ResultSet::new(results, query.ranking.clone()).with_degraded(degraded);
     println!("{} combinations; top {}:", set.len(), query.k);
@@ -397,6 +451,86 @@ fn cmd_run(
         join_stats.intermediates_elided,
         join_stats.time_to_kth_us
     );
+    if opts.adaptive {
+        println!(
+            "adaptive: {} replan(s), {} epoch invalidation(s), final plan {}",
+            replans,
+            registry.epoch_invalidations(),
+            match &replanned {
+                Some(plan) => format!("switched to {}", plan.canonical_key()),
+                None => "unchanged".to_owned(),
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(
+    registry: &ServiceRegistry,
+    metric: CostMetric,
+    opts: EngineConfig,
+    query_src: &str,
+) -> Result<(), String> {
+    let query = parse_query(query_src).map_err(|e| e.to_string())?;
+    let best = optimize(&query, registry, metric).map_err(|e| e.to_string())?;
+    registry.reset_stats();
+    let out = execute_plan(&best.plan, registry, opts).map_err(|e| e.to_string())?;
+    println!(
+        "{} combinations, {} request-responses, {:.0} virtual ms critical path\n",
+        out.results.len(),
+        out.total_calls,
+        out.critical_ms
+    );
+    println!("declared vs. observed service statistics:");
+    for (name, drift) in registry.service_drift() {
+        let observed = match drift.observed_cardinality {
+            Some(card) => format!(
+                "{:.1}{} over {} binding(s)",
+                card.value,
+                if card.exact { "" } else { "+ (lower bound)" },
+                card.samples
+            ),
+            None => "-".to_owned(),
+        };
+        let latency = match drift.observed_latency_ms {
+            Some(ms) => format!("{ms:.1}"),
+            None => "-".to_owned(),
+        };
+        println!(
+            "  {name}: cardinality declared {:.1} observed {observed}; \
+             latency ms declared {:.1} observed {latency}; {} fetch(es){}",
+            drift.declared_cardinality,
+            drift.declared_latency_ms,
+            drift.fetches,
+            if drift.promoted { "; promoted" } else { "" }
+        );
+    }
+    println!("\ndeclared vs. observed join selectivities:");
+    let observations = registry.join_observations();
+    if observations.is_empty() {
+        println!("  (no parallel join observed)");
+    }
+    for (pattern, obs) in observations {
+        let declared = registry
+            .pattern(&pattern)
+            .map(|p| format!("{:.3}", p.selectivity))
+            .unwrap_or_else(|_| "-".to_owned());
+        let observed = obs
+            .selectivity()
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "-".to_owned());
+        println!(
+            "  {pattern}: declared {declared} observed {observed} ({} / {} pairs)",
+            obs.matches, obs.pairs
+        );
+    }
+    if opts.adaptive {
+        println!(
+            "\nadaptive: {} replan(s), {} epoch invalidation(s)",
+            out.replans,
+            registry.epoch_invalidations()
+        );
+    }
     Ok(())
 }
 
@@ -450,6 +584,9 @@ fn main() -> ExitCode {
         .tile_prune(args.tile_prune)
         .rank_join(args.rank_join)
         .nary_join(args.nary_join)
+        .adaptive(args.adaptive)
+        .adaptive_threshold(args.adaptive_threshold)
+        .adaptive_metric(args.metric)
         .columnar(args.columnar)
         .batch_eval(args.batch_eval);
     if resilient {
@@ -467,6 +604,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&registry, args.metric, args.workers, true, &args.query),
         "optimize" => cmd_explain(&registry, args.metric, args.workers, false, &args.query),
         "run" => cmd_run(&registry, args.metric, args.parallel, opts, &args.query),
+        "stats" => cmd_stats(&registry, args.metric, opts, &args.query),
         "oracle" => cmd_oracle(&registry, &args.query),
         _ => Err(usage()),
     };

@@ -1,0 +1,137 @@
+//! Adaptive re-optimization, end to end: runtime observations bump the
+//! registry statistics epoch, the epoch invalidates cached plans, and
+//! the engine's mid-flight suffix re-plan converges to the plan an
+//! informed optimizer would have chosen from the start.
+//!
+//! The workload is [`seco_bench::adaptive_registry`]: a hub whose
+//! declared cardinality understates the truth by 10×, plus a `Leaf`
+//! mart with a cheap-per-call pipe access path (optimal under the lie)
+//! and a bulk scan (optimal under the truth).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use search_computing::prelude::*;
+use seco_bench::{adaptive_query, adaptive_registry};
+use seco_optimizer::PlanCache;
+use seco_services::DeviationPolicy;
+
+const SEED: u64 = 7;
+const MISESTIMATE: f64 = 10.0;
+
+/// A promotion rolls the statistics epoch, so a cached plan stops
+/// matching: the next optimization misses, re-searches under the
+/// observed statistics, and re-caches under the new epoch.
+#[test]
+fn stats_epoch_bump_invalidates_the_plan_cache() {
+    let registry = adaptive_registry(SEED, MISESTIMATE);
+    let query = adaptive_query();
+    let cache = Arc::new(PlanCache::new());
+    let mut optimizer = Optimizer::new(&registry, CostMetric::ExecutionTime);
+    optimizer.cache = Some(cache.clone());
+
+    let first = optimizer.optimize(&query).expect("misled optimize");
+    assert_eq!(first.stats.cache_hits, 0);
+    assert_eq!(cache.len(), 1);
+    let hit = optimizer.optimize(&query).expect("cached optimize");
+    assert_eq!(hit.stats.cache_hits, 1, "same epoch must hit the cache");
+    assert_eq!(hit.plan.canonical_key(), first.plan.canonical_key());
+
+    // Run the bad plan, observe the hub's true cardinality, promote.
+    let epoch_before = registry.stats_epoch();
+    execute_plan(&first.plan, &registry, EngineConfig::default()).expect("baseline run");
+    let promoted = registry.promote_deviations(&DeviationPolicy {
+        threshold: 5.0,
+        min_samples: 1,
+    });
+    assert!(
+        promoted.iter().any(|s| s == "Hub1"),
+        "the 10x-misdeclared hub must be promoted, got {promoted:?}"
+    );
+    assert_ne!(
+        registry.stats_epoch(),
+        epoch_before,
+        "promotion rolls the epoch"
+    );
+
+    // The old entry is stale: miss, re-search, re-cache under the new
+    // epoch — and the re-search lands on the scan plan.
+    let replanned = optimizer.optimize(&query).expect("post-promotion optimize");
+    assert_eq!(replanned.stats.cache_hits, 0, "stale epoch must miss");
+    assert_eq!(replanned.stats.cache_inserts, 1);
+    assert_eq!(cache.len(), 2, "both epochs keep their entries");
+    assert_ne!(
+        replanned.plan.canonical_key(),
+        first.plan.canonical_key(),
+        "promoted statistics must change the winning plan"
+    );
+
+    let informed = optimize(
+        &query,
+        &adaptive_registry(SEED, 1.0),
+        CostMetric::ExecutionTime,
+    )
+    .expect("informed optimize");
+    assert_eq!(
+        replanned.plan.canonical_key(),
+        informed.plan.canonical_key()
+    );
+}
+
+/// With no observation past the threshold, `replan_suffix` returns the
+/// original plan byte-identically — no search, no replan counted.
+#[test]
+fn replan_suffix_without_deviation_is_byte_identical() {
+    let registry = adaptive_registry(SEED, MISESTIMATE);
+    let query = adaptive_query();
+    let optimizer = Optimizer::new(&registry, CostMetric::ExecutionTime);
+    let best = optimizer.optimize(&query).expect("optimize");
+
+    let executed: BTreeSet<String> = ["H".to_owned()].into();
+    let observed: BTreeMap<String, (f64, f64)> = [("H".to_owned(), (2.0, 2.0))].into();
+    let same = optimizer
+        .replan_suffix(&best.plan, &executed, &observed)
+        .expect("replan_suffix");
+    assert_eq!(
+        same.plan, best.plan,
+        "unchanged observations: byte-identical plan"
+    );
+    assert_eq!(same.stats.replans, 0);
+    assert_eq!(same.stats.topologies, 0, "no search may have run");
+}
+
+/// The adaptive engine executing the misled plan re-plans mid-flight
+/// and finishes on the informed plan at the informed cost.
+#[test]
+fn adaptive_engine_converges_to_the_informed_plan() {
+    let query = adaptive_query();
+    let metric = CostMetric::ExecutionTime;
+
+    let informed_reg = adaptive_registry(SEED, 1.0);
+    let informed = optimize(&query, &informed_reg, metric).expect("informed optimize");
+    let informed_run =
+        execute_plan(&informed.plan, &informed_reg, EngineConfig::default()).expect("informed run");
+
+    let adaptive_reg = adaptive_registry(SEED, MISESTIMATE);
+    let misled = optimize(&query, &adaptive_reg, metric).expect("misled optimize");
+    assert_ne!(misled.plan.canonical_key(), informed.plan.canonical_key());
+
+    let config = EngineConfig::default()
+        .adaptive(true)
+        .adaptive_metric(metric);
+    let run = execute_plan(&misled.plan, &adaptive_reg, config).expect("adaptive run");
+    assert!(run.replans >= 1, "the deviation checkpoint must fire");
+    let final_plan = run.replanned.as_ref().expect("replanned plan recorded");
+    assert_eq!(final_plan.canonical_key(), informed.plan.canonical_key());
+    assert_eq!(
+        run.results, informed_run.results,
+        "same answers as the informed run"
+    );
+    assert!(
+        run.critical_ms <= informed_run.critical_ms * 1.2,
+        "adaptive {} ms vs informed {} ms",
+        run.critical_ms,
+        informed_run.critical_ms
+    );
+    assert!(adaptive_reg.epoch_invalidations() >= 1);
+}
