@@ -1,13 +1,12 @@
 //! The consolidated engine configuration.
 //!
 //! [`EngineConfig`] gathers everything that used to be spread across
-//! `ExecOptions`, [`FetchOptions`], [`JoinIndexOptions`], and the
-//! columnar-plane switches into one builder-style value. Every `seco
-//! run` CLI flag maps 1:1 to a builder method, and both executors
-//! ([`crate::execute_plan`] and [`crate::execute_parallel`]) consume it
-//! directly. The old `ExecOptions` name survives as a deprecated alias;
-//! existing field-struct construction keeps compiling because the
-//! fields are unchanged.
+//! the historical `ExecOptions`, [`FetchOptions`], [`JoinIndexOptions`],
+//! and the columnar-plane switches into one builder-style value — the
+//! single configuration surface of the engine and of `seco serve`.
+//! Every `seco run` CLI flag maps 1:1 to a builder method, and both
+//! executors ([`crate::execute_plan`] and [`crate::execute_parallel`])
+//! consume it directly.
 
 use seco_join::{ColumnarOptions, JoinIndexMode, JoinIndexOptions};
 use seco_optimizer::CostMetric;
@@ -201,10 +200,6 @@ impl EngineConfig {
     }
 }
 
-/// The historical name of [`EngineConfig`].
-#[deprecated(since = "0.1.0", note = "renamed to EngineConfig")]
-pub type ExecOptions = EngineConfig;
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,17 +248,5 @@ mod tests {
         assert!(!cfg.adaptive, "adaptive must default off (byte-identity)");
         assert_eq!(cfg.adaptive_threshold, 10.0);
         assert_eq!(cfg.adaptive_metric, CostMetric::ExecutionTime);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_alias_still_compiles() {
-        // Field-struct construction under the old name keeps working.
-        let old = ExecOptions {
-            join_k: 3,
-            ..Default::default()
-        };
-        let new: EngineConfig = old;
-        assert_eq!(new.join_k, 3);
     }
 }

@@ -30,13 +30,11 @@ use seco_query::predicate::{
     resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap,
 };
 use seco_query::CompiledPredicates;
-use seco_services::{
-    drift_ratio, CachingService, DeviationPolicy, Prefetcher, Service, ServiceClient,
-    ServiceRegistry, VirtualClock,
-};
+use seco_services::{drift_ratio, DeviationPolicy, Prefetcher, Service, ServiceRegistry};
 
 use crate::config::EngineConfig;
 use crate::error::EngineError;
+use crate::shared::SharedState;
 use crate::trace::{ExecutionTrace, TraceEvent};
 
 /// What to do when a service fails past the resilience middleware.
@@ -181,13 +179,37 @@ pub fn execute_plan(
     registry: &ServiceRegistry,
     options: EngineConfig,
 ) -> Result<ExecutionResult, EngineError> {
+    execute_plan_impl(plan, registry, options, None)
+}
+
+/// [`execute_plan`] against long-lived [`SharedState`]: the per-service
+/// fetch stacks (response caches, circuit breakers) and the virtual
+/// clock come from — and persist in — `shared`, so repeated executions
+/// hit warm caches and accumulated breaker state instead of cold ones.
+/// This is the daemon entry point; results are identical to the
+/// one-shot path (caches return the responses the services would).
+pub fn execute_plan_shared(
+    plan: &QueryPlan,
+    registry: &ServiceRegistry,
+    options: EngineConfig,
+    shared: &SharedState,
+) -> Result<ExecutionResult, EngineError> {
+    execute_plan_impl(plan, registry, options, Some(shared))
+}
+
+fn execute_plan_impl(
+    plan: &QueryPlan,
+    registry: &ServiceRegistry,
+    options: EngineConfig,
+    shared: Option<&SharedState>,
+) -> Result<ExecutionResult, EngineError> {
     let mut memo: BTreeMap<String, StageMemo> = BTreeMap::new();
     let mut checked: BTreeSet<String> = BTreeSet::new();
     let mut current: Option<QueryPlan> = None;
     let mut replans = 0usize;
     loop {
         let active = current.as_ref().unwrap_or(plan);
-        match run_pass(active, registry, options, &mut memo, &mut checked)? {
+        match run_pass(active, registry, options, &mut memo, &mut checked, shared)? {
             PassOutcome::Done(mut result) => {
                 result.replanned = current;
                 result.replans = replans;
@@ -247,6 +269,7 @@ fn run_pass(
     options: EngineConfig,
     memo: &mut BTreeMap<String, StageMemo>,
     checked: &mut BTreeSet<String>,
+    shared: Option<&SharedState>,
 ) -> Result<PassOutcome, EngineError> {
     plan.validate()?;
     let report = analyze(&plan.query, registry)?;
@@ -273,18 +296,20 @@ fn run_pass(
     // cache, so the circuit breaker and the memoized responses both
     // accumulate over the whole execution. The clock is shared too:
     // backoff pauses and abandoned-call deadlines count toward the same
-    // virtual timeline as the calls themselves.
-    let clock = VirtualClock::new();
+    // virtual timeline as the calls themselves. Without caller-provided
+    // shared state the stacks live for this pass only (the historical
+    // one-shot behaviour); a daemon passes its own `SharedState` so
+    // caches and breakers persist across requests.
+    let local_state;
+    let state = match shared {
+        Some(s) => s,
+        None => {
+            local_state = SharedState::new();
+            &local_state
+        }
+    };
+    let clock = state.clock().clone();
     let cache_cfg = options.fetch.cache();
-    #[allow(clippy::type_complexity)]
-    let mut stacks: BTreeMap<
-        String,
-        (
-            Arc<dyn Service>,
-            Option<Arc<ServiceClient>>,
-            Option<Arc<CachingService>>,
-        ),
-    > = BTreeMap::new();
     let mut degraded: BTreeSet<String> = BTreeSet::new();
     // Whether each node's output is already partial (some upstream
     // branch lost tuples to a failure).
@@ -375,38 +400,8 @@ fn run_pass(
                         columnar: options.columnar,
                     };
                     let recorded = registry.service(&node.service)?;
-                    let (base, client, cache) = match stacks.get(&node.service) {
-                        Some(stack) => stack.clone(),
-                        None => {
-                            let client = options.client.map(|cfg| {
-                                Arc::new(
-                                    ServiceClient::for_recorded(recorded.clone())
-                                        .config(cfg)
-                                        .virtual_clock(clock.clone())
-                                        .build(),
-                                )
-                            });
-                            let inner: Arc<dyn Service> = match &client {
-                                Some(c) => c.clone(),
-                                None => recorded.clone(),
-                            };
-                            let cache = cache_cfg.map(|(shards, capacity)| {
-                                Arc::new(
-                                    CachingService::sharded(inner.clone(), capacity, shards)
-                                        .with_recorder(recorded.clone()),
-                                )
-                            });
-                            let base: Arc<dyn Service> = match &cache {
-                                Some(c) => c.clone(),
-                                None => inner,
-                            };
-                            stacks.insert(
-                                node.service.clone(),
-                                (base.clone(), client.clone(), cache.clone()),
-                            );
-                            (base, client, cache)
-                        }
-                    };
+                    let (base, client, cache) =
+                        state.stack_for(&node.service, &recorded, &options, false);
                     // Inline speculation: the prefetch runs on this
                     // thread, so the virtual timeline and the fault
                     // schedule stay a pure function of the seed.

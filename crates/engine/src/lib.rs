@@ -28,15 +28,19 @@ pub mod error;
 pub mod executor;
 pub mod output;
 pub mod parallel;
+pub mod shared;
 pub mod trace;
 
 pub use clock::{drive_pair, Clock, ClockPacing};
 pub use config::EngineConfig;
 pub use error::EngineError;
-pub use executor::{execute_plan, ExecutionResult, FailureMode, FetchOptions};
+pub use executor::{execute_plan, execute_plan_shared, ExecutionResult, FailureMode, FetchOptions};
 pub use output::ResultSet;
-pub use parallel::{execute_parallel, execute_parallel_with, ParallelOutcome};
+pub use parallel::{
+    execute_parallel, execute_parallel_session, execute_parallel_with, BatchSink, ParallelOutcome,
+};
 pub use seco_join::{ColumnarOptions, JoinIndexMode, JoinIndexOptions, JoinStats};
+pub use shared::SharedState;
 pub use trace::{ExecutionTrace, TraceEvent};
 
 /// Result alias for engine operations.

@@ -28,13 +28,12 @@ use seco_query::feasibility::analyze;
 use seco_query::predicate::{
     resolve_predicates, satisfies_available, ResolvedPredicate, SchemaMap,
 };
-use seco_services::{
-    CachingService, DeviationPolicy, Prefetcher, Service, ServiceClient, ServiceRegistry,
-};
+use seco_services::{DeviationPolicy, Prefetcher, Service, ServiceRegistry};
 
 use crate::config::EngineConfig;
 use crate::error::EngineError;
 use crate::executor::{fusion_chains, FailureMode};
+use crate::shared::{SharedState, Stack};
 
 /// Channel capacity per plan arc, in batches; small enough to exercise
 /// backpressure, large enough to avoid senseless stalls.
@@ -138,6 +137,28 @@ pub fn execute_parallel_with(
     plan: &QueryPlan,
     registry: &ServiceRegistry,
     options: EngineConfig,
+) -> Result<ParallelOutcome, EngineError> {
+    execute_parallel_session(plan, registry, options, None, None)
+}
+
+/// A batch sink for streaming delivery: called from the output
+/// collector thread with each arriving batch of final combinations,
+/// *while upstream stages are still running* — this is what pushes
+/// result chunks to a client as tiles are joined. Must be `Sync`
+/// (invoked from inside the executor's thread scope).
+pub type BatchSink<'s> = &'s (dyn Fn(&[CompositeTuple]) + Sync);
+
+/// The daemon-grade pipelined entry point: executes against optional
+/// long-lived [`SharedState`] (persistent per-service caches, breaker
+/// state, and the speculation pool) and streams output batches into
+/// `sink` as they arrive at the output stage. Both extras are
+/// optional; with neither, this is exactly [`execute_parallel_with`].
+pub fn execute_parallel_session(
+    plan: &QueryPlan,
+    registry: &ServiceRegistry,
+    options: EngineConfig,
+    shared: Option<&SharedState>,
+    sink: Option<BatchSink<'_>>,
 ) -> Result<ParallelOutcome, EngineError> {
     // Pre-flight adaptive checkpoint. Wall-clock threads preclude the
     // deterministic executor's mid-flight restarts (replaying memoized
@@ -263,49 +284,33 @@ pub fn execute_parallel_with(
     // that invokes it: the wall-clock resilient client — one breaker
     // per service, matching the deterministic executor — under the
     // sharded response cache, whose singleflight layer coalesces
-    // concurrent identical requests across plan nodes.
-    let cache_cfg = options.fetch.cache();
-    #[allow(clippy::type_complexity)]
-    let mut stacks: BTreeMap<
-        String,
-        (
-            Arc<dyn Service>,
-            Option<Arc<ServiceClient>>,
-            Option<Arc<CachingService>>,
-        ),
-    > = BTreeMap::new();
+    // concurrent identical requests across plan nodes. With
+    // caller-provided shared state the stacks (and the speculation
+    // pool) persist across executions; without, they live for this
+    // run only.
+    let local_state;
+    let state = match shared {
+        Some(s) => s,
+        None => {
+            local_state = SharedState::new();
+            &local_state
+        }
+    };
+    let mut stacks: BTreeMap<String, Stack> = BTreeMap::new();
     for id in plan.node_ids() {
         if let Ok(PlanNode::Service(node)) = plan.node(id) {
             if stacks.contains_key(&node.service) {
                 continue;
             }
             let recorded = registry.service(&node.service)?;
-            let client = options.client.map(|cfg| {
-                Arc::new(
-                    ServiceClient::for_recorded(recorded.clone())
-                        .config(cfg)
-                        .wall_clock()
-                        .build(),
-                )
-            });
-            let inner: Arc<dyn Service> = match &client {
-                Some(c) => c.clone(),
-                None => recorded.clone(),
-            };
-            let cache = cache_cfg.map(|(shards, capacity)| {
-                Arc::new(
-                    CachingService::sharded(inner.clone(), capacity, shards)
-                        .with_recorder(recorded.clone()),
-                )
-            });
-            let base: Arc<dyn Service> = match &cache {
-                Some(c) => c.clone(),
-                None => inner,
-            };
-            stacks.insert(node.service.clone(), (base, client, cache));
+            stacks.insert(
+                node.service.clone(),
+                state.stack_for(&node.service, &recorded, &options, true),
+            );
         }
     }
     let stacks = &stacks;
+    let prefetch_pool = state.prefetch_pool();
 
     let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
     let output: Mutex<Vec<CompositeTuple>> = Mutex::new(Vec::new());
@@ -361,9 +366,14 @@ pub fn execute_parallel_with(
                     PlanNode::Output => {
                         // Batches arrive pre-buffered per producer, so
                         // this stays one extend per batch — not one
-                        // lock acquisition per tuple.
+                        // lock acquisition per tuple. A streaming sink
+                        // sees each batch the moment it lands, while
+                        // upstream stages are still joining tiles.
                         let mut collected = Vec::new();
                         for batch in my_receivers[0].iter() {
+                            if let Some(push) = sink {
+                                push(&batch);
+                            }
                             collected.extend(unbatch(batch));
                         }
                         *output.lock() = collected;
@@ -402,9 +412,18 @@ pub fn execute_parallel_with(
                                     Ok(r) => r,
                                     Err(e) => return fail(EngineError::Service(e)),
                                 };
-                                let mut pf = Prefetcher::new(base, svc.fetches as usize)
-                                    .background(PREFETCH_INFLIGHT)
-                                    .with_recorder(recorded);
+                                // Daemon mode runs speculation on the
+                                // shared pool (threads bounded by the
+                                // engine state's lifetime); one-shot
+                                // mode spawns per-fetch threads joined
+                                // at stage end.
+                                let mut pf = match prefetch_pool {
+                                    Some(pool) => Prefetcher::new(base, svc.fetches as usize)
+                                        .via_pool(pool.clone()),
+                                    None => Prefetcher::new(base, svc.fetches as usize)
+                                        .background(PREFETCH_INFLIGHT),
+                                }
+                                .with_recorder(recorded);
                                 if let Some(c) = &client {
                                     pf = pf.respecting_breaker(c.clone());
                                 }

@@ -1,0 +1,206 @@
+//! Long-lived, cross-request execution state.
+//!
+//! A one-shot CLI run builds its per-service fetch stacks — the
+//! resilient [`ServiceClient`] (one circuit breaker per service) under
+//! the sharded, request-coalescing [`CachingService`] — from scratch,
+//! uses them for a single plan, and throws them away. Those are
+//! exactly the assets a long-running daemon wants to keep: warm
+//! response caches, accumulated breaker state, and a stable virtual
+//! timeline. [`SharedState`] owns them behind `Arc`s so any number of
+//! concurrent query sessions can execute against the same stacks, and
+//! every cache hit earned by one request benefits the next.
+//!
+//! The state also owns the optional [`PrefetchPool`]: background
+//! speculation threads of a daemon live exactly as long as this value.
+//! Dropping it (or calling [`SharedState::shutdown`]) stops and joins
+//! the pool's workers — nothing spawned on behalf of an execution can
+//! outlive the engine state that requested it.
+//!
+//! Accounting caveat: the virtual clock is shared too, so `busy_ms` /
+//! `critical_ms` deltas measured by concurrent executions overlap on
+//! one daemon-wide timeline. Results, call counts, and cache counters
+//! stay exact; per-request virtual-time attribution is only meaningful
+//! when requests run serially (the one-shot executors are unaffected —
+//! they build a private `SharedState` per pass).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use seco_services::{
+    CachingService, CallRecorder, PrefetchPool, Service, ServiceClient, VirtualClock,
+};
+
+use crate::config::EngineConfig;
+
+/// One service's prepared fetch stack: the outermost handle to call,
+/// plus direct handles on the middleware layers that need consulting
+/// (breaker probes, cache probes).
+pub(crate) type Stack = (
+    Arc<dyn Service>,
+    Option<Arc<ServiceClient>>,
+    Option<Arc<CachingService>>,
+);
+
+/// Clock binding of a stack's resilient client: the deterministic
+/// executor drives a virtual timeline, the pipelined executor real
+/// wall time. The two produce distinct breaker/cooldown dynamics, so a
+/// service invoked by both executors keeps one stack per mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ClockMode {
+    Virtual,
+    Wall,
+}
+
+/// Cross-request execution state: per-service fetch stacks, the shared
+/// virtual clock, and the daemon's speculation pool. Cheap to share
+/// (`Arc<SharedState>`), safe to use from concurrent sessions.
+///
+/// Stacks are built lazily from the *first* execution's
+/// [`EngineConfig`] that touches each service; a daemon runs all
+/// sessions under one config, so later executions find the stack
+/// ready-made and warm.
+pub struct SharedState {
+    clock: Arc<VirtualClock>,
+    pool: Option<Arc<PrefetchPool>>,
+    stacks: Mutex<BTreeMap<(String, ClockMode), Stack>>,
+}
+
+impl SharedState {
+    /// Fresh state with no speculation pool: background prefetches
+    /// spawn short-lived threads exactly as the one-shot executors
+    /// always did.
+    pub fn new() -> Self {
+        SharedState {
+            clock: VirtualClock::new(),
+            pool: None,
+            stacks: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Daemon-grade state: background speculation runs on a pool of
+    /// `prefetch_workers` threads owned by this value and stopped when
+    /// it drops.
+    pub fn for_daemon(prefetch_workers: usize) -> Self {
+        SharedState {
+            clock: VirtualClock::new(),
+            pool: Some(Arc::new(PrefetchPool::new(prefetch_workers))),
+            stacks: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// The speculation pool, when this state owns one.
+    pub fn prefetch_pool(&self) -> Option<&Arc<PrefetchPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Number of prepared per-service stacks (diagnostics).
+    pub fn stack_count(&self) -> usize {
+        self.stacks.lock().len()
+    }
+
+    /// Stops background speculation: pool workers are joined and
+    /// further submissions are refused. Prepared stacks stay usable —
+    /// demand fetches never depended on the pool. Idempotent; also
+    /// implied by drop.
+    pub fn shutdown(&self) {
+        if let Some(pool) = &self.pool {
+            pool.shutdown();
+        }
+    }
+
+    /// Returns `service`'s prepared stack, building it on first use
+    /// from `options` (resilient client when configured, sharded cache
+    /// when configured, bare recorder otherwise).
+    pub(crate) fn stack_for(
+        &self,
+        service: &str,
+        recorded: &Arc<CallRecorder>,
+        options: &EngineConfig,
+        wall_clock: bool,
+    ) -> Stack {
+        let mode = if wall_clock {
+            ClockMode::Wall
+        } else {
+            ClockMode::Virtual
+        };
+        let key = (service.to_owned(), mode);
+        let mut stacks = self.stacks.lock();
+        if let Some(stack) = stacks.get(&key) {
+            return stack.clone();
+        }
+        let client = options.client.map(|cfg| {
+            let builder = ServiceClient::for_recorded(recorded.clone()).config(cfg);
+            let builder = if wall_clock {
+                builder.wall_clock()
+            } else {
+                builder.virtual_clock(self.clock.clone())
+            };
+            Arc::new(builder.build())
+        });
+        let inner: Arc<dyn Service> = match &client {
+            Some(c) => c.clone(),
+            None => recorded.clone(),
+        };
+        let cache = options.fetch.cache().map(|(shards, capacity)| {
+            Arc::new(
+                CachingService::sharded(inner.clone(), capacity, shards)
+                    .with_recorder(recorded.clone()),
+            )
+        });
+        let base: Arc<dyn Service> = match &cache {
+            Some(c) => c.clone(),
+            None => inner,
+        };
+        let stack = (base, client, cache);
+        stacks.insert(key, stack.clone());
+        stack
+    }
+}
+
+impl Default for SharedState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacks_are_built_once_per_service_and_mode() {
+        let state = SharedState::new();
+        let registry =
+            seco_services::domains::entertainment::build_registry(7).expect("registry builds");
+        let recorded = registry.service("Movie1").expect("service exists");
+        let options = EngineConfig::default().cache_shards(4);
+        let (a, _, cache_a) = state.stack_for("Movie1", &recorded, &options, false);
+        let (b, _, cache_b) = state.stack_for("Movie1", &recorded, &options, false);
+        assert!(Arc::ptr_eq(&a, &b), "same stack on repeat lookup");
+        assert!(Arc::ptr_eq(
+            cache_a.as_ref().expect("cache configured"),
+            cache_b.as_ref().expect("cache configured"),
+        ));
+        assert_eq!(state.stack_count(), 1);
+        // Wall-clock mode is a distinct stack (distinct breaker rules).
+        let (w, _, _) = state.stack_for("Movie1", &recorded, &options, true);
+        assert!(!Arc::ptr_eq(&a, &w));
+        assert_eq!(state.stack_count(), 2);
+    }
+
+    #[test]
+    fn shutdown_stops_the_daemon_pool() {
+        let state = SharedState::for_daemon(2);
+        let pool = state.prefetch_pool().expect("daemon state has a pool");
+        assert_eq!(pool.workers_alive(), 2);
+        state.shutdown();
+        assert_eq!(pool.workers_alive(), 0);
+    }
+}

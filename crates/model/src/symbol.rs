@@ -15,7 +15,15 @@
 use std::collections::HashSet;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+/// Total bytes of interned string content. The table leaks every
+/// distinct string by design (entries are `&'static str` handles and
+/// are never freed), so this counter only grows; operators of
+/// long-running daemons watch it to confirm the vocabulary has
+/// plateaued (see `Symbol::table_bytes`).
+static INTERNED_BYTES: AtomicUsize = AtomicUsize::new(0);
 
 /// A handle to an interned string: the canonical `&'static str` for its
 /// content. Cheap to copy; equality is a pointer compare. Only `intern`
@@ -38,6 +46,7 @@ impl Symbol {
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
         table.insert(leaked);
+        INTERNED_BYTES.fetch_add(leaked.len(), Ordering::Relaxed);
         Symbol(leaked)
     }
 
@@ -49,6 +58,21 @@ impl Symbol {
     /// Number of distinct strings interned so far (diagnostics only).
     pub fn table_len() -> usize {
         interner().lock().expect("symbol table poisoned").len()
+    }
+
+    /// Total bytes of interned string content (diagnostics only).
+    ///
+    /// The interner leaks every distinct string on purpose — handles
+    /// are `&'static str`, so entries can never be freed. Growth is
+    /// bounded by the *vocabulary* of the workload (attribute paths,
+    /// atom aliases, service names), not by its volume: in a
+    /// multi-tenant daemon the counter climbs while new query shapes
+    /// and domains arrive and plateaus once the vocabulary is covered.
+    /// A counter that keeps climbing at a steady rate signals a caller
+    /// interning unbounded data (e.g. tuple *values*) and must be
+    /// treated as a leak.
+    pub fn table_bytes() -> usize {
+        INTERNED_BYTES.load(Ordering::Relaxed)
     }
 
     /// True if the symbol's content equals `s` (no interning of `s`).
@@ -207,6 +231,21 @@ mod tests {
         let mut v = vec![z, a];
         v.sort();
         assert_eq!(v, vec![a, z]);
+    }
+
+    #[test]
+    fn byte_counter_tracks_fresh_interns() {
+        // Other tests intern concurrently, so deltas are lower bounds:
+        // fresh content must grow the counter by at least its length.
+        let before = Symbol::table_bytes();
+        let mut fresh = 0usize;
+        for i in 0..16 {
+            let name = format!("byte-counter-probe-{i}");
+            fresh += name.len();
+            Symbol::intern(&name);
+        }
+        assert!(Symbol::table_bytes() - before >= fresh);
+        assert!(Symbol::table_bytes() >= Symbol::table_len());
     }
 
     #[test]

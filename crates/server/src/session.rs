@@ -1,0 +1,194 @@
+//! Query sessions: the server-side cursor behind liquid-query
+//! continuations.
+//!
+//! Search Computing's interaction model is a *conversation*: the user
+//! sees the first ranked combinations, then asks for **more** results,
+//! **re-ranks** under different weights, or **expands** one join branch
+//! with deeper fetches — all against the answer already extracted,
+//! without restarting the query ("liquid queries"). A [`Session`] keeps
+//! exactly the state those operations need: the parsed query, the
+//! executed plan, the full emitted result universe, and the set of
+//! combinations already delivered to the client.
+//!
+//! Delivery is *ranked and incremental*: every [`Session::next`] call
+//! walks the current ranking order and hands out the best combinations
+//! not yet delivered, so `more` after a `rerank` continues under the new
+//! weights while never repeating a row. Expansion unions freshly
+//! extracted combinations into the universe (deduplicated), after which
+//! the cursor sees them like any other undelivered row.
+
+use std::collections::BTreeSet;
+
+use seco_engine::ResultSet;
+use seco_model::CompositeTuple;
+use seco_plan::QueryPlan;
+use seco_query::{Query, RankingFunction};
+
+/// Identity of a combination within one session: the rendered
+/// `(atom, source-rank, score)` sequence, which is deterministic and
+/// unique per emitted combination of a fixed query.
+fn combo_key(combo: &CompositeTuple) -> String {
+    combo.to_string()
+}
+
+/// Renders ranked rows as JSON objects (score under `ranking`).
+pub fn render_rows(ranking: &RankingFunction, combos: &[CompositeTuple]) -> Vec<serde_json::Value> {
+    combos
+        .iter()
+        .map(|c| {
+            serde_json::json!({
+                "score": ranking.score(c),
+                "combo": c.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// One live query session: the kept execution cursor that `more`,
+/// `rerank`, and `expand` continue from.
+pub struct Session {
+    /// Session identifier (allocated by the server).
+    pub id: u64,
+    /// Tenant the session's service calls are charged to.
+    pub tenant: String,
+    /// The parsed query (ranking arity, `k`, atom names).
+    pub query: Query,
+    /// The executed plan — expansion re-derives deeper-fetch variants
+    /// from it.
+    pub plan: QueryPlan,
+    /// Everything extracted so far, under the session's *current*
+    /// ranking function (which starts as the query's and changes on
+    /// `rerank`).
+    pub set: ResultSet,
+    delivered: BTreeSet<String>,
+}
+
+impl Session {
+    /// Opens a session over one execution's results.
+    pub fn new(id: u64, tenant: String, query: Query, plan: QueryPlan, set: ResultSet) -> Self {
+        Session {
+            id,
+            tenant,
+            query,
+            plan,
+            set,
+            delivered: BTreeSet::new(),
+        }
+    }
+
+    /// Total combinations extracted so far.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when nothing was extracted.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Combinations already handed to the client.
+    pub fn delivered(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// The next `n` best undelivered combinations under the current
+    /// ranking, marked as delivered.
+    pub fn next(&mut self, n: usize) -> Vec<CompositeTuple> {
+        let mut out = Vec::with_capacity(n);
+        for combo in self.set.top_k(self.set.len()) {
+            if out.len() == n {
+                break;
+            }
+            if self.delivered.insert(combo_key(&combo)) {
+                out.push(combo);
+            }
+        }
+        out
+    }
+
+    /// The current top-`n` view (delivered or not, nothing marked) —
+    /// what a client re-reads after changing the ranking.
+    pub fn head(&self, n: usize) -> Vec<CompositeTuple> {
+        self.set.top_k(n)
+    }
+
+    /// Replaces the ranking function; the delivery cursor carries over,
+    /// so subsequent [`Session::next`] calls walk the *new* order.
+    pub fn rerank(&mut self, weights: Vec<f64>) -> Result<(), String> {
+        let ranking = RankingFunction::new(weights).map_err(|e| e.to_string())?;
+        if ranking.arity() != self.query.ranking.arity() {
+            return Err(format!(
+                "ranking needs {} weights (one per atom)",
+                self.query.ranking.arity()
+            ));
+        }
+        self.set.ranking = ranking;
+        Ok(())
+    }
+
+    /// Unions freshly extracted combinations into the universe,
+    /// returning how many were actually new. Known rows keep their
+    /// delivered status; new ones become visible to the cursor.
+    pub fn absorb(&mut self, combos: Vec<CompositeTuple>) -> usize {
+        let known: BTreeSet<String> = self.set.tuples.iter().map(combo_key).collect();
+        let mut added = 0;
+        for combo in combos {
+            if !known.contains(&combo_key(&combo)) {
+                self.set.tuples.push(combo);
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seco_engine::{execute_plan, EngineConfig};
+    use seco_optimizer::{optimize, CostMetric};
+
+    fn session() -> Session {
+        let (registry, query) = seco_bench::chain_scenario(3, 42);
+        let best = optimize(&query, &registry, CostMetric::RequestCount).expect("plan");
+        let out = execute_plan(&best.plan, &registry, EngineConfig::default()).expect("run");
+        let set = ResultSet::new(out.results, query.ranking.clone());
+        Session::new(1, "t".into(), query, best.plan, set)
+    }
+
+    #[test]
+    fn next_is_ranked_and_never_repeats() {
+        let mut s = session();
+        let total = s.len();
+        assert!(total >= 4, "scenario yields enough rows ({total})");
+        let first = s.next(2);
+        let second = s.next(2);
+        assert_eq!(first.len(), 2);
+        assert_eq!(second.len(), 2);
+        let keys: BTreeSet<String> = first.iter().chain(&second).map(combo_key).collect();
+        assert_eq!(keys.len(), 4, "no repeats across pages");
+        // Pages follow the ranked order.
+        let ranked = s.set.top_k(4);
+        let paged: Vec<String> = first.iter().chain(&second).map(combo_key).collect();
+        let expect: Vec<String> = ranked.iter().map(combo_key).collect();
+        assert_eq!(paged, expect);
+    }
+
+    #[test]
+    fn rerank_changes_order_but_keeps_cursor() {
+        let mut s = session();
+        let before = s.next(1);
+        s.rerank(vec![0.0, 0.0, 1.0]).expect("arity matches");
+        let after = s.next(s.len());
+        assert!(!after.iter().any(|c| combo_key(c) == combo_key(&before[0])));
+        assert_eq!(s.delivered(), s.len(), "cursor drained the universe");
+        assert!(s.rerank(vec![1.0]).is_err(), "arity mismatch rejected");
+    }
+
+    #[test]
+    fn absorb_deduplicates() {
+        let mut s = session();
+        let existing = s.set.tuples.clone();
+        assert_eq!(s.absorb(existing), 0, "known rows are not re-added");
+    }
+}

@@ -38,4 +38,15 @@ echo "==> adaptive smoke summary (convergence / ratio / replans)"
 grep -E '"(converged|ratio_vs_informed|replans|epoch_invalidations)"' BENCH_adaptive.json
 grep -q '"converged": true' BENCH_adaptive.json
 
+echo "==> serve_bench --smoke"
+cargo run --release -q -p seco-server --bin bencher -- --smoke
+cp results/BENCH_serve.json BENCH_serve.json
+echo "==> serving smoke summary (aggregate cold vs warm p50, identity)"
+grep -E '"(aggregate_cold_p50_ms|aggregate_warm_p50_ms|warm_faster|concurrent_identical_to_serial)"' \
+  BENCH_serve.json
+# The bencher itself asserts both gates and exits non-zero otherwise;
+# these greps pin the report format.
+grep -q '"warm_faster": true' BENCH_serve.json
+grep -q '"concurrent_identical_to_serial": true' BENCH_serve.json
+
 echo "CI OK"

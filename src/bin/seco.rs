@@ -13,6 +13,9 @@
 //!                [--columnar on|off] [--batch-eval on|off] <query…>
 //! seco stats     [--domain D] [--metric M] [--seed N] [--adaptive] <query…>
 //! seco oracle    [--domain D] [--seed N] <query…>
+//! seco serve     [--domain D] [--metric M] [--seed N] [--addr HOST:PORT]
+//!                [--max-sessions N] [--max-concurrent N] [--tenant-budget N]
+//!                [engine flags as for `run`]
 //! ```
 //!
 //! `optimize` (and `explain`, its superset) runs the parallel
@@ -68,6 +71,15 @@
 //! fetches, promotion state — plus observed join selectivities per
 //! connection pattern.
 //!
+//! `serve` starts the long-running daemon: every query session shares
+//! one registry, plan cache, fetch cache, and statistics accumulator,
+//! so later sessions plan and fetch against state earlier sessions
+//! warmed. Sessions are liquid — `POST /session/<id>/more`, `/rerank`,
+//! and `/expand` continue a kept cursor — and `POST /admin/shutdown`
+//! drains in-flight work before the process exits. `--addr` picks the
+//! listen address (default `127.0.0.1:7361`; port 0 lets the OS pick),
+//! and the admission knobs map 1:1 onto `ServerConfig`.
+//!
 //! `--fault-profile` makes every service inject deterministic faults
 //! (seeded from `--seed`, so two identical invocations produce
 //! byte-identical output) and switches the executor to graceful
@@ -114,6 +126,10 @@ struct Args {
     columnar: bool,
     batch_eval: bool,
     workers: usize,
+    addr: String,
+    max_sessions: usize,
+    max_concurrent: usize,
+    tenant_budget: u64,
     query: String,
 }
 
@@ -140,6 +156,13 @@ fn parse_args() -> Result<Args, String> {
     let mut columnar = defaults.columnar.columnar;
     let mut batch_eval = defaults.columnar.batch_eval;
     let mut workers = 1usize;
+    // Serving defaults come from `ServerConfig::default()` so the CLI
+    // cannot drift from the server crate's own admission defaults.
+    let server_defaults = search_computing::server::ServerConfig::default();
+    let mut addr = "127.0.0.1:7361".to_owned();
+    let mut max_sessions = server_defaults.max_sessions;
+    let mut max_concurrent = server_defaults.max_concurrent;
+    let mut tenant_budget = server_defaults.tenant_budget;
     let mut query_parts: Vec<String> = Vec::new();
     let parse_join_index = |mode: &str| match mode {
         "off" | "nested" => Ok(JoinIndexMode::Off),
@@ -212,6 +235,28 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad shard count: {e}"))?;
             }
+            "--addr" => addr = argv.next().ok_or("--addr needs a value")?,
+            "--max-sessions" => {
+                max_sessions = argv
+                    .next()
+                    .ok_or("--max-sessions needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad session cap: {e}"))?;
+            }
+            "--max-concurrent" => {
+                max_concurrent = argv
+                    .next()
+                    .ok_or("--max-concurrent needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad concurrency cap: {e}"))?;
+            }
+            "--tenant-budget" => {
+                tenant_budget = argv
+                    .next()
+                    .ok_or("--tenant-budget needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad budget: {e}"))?;
+            }
             "--workers" => {
                 workers = argv
                     .next()
@@ -265,18 +310,25 @@ fn parse_args() -> Result<Args, String> {
         columnar,
         batch_eval,
         workers,
+        addr,
+        max_sessions,
+        max_concurrent,
+        tenant_budget,
         query: query_parts.join(" "),
     })
 }
 
 fn usage() -> String {
-    "usage: seco <services|explain|optimize|run|stats|oracle> [--domain entertainment|travel] \
+    "usage: seco <services|explain|optimize|run|stats|oracle|serve> \
+     [--domain entertainment|travel] \
      [--metric execution-time|sum|request-count|bottleneck|time-to-screen] \
      [--seed N] [--workers N] [--parallel] [--fault-profile none|flaky|outage] \
      [--deadline-ms N] [--cache-shards N] [--prefetch] \
      [--join-index off|hash] [--tile-prune] [--rank-join] [--nary-join] \
      [--adaptive] [--adaptive-threshold N] \
-     [--columnar on|off] [--batch-eval on|off] <query>"
+     [--columnar on|off] [--batch-eval on|off] \
+     [--addr HOST:PORT] [--max-sessions N] [--max-concurrent N] \
+     [--tenant-budget N] <query>"
         .to_owned()
 }
 
@@ -531,6 +583,13 @@ fn cmd_stats(
             registry.epoch_invalidations()
         );
     }
+    // The interner leaks distinct names by design: growth tracks the
+    // workload's vocabulary, not its volume (see Symbol::table_bytes).
+    println!(
+        "\ninterner: {} symbols, {} bytes (grow-only, bounded by vocabulary)",
+        search_computing::model::Symbol::table_len(),
+        search_computing::model::Symbol::table_bytes()
+    );
     Ok(())
 }
 
@@ -545,6 +604,30 @@ fn cmd_oracle(registry: &ServiceRegistry, query_src: &str) -> Result<(), String>
     for combo in answers.iter().take(query.k) {
         println!("  score={:.3}  {combo}", query.ranking.score(combo));
     }
+    Ok(())
+}
+
+fn cmd_serve(registry: ServiceRegistry, args: &Args, opts: EngineConfig) -> Result<(), String> {
+    use search_computing::server::{Server, ServerConfig, ServerState};
+    let config = ServerConfig {
+        engine: opts,
+        metric: args.metric,
+        max_sessions: args.max_sessions,
+        max_concurrent: args.max_concurrent,
+        tenant_budget: args.tenant_budget,
+        ..Default::default()
+    };
+    let state = ServerState::new(registry, config);
+    let server = Server::bind(&args.addr, state).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "serving {} on http://{addr} — POST /query, POST /session/<id>/(more|rerank|expand), \
+         GET /stats, POST /admin/(promote|shutdown)",
+        args.domain
+    );
+    // Blocks until `POST /admin/shutdown` drains the daemon.
+    server.run();
+    println!("drained; bye");
     Ok(())
 }
 
@@ -606,6 +689,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&registry, args.metric, args.parallel, opts, &args.query),
         "stats" => cmd_stats(&registry, args.metric, opts, &args.query),
         "oracle" => cmd_oracle(&registry, &args.query),
+        "serve" => cmd_serve(registry, &args, opts),
         _ => Err(usage()),
     };
     match outcome {

@@ -60,6 +60,7 @@ pub use seco_model as model;
 pub use seco_optimizer as optimizer;
 pub use seco_plan as plan;
 pub use seco_query as query;
+pub use seco_server as server;
 pub use seco_services as services;
 
 pub use error::{Retryable, SecoError};
@@ -68,8 +69,9 @@ pub use error::{Retryable, SecoError};
 pub mod prelude {
     pub use crate::error::{Retryable, SecoError};
     pub use seco_engine::{
-        execute_parallel, execute_parallel_with, execute_plan, EngineConfig, FailureMode,
-        FetchOptions, ParallelOutcome, ResultSet,
+        execute_parallel, execute_parallel_session, execute_parallel_with, execute_plan,
+        execute_plan_shared, EngineConfig, FailureMode, FetchOptions, ParallelOutcome, ResultSet,
+        SharedState,
     };
     pub use seco_join::{
         ColumnarOptions, JoinIndexMode, JoinIndexOptions, JoinMethod, JoinStats, Topology,
