@@ -66,6 +66,7 @@ fn bench_join_methods(c: &mut Criterion) {
                             k: 10,
                             options: seco_join::JoinIndexOptions::default(),
                             columnar: seco_join::ColumnarOptions::default(),
+                            pool: None,
                         };
                         exec.run(&mut x, &mut y).expect("join runs")
                     })

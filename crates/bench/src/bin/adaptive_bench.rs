@@ -1,5 +1,5 @@
 //! `adaptive_bench` — the adaptive re-optimization experiment,
-//! emitting `BENCH_adaptive.json`.
+//! emitting `results/BENCH_adaptive.json`.
 //!
 //! Usage:
 //!   cargo run --release -p seco-bench --bin adaptive_bench            # full

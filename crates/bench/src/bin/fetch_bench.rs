@@ -1,6 +1,6 @@
 //! `fetch_bench` — benchmarks of the fetch layer (sharded response
 //! cache, request coalescing, speculative chunk prefetch), emitting the
-//! `BENCH_fetch.json` baseline that seeds the perf trajectory.
+//! `results/BENCH_fetch.json` baseline that seeds the perf trajectory.
 //!
 //! Usage:
 //!   cargo run --release -p seco-bench --bin fetch_bench            # full

@@ -1,12 +1,12 @@
 //! `join_bench` — benchmarks of the zero-copy tuple data plane
 //! (shared immutable tuples, interned symbols, thin composites),
-//! emitting `BENCH_join.json`.
+//! emitting `results/BENCH_join.json`.
 //!
 //! Usage:
 //!   cargo run --release -p seco-bench --bin join_bench            # full
 //!   cargo run --release -p seco-bench --bin join_bench -- --smoke # CI
 //!
-//! Seven benchmarks:
+//! Eight benchmarks:
 //!
 //! * **data-plane** — the chunk→composite→merge path of a tile-space
 //!   join, twice over identical inputs: the zero-copy plane (handle
@@ -38,7 +38,12 @@
 //!   fewer chunk fetches and a ≥2× faster time-to-kth;
 //! * **nary-vs-cascade** — the n-ary kernel over three services vs
 //!   the materializing two-stage binary cascade: byte-identical, all
-//!   intermediates elided, join-loop wall clock compared.
+//!   intermediates elided, join-loop wall clock compared;
+//! * **parallel-vs-serial** — the morsel executor at 1/2/4/8 workers
+//!   over large-chunk tile joins (batch-scan and hash-probe configs):
+//!   byte-identical at every count, with measured wall clock and the
+//!   modeled makespan speedup (≥2x at 4 workers full, ≥1.3x smoke;
+//!   see DESIGN.md on single-core hosts).
 
 use std::time::Instant;
 
@@ -390,6 +395,20 @@ fn run_indexed_join(
     options: JoinIndexOptions,
     columnar: ColumnarOptions,
 ) -> Result<(JoinOutcome, f64), DynError> {
+    run_pooled_join(total, chunk, width, options, columnar, None)
+}
+
+/// [`run_indexed_join`] with an optional morsel pool: the kernel fans
+/// each tile's row loop across the pool's workers and the ordered
+/// reducer reassembles the output in row order.
+fn run_pooled_join(
+    total: usize,
+    chunk: usize,
+    width: usize,
+    options: JoinIndexOptions,
+    columnar: ColumnarOptions,
+    pool: Option<std::sync::Arc<seco_exec::ExecPool>>,
+) -> Result<(JoinOutcome, f64), DynError> {
     let (sx, sy) = join_pair_with_width(
         ScoreDecay::Linear,
         ScoreDecay::Quadratic,
@@ -418,11 +437,120 @@ fn run_indexed_join(
         k: 0,
         options,
         columnar,
+        pool,
     };
     let start = Instant::now();
     let out = exec.run(&mut x, &mut y)?;
     let ms = start.elapsed().as_secs_f64() * 1e3;
     Ok((out, ms))
+}
+
+/// The morsel executor vs the serial kernel on large-chunk configs:
+/// workers ∈ {1, 2, 4, 8} over the same tile-space join,
+/// byte-identical output asserted at every count.
+///
+/// Speedup accounting: this is a wall-clock sweep on a machine that
+/// may have a single core, where real parallel speedup is physically
+/// impossible. The pool therefore keeps two duration counters from
+/// the *measured* per-morsel execution times: `serial_micros` (their
+/// sum — the one-thread cost of exactly the work that ran) and
+/// `makespan_micros` (per batch, `max(longest morsel, sum/workers)` —
+/// the greedy-scheduling lower bound on the batch's completion time
+/// at the configured worker count). Their ratio is the modeled
+/// speedup an N-core host gets from this exact morsel decomposition;
+/// measured wall clock is reported alongside so nothing hides.
+fn bench_parallel_vs_serial(
+    total: usize,
+    chunk: usize,
+    target: f64,
+) -> Result<serde_json::Value, DynError> {
+    let configs = [
+        // Nested loop + batch predicate eval: every row scans the
+        // whole Y tile through the vectorized kernels — the heaviest
+        // per-row work, decomposed as row-segment morsels.
+        ("batch-scan", JoinIndexMode::Off, 10usize),
+        // Hash probe: per-row index probes on a sparse link domain.
+        ("hash-probe", JoinIndexMode::Hash, 50usize),
+    ];
+    let mut out_configs = Vec::new();
+    let mut speedup_at_4 = f64::INFINITY;
+    for (label, mode, width) in configs {
+        let options = JoinIndexOptions {
+            mode,
+            ..JoinIndexOptions::default()
+        };
+        let columnar = ColumnarOptions::default();
+        let (reference, serial_ms) = run_indexed_join(total, chunk, width, options, columnar)?;
+        let mut sweeps = vec![serde_json::json!({
+            "workers": 1usize,
+            "wall_ms": serial_ms,
+            "serial_us": serde_json::Value::Null,
+            "makespan_us": serde_json::Value::Null,
+            "modeled_speedup": 1.0,
+            "morsels": 0u64,
+            "steals": 0u64,
+            "identical": true,
+        })];
+        for workers in [2usize, 4, 8] {
+            let pool = std::sync::Arc::new(seco_exec::ExecPool::new(workers));
+            let (out, wall_ms) =
+                run_pooled_join(total, chunk, width, options, columnar, Some(pool.clone()))?;
+            let stats = pool.stats();
+            pool.shutdown();
+            assert_eq!(
+                out.results, reference.results,
+                "{label}: pooled output diverged at {workers} workers"
+            );
+            assert!(
+                stats.morsels > 0,
+                "{label}: the sweep must actually engage the morsel path"
+            );
+            let modeled = stats.serial_micros as f64 / (stats.makespan_micros.max(1)) as f64;
+            if workers == 4 {
+                speedup_at_4 = speedup_at_4.min(modeled);
+            }
+            sweeps.push(serde_json::json!({
+                "workers": workers,
+                "wall_ms": wall_ms,
+                "serial_us": stats.serial_micros,
+                "makespan_us": stats.makespan_micros,
+                "modeled_speedup": modeled,
+                "morsels": stats.morsels,
+                "steals": stats.steals,
+                "identical": true,
+            }));
+            println!(
+                "  parallel-vs-serial {label} workers={workers}: wall {wall_ms:.1} ms \
+                 (serial {serial_ms:.1} ms), modeled speedup {modeled:.2}x \
+                 ({} morsels, {} steals)",
+                stats.morsels, stats.steals
+            );
+        }
+        out_configs.push(serde_json::json!({
+            "config": label,
+            "mode": format!("{mode:?}"),
+            "total": total,
+            "chunk": chunk,
+            "width": width,
+            "results": reference.results.len(),
+            "sweep": sweeps,
+        }));
+    }
+    let pass = speedup_at_4 >= target;
+    assert!(
+        pass,
+        "modeled speedup at 4 workers {speedup_at_4:.2}x misses the {target:.1}x target"
+    );
+    Ok(serde_json::json!({
+        "host_cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "note": "wall clock is measured on this host; modeled speedup is \
+                 serial_micros/makespan_micros from measured per-morsel times \
+                 under the greedy-scheduling bound (see DESIGN.md)",
+        "configs": out_configs,
+        "modeled_speedup_at_4_workers": speedup_at_4,
+        "target": target,
+        "pass": pass,
+    }))
 }
 
 /// The hash-index kernel vs the nested loop at varying selectivity and
@@ -719,6 +847,7 @@ fn bench_rank_vs_full(total: usize) -> Result<serde_json::Value, DynError> {
         k: 0,
         options: JoinIndexOptions::default(),
         columnar: ColumnarOptions::default(),
+        pool: None,
     };
     let mut x = ServiceStream::new("X", sx.as_ref(), req.clone());
     let mut y = ServiceStream::new("Y", sy.as_ref(), req.clone());
@@ -741,6 +870,7 @@ fn bench_rank_vs_full(total: usize) -> Result<serde_json::Value, DynError> {
         k,
         options: JoinIndexOptions::default(),
         columnar: ColumnarOptions::default(),
+        pool: None,
     };
     let space = TileSpace::new(
         ScoringFunction::new(ScoreDecay::Linear, total, chunk)?,
@@ -879,9 +1009,11 @@ fn bench_nary_vs_cascade(rows: usize, iters: usize) -> Result<serde_json::Value,
         k: 0,
         options: JoinIndexOptions::default(),
         columnar: ColumnarOptions::default(),
+        pool: None,
     };
     let e2 = ParallelJoinExecutor {
         predicates: &p2,
+        pool: None,
         ..e1
     };
 
@@ -918,6 +1050,7 @@ fn bench_nary_vs_cascade(rows: usize, iters: usize) -> Result<serde_json::Value,
     let nj = NaryJoin {
         schemas: &schemas,
         tile_prune: false,
+        pool: None,
     };
     let groups = [a, b, c];
     let stages = [s1, s2];
@@ -998,6 +1131,7 @@ fn check_tile_representatives() -> Result<(), DynError> {
         k: 0,
         options: JoinIndexOptions::default(),
         columnar: ColumnarOptions::default(),
+        pool: None,
     };
     let out = exec.run(&mut x, &mut y)?;
     assert_eq!(out.tiles.len(), out.tile_representatives.len());
@@ -1029,6 +1163,13 @@ fn main() -> Result<(), DynError> {
             if smoke { 100 } else { 200 },
             if smoke { 3 } else { 10 },
         )?,
+        "parallel_vs_serial": if smoke {
+            // CI floor: the modeled speedup must clear 1.3x at 4
+            // workers even on the small smoke shapes.
+            bench_parallel_vs_serial(240, 120, 1.3)?
+        } else {
+            bench_parallel_vs_serial(1_200, 400, 2.0)?
+        },
     });
     std::fs::create_dir_all("results")?;
     std::fs::write(

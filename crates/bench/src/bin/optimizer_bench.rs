@@ -1,6 +1,6 @@
 //! `optimizer_bench` — benchmarks of the parallel branch-and-bound
 //! optimizer (shared-incumbent search, incremental annotation, plan
-//! cache), emitting `BENCH_optimizer.json`.
+//! cache), emitting `results/BENCH_optimizer.json`.
 //!
 //! Usage:
 //!   cargo run --release -p seco-bench --bin optimizer_bench            # full

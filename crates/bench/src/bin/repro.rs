@@ -314,6 +314,7 @@ fn run_join(
         k,
         options: seco_join::JoinIndexOptions::default(),
         columnar: seco_join::ColumnarOptions::default(),
+        pool: None,
     };
     let out = exec.run(&mut x, &mut y)?;
     Ok((out.calls_x + out.calls_y, out.results))
@@ -1025,6 +1026,7 @@ fn e17() -> Result<(), DynError> {
             k,
             options: seco_join::JoinIndexOptions::default(),
             columnar: seco_join::ColumnarOptions::default(),
+            pool: None,
         };
         let out = exec.run(&mut x, &mut y)?;
         let service_ms = out.calls_x as f64 * tx + out.calls_y as f64 * ty;

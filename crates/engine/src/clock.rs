@@ -343,6 +343,7 @@ mod tests {
             k: 0,
             options: seco_join::JoinIndexOptions::default(),
             columnar: seco_join::ColumnarOptions::default(),
+            pool: None,
         };
         // Clock-paced run at ratio 1:3.
         let mut pacer = ClockPacing::new(1, 3, 1);

@@ -80,6 +80,14 @@ pub struct EngineConfig {
     pub adaptive_threshold: f64,
     /// Cost metric the mid-flight re-planner optimizes.
     pub adaptive_metric: CostMetric,
+    /// Worker count of the shared morsel executor pool. `1` (the
+    /// default) takes the exact serial join code path — no pool is
+    /// consulted and output is the byte-identical baseline. Larger
+    /// values decompose tile joins, n-ary intersections, and batch
+    /// predicate evaluation into morsels on a work-stealing pool; a
+    /// deterministic ordered reducer keeps output byte-identical to
+    /// serial at any worker count.
+    pub exec_workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -96,6 +104,7 @@ impl Default for EngineConfig {
             adaptive: false,
             adaptive_threshold: 10.0,
             adaptive_metric: CostMetric::ExecutionTime,
+            exec_workers: 1,
         }
     }
 }
@@ -198,6 +207,12 @@ impl EngineConfig {
         self.adaptive_metric = metric;
         self
     }
+
+    /// Sets the morsel-executor worker count (1 = exact serial path).
+    pub fn exec_workers(mut self, workers: usize) -> Self {
+        self.exec_workers = workers.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -221,7 +236,8 @@ mod tests {
             .nary_join(true)
             .adaptive(true)
             .adaptive_threshold(4.0)
-            .adaptive_metric(CostMetric::RequestCount);
+            .adaptive_metric(CostMetric::RequestCount)
+            .exec_workers(4);
         assert_eq!(cfg.join_k, 7);
         assert_eq!(cfg.failure_mode, FailureMode::Degrade);
         assert!(cfg.client.is_some());
@@ -236,6 +252,9 @@ mod tests {
         assert!(cfg.adaptive);
         assert_eq!(cfg.adaptive_threshold, 4.0);
         assert_eq!(cfg.adaptive_metric, CostMetric::RequestCount);
+        assert_eq!(cfg.exec_workers, 4);
+        // Zero is clamped to the serial floor, never a workerless pool.
+        assert_eq!(EngineConfig::default().exec_workers(0).exec_workers, 1);
     }
 
     #[test]
@@ -248,5 +267,6 @@ mod tests {
         assert!(!cfg.adaptive, "adaptive must default off (byte-identity)");
         assert_eq!(cfg.adaptive_threshold, 10.0);
         assert_eq!(cfg.adaptive_metric, CostMetric::ExecutionTime);
+        assert_eq!(cfg.exec_workers, 1, "serial path must be the default");
     }
 }

@@ -309,6 +309,19 @@ fn run_pass(
         }
     };
     let clock = state.clock().clone();
+    // Morsel pool for the join kernels: with `exec_workers > 1` reuse
+    // the daemon's shared pool (same worker budget for every session)
+    // or spin up a pass-local one; the ordered reducer keeps output
+    // byte-identical to serial either way. `exec_workers == 1` passes
+    // no pool at all — the kernels take their exact serial code path.
+    let exec_pool: Option<Arc<seco_exec::ExecPool>> = if options.exec_workers > 1 {
+        Some(match state.exec_pool() {
+            Some(p) => p.clone(),
+            None => Arc::new(seco_exec::ExecPool::new(options.exec_workers)),
+        })
+    } else {
+        None
+    };
     let cache_cfg = options.fetch.cache();
     let mut degraded: BTreeSet<String> = BTreeSet::new();
     // Whether each node's output is already partial (some upstream
@@ -537,6 +550,7 @@ fn run_pass(
                         let nj = NaryJoin {
                             schemas: &schemas,
                             tile_prune: options.join_index.tile_prune,
+                            pool: exec_pool.clone(),
                         };
                         nj.run(&groups, &stages)?
                     };
@@ -562,6 +576,7 @@ fn run_pass(
                                     k: options.join_k,
                                     options: options.join_index,
                                     columnar: options.columnar,
+                                    pool: exec_pool.clone(),
                                 };
                                 let mut sl = seco_join::executor::MemoryStream::new(cur, *lc);
                                 let mut sr = seco_join::executor::MemoryStream::new(right, *rc);
@@ -605,6 +620,7 @@ fn run_pass(
                         k: options.join_k,
                         options: options.join_index,
                         columnar: options.columnar,
+                        pool: exec_pool.clone(),
                     };
                     let rank = options.rank_join
                         && options.join_k > 0

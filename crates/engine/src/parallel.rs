@@ -310,14 +310,39 @@ pub fn execute_parallel_session(
         }
     }
     let stacks = &stacks;
-    let prefetch_pool = state.prefetch_pool();
+    // Executor pool resolution. A daemon's shared pool serves every
+    // session; a one-shot run with `exec_workers > 1` builds a
+    // run-local pool (dropped — drained and joined — on return). The
+    // pool's *compute tier* runs join morsels and detached prefetch
+    // speculation; its *elastic blocking tier* runs the plan-node
+    // tasks below, which block on channel rendezvous and therefore
+    // must never occupy a bounded compute worker.
+    let local_pool;
+    let exec_pool: Option<&Arc<seco_exec::ExecPool>> = match state.exec_pool() {
+        Some(p) => Some(p),
+        None if options.exec_workers > 1 => {
+            local_pool = Arc::new(seco_exec::ExecPool::new(options.exec_workers));
+            Some(&local_pool)
+        }
+        None => None,
+    };
+    // Morsel parallelism inside the join kernels is opt-in via
+    // `exec_workers`: at 1 the kernels take their exact serial path
+    // even when a daemon pool exists for prefetch and node fan-out.
+    let join_pool: Option<Arc<seco_exec::ExecPool>> = if options.exec_workers > 1 {
+        exec_pool.cloned()
+    } else {
+        None
+    };
+    let join_pool = &join_pool;
 
     let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
     let output: Mutex<Vec<CompositeTuple>> = Mutex::new(Vec::new());
     let degraded: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
     let join_stats: Mutex<JoinStats> = Mutex::new(JoinStats::default());
 
-    std::thread::scope(|scope| {
+    let mut node_tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+    {
         for id in plan.node_ids() {
             if nary_elided[id.0] {
                 // Absorbed into a fused chain: its channels were
@@ -347,7 +372,7 @@ pub fn execute_parallel_session(
             let join_stats = &join_stats;
             let ancestors = &ancestors;
             let query = &plan.query;
-            scope.spawn(move || {
+            node_tasks.push(Box::new(move || {
                 let fail = |e: EngineError| {
                     let mut slot = first_error.lock();
                     if slot.is_none() {
@@ -417,7 +442,7 @@ pub fn execute_parallel_session(
                                 // engine state's lifetime); one-shot
                                 // mode spawns per-fetch threads joined
                                 // at stage end.
-                                let mut pf = match prefetch_pool {
+                                let mut pf = match exec_pool {
                                     Some(pool) => Prefetcher::new(base, svc.fetches as usize)
                                         .via_pool(pool.clone()),
                                     None => Prefetcher::new(base, svc.fetches as usize)
@@ -547,6 +572,7 @@ pub fn execute_parallel_session(
                             NaryJoin {
                                 schemas,
                                 tile_prune: options.join_index.tile_prune,
+                                pool: join_pool.clone(),
                             }
                             .run(&groups, &stages)
                         };
@@ -570,6 +596,7 @@ pub fn execute_parallel_session(
                                         k: options.join_k,
                                         options: options.join_index,
                                         columnar: options.columnar,
+                                        pool: join_pool.clone(),
                                     };
                                     let mut sl = seco_join::executor::MemoryStream::new(cur, 10);
                                     let mut sr = seco_join::executor::MemoryStream::new(
@@ -628,6 +655,7 @@ pub fn execute_parallel_session(
                             k: options.join_k,
                             options: options.join_index,
                             columnar: options.columnar,
+                            pool: join_pool.clone(),
                         };
                         // Both channels are closed by now, so every
                         // upstream degradation is already recorded.
@@ -692,9 +720,24 @@ pub fn execute_parallel_session(
                         }
                     }
                 }
+            }));
+        }
+    }
+    // One task per live plan node. On a pooled run the tasks go to the
+    // pool's elastic blocking tier — threads there are reused across
+    // queries and bounded by the pool's lifetime; without a pool this
+    // is the historical scoped-thread fan-out. Both join every task
+    // before returning.
+    match exec_pool {
+        Some(pool) => pool.scope_blocking(node_tasks),
+        None => {
+            std::thread::scope(|scope| {
+                for task in node_tasks {
+                    scope.spawn(task);
+                }
             });
         }
-    });
+    }
 
     if let Some(e) = first_error.lock().take() {
         return Err(e);

@@ -10,11 +10,13 @@
 //! concurrent query sessions can execute against the same stacks, and
 //! every cache hit earned by one request benefits the next.
 //!
-//! The state also owns the optional [`PrefetchPool`]: background
-//! speculation threads of a daemon live exactly as long as this value.
-//! Dropping it (or calling [`SharedState::shutdown`]) stops and joins
-//! the pool's workers — nothing spawned on behalf of an execution can
-//! outlive the engine state that requested it.
+//! The state also owns the optional shared [`seco_exec::ExecPool`]:
+//! every thread a daemon execution needs — morsel workers for the join
+//! kernels, background prefetch speculation, pipelined plan-node
+//! fan-out — lives exactly as long as this value. Dropping it (or
+//! calling [`SharedState::shutdown`]) stops and joins the pool's
+//! workers — nothing spawned on behalf of an execution can outlive the
+//! engine state that requested it.
 //!
 //! Accounting caveat: the virtual clock is shared too, so `busy_ms` /
 //! `critical_ms` deltas measured by concurrent executions overlap on
@@ -28,9 +30,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use seco_services::{
-    CachingService, CallRecorder, PrefetchPool, Service, ServiceClient, VirtualClock,
-};
+use seco_exec::ExecPool;
+use seco_services::{CachingService, CallRecorder, Service, ServiceClient, VirtualClock};
 
 use crate::config::EngineConfig;
 
@@ -54,8 +55,10 @@ enum ClockMode {
 }
 
 /// Cross-request execution state: per-service fetch stacks, the shared
-/// virtual clock, and the daemon's speculation pool. Cheap to share
-/// (`Arc<SharedState>`), safe to use from concurrent sessions.
+/// virtual clock, and the daemon's work-stealing executor pool — one
+/// pool shared by every session's morsels, prefetches, and plan-node
+/// tasks. Cheap to share (`Arc<SharedState>`), safe to use from
+/// concurrent sessions.
 ///
 /// Stacks are built lazily from the *first* execution's
 /// [`EngineConfig`] that touches each service; a daemon runs all
@@ -63,14 +66,14 @@ enum ClockMode {
 /// ready-made and warm.
 pub struct SharedState {
     clock: Arc<VirtualClock>,
-    pool: Option<Arc<PrefetchPool>>,
+    pool: Option<Arc<ExecPool>>,
     stacks: Mutex<BTreeMap<(String, ClockMode), Stack>>,
 }
 
 impl SharedState {
-    /// Fresh state with no speculation pool: background prefetches
-    /// spawn short-lived threads exactly as the one-shot executors
-    /// always did.
+    /// Fresh state with no executor pool: joins run serially and
+    /// background prefetches spawn short-lived threads exactly as the
+    /// one-shot executors always did.
     pub fn new() -> Self {
         SharedState {
             clock: VirtualClock::new(),
@@ -79,13 +82,15 @@ impl SharedState {
         }
     }
 
-    /// Daemon-grade state: background speculation runs on a pool of
-    /// `prefetch_workers` threads owned by this value and stopped when
-    /// it drops.
-    pub fn for_daemon(prefetch_workers: usize) -> Self {
+    /// Daemon-grade state: join morsels, background speculation, and
+    /// plan-node fan-out all run on one work-stealing pool of
+    /// `exec_workers` threads owned by this value and stopped when it
+    /// drops. `exec_workers = 1` keeps the pool for prefetch/fan-out
+    /// but executions take the exact serial join code path.
+    pub fn for_daemon(exec_workers: usize) -> Self {
         SharedState {
             clock: VirtualClock::new(),
-            pool: Some(Arc::new(PrefetchPool::new(prefetch_workers))),
+            pool: Some(Arc::new(ExecPool::new(exec_workers))),
             stacks: Mutex::new(BTreeMap::new()),
         }
     }
@@ -95,8 +100,8 @@ impl SharedState {
         &self.clock
     }
 
-    /// The speculation pool, when this state owns one.
-    pub fn prefetch_pool(&self) -> Option<&Arc<PrefetchPool>> {
+    /// The shared executor pool, when this state owns one.
+    pub fn exec_pool(&self) -> Option<&Arc<ExecPool>> {
         self.pool.as_ref()
     }
 
@@ -105,10 +110,10 @@ impl SharedState {
         self.stacks.lock().len()
     }
 
-    /// Stops background speculation: pool workers are joined and
-    /// further submissions are refused. Prepared stacks stay usable —
-    /// demand fetches never depended on the pool. Idempotent; also
-    /// implied by drop.
+    /// Stops the executor pool: queued work is drained, workers are
+    /// joined, and further submissions are refused. Prepared stacks
+    /// stay usable — demand fetches never depended on the pool.
+    /// Idempotent; also implied by drop.
     pub fn shutdown(&self) {
         if let Some(pool) = &self.pool {
             pool.shutdown();
@@ -198,9 +203,9 @@ mod tests {
     #[test]
     fn shutdown_stops_the_daemon_pool() {
         let state = SharedState::for_daemon(2);
-        let pool = state.prefetch_pool().expect("daemon state has a pool");
-        assert_eq!(pool.workers_alive(), 2);
+        let pool = state.exec_pool().expect("daemon state has a pool");
+        assert_eq!(pool.threads_alive(), 2);
         state.shutdown();
-        assert_eq!(pool.workers_alive(), 0);
+        assert_eq!(pool.threads_alive(), 0);
     }
 }

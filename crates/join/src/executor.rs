@@ -225,6 +225,12 @@ pub struct ParallelJoinExecutor<'p> {
     /// vectorized batch predicate evaluation. Both default on; both are
     /// byte-identical to the row-at-a-time plane.
     pub columnar: ColumnarOptions,
+    /// Shared executor pool for intra-tile morsel parallelism. `None`
+    /// (or a one-worker pool) takes the exact serial code path; with
+    /// more workers, each tile's X rows are split into segments that
+    /// run as pool morsels and are reduced in segment order, keeping
+    /// output and counters byte-identical to the serial kernel.
+    pub pool: Option<Arc<seco_exec::ExecPool>>,
 }
 
 /// Per-run mutable state of the index-accelerated kernel: the reusable
@@ -233,21 +239,46 @@ pub struct ParallelJoinExecutor<'p> {
 /// buffers, and the work counters.
 #[derive(Default)]
 pub(crate) struct RunState {
-    scratch: EvalScratch,
+    ws: RowScratch,
     plans: Vec<KeyPlan>,
     /// Per Y chunk: `None` = not examined yet; `Some(None)` = no usable
     /// key plan (nested loop); `Some(Some(ix))` = built index.
     indexes_y: Vec<Option<Option<JoinIndex>>>,
     /// Per X chunk: cached probe keys, one entry per plan encountered.
     probes_x: Vec<Vec<ProbeKeys>>,
+    pub(crate) stats: JoinStats,
+}
+
+/// Per-worker evaluation scratch: everything a row-range morsel needs
+/// that is written during evaluation. The serial path uses the one
+/// inside [`RunState`]; each parallel morsel allocates its own.
+#[derive(Default)]
+struct RowScratch {
+    scratch: EvalScratch,
     /// Selection mask reused by whole-chunk batch kernels.
     mask: BitMask,
     /// Candidate index list reused by the probe path.
     cand: Vec<usize>,
     /// Copy of `cand` consumed destructively by batch residual kernels.
     cand_scratch: Vec<usize>,
-    pub(crate) stats: JoinStats,
 }
+
+/// Everything a tile's row loop reads but never writes, gathered after
+/// the serial ensure phase (index build, probe-key extraction, batch
+/// preparation) so row-range morsels can share it by reference.
+struct TileCtx<'a> {
+    compiled: Option<&'a CompiledPredicates>,
+    cx: &'a [CompositeTuple],
+    cy: &'a [CompositeTuple],
+    batch: Option<(&'a BatchPlan, &'a [ColumnRef<'a>])>,
+    probe: Option<(&'a JoinIndex, &'a ProbeKeys)>,
+}
+
+/// Minimum X rows per morsel: below this, per-task overhead dominates.
+pub(crate) const PAR_MIN_SEG: usize = 16;
+/// Minimum candidate pairs in a tile before the kernel bothers to fan
+/// out; small tiles stay on the exact serial path.
+pub(crate) const PAR_MIN_PAIRS: usize = 4096;
 
 impl ParallelJoinExecutor<'_> {
     /// Runs the join to completion or to the `k` target, pacing calls
@@ -547,18 +578,15 @@ impl ParallelJoinExecutor<'_> {
         let cx = &chunk_x.composites;
         let cy = &chunk_y.composites;
         let Some(compiled) = compiled else {
-            for a in cx {
-                for b in cy {
-                    let Some(candidate) = a.merge(b) else {
-                        continue;
-                    };
-                    st.stats.predicate_evals += 1;
-                    if satisfies_available(self.predicates, &candidate, self.schemas)? {
-                        out.push(candidate);
-                    }
-                }
-            }
-            return Ok(());
+            let ctx = TileCtx {
+                compiled: None,
+                cx,
+                cy,
+                batch: None,
+                probe: None,
+            };
+            let RunState { ws, stats, .. } = st;
+            return self.run_tile_rows(&ctx, ws, stats, out);
         };
 
         // Build (or reuse) the Y chunk's index.
@@ -621,11 +649,144 @@ impl ParallelJoinExecutor<'_> {
                 (plan, refs)
             });
 
-        let Some(index) = st.indexes_y[yi].as_ref().and_then(|ix| ix.as_ref()) else {
+        // Extract (or reuse) the X chunk's probe keys when the Y chunk
+        // has an index, and apply index-emptiness pruning: when every
+        // composite on both sides is keyed and no probe key has a
+        // bucket, every pair mismatches on an equi conjunct — the tile
+        // cannot contribute a result.
+        let has_index = st.indexes_y[yi].as_ref().is_some_and(Option::is_some);
+        if has_index {
+            let plan_id = st.indexes_y[yi].as_ref().unwrap().as_ref().unwrap().plan_id;
+            if !st.probes_x[xi].iter().any(|p| p.plan_id == plan_id) {
+                let pk = ProbeKeys::build(&st.plans[plan_id], plan_id, cx);
+                st.probes_x[xi].push(pk);
+            }
+            let index = st.indexes_y[yi].as_ref().unwrap().as_ref().unwrap();
+            let probe = st.probes_x[xi]
+                .iter()
+                .find(|p| p.plan_id == plan_id)
+                .expect("probe keys cached above");
+            if probe.all_keyed
+                && index.unkeyed.is_empty()
+                && probe
+                    .distinct
+                    .iter()
+                    .all(|k| !index.buckets.contains_key(k))
+            {
+                st.stats.tiles_pruned += 1;
+                st.stats.pairs_skipped += (cx.len() * cy.len()) as u64;
+                return Ok(());
+            }
+        }
+
+        // The ensure phase is done; split the run state so the morsel
+        // loop can share the caches immutably while writing scratch,
+        // stats, and results.
+        let RunState {
+            ws,
+            indexes_y,
+            probes_x,
+            stats,
+            ..
+        } = st;
+        let probe = if has_index {
+            let index = indexes_y[yi].as_ref().unwrap().as_ref().unwrap();
+            let probe = probes_x[xi]
+                .iter()
+                .find(|p| p.plan_id == index.plan_id)
+                .expect("probe keys cached above");
+            Some((index, probe))
+        } else {
             // Compiled nested loop: no equi key applies to this chunk.
-            for a in cx {
-                if let Some((plan, cols)) = &batch {
-                    if batch_scan_chunk(plan, cols, a, cy, &mut st.mask, &mut st.stats, out) {
+            None
+        };
+        let ctx = TileCtx {
+            compiled: Some(compiled),
+            cx,
+            cy,
+            batch: batch.as_ref().map(|(plan, refs)| (*plan, refs.as_slice())),
+            probe,
+        };
+        self.run_tile_rows(&ctx, ws, stats, out)
+    }
+
+    /// Runs one tile's row loop, either serially (no pool, one worker,
+    /// or a tile too small to pay fan-out overhead) or as row-range
+    /// morsels on the pool with a deterministic segment-order reduce.
+    /// Both paths execute [`ParallelJoinExecutor::join_rows`] over the
+    /// same ranges, so results and counters are byte-identical.
+    fn run_tile_rows(
+        &self,
+        ctx: &TileCtx<'_>,
+        ws: &mut RowScratch,
+        stats: &mut JoinStats,
+        out: &mut Vec<CompositeTuple>,
+    ) -> Result<(), JoinError> {
+        let rows = ctx.cx.len();
+        if let Some(pool) = self.pool.as_deref().filter(|p| p.parallelism() > 1) {
+            if rows >= 2 * PAR_MIN_SEG && rows.saturating_mul(ctx.cy.len()) >= PAR_MIN_PAIRS {
+                let seg = (rows / (4 * pool.parallelism())).max(PAR_MIN_SEG);
+                let mut tasks = Vec::new();
+                let mut s = 0;
+                while s < rows {
+                    let e = (s + seg).min(rows);
+                    tasks.push(move || {
+                        let mut ws = RowScratch::default();
+                        let mut seg_stats = JoinStats::default();
+                        let mut seg_out = Vec::new();
+                        let res = self.join_rows(ctx, s..e, &mut ws, &mut seg_stats, &mut seg_out);
+                        (res, seg_stats, seg_out)
+                    });
+                    s = e;
+                }
+                // Reduce in segment order: concatenation reproduces the
+                // serial emission order, and the counters are sums of
+                // per-row contributions, so the merged totals match the
+                // serial pass exactly. The first error (in row order)
+                // propagates, as it would serially.
+                for (res, seg_stats, seg_out) in pool.scope_run(tasks) {
+                    stats.merge(&seg_stats);
+                    out.extend(seg_out);
+                    res?;
+                }
+                return Ok(());
+            }
+        }
+        self.join_rows(ctx, 0..rows, ws, stats, out)
+    }
+
+    /// Evaluates one contiguous range of X rows against the Y chunk —
+    /// the morsel body. Straight-line extraction of the serial kernel:
+    /// probe path when the tile has an index, batch-masked scan when a
+    /// kernel applies, scalar fallback that also reproduces evaluation
+    /// errors.
+    fn join_rows(
+        &self,
+        ctx: &TileCtx<'_>,
+        range: std::ops::Range<usize>,
+        ws: &mut RowScratch,
+        stats: &mut JoinStats,
+        out: &mut Vec<CompositeTuple>,
+    ) -> Result<(), JoinError> {
+        let cy = ctx.cy;
+        let Some(compiled) = ctx.compiled else {
+            for a in &ctx.cx[range] {
+                for b in cy {
+                    let Some(candidate) = a.merge(b) else {
+                        continue;
+                    };
+                    stats.predicate_evals += 1;
+                    if satisfies_available(self.predicates, &candidate, self.schemas)? {
+                        out.push(candidate);
+                    }
+                }
+            }
+            return Ok(());
+        };
+        let Some((index, probe)) = ctx.probe else {
+            for a in &ctx.cx[range] {
+                if let Some((plan, cols)) = ctx.batch {
+                    if batch_scan_chunk(plan, cols, a, cy, &mut ws.mask, stats, out) {
                         continue;
                     }
                 }
@@ -633,8 +794,8 @@ impl ParallelJoinExecutor<'_> {
                     let Some(candidate) = a.merge(b) else {
                         continue;
                     };
-                    st.stats.predicate_evals += 1;
-                    if compiled.eval(&candidate, &mut st.scratch)? {
+                    stats.predicate_evals += 1;
+                    if compiled.eval(&candidate, &mut ws.scratch)? {
                         out.push(candidate);
                     }
                 }
@@ -642,38 +803,13 @@ impl ParallelJoinExecutor<'_> {
             return Ok(());
         };
 
-        // Extract (or reuse) the X chunk's probe keys under this plan.
-        let plan_id = index.plan_id;
-        if !st.probes_x[xi].iter().any(|p| p.plan_id == plan_id) {
-            let pk = ProbeKeys::build(&st.plans[plan_id], plan_id, cx);
-            st.probes_x[xi].push(pk);
-        }
-        let probe = st.probes_x[xi]
-            .iter()
-            .find(|p| p.plan_id == plan_id)
-            .expect("probe keys cached above");
-
         let ny = cy.len();
-        // Index-emptiness pruning: when every composite on both sides is
-        // keyed and no probe key has a bucket, every pair mismatches on
-        // an equi conjunct — the tile cannot contribute a result.
-        if probe.all_keyed
-            && index.unkeyed.is_empty()
-            && probe
-                .distinct
-                .iter()
-                .all(|k| !index.buckets.contains_key(k))
-        {
-            st.stats.tiles_pruned += 1;
-            st.stats.pairs_skipped += (cx.len() * ny) as u64;
-            return Ok(());
-        }
-
-        for (i, a) in cx.iter().enumerate() {
+        for i in range {
+            let a = &ctx.cx[i];
             let Some(key) = probe.keys[i] else {
                 // This composite cannot supply every key: scan the chunk.
-                if let Some((plan, cols)) = &batch {
-                    if batch_scan_chunk(plan, cols, a, cy, &mut st.mask, &mut st.stats, out) {
+                if let Some((plan, cols)) = ctx.batch {
+                    if batch_scan_chunk(plan, cols, a, cy, &mut ws.mask, stats, out) {
                         continue;
                     }
                 }
@@ -681,20 +817,20 @@ impl ParallelJoinExecutor<'_> {
                     let Some(candidate) = a.merge(b) else {
                         continue;
                     };
-                    st.stats.predicate_evals += 1;
-                    if compiled.eval(&candidate, &mut st.scratch)? {
+                    stats.predicate_evals += 1;
+                    if compiled.eval(&candidate, &mut ws.scratch)? {
                         out.push(candidate);
                     }
                 }
                 continue;
             };
-            st.stats.probes += 1;
+            stats.probes += 1;
             let bucket: &[u32] = index.buckets.get(&key).map_or(&[], |v| v.as_slice());
             let unkeyed: &[u32] = &index.unkeyed;
-            st.stats.pairs_skipped += (ny - bucket.len() - unkeyed.len()) as u64;
+            stats.pairs_skipped += (ny - bucket.len() - unkeyed.len()) as u64;
             // Ascending-index merge of the bucket with the unkeyed list
             // reproduces the nested loop's j order exactly.
-            st.cand.clear();
+            ws.cand.clear();
             let (mut bi, mut ui) = (0usize, 0usize);
             while bi < bucket.len() || ui < unkeyed.len() {
                 let j = if bi < bucket.len() && (ui >= unkeyed.len() || bucket[bi] < unkeyed[ui]) {
@@ -704,28 +840,28 @@ impl ParallelJoinExecutor<'_> {
                     ui += 1;
                     unkeyed[ui - 1]
                 } as usize;
-                st.cand.push(j);
+                ws.cand.push(j);
             }
-            if let Some((plan, cols)) = &batch {
+            if let Some((plan, cols)) = ctx.batch {
                 if batch_probe_list(
                     plan,
                     cols,
                     a,
                     cy,
-                    &st.cand,
-                    &mut st.cand_scratch,
-                    &mut st.stats,
+                    &ws.cand,
+                    &mut ws.cand_scratch,
+                    stats,
                     out,
                 ) {
                     continue;
                 }
             }
-            for &j in &st.cand {
+            for &j in &ws.cand {
                 let Some(candidate) = a.merge(&cy[j]) else {
                     continue;
                 };
-                st.stats.predicate_evals += 1;
-                if compiled.eval(&candidate, &mut st.scratch)? {
+                stats.predicate_evals += 1;
+                if compiled.eval(&candidate, &mut ws.scratch)? {
                     out.push(candidate);
                 }
             }
@@ -888,6 +1024,7 @@ mod tests {
             k: 0,
             options: JoinIndexOptions::default(),
             columnar: ColumnarOptions::default(),
+            pool: None,
         };
         let mut ms_a = MemoryStream::new(a, 2);
         let mut ms_b = MemoryStream::new(b, 2);
@@ -918,6 +1055,7 @@ mod tests {
             k: 3,
             options: JoinIndexOptions::default(),
             columnar: ColumnarOptions::default(),
+            pool: None,
         };
         let mut ms_a = MemoryStream::new(a, 2);
         let mut ms_b = MemoryStream::new(b, 2);
@@ -958,6 +1096,7 @@ mod tests {
             k: 0,
             options: JoinIndexOptions::default(),
             columnar: ColumnarOptions::default(),
+            pool: None,
         };
         let mut ms_a = MemoryStream::new(a, 2);
         let mut ms_b = MemoryStream::new(b, 2);
@@ -982,6 +1121,7 @@ mod tests {
             k: 0,
             options: JoinIndexOptions::default(),
             columnar: ColumnarOptions::default(),
+            pool: None,
         };
         let mut ms_a = MemoryStream::new(Vec::new(), 2);
         let mut ms_b = MemoryStream::new(stream_data("B", &sb, 4, ScoreDecay::Linear), 2);
@@ -1005,6 +1145,7 @@ mod tests {
             k: 3,
             options: JoinIndexOptions::default(),
             columnar: ColumnarOptions::default(),
+            pool: None,
         };
         // B's branch lost everything to an outage upstream.
         let mut ms_a = MemoryStream::new(survivors.clone(), 2);
@@ -1099,6 +1240,7 @@ mod tests {
             k: 0,
             options: JoinIndexOptions::default(),
             columnar: ColumnarOptions::default(),
+            pool: None,
         };
         let mut ms_a = MemoryStream::new(a.clone(), 2);
         let mut ms_b = MemoryStream::new(b.clone(), 2);
@@ -1119,6 +1261,56 @@ mod tests {
             .unwrap()];
         for rep in &out.tile_representatives {
             assert!(*rep <= first + 1e-12);
+        }
+    }
+
+    /// The morsel path must be invisible: same results, same tile
+    /// bookkeeping, same counters, at any worker count — including a
+    /// k-cut run and the interpreted (index-off) kernel.
+    #[test]
+    fn pooled_morsels_are_byte_identical_to_serial() {
+        let sa = schema("A");
+        let sb = schema("B");
+        let (preds, schemas) = setup(&sa, &sb);
+        let a = stream_data("A", &sa, 200, ScoreDecay::Linear);
+        let b = stream_data("B", &sb, 200, ScoreDecay::Quadratic);
+        let run = |pool: Option<Arc<seco_exec::ExecPool>>,
+                   k: usize,
+                   mode: crate::index::JoinIndexMode| {
+            let exec = ParallelJoinExecutor {
+                predicates: &preds,
+                schemas: &schemas,
+                invocation: Invocation::merge_scan_even(),
+                completion: Completion::Triangular,
+                h: 1,
+                k,
+                options: JoinIndexOptions {
+                    mode,
+                    ..JoinIndexOptions::default()
+                },
+                columnar: ColumnarOptions::default(),
+                pool,
+            };
+            let mut sx = MemoryStream::new(a.clone(), 100);
+            let mut sy = MemoryStream::new(b.clone(), 100);
+            exec.run(&mut sx, &mut sy).unwrap()
+        };
+        for (k, mode) in [
+            (0, crate::index::JoinIndexMode::Hash),
+            (37, crate::index::JoinIndexMode::Hash),
+            (0, crate::index::JoinIndexMode::Off),
+        ] {
+            let serial = run(None, k, mode);
+            for workers in [2, 8] {
+                let pool = Arc::new(seco_exec::ExecPool::new(workers));
+                let parallel = run(Some(Arc::clone(&pool)), k, mode);
+                assert_eq!(serial, parallel, "k={k} mode={mode:?} workers={workers}");
+                assert!(
+                    pool.stats().morsels > 0,
+                    "parallel path must actually engage (k={k} mode={mode:?})"
+                );
+                pool.shutdown();
+            }
         }
     }
 }

@@ -90,6 +90,12 @@ pub struct NaryJoin<'p> {
     /// Replays the score-frontier tile bound of
     /// [`crate::index::JoinIndexOptions::tile_prune`] at every stage.
     pub tile_prune: bool,
+    /// Shared executor pool for intra-tile morsels: after a tile's
+    /// sorted key array and probe keys are built (serially), its prefix
+    /// rows are split into key-range segments intersected on the pool
+    /// and reduced in segment order — byte-identical to the serial
+    /// leapfrog pass. `None` or one worker takes the exact serial path.
+    pub pool: Option<std::sync::Arc<seco_exec::ExecPool>>,
 }
 
 /// One oriented equi conjunct of a stage: the prefix (x) side names a
@@ -514,57 +520,134 @@ impl NaryJoin<'_> {
         }
         let pk = probes[t.x].as_ref().expect("built above");
 
-        let mut cand: Vec<(u32, bool)> = Vec::new();
-        for li in xs..xe {
-            let row = &prefix[li * stride..(li + 1) * stride];
-            match pk[li - xs] {
-                None => {
-                    // Unencodable probe: scan the chunk so the
-                    // interpreter's behavior — including errors — is
-                    // reproduced.
-                    for j in ys..ye {
-                        verify_and_emit(groups, row, right, j, plan, stats, out)?;
+        // Fan the tile's prefix rows out as sorted key-range segments
+        // when a pool is attached and the tile is big enough to pay the
+        // overhead; segments are reduced in order, so the flat output
+        // rows concatenate exactly as the serial pass emits them.
+        let nx = xe - xs;
+        if let Some(pool) = self.pool.as_deref().filter(|p| p.parallelism() > 1) {
+            if nx >= 2 * crate::executor::PAR_MIN_SEG
+                && nx.saturating_mul(ny) >= crate::executor::PAR_MIN_PAIRS
+            {
+                let seg = (nx / (4 * pool.parallelism())).max(crate::executor::PAR_MIN_SEG);
+                let mut tasks = Vec::new();
+                let mut s = xs;
+                while s < xe {
+                    let e = (s + seg).min(xe);
+                    tasks.push(move || {
+                        let mut seg_stats = JoinStats::default();
+                        let mut seg_out = Vec::new();
+                        let res = stage_tile_rows(
+                            groups,
+                            prefix,
+                            stride,
+                            right,
+                            plan,
+                            (s, e),
+                            (ys, ye),
+                            xs,
+                            ri,
+                            pk,
+                            &mut seg_stats,
+                            &mut seg_out,
+                        );
+                        (res, seg_stats, seg_out)
+                    });
+                    s = e;
+                }
+                for (res, seg_stats, seg_out) in pool.scope_run(tasks) {
+                    stats.merge(&seg_stats);
+                    out.extend(seg_out);
+                    res?;
+                }
+                return Ok(());
+            }
+        }
+        stage_tile_rows(
+            groups,
+            prefix,
+            stride,
+            right,
+            plan,
+            (xs, xe),
+            (ys, ye),
+            xs,
+            ri,
+            pk,
+            stats,
+            out,
+        )
+    }
+}
+
+/// Intersects one contiguous range of prefix rows against a right
+/// chunk's sorted key array — the n-ary morsel body, extracted verbatim
+/// from the serial leapfrog pass. `tile_xs` is the tile's first prefix
+/// row (probe keys are cached per tile, offset from it).
+#[allow(clippy::too_many_arguments)]
+fn stage_tile_rows(
+    groups: &[Vec<CompositeTuple>],
+    prefix: &[u32],
+    stride: usize,
+    right: &[CompositeTuple],
+    plan: &StagePlan,
+    (xs, xe): (usize, usize),
+    (ys, ye): (usize, usize),
+    tile_xs: usize,
+    ri: &RightIndex,
+    pk: &ProbeKeys,
+    stats: &mut JoinStats,
+    out: &mut Vec<u32>,
+) -> Result<(), JoinError> {
+    let ny = ye - ys;
+    let mut cand: Vec<(u32, bool)> = Vec::new();
+    for li in xs..xe {
+        let row = &prefix[li * stride..(li + 1) * stride];
+        match pk[li - tile_xs] {
+            None => {
+                // Unencodable probe: scan the chunk so the
+                // interpreter's behavior — including errors — is
+                // reproduced.
+                for j in ys..ye {
+                    verify_and_emit(groups, row, right, j, plan, stats, out)?;
+                }
+            }
+            Some((key, x_trusted)) => {
+                stats.probes += 1;
+                let lo = ri.keys.partition_point(|(k, _, _)| *k < key);
+                let hi = ri.keys.partition_point(|(k, _, _)| *k <= key);
+                let hits = &ri.keys[lo..hi];
+                // Ascending merge of keyed hits with unkeyed rows
+                // reproduces the nested loop's j order exactly.
+                cand.clear();
+                let (mut bi, mut ui) = (0usize, 0usize);
+                while bi < hits.len() || ui < ri.unkeyed.len() {
+                    if bi < hits.len() && (ui >= ri.unkeyed.len() || hits[bi].1 < ri.unkeyed[ui]) {
+                        bi += 1;
+                        cand.push((hits[bi - 1].1, hits[bi - 1].2));
+                    } else {
+                        ui += 1;
+                        cand.push((ri.unkeyed[ui - 1], false));
                     }
                 }
-                Some((key, x_trusted)) => {
-                    stats.probes += 1;
-                    let lo = ri.keys.partition_point(|(k, _, _)| *k < key);
-                    let hi = ri.keys.partition_point(|(k, _, _)| *k <= key);
-                    let hits = &ri.keys[lo..hi];
-                    // Ascending merge of keyed hits with unkeyed rows
-                    // reproduces the nested loop's j order exactly.
-                    cand.clear();
-                    let (mut bi, mut ui) = (0usize, 0usize);
-                    while bi < hits.len() || ui < ri.unkeyed.len() {
-                        if bi < hits.len()
-                            && (ui >= ri.unkeyed.len() || hits[bi].1 < ri.unkeyed[ui])
-                        {
-                            bi += 1;
-                            cand.push((hits[bi - 1].1, hits[bi - 1].2));
-                        } else {
-                            ui += 1;
-                            cand.push((ri.unkeyed[ui - 1], false));
-                        }
-                    }
-                    stats.pairs_skipped += (ny - cand.len()) as u64;
-                    for &(off, y_trusted) in &cand {
-                        let j = ys + off as usize;
-                        if x_trusted && y_trusted {
-                            // Proven match: the key comparison was the
-                            // equality evaluation (counted like a batch
-                            // kernel covering its candidates).
-                            stats.predicate_evals += 1;
-                            out.extend_from_slice(row);
-                            out.push(j as u32);
-                        } else {
-                            verify_and_emit(groups, row, right, j, plan, stats, out)?;
-                        }
+                stats.pairs_skipped += (ny - cand.len()) as u64;
+                for &(off, y_trusted) in &cand {
+                    let j = ys + off as usize;
+                    if x_trusted && y_trusted {
+                        // Proven match: the key comparison was the
+                        // equality evaluation (counted like a batch
+                        // kernel covering its candidates).
+                        stats.predicate_evals += 1;
+                        out.extend_from_slice(row);
+                        out.push(j as u32);
+                    } else {
+                        verify_and_emit(groups, row, right, j, plan, stats, out)?;
                     }
                 }
             }
         }
-        Ok(())
     }
+    Ok(())
 }
 
 /// Score product of a prefix row — what the merged composite's
@@ -680,6 +763,7 @@ mod tests {
             k,
             options: JoinIndexOptions::default(),
             columnar: ColumnarOptions::default(),
+            pool: None,
         };
         let mut sa = MemoryStream::new(a.to_vec(), c0);
         let mut sb = MemoryStream::new(b.to_vec(), c1);
@@ -712,6 +796,7 @@ mod tests {
             let nj = NaryJoin {
                 schemas: &schemas,
                 tile_prune: false,
+                pool: None,
             };
             let stages = [
                 NaryStage {
@@ -779,6 +864,7 @@ mod tests {
         let nj = NaryJoin {
             schemas: &schemas,
             tile_prune: false,
+            pool: None,
         };
         let out = nj.run(&[a.clone(), b.clone(), a.clone()], &stages).unwrap();
         assert!(out.is_none());
@@ -820,11 +906,70 @@ mod tests {
         let nj = NaryJoin {
             schemas: &schemas,
             tile_prune: false,
+            pool: None,
         };
         let out = nj
             .run(&[a, Vec::new(), cc], &stages)
             .unwrap()
             .expect("provably empty is still an answer");
         assert!(out.results.is_empty());
+    }
+
+    /// The n-ary morsel path must be invisible: identical flat output
+    /// and counters at any worker count, k-cut included.
+    #[test]
+    fn pooled_segments_are_byte_identical_to_serial() {
+        let sa = schema("A1");
+        let sb = schema("B1");
+        let sc = schema("C1");
+        let mut schemas = SchemaMap::new();
+        schemas.insert("A".into(), &sa);
+        schemas.insert("B".into(), &sb);
+        schemas.insert("C".into(), &sc);
+        let p1 = vec![eq_pred("A", "B")];
+        let p2 = vec![eq_pred("B", "C")];
+        let a = stream_data("A", &sa, 180, ScoreDecay::Linear, 3);
+        let b = stream_data("B", &sb, 120, ScoreDecay::Quadratic, 3);
+        let cc = stream_data("C", &sc, 90, ScoreDecay::Linear, 4);
+        let run = |pool: Option<std::sync::Arc<seco_exec::ExecPool>>, k: usize| {
+            let nj = NaryJoin {
+                schemas: &schemas,
+                tile_prune: false,
+                pool,
+            };
+            let stages = [
+                NaryStage {
+                    predicates: &p1,
+                    invocation: seco_plan::Invocation::merge_scan_even(),
+                    completion: Completion::Triangular,
+                    h: 1,
+                    k,
+                    left_chunk: 90,
+                    right_chunk: 60,
+                },
+                NaryStage {
+                    predicates: &p2,
+                    invocation: seco_plan::Invocation::merge_scan_even(),
+                    completion: Completion::Triangular,
+                    h: 1,
+                    k,
+                    left_chunk: 120,
+                    right_chunk: 45,
+                },
+            ];
+            nj.run(&[a.clone(), b.clone(), cc.clone()], &stages)
+                .unwrap()
+                .expect("eligible plan")
+        };
+        for k in [0usize, 25] {
+            let serial = run(None, k);
+            for workers in [2, 8] {
+                let pool = std::sync::Arc::new(seco_exec::ExecPool::new(workers));
+                let parallel = run(Some(std::sync::Arc::clone(&pool)), k);
+                assert_eq!(serial, parallel, "k={k} workers={workers}");
+                assert!(pool.stats().morsels > 0, "segments must engage (k={k})");
+                pool.shutdown();
+            }
+        }
     }
 }

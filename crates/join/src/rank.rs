@@ -413,6 +413,7 @@ mod tests {
             k,
             options: JoinIndexOptions::default(),
             columnar: ColumnarOptions::default(),
+            pool: None,
         }
     }
 

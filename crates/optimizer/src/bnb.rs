@@ -130,6 +130,12 @@ pub struct Optimizer<'a> {
     /// least this multiplicative ratio before a suffix re-plan is
     /// attempted (the chapter's "off by ≥10×" default).
     pub replan_threshold: f64,
+    /// Shared executor pool to run the topology fan-out on. With a
+    /// pool, the phase-3 workers are compute jobs on its work-stealing
+    /// deques (the calling thread participates); without one, they are
+    /// scoped threads as before. Irrelevant when
+    /// [`workers`](Self::workers) is 1.
+    pub pool: Option<Arc<seco_exec::ExecPool>>,
 }
 
 /// A candidate incumbent: the total tie-break order is
@@ -245,6 +251,7 @@ impl<'a> Optimizer<'a> {
             incremental: true,
             cache: None,
             replan_threshold: 10.0,
+            pool: None,
         }
     }
 
@@ -309,6 +316,17 @@ impl<'a> Optimizer<'a> {
         let workers = self.workers.max(1).min(items.len().max(1));
         if workers <= 1 {
             self.worker(&shared, query.k);
+        } else if let Some(pool) = &self.pool {
+            // Worker loops are pure compute (no channel waits), so
+            // they ride the pool's stealing deques directly; the
+            // search makes progress even on a single-worker pool
+            // because the scope owner executes jobs while waiting.
+            let shared = &shared;
+            pool.scope_run(
+                (0..workers)
+                    .map(|_| move || self.worker(shared, query.k))
+                    .collect(),
+            );
         } else {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
@@ -650,6 +668,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn pooled_search_matches_serial_byte_for_byte() {
+        let reg = entertainment::build_registry(1).unwrap();
+        let q = running_example();
+        let pool = Arc::new(seco_exec::ExecPool::new(4));
+        for metric in CostMetric::all() {
+            let serial = optimize(&q, &reg, metric).unwrap();
+            let mut opt = Optimizer::new(&reg, metric);
+            opt.workers = 4;
+            opt.pool = Some(pool.clone());
+            let pooled = opt.optimize(&q).unwrap();
+            assert_eq!(pooled.cost.to_bits(), serial.cost.to_bits(), "{metric}");
+            assert_eq!(
+                pooled.plan.canonical_key(),
+                serial.plan.canonical_key(),
+                "{metric}"
+            );
+        }
+        assert!(pool.stats().morsels > 0, "search ran on the pool");
+        pool.shutdown();
     }
 
     #[test]

@@ -98,6 +98,9 @@ fn boot(name: &str) -> (seco_server::ServerHandle, String, usize) {
     let config = ServerConfig {
         max_sessions: 8192,
         max_concurrent: 16,
+        // All sessions share one 4-worker executor pool (morsels,
+        // prefetch speculation, optimizer fan-out, plan-node tasks).
+        exec_workers: 4,
         ..Default::default()
     };
     let state = ServerState::new(registry, config);
@@ -239,6 +242,116 @@ fn bench_section(name: &str, rate: f64, smoke: bool) -> Section {
     }
 }
 
+/// Closed-loop session-concurrency sweep against one warm daemon: the
+/// same query mix at `base` concurrent sessions and at 4x that, every
+/// session sharing the daemon's single executor pool. The gate is a
+/// *flat p95*: quadrupling the session count must not quadruple tail
+/// latency — admission keeps at most `max_concurrent` executions
+/// feeding the pool and the pool's FIFO injector round-robins their
+/// morsels, so added sessions queue at the gate instead of stretching
+/// each other's execution. The flatness slack scales with how far the
+/// offered load exceeds the host's cores (on a single-core host all
+/// concurrency is time-sliced; on a 4-core host the 4x level rides
+/// the pool's real parallelism).
+fn bench_concurrency(smoke: bool) -> (serde_json::Value, bool) {
+    let (handle, text, base_k) = boot("chain");
+    let addr = handle.addr.to_string();
+    let per = if smoke { 6 } else { 15 };
+    let base = 4usize;
+
+    // Warm the daemon first: plan cache + fetch caches, so the sweep
+    // measures steady-state serving rather than cold planning.
+    for i in 0..3 {
+        let target = format!("/query?mode=det&k={}", base_k + (i % 3));
+        let (status, _) = http::call(&addr, "POST", &target, &text).expect("warmup");
+        assert_eq!(status, 200);
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut levels = Vec::new();
+    let mut p95_by_level = Vec::new();
+    for conc in [base, base * 4] {
+        let started = Instant::now();
+        let mut workers = Vec::new();
+        for t in 0..conc {
+            let addr = addr.clone();
+            let text = text.clone();
+            workers.push(std::thread::spawn(move || {
+                // One untimed request absorbs the simultaneous-connect
+                // convoy so the timed window sees steady state.
+                let target = format!("/query?mode=det&k={}", base_k + (t % 3));
+                let _ = http::call(&addr, "POST", &target, &text);
+                let mut lat = Vec::with_capacity(per);
+                for j in 0..per {
+                    let target = format!("/query?mode=det&k={}", base_k + ((t + j) % 3));
+                    let begin = Instant::now();
+                    let (status, _) = http::call(&addr, "POST", &target, &text).expect("query");
+                    if status == 200 {
+                        lat.push(begin.elapsed());
+                    }
+                }
+                lat
+            }));
+        }
+        let mut latency: Vec<Duration> = Vec::new();
+        for w in workers {
+            latency.extend(w.join().expect("session worker"));
+        }
+        let elapsed = started.elapsed();
+        let ms = sorted_ms(&latency);
+        let p50 = percentile(&ms, 0.50);
+        let p95 = percentile(&ms, 0.95);
+        let served = latency.len();
+        // Fair-share normalization: on a host with fewer cores than
+        // concurrent sessions, each session only owns a
+        // `cores / conc` time slice, so its wall latency is expected
+        // to stretch by the oversubscription factor even under
+        // perfectly fair scheduling. Dividing p95 by that factor
+        // yields the per-fair-share latency the flatness gate checks:
+        // flat normalized p95 means added sessions cost exactly their
+        // time slice and nothing more (no lock convoys, no pool
+        // starvation). On a >=16-core host oversub is 1 at both
+        // levels and the gate demands raw flat p95.
+        let oversub = (conc as f64 / cores as f64).max(1.0);
+        let p95_norm = p95 / oversub;
+        println!(
+            "concurrency {conc}: {served} requests, p50 {p50:.2} ms, p95 {p95:.2} ms \
+             ({p95_norm:.2} ms per fair share, {oversub:.0}x oversubscribed), {:.1} req/s",
+            served as f64 / elapsed.as_secs_f64()
+        );
+        p95_by_level.push(p95_norm);
+        levels.push(json!({
+            "concurrency": conc,
+            "requests": served,
+            "p50_ms": p50,
+            "p95_ms": p95,
+            "oversubscription": oversub,
+            "p95_ms_per_fair_share": p95_norm,
+            "throughput_per_s": served as f64 / elapsed.as_secs_f64(),
+        }));
+    }
+    let (_, stats) = http::call(&addr, "GET", "/stats", "").expect("stats");
+    let _ = http::call(&addr, "POST", "/admin/shutdown", "");
+    handle.join();
+
+    // Flat within noise: 1.75x multiplicative plus a 2 ms absolute
+    // floor so microsecond-scale warm hits don't trip on jitter.
+    let flat = p95_by_level[1] <= p95_by_level[0] * 1.75 + 2.0;
+    let report = json!({
+        "base_concurrency": base,
+        "host_cores": cores,
+        "levels": levels,
+        "note": "p95 per fair share = raw p95 / max(1, concurrency/cores); the \
+    flatness gate runs on that normalization so oversubscribed single-core hosts \
+    measure scheduler fairness rather than inevitable time-slicing",
+        "p95_flat_at_4x": flat,
+        "server_stats": stats_excerpt(&stats),
+    });
+    (report, flat)
+}
+
 /// Pulls a few integer counters back out of the `/stats` body (the
 /// shim has no JSON parser, so this is a tolerant substring scan).
 fn stats_excerpt(body: &str) -> serde_json::Value {
@@ -261,6 +374,10 @@ fn stats_excerpt(body: &str) -> serde_json::Value {
         "admitted": grab("admitted"),
         "rejected": grab("rejected"),
         "sessions_open": grab("sessions_open"),
+        "exec_morsels": grab("morsels"),
+        "exec_steals": grab("steals"),
+        "exec_busy_ms": grab("busy_ms"),
+        "exec_threads_alive": grab("threads_alive"),
     })
 }
 
@@ -323,6 +440,7 @@ fn main() {
         }
     }
     let identical = identity_check();
+    let (concurrency, p95_flat) = bench_concurrency(opts.smoke);
     // The asserted gate is the aggregate over every section: planning-
     // bound workloads (star) show a huge warm win, execution-bound ones
     // (chain) a thin one, and pooling the samples keeps the comparison
@@ -345,6 +463,7 @@ fn main() {
         "aggregate_cold_p50_ms": cold_p50,
         "aggregate_warm_p50_ms": warm_p50,
         "warm_faster": warm_faster,
+        "concurrency": concurrency,
     });
     let pretty = serde_json::to_string_pretty(&report).expect("render report");
     if let Some(dir) = std::path::Path::new(&opts.out).parent() {
@@ -356,5 +475,9 @@ fn main() {
     assert!(
         warm_faster,
         "aggregate warm p50 must beat aggregate cold p50"
+    );
+    assert!(
+        p95_flat,
+        "p95 must stay flat at 4x session concurrency (shared pool fairness)"
     );
 }

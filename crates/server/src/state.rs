@@ -52,8 +52,14 @@ pub struct ServerConfig {
     pub max_concurrent: usize,
     /// Service-call budget per tenant (0 = unlimited).
     pub tenant_budget: u64,
-    /// Worker threads of the shared speculation pool.
-    pub prefetch_workers: usize,
+    /// Worker threads of the shared executor pool: one work-stealing
+    /// pool per daemon runs every session's join morsels, prefetch
+    /// speculation, optimizer fan-out, and plan-node tasks. Fairness
+    /// across sessions comes from the admission gate (at most
+    /// [`max_concurrent`](Self::max_concurrent) executions feed the
+    /// pool) plus the pool's FIFO injector — no session can monopolize
+    /// workers while another's morsels wait.
+    pub exec_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -66,7 +72,9 @@ impl Default for ServerConfig {
             max_sessions: 256,
             max_concurrent: 16,
             tenant_budget: 0,
-            prefetch_workers: 2,
+            exec_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -144,11 +152,15 @@ pub struct ServerState {
 
 impl ServerState {
     /// A daemon over `registry` with the given limits.
-    pub fn new(registry: ServiceRegistry, config: ServerConfig) -> Arc<Self> {
+    pub fn new(registry: ServiceRegistry, mut config: ServerConfig) -> Arc<Self> {
+        // Sessions execute under the daemon's engine config; align its
+        // morsel parallelism with the pool so joins actually fan out
+        // (and `exec_workers = 1` keeps the exact serial join path).
+        config.engine = config.engine.exec_workers(config.exec_workers);
         Arc::new(ServerState {
             registry: Arc::new(registry),
             plan_cache: Arc::new(PlanCache::new()),
-            shared: Arc::new(SharedState::for_daemon(config.prefetch_workers)),
+            shared: Arc::new(SharedState::for_daemon(config.exec_workers)),
             config,
             sessions: Mutex::new(BTreeMap::new()),
             next_session: AtomicU64::new(1),
@@ -203,6 +215,10 @@ impl ServerState {
     pub fn plan(&self, query: &Query) -> Result<(Optimized, bool), String> {
         let mut optimizer = Optimizer::new(&self.registry, self.config.metric);
         optimizer.cache = Some(self.plan_cache.clone());
+        // Topology fan-out rides the shared pool alongside everything
+        // else the daemon parallelizes.
+        optimizer.workers = self.config.exec_workers;
+        optimizer.pool = self.shared.exec_pool().cloned();
         let best = optimizer.optimize(query).map_err(|e| e.to_string())?;
         let cached = best.stats.cache_hits > 0;
         Ok((best, cached))
@@ -303,6 +319,21 @@ impl ServerState {
             // `Symbol::table_bytes`).
             "interner_symbols": Symbol::table_len(),
             "interner_bytes": Symbol::table_bytes(),
+            "exec": self.shared.exec_pool().map(|p| {
+                let e = p.stats();
+                serde_json::json!({
+                    "workers": e.workers,
+                    "queue_depth": e.queue_depth,
+                    "steals": e.steals,
+                    "morsels": e.morsels,
+                    "busy_ms": e.busy_ms,
+                    "serial_micros": e.serial_micros,
+                    "makespan_micros": e.makespan_micros,
+                    "detached_submitted": e.detached_submitted,
+                    "detached_rejected": e.detached_rejected,
+                    "threads_alive": e.threads_alive,
+                })
+            }),
             "tenants": tenants,
         })
         .to_string()

@@ -54,7 +54,7 @@ pub use error::ServiceError;
 pub use invocation::{ChunkResponse, Request, Service};
 pub use latency::{LatencyModel, VirtualClock};
 pub use opaque::{OpaqueRanking, PositionScored};
-pub use prefetch::{PrefetchPool, Prefetcher};
+pub use prefetch::Prefetcher;
 pub use recorder::{CallRecorder, CallStats};
 pub use registry::ServiceRegistry;
 pub use resilience::{ClientConfig, ServiceClient, ServiceClientBuilder};

@@ -30,7 +30,7 @@
 //! prefetch runs on a real thread overlapping the join's own work.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
@@ -42,122 +42,6 @@ use crate::error::ServiceError;
 use crate::invocation::{ChunkResponse, Request, Service};
 use crate::recorder::CallRecorder;
 use crate::resilience::ServiceClient;
-
-/// A speculative fetch, boxed for the pool queue.
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-/// Queue depth of a [`PrefetchPool`]; speculation past it is dropped,
-/// never queued — a backlog of stale speculations only delays the
-/// demand fetches it was meant to hide.
-const POOL_QUEUE: usize = 64;
-
-/// A long-lived pool of speculation workers for daemon deployments.
-///
-/// One-shot executions spawn a short-lived thread per speculative
-/// fetch and join it when the stage's [`Prefetcher`] drops — fine for
-/// a CLI run that exits moments later, wrong for a server that keeps
-/// executing plans for the life of the process (every stage pays
-/// thread spawn/join, and a wedged speculation blocks the stage's
-/// drop). A `PrefetchPool` owns a fixed set of worker threads
-/// consuming speculative jobs from a bounded queue; stages submit into
-/// the queue instead of spawning. Dropping the pool stops and joins
-/// every worker, so background speculation never outlives the engine
-/// state that created it.
-pub struct PrefetchPool {
-    sender: Mutex<Option<mpsc::SyncSender<Job>>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
-    stop: Arc<AtomicBool>,
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-}
-
-impl PrefetchPool {
-    /// A pool of `workers` speculation threads.
-    pub fn new(workers: usize) -> Self {
-        let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::sync_channel::<Job>(POOL_QUEUE);
-        let rx = Arc::new(std::sync::Mutex::new(rx));
-        let handles = (0..workers.max(1))
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let stop = Arc::clone(&stop);
-                std::thread::spawn(move || loop {
-                    let job = match rx.lock().expect("pool queue poisoned").recv() {
-                        Ok(job) => job,
-                        Err(_) => return, // every sender dropped
-                    };
-                    // Drain-without-running on shutdown: the job's
-                    // fetch is pure speculation, skipping it is free.
-                    if !stop.load(Ordering::Acquire) {
-                        job();
-                    }
-                })
-            })
-            .collect();
-        PrefetchPool {
-            sender: Mutex::new(Some(tx)),
-            workers: Mutex::new(handles),
-            stop,
-            submitted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-        }
-    }
-
-    /// Submits a speculative job; returns `false` when the queue is
-    /// full or the pool is shutting down (the job is dropped — demand
-    /// fetches will do the work instead).
-    pub fn submit(&self, job: Job) -> bool {
-        if self.stop.load(Ordering::Acquire) {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-            return false;
-        }
-        let sender = self.sender.lock();
-        let accepted = sender.as_ref().is_some_and(|tx| tx.try_send(job).is_ok());
-        if accepted {
-            self.submitted.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.rejected.fetch_add(1, Ordering::Relaxed);
-        }
-        accepted
-    }
-
-    /// Jobs accepted into the queue so far.
-    pub fn submitted(&self) -> u64 {
-        self.submitted.load(Ordering::Relaxed)
-    }
-
-    /// Jobs dropped because the queue was full or the pool stopped.
-    pub fn rejected(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
-    }
-
-    /// Number of worker threads still alive.
-    pub fn workers_alive(&self) -> usize {
-        self.workers
-            .lock()
-            .iter()
-            .filter(|h| !h.is_finished())
-            .count()
-    }
-
-    /// Stops the workers and joins them. Queued-but-unstarted jobs are
-    /// skipped, in-flight ones finish. Idempotent; also runs on drop.
-    pub fn shutdown(&self) {
-        self.stop.store(true, Ordering::Release);
-        // Dropping the sender ends the workers' recv loop.
-        *self.sender.lock() = None;
-        let workers = std::mem::take(&mut *self.workers.lock());
-        for h in workers {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for PrefetchPool {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
 
 /// Decorator that speculatively warms chunk `c + 1` after serving
 /// chunk `c`. Wrap it around a caching stack; prefetching through an
@@ -176,9 +60,11 @@ pub struct Prefetcher {
     /// so repeated demand hits don't re-issue no-op speculations.
     probe: Option<Arc<CachingService>>,
     recorder: Option<Arc<CallRecorder>>,
-    /// Long-lived worker pool to run speculation on (daemon mode).
-    /// Without one, background speculation spawns short-lived threads.
-    pool: Option<Arc<PrefetchPool>>,
+    /// Long-lived shared executor pool to run speculation on (daemon
+    /// mode): jobs go to the pool's detached compute tier, bounded by
+    /// its backlog. Without one, background speculation spawns
+    /// short-lived threads.
+    pool: Option<Arc<seco_exec::ExecPool>>,
     /// Set by [`Prefetcher::shutdown`]: no further speculation starts.
     stopped: Arc<AtomicBool>,
     issued: AtomicU64,
@@ -232,11 +118,12 @@ impl Prefetcher {
         self
     }
 
-    /// Runs background speculation on a shared [`PrefetchPool`]
-    /// instead of spawning a thread per fetch (implies background
-    /// mode). The pool's lifetime — typically the engine state of a
-    /// long-running server — bounds every speculation thread.
-    pub fn via_pool(mut self, pool: Arc<PrefetchPool>) -> Self {
+    /// Runs background speculation on the shared
+    /// [`seco_exec::ExecPool`] instead of spawning a thread per fetch
+    /// (implies background mode). Jobs ride the pool's detached tier —
+    /// bounded backlog, drained on shutdown — so speculation never
+    /// outlives the engine state owning the pool.
+    pub fn via_pool(mut self, pool: Arc<seco_exec::ExecPool>) -> Self {
         self.background = true;
         self.pool = Some(pool);
         self
@@ -303,7 +190,7 @@ impl Prefetcher {
             };
             match &self.pool {
                 Some(pool) => {
-                    if pool.submit(Box::new(job)) {
+                    if pool.submit(job) {
                         self.note_issued();
                     } else {
                         self.inflight.fetch_sub(1, Ordering::SeqCst);
@@ -461,37 +348,30 @@ mod tests {
     fn pooled_prefetch_lands_in_the_cache() {
         let inner = service();
         let cache = Arc::new(CachingService::new(inner.clone(), 64));
-        let pool = Arc::new(PrefetchPool::new(2));
+        let pool = Arc::new(seco_exec::ExecPool::new(2));
         let pf = Prefetcher::new(cache.clone(), 3).via_pool(pool.clone());
         pf.fetch(&req("x")).unwrap();
         assert_eq!(pf.issued(), 1);
         // The pool, not the prefetcher, owns the speculation thread.
         assert!(pf.handles.lock().is_empty());
-        // Shutdown skips queued-but-unstarted jobs, so wait for the
-        // speculation to land before stopping the workers.
-        for _ in 0..1000 {
-            if inner.calls_served() == 2 {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
+        // Shutdown drains queued detached jobs before joining.
         pool.shutdown();
-        assert_eq!(pool.submitted(), 1);
-        assert_eq!(pool.workers_alive(), 0);
+        assert_eq!(pool.stats().detached_submitted, 1);
+        assert_eq!(pool.threads_alive(), 0);
         assert_eq!(inner.calls_served(), 2, "chunk 0 demanded, chunk 1 warmed");
         let warm = cache.fetch(&req("x").at_chunk(1)).unwrap();
         assert_eq!(warm.elapsed_ms, 0.0);
     }
 
     #[test]
-    fn pool_drop_stops_workers_and_refuses_new_jobs() {
-        let pool = Arc::new(PrefetchPool::new(2));
-        assert_eq!(pool.workers_alive(), 2);
+    fn pool_shutdown_refuses_new_speculation_jobs() {
+        let pool = Arc::new(seco_exec::ExecPool::new(2));
+        assert_eq!(pool.threads_alive(), 2);
         pool.shutdown();
-        assert_eq!(pool.workers_alive(), 0);
+        assert_eq!(pool.threads_alive(), 0);
         // Post-shutdown submission is rejected, not queued forever.
-        assert!(!pool.submit(Box::new(|| {})));
-        assert_eq!(pool.rejected(), 1);
+        assert!(!pool.submit(|| {}));
+        assert_eq!(pool.stats().detached_rejected, 1);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! seco explain   [--domain D] [--metric M] [--seed N] [--workers N] <query…>
 //! seco optimize  [--domain D] [--metric M] [--seed N] [--workers N] <query…>
 //! seco run       [--domain D] [--metric M] [--seed N] [--parallel]
+//!                [--exec-workers N]
 //!                [--fault-profile none|flaky|outage] [--deadline-ms N]
 //!                [--cache-shards N] [--prefetch]
 //!                [--join-index off|hash] [--tile-prune]
@@ -45,6 +46,16 @@
 //! parallel joins into one n-ary pass that skips the intermediate
 //! composites; answers stay byte-identical to the binary cascade. A
 //! `rank:` counter line is printed after the answers.
+//!
+//! `--exec-workers N` sets the morsel-executor worker count (default:
+//! the machine's core count). Above 1, tile joins, n-ary
+//! intersections, and batch predicate evaluation decompose into
+//! morsels on a shared work-stealing pool; a deterministic ordered
+//! reducer keeps the answers byte-identical to serial at any worker
+//! count. `--exec-workers 1` takes the exact serial code path. `seco
+//! stats` prints the scheduler counters (queue depth, steals, morsels,
+//! worker busy time) after the service statistics; `seco serve` sizes
+//! the daemon-wide shared pool with the same flag.
 //!
 //! `--columnar` toggles column-wise consumption of chunk bodies
 //! (columnar hash-key extraction, zero-copy kernel inputs) and
@@ -126,6 +137,7 @@ struct Args {
     columnar: bool,
     batch_eval: bool,
     workers: usize,
+    exec_workers: usize,
     addr: String,
     max_sessions: usize,
     max_concurrent: usize,
@@ -156,6 +168,11 @@ fn parse_args() -> Result<Args, String> {
     let mut columnar = defaults.columnar.columnar;
     let mut batch_eval = defaults.columnar.batch_eval;
     let mut workers = 1usize;
+    // Morsel parallelism defaults to the machine's core count; the
+    // library default (1) stays serial so embedding stays byte-stable.
+    let mut exec_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     // Serving defaults come from `ServerConfig::default()` so the CLI
     // cannot drift from the server crate's own admission defaults.
     let server_defaults = search_computing::server::ServerConfig::default();
@@ -267,6 +284,16 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--workers must be at least 1".into());
                 }
             }
+            "--exec-workers" => {
+                exec_workers = argv
+                    .next()
+                    .ok_or("--exec-workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad exec worker count: {e}"))?;
+                if exec_workers == 0 {
+                    return Err("--exec-workers must be at least 1".into());
+                }
+            }
             "--metric" => {
                 let m = argv.next().ok_or("--metric needs a value")?;
                 metric = match m.as_str() {
@@ -310,6 +337,7 @@ fn parse_args() -> Result<Args, String> {
         columnar,
         batch_eval,
         workers,
+        exec_workers,
         addr,
         max_sessions,
         max_concurrent,
@@ -322,7 +350,8 @@ fn usage() -> String {
     "usage: seco <services|explain|optimize|run|stats|oracle|serve> \
      [--domain entertainment|travel] \
      [--metric execution-time|sum|request-count|bottleneck|time-to-screen] \
-     [--seed N] [--workers N] [--parallel] [--fault-profile none|flaky|outage] \
+     [--seed N] [--workers N] [--exec-workers N] [--parallel] \
+     [--fault-profile none|flaky|outage] \
      [--deadline-ms N] [--cache-shards N] [--prefetch] \
      [--join-index off|hash] [--tile-prune] [--rank-join] [--nary-join] \
      [--adaptive] [--adaptive-threshold N] \
@@ -526,7 +555,11 @@ fn cmd_stats(
     let query = parse_query(query_src).map_err(|e| e.to_string())?;
     let best = optimize(&query, registry, metric).map_err(|e| e.to_string())?;
     registry.reset_stats();
-    let out = execute_plan(&best.plan, registry, opts).map_err(|e| e.to_string())?;
+    // Run against daemon-grade state so the scheduler counters below
+    // describe the same shared pool a `seco serve` daemon would use.
+    let shared = SharedState::for_daemon(opts.exec_workers);
+    let out =
+        execute_plan_shared(&best.plan, registry, opts, &shared).map_err(|e| e.to_string())?;
     println!(
         "{} combinations, {} request-responses, {:.0} virtual ms critical path\n",
         out.results.len(),
@@ -583,6 +616,21 @@ fn cmd_stats(
             registry.epoch_invalidations()
         );
     }
+    if let Some(pool) = shared.exec_pool() {
+        let e = pool.stats();
+        println!(
+            "\nscheduler: {} workers, {} morsels, {} steals, queue depth {}, \
+             busy {} ms, serial-equivalent {} us, modeled makespan {} us",
+            e.workers,
+            e.morsels,
+            e.steals,
+            e.queue_depth,
+            e.busy_ms,
+            e.serial_micros,
+            e.makespan_micros
+        );
+    }
+    shared.shutdown();
     // The interner leaks distinct names by design: growth tracks the
     // workload's vocabulary, not its volume (see Symbol::table_bytes).
     println!(
@@ -615,7 +663,7 @@ fn cmd_serve(registry: ServiceRegistry, args: &Args, opts: EngineConfig) -> Resu
         max_sessions: args.max_sessions,
         max_concurrent: args.max_concurrent,
         tenant_budget: args.tenant_budget,
-        ..Default::default()
+        exec_workers: args.exec_workers,
     };
     let state = ServerState::new(registry, config);
     let server = Server::bind(&args.addr, state).map_err(|e| e.to_string())?;
@@ -671,7 +719,8 @@ fn main() -> ExitCode {
         .adaptive_threshold(args.adaptive_threshold)
         .adaptive_metric(args.metric)
         .columnar(args.columnar)
-        .batch_eval(args.batch_eval);
+        .batch_eval(args.batch_eval)
+        .exec_workers(args.exec_workers);
     if resilient {
         opts = opts.degrade().client(ClientConfig {
             deadline_ms: args.deadline_ms,

@@ -91,6 +91,7 @@ fn run_method(
         k,
         options,
         columnar,
+        pool: None,
     };
     exec.run(&mut x, &mut y).expect("join runs")
 }
@@ -215,6 +216,7 @@ fn empty_key_tiles_are_pruned_without_changing_the_answer() {
             k: 0,
             options,
             columnar: ColumnarOptions::default(),
+            pool: None,
         };
         // X covers city-0..3, Y covers city-2..5: tiles between the
         // disjoint chunks share no key.

@@ -144,6 +144,7 @@ fn rank_join_top_k_is_the_sorted_enumeration_prefix() {
             k: 0,
             options: OFF,
             columnar: ColumnarOptions::default(),
+            pool: None,
         };
         let mut sx = MemoryStream::new(a.clone(), chunk);
         let mut sy = MemoryStream::new(b.clone(), chunk);
@@ -157,6 +158,7 @@ fn rank_join_top_k_is_the_sorted_enumeration_prefix() {
                     completion: comp,
                     k,
                     options,
+                    pool: None,
                     ..full
                 },
                 space: None,
@@ -199,6 +201,7 @@ fn cascade(
         k,
         options,
         columnar: ColumnarOptions::default(),
+        pool: None,
     };
     let mut sa = MemoryStream::new(groups.0.to_vec(), chunk);
     let mut sb = MemoryStream::new(groups.1.to_vec(), chunk);
@@ -278,6 +281,7 @@ fn nary_kernel_is_byte_identical_to_the_cascade_across_the_grid() {
                             let nj = NaryJoin {
                                 schemas: &schemas,
                                 tile_prune: prune,
+                                pool: None,
                             };
                             let out = nj
                                 .run(
